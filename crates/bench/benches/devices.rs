@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the device substrates themselves: the CPU cost
+//! per simulated IO on the ZNS model and the FTL model (with GC active).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftl::{BlockDevice, ConvSsd, FtlConfig};
+use sim::SimTime;
+use std::hint::black_box;
+use zns::{WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume};
+
+fn bench_zns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zns_device");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("write_4k", |b| {
+        let cfg = ZnsConfig::builder()
+            .zones(64, 65_536, 65_536)
+            .open_limits(14, 28)
+            .store_data(false)
+            .build();
+        let dev = ZnsDevice::new(cfg);
+        let data = vec![0u8; 4096];
+        let mut lba = 0u64;
+        let cap = 64 * 65_536;
+        b.iter(|| {
+            if lba >= cap {
+                for z in 0..64 {
+                    dev.reset_zone(SimTime::ZERO, z).expect("reset");
+                }
+                lba = 0;
+            }
+            dev.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                .expect("write");
+            lba += 1;
+            black_box(lba)
+        });
+    });
+    g.finish();
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftl_device");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("overwrite_4k_with_gc", |b| {
+        let dev = ConvSsd::new(FtlConfig {
+            user_sectors: 65_536,
+            pages_per_block: 256,
+            op_ratio: 0.1,
+            gc_low_blocks: 4,
+            latency: zns::LatencyConfig::instant(),
+            store_data: false,
+        });
+        let data = vec![0u8; 4096];
+        // Prime so GC is active during measurement.
+        for lba in 0..65_536u64 {
+            dev.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                .expect("prime");
+        }
+        let mut rng = sim::SimRng::new(3);
+        b.iter(|| {
+            let lba = rng.gen_range(65_536);
+            dev.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                .expect("write");
+            black_box(lba)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_zns, bench_ftl);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of metadata record encode/decode — the
+//! fixed CPU overhead attached to every partial parity log and WAL entry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raizn::{MdPayload, MdRecord};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md_record");
+    g.sample_size(20);
+    let pp = MdRecord::new(
+        MdPayload::PartialParity {
+            first_row: 0,
+            data: vec![0x7Fu8; 16 * 4096],
+        },
+        false,
+        1024,
+        1040,
+        3,
+    );
+    g.bench_function("encode_pp_64k", |b| {
+        b.iter(|| black_box(pp.encode().len()));
+    });
+    let bytes = pp.encode();
+    let (h, p) = bytes.split_at(4096);
+    g.bench_function("decode_pp_64k", |b| {
+        b.iter(|| black_box(MdRecord::decode(h, p).expect("decode")));
+    });
+    let gens = MdRecord::new(
+        MdPayload::GenCounters {
+            first_zone: 0,
+            counters: (0..508).collect(),
+        },
+        false,
+        0,
+        0,
+        0,
+    );
+    g.bench_function("encode_gen_page", |b| {
+        b.iter(|| black_box(gens.encode().len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the parity hot path: stripe-buffer fill
+//! (XOR accumulation) and full-stripe XOR, per stripe-unit size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raizn::StripeBuffer;
+use std::hint::black_box;
+
+fn bench_stripe_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stripe_buffer_fill");
+    g.sample_size(20);
+    for su_sectors in [4u64, 16, 32] {
+        let bytes = 4 * su_sectors * 4096;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(su_sectors * 4),
+            &su_sectors,
+            |b, &su| {
+                let data = vec![0xA5u8; (4 * su * 4096) as usize];
+                b.iter(|| {
+                    let mut buf = StripeBuffer::new(0, 4, su);
+                    buf.fill(black_box(&data));
+                    black_box(buf.parity()[0])
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_xor_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor_reconstruct_64k");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(4 * 64 * 1024));
+    let units: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 64 * 1024]).collect();
+    g.bench_function("xor_4_units", |b| {
+        b.iter(|| {
+            let mut acc = vec![0u8; 64 * 1024];
+            for u in &units {
+                for (a, x) in acc.iter_mut().zip(u.iter()) {
+                    *a ^= *x;
+                }
+            }
+            black_box(acc[0])
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stripe_fill, bench_xor_reconstruct);
+criterion_main!(benches);

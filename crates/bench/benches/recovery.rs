@@ -1,0 +1,77 @@
+//! Criterion benchmark of mount-time recovery: clean remount and
+//! crash remount with stripe-hole repair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::SimTime;
+use std::hint::black_box;
+use std::sync::Arc;
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume};
+
+fn devices() -> Vec<Arc<ZnsDevice>> {
+    (0..5)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(32, 1024, 1024)
+                    .open_limits(14, 28)
+                    .build(),
+            ))
+        })
+        .collect()
+}
+
+fn bench_mount(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    g.bench_function("clean_remount", |b| {
+        b.iter(|| {
+            let devs = devices();
+            let vol =
+                RaiznVolume::format(devs.clone(), RaiznConfig::default(), SimTime::ZERO)
+                    .expect("format");
+            let data = vec![0u8; 64 * 4096];
+            let mut lba = 0;
+            for _ in 0..32 {
+                vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                    .expect("write");
+                lba += 64;
+            }
+            vol.flush(SimTime::ZERO).expect("flush");
+            drop(vol);
+            for d in &devs {
+                d.crash(&mut CrashPolicy::LoseCache);
+            }
+            let v2 = RaiznVolume::mount(devs, RaiznConfig::default(), SimTime::ZERO)
+                .expect("mount");
+            black_box(v2.zone_info(0).expect("info").write_pointer)
+        });
+    });
+    g.bench_function("crash_remount_with_holes", |b| {
+        b.iter(|| {
+            let devs = devices();
+            let vol =
+                RaiznVolume::format(devs.clone(), RaiznConfig::default(), SimTime::ZERO)
+                    .expect("format");
+            let data = vec![0u8; 64 * 4096];
+            let mut lba = 0;
+            for _ in 0..32 {
+                vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                    .expect("write");
+                lba += 64;
+            }
+            drop(vol);
+            let mut rng = sim::SimRng::new(7);
+            for d in &devs {
+                d.crash(&mut CrashPolicy::Random(rng.fork()));
+            }
+            let v2 = RaiznVolume::mount(devs, RaiznConfig::default(), SimTime::ZERO)
+                .expect("mount");
+            black_box(v2.zone_info(0).expect("info").write_pointer)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mount);
+criterion_main!(benches);

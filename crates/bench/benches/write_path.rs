@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the RAIZN write path (CPU cost per IO,
+//! not simulated device time): stripe-aligned vs partial-stripe writes,
+//! and the ablation of partial-parity logging vs full-stripe writes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::SimTime;
+use std::hint::black_box;
+use std::sync::Arc;
+use zns::{WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume};
+
+fn fresh_volume() -> RaiznVolume {
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(32, 4096, 4096)
+                    .open_limits(14, 28)
+                    .store_data(false)
+                    .build(),
+            ))
+        })
+        .collect();
+    RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO).expect("format")
+}
+
+fn bench_write_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raizn_write_path");
+    g.sample_size(10);
+    // 4 KiB (partial stripe, pp log) vs 256 KiB (full stripe).
+    for (label, sectors) in [("4k_partial", 1u64), ("256k_full_stripe", 64)] {
+        g.throughput(Throughput::Bytes(sectors * 4096 * 64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sectors, |b, &n| {
+            let data = vec![0u8; (n * 4096) as usize];
+            b.iter(|| {
+                let vol = fresh_volume();
+                let mut lba = 0;
+                for _ in 0..64 {
+                    vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                        .expect("write");
+                    lba += n;
+                }
+                black_box(vol.stats().pp_log_entries)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raizn_read_path");
+    g.sample_size(10);
+    let vol = fresh_volume();
+    let data = vec![0u8; 256 * 4096];
+    let mut lba = 0;
+    for _ in 0..16 {
+        vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+            .expect("prime");
+        lba += 256;
+    }
+    for (label, sectors) in [("4k", 1u64), ("64k", 16), ("1m", 256)] {
+        g.throughput(Throughput::Bytes(sectors * 4096));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sectors, |b, &n| {
+            let mut buf = vec![0u8; (n * 4096) as usize];
+            b.iter(|| {
+                vol.read(SimTime::ZERO, black_box(0), &mut buf).expect("read");
+                black_box(buf[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_write_sizes, bench_read_path);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Figure 10: full-device overwrite timeseries. Phase 1: five threads
+//! concurrently fill the array (20% regions each). Phase 2: one thread
+//! sequentially overwrites the whole address space. mdraid collapses when
+//! the conventional SSDs exhaust spare blocks and garbage-collect; RAIZN
+//! stays flat because ZNS devices have no device-side GC.
+
+use bench::{mdraid_volume, print_table, raizn_volume};
+use sim::SimDuration;
+use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
+
+const ZONES: u32 = 64;
+const ZONE_SECTORS: u64 = 4096; // 16 MiB zones, 1 GiB per device
+const BS: u64 = 256; // 1 MiB writes
+
+fn run_overwrite(target: &dyn IoTarget, label: &str) -> Vec<Vec<String>> {
+    let cap = target.capacity_sectors();
+    let fifth = cap / 5 / ZONE_SECTORS * ZONE_SECTORS;
+    // Phase 1: 5 threads, 20% regions.
+    let phase1: Vec<JobSpec> = (0..5u64)
+        .map(|i| {
+            JobSpec::new(OpKind::Write, Pattern::Sequential, BS)
+                .region(i * fifth, (i + 1) * fifth)
+                .queue_depth(32)
+        })
+        .collect();
+    let mut e = Engine::new(10).sample_interval(SimDuration::from_millis(100));
+    let p1 = e.run(target, &phase1).expect("phase 1");
+    // Phase 2: single-thread full overwrite.
+    let phase2 = vec![JobSpec::new(OpKind::Write, Pattern::Sequential, BS)
+        .region(0, fifth * 5)
+        .queue_depth(32)];
+    let mut e2 = Engine::new(11)
+        .start_at(p1.end)
+        .sample_interval(SimDuration::from_millis(100));
+    let p2 = e2.run(target, &phase2).expect("phase 2");
+
+    let mut rows = Vec::new();
+    let collect = |rows: &mut Vec<Vec<String>>, rep: &workloads::RunReport, phase: &str| {
+        let ts = rep.throughput_series.as_ref().expect("sampled");
+        let ls = rep.latency_series.as_ref().expect("sampled");
+        for (p, l) in ts.iter().zip(ls.iter()) {
+            if p.bytes == 0 {
+                continue;
+            }
+            rows.push(vec![
+                label.to_string(),
+                phase.to_string(),
+                format!("{:.2}", p.time.as_secs_f64()),
+                format!("{:.0}", p.mib_per_sec),
+                format!("{}", l.1),
+                format!("{}", l.2),
+            ]);
+        }
+    };
+    collect(&mut rows, &p1, "fill");
+    collect(&mut rows, &p2, "overwrite");
+    rows
+}
+
+fn main() {
+    let raizn = raizn_volume(ZONES, ZONE_SECTORS, 16);
+    let rt = ZonedTarget::new(raizn);
+    let mut rows = run_overwrite(&rt, "raizn");
+
+    let md = mdraid_volume(ZONES as u64 * ZONE_SECTORS, 16);
+    let mt = BlockTarget::new(md.clone());
+    rows.extend(run_overwrite(&mt, "mdraid"));
+
+    print_table(
+        "Figure 10: overwrite timeseries (100 ms samples)",
+        &["system", "phase", "t (s)", "MiB/s", "mean lat", "max lat"],
+        &rows,
+    );
+
+    // Summary: fill-phase vs overwrite-phase median throughput (edge
+    // samples excluded to avoid ramp artifacts).
+    let median_tput = |rows: &[Vec<String>], system: &str, phase: &str| {
+        let mut tputs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r[0] == system && r[1] == phase)
+            .map(|r| r[3].parse::<f64>().expect("tput"))
+            .collect();
+        if tputs.len() > 4 {
+            tputs.remove(0);
+            tputs.pop();
+        }
+        sim::Summary::from_values(&tputs).median()
+    };
+    let mut summary = Vec::new();
+    for system in ["raizn", "mdraid"] {
+        let fill = median_tput(&rows, system, "fill");
+        let over = median_tput(&rows, system, "overwrite");
+        summary.push(vec![
+            system.to_string(),
+            format!("{fill:.0}"),
+            format!("{over:.0}"),
+            format!("{:.0}%", (1.0 - over / fill) * 100.0),
+        ]);
+    }
+    print_table(
+        "Figure 10 summary: median throughput per phase",
+        &["system", "fill MiB/s", "overwrite MiB/s", "drop"],
+        &summary,
+    );
+}

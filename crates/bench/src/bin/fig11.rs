@@ -1,0 +1,46 @@
+//! Figure 11: degraded performance — sequential and random read
+//! throughput/latency after one device fails (no replacement).
+
+use bench::{bs_label, mdraid_volume, print_table, prime, raizn_volume, run_micro, Micro};
+use sim::SimTime;
+use workloads::{BlockTarget, ZonedTarget};
+use zns::ZonedVolume;
+
+const ZONES: u32 = 64;
+const ZONE_SECTORS: u64 = 4096;
+const SU: u64 = 16;
+const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
+
+fn main() {
+    let mut rows = Vec::new();
+    for micro in [Micro::SeqRead, Micro::RandRead] {
+        for bs in BLOCK_SIZES {
+            let raizn = raizn_volume(ZONES, ZONE_SECTORS, SU);
+            let rt = ZonedTarget::new(raizn.clone());
+            let start = prime(&rt, SimTime::ZERO);
+            raizn.fail_device(0);
+            let align = rt.volume().geometry().zone_cap();
+            let r = run_micro(&rt, micro, bs, align, start);
+
+            let md = mdraid_volume(ZONES as u64 * ZONE_SECTORS, SU);
+            let mt = BlockTarget::new(md.clone());
+            let start = prime(&mt, SimTime::ZERO);
+            md.fail_device(0);
+            let m = run_micro(&mt, micro, bs, align, start);
+
+            rows.push(vec![
+                micro.name().to_string(),
+                bs_label(bs),
+                format!("{:.0}", m.throughput_mib_s()),
+                format!("{:.0}", r.throughput_mib_s()),
+                format!("{}", m.latency.percentile(99.9)),
+                format!("{}", r.latency.percentile(99.9)),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 11: degraded read performance (device 0 failed)",
+        &["workload", "bs", "md MiB/s", "rz MiB/s", "md p99.9", "rz p99.9"],
+        &rows,
+    );
+}

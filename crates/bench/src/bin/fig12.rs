@@ -1,0 +1,66 @@
+//! Figure 12: time to repair (TTR) a replaced device vs the amount of
+//! valid data. RAIZN rebuilds only written stripes (TTR scales with
+//! data); mdraid resyncs the whole address space (constant TTR).
+
+use bench::{conv_devices, mdraid_volume, print_table, raizn_volume, zns_devices};
+use ftl::BlockDevice;
+use sim::SimTime;
+use std::sync::Arc;
+use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
+use zns::ZnsDevice;
+
+const ZONES: u32 = 64;
+const ZONE_SECTORS: u64 = 4096; // 1 GiB per device
+
+fn fill(target: &dyn IoTarget, fraction: f64) -> SimTime {
+    let cap = target.capacity_sectors();
+    let sectors = ((cap as f64 * fraction) as u64) / ZONE_SECTORS * ZONE_SECTORS;
+    if sectors == 0 {
+        return SimTime::ZERO;
+    }
+    let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256)
+        .region(0, sectors)
+        .queue_depth(64);
+    Engine::new(12).run(target, &[job]).expect("fill").end
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for fraction in [0.125, 0.25, 0.5, 0.75, 1.0] {
+        // RAIZN: fill, fail, rebuild.
+        let raizn = raizn_volume(ZONES, ZONE_SECTORS, 16);
+        let rt = ZonedTarget::new(raizn.clone());
+        let t = fill(&rt, fraction);
+        raizn.fail_device(0);
+        let replacement: Arc<ZnsDevice> = zns_devices(1, ZONES, ZONE_SECTORS).remove(0).into();
+        let report = raizn.rebuild(t, replacement).expect("rebuild");
+
+        // mdraid: fill, fail, resync.
+        let md = mdraid_volume(ZONES as u64 * ZONE_SECTORS, 16);
+        let mt = BlockTarget::new(md.clone());
+        let t = fill(&mt, fraction);
+        md.fail_device(0);
+        let repl: Arc<dyn BlockDevice> =
+            conv_devices(1, ZONES as u64 * ZONE_SECTORS).remove(0);
+        let resync = md.resync(t, repl).expect("resync");
+
+        rows.push(vec![
+            format!("{:.0}%", fraction * 100.0),
+            format!("{:.2}", report.bytes_written as f64 / (1 << 30) as f64),
+            format!("{:.3}", report.duration.as_secs_f64()),
+            format!("{:.2}", resync.bytes_written as f64 / (1 << 30) as f64),
+            format!("{:.3}", resync.duration.as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "Figure 12: time to repair a replaced device",
+        &[
+            "valid data",
+            "rz GiB written",
+            "rz TTR (s)",
+            "md GiB written",
+            "md TTR (s)",
+        ],
+        &rows,
+    );
+}

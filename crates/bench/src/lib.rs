@@ -1,0 +1,249 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index). This library
+//! holds the common plumbing: array construction at benchmark scale and
+//! plain-text table output.
+//!
+//! Scale note: the paper's testbed uses 5 × 2 TB SSDs; the simulated
+//! arrays here are scaled down (capacities in the low GiB) so every
+//! experiment runs in seconds of real time. Virtual-time throughput and
+//! latency keep their *relative* behaviour (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+
+use ftl::{BlockDevice, ConvSsd, FtlConfig};
+use mdraid5::{Md5Config, Md5Volume};
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::SimTime;
+use std::sync::Arc;
+use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+
+/// Number of array devices used throughout the evaluation (paper: 5).
+pub const ARRAY_DEVICES: usize = 5;
+
+/// Builds `n` ZNS devices with `zones` zones of `zone_sectors` capacity
+/// (accounting-only data mode, ZN540-like timing).
+pub fn zns_devices(n: usize, zones: u32, zone_sectors: u64) -> Vec<Arc<ZnsDevice>> {
+    (0..n)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(zones, zone_sectors, zone_sectors)
+                    .open_limits(14, 28)
+                    .latency(LatencyConfig::zns_ssd())
+                    .store_data(false)
+                    .build(),
+            ))
+        })
+        .collect()
+}
+
+/// Builds a formatted RAIZN volume over fresh ZNS devices.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn raizn_volume(
+    zones: u32,
+    zone_sectors: u64,
+    stripe_unit_sectors: u64,
+) -> Arc<RaiznVolume> {
+    let devices = zns_devices(ARRAY_DEVICES, zones, zone_sectors);
+    let config = RaiznConfig {
+        stripe_unit_sectors,
+        ..RaiznConfig::default()
+    };
+    Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO).expect("format RAIZN"))
+}
+
+/// Builds `n` conventional SSDs of `user_sectors` capacity (7% OP,
+/// accounting-only).
+pub fn conv_devices(n: usize, user_sectors: u64) -> Vec<Arc<ConvSsd>> {
+    (0..n)
+        .map(|_| {
+            Arc::new(ConvSsd::new(FtlConfig {
+                user_sectors,
+                pages_per_block: 256,
+                op_ratio: 0.07,
+                gc_low_blocks: 8,
+                latency: LatencyConfig::conventional_ssd(),
+                store_data: false,
+            }))
+        })
+        .collect()
+}
+
+/// Builds an mdraid-5 volume over fresh conventional SSDs.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn mdraid_volume(user_sectors: u64, chunk_sectors: u64) -> Arc<Md5Volume> {
+    let devices: Vec<Arc<dyn BlockDevice>> = conv_devices(ARRAY_DEVICES, user_sectors)
+        .into_iter()
+        .map(|d| d as Arc<dyn BlockDevice>)
+        .collect();
+    Arc::new(
+        Md5Volume::new(
+            devices,
+            Md5Config {
+                chunk_sectors,
+                stripe_cache_bytes: 128 * 1024 * 1024,
+            },
+        )
+        .expect("assemble mdraid"),
+    )
+}
+
+/// Prints a fixed-width text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let cols: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("| {} |", cols.join(" | "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a byte count as a human-readable block size label (e.g. 64K).
+pub fn bs_label(sectors: u64) -> String {
+    let bytes = sectors * zns::SECTOR_SIZE;
+    if bytes >= 1024 * 1024 {
+        format!("{}M", bytes / (1024 * 1024))
+    } else {
+        format!("{}K", bytes / 1024)
+    }
+}
+
+/// The three §6.1 microbenchmark workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Micro {
+    /// 8 jobs × QD 64, sequential writes at different offsets.
+    SeqWrite,
+    /// 8 jobs × QD 64, sequential reads at different offsets.
+    SeqRead,
+    /// 1 job × QD 256, random reads over the primed capacity.
+    RandRead,
+}
+
+impl Micro {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Micro::SeqWrite => "seq-write",
+            Micro::SeqRead => "seq-read",
+            Micro::RandRead => "rand-read",
+        }
+    }
+}
+
+/// Fills the target sequentially with 1 MiB blocks (the paper's priming
+/// pass before read benchmarks), returning the end time.
+///
+/// # Panics
+///
+/// Panics on IO errors (benchmark setup must succeed).
+pub fn prime(target: &dyn workloads::IoTarget, at: SimTime) -> SimTime {
+    use workloads::{Engine, JobSpec, OpKind, Pattern};
+    let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).queue_depth(64);
+    Engine::new(0xF111)
+        .start_at(at)
+        .run(target, &[job])
+        .expect("priming failed")
+        .end
+}
+
+/// Runs one microbenchmark with the paper's job/queue-depth parameters,
+/// with per-config op counts capped for simulation speed.
+///
+/// # Panics
+///
+/// Panics on IO errors.
+pub fn run_micro(
+    target: &dyn workloads::IoTarget,
+    micro: Micro,
+    block_sectors: u64,
+    align_sectors: u64,
+    at: SimTime,
+) -> workloads::RunReport {
+    use workloads::{Engine, JobSpec, OpKind, Pattern};
+    let cap = target.capacity_sectors();
+    let jobs: Vec<JobSpec> = match micro {
+        Micro::SeqWrite | Micro::SeqRead => {
+            let kind = if micro == Micro::SeqWrite {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            };
+            let per_job = cap / 8 / align_sectors * align_sectors;
+            // Cap the written volume at ~50% of capacity so write runs
+            // never run the conventional baseline into device GC — the
+            // paper reformats devices before each write trial precisely
+            // to keep GC out of this figure.
+            let half_blocks = per_job / 2 / block_sectors;
+            (0..8u64)
+                .map(|i| {
+                    let region = (i * per_job, (i + 1) * per_job);
+                    let blocks = per_job / block_sectors;
+                    JobSpec::new(kind, Pattern::Sequential, block_sectors)
+                        .region(region.0, region.1)
+                        .ops(blocks.min(8192).min(half_blocks.max(1)))
+                        .queue_depth(64)
+                })
+                .collect()
+        }
+        Micro::RandRead => {
+            let span = cap / align_sectors * align_sectors;
+            vec![JobSpec::new(OpKind::Read, Pattern::Random, block_sectors)
+                .region(0, span)
+                .ops(32_768)
+                .queue_depth(256)]
+        }
+    };
+    Engine::new(0xB5 ^ block_sectors)
+        .start_at(at)
+        .run(target, &jobs)
+        .expect("microbenchmark failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zns::ZonedVolume;
+
+    #[test]
+    fn arrays_assemble() {
+        let r = raizn_volume(8, 4096, 16);
+        assert_eq!(r.geometry().num_zones(), 5);
+        let m = mdraid_volume(262_144, 16);
+        assert!(m.capacity_sectors() > 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(bs_label(1), "4K");
+        assert_eq!(bs_label(256), "1M");
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-logical-zone persistence bitmap (§5.3).
+
+/// Tracks which stripe units of a logical zone are known durable.
+///
+/// One bit per stripe unit (Table 1: 2 KiB per logical zone for the
+/// paper's geometry). A FUA write may only complete once every unit below
+/// the write pointer is persisted; the bitmap tells RAIZN which devices
+/// still need a flush sub-IO.
+///
+/// # Examples
+///
+/// ```
+/// use raizn::PersistenceBitmap;
+/// let mut b = PersistenceBitmap::new(8, 4); // 8 units of 4 sectors
+/// b.mark_persisted_below(6);  // flush covered sectors [0, 6)
+/// assert!(b.is_unit_persisted(0));
+/// assert!(b.is_unit_persisted(1)); // partially-covered unit counts
+/// assert!(!b.is_unit_persisted(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistenceBitmap {
+    bits: Vec<u64>,
+    units: u64,
+    unit_sectors: u64,
+}
+
+impl PersistenceBitmap {
+    /// Creates a bitmap for `units` stripe units of `unit_sectors` each,
+    /// all initially non-persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_sectors` is zero.
+    pub fn new(units: u64, unit_sectors: u64) -> Self {
+        assert!(unit_sectors > 0, "unit_sectors must be nonzero");
+        PersistenceBitmap {
+            bits: vec![0; units.div_ceil(64) as usize],
+            units,
+            unit_sectors,
+        }
+    }
+
+    /// Number of stripe units tracked.
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// Whether stripe unit `unit` is persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn is_unit_persisted(&self, unit: u64) -> bool {
+        assert!(unit < self.units, "unit index out of range");
+        self.bits[(unit / 64) as usize] & (1 << (unit % 64)) != 0
+    }
+
+    /// Marks every unit containing sectors below `sector_wp` (a zone-
+    /// relative sector offset) persisted. A unit whose *beginning* lies
+    /// below the boundary counts, per the paper: a persisted write starting
+    /// mid-unit implies the unit's earlier sectors persisted too.
+    pub fn mark_persisted_below(&mut self, sector_wp: u64) {
+        let full_units = sector_wp.div_ceil(self.unit_sectors).min(self.units);
+        for unit in 0..full_units {
+            self.bits[(unit / 64) as usize] |= 1 << (unit % 64);
+        }
+    }
+
+    /// Whether every unit overlapping sectors `[0, sector_wp)` is
+    /// persisted.
+    pub fn all_persisted_below(&self, sector_wp: u64) -> bool {
+        let needed = sector_wp.div_ceil(self.unit_sectors).min(self.units);
+        (0..needed).all(|u| self.is_unit_persisted(u))
+    }
+
+    /// Iterates the units overlapping `[0, sector_wp)` that are NOT yet
+    /// persisted.
+    pub fn unpersisted_below(&self, sector_wp: u64) -> impl Iterator<Item = u64> + '_ {
+        let needed = sector_wp.div_ceil(self.unit_sectors).min(self.units);
+        (0..needed).filter(|u| !self.is_unit_persisted(*u))
+    }
+
+    /// Clears the bit of every unit overlapping the sector range
+    /// `[from, to)`. Called when new data lands in a unit whose earlier
+    /// sectors were already persisted: the unit's tail is now volatile
+    /// again and the next FUA must flush its device.
+    pub fn clear_range(&mut self, from: u64, to: u64) {
+        if from >= to {
+            return;
+        }
+        let first = from / self.unit_sectors;
+        let last = (to - 1) / self.unit_sectors;
+        for unit in first..=last.min(self.units.saturating_sub(1)) {
+            self.bits[(unit / 64) as usize] &= !(1 << (unit % 64));
+        }
+    }
+
+    /// Clears all bits (zone reset).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Memory footprint in bytes (Table 1 reporting).
+    pub fn footprint_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bitmap_is_clear() {
+        let b = PersistenceBitmap::new(10, 4);
+        assert!(!b.is_unit_persisted(0));
+        assert!(b.all_persisted_below(0));
+        assert!(!b.all_persisted_below(1));
+    }
+
+    #[test]
+    fn partial_unit_counts_as_persisted() {
+        let mut b = PersistenceBitmap::new(4, 8);
+        b.mark_persisted_below(9); // unit 0 full + 1 sector of unit 1
+        assert!(b.is_unit_persisted(0));
+        assert!(b.is_unit_persisted(1));
+        assert!(!b.is_unit_persisted(2));
+        assert!(b.all_persisted_below(9));
+        assert!(b.all_persisted_below(16));
+        assert!(!b.all_persisted_below(17));
+    }
+
+    #[test]
+    fn unpersisted_iteration() {
+        let mut b = PersistenceBitmap::new(6, 2);
+        b.mark_persisted_below(4);
+        let missing: Vec<u64> = b.unpersisted_below(12).collect();
+        assert_eq!(missing, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clear_range_unsets_touched_units() {
+        let mut b = PersistenceBitmap::new(4, 4);
+        b.mark_persisted_below(6); // units 0 and 1 (partially)
+        assert!(b.is_unit_persisted(1));
+        // New data lands in the tail of unit 1: it is volatile again.
+        b.clear_range(6, 8);
+        assert!(b.is_unit_persisted(0));
+        assert!(!b.is_unit_persisted(1));
+        let missing: Vec<u64> = b.unpersisted_below(8).collect();
+        assert_eq!(missing, vec![1]);
+        // Empty range is a no-op.
+        b.clear_range(3, 3);
+        assert!(b.is_unit_persisted(0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = PersistenceBitmap::new(4, 4);
+        b.mark_persisted_below(16);
+        b.clear();
+        assert!(!b.is_unit_persisted(0));
+    }
+
+    #[test]
+    fn large_bitmap_spans_words() {
+        let mut b = PersistenceBitmap::new(130, 1);
+        b.mark_persisted_below(129);
+        assert!(b.is_unit_persisted(128));
+        assert!(!b.is_unit_persisted(129));
+        assert_eq!(b.footprint_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        PersistenceBitmap::new(4, 4).is_unit_persisted(4);
+    }
+}

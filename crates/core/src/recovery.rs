@@ -1,0 +1,952 @@
+//! Mount-time crash recovery (§4.3 zone descriptors, §5.1 parity
+//! reconstruction, §5.2 reset logs and relocation).
+//!
+//! Mounting scans every metadata zone of every device, replays the log
+//! records (validated against per-zone generation counters), then derives
+//! each logical zone's write pointer from the physical write pointers:
+//! missing stripe units ("stripe holes", Fig. 1) are rebuilt from parity or
+//! partial-parity logs and written back at the physical write pointers; if
+//! reconstruction is impossible the logical write pointer is rolled back to
+//! hide the torn suffix, the orphaned "ghost" units are marked as
+//! conflicted slots, and future writes to them are relocated to metadata
+//! zones.
+
+use crate::config::RaiznConfig;
+use crate::metadata::{MdPayload, MdRecord, MD_HEADER_BYTES};
+use crate::stripe::StripeBuffer;
+use crate::volume::{xor_into, MdRole, RaiznVolume, RelocatedUnit, VolState};
+use crate::Result;
+use sim::SimTime;
+use std::collections::HashMap;
+use std::sync::Arc;
+use zns::{WriteFlags, ZnsDevice, ZnsError, ZoneState, ZonedVolume, SECTOR_SIZE};
+
+/// All metadata records harvested from one device during the mount scan.
+#[derive(Debug, Default)]
+struct Harvest {
+    /// (device, record) pairs in scan order.
+    records: Vec<(usize, MdRecord)>,
+}
+
+/// A per-(zone, stripe) partial-parity image assembled by replaying pp
+/// records in write order.
+#[derive(Debug)]
+struct ParityImage {
+    /// Parity bytes, one stripe unit.
+    rows: Vec<u8>,
+    /// Which rows hold valid parity.
+    covered: Vec<bool>,
+    /// Logical end LBA of the newest contributing record (the stripe's
+    /// data extent when the parity was computed).
+    end_lba: u64,
+}
+
+impl RaiznVolume {
+    /// Mounts an existing array after shutdown, power loss, or a crash
+    /// with one failed device. `config` must match the one used at
+    /// [`format`](RaiznVolume::format) (it is validated against the
+    /// persisted superblock).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no valid superblock is found, parameters mismatch, more
+    /// than one device is failed, or device IO fails.
+    pub fn mount(
+        devices: Vec<Arc<ZnsDevice>>,
+        config: RaiznConfig,
+        at: SimTime,
+    ) -> Result<RaiznVolume> {
+        let layout = Self::check_devices(&devices, config)?;
+        let failed: Vec<usize> = devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_failed())
+            .map(|(i, _)| i)
+            .collect();
+        if failed.len() > 1 {
+            return Err(ZnsError::InvalidArgument(format!(
+                "{} devices failed; RAIZN tolerates one",
+                failed.len()
+            )));
+        }
+        let failed = failed.first().copied();
+
+        // ---- 1. Scan metadata zones. -----------------------------------
+        let mut harvest = Harvest::default();
+        for (di, dev) in devices.iter().enumerate() {
+            if failed == Some(di) {
+                continue;
+            }
+            for mz in 0..config.md_zones_per_device {
+                scan_md_zone(dev, mz, at, di, &mut harvest)?;
+            }
+        }
+
+        // ---- 2. Ingest: superblock, generations, WALs, relocations. ----
+        let mut saw_superblock = false;
+        let n_lzones = layout.logical_zones() as usize;
+        let mut gens = vec![0u64; n_lzones];
+        for (_, rec) in &harvest.records {
+            match &rec.payload {
+                MdPayload::Superblock(sb) => {
+                    saw_superblock = true;
+                    if sb.num_devices as usize != devices.len()
+                        || sb.stripe_unit_sectors != config.stripe_unit_sectors
+                        || sb.md_zones_per_device != config.md_zones_per_device
+                    {
+                        return Err(ZnsError::InvalidArgument(
+                            "superblock parameters do not match the mount configuration"
+                                .to_string(),
+                        ));
+                    }
+                }
+                MdPayload::GenCounters {
+                    first_zone,
+                    counters,
+                } => {
+                    for (i, c) in counters.iter().enumerate() {
+                        let z = *first_zone as usize + i;
+                        if z < n_lzones {
+                            gens[z] = gens[z].max(*c);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !saw_superblock {
+            return Err(ZnsError::InvalidArgument(
+                "no valid superblock found; was the array formatted?".to_string(),
+            ));
+        }
+
+        let lgeo = layout.logical_geometry();
+        // Latest valid reset WAL per zone.
+        let mut reset_wals = vec![false; n_lzones];
+        // Relocations: best (highest valid) per slot.
+        let mut relocated: HashMap<(u32, u64, u32), RelocatedUnit> = HashMap::new();
+        // Partial parity images per (lzone, stripe): replay normal records
+        // after checkpointed ones so normal entries win overlaps (§4.3).
+        let mut pp: HashMap<(u32, u64), ParityImage> = HashMap::new();
+        let su = layout.stripe_unit();
+        let su_bytes = (su * SECTOR_SIZE) as usize;
+        let mut ordered: Vec<&(usize, MdRecord)> = harvest.records.iter().collect();
+        ordered.sort_by_key(|(_, r)| {
+            (
+                !r.header.checkpoint, // checkpoints first (so normals overwrite)
+                r.header.end_lba,
+            )
+        });
+        for (dev, rec) in ordered {
+            match &rec.payload {
+                MdPayload::ZoneResetLog => {
+                    let lz = lgeo.zone_of(rec.header.start_lba) as usize;
+                    if rec.header.generation == gens[lz] {
+                        reset_wals[lz] = true;
+                    }
+                }
+                MdPayload::RelocatedStripeUnit {
+                    lzone,
+                    stripe,
+                    valid_sectors,
+                    data,
+                } => {
+                    if (*lzone as usize) < n_lzones && rec.header.generation == gens[*lzone as usize]
+                    {
+                        let key = (*lzone, *stripe, *dev as u32);
+                        let better = relocated
+                            .get(&key)
+                            .map(|r| r.valid < *valid_sectors)
+                            .unwrap_or(true);
+                        if better {
+                            relocated.insert(
+                                key,
+                                RelocatedUnit {
+                                    data: data.clone(),
+                                    valid: *valid_sectors,
+                                },
+                            );
+                        }
+                    }
+                }
+                MdPayload::PartialParity { first_row, data } => {
+                    let lz = lgeo.zone_of(rec.header.start_lba);
+                    if rec.header.generation != gens[lz as usize] {
+                        continue;
+                    }
+                    let zoff = lgeo.offset_in_zone(rec.header.start_lba);
+                    let stripe = zoff / layout.stripe_data_sectors();
+                    let img = pp.entry((lz, stripe)).or_insert_with(|| ParityImage {
+                        rows: vec![0u8; su_bytes],
+                        covered: vec![false; su as usize],
+                        end_lba: 0,
+                    });
+                    let rows = data.len() as u64 / SECTOR_SIZE;
+                    for r in 0..rows {
+                        let dst = ((first_row + r) * SECTOR_SIZE) as usize;
+                        let src = (r * SECTOR_SIZE) as usize;
+                        img.rows[dst..dst + SECTOR_SIZE as usize]
+                            .copy_from_slice(&data[src..src + SECTOR_SIZE as usize]);
+                        img.covered[(first_row + r) as usize] = true;
+                    }
+                    img.end_lba = img.end_lba.max(rec.header.end_lba);
+                }
+                _ => {}
+            }
+        }
+
+        // ---- 3. Assemble and recover each logical zone. -----------------
+        let vol = Self::assemble(devices, config, layout, gens);
+        {
+            let mut st = vol.state.lock();
+            let st = &mut *st;
+            st.failed = failed;
+            st.relocated = relocated;
+            for ((lz, stripe, dev), _) in st.relocated.clone() {
+                st.lzones[lz as usize].conflicts.insert((stripe, dev));
+            }
+
+            let mut gen_bumped = false;
+            for lz in 0..vol.layout.logical_zones() {
+                let recovered =
+                    vol.recover_zone(st, at, lz, reset_wals[lz as usize], &pp)?;
+                gen_bumped |= recovered;
+            }
+
+            // ---- 3b. Rewrite physical zones whose relocation count
+            // exceeds the threshold (§5.2): data is bounced through a swap
+            // zone so every relocated unit returns to its arithmetic slot.
+            vol.rewrite_overloaded_zones(st, at)?;
+
+            // ---- 4. Refresh metadata state (mount-time GC). -------------
+            vol.mount_refresh_metadata(st, at)?;
+            let _ = gen_bumped;
+        }
+        Ok(vol)
+    }
+
+    /// Recovers one logical zone; returns whether its generation was
+    /// bumped.
+    fn recover_zone(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lz: u32,
+        reset_logged: bool,
+        pp: &HashMap<(u32, u64), ParityImage>,
+    ) -> Result<bool> {
+        let layout = self.layout;
+        let su = layout.stripe_unit();
+        let d_units = layout.data_units();
+        let stripe_data = layout.stripe_data_sectors();
+        let phys_zone = layout.phys_zone(lz);
+        let n = layout.devices();
+
+        // Per-device physical write pointers (relative), None for failed.
+        let mut wp: Vec<Option<u64>> = Vec::with_capacity(n as usize);
+        let mut live_full = true;
+        for (i, dev) in st.devices.iter().enumerate() {
+            if st.failed == Some(i) {
+                wp.push(None);
+            } else {
+                let info = dev.zone_info(phys_zone)?;
+                wp.push(Some(info.write_pointer - info.start));
+                live_full &= info.state == ZoneState::Full;
+            }
+        }
+        let any_content = wp.iter().flatten().any(|w| *w > 0);
+        // Every surviving physical zone sealed => the logical zone was
+        // finished (or filled). A finish writes the final stripe's parity
+        // *prefix* into the parity slot, so the parity-presence shortcut
+        // below must not be used to infer stripe completion here.
+        let finished = live_full && any_content;
+
+        // Replayed partial zone reset: the WAL says this zone should be
+        // empty; finish the job (§5.2).
+        if reset_logged && any_content {
+            for (i, dev) in st.devices.iter().enumerate() {
+                if st.failed == Some(i) {
+                    continue;
+                }
+                dev.reset_zone(at, phys_zone)?;
+            }
+            st.gens[lz as usize] += 1;
+            st.relocated.retain(|(z, _, _), _| *z != lz);
+            st.lzones[lz as usize].conflicts.clear();
+            st.stats.zone_resets += 1;
+            return Ok(true);
+        }
+        if !any_content {
+            // Empty zone: bump the generation so any stale metadata for it
+            // is invalidated (§4.3).
+            st.gens[lz as usize] += 1;
+            st.relocated.retain(|(z, _, _), _| *z != lz);
+            st.lzones[lz as usize].conflicts.clear();
+            return Ok(true);
+        }
+
+        // Available sectors of the slot `dev` holds for `stripe`:
+        // relocated slots count by their relocation extent.
+        fn avail_fn(
+            st: &VolState,
+            wp: &[Option<u64>],
+            lz: u32,
+            su: u64,
+            stripe: u64,
+            dev: u32,
+        ) -> Option<u64> {
+            if let Some(rel) = st.relocated.get(&(lz, stripe, dev)) {
+                return Some(rel.valid);
+            }
+            wp[dev as usize].map(|w| w.saturating_sub(stripe * su).min(su))
+        }
+        let avail = |st: &VolState, wp: &[Option<u64>], stripe: u64, dev: u32| {
+            avail_fn(st, wp, lz, su, stripe, dev)
+        };
+
+        // Highest touched stripe and the intended data fill.
+        let max_wp = wp.iter().flatten().copied().max().unwrap_or(0);
+        let max_stripe = (max_wp - 1) / su;
+        let parity_dev = layout.parity_device(lz, max_stripe);
+        let last_parity = if finished {
+            0 // ignore the finish-written parity prefix
+        } else {
+            avail(st, &wp, max_stripe, parity_dev).unwrap_or(0)
+        };
+        let mut fill = if last_parity > 0 {
+            // Parity present => the last stripe was completed.
+            (max_stripe + 1) * stripe_data
+        } else {
+            let mut f = max_stripe * stripe_data;
+            for k in 0..d_units {
+                let dev = layout.data_device(lz, max_stripe, k);
+                if let Some(a) = avail(st, &wp, max_stripe, dev) {
+                    if a > 0 {
+                        f = f.max(max_stripe * stripe_data + k * su + a);
+                    }
+                }
+            }
+            // Partial-parity logs may witness a higher extent than any
+            // surviving device (degraded mounts).
+            if let Some(img) = pp.get(&(lz, max_stripe)) {
+                let lgeo = layout.logical_geometry();
+                let rel = img.end_lba.saturating_sub(lgeo.zone_start(lz));
+                f = f.max(rel);
+            }
+            f
+        };
+
+        // Repair pass: walk stripes, rebuilding missing unit suffixes.
+        // Finished zones are sealed (no repair writes possible); their
+        // readable prefix is served as-is, reconstructing on demand.
+        let mut rollback: Option<u64> = None;
+        let repair_limit = if finished { 0 } else { max_stripe + 1 };
+        'stripes: for stripe in 0..repair_limit {
+            let stripe_fill = (fill.saturating_sub(stripe * stripe_data)).min(stripe_data);
+            let complete = stripe_fill == stripe_data;
+            let pdev = layout.parity_device(lz, stripe);
+            for dev in 0..n {
+                if st.failed == Some(dev as usize) {
+                    continue; // degraded mount: no repair writes possible
+                }
+                let needed = match layout.unit_of_device(lz, stripe, dev) {
+                    None => {
+                        if complete {
+                            su
+                        } else {
+                            0
+                        }
+                    }
+                    Some(k) => stripe_fill.saturating_sub(k * su).min(su),
+                };
+                let have = avail(st, &wp, stripe, dev).unwrap_or(0);
+                if have >= needed {
+                    continue;
+                }
+                // Stripe hole: rebuild rows [have, needed) of this slot.
+                let rows = needed - have;
+                let mut out = vec![0u8; (rows * SECTOR_SIZE) as usize];
+                let avail_now = wp.clone();
+                let ok = self.rebuild_rows(
+                    st, at, lz, stripe, dev, have, needed, complete, pp, &avail_now, &mut out,
+                )?;
+                if !ok {
+                    if std::env::var_os("RAIZN_DEBUG").is_some() {
+                        eprintln!(
+                            "[recover] lz={lz} stripe={stripe} dev={dev} have={have} needed={needed} complete={complete} irreparable"
+                        );
+                    }
+                    rollback = Some(self.consistent_prefix(st, lz, &wp));
+                    break 'stripes;
+                }
+                // Write the recovered rows at the device's write pointer.
+                let pba = layout.stripe_pba(lz, stripe) + have;
+                st.devices[dev as usize].write(at, pba, &out, WriteFlags::default())?;
+                if let Some(w) = wp.get_mut(dev as usize).and_then(|w| w.as_mut()) {
+                    *w = stripe * su + needed;
+                }
+                st.stats.recovered_units += 1;
+                let _ = pdev;
+            }
+        }
+
+        if let Some(r) = rollback {
+            if std::env::var_os("RAIZN_DEBUG").is_some() {
+                eprintln!(
+                    "[recover] lz={lz} rollback {fill} -> {r} (wp={wp:?}, max_stripe={max_stripe})"
+                );
+            }
+            fill = r;
+        }
+        // Consistency sweep: every device's physical extent must match what
+        // the final logical write pointer implies, or the excess becomes a
+        // conflicted "ghost" slot whose future writes are relocated. This
+        // covers rollback ghosts and repairs that landed before a later
+        // rollback alike. Finished zones accept no writes until reset, so
+        // no conflicts (or padding) are needed there.
+        for dev in 0..if finished { 0 } else { n } {
+            if st.failed == Some(dev as usize) {
+                continue;
+            }
+            let w = wp[dev as usize].unwrap_or(0);
+            if w == 0 {
+                continue;
+            }
+            let mut ghost = false;
+            for stripe in 0..=max_stripe {
+                let have = (w.saturating_sub(stripe * su)).min(su);
+                if have == 0 {
+                    break;
+                }
+                if st.relocated.contains_key(&(lz, stripe, dev)) {
+                    continue; // already a conflicted slot from a past session
+                }
+                let stripe_fill = (fill.saturating_sub(stripe * stripe_data)).min(stripe_data);
+                let expected = match layout.unit_of_device(lz, stripe, dev) {
+                    None => {
+                        if stripe_fill == stripe_data {
+                            su
+                        } else {
+                            0
+                        }
+                    }
+                    Some(k) => stripe_fill.saturating_sub(k * su).min(su),
+                };
+                if have > expected {
+                    if std::env::var_os("RAIZN_DEBUG").is_some() {
+                        eprintln!("[recover] lz={lz} ghost slot stripe={stripe} dev={dev} have={have} expected={expected} fill={fill}");
+                    }
+                    st.lzones[lz as usize].conflicts.insert((stripe, dev));
+                    // Record the conflict as an (empty) relocation so it
+                    // survives future mounts: the padded ghost slot would
+                    // otherwise masquerade as valid data next time.
+                    st.relocated
+                        .entry((lz, stripe, dev))
+                        .or_insert_with(|| RelocatedUnit {
+                            data: vec![0u8; (su * SECTOR_SIZE) as usize],
+                            valid: 0,
+                        });
+                    ghost = true;
+                }
+            }
+            // Pad a mid-unit ghost frontier to the next unit boundary so
+            // later slots keep their arithmetic addresses.
+            if ghost {
+                let pad_to = w.div_ceil(su) * su;
+                if pad_to > w {
+                    let zeros = vec![0u8; ((pad_to - w) * SECTOR_SIZE) as usize];
+                    let pba = layout.phys_geometry().zone_start(phys_zone) + w;
+                    st.devices[dev as usize].write(at, pba, &zeros, WriteFlags::default())?;
+                }
+            }
+        }
+
+        // Seed the stripe buffer for an incomplete final stripe.
+        let z_wp = fill;
+        let lgeo = layout.logical_geometry();
+        if z_wp % stripe_data != 0 {
+            let stripe = z_wp / stripe_data;
+            let mut buf = StripeBuffer::new(stripe, d_units, su);
+            let in_stripe = z_wp % stripe_data;
+            let mut staged = vec![0u8; (in_stripe * SECTOR_SIZE) as usize];
+            let mut cursor = 0u64;
+            while cursor < in_stripe {
+                let k = cursor / su;
+                let row0 = cursor % su;
+                let rows = (su - row0).min(in_stripe - cursor);
+                let dev = layout.data_device(lz, stripe, k);
+                let off = (cursor * SECTOR_SIZE) as usize;
+                let out = &mut staged[off..off + (rows * SECTOR_SIZE) as usize];
+                if st.relocated.contains_key(&(lz, stripe, dev))
+                    || st.failed != Some(dev as usize)
+                {
+                    self.fetch_slot_rows(st, at, lz, stripe, dev, row0, out)?;
+                } else {
+                    // Degraded mount: reconstruct from the partial parity
+                    // image ("up to one stripe buffer ... per open logical
+                    // zone", §5.1).
+                    let img = pp.get(&(lz, stripe)).ok_or_else(|| {
+                        ZnsError::InvalidArgument(format!(
+                            "degraded mount: no partial parity for zone {lz} stripe {stripe}"
+                        ))
+                    })?;
+                    for r in row0..row0 + rows {
+                        if !img.covered[r as usize] {
+                            return Err(ZnsError::InvalidArgument(format!(
+                                "degraded mount: parity row {r} not covered"
+                            )));
+                        }
+                    }
+                    let mut acc =
+                        img.rows[(row0 * SECTOR_SIZE) as usize..((row0 + rows) * SECTOR_SIZE) as usize]
+                            .to_vec();
+                    let mut tmp = vec![0u8; acc.len()];
+                    for other in 0..d_units {
+                        if other == k {
+                            continue;
+                        }
+                        let odev = layout.data_device(lz, stripe, other);
+                        // Zero contribution beyond the written extent.
+                        let owritten = (in_stripe.saturating_sub(other * su)).min(su);
+                        let orows = owritten.saturating_sub(row0).min(rows);
+                        if orows == 0 {
+                            continue;
+                        }
+                        tmp.fill(0);
+                        self.fetch_slot_rows(
+                            st,
+                            at,
+                            lz,
+                            stripe,
+                            odev,
+                            row0,
+                            &mut tmp[..(orows * SECTOR_SIZE) as usize],
+                        )?;
+                        xor_into(&mut acc, &tmp);
+                    }
+                    out.copy_from_slice(&acc);
+                }
+                cursor += rows;
+            }
+            buf.fill(&staged);
+            st.lzones[lz as usize].buffer = Some(buf);
+        }
+
+        if std::env::var_os("RAIZN_DEBUG").is_some() {
+            eprintln!("[recover] lz={lz} final wp={z_wp} wps={wp:?}");
+        }
+        let z = &mut st.lzones[lz as usize];
+        z.wp = z_wp;
+        z.state = if z_wp == 0 {
+            ZoneState::Empty
+        } else if finished || z_wp == lgeo.zone_cap() {
+            ZoneState::Full
+        } else {
+            ZoneState::Closed
+        };
+        // Post-crash, everything on media is durable.
+        z.pbitmap.mark_persisted_below(z_wp);
+        Ok(false)
+    }
+
+    /// Attempts to rebuild rows `[have, needed)` of the slot `dev` holds
+    /// for `(lz, stripe)`. Returns `Ok(false)` when reconstruction is
+    /// impossible (triggering rollback).
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild_rows(
+        &self,
+        st: &VolState,
+        at: SimTime,
+        lz: u32,
+        stripe: u64,
+        dev: u32,
+        have: u64,
+        needed: u64,
+        complete: bool,
+        pp: &HashMap<(u32, u64), ParityImage>,
+        wp: &[Option<u64>],
+        out: &mut [u8],
+    ) -> Result<bool> {
+        let layout = self.layout;
+        let su = layout.stripe_unit();
+        let d_units = layout.data_units();
+        let rows = needed - have;
+        let row0 = have;
+        let is_parity = layout.unit_of_device(lz, stripe, dev).is_none();
+        let avail = |st: &VolState, stripe: u64, dev: u32| avail_local(st, wp, lz, su, stripe, dev);
+
+        // Gather the parity rows.
+        let mut parity = vec![0u8; (rows * SECTOR_SIZE) as usize];
+        if is_parity {
+            // Rebuilding the parity slot itself: XOR of all data units.
+            out.fill(0);
+            let mut tmp = vec![0u8; out.len()];
+            for k in 0..d_units {
+                let kdev = layout.data_device(lz, stripe, k);
+                if avail(st, stripe, kdev).unwrap_or(0) < needed {
+                    return Ok(false);
+                }
+                self.fetch_slot_rows(st, at, lz, stripe, kdev, row0, &mut tmp)?;
+                xor_into(out, &tmp);
+            }
+            return Ok(true);
+        }
+        let k_missing = layout
+            .unit_of_device(lz, stripe, dev)
+            .expect("not parity here");
+        let pdev = layout.parity_device(lz, stripe);
+        // Pick the parity source AND the data extent it was computed over:
+        // the full parity slot covers the whole stripe; a partial-parity
+        // image only covers data up to its recorded end LBA — sectors
+        // written after that cannot be recovered from it (§5.1).
+        let pp_extent = pp.get(&(lz, stripe)).map(|img| {
+            let lgeo = layout.logical_geometry();
+            (img.end_lba.saturating_sub(lgeo.zone_start(lz)))
+                .saturating_sub(stripe * layout.stripe_data_sectors())
+        });
+        let stripe_fill;
+        if complete && avail(st, stripe, pdev).unwrap_or(0) >= needed.min(su) {
+            self.fetch_slot_rows(st, at, lz, stripe, pdev, row0, &mut parity)?;
+            stripe_fill = layout.stripe_data_sectors();
+        } else if let Some(img) = pp.get(&(lz, stripe)) {
+            let extent = pp_extent.expect("image exists");
+            for r in row0..needed {
+                if !img.covered[r as usize] {
+                    return Ok(false);
+                }
+                // The sector we are reconstructing must have been part of
+                // the data this parity was computed over.
+                if k_missing * su + r >= extent {
+                    return Ok(false);
+                }
+            }
+            parity.copy_from_slice(
+                &img.rows[(row0 * SECTOR_SIZE) as usize..(needed * SECTOR_SIZE) as usize],
+            );
+            stripe_fill = extent;
+        } else {
+            return Ok(false);
+        }
+
+        // out = parity ^ XOR(other units' rows), zero-extended past each
+        // unit's written extent (§5.1 recovery rule).
+        out.copy_from_slice(&parity);
+        let mut tmp = vec![0u8; out.len()];
+        for k in 0..d_units {
+            if k == k_missing {
+                continue;
+            }
+            let kdev = layout.data_device(lz, stripe, k);
+            let written = stripe_fill.saturating_sub(k * su).min(su);
+            let krows = written.saturating_sub(row0).min(rows);
+            if krows == 0 {
+                continue;
+            }
+            if avail(st, stripe, kdev).unwrap_or(0) < row0 + krows {
+                return Ok(false);
+            }
+            tmp.fill(0);
+            self.fetch_slot_rows(
+                st,
+                at,
+                lz,
+                stripe,
+                kdev,
+                row0,
+                &mut tmp[..(krows * SECTOR_SIZE) as usize],
+            )?;
+            xor_into(out, &tmp);
+        }
+        Ok(true)
+    }
+
+    /// The longest prefix of the logical zone in which every sector is
+    /// readable (used as the rollback point).
+    fn consistent_prefix(&self, st: &VolState, lz: u32, wp: &[Option<u64>]) -> u64 {
+        let layout = self.layout;
+        let su = layout.stripe_unit();
+        let stripe_data = layout.stripe_data_sectors();
+        let max_wp = wp.iter().flatten().copied().max().unwrap_or(0);
+        if max_wp == 0 {
+            return 0;
+        }
+        let max_stripe = (max_wp - 1) / su;
+        let mut prefix = 0u64;
+        for stripe in 0..=max_stripe {
+            for k in 0..layout.data_units() {
+                let dev = layout.data_device(lz, stripe, k);
+                let a = avail_local(st, wp, lz, su, stripe, dev).unwrap_or(0);
+                prefix = stripe * stripe_data + k * su + a;
+                if a < su {
+                    return prefix;
+                }
+            }
+        }
+        prefix
+    }
+
+
+    /// §5.2 maintenance: when a logical zone holds more relocated stripe
+    /// units on one device than the configured threshold, the physical
+    /// zone on that device is rewritten — contents are bounced through a
+    /// swap zone, the zone is reset, and everything is written back with
+    /// each relocated unit restored to its arithmetic slot.
+    pub(crate) fn rewrite_overloaded_zones(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+    ) -> Result<()> {
+        let threshold = self.config.relocation_threshold;
+        let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+        for (lz, _stripe, dev) in st.relocated.keys() {
+            *counts.entry((*lz, *dev)).or_default() += 1;
+        }
+        let mut targets: Vec<(u32, u32)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c > threshold)
+            .map(|(k, _)| k)
+            .collect();
+        targets.sort_unstable();
+        for (lz, dev) in targets {
+            if st.failed == Some(dev as usize) {
+                continue;
+            }
+            self.rewrite_zone_on_device(st, at, lz, dev)?;
+        }
+        Ok(())
+    }
+
+    fn rewrite_zone_on_device(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lz: u32,
+        dev: u32,
+    ) -> Result<()> {
+        let layout = self.layout;
+        let su = layout.stripe_unit();
+        let stripe_data = layout.stripe_data_sectors();
+        let fill = st.lzones[lz as usize].wp;
+        let phys_zone = layout.phys_zone(lz);
+        let phys_start = layout.phys_geometry().zone_start(phys_zone);
+
+        // Assemble the corrected contents of this device's column: every
+        // slot at its arithmetic position, relocated units restored.
+        let mut corrected: Vec<u8> = Vec::new();
+        let mut stripe = 0u64;
+        loop {
+            let stripe_fill = (fill.saturating_sub(stripe * stripe_data)).min(stripe_data);
+            if stripe_fill == 0 {
+                break;
+            }
+            let expected = match layout.unit_of_device(lz, stripe, dev) {
+                None => {
+                    if stripe_fill == stripe_data {
+                        su
+                    } else {
+                        0
+                    }
+                }
+                Some(k) => stripe_fill.saturating_sub(k * su).min(su),
+            };
+            if expected == 0 {
+                break;
+            }
+            let bytes = (expected * SECTOR_SIZE) as usize;
+            if let Some(rel) = st.relocated.get(&(lz, stripe, dev)) {
+                corrected.extend_from_slice(&rel.data[..bytes]);
+            } else {
+                let off = corrected.len();
+                corrected.resize(off + bytes, 0);
+                st.devices[dev as usize].read(
+                    at,
+                    phys_start + stripe * su,
+                    &mut corrected[off..off + bytes],
+                )?;
+            }
+            if expected < su {
+                break; // frontier slot
+            }
+            stripe += 1;
+        }
+
+        // Bounce through a swap metadata zone so the data stays on stable
+        // media across the reset window, then rewrite the zone in place.
+        let swap = st.md[dev as usize]
+            .swaps
+            .first()
+            .copied()
+            .expect("at least one swap zone");
+        let device = st.devices[dev as usize].clone();
+        let mut t = at;
+        if !corrected.is_empty() {
+            let c = device.append(t, swap, &corrected, WriteFlags::default())?;
+            t = device.flush(c.done)?.done;
+        }
+        t = device.reset_zone(t, phys_zone)?.done;
+        if !corrected.is_empty() {
+            let c = device.write(t, phys_start, &corrected, WriteFlags::default())?;
+            t = device.flush(c.done)?.done;
+        }
+        device.reset_zone(t, swap)?;
+
+        // The relocations on this device's column are healed.
+        st.relocated.retain(|(z, _, d), _| !(*z == lz && *d == dev));
+        st.lzones[lz as usize]
+            .conflicts
+            .retain(|(_, d)| *d != dev);
+        st.stats.zone_rewrites += 1;
+        Ok(())
+    }
+
+    /// Mount-time metadata refresh: checkpoint all live metadata into the
+    /// emptiest metadata zone per device, then reset the others — leaving
+    /// a compact, bounded metadata footprint for the new session.
+    fn mount_refresh_metadata(&self, st: &mut VolState, at: SimTime) -> Result<()> {
+        let m = self.layout.md_zones();
+        for dev in 0..st.devices.len() {
+            if st.failed == Some(dev) {
+                continue;
+            }
+            // Choose the md zone with the most free space as the new
+            // general zone.
+            let mut best = 0u32;
+            let mut best_free = 0u64;
+            for mz in 0..m {
+                let info = st.devices[dev].zone_info(mz)?;
+                let free = info.remaining();
+                if free >= best_free {
+                    best = mz;
+                    best_free = free;
+                }
+            }
+            st.md[dev].general = best;
+            let others: Vec<u32> = (0..m).filter(|z| *z != best).collect();
+            st.md[dev].pplog = others[0];
+            st.md[dev].swaps = others[1..].to_vec();
+
+            // Checkpoint.
+            let mut recs = vec![self.superblock_record(st, dev, true)];
+            recs.extend(self.gen_records(st, true));
+            for ((lz, stripe, rdev), unit) in st.relocated.clone() {
+                if rdev as usize != dev {
+                    continue;
+                }
+                let lgeo = self.layout.logical_geometry();
+                let sstart =
+                    lgeo.zone_start(lz) + stripe * self.layout.stripe_data_sectors();
+                recs.push(MdRecord::new(
+                    MdPayload::RelocatedStripeUnit {
+                        lzone: lz,
+                        stripe,
+                        valid_sectors: unit.valid,
+                        data: unit.data.clone(),
+                    },
+                    true,
+                    sstart,
+                    sstart + self.layout.stripe_data_sectors(),
+                    st.gens[lz as usize],
+                ));
+            }
+            let mut t = at;
+            for rec in recs {
+                t = self.md_append(st, t, dev, MdRole::General, &rec, false)?;
+            }
+            st.devices[dev].flush(t)?;
+            // Reset the other metadata zones.
+            for mz in others {
+                let info = st.devices[dev].zone_info(mz)?;
+                if info.write_pointer > info.start {
+                    st.devices[dev].reset_zone(t, mz)?;
+                }
+            }
+        }
+        // Re-log partial parity for seeded stripe buffers so a failure of
+        // the data device before the next write is still recoverable.
+        for lz in 0..self.layout.logical_zones() {
+            let rec = {
+                let z = &st.lzones[lz as usize];
+                match &z.buffer {
+                    Some(b) if b.filled_sectors() > 0 => {
+                        let su = self.layout.stripe_unit();
+                        let rows = b.filled_sectors().min(su);
+                        let lgeo = self.layout.logical_geometry();
+                        let sstart = lgeo.zone_start(lz)
+                            + b.stripe() * self.layout.stripe_data_sectors();
+                        Some((
+                            self.layout.parity_device(lz, b.stripe()) as usize,
+                            MdRecord::new(
+                                MdPayload::PartialParity {
+                                    first_row: 0,
+                                    data: b.parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
+                                },
+                                false,
+                                sstart,
+                                sstart + b.filled_sectors(),
+                                st.gens[lz as usize],
+                            ),
+                        ))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some((pdev, rec)) = rec {
+                if st.failed != Some(pdev) {
+                    self.md_append(st, at, pdev, MdRole::PpLog, &rec, false)?;
+                    st.stats.pp_log_entries += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Slot availability shared by the repair helpers.
+fn avail_local(
+    st: &VolState,
+    wp: &[Option<u64>],
+    lz: u32,
+    su: u64,
+    stripe: u64,
+    dev: u32,
+) -> Option<u64> {
+    if let Some(rel) = st.relocated.get(&(lz, stripe, dev)) {
+        return Some(rel.valid);
+    }
+    wp[dev as usize].map(|w| w.saturating_sub(stripe * su).min(su))
+}
+
+/// Scans one metadata zone for records, stopping at the first invalid
+/// header or truncated payload.
+fn scan_md_zone(
+    dev: &Arc<ZnsDevice>,
+    zone: u32,
+    at: SimTime,
+    device_index: usize,
+    harvest: &mut Harvest,
+) -> Result<()> {
+    let info = dev.zone_info(zone)?;
+    let wp = info.write_pointer - info.start;
+    let start = info.start;
+    let mut cursor = 0u64;
+    let mut header = vec![0u8; MD_HEADER_BYTES];
+    while cursor < wp {
+        dev.read(at, start + cursor, &mut header)?;
+        let Some(payload_sectors) = MdRecord::payload_sectors(&header) else {
+            break; // end of valid log
+        };
+        if cursor + 1 + payload_sectors > wp {
+            break; // torn record (payload lost in the crash)
+        }
+        let mut payload = vec![0u8; (payload_sectors * SECTOR_SIZE) as usize];
+        if payload_sectors > 0 {
+            dev.read(at, start + cursor + 1, &mut payload)?;
+        }
+        match MdRecord::decode(&header, &payload) {
+            Ok(rec) => harvest.records.push((device_index, rec)),
+            Err(_) => break,
+        }
+        cursor += 1 + payload_sectors;
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Volume-level statistics.
+
+/// Cumulative counters of a [`crate::RaiznVolume`], used by tests and by
+/// the benchmark harness (e.g. to report partial-parity write
+/// amplification, Table 1 footprints and rebuild volumes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaiznStats {
+    /// Partial-parity log entries appended.
+    pub pp_log_entries: u64,
+    /// Bytes of partial-parity payload logged (headers excluded).
+    pub pp_log_bytes: u64,
+    /// Full parity stripe units written to data zones.
+    pub full_parity_writes: u64,
+    /// Metadata records appended (all types).
+    pub md_appends: u64,
+    /// Metadata zone garbage collections performed.
+    pub md_gc_runs: u64,
+    /// Stripe units relocated to metadata zones.
+    pub relocated_units: u64,
+    /// Logical zone resets completed.
+    pub zone_resets: u64,
+    /// Reads served in degraded mode (reconstruction).
+    pub degraded_reads: u64,
+    /// Stripe units repaired from parity during recovery.
+    pub recovered_units: u64,
+    /// Bytes written to replacement devices by rebuilds.
+    pub rebuild_bytes: u64,
+    /// Flush sub-IOs issued for FUA/persistence handling.
+    pub persistence_flushes: u64,
+    /// Physical zones rewritten to heal excess relocations (§5.2).
+    pub zone_rewrites: u64,
+    /// In-place ZRWA parity updates performed (§5.4 extension).
+    pub zrwa_parity_writes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = RaiznStats::default();
+        assert_eq!(s.pp_log_entries, 0);
+        assert_eq!(s.rebuild_bytes, 0);
+    }
+}

@@ -1,0 +1,1443 @@
+//! The RAIZN logical volume: write/read paths, persistence, metadata
+//! logging and GC, zone resets, degraded mode and rebuild.
+
+use crate::bitmap::PersistenceBitmap;
+use crate::config::RaiznConfig;
+use crate::layout::RaiznLayout;
+use crate::metadata::{MdPayload, MdRecord, Superblock};
+use crate::stats::RaiznStats;
+use crate::stripe::StripeBuffer;
+use crate::Result;
+use parking_lot::Mutex;
+use sim::SimTime;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use zns::{
+    AppendCompletion, IoCompletion, Lba, WriteFlags, ZnsDevice, ZnsError, ZoneGeometry, ZoneInfo,
+    ZoneState, ZonedVolume, SECTOR_SIZE,
+};
+
+/// Which metadata zone a record goes to (§4.3: partial parity is isolated
+/// in its own zone; everything else shares the general zone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MdRole {
+    /// The general metadata zone (superblock, generation counters, reset
+    /// WALs, relocated stripe units).
+    General,
+    /// The partial-parity log zone.
+    PpLog,
+}
+
+/// Per-device metadata zone role assignment.
+#[derive(Debug, Clone)]
+pub(crate) struct MdRoles {
+    pub general: u32,
+    pub pplog: u32,
+    pub swaps: Vec<u32>,
+}
+
+/// In-memory cached copy of a relocated stripe unit (§5.2). The key in
+/// [`VolState::relocated`] identifies the slot: `(lzone, stripe, device)`.
+#[derive(Debug, Clone)]
+pub(crate) struct RelocatedUnit {
+    /// Full stripe unit bytes, zero padded beyond `valid`.
+    pub data: Vec<u8>,
+    /// Valid sectors at the start of `data`.
+    pub valid: u64,
+}
+
+/// Per-logical-zone descriptor.
+#[derive(Debug)]
+pub(crate) struct LZone {
+    pub state: ZoneState,
+    /// Write pointer, relative sectors within the logical zone capacity.
+    pub wp: u64,
+    pub pbitmap: PersistenceBitmap,
+    /// Stripe buffer of the current incomplete stripe, if any.
+    pub buffer: Option<StripeBuffer>,
+    /// Slots `(stripe, device)` occupied by unreachable "ghost" data from
+    /// a rolled-back crash suffix; writes to them are relocated.
+    pub conflicts: HashSet<(u64, u32)>,
+}
+
+pub(crate) struct VolState {
+    pub devices: Vec<Arc<ZnsDevice>>,
+    pub failed: Option<usize>,
+    pub read_only: bool,
+    pub gens: Vec<u64>,
+    pub lzones: Vec<LZone>,
+    pub relocated: HashMap<(u32, u64, u32), RelocatedUnit>,
+    pub md: Vec<MdRoles>,
+    pub stats: RaiznStats,
+}
+
+/// Outcome of rebuilding a replaced device (§4.2, Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// Virtual time from rebuild start to the last write completion.
+    pub duration: sim::SimDuration,
+    /// Bytes written to the replacement device (valid data only).
+    pub bytes_written: u64,
+    /// Logical zones whose contents were rebuilt.
+    pub zones_rebuilt: u32,
+}
+
+/// A logical host-managed zoned volume striped over an array of ZNS
+/// devices with rotating parity. See the crate docs for the design and an
+/// example; construct with [`RaiznVolume::format`] (fresh array) or
+/// [`RaiznVolume::mount`] (crash recovery).
+pub struct RaiznVolume {
+    pub(crate) layout: RaiznLayout,
+    pub(crate) config: RaiznConfig,
+    pub(crate) state: Mutex<VolState>,
+}
+
+impl std::fmt::Debug for RaiznVolume {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaiznVolume")
+            .field("layout", &self.layout)
+            .finish_non_exhaustive()
+    }
+}
+
+pub(crate) fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+impl RaiznVolume {
+    /// Initializes a fresh array: resets every zone, writes the superblock
+    /// and initial generation counters to every device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the devices disagree on geometry, fewer than 3 are given,
+    /// or device IO fails.
+    pub fn format(
+        devices: Vec<Arc<ZnsDevice>>,
+        config: RaiznConfig,
+        at: SimTime,
+    ) -> Result<RaiznVolume> {
+        let layout = Self::check_devices(&devices, config)?;
+        // mkfs: wipe all zones.
+        for dev in &devices {
+            for z in 0..dev.geometry().num_zones() {
+                let info = dev.zone_info(z)?;
+                if info.write_pointer > info.start || info.state == ZoneState::Full {
+                    dev.reset_zone(at, z)?;
+                }
+            }
+        }
+        let vol = Self::assemble(devices, config, layout, vec![0; layout.logical_zones() as usize]);
+        {
+            let mut st = vol.state.lock();
+            let mut t = at;
+            t = vol.persist_superblock(&mut st, t)?;
+            vol.persist_all_gens(&mut st, t)?;
+        }
+        Ok(vol)
+    }
+
+    /// Validates the device set and derives the layout.
+    pub(crate) fn check_devices(
+        devices: &[Arc<ZnsDevice>],
+        config: RaiznConfig,
+    ) -> Result<RaiznLayout> {
+        if devices.len() < 3 {
+            return Err(ZnsError::InvalidArgument(format!(
+                "RAIZN needs >= 3 devices, got {}",
+                devices.len()
+            )));
+        }
+        let geo = devices[0].geometry();
+        if devices.iter().any(|d| d.geometry() != geo) {
+            return Err(ZnsError::InvalidArgument(
+                "all array devices must share one geometry".to_string(),
+            ));
+        }
+        if config.use_zrwa
+            && devices
+                .iter()
+                .any(|d| d.config().zrwa_sectors() < config.stripe_unit_sectors)
+        {
+            return Err(ZnsError::InvalidArgument(
+                "use_zrwa requires every device's ZRWA window to cover one stripe unit"
+                    .to_string(),
+            ));
+        }
+        Ok(RaiznLayout::new(devices.len() as u32, config, geo))
+    }
+
+    /// Builds the in-memory volume object with default metadata roles.
+    pub(crate) fn assemble(
+        devices: Vec<Arc<ZnsDevice>>,
+        config: RaiznConfig,
+        layout: RaiznLayout,
+        gens: Vec<u64>,
+    ) -> RaiznVolume {
+        let n = devices.len();
+        let lzones = (0..layout.logical_zones())
+            .map(|_| LZone {
+                state: ZoneState::Empty,
+                wp: 0,
+                pbitmap: PersistenceBitmap::new(
+                    layout.stripes_per_zone() * layout.data_units(),
+                    layout.stripe_unit(),
+                ),
+                buffer: None,
+                conflicts: HashSet::new(),
+            })
+            .collect();
+        let md = (0..n)
+            .map(|_| MdRoles {
+                general: 0,
+                pplog: 1,
+                swaps: (2..config.md_zones_per_device).collect(),
+            })
+            .collect();
+        RaiznVolume {
+            layout,
+            config,
+            state: Mutex::new(VolState {
+                devices,
+                failed: None,
+                read_only: false,
+                gens,
+                lzones,
+                relocated: HashMap::new(),
+                md,
+                stats: RaiznStats::default(),
+            }),
+        }
+    }
+
+    /// The array layout (address arithmetic).
+    pub fn layout(&self) -> RaiznLayout {
+        self.layout
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> RaiznConfig {
+        self.config
+    }
+
+    /// Volume statistics.
+    pub fn stats(&self) -> RaiznStats {
+        self.state.lock().stats
+    }
+
+    /// The generation counter of logical zone `lzone`.
+    pub fn generation(&self, lzone: u32) -> u64 {
+        self.state.lock().gens[lzone as usize]
+    }
+
+    /// Whether the array is running degraded (a device has failed).
+    pub fn is_degraded(&self) -> bool {
+        self.state.lock().failed.is_some()
+    }
+
+    /// Number of currently relocated stripe units.
+    pub fn relocated_count(&self) -> usize {
+        self.state.lock().relocated.len()
+    }
+
+    /// Marks device `index` failed. Subsequent reads reconstruct from
+    /// parity; writes omit the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or another device already failed.
+    pub fn fail_device(&self, index: usize) {
+        let mut st = self.state.lock();
+        assert!(index < st.devices.len(), "device index out of range");
+        assert!(st.failed.is_none(), "RAIZN tolerates one device failure");
+        st.devices[index].fail();
+        st.failed = Some(index);
+    }
+
+    /// The failed device index, if any.
+    pub fn failed_device(&self) -> Option<usize> {
+        self.state.lock().failed
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata plumbing
+    // ------------------------------------------------------------------
+
+    /// Appends a record to `dev`'s metadata zone for `role`, running
+    /// metadata GC if the zone is full. Returns the completion time.
+    pub(crate) fn md_append(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        dev: usize,
+        role: MdRole,
+        rec: &MdRecord,
+        fua: bool,
+    ) -> Result<SimTime> {
+        if st.failed == Some(dev) {
+            return Ok(at);
+        }
+        let mut bytes = rec.encode();
+        // Ablation (§5.4): with logical-block metadata enabled, partial
+        // parity headers ride in per-block metadata descriptors instead of
+        // a dedicated 4 KiB header sector. Modelled by dropping the header
+        // sector from the log append (recovery of such records is not
+        // exercised by the ablation benches).
+        if self.config.lb_metadata_headers
+            && rec.header.md_type == crate::metadata::MetadataType::PartialParity
+            && bytes.len() > crate::metadata::MD_HEADER_BYTES
+        {
+            bytes.drain(..crate::metadata::MD_HEADER_BYTES);
+        }
+        let flags = WriteFlags {
+            fua,
+            preflush: false,
+        };
+        let zone = match role {
+            MdRole::General => st.md[dev].general,
+            MdRole::PpLog => st.md[dev].pplog,
+        };
+        match st.devices[dev].append(at, zone, &bytes, flags) {
+            Ok(c) => {
+                st.stats.md_appends += 1;
+                Ok(c.done)
+            }
+            Err(ZnsError::ZoneFull { .. }) => {
+                let t = self.md_gc(st, at, dev, role)?;
+                let zone = match role {
+                    MdRole::General => st.md[dev].general,
+                    MdRole::PpLog => st.md[dev].pplog,
+                };
+                let c = st.devices[dev].append(t, zone, &bytes, flags)?;
+                st.stats.md_appends += 1;
+                Ok(c.done)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Garbage collects `dev`'s metadata zone for `role` (§4.3, Fig. 4):
+    /// designate a swap zone, checkpoint live metadata into it, flush, and
+    /// reset the old zone back into the swap pool.
+    pub(crate) fn md_gc(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        dev: usize,
+        role: MdRole,
+    ) -> Result<SimTime> {
+        let new_zone = st.md[dev]
+            .swaps
+            .pop()
+            .expect("metadata GC requires at least one swap zone");
+        let old_zone = match role {
+            MdRole::General => std::mem::replace(&mut st.md[dev].general, new_zone),
+            MdRole::PpLog => std::mem::replace(&mut st.md[dev].pplog, new_zone),
+        };
+        let mut t = at;
+        // Checkpoint live metadata, flagged as checkpoint records.
+        match role {
+            MdRole::PpLog => {
+                // Recalculate partial parity from every open zone's stripe
+                // buffer whose parity lands on this device.
+                let su = self.layout.stripe_unit();
+                let mut records = Vec::new();
+                for (lz, z) in st.lzones.iter().enumerate() {
+                    let Some(buf) = &z.buffer else { continue };
+                    if buf.filled_sectors() == 0 {
+                        continue;
+                    }
+                    let pdev = self.layout.parity_device(lz as u32, buf.stripe());
+                    if pdev as usize != dev {
+                        continue;
+                    }
+                    let rows = buf.filled_sectors().min(su);
+                    let lgeo = self.layout.logical_geometry();
+                    let zstart = lgeo.zone_start(lz as u32);
+                    let sstart = zstart + buf.stripe() * self.layout.stripe_data_sectors();
+                    records.push(MdRecord::new(
+                        MdPayload::PartialParity {
+                            first_row: 0,
+                            data: buf.parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
+                        },
+                        true,
+                        sstart,
+                        sstart + buf.filled_sectors(),
+                        st.gens[lz],
+                    ));
+                }
+                for rec in records {
+                    let c = st.devices[dev].append(t, new_zone, &rec.encode(), WriteFlags::default())?;
+                    t = c.done;
+                    st.stats.md_appends += 1;
+                }
+            }
+            MdRole::General => {
+                let mut records = vec![self.superblock_record(st, dev, true)];
+                records.extend(self.gen_records(st, true));
+                for ((lz, stripe, rdev), unit) in st.relocated.iter() {
+                    if *rdev as usize != dev {
+                        continue;
+                    }
+                    records.push(self.relocation_record(st, *lz, *stripe, unit, true));
+                }
+                for rec in records {
+                    let c = st.devices[dev].append(t, new_zone, &rec.encode(), WriteFlags::default())?;
+                    t = c.done;
+                    st.stats.md_appends += 1;
+                }
+            }
+        }
+        // The checkpoint must be durable before the old zone disappears.
+        t = st.devices[dev].flush(t)?.done;
+        t = st.devices[dev].reset_zone(t, old_zone)?.done;
+        st.md[dev].swaps.insert(0, old_zone);
+        st.stats.md_gc_runs += 1;
+        Ok(t)
+    }
+
+    pub(crate) fn superblock_record(&self, st: &VolState, dev: usize, checkpoint: bool) -> MdRecord {
+        let phys = self.layout.phys_geometry();
+        MdRecord::new(
+            MdPayload::Superblock(Superblock {
+                num_devices: st.devices.len() as u32,
+                device_index: dev as u32,
+                stripe_unit_sectors: self.layout.stripe_unit(),
+                md_zones_per_device: self.layout.md_zones(),
+                phys_zones: phys.num_zones(),
+                phys_zone_size: phys.zone_size(),
+                phys_zone_cap: phys.zone_cap(),
+            }),
+            checkpoint,
+            0,
+            0,
+            0,
+        )
+    }
+
+    /// Builds the generation counter pages covering all logical zones.
+    pub(crate) fn gen_records(&self, st: &VolState, checkpoint: bool) -> Vec<MdRecord> {
+        st.gens
+            .chunks(crate::metadata::GEN_COUNTERS_PER_PAGE)
+            .enumerate()
+            .map(|(i, chunk)| {
+                MdRecord::new(
+                    MdPayload::GenCounters {
+                        first_zone: (i * crate::metadata::GEN_COUNTERS_PER_PAGE) as u32,
+                        counters: chunk.to_vec(),
+                    },
+                    checkpoint,
+                    0,
+                    0,
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    fn relocation_record(
+        &self,
+        st: &VolState,
+        lzone: u32,
+        stripe: u64,
+        unit: &RelocatedUnit,
+        checkpoint: bool,
+    ) -> MdRecord {
+        let lgeo = self.layout.logical_geometry();
+        let sstart = lgeo.zone_start(lzone) + stripe * self.layout.stripe_data_sectors();
+        MdRecord::new(
+            MdPayload::RelocatedStripeUnit {
+                lzone,
+                stripe,
+                valid_sectors: unit.valid,
+                data: unit.data.clone(),
+            },
+            checkpoint,
+            sstart,
+            sstart + self.layout.stripe_data_sectors(),
+            st.gens[lzone as usize],
+        )
+    }
+
+    /// Writes the superblock to every live device's general metadata zone.
+    pub(crate) fn persist_superblock(&self, st: &mut VolState, at: SimTime) -> Result<SimTime> {
+        let mut done = at;
+        for dev in 0..st.devices.len() {
+            let rec = self.superblock_record(st, dev, false);
+            done = done.max(self.md_append(st, at, dev, MdRole::General, &rec, true)?);
+        }
+        Ok(done)
+    }
+
+    /// Persists all generation counter pages to every live device.
+    pub(crate) fn persist_all_gens(&self, st: &mut VolState, at: SimTime) -> Result<SimTime> {
+        let recs = self.gen_records(st, false);
+        let mut done = at;
+        for dev in 0..st.devices.len() {
+            for rec in &recs {
+                done = done.max(self.md_append(st, at, dev, MdRole::General, rec, true)?);
+            }
+        }
+        Ok(done)
+    }
+
+    /// Persists the generation counter page containing `lzone` to every
+    /// live device (one 4 KiB page per update, Table 1).
+    pub(crate) fn persist_gen_page(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lzone: u32,
+    ) -> Result<SimTime> {
+        let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
+        let page = lzone as usize / per;
+        let first = page * per;
+        let chunk: Vec<u64> = st.gens[first..(first + per).min(st.gens.len())].to_vec();
+        let rec = MdRecord::new(
+            MdPayload::GenCounters {
+                first_zone: first as u32,
+                counters: chunk,
+            },
+            false,
+            0,
+            0,
+            0,
+        );
+        let mut done = at;
+        for dev in 0..st.devices.len() {
+            done = done.max(self.md_append(st, at, dev, MdRole::General, &rec, true)?);
+        }
+        Ok(done)
+    }
+
+    // ------------------------------------------------------------------
+    // Unit fetch (relocation- and failure-aware)
+    // ------------------------------------------------------------------
+
+    /// Reads `rows` sectors starting at row `row0` of the unit held by
+    /// `dev` for `(lzone, stripe)`, transparently serving relocated slots
+    /// from the in-memory cache. Fails with `DeviceFailed` if the device
+    /// is failed and the slot is not relocated.
+    pub(crate) fn fetch_slot_rows(
+        &self,
+        st: &VolState,
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        dev: u32,
+        row0: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime> {
+        if let Some(rel) = st.relocated.get(&(lzone, stripe, dev)) {
+            let off = (row0 * SECTOR_SIZE) as usize;
+            out.copy_from_slice(&rel.data[off..off + out.len()]);
+            return Ok(at);
+        }
+        if st.failed == Some(dev as usize) {
+            return Err(ZnsError::DeviceFailed);
+        }
+        let pba = self.layout.stripe_pba(lzone, stripe) + row0;
+        Ok(st.devices[dev as usize].read(at, pba, out)?.done)
+    }
+
+    /// Reconstructs `rows` sectors of the unit that `missing_dev` holds for
+    /// `(lzone, stripe)` by XORing every other device's slot (§4.2). The
+    /// stripe must be complete (parity present).
+    pub(crate) fn reconstruct_slot_rows(
+        &self,
+        st: &VolState,
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        missing_dev: u32,
+        row0: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime> {
+        out.fill(0);
+        let mut tmp = vec![0u8; out.len()];
+        let mut done = at;
+        for dev in 0..self.layout.devices() {
+            if dev == missing_dev {
+                continue;
+            }
+            let t = self.fetch_slot_rows(st, at, lzone, stripe, dev, row0, &mut tmp)?;
+            done = done.max(t);
+            xor_into(out, &tmp);
+        }
+        Ok(done)
+    }
+
+    // ------------------------------------------------------------------
+    // Write path helpers
+    // ------------------------------------------------------------------
+
+    /// Stores `data` rows of the slot held by `dev` at `(lzone, stripe)`,
+    /// relocating to the device's metadata zone when the slot is
+    /// conflicted, and skipping failed devices. `row0` is the first row.
+    #[allow(clippy::too_many_arguments)]
+    fn store_slot_rows(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        dev: u32,
+        row0: u64,
+        data: &[u8],
+        flags: WriteFlags,
+    ) -> Result<SimTime> {
+        let su = self.layout.stripe_unit();
+        if st.lzones[lzone as usize].conflicts.contains(&(stripe, dev)) {
+            // Relocate: accumulate into the cached unit and persist a
+            // relocation record on the affected device (§5.2).
+            let unit_bytes = (su * SECTOR_SIZE) as usize;
+            let entry = st
+                .relocated
+                .entry((lzone, stripe, dev))
+                .or_insert_with(|| RelocatedUnit {
+                    data: vec![0u8; unit_bytes],
+                    valid: 0,
+                });
+            let off = (row0 * SECTOR_SIZE) as usize;
+            entry.data[off..off + data.len()].copy_from_slice(data);
+            entry.valid = entry.valid.max(row0 + data.len() as u64 / SECTOR_SIZE);
+            let unit = entry.clone();
+            if std::env::var_os("RAIZN_DEBUG").is_some() {
+                eprintln!("[reloc] lz={lzone} stripe={stripe} dev={dev} row0={row0} valid={}", unit.valid);
+            }
+            st.stats.relocated_units += 1;
+            let rec = self.relocation_record(st, lzone, stripe, &unit, false);
+            return self.md_append(st, at, dev as usize, MdRole::General, &rec, flags.fua);
+        }
+        if st.failed == Some(dev as usize) {
+            return Ok(at); // degraded write: omitted, covered by parity
+        }
+        let pba = self.layout.stripe_pba(lzone, stripe) + row0;
+        Ok(st.devices[dev as usize].write(at, pba, data, flags)?.done)
+    }
+
+    /// The write-path core, shared by `write` and `append`.
+    fn do_write(
+        &self,
+        at: SimTime,
+        lba: Lba,
+        data: &[u8],
+        flags: WriteFlags,
+    ) -> Result<IoCompletion> {
+        let lgeo = self.layout.logical_geometry();
+        if data.is_empty() || data.len() % SECTOR_SIZE as usize != 0 {
+            return Err(ZnsError::InvalidArgument(format!(
+                "buffer length {} is not a positive multiple of the sector size",
+                data.len()
+            )));
+        }
+        let sectors = data.len() as u64 / SECTOR_SIZE;
+        if !lgeo.contains(lba) {
+            return Err(ZnsError::OutOfRange { lba, sectors });
+        }
+        let lzone = lgeo.zone_of(lba);
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        if st.read_only {
+            return Err(ZnsError::VolumeReadOnly);
+        }
+        {
+            let z = &st.lzones[lzone as usize];
+            match z.state {
+                ZoneState::Full => return Err(ZnsError::ZoneFull { zone: lzone }),
+                ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone: lzone }),
+                ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone: lzone }),
+                _ => {}
+            }
+            let expect = lgeo.zone_start(lzone) + z.wp;
+            if lba != expect {
+                return Err(ZnsError::NotSequential {
+                    zone: lzone,
+                    expected: expect,
+                    got: lba,
+                });
+            }
+            if z.wp + sectors > lgeo.zone_cap() {
+                return Err(ZnsError::ZoneFull { zone: lzone });
+            }
+        }
+
+        let mut issue = at;
+        let mut completion = at;
+        if flags.preflush {
+            let done = self.flush_all(st, at)?;
+            issue = done;
+            completion = done;
+        }
+
+        let stripe_data = self.layout.stripe_data_sectors();
+        let su = self.layout.stripe_unit();
+        let data_units = self.layout.data_units();
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let wp = st.lzones[lzone as usize].wp;
+            let stripe = wp / stripe_data;
+            let off_in_stripe = wp % stripe_data;
+            // Ensure the stripe buffer stages this stripe.
+            {
+                let z = &mut st.lzones[lzone as usize];
+                let need_new = match &z.buffer {
+                    Some(b) => b.stripe() != stripe,
+                    None => true,
+                };
+                if need_new {
+                    debug_assert_eq!(
+                        off_in_stripe, 0,
+                        "mid-stripe write without a staged buffer"
+                    );
+                    z.buffer = Some(StripeBuffer::new(stripe, data_units, su));
+                }
+            }
+            let chunk_sectors = (stripe_data - off_in_stripe).min(remaining.len() as u64 / SECTOR_SIZE);
+            let (chunk, rest) = remaining.split_at((chunk_sectors * SECTOR_SIZE) as usize);
+            remaining = rest;
+
+            let (row_lo, row_hi) = st.lzones[lzone as usize]
+                .buffer
+                .as_mut()
+                .expect("buffer staged above")
+                .fill(chunk);
+
+            // Data sub-IOs, split per unit.
+            let mut cursor = off_in_stripe;
+            let mut coff = 0usize;
+            while cursor < off_in_stripe + chunk_sectors {
+                let unit = cursor / su;
+                let row0 = cursor % su;
+                let rows = (su - row0).min(off_in_stripe + chunk_sectors - cursor);
+                let dev = self.layout.data_device(lzone, stripe, unit);
+                let bytes = &chunk[coff..coff + (rows * SECTOR_SIZE) as usize];
+                let done = self.store_slot_rows(
+                    st,
+                    issue,
+                    lzone,
+                    stripe,
+                    dev,
+                    row0,
+                    bytes,
+                    WriteFlags {
+                        fua: flags.fua,
+                        preflush: false,
+                    },
+                )?;
+                completion = completion.max(done);
+                cursor += rows;
+                coff += (rows * SECTOR_SIZE) as usize;
+            }
+
+            {
+                let z = &mut st.lzones[lzone as usize];
+                // The written units are volatile again until the next
+                // flush/FUA, even if an earlier flush covered their heads.
+                z.pbitmap.clear_range(z.wp, z.wp + chunk_sectors);
+                z.wp += chunk_sectors;
+            }
+            let complete = st.lzones[lzone as usize]
+                .buffer
+                .as_ref()
+                .expect("buffer staged")
+                .is_complete();
+            let pdev = self.layout.parity_device(lzone, stripe);
+            let slot_conflicted = st.lzones[lzone as usize]
+                .conflicts
+                .contains(&(stripe, pdev));
+            let zrwa_ok =
+                self.config.use_zrwa && st.failed != Some(pdev as usize) && !slot_conflicted;
+            if complete {
+                if zrwa_ok {
+                    // §5.4 extension: the earlier rows are already in the
+                    // window; write the final delta and commit the slot.
+                    let (pp, phys_zone) = {
+                        let buf = st.lzones[lzone as usize]
+                            .buffer
+                            .as_ref()
+                            .expect("buffer staged");
+                        (
+                            buf.parity()[(row_lo * SECTOR_SIZE) as usize
+                                ..(row_hi * SECTOR_SIZE) as usize]
+                                .to_vec(),
+                            self.layout.phys_zone(lzone),
+                        )
+                    };
+                    let pba = self.layout.stripe_pba(lzone, stripe) + row_lo;
+                    let dev = &st.devices[pdev as usize];
+                    let mut done = dev.write_zrwa(issue, pba, &pp)?.done;
+                    done = done
+                        .max(dev.commit_zrwa(done, phys_zone, (stripe + 1) * su)?.done);
+                    completion = completion.max(done);
+                    st.stats.zrwa_parity_writes += 1;
+                } else {
+                    // Full parity to the parity slot in the data zone.
+                    let parity = st.lzones[lzone as usize]
+                        .buffer
+                        .as_ref()
+                        .expect("buffer staged")
+                        .parity()
+                        .to_vec();
+                    let done = self.store_slot_rows(
+                        st,
+                        issue,
+                        lzone,
+                        stripe,
+                        pdev,
+                        0,
+                        &parity,
+                        WriteFlags {
+                            fua: flags.fua,
+                            preflush: false,
+                        },
+                    )?;
+                    completion = completion.max(done);
+                }
+                st.stats.full_parity_writes += 1;
+                st.lzones[lzone as usize].buffer = None;
+            } else if zrwa_ok {
+                // §5.4 extension: overwrite the affected parity rows in
+                // place inside the parity slot's ZRWA window.
+                let pp = {
+                    let buf = st.lzones[lzone as usize]
+                        .buffer
+                        .as_ref()
+                        .expect("buffer staged");
+                    buf.parity()[(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize]
+                        .to_vec()
+                };
+                let pba = self.layout.stripe_pba(lzone, stripe) + row_lo;
+                let done = st.devices[pdev as usize].write_zrwa(issue, pba, &pp)?.done;
+                completion = completion.max(done);
+                st.stats.zrwa_parity_writes += 1;
+            } else {
+                // Partial parity log on the device that will hold this
+                // stripe's parity (§5.1). Write completion is withheld
+                // until the log is written, closing the write hole.
+                let (first_row, pp, end_rel) = {
+                    let z = &st.lzones[lzone as usize];
+                    let buf = z.buffer.as_ref().expect("buffer staged");
+                    // Ablation: optionally log the whole running parity
+                    // unit instead of only the affected rows (§5.1).
+                    let (lo, hi) = if self.config.pp_log_full_unit {
+                        (0, su)
+                    } else {
+                        (row_lo, row_hi)
+                    };
+                    (
+                        lo,
+                        buf.parity()[(lo * SECTOR_SIZE) as usize..(hi * SECTOR_SIZE) as usize]
+                            .to_vec(),
+                        z.wp,
+                    )
+                };
+                let zstart = lgeo.zone_start(lzone);
+                let pp_rows = pp.len() as u64 / SECTOR_SIZE;
+                let rec = MdRecord::new(
+                    MdPayload::PartialParity {
+                        first_row,
+                        data: pp,
+                    },
+                    false,
+                    lba.max(zstart + end_rel - chunk_sectors),
+                    zstart + end_rel,
+                    st.gens[lzone as usize],
+                );
+                let done =
+                    self.md_append(st, issue, pdev as usize, MdRole::PpLog, &rec, flags.fua)?;
+                completion = completion.max(done);
+                st.stats.pp_log_entries += 1;
+                st.stats.pp_log_bytes += pp_rows * SECTOR_SIZE;
+            }
+        }
+
+        // State transitions.
+        {
+            let z = &mut st.lzones[lzone as usize];
+            if z.wp == lgeo.zone_cap() {
+                z.state = ZoneState::Full;
+                z.buffer = None;
+            } else if z.state == ZoneState::Empty || z.state == ZoneState::Closed {
+                z.state = ZoneState::ImplicitlyOpen;
+            }
+        }
+
+        // FUA: everything below the new write pointer must be durable
+        // before completion (§5.3).
+        if flags.fua {
+            let done = self.persist_zone(st, completion, lzone)?;
+            completion = completion.max(done);
+        }
+        Ok(IoCompletion { done: completion })
+    }
+
+    /// Flushes every device holding a non-persisted stripe unit of
+    /// `lzone` below its write pointer, then marks the zone persisted.
+    fn persist_zone(&self, st: &mut VolState, at: SimTime, lzone: u32) -> Result<SimTime> {
+        let data_units = self.layout.data_units();
+        let wp = st.lzones[lzone as usize].wp;
+        let mut flush_set = HashSet::new();
+        for unit in st.lzones[lzone as usize].pbitmap.unpersisted_below(wp) {
+            let stripe = unit / data_units;
+            let k = unit % data_units;
+            let dev = self.layout.data_device(lzone, stripe, k);
+            flush_set.insert(dev);
+            // The parity (or its log) must be durable too for fault
+            // tolerance of the acknowledged data.
+            flush_set.insert(self.layout.parity_device(lzone, stripe));
+        }
+        let mut done = at;
+        for dev in flush_set {
+            if st.failed == Some(dev as usize) {
+                continue;
+            }
+            done = done.max(st.devices[dev as usize].flush(at)?.done);
+            st.stats.persistence_flushes += 1;
+        }
+        st.lzones[lzone as usize].pbitmap.mark_persisted_below(wp);
+        Ok(done)
+    }
+
+    /// Flushes all devices and marks every zone persisted.
+    fn flush_all(&self, st: &mut VolState, at: SimTime) -> Result<SimTime> {
+        let mut done = at;
+        for (i, dev) in st.devices.iter().enumerate() {
+            if st.failed == Some(i) {
+                continue;
+            }
+            done = done.max(dev.flush(at)?.done);
+        }
+        for z in &mut st.lzones {
+            let wp = z.wp;
+            z.pbitmap.mark_persisted_below(wp);
+        }
+        Ok(done)
+    }
+
+    // ------------------------------------------------------------------
+    // Zone reset (§5.2)
+    // ------------------------------------------------------------------
+
+    /// Appends the zone-reset WAL for `lzone` to the two designated
+    /// devices (first stripe unit holder and first parity holder, rotating
+    /// per zone) and returns the completion time.
+    fn log_reset_intent(&self, st: &mut VolState, at: SimTime, lzone: u32) -> Result<SimTime> {
+        let lgeo = self.layout.logical_geometry();
+        let rec = MdRecord::new(
+            MdPayload::ZoneResetLog,
+            false,
+            lgeo.zone_start(lzone),
+            lgeo.zone_start(lzone) + lgeo.zone_cap(),
+            st.gens[lzone as usize],
+        );
+        let d0 = self.layout.data_device(lzone, 0, 0) as usize;
+        let d1 = self.layout.parity_device(lzone, 0) as usize;
+        let mut done = at;
+        done = done.max(self.md_append(st, at, d0, MdRole::General, &rec, true)?);
+        done = done.max(self.md_append(st, at, d1, MdRole::General, &rec, true)?);
+        Ok(done)
+    }
+
+    fn finish_reset(&self, st: &mut VolState, t: SimTime, lzone: u32) -> Result<SimTime> {
+        st.gens[lzone as usize] += 1;
+        if st.gens[lzone as usize] == u64::MAX {
+            // Counter exhaustion: the volume goes read-only until
+            // maintenance runs (§4.3).
+            st.read_only = true;
+        }
+        let done = self.persist_gen_page(st, t, lzone)?;
+        let z = &mut st.lzones[lzone as usize];
+        z.state = ZoneState::Empty;
+        z.wp = 0;
+        z.buffer = None;
+        z.pbitmap.clear();
+        z.conflicts.clear();
+        st.relocated.retain(|(lz, _, _), _| *lz != lzone);
+        st.stats.zone_resets += 1;
+        Ok(done)
+    }
+
+    /// Test support: performs the reset WAL and then resets only the first
+    /// `devices_reset` physical zones before "losing power" — the partial
+    /// zone reset scenario of §5.2. The volume must be dropped and
+    /// remounted afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    #[doc(hidden)]
+    pub fn interrupted_reset_for_test(
+        &self,
+        at: SimTime,
+        lzone: u32,
+        devices_reset: usize,
+    ) -> Result<()> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let t = self.log_reset_intent(st, at, lzone)?;
+        let phys = self.layout.phys_zone(lzone);
+        for dev in st.devices.iter().take(devices_reset) {
+            dev.reset_zone(t, phys)?;
+        }
+        Ok(())
+    }
+
+    /// Generation-counter maintenance (§4.3): garbage collects every
+    /// metadata zone, resets all generation counters to zero and clears
+    /// read-only mode. The paper runs this when a counter would overflow;
+    /// it is write-ahead logged there — atomic by construction in this
+    /// synchronous model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device IO errors.
+    pub fn maintenance(&self, at: SimTime) -> Result<SimTime> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        for g in &mut st.gens {
+            *g = 0;
+        }
+        let mut t = at;
+        for dev in 0..st.devices.len() {
+            if st.failed == Some(dev) {
+                continue;
+            }
+            t = t.max(self.md_gc(st, t, dev, MdRole::General)?);
+            t = t.max(self.md_gc(st, t, dev, MdRole::PpLog)?);
+        }
+        st.read_only = false;
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuild (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Rebuilds the failed device onto `replacement`, zone by zone with
+    /// active zones first, rebuilding **only valid data** (up to each
+    /// logical zone's write pointer) — the Fig. 12 behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no device is failed, the replacement geometry mismatches,
+    /// or device IO fails.
+    pub fn rebuild(&self, at: SimTime, replacement: Arc<ZnsDevice>) -> Result<RebuildReport> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let failed = st.failed.ok_or_else(|| {
+            ZnsError::InvalidArgument("rebuild requires a failed device".to_string())
+        })?;
+        if replacement.geometry() != self.layout.phys_geometry() {
+            return Err(ZnsError::InvalidArgument(
+                "replacement geometry mismatch".to_string(),
+            ));
+        }
+        let su = self.layout.stripe_unit();
+        let su_bytes = (su * SECTOR_SIZE) as usize;
+
+        // Priority order: active zones first (open/closed), then full.
+        let mut order: Vec<u32> = (0..self.layout.logical_zones())
+            .filter(|z| st.lzones[*z as usize].wp > 0)
+            .collect();
+        order.sort_by_key(|z| match st.lzones[*z as usize].state {
+            ZoneState::ImplicitlyOpen | ZoneState::ExplicitlyOpen | ZoneState::Closed => 0,
+            _ => 1,
+        });
+
+        let mut cursor = at;
+        let mut last_write = at;
+        let mut bytes = 0u64;
+        let mut zones_rebuilt = 0u32;
+        for lzone in order.iter().copied() {
+            let wp = st.lzones[lzone as usize].wp;
+            let phys_zone = self.layout.phys_zone(lzone);
+            let full_stripes = wp / self.layout.stripe_data_sectors();
+            let tail = wp % self.layout.stripe_data_sectors();
+            let max_stripe = full_stripes + if tail > 0 { 1 } else { 0 };
+            for stripe in 0..max_stripe {
+                let complete = stripe < full_stripes;
+                // What does the replacement hold for this stripe?
+                let needed: u64 = match self.layout.unit_of_device(lzone, stripe, failed as u32) {
+                    None => {
+                        // Parity slot: present only for complete stripes.
+                        if complete {
+                            su
+                        } else {
+                            0
+                        }
+                    }
+                    Some(k) => {
+                        if complete {
+                            su
+                        } else {
+                            tail.saturating_sub(k * su).min(su)
+                        }
+                    }
+                };
+                if needed == 0 {
+                    continue;
+                }
+                let mut out = vec![0u8; (needed * SECTOR_SIZE) as usize];
+                let reads_done;
+                if let Some(rel) = st.relocated.get(&(lzone, stripe, failed as u32)) {
+                    // Heal the relocation: the true data returns to its
+                    // arithmetic slot on the fresh device.
+                    let len = out.len();
+                    out.copy_from_slice(&rel.data[..len]);
+                    reads_done = cursor;
+                    st.relocated.remove(&(lzone, stripe, failed as u32));
+                    st.lzones[lzone as usize]
+                        .conflicts
+                        .remove(&(stripe, failed as u32));
+                } else if !complete {
+                    // Incomplete stripe: serve from the stripe buffer.
+                    let z = &st.lzones[lzone as usize];
+                    let k = self
+                        .layout
+                        .unit_of_device(lzone, stripe, failed as u32)
+                        .expect("parity slot handled above");
+                    match &z.buffer {
+                        Some(buf) if buf.stripe() == stripe => {
+                            let len = out.len();
+                            out.copy_from_slice(&buf.unit_data(k)[..len]);
+                        }
+                        _ => {
+                            // No buffer (e.g. finished zone): reconstruct
+                            // readable rows from surviving devices is not
+                            // possible without parity; read from survivors
+                            // directly is not possible either (this IS the
+                            // missing device). Treat as zeros.
+                        }
+                    }
+                    reads_done = cursor;
+                } else {
+                    reads_done = self.reconstruct_slot_rows(
+                        st,
+                        cursor,
+                        lzone,
+                        stripe,
+                        failed as u32,
+                        0,
+                        &mut out,
+                    )?;
+                }
+                debug_assert!(out.len() <= su_bytes);
+                let pba = self.layout.phys_geometry().zone_start(phys_zone) + stripe * su;
+                let w = replacement.write(reads_done, pba, &out, WriteFlags::default())?;
+                last_write = last_write.max(w.done);
+                bytes += out.len() as u64;
+                cursor = reads_done;
+            }
+            // Seal the replacement's zone to match the logical state.
+            let zstate = st.lzones[lzone as usize].state;
+            if zstate == ZoneState::Full {
+                replacement.finish_zone(last_write, phys_zone)?;
+            }
+            zones_rebuilt += 1;
+        }
+
+        // Replicated metadata goes onto the fresh device.
+        {
+            let sb = self.superblock_record(st, failed, false);
+            let gens = self.gen_records(st, false);
+            let mut t = last_write;
+            let c = replacement.append(t, 0, &sb.encode(), WriteFlags::FUA)?;
+            t = c.done;
+            for rec in gens {
+                let c = replacement.append(t, 0, &rec.encode(), WriteFlags::FUA)?;
+                t = c.done;
+            }
+            last_write = last_write.max(t);
+        }
+        st.md[failed] = MdRoles {
+            general: 0,
+            pplog: 1,
+            swaps: (2..self.layout.md_zones()).collect(),
+        };
+        st.devices[failed] = replacement;
+        st.failed = None;
+        st.stats.rebuild_bytes += bytes;
+        Ok(RebuildReport {
+            duration: last_write.since(at),
+            bytes_written: bytes,
+            zones_rebuilt,
+        })
+    }
+}
+
+impl ZonedVolume for RaiznVolume {
+    fn geometry(&self) -> ZoneGeometry {
+        self.layout.logical_geometry()
+    }
+
+    fn read(&self, at: SimTime, lba: Lba, buf: &mut [u8]) -> Result<IoCompletion> {
+        let lgeo = self.layout.logical_geometry();
+        if buf.is_empty() || buf.len() % SECTOR_SIZE as usize != 0 {
+            return Err(ZnsError::InvalidArgument(format!(
+                "buffer length {} is not a positive multiple of the sector size",
+                buf.len()
+            )));
+        }
+        let sectors = buf.len() as u64 / SECTOR_SIZE;
+        if !lgeo.contains(lba) {
+            return Err(ZnsError::OutOfRange { lba, sectors });
+        }
+        if !lgeo.range_in_one_zone(lba, sectors) {
+            return Err(ZnsError::ZoneBoundary { lba, sectors });
+        }
+        let lzone = lgeo.zone_of(lba);
+        let rel0 = lgeo.offset_in_zone(lba);
+        let st = self.state.lock();
+        let st = &*st;
+        let z = &st.lzones[lzone as usize];
+        if rel0 + sectors > z.wp {
+            return Err(ZnsError::ReadUnwritten {
+                lba: lgeo.zone_start(lzone) + z.wp,
+            });
+        }
+        let su = self.layout.stripe_unit();
+        let stripe_data = self.layout.stripe_data_sectors();
+        let mut done = at;
+        let mut cursor = rel0;
+        let mut off = 0usize;
+        while cursor < rel0 + sectors {
+            let stripe = cursor / stripe_data;
+            let within = cursor % stripe_data;
+            let unit = within / su;
+            let row0 = within % su;
+            let rows = (su - row0).min(rel0 + sectors - cursor);
+            let dev = self.layout.data_device(lzone, stripe, unit);
+            let out = &mut buf[off..off + (rows * SECTOR_SIZE) as usize];
+            let relocated = st.relocated.contains_key(&(lzone, stripe, dev));
+            let t = if relocated || st.failed != Some(dev as usize) {
+                self.fetch_slot_rows(st, at, lzone, stripe, dev, row0, out)?
+            } else {
+                // Degraded read (§4.2): incomplete stripes come from the
+                // stripe buffer; complete ones reconstruct from parity.
+                let from_buffer = match &z.buffer {
+                    Some(b) => b.stripe() == stripe,
+                    None => false,
+                };
+                if from_buffer {
+                    let b = z.buffer.as_ref().expect("checked above");
+                    let s0 = unit * su + row0;
+                    out.copy_from_slice(b.read_range(s0, s0 + rows));
+                    at
+                } else {
+                    self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)?
+                }
+            };
+            done = done.max(t);
+            cursor += rows;
+            off += (rows * SECTOR_SIZE) as usize;
+        }
+        Ok(IoCompletion { done })
+    }
+
+    fn write(&self, at: SimTime, lba: Lba, data: &[u8], flags: WriteFlags) -> Result<IoCompletion> {
+        self.do_write(at, lba, data, flags)
+    }
+
+    fn append(
+        &self,
+        at: SimTime,
+        zone: u32,
+        data: &[u8],
+        flags: WriteFlags,
+    ) -> Result<AppendCompletion> {
+        let lgeo = self.layout.logical_geometry();
+        if zone >= lgeo.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * lgeo.zone_size(),
+                sectors: 0,
+            });
+        }
+        let lba = {
+            let st = self.state.lock();
+            lgeo.zone_start(zone) + st.lzones[zone as usize].wp
+        };
+        let c = self.do_write(at, lba, data, flags)?;
+        Ok(AppendCompletion { lba, done: c.done })
+    }
+
+    fn reset_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        let lgeo = self.layout.logical_geometry();
+        if zone >= lgeo.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * lgeo.zone_size(),
+                sectors: 0,
+            });
+        }
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        if st.read_only {
+            return Err(ZnsError::VolumeReadOnly);
+        }
+        // WAL first (§5.2): the reset must be replayable before any
+        // physical zone is touched.
+        let t = self.log_reset_intent(st, at, zone)?;
+        let phys = self.layout.phys_zone(zone);
+        let mut done = t;
+        for (i, dev) in st.devices.iter().enumerate() {
+            if st.failed == Some(i) {
+                continue;
+            }
+            done = done.max(dev.reset_zone(t, phys)?.done);
+        }
+        done = done.max(self.finish_reset(st, done, zone)?);
+        Ok(IoCompletion { done })
+    }
+
+    fn finish_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        let lgeo = self.layout.logical_geometry();
+        if zone >= lgeo.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * lgeo.zone_size(),
+                sectors: 0,
+            });
+        }
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        if st.read_only {
+            return Err(ZnsError::VolumeReadOnly);
+        }
+        let mut done = at;
+        // Seal the incomplete stripe's parity prefix into the parity slot
+        // so the finished zone stays single-fault tolerant.
+        let pending = {
+            let z = &st.lzones[zone as usize];
+            match &z.buffer {
+                Some(b) if b.filled_sectors() > 0 => {
+                    let rows = b.filled_sectors().min(self.layout.stripe_unit());
+                    Some((
+                        b.stripe(),
+                        b.parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
+                    ))
+                }
+                _ => None,
+            }
+        };
+        if let Some((stripe, prows)) = pending {
+            let pdev = self.layout.parity_device(zone, stripe);
+            let t = self.store_slot_rows(
+                st,
+                at,
+                zone,
+                stripe,
+                pdev,
+                0,
+                &prows,
+                WriteFlags::default(),
+            )?;
+            done = done.max(t);
+            st.stats.full_parity_writes += 1;
+        }
+        let phys = self.layout.phys_zone(zone);
+        for (i, dev) in st.devices.iter().enumerate() {
+            if st.failed == Some(i) {
+                continue;
+            }
+            done = done.max(dev.finish_zone(at, phys)?.done);
+        }
+        let wp = st.lzones[zone as usize].wp;
+        let z = &mut st.lzones[zone as usize];
+        z.state = ZoneState::Full;
+        z.pbitmap.mark_persisted_below(wp);
+        Ok(IoCompletion { done })
+    }
+
+    fn open_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        let lgeo = self.layout.logical_geometry();
+        if zone >= lgeo.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * lgeo.zone_size(),
+                sectors: 0,
+            });
+        }
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let phys = self.layout.phys_zone(zone);
+        let mut done = at;
+        for (i, dev) in st.devices.iter().enumerate() {
+            if st.failed == Some(i) {
+                continue;
+            }
+            done = done.max(dev.open_zone(at, phys)?.done);
+        }
+        st.lzones[zone as usize].state = ZoneState::ExplicitlyOpen;
+        Ok(IoCompletion { done })
+    }
+
+    fn close_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        let lgeo = self.layout.logical_geometry();
+        if zone >= lgeo.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * lgeo.zone_size(),
+                sectors: 0,
+            });
+        }
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        {
+            let z = &st.lzones[zone as usize];
+            if !z.state.is_open() {
+                return Err(ZnsError::BadZoneState {
+                    zone,
+                    state: z.state.name(),
+                    op: "close",
+                });
+            }
+        }
+        let phys = self.layout.phys_zone(zone);
+        let mut done = at;
+        for (i, dev) in st.devices.iter().enumerate() {
+            if st.failed == Some(i) {
+                continue;
+            }
+            // Physical zones that were never written cannot be closed;
+            // ignore state errors from them.
+            match dev.close_zone(at, phys) {
+                Ok(c) => done = done.max(c.done),
+                Err(ZnsError::BadZoneState { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let z = &mut st.lzones[zone as usize];
+        z.state = if z.wp == 0 {
+            ZoneState::Empty
+        } else {
+            ZoneState::Closed
+        };
+        Ok(IoCompletion { done })
+    }
+
+    fn flush(&self, at: SimTime) -> Result<IoCompletion> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let done = self.flush_all(st, at)?;
+        Ok(IoCompletion { done })
+    }
+
+    fn zone_info(&self, zone: u32) -> Result<ZoneInfo> {
+        let lgeo = self.layout.logical_geometry();
+        if zone >= lgeo.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * lgeo.zone_size(),
+                sectors: 0,
+            });
+        }
+        let st = self.state.lock();
+        let z = &st.lzones[zone as usize];
+        Ok(ZoneInfo {
+            zone,
+            state: z.state,
+            start: lgeo.zone_start(zone),
+            write_pointer: lgeo.zone_start(zone) + z.wp,
+            capacity: lgeo.zone_cap(),
+        })
+    }
+}

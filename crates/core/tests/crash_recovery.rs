@@ -1,0 +1,525 @@
+//! Crash-consistency tests: power loss at device-chosen points, partial
+//! stripe writes ("stripe holes", Fig. 1), partial zone resets (§5.2),
+//! FUA durability guarantees (§5.3), metadata GC interruption (§4.3) and
+//! combined power + device failures (§5.1).
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::{SimRng, SimTime};
+use std::sync::Arc;
+use zns::{
+    CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZE,
+};
+
+const T0: SimTime = SimTime::ZERO;
+
+fn devices(n: usize) -> Vec<Arc<ZnsDevice>> {
+    (0..n)
+        .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+        .collect()
+}
+
+fn bytes(sectors: u64, seed: u64) -> Vec<u8> {
+    let mut v = vec![0u8; (sectors * SECTOR_SIZE) as usize];
+    SimRng::new(seed).fill_bytes(&mut v);
+    v
+}
+
+/// Crashes every device with the given policy (fresh policy per device
+/// would share RNG state; a single policy is fine since it is called per
+/// zone anyway).
+fn crash_all(devs: &[Arc<ZnsDevice>], policy: &mut CrashPolicy) {
+    for d in devs {
+        d.crash(policy);
+    }
+}
+
+#[test]
+fn clean_shutdown_remount_preserves_data() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let data = bytes(40, 1);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    v.flush(T0).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache); // flushed: nothing to lose
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    assert_eq!(v2.zone_info(0).unwrap().write_pointer, 40);
+    let mut out = vec![0u8; data.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn remount_continues_writing_mid_stripe() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // 7 sectors = partial stripe (stripe = 16 sectors).
+    let a = bytes(7, 2);
+    v.write(T0, 0, &a, WriteFlags::default()).unwrap();
+    v.flush(T0).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    assert_eq!(v2.zone_info(0).unwrap().write_pointer, 7);
+    // Continue the stripe and verify everything.
+    let b = bytes(9, 3);
+    v2.write(T0, 7, &b, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; ((7 + 9) * SECTOR_SIZE) as usize];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(&out[..a.len()], &a[..]);
+    assert_eq!(&out[a.len()..], &b[..]);
+    // The completed stripe is fault tolerant: fail a device and re-read.
+    v2.fail_device(1);
+    let mut out2 = vec![0u8; out.len()];
+    v2.read(T0, 0, &mut out2).unwrap();
+    assert_eq!(out2, out);
+}
+
+#[test]
+fn unflushed_data_may_be_lost_but_volume_stays_consistent() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let data = bytes(48, 4);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    // Nothing was flushed; the zone may have rolled back to any point, but
+    // whatever is below the write pointer must be the original data.
+    let wp = v2.zone_info(0).unwrap().write_pointer;
+    if wp > 0 {
+        let mut out = vec![0u8; (wp * SECTOR_SIZE) as usize];
+        v2.read(T0, 0, &mut out).unwrap();
+        assert_eq!(&out[..], &data[..out.len()]);
+    }
+}
+
+#[test]
+fn fua_write_survives_power_loss() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let a = bytes(5, 5);
+    v.write(T0, 0, &a, WriteFlags::default()).unwrap();
+    let b = bytes(2, 6);
+    v.write(T0, 5, &b, WriteFlags::FUA).unwrap();
+    // Unacknowledged-as-durable tail:
+    let c = bytes(3, 7);
+    v.write(T0, 7, &c, WriteFlags::default()).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    // The FUA guarantee: sectors [0, 7) must be readable after power loss.
+    let wp = v2.zone_info(0).unwrap().write_pointer;
+    assert!(wp >= 7, "FUA-acknowledged data lost: wp = {wp}");
+    let mut out = vec![0u8; (7 * SECTOR_SIZE) as usize];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(&out[..a.len()], &a[..]);
+    assert_eq!(&out[a.len()..], &b[..]);
+}
+
+#[test]
+fn stripe_hole_repaired_from_partial_parity() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // Write 2 units + 1 sector; FUA persists data + pp logs.
+    let data = bytes(9, 8);
+    v.write(T0, 0, &data, WriteFlags::FUA).unwrap();
+    drop(v);
+    // Lose the cached data on ONE device only (the others keep all);
+    // durable data survives everywhere, so this mainly exercises repair
+    // when one device lags.
+    devs[0].crash(&mut CrashPolicy::LoseCache);
+    for d in &devs[1..] {
+        d.crash(&mut CrashPolicy::KeepCache);
+    }
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    let wp = v2.zone_info(0).unwrap().write_pointer;
+    assert!(wp >= 9, "FUA data lost after single-device cache loss");
+    let mut out = vec![0u8; (9 * SECTOR_SIZE) as usize];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(&out[..], &data[..]);
+}
+
+#[test]
+fn stripe_hole_rollback_and_relocation() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // Build a scenario the paper's Fig. 1 describes: within one stripe,
+    // a later unit persists while an earlier one is lost, and the partial
+    // parity log is lost too (nothing was FUA).
+    let data = bytes(16, 9); // exactly one full stripe
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    drop(v);
+    // Device holding unit 0 of stripe 0 loses its cache; everyone else
+    // keeps theirs. unit0 of zone 0 lives on device (z + s + 1) % 5 = 1.
+    devs[1].crash(&mut CrashPolicy::LoseCache);
+    for (i, d) in devs.iter().enumerate() {
+        if i != 1 {
+            d.crash(&mut CrashPolicy::KeepCache);
+        }
+    }
+    let v2 = RaiznVolume::mount(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let wp = v2.zone_info(0).unwrap().write_pointer;
+    // Either the hole was repaired from surviving parity (parity device
+    // kept its cache, so the full-stripe parity may exist) or the zone
+    // rolled back. Both are consistent; what is below wp must match.
+    if wp > 0 {
+        let mut out = vec![0u8; (wp * SECTOR_SIZE) as usize];
+        v2.read(T0, 0, &mut out).unwrap();
+        assert_eq!(&out[..], &data[..out.len()]);
+    }
+    // New writes at the write pointer must work, even onto ghost slots.
+    let more = bytes(16, 10);
+    v2.write(T0, wp, &more, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; (16 * SECTOR_SIZE) as usize];
+    v2.read(T0, wp, &mut out).unwrap();
+    assert_eq!(out, more);
+}
+
+#[test]
+fn forced_rollback_relocates_conflicting_writes() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // Partial stripe: 2 full units (devices 1 and 2 for zone 0/stripe 0).
+    let data = bytes(8, 11);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    drop(v);
+    // Unit 0 (device 1) and the pp log (device 0 = parity of stripe 0)
+    // lose their caches; unit 1 (device 2) keeps its data -> unreadable
+    // ghost, forcing rollback to 0 and a conflicted slot on device 2.
+    for (i, d) in devs.iter().enumerate() {
+        if i == 2 {
+            d.crash(&mut CrashPolicy::KeepCache);
+        } else {
+            d.crash(&mut CrashPolicy::LoseCache);
+        }
+    }
+    let v2 = RaiznVolume::mount(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let wp = v2.zone_info(0).unwrap().write_pointer;
+    assert_eq!(wp, 0, "zone should have rolled back fully");
+    // Rewrite the zone: the write to the ghost slot must be relocated.
+    let fresh = bytes(16, 12);
+    v2.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
+    assert!(
+        v2.relocated_count() > 0,
+        "expected a relocated stripe unit, stats: {:?}",
+        v2.stats()
+    );
+    let mut out = vec![0u8; fresh.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh);
+    // Degraded read through the relocated unit (fail a non-ghost device).
+    v2.fail_device(3);
+    let mut out2 = vec![0u8; fresh.len()];
+    v2.read(T0, 0, &mut out2).unwrap();
+    assert_eq!(out2, fresh);
+}
+
+#[test]
+fn relocated_units_survive_remount() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    v.write(T0, 0, &bytes(8, 13), WriteFlags::default()).unwrap();
+    drop(v);
+    for (i, d) in devs.iter().enumerate() {
+        if i == 2 {
+            d.crash(&mut CrashPolicy::KeepCache);
+        } else {
+            d.crash(&mut CrashPolicy::LoseCache);
+        }
+    }
+    let v2 = RaiznVolume::mount(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let fresh = bytes(16, 14);
+    v2.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
+    assert!(v2.relocated_count() > 0);
+    v2.flush(T0).unwrap();
+    drop(v2);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v3 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    assert!(v3.relocated_count() > 0, "relocation map lost on remount");
+    let mut out = vec![0u8; fresh.len()];
+    v3.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh);
+}
+
+#[test]
+fn partial_zone_reset_completed_on_mount() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let data = bytes(32, 15);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    v.flush(T0).unwrap();
+    // Reset interrupted after only 2 of 5 physical zones were reset.
+    v.interrupted_reset_for_test(T0, 0, 2).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    // The WAL forces the remaining zones to be reset: zone 0 is empty.
+    let info = v2.zone_info(0).unwrap();
+    assert_eq!(info.write_pointer, 0, "partial reset not completed");
+    // And writable again.
+    let fresh = bytes(4, 16);
+    v2.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; fresh.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh);
+}
+
+#[test]
+fn completed_reset_stays_empty_on_mount() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    v.write(T0, 0, &bytes(16, 17), WriteFlags::default()).unwrap();
+    v.reset_zone(T0, 0).unwrap();
+    let gen_after_reset = v.generation(0);
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    assert_eq!(v2.zone_info(0).unwrap().write_pointer, 0);
+    // Empty zones get their generation bumped at mount (§4.3).
+    assert!(v2.generation(0) > gen_after_reset);
+}
+
+#[test]
+fn stale_metadata_invalidated_by_generation() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // Partial write creates pp logs for gen g.
+    v.write(T0, 0, &bytes(3, 18), WriteFlags::FUA).unwrap();
+    // Reset the zone (gen becomes g+1), write different data.
+    v.reset_zone(T0, 0).unwrap();
+    let fresh = bytes(5, 19);
+    v.write(T0, 0, &fresh, WriteFlags::FUA).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    // The old pp logs (gen g) must not corrupt recovery of gen g+1 data.
+    let mut out = vec![0u8; fresh.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh);
+}
+
+#[test]
+fn power_plus_device_failure_recovers_via_pp_logs() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // FUA partial-stripe write: data + pp logs are durable.
+    let data = bytes(6, 20);
+    v.write(T0, 0, &data, WriteFlags::FUA).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    // One device dies entirely (it held data unit 0 of stripe 0).
+    devs[1].fail();
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    assert!(v2.is_degraded());
+    let wp = v2.zone_info(0).unwrap().write_pointer;
+    assert!(wp >= 6, "acknowledged FUA data lost in degraded mount: {wp}");
+    let mut out = vec![0u8; data.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data, "degraded pp reconstruction produced wrong data");
+}
+
+#[test]
+fn metadata_gc_interruption_preserves_metadata() {
+    // Force pp-log GC by many small writes, then crash immediately and
+    // remount: records from old + swap zones must merge without
+    // conflicts.
+    let devs = devices(3);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let g = v.geometry();
+    let mut lba = 0;
+    let mut z = 0;
+    // Write until at least one metadata GC has happened.
+    while v.stats().md_gc_runs == 0 {
+        if lba >= g.zone_cap() {
+            z += 1;
+            lba = 0;
+            assert!(z < g.num_zones(), "ran out of zones before metadata GC");
+        }
+        v.write(
+            T0,
+            g.zone_start(z) + lba,
+            &bytes(1, 21 + lba),
+            WriteFlags::FUA,
+        )
+        .unwrap();
+        lba += 1;
+    }
+    let snapshot_wp: Vec<u64> = (0..=z)
+        .map(|zz| v.zone_info(zz).unwrap().write_pointer - g.zone_start(zz))
+        .collect();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    for (zz, wp) in snapshot_wp.iter().enumerate() {
+        let got = v2.zone_info(zz as u32).unwrap().write_pointer - g.zone_start(zz as u32);
+        assert!(
+            got >= *wp,
+            "zone {zz} lost FUA data across GC + crash: {got} < {wp}"
+        );
+    }
+}
+
+#[test]
+fn randomized_crash_storm_oracle() {
+    // Randomized campaign: random writes/flushes/FUAs/resets, random
+    // crash points, remount each time and check the oracle:
+    //  (1) everything below the recovered write pointer matches what was
+    //      written, and
+    //  (2) everything acknowledged as durable (flush/FUA) is still there.
+    let mut rng = SimRng::new(4242);
+    for round in 0..40 {
+        let devs = devices(5);
+        let mut v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+        let g = v.geometry();
+        let zones = 3u32.min(g.num_zones());
+        // Oracle state per zone: written data and durable watermark.
+        let mut model: Vec<Vec<u8>> = (0..zones)
+            .map(|_| vec![0u8; (g.zone_cap() * SECTOR_SIZE) as usize])
+            .collect();
+        let mut wp = vec![0u64; zones as usize];
+        let mut durable = vec![0u64; zones as usize];
+        // Per-zone finished flag (finished zones accept no more writes
+        // until reset).
+        let mut finished = vec![false; zones as usize];
+        // Two crash/remount generations per round: the second exercises
+        // recovery of already-recovered state (ghost slots, relocations,
+        // reseeded stripe buffers).
+        for generation in 0..2 {
+        let ops = 30 + rng.gen_range(40);
+        for op in 0..ops {
+            let op = generation * 1000 + op;
+            let z = rng.gen_range(zones as u64) as u32;
+            let dbg = std::env::var_os("STORM_DEBUG").is_some();
+            match rng.gen_range(12) {
+                0 => {
+                    if dbg { eprintln!("[storm] flush"); }
+                    // flush: everything becomes durable
+                    v.flush(T0).unwrap();
+                    for (w, d) in wp.iter().zip(durable.iter_mut()) {
+                        *d = *w;
+                    }
+                }
+                1 => {
+                    if wp[z as usize] > 0 {
+                        if dbg { eprintln!("[storm] reset z={z}"); }
+                        v.reset_zone(T0, z).unwrap();
+                        wp[z as usize] = 0;
+                        durable[z as usize] = 0;
+                        model[z as usize].fill(0);
+                        finished[z as usize] = false;
+                    }
+                }
+                2 => {
+                    // finish: seals the zone and makes its prefix durable
+                    if wp[z as usize] > 0 && !finished[z as usize] {
+                        if dbg { eprintln!("[storm] finish z={z} wp={}", wp[z as usize]); }
+                        v.finish_zone(T0, z).unwrap();
+                        finished[z as usize] = true;
+                        durable[z as usize] = wp[z as usize];
+                    }
+                }
+                3 => {
+                    // zone append (sequentialized by the volume)
+                    if finished[z as usize] {
+                        continue;
+                    }
+                    let remaining = g.zone_cap() - wp[z as usize];
+                    if remaining == 0 {
+                        continue;
+                    }
+                    let n = 1 + rng.gen_range(remaining.min(6));
+                    let data = bytes(n, round * 20_000 + op);
+                    if dbg { eprintln!("[storm] append z={z} wp={} n={n}", wp[z as usize]); }
+                    let a = v.append(T0, z, &data, WriteFlags::default()).unwrap();
+                    assert_eq!(a.lba, g.zone_start(z) + wp[z as usize]);
+                    let off = (wp[z as usize] * SECTOR_SIZE) as usize;
+                    model[z as usize][off..off + data.len()].copy_from_slice(&data);
+                    wp[z as usize] += n;
+                }
+                _ => {
+                    if finished[z as usize] {
+                        continue;
+                    }
+                    let remaining = g.zone_cap() - wp[z as usize];
+                    if remaining == 0 {
+                        continue;
+                    }
+                    let n = 1 + rng.gen_range(remaining.min(12));
+                    let data = bytes(n, round * 10_000 + op);
+                    let fua = rng.gen_bool(0.25);
+                    let preflush = rng.gen_bool(0.1);
+                    let flags = WriteFlags { fua, preflush };
+                    if dbg {
+                        eprintln!("[storm] write z={z} wp={} n={n} fua={fua} preflush={preflush}", wp[z as usize]);
+                    }
+                    v.write(T0, g.zone_start(z) + wp[z as usize], &data, flags)
+                        .unwrap();
+                    if preflush {
+                        // everything written before this op became durable
+                        for (w, d) in wp.iter().zip(durable.iter_mut()) {
+                            *d = *w;
+                        }
+                    }
+                    let off = (wp[z as usize] * SECTOR_SIZE) as usize;
+                    model[z as usize][off..off + data.len()].copy_from_slice(&data);
+                    wp[z as usize] += n;
+                    if fua {
+                        durable[z as usize] = wp[z as usize];
+                    }
+                }
+            }
+        }
+        drop(v);
+        if std::env::var_os("STORM_DEBUG").is_some() {
+            eprintln!("[storm] CRASH round={round} gen={generation} model_wp={wp:?} durable={durable:?}");
+        }
+        crash_all(&devs, &mut CrashPolicy::Random(rng.fork()));
+        let v2 = RaiznVolume::mount(devs.clone(), RaiznConfig::small_test(), T0)
+            .unwrap_or_else(|e| panic!("round {round}: mount failed: {e}"));
+        for z in 0..zones {
+            let info = v2.zone_info(z).unwrap();
+            let got_wp = info.write_pointer - g.zone_start(z);
+            assert!(
+                got_wp >= durable[z as usize],
+                "round {round} zone {z}: durable data lost (wp {got_wp} < durable {})",
+                durable[z as usize]
+            );
+            assert!(
+                got_wp <= wp[z as usize],
+                "round {round} zone {z}: wp beyond written data"
+            );
+            if got_wp > 0 {
+                let mut out = vec![0u8; (got_wp * SECTOR_SIZE) as usize];
+                v2.read(T0, g.zone_start(z), &mut out).unwrap_or_else(|e| {
+                    panic!("round {round} zone {z}: read below wp failed: {e}")
+                });
+                let expect = &model[z as usize][..out.len()];
+                if out != expect {
+                    let bad_sector = out
+                        .chunks(SECTOR_SIZE as usize)
+                        .zip(expect.chunks(SECTOR_SIZE as usize))
+                        .position(|(a, b)| a != b)
+                        .unwrap();
+                    panic!(
+                        "round {round} gen {generation} zone {z}: recovered data \
+                         mismatch at sector {bad_sector} (wp={got_wp}, durable={}, \
+                         written={})",
+                        durable[z as usize], wp[z as usize]
+                    );
+                }
+            }
+        }
+        // Adopt the recovered state as the next generation's baseline;
+        // everything on media is durable after a power cycle.
+        for z in 0..zones {
+            let info = v2.zone_info(z).unwrap();
+            let got_wp = info.write_pointer - g.zone_start(z);
+            wp[z as usize] = got_wp;
+            durable[z as usize] = got_wp;
+            finished[z as usize] = info.state == zns::ZoneState::Full;
+        }
+        v = v2;
+        }
+    }
+}

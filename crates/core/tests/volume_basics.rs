@@ -1,0 +1,363 @@
+//! Basic RAIZN volume behaviour: ZNS semantics of the logical device,
+//! striping/parity correctness, degraded mode, rebuild.
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::{SimRng, SimTime};
+use std::sync::Arc;
+use zns::{WriteFlags, ZnsConfig, ZnsDevice, ZnsError, ZoneState, ZonedVolume, SECTOR_SIZE};
+
+const T0: SimTime = SimTime::ZERO;
+
+fn devices(n: usize) -> Vec<Arc<ZnsDevice>> {
+    (0..n)
+        .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+        .collect()
+}
+
+fn volume(n: usize) -> RaiznVolume {
+    RaiznVolume::format(devices(n), RaiznConfig::small_test(), T0).unwrap()
+}
+
+fn bytes(sectors: u64, seed: u64) -> Vec<u8> {
+    let mut v = vec![0u8; (sectors * SECTOR_SIZE) as usize];
+    SimRng::new(seed).fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn write_read_roundtrip_small() {
+    let v = volume(3);
+    let data = bytes(1, 1);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn write_read_roundtrip_across_stripes() {
+    let v = volume(5);
+    // 3 stripes + a partial one (stripe = 4 units * 4 sectors = 16).
+    let data = bytes(52, 2);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn sequential_write_enforced() {
+    let v = volume(3);
+    let err = v.write(T0, 8, &bytes(1, 3), WriteFlags::default()).unwrap_err();
+    assert!(matches!(err, ZnsError::NotSequential { expected: 0, got: 8, .. }));
+}
+
+#[test]
+fn read_beyond_wp_rejected() {
+    let v = volume(3);
+    v.write(T0, 0, &bytes(2, 4), WriteFlags::default()).unwrap();
+    let mut buf = vec![0u8; (3 * SECTOR_SIZE) as usize];
+    let err = v.read(T0, 0, &mut buf).unwrap_err();
+    assert!(matches!(err, ZnsError::ReadUnwritten { lba: 2 }));
+}
+
+#[test]
+fn zone_fills_and_rejects_overflow() {
+    let v = volume(3);
+    let cap = v.geometry().zone_cap();
+    v.write(T0, 0, &bytes(cap, 5), WriteFlags::default()).unwrap();
+    assert_eq!(v.zone_info(0).unwrap().state, ZoneState::Full);
+    // Any further write addressed inside the (full) zone is rejected.
+    let err = v
+        .write(T0, cap - 1, &bytes(1, 6), WriteFlags::default())
+        .unwrap_err();
+    match err {
+        ZnsError::NotSequential { .. } | ZnsError::ZoneFull { .. } => {}
+        other => panic!("unexpected error {other}"),
+    }
+    // The next zone remains writable at its own start.
+    v.write(T0, cap, &bytes(1, 6), WriteFlags::default()).unwrap();
+}
+
+#[test]
+fn writes_into_second_zone() {
+    let v = volume(3);
+    let g = v.geometry();
+    let z1 = g.zone_start(1);
+    let data = bytes(4, 7);
+    v.write(T0, z1, &data, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, z1, &mut out).unwrap();
+    assert_eq!(out, data);
+    assert_eq!(v.zone_info(1).unwrap().state, ZoneState::ImplicitlyOpen);
+    assert_eq!(v.zone_info(0).unwrap().state, ZoneState::Empty);
+}
+
+#[test]
+fn append_assigns_sequential_lbas() {
+    let v = volume(3);
+    let a = v.append(T0, 2, &bytes(2, 8), WriteFlags::default()).unwrap();
+    let b = v.append(T0, 2, &bytes(1, 9), WriteFlags::default()).unwrap();
+    let start = v.geometry().zone_start(2);
+    assert_eq!(a.lba, start);
+    assert_eq!(b.lba, start + 2);
+}
+
+#[test]
+fn reset_zone_clears_and_rewrites() {
+    let v = volume(3);
+    let data = bytes(6, 10);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    let g0 = v.generation(0);
+    v.reset_zone(T0, 0).unwrap();
+    assert_eq!(v.generation(0), g0 + 1);
+    assert_eq!(v.zone_info(0).unwrap().state, ZoneState::Empty);
+    let data2 = bytes(3, 11);
+    v.write(T0, 0, &data2, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; data2.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data2);
+}
+
+#[test]
+fn degraded_read_full_stripes() {
+    let v = volume(5);
+    let data = bytes(64, 12); // 4 complete stripes
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    v.fail_device(2);
+    assert!(v.is_degraded());
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn degraded_read_incomplete_stripe_uses_buffer() {
+    let v = volume(5);
+    let data = bytes(7, 13); // partial first stripe
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    v.fail_device(0);
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn degraded_writes_continue_and_read_back() {
+    let v = volume(4);
+    let pre = bytes(10, 14);
+    v.write(T0, 0, &pre, WriteFlags::default()).unwrap();
+    v.fail_device(1);
+    let post = bytes(20, 15);
+    v.write(T0, 10, &post, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; pre.len() + post.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(&out[..pre.len()], &pre[..]);
+    assert_eq!(&out[pre.len()..], &post[..]);
+}
+
+#[test]
+fn rebuild_restores_full_redundancy() {
+    let v = volume(4);
+    let data = bytes(40, 16);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    v.fail_device(0);
+    let replacement = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+    let report = v.rebuild(T0, replacement).unwrap();
+    assert!(!v.is_degraded());
+    assert!(report.bytes_written > 0);
+    assert_eq!(report.zones_rebuilt, 1);
+    // Fail a different device: reconstruction through the rebuilt device
+    // must produce the original data.
+    v.fail_device(2);
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn rebuild_only_valid_data() {
+    let v = volume(4);
+    // Write one stripe into one zone of a 13-zone volume.
+    let data = bytes(12, 17);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    v.fail_device(3);
+    let replacement = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+    let report = v.rebuild(T0, replacement).unwrap();
+    // Far less than the full device (16 zones * 64 sectors).
+    let full_device = 16 * 64 * SECTOR_SIZE;
+    assert!(report.bytes_written < full_device / 8);
+}
+
+#[test]
+fn fua_write_roundtrip() {
+    let v = volume(5);
+    let data = bytes(3, 18);
+    v.write(T0, 0, &data, WriteFlags::FUA).unwrap();
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+    assert!(v.stats().persistence_flushes > 0);
+}
+
+#[test]
+fn flush_marks_everything() {
+    let v = volume(3);
+    v.write(T0, 0, &bytes(5, 19), WriteFlags::default()).unwrap();
+    v.flush(T0).unwrap();
+    // A subsequent FUA write needs no extra persistence flushes for the
+    // already-flushed prefix (only possibly for itself + parity).
+    let before = v.stats().persistence_flushes;
+    v.write(T0, 5, &bytes(1, 20), WriteFlags::FUA).unwrap();
+    let after = v.stats().persistence_flushes;
+    assert!(after - before <= 2, "flushed too many devices");
+}
+
+#[test]
+fn partial_parity_logged_for_unaligned_writes() {
+    let v = volume(5);
+    v.write(T0, 0, &bytes(1, 21), WriteFlags::default()).unwrap();
+    let s = v.stats();
+    assert_eq!(s.pp_log_entries, 1);
+    assert_eq!(s.full_parity_writes, 0);
+    // Completing the stripe writes full parity.
+    v.write(T0, 1, &bytes(15, 22), WriteFlags::default()).unwrap();
+    let s = v.stats();
+    assert_eq!(s.full_parity_writes, 1);
+}
+
+#[test]
+fn aligned_full_stripe_writes_log_no_partial_parity() {
+    let v = volume(5);
+    v.write(T0, 0, &bytes(16, 23), WriteFlags::default()).unwrap();
+    let s = v.stats();
+    assert_eq!(s.pp_log_entries, 0);
+    assert_eq!(s.full_parity_writes, 1);
+}
+
+#[test]
+fn finish_zone_seals_state() {
+    let v = volume(3);
+    v.write(T0, 0, &bytes(3, 24), WriteFlags::default()).unwrap();
+    v.finish_zone(T0, 0).unwrap();
+    assert_eq!(v.zone_info(0).unwrap().state, ZoneState::Full);
+    let err = v.write(T0, 3, &bytes(1, 25), WriteFlags::default()).unwrap_err();
+    assert!(matches!(err, ZnsError::ZoneFull { zone: 0 }));
+    // Data still readable.
+    let mut out = vec![0u8; (3 * SECTOR_SIZE) as usize];
+    v.read(T0, 0, &mut out).unwrap();
+}
+
+#[test]
+fn open_close_zone_transitions() {
+    let v = volume(3);
+    v.open_zone(T0, 1).unwrap();
+    assert_eq!(v.zone_info(1).unwrap().state, ZoneState::ExplicitlyOpen);
+    v.close_zone(T0, 1).unwrap();
+    assert_eq!(v.zone_info(1).unwrap().state, ZoneState::Empty);
+    v.write(T0, v.geometry().zone_start(1), &bytes(1, 26), WriteFlags::default())
+        .unwrap();
+    v.close_zone(T0, 1).unwrap();
+    assert_eq!(v.zone_info(1).unwrap().state, ZoneState::Closed);
+}
+
+#[test]
+fn too_few_devices_rejected() {
+    let err = RaiznVolume::format(devices(2), RaiznConfig::small_test(), T0).unwrap_err();
+    assert!(matches!(err, ZnsError::InvalidArgument(_)));
+}
+
+#[test]
+fn mixed_geometry_rejected() {
+    let mut devs = devices(2);
+    devs.push(Arc::new(ZnsDevice::new(
+        ZnsConfig::builder().zones(8, 64, 64).build(),
+    )));
+    let err = RaiznVolume::format(devs, RaiznConfig::small_test(), T0).unwrap_err();
+    assert!(matches!(err, ZnsError::InvalidArgument(_)));
+}
+
+#[test]
+fn logical_geometry_exposed() {
+    let v = volume(5);
+    let g = v.geometry();
+    assert_eq!(g.num_zones(), 13); // 16 - 3 metadata zones
+    assert_eq!(g.zone_cap(), 4 * 64); // 4 data units per stripe
+}
+
+#[test]
+fn metadata_gc_triggered_by_many_partial_writes() {
+    // Tiny zones: the pp log zone holds 64 sectors => 32 two-sector pp
+    // records; write many unaligned writes to force GC.
+    let v = volume(3);
+    let g = v.geometry();
+    let mut wrote = 0u64;
+    'outer: for z in 0..g.num_zones() {
+        let start = g.zone_start(z);
+        for s in 0..g.zone_cap() {
+            // 1-sector writes, every one logging partial parity.
+            if v.write(T0, start + s, &bytes(1, 1000 + wrote), WriteFlags::default())
+                .is_err()
+            {
+                break 'outer;
+            }
+            wrote += 1;
+            if v.stats().md_gc_runs > 0 && wrote > 200 {
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        v.stats().md_gc_runs > 0,
+        "metadata GC never ran after {wrote} writes: {:?}",
+        v.stats()
+    );
+    // Data integrity across GC.
+    let mut out = vec![0u8; SECTOR_SIZE as usize];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, bytes(1, 1000));
+}
+
+#[test]
+fn stats_track_resets() {
+    let v = volume(3);
+    v.write(T0, 0, &bytes(1, 27), WriteFlags::default()).unwrap();
+    v.reset_zone(T0, 0).unwrap();
+    assert_eq!(v.stats().zone_resets, 1);
+}
+
+#[test]
+fn throughput_scales_with_array_size() {
+    // With realistic timing, a 5-device array should beat a single device
+    // on large sequential writes (4 data units in parallel).
+    let mk = |n: usize| {
+        let devs: Vec<Arc<ZnsDevice>> = (0..n)
+            .map(|_| {
+                Arc::new(ZnsDevice::new(
+                    ZnsConfig::builder()
+                        .zones(16, 4096, 4096)
+                        .open_limits(8, 12)
+                        .latency(zns::LatencyConfig::zns_ssd())
+                        .store_data(false)
+                        .build(),
+                ))
+            })
+            .collect();
+        RaiznVolume::format(devs, RaiznConfig::default(), T0).unwrap()
+    };
+    let v = mk(5);
+    let io = vec![0u8; (64 * SECTOR_SIZE) as usize]; // 256 KiB
+    let mut done = T0;
+    let mut lba = 0;
+    for _ in 0..256 {
+        done = v.write(T0, lba, &io, WriteFlags::default()).unwrap().done;
+        lba += 64;
+    }
+    let total_mib = 256.0 * 64.0 * 4096.0 / (1024.0 * 1024.0);
+    let mib_s = total_mib / done.as_secs_f64();
+    // Aggregate write throughput must exceed a single device's ~1060 MiB/s.
+    assert!(
+        mib_s > 1500.0,
+        "array throughput {mib_s:.0} MiB/s did not scale"
+    );
+}

@@ -1,0 +1,133 @@
+//! Tests for the §5.2 relocation-threshold zone rewrite: physical zones
+//! accumulating too many relocated stripe units are rewritten through a
+//! swap zone at mount, restoring every unit to its arithmetic slot.
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::{SimRng, SimTime};
+use std::sync::Arc;
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZE};
+
+const T0: SimTime = SimTime::ZERO;
+
+fn devices(n: usize) -> Vec<Arc<ZnsDevice>> {
+    (0..n)
+        .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+        .collect()
+}
+
+fn bytes(sectors: u64, seed: u64) -> Vec<u8> {
+    let mut v = vec![0u8; (sectors * SECTOR_SIZE) as usize];
+    SimRng::new(seed).fill_bytes(&mut v);
+    v
+}
+
+fn config(threshold: usize) -> RaiznConfig {
+    RaiznConfig {
+        relocation_threshold: threshold,
+        ..RaiznConfig::small_test()
+    }
+}
+
+/// Produces a volume with several relocated stripe units on device 2 of
+/// zone 0: device 2 keeps its cache across a crash while everyone else
+/// loses theirs, so the rolled-back zone leaves ghosts on device 2 and
+/// the rewrite redirects the fresh writes. The setup mounts with a high
+/// threshold so the relocations survive until the test's own mount.
+fn volume_with_relocations() -> (Vec<Arc<ZnsDevice>>, RaiznVolume, Vec<u8>) {
+    let threshold = 1000;
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), config(threshold), T0).unwrap();
+    // Three full stripes, nothing flushed.
+    v.write(T0, 0, &bytes(48, 1), WriteFlags::default()).unwrap();
+    drop(v);
+    for (i, d) in devs.iter().enumerate() {
+        if i == 2 {
+            d.crash(&mut CrashPolicy::KeepCache);
+        } else {
+            d.crash(&mut CrashPolicy::LoseCache);
+        }
+    }
+    let v = RaiznVolume::mount(devs.clone(), config(threshold), T0).unwrap();
+    assert_eq!(
+        v.zone_info(0).unwrap().write_pointer,
+        0,
+        "setup: zone should have rolled back"
+    );
+    // Rewrite the zone: conflicting slots on device 2 relocate.
+    let fresh = bytes(48, 2);
+    v.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
+    assert!(
+        v.relocated_count() >= 2,
+        "setup: expected multiple relocations, got {}",
+        v.relocated_count()
+    );
+    v.flush(T0).unwrap();
+    (devs, v, fresh)
+}
+
+#[test]
+fn rewrite_heals_relocations_at_mount() {
+    let (devs, v, fresh) = volume_with_relocations();
+    drop(v);
+    for d in &devs {
+        d.crash(&mut CrashPolicy::LoseCache);
+    }
+    let v = RaiznVolume::mount(devs, config(1), T0).unwrap();
+    assert_eq!(
+        v.relocated_count(),
+        0,
+        "threshold exceeded: mount should have rewritten the zone"
+    );
+    assert!(v.stats().zone_rewrites > 0);
+    let mut out = vec![0u8; fresh.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh, "data corrupted by the zone rewrite");
+    // The healed zone serves degraded reads through its arithmetic slots.
+    v.fail_device(2);
+    let mut out2 = vec![0u8; fresh.len()];
+    v.read(T0, 0, &mut out2).unwrap();
+    assert_eq!(out2, fresh);
+}
+
+#[test]
+fn below_threshold_keeps_relocations() {
+    let (devs, v, fresh) = volume_with_relocations();
+    drop(v);
+    for d in &devs {
+        d.crash(&mut CrashPolicy::LoseCache);
+    }
+    let v = RaiznVolume::mount(devs, config(1000), T0).unwrap();
+    assert!(
+        v.relocated_count() > 0,
+        "below threshold: relocations should persist"
+    );
+    assert_eq!(v.stats().zone_rewrites, 0);
+    let mut out = vec![0u8; fresh.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh);
+}
+
+#[test]
+fn rewritten_zone_continues_normally() {
+    let (devs, v, fresh) = volume_with_relocations();
+    drop(v);
+    for d in &devs {
+        d.crash(&mut CrashPolicy::LoseCache);
+    }
+    let v = RaiznVolume::mount(devs.clone(), config(1), T0).unwrap();
+    // Continue writing past the rewritten region; no relocations needed.
+    let before = v.relocated_count();
+    let more = bytes(32, 3);
+    v.write(T0, 48, &more, WriteFlags::FUA).unwrap();
+    assert_eq!(v.relocated_count(), before);
+    // Full round trip across another crash.
+    drop(v);
+    for d in &devs {
+        d.crash(&mut CrashPolicy::LoseCache);
+    }
+    let v = RaiznVolume::mount(devs, config(1), T0).unwrap();
+    let mut out = vec![0u8; fresh.len() + more.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(&out[..fresh.len()], &fresh[..]);
+    assert_eq!(&out[fresh.len()..], &more[..]);
+}

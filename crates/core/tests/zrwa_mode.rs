@@ -1,0 +1,145 @@
+//! Tests for the §5.4 ZRWA extension: in-place partial-parity updates in
+//! the parity slot's Zone Random Write Area instead of the partial-parity
+//! log.
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::{SimRng, SimTime};
+use std::sync::Arc;
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZnsError, ZonedVolume, SECTOR_SIZE};
+
+const T0: SimTime = SimTime::ZERO;
+
+fn zrwa_devices(n: usize) -> Vec<Arc<ZnsDevice>> {
+    (0..n)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(16, 64, 64)
+                    .open_limits(4, 6)
+                    .zrwa(4)
+                    .build(),
+            ))
+        })
+        .collect()
+}
+
+fn config() -> RaiznConfig {
+    RaiznConfig {
+        use_zrwa: true,
+        ..RaiznConfig::small_test()
+    }
+}
+
+fn bytes(sectors: u64, seed: u64) -> Vec<u8> {
+    let mut v = vec![0u8; (sectors * SECTOR_SIZE) as usize];
+    SimRng::new(seed).fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn zrwa_mode_requires_zrwa_devices() {
+    let plain: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+        .collect();
+    let err = RaiznVolume::format(plain, config(), T0).unwrap_err();
+    assert!(matches!(err, ZnsError::InvalidArgument(_)));
+}
+
+#[test]
+fn partial_writes_use_zrwa_not_pp_log() {
+    let v = RaiznVolume::format(zrwa_devices(5), config(), T0).unwrap();
+    for i in 0..3u64 {
+        v.write(T0, i, &bytes(1, i), WriteFlags::default()).unwrap();
+    }
+    let s = v.stats();
+    assert_eq!(s.pp_log_entries, 0, "pp log should be bypassed: {s:?}");
+    assert_eq!(s.zrwa_parity_writes, 3);
+}
+
+#[test]
+fn data_roundtrip_and_degraded_reads() {
+    let v = RaiznVolume::format(zrwa_devices(5), config(), T0).unwrap();
+    // Sector-by-sector writes across several stripes, then verify.
+    let data = bytes(40, 9);
+    for i in 0..40u64 {
+        v.write(
+            T0,
+            i,
+            &data[(i * SECTOR_SIZE) as usize..((i + 1) * SECTOR_SIZE) as usize],
+            WriteFlags::default(),
+        )
+        .unwrap();
+    }
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+    // Completed stripes carry committed parity: degraded reads work.
+    v.fail_device(1);
+    let mut out2 = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out2).unwrap();
+    assert_eq!(out2, data);
+}
+
+#[test]
+fn full_stripe_writes_commit_parity() {
+    let v = RaiznVolume::format(zrwa_devices(5), config(), T0).unwrap();
+    let data = bytes(32, 3); // two complete stripes
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    assert_eq!(v.stats().full_parity_writes, 2);
+    v.fail_device(0);
+    let mut out = vec![0u8; data.len()];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn crash_rolls_back_safely_without_pp_logs() {
+    // The window is volatile in this model: a crash mid-stripe loses the
+    // in-place parity, and recovery must fall back to a consistent
+    // rollback — never corrupt data.
+    let devs = zrwa_devices(5);
+    let v = RaiznVolume::format(devs.clone(), config(), T0).unwrap();
+    let a = bytes(16, 4); // stripe 0 complete (committed parity)
+    v.write(T0, 0, &a, WriteFlags::default()).unwrap();
+    let b = bytes(6, 5); // stripe 1 partial (parity only in the window)
+    v.write(T0, 16, &b, WriteFlags::default()).unwrap();
+    v.flush(T0).unwrap();
+    drop(v);
+    crash(&devs);
+    let v = RaiznVolume::mount(devs, config(), T0).unwrap();
+    let wp = v.zone_info(0).unwrap().write_pointer;
+    assert!(wp >= 16, "committed stripe lost: wp={wp}");
+    let mut out = vec![0u8; (wp * SECTOR_SIZE) as usize];
+    v.read(T0, 0, &mut out).unwrap();
+    assert_eq!(&out[..a.len()], &a[..]);
+    if wp > 16 {
+        assert_eq!(&out[a.len()..], &b[..out.len() - a.len()]);
+    }
+}
+
+fn crash(devs: &[Arc<ZnsDevice>]) {
+    for d in devs {
+        d.crash(&mut CrashPolicy::LoseCache);
+    }
+}
+
+#[test]
+fn zrwa_reduces_metadata_traffic_vs_pp_log() {
+    let run = |use_zrwa: bool| {
+        let cfg = RaiznConfig {
+            use_zrwa,
+            ..RaiznConfig::small_test()
+        };
+        let v = RaiznVolume::format(zrwa_devices(5), cfg, T0).unwrap();
+        for i in 0..32u64 {
+            v.write(T0, i, &bytes(1, i), WriteFlags::default()).unwrap();
+        }
+        v.stats().md_appends
+    };
+    let with_zrwa = run(true);
+    let with_log = run(false);
+    assert!(
+        with_zrwa < with_log / 2,
+        "zrwa should slash metadata appends: {with_zrwa} vs {with_log}"
+    );
+}

@@ -1,0 +1,53 @@
+//! The random-access block device interface.
+
+use sim::SimTime;
+use zns::{IoCompletion, Lba, Result, WriteFlags};
+
+/// A conventional random-access block target: a single FTL SSD
+/// ([`crate::ConvSsd`]) or a logical volume over several (mdraid-5).
+///
+/// Unlike [`zns::ZonedVolume`], writes may land at any LBA and overwrite
+/// in place; there are no zones.
+pub trait BlockDevice: Send + Sync {
+    /// Usable capacity in sectors.
+    fn capacity_sectors(&self) -> u64;
+
+    /// Reads `buf.len()` bytes starting at sector `lba`. Unwritten sectors
+    /// read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the capacity or the device has failed.
+    fn read(&self, at: SimTime, lba: Lba, buf: &mut [u8]) -> Result<IoCompletion>;
+
+    /// Writes `data` starting at sector `lba`, overwriting in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the capacity or the device has failed.
+    fn write(&self, at: SimTime, lba: Lba, data: &[u8], flags: WriteFlags) -> Result<IoCompletion>;
+
+    /// Deallocates (`TRIM`s) the sector range, releasing flash pages.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the capacity or the device has failed.
+    fn trim(&self, at: SimTime, lba: Lba, sectors: u64) -> Result<IoCompletion>;
+
+    /// Makes all cached writes durable.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the device has failed.
+    fn flush(&self, at: SimTime) -> Result<IoCompletion>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_d: &dyn BlockDevice) {}
+    }
+}

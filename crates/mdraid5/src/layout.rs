@@ -1,0 +1,200 @@
+//! RAID-5 address arithmetic (left-symmetric layout, md's default).
+
+use zns::Lba;
+
+/// Maps logical volume addresses to `(device, device LBA)` pairs for a
+/// RAID-5 array of `n` devices with `chunk` sectors per stripe unit.
+///
+/// Uses the left-symmetric layout: the parity device rotates "leftward"
+/// each stripe and data chunks wrap around it, matching
+/// `mdadm --level=5` defaults.
+///
+/// # Examples
+///
+/// ```
+/// use mdraid5::Md5Layout;
+/// let l = Md5Layout::new(3, 16, 1024);
+/// // 2 data chunks per stripe; logical chunk 0 and 1 are stripe 0.
+/// assert_eq!(l.data_chunks(), 2);
+/// let (dev0, off0) = l.chunk_location(0);
+/// let (dev1, off1) = l.chunk_location(1);
+/// assert_ne!(dev0, dev1);
+/// assert_eq!(off0, 0);
+/// assert_eq!(off1, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Md5Layout {
+    n: u32,
+    chunk: u64,
+    dev_sectors: u64,
+}
+
+impl Md5Layout {
+    /// Creates a layout for `n` devices with `chunk`-sector stripe units and
+    /// `dev_sectors` usable sectors per device (rounded down to chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`, `chunk == 0`, or a device holds no full chunk.
+    pub fn new(n: u32, chunk: u64, dev_sectors: u64) -> Self {
+        assert!(n >= 3, "RAID-5 requires at least 3 devices");
+        assert!(chunk > 0, "chunk size must be nonzero");
+        assert!(
+            dev_sectors >= chunk,
+            "devices must hold at least one chunk"
+        );
+        Md5Layout {
+            n,
+            chunk,
+            dev_sectors: dev_sectors / chunk * chunk,
+        }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> u32 {
+        self.n
+    }
+
+    /// Stripe unit size in sectors.
+    pub fn chunk_sectors(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Data chunks per stripe.
+    pub fn data_chunks(&self) -> u64 {
+        (self.n - 1) as u64
+    }
+
+    /// Number of stripes in the array.
+    pub fn stripes(&self) -> u64 {
+        self.dev_sectors / self.chunk
+    }
+
+    /// Usable logical capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.stripes() * self.data_chunks() * self.chunk
+    }
+
+    /// The device holding the parity chunk of `stripe` (left-symmetric).
+    pub fn parity_device(&self, stripe: u64) -> u32 {
+        (self.n as u64 - 1 - (stripe % self.n as u64)) as u32
+    }
+
+    /// The device holding data chunk `k` of `stripe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a valid data chunk index.
+    pub fn data_device(&self, stripe: u64, k: u64) -> u32 {
+        assert!(k < self.data_chunks(), "data chunk index out of range");
+        let p = self.parity_device(stripe) as u64;
+        ((p + 1 + k) % self.n as u64) as u32
+    }
+
+    /// The device LBA where `stripe`'s chunks live (same on every device).
+    pub fn stripe_offset(&self, stripe: u64) -> Lba {
+        stripe * self.chunk
+    }
+
+    /// Decomposes a logical LBA into `(stripe, data chunk index, offset
+    /// within chunk)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` exceeds the capacity.
+    pub fn locate(&self, lba: Lba) -> (u64, u64, u64) {
+        assert!(
+            lba < self.capacity_sectors(),
+            "lba {lba} beyond capacity {}",
+            self.capacity_sectors()
+        );
+        let chunk_index = lba / self.chunk;
+        let within = lba % self.chunk;
+        let stripe = chunk_index / self.data_chunks();
+        let k = chunk_index % self.data_chunks();
+        (stripe, k, within)
+    }
+
+    /// Device and device-LBA of logical chunk index `c` (= `lba / chunk`).
+    pub fn chunk_location(&self, c: u64) -> (u32, Lba) {
+        let stripe = c / self.data_chunks();
+        let k = c % self.data_chunks();
+        (self.data_device(stripe, k), self.stripe_offset(stripe))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parity_rotates_over_all_devices() {
+        let l = Md5Layout::new(5, 16, 160);
+        let devs: Vec<u32> = (0..5).map(|s| l.parity_device(s)).collect();
+        let mut sorted = devs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn data_devices_skip_parity() {
+        let l = Md5Layout::new(4, 8, 80);
+        for s in 0..10 {
+            let p = l.parity_device(s);
+            for k in 0..3 {
+                assert_ne!(l.data_device(s, k), p);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_excludes_parity() {
+        let l = Md5Layout::new(5, 16, 160);
+        assert_eq!(l.capacity_sectors(), 160 * 4);
+        assert_eq!(l.stripes(), 10);
+    }
+
+    #[test]
+    fn locate_roundtrip() {
+        let l = Md5Layout::new(3, 4, 40);
+        let (s, k, w) = l.locate(0);
+        assert_eq!((s, k, w), (0, 0, 0));
+        let (s, k, w) = l.locate(5);
+        assert_eq!((s, k, w), (0, 1, 1));
+        let (s, k, w) = l.locate(8);
+        assert_eq!((s, k, w), (1, 0, 0));
+    }
+
+    #[test]
+    fn dev_sectors_rounded_to_chunks() {
+        let l = Md5Layout::new(3, 16, 100); // 6 chunks of 16 = 96
+        assert_eq!(l.stripes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 devices")]
+    fn two_devices_rejected() {
+        Md5Layout::new(2, 16, 160);
+    }
+
+    proptest! {
+        #[test]
+        fn every_lba_maps_to_distinct_device_sectors(
+            n in 3u32..8,
+            chunk in 1u64..32,
+            lbas in prop::collection::vec(0u64..10_000, 2)
+        ) {
+            let l = Md5Layout::new(n, chunk, 10_000);
+            let map = |lba: u64| {
+                let (s, k, w) = l.locate(lba % l.capacity_sectors());
+                (l.data_device(s, k), l.stripe_offset(s) + w)
+            };
+            let a = map(lbas[0]);
+            let b = map(lbas[1]);
+            if lbas[0] % l.capacity_sectors() != lbas[1] % l.capacity_sectors() {
+                prop_assert_ne!(a, b, "distinct LBAs collided on device sector");
+            }
+        }
+    }
+}

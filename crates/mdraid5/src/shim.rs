@@ -1,0 +1,309 @@
+//! Zone emulation over a block volume.
+//!
+//! The paper runs F2FS on both RAIZN (native zones) and mdraid
+//! (conventional block). F2FS's sequential-logging discipline is what maps
+//! zone-style IO onto the block device; [`ZonedBlockShim`] plays that role
+//! here: it exposes the [`zns::ZonedVolume`] interface over any
+//! [`ftl::BlockDevice`], enforcing write pointers in software and turning
+//! zone resets into `TRIM`s — so the same application (the `zkv` store)
+//! runs unmodified on either stack.
+
+use ftl::BlockDevice;
+use parking_lot::Mutex;
+use sim::SimTime;
+use std::sync::Arc;
+use zns::{
+    AppendCompletion, IoCompletion, Lba, Result, WriteFlags, ZnsError, ZoneGeometry, ZoneInfo,
+    ZoneState, ZonedVolume,
+};
+
+/// A software zone layer over a block volume.
+///
+/// # Examples
+///
+/// ```
+/// use ftl::{ConvSsd, FtlConfig};
+/// use mdraid5::ZonedBlockShim;
+/// use zns::{ZonedVolume, WriteFlags};
+/// use sim::SimTime;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), zns::ZnsError> {
+/// let dev = Arc::new(ConvSsd::new(FtlConfig::small_test()));
+/// let shim = ZonedBlockShim::new(dev, 64)?;
+/// let data = vec![1u8; 4096];
+/// shim.write(SimTime::ZERO, 0, &data, WriteFlags::default())?;
+/// shim.reset_zone(SimTime::ZERO, 0)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct ZonedBlockShim<B> {
+    device: Arc<B>,
+    geometry: ZoneGeometry,
+    zones: Mutex<Vec<ShimZone>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShimZone {
+    wp: u64,
+    state: ZoneState,
+}
+
+impl<B: BlockDevice> ZonedBlockShim<B> {
+    /// Builds a shim with `zone_sectors`-sized software zones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::InvalidArgument`] if the device holds less than
+    /// one zone.
+    pub fn new(device: Arc<B>, zone_sectors: u64) -> Result<Self> {
+        if zone_sectors == 0 {
+            return Err(ZnsError::InvalidArgument(
+                "zone_sectors must be nonzero".to_string(),
+            ));
+        }
+        let zones = device.capacity_sectors() / zone_sectors;
+        if zones == 0 {
+            return Err(ZnsError::InvalidArgument(
+                "device smaller than one zone".to_string(),
+            ));
+        }
+        let geometry = ZoneGeometry::new(zones as u32, zone_sectors, zone_sectors);
+        Ok(ZonedBlockShim {
+            device,
+            geometry,
+            zones: Mutex::new(vec![
+                ShimZone {
+                    wp: 0,
+                    state: ZoneState::Empty
+                };
+                zones as usize
+            ]),
+        })
+    }
+
+    /// The wrapped block device.
+    pub fn device(&self) -> &Arc<B> {
+        &self.device
+    }
+
+    fn check_zone(&self, zone: u32) -> Result<()> {
+        if zone >= self.geometry.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * self.geometry.zone_size(),
+                sectors: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<B: BlockDevice> ZonedVolume for ZonedBlockShim<B> {
+    fn geometry(&self) -> ZoneGeometry {
+        self.geometry
+    }
+
+    fn read(&self, at: SimTime, lba: Lba, buf: &mut [u8]) -> Result<IoCompletion> {
+        let sectors = buf.len() as u64 / zns::SECTOR_SIZE;
+        if !self.geometry.range_in_one_zone(lba, sectors) {
+            return Err(ZnsError::ZoneBoundary { lba, sectors });
+        }
+        {
+            let zones = self.zones.lock();
+            let z = self.geometry.zone_of(lba);
+            let off = self.geometry.offset_in_zone(lba);
+            if off + sectors > zones[z as usize].wp {
+                return Err(ZnsError::ReadUnwritten {
+                    lba: self.geometry.zone_start(z) + zones[z as usize].wp,
+                });
+            }
+        }
+        self.device.read(at, lba, buf)
+    }
+
+    fn write(&self, at: SimTime, lba: Lba, data: &[u8], flags: WriteFlags) -> Result<IoCompletion> {
+        let sectors = data.len() as u64 / zns::SECTOR_SIZE;
+        if !self.geometry.range_in_one_zone(lba, sectors) {
+            return Err(ZnsError::ZoneBoundary { lba, sectors });
+        }
+        {
+            let mut zones = self.zones.lock();
+            let zi = self.geometry.zone_of(lba);
+            let off = self.geometry.offset_in_zone(lba);
+            let z = &mut zones[zi as usize];
+            if z.state == ZoneState::Full {
+                return Err(ZnsError::ZoneFull { zone: zi });
+            }
+            if off != z.wp {
+                return Err(ZnsError::NotSequential {
+                    zone: zi,
+                    expected: self.geometry.zone_start(zi) + z.wp,
+                    got: lba,
+                });
+            }
+            z.wp += sectors;
+            z.state = if z.wp == self.geometry.zone_cap() {
+                ZoneState::Full
+            } else {
+                ZoneState::ImplicitlyOpen
+            };
+        }
+        self.device.write(at, lba, data, flags)
+    }
+
+    fn append(
+        &self,
+        at: SimTime,
+        zone: u32,
+        data: &[u8],
+        flags: WriteFlags,
+    ) -> Result<AppendCompletion> {
+        self.check_zone(zone)?;
+        let lba = {
+            let zones = self.zones.lock();
+            self.geometry.zone_start(zone) + zones[zone as usize].wp
+        };
+        let c = self.write(at, lba, data, flags)?;
+        Ok(AppendCompletion { lba, done: c.done })
+    }
+
+    fn reset_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone(zone)?;
+        let wp = {
+            let mut zones = self.zones.lock();
+            let z = &mut zones[zone as usize];
+            let wp = z.wp;
+            z.wp = 0;
+            z.state = ZoneState::Empty;
+            wp
+        };
+        if wp == 0 {
+            return Ok(IoCompletion { done: at });
+        }
+        // TRIM the written extent so the FTL can drop the pages.
+        self.device.trim(at, self.geometry.zone_start(zone), wp)
+    }
+
+    fn finish_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone(zone)?;
+        let mut zones = self.zones.lock();
+        zones[zone as usize].state = ZoneState::Full;
+        Ok(IoCompletion { done: at })
+    }
+
+    fn open_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone(zone)?;
+        let mut zones = self.zones.lock();
+        zones[zone as usize].state = ZoneState::ExplicitlyOpen;
+        Ok(IoCompletion { done: at })
+    }
+
+    fn close_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone(zone)?;
+        let mut zones = self.zones.lock();
+        let z = &mut zones[zone as usize];
+        z.state = if z.wp == 0 {
+            ZoneState::Empty
+        } else {
+            ZoneState::Closed
+        };
+        Ok(IoCompletion { done: at })
+    }
+
+    fn flush(&self, at: SimTime) -> Result<IoCompletion> {
+        self.device.flush(at)
+    }
+
+    fn zone_info(&self, zone: u32) -> Result<ZoneInfo> {
+        self.check_zone(zone)?;
+        let zones = self.zones.lock();
+        let z = zones[zone as usize];
+        Ok(ZoneInfo {
+            zone,
+            state: z.state,
+            start: self.geometry.zone_start(zone),
+            write_pointer: self.geometry.zone_start(zone) + z.wp,
+            capacity: self.geometry.zone_cap(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl::{ConvSsd, FtlConfig};
+
+    fn shim() -> ZonedBlockShim<ConvSsd> {
+        ZonedBlockShim::new(Arc::new(ConvSsd::new(FtlConfig::small_test())), 64).unwrap()
+    }
+
+    #[test]
+    fn exposes_zone_geometry() {
+        let s = shim();
+        assert_eq!(s.geometry().num_zones(), 8); // 512 / 64
+        assert_eq!(s.geometry().zone_cap(), 64);
+    }
+
+    #[test]
+    fn enforces_sequential_writes() {
+        let s = shim();
+        let data = vec![0u8; 4096];
+        s.write(SimTime::ZERO, 0, &data, WriteFlags::default())
+            .unwrap();
+        let err = s
+            .write(SimTime::ZERO, 5, &data, WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::NotSequential { .. }));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let s = shim();
+        let data = vec![0x3Cu8; 8192];
+        s.write(SimTime::ZERO, 0, &data, WriteFlags::default())
+            .unwrap();
+        let mut out = vec![0u8; 8192];
+        s.read(SimTime::ZERO, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn reset_trims_and_reopens() {
+        let s = shim();
+        let data = vec![1u8; 4096];
+        s.write(SimTime::ZERO, 0, &data, WriteFlags::default())
+            .unwrap();
+        s.reset_zone(SimTime::ZERO, 0).unwrap();
+        assert_eq!(s.zone_info(0).unwrap().write_pointer, 0);
+        s.write(SimTime::ZERO, 0, &data, WriteFlags::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn append_tracks_wp() {
+        let s = shim();
+        let a = s
+            .append(SimTime::ZERO, 1, &vec![0u8; 4096], WriteFlags::default())
+            .unwrap();
+        assert_eq!(a.lba, 64);
+        let b = s
+            .append(SimTime::ZERO, 1, &vec![0u8; 4096], WriteFlags::default())
+            .unwrap();
+        assert_eq!(b.lba, 65);
+    }
+
+    #[test]
+    fn full_zone_rejects_writes() {
+        let s = shim();
+        let data = vec![0u8; 64 * 4096];
+        s.write(SimTime::ZERO, 0, &data, WriteFlags::default())
+            .unwrap();
+        let err = s
+            .write(SimTime::ZERO, 0, &data[..4096], WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ZnsError::ZoneFull { .. } | ZnsError::NotSequential { .. }
+        ));
+    }
+}

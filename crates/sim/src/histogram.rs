@@ -1,0 +1,290 @@
+//! Log-linear latency histogram with percentile queries.
+
+use crate::SimDuration;
+use std::fmt;
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets give
+/// a worst-case quantization error of ~3%, ample for p99.9 reporting.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A log-linear histogram of [`SimDuration`] samples.
+///
+/// Values are bucketed into powers of two, each split into 32 linear
+/// sub-buckets, mirroring the design of HdrHistogram. Recording is O(1) and
+/// memory is a few KiB regardless of sample count, so the workload engine
+/// can record millions of IO latencies cheaply.
+///
+/// # Examples
+///
+/// ```
+/// use sim::{Histogram, SimDuration};
+/// let mut h = Histogram::new();
+/// for us in 1..=1000 { h.record(SimDuration::from_micros(us)); }
+/// let p50 = h.percentile(50.0);
+/// assert!(p50 >= SimDuration::from_micros(490) && p50 <= SimDuration::from_micros(520));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; (64 - SUB_BITS as usize) * SUB_BUCKETS],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    // Bucket 0 covers [0, 32) exactly (linear); bucket k >= 1 covers
+    // [32 << (k-1), 32 << k) split into 32 linear sub-buckets.
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let bucket = (msb - SUB_BITS + 1) as usize;
+        let sub = (value >> (msb - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+        bucket * SUB_BUCKETS + sub
+    }
+
+    /// Representative (lower-bound) value for a bucket index.
+    fn value_for(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let bucket = (index / SUB_BUCKETS) as u32;
+        let sub = (index % SUB_BUCKETS) as u64;
+        (SUB_BUCKETS as u64 + sub) << (bucket - 1)
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let v = d.as_nanos();
+        let idx = Self::index(v);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the histogram holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of all samples.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.total / self.count as u128) as u64)
+    }
+
+    /// Smallest recorded sample ([`SimDuration::ZERO`] when empty).
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max)
+    }
+
+    /// Value at the given percentile in `[0, 100]`, with ~3% quantization.
+    ///
+    /// Returns [`SimDuration::ZERO`] for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimDuration::from_nanos(Self::value_for(i).min(self.max).max(self.min));
+            }
+        }
+        SimDuration::from_nanos(self.max)
+    }
+
+    /// Median sample (p50).
+    pub fn median(&self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            *b = 0;
+        }
+        self.count = 0;
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} p99.9={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.percentile(99.9),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(42));
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let v = h.percentile(p).as_nanos();
+            assert!((41_000..=43_500).contains(&v), "p{p} = {v}");
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles() {
+        let mut h = Histogram::new();
+        for us in 1..=10_000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        for (p, expect_us) in [(10.0, 1_000), (50.0, 5_000), (99.0, 9_900)] {
+            let got = h.percentile(p).as_nanos() as f64 / 1000.0;
+            let err = (got - expect_us as f64).abs() / expect_us as f64;
+            assert!(err < 0.05, "p{p}: got {got}us expected ~{expect_us}us");
+        }
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(100));
+        h.record(SimDuration::from_nanos(300));
+        assert_eq!(h.mean().as_nanos(), 200);
+        assert_eq!(h.min().as_nanos(), 100);
+        assert_eq!(h.max().as_nanos(), 300);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_micros(1));
+        b.record(SimDuration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_micros(1000));
+        assert_eq!(a.min(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(5));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        Histogram::new().percentile(101.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_value_within_three_percent(v in 0u64..u64::MAX / 2) {
+            let idx = Histogram::index(v);
+            let rep = Histogram::value_for(idx);
+            // representative value is within 2 sub-bucket widths
+            let err = rep.abs_diff(v) as f64;
+            prop_assert!(err <= (v as f64) * 0.07 + 2.0,
+                "v={v} idx={idx} rep={rep}");
+        }
+
+        #[test]
+        fn index_is_monotone(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Histogram::index(lo) <= Histogram::index(hi));
+        }
+
+        #[test]
+        fn percentiles_are_monotone(values in prop::collection::vec(0u64..10_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for v in &values {
+                h.record(SimDuration::from_nanos(*v));
+            }
+            let mut last = SimDuration::ZERO;
+            for p in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+                let cur = h.percentile(p);
+                prop_assert!(cur >= last);
+                last = cur;
+            }
+        }
+    }
+}

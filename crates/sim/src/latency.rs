@@ -1,0 +1,215 @@
+//! Channel-parallel device service-time model.
+
+use crate::{SimDuration, SimTime};
+
+/// Models the internal parallelism of a storage device as a set of channels.
+///
+/// Each request occupies the earliest-free channel for a service time of
+/// `fixed + per_unit * ceil(bytes / unit_bytes)`. Throughput therefore
+/// scales with channel count up to saturation, and a saturated device
+/// queues requests — exactly the first-order behaviour needed to reproduce
+/// queue-depth effects in the paper's fio experiments.
+///
+/// The model is deliberately simple: RAIZN's evaluation depends on relative
+/// behaviour (GC stalls vs. none, striping fan-out), not on a cycle-accurate
+/// flash model.
+///
+/// # Examples
+///
+/// ```
+/// use sim::{ChannelModel, SimDuration, SimTime};
+/// let mut m = ChannelModel::new(2, SimDuration::from_micros(10),
+///                               SimDuration::from_micros(5), 4096);
+/// let a = m.service(SimTime::ZERO, 4096); // channel 0
+/// let b = m.service(SimTime::ZERO, 4096); // channel 1, parallel
+/// assert_eq!(a, b);
+/// let c = m.service(SimTime::ZERO, 4096); // queues behind a
+/// assert!(c > a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelModel {
+    channels: Vec<SimTime>,
+    fixed: SimDuration,
+    per_unit: SimDuration,
+    unit_bytes: u64,
+}
+
+impl ChannelModel {
+    /// Creates a model with `channels` parallel service units.
+    ///
+    /// `fixed` is the per-request overhead; `per_unit` is charged for every
+    /// started `unit_bytes` block of the request payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` or `unit_bytes` is zero.
+    pub fn new(
+        channels: usize,
+        fixed: SimDuration,
+        per_unit: SimDuration,
+        unit_bytes: u64,
+    ) -> Self {
+        assert!(channels > 0, "ChannelModel requires at least one channel");
+        assert!(unit_bytes > 0, "ChannelModel unit_bytes must be nonzero");
+        ChannelModel {
+            channels: vec![SimTime::ZERO; channels],
+            fixed,
+            per_unit,
+            unit_bytes,
+        }
+    }
+
+    /// Number of parallel channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Services a request of `bytes` issued at `issue`, returning its
+    /// completion time and occupying a channel for the service duration.
+    pub fn service(&mut self, issue: SimTime, bytes: u64) -> SimTime {
+        self.service_with_extra(issue, bytes, SimDuration::ZERO)
+    }
+
+    /// Like [`service`](Self::service) but adds `extra` busy time to the
+    /// chosen channel (used for GC stalls in the FTL model).
+    pub fn service_with_extra(
+        &mut self,
+        issue: SimTime,
+        bytes: u64,
+        extra: SimDuration,
+    ) -> SimTime {
+        let units = bytes.div_ceil(self.unit_bytes);
+        let busy = self.fixed + self.per_unit.saturating_mul(units) + extra;
+        let slot = self
+            .channels
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("ChannelModel has at least one channel");
+        let start = self.channels[slot].max(issue);
+        let done = start + busy;
+        self.channels[slot] = done;
+        done
+    }
+
+    /// Occupies the earliest-free channel for exactly `dur`, starting no
+    /// earlier than `issue`, and returns the completion time.
+    ///
+    /// This is the raw primitive used by device models that split one host
+    /// request into multiple per-channel chunks with op-specific costs.
+    pub fn occupy(&mut self, issue: SimTime, dur: SimDuration) -> SimTime {
+        let slot = self
+            .channels
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("ChannelModel has at least one channel");
+        let start = self.channels[slot].max(issue);
+        let done = start + dur;
+        self.channels[slot] = done;
+        done
+    }
+
+    /// The earliest instant at which every channel is idle — i.e. when all
+    /// previously submitted work has drained.
+    pub fn drained_at(&self) -> SimTime {
+        self.channels
+            .iter()
+            .copied()
+            .max()
+            .expect("ChannelModel has at least one channel")
+    }
+
+    /// Resets all channels to idle-at-zero (used when reformatting a device).
+    pub fn reset(&mut self) {
+        for c in &mut self.channels {
+            *c = SimTime::ZERO;
+        }
+    }
+
+    /// The raw service duration this model charges for `bytes`, ignoring
+    /// queueing.
+    pub fn service_duration(&self, bytes: u64) -> SimDuration {
+        self.fixed + self.per_unit.saturating_mul(bytes.div_ceil(self.unit_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(ch: usize) -> ChannelModel {
+        ChannelModel::new(
+            ch,
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(5),
+            4096,
+        )
+    }
+
+    #[test]
+    fn single_request_takes_fixed_plus_units() {
+        let mut m = model(1);
+        let done = m.service(SimTime::ZERO, 8192);
+        // 10us fixed + 2 * 5us
+        assert_eq!(done, SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn partial_unit_rounds_up() {
+        let mut m = model(1);
+        let done = m.service(SimTime::ZERO, 1);
+        assert_eq!(done, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn parallel_channels_overlap() {
+        let mut m = model(4);
+        let times: Vec<_> = (0..4).map(|_| m.service(SimTime::ZERO, 4096)).collect();
+        assert!(times.iter().all(|t| *t == times[0]));
+        // Fifth request queues.
+        let fifth = m.service(SimTime::ZERO, 4096);
+        assert_eq!(fifth, times[0] + SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn later_issue_does_not_start_early() {
+        let mut m = model(1);
+        let issue = SimTime::from_millis(1);
+        let done = m.service(issue, 4096);
+        assert_eq!(done, issue + SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn drained_at_tracks_max() {
+        let mut m = model(2);
+        m.service(SimTime::ZERO, 4096);
+        let t = m.service(SimTime::ZERO, 4096 * 10);
+        assert_eq!(m.drained_at(), t);
+        m.reset();
+        assert_eq!(m.drained_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn extra_busy_time_is_charged() {
+        let mut m = model(1);
+        let done = m.service_with_extra(SimTime::ZERO, 4096, SimDuration::from_millis(1));
+        assert_eq!(done, SimTime::from_micros(15) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn throughput_scales_with_channels() {
+        // 1000 x 4KiB requests on 1 vs 8 channels.
+        let mut one = model(1);
+        let mut eight = model(8);
+        let mut d1 = SimTime::ZERO;
+        let mut d8 = SimTime::ZERO;
+        for _ in 0..1000 {
+            d1 = one.service(SimTime::ZERO, 4096);
+            d8 = eight.service(SimTime::ZERO, 4096);
+        }
+        assert!(d1.as_nanos() > 7 * d8.as_nanos());
+    }
+}

@@ -1,0 +1,137 @@
+//! Throughput timeseries sampling for timeseries figures (Fig. 10).
+
+use crate::{SimDuration, SimTime};
+
+/// One sample of a [`Timeseries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeseriesPoint {
+    /// Start of the sample interval.
+    pub time: SimTime,
+    /// Bytes transferred during the interval.
+    pub bytes: u64,
+    /// Number of operations completed during the interval.
+    pub ops: u64,
+    /// Throughput over the interval in MiB/s.
+    pub mib_per_sec: f64,
+}
+
+/// Accumulates `(completion time, bytes)` events into fixed-width intervals,
+/// producing a throughput-over-time series like the paper's Figure 10.
+///
+/// # Examples
+///
+/// ```
+/// use sim::{Timeseries, SimTime, SimDuration};
+/// let mut ts = Timeseries::new(SimDuration::from_secs(1));
+/// ts.record(SimTime::from_millis(100), 1024 * 1024);
+/// ts.record(SimTime::from_millis(1500), 2 * 1024 * 1024);
+/// let points = ts.points();
+/// assert_eq!(points.len(), 2);
+/// assert_eq!(points[0].bytes, 1024 * 1024);
+/// assert!((points[0].mib_per_sec - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeseries {
+    interval: SimDuration,
+    bytes: Vec<u64>,
+    ops: Vec<u64>,
+}
+
+impl Timeseries {
+    /// Creates a timeseries with the given sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(
+            interval > SimDuration::ZERO,
+            "Timeseries interval must be positive"
+        );
+        Timeseries {
+            interval,
+            bytes: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Records an operation of `bytes` completing at `time`.
+    pub fn record(&mut self, time: SimTime, bytes: u64) {
+        let slot = (time.as_nanos() / self.interval.as_nanos()) as usize;
+        if slot >= self.bytes.len() {
+            self.bytes.resize(slot + 1, 0);
+            self.ops.resize(slot + 1, 0);
+        }
+        self.bytes[slot] += bytes;
+        self.ops[slot] += 1;
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Produces the sampled points, one per elapsed interval.
+    pub fn points(&self) -> Vec<TimeseriesPoint> {
+        let secs = self.interval.as_secs_f64();
+        self.bytes
+            .iter()
+            .zip(self.ops.iter())
+            .enumerate()
+            .map(|(i, (&bytes, &ops))| TimeseriesPoint {
+                time: SimTime::from_nanos(i as u64 * self.interval.as_nanos()),
+                bytes,
+                ops,
+                mib_per_sec: bytes as f64 / (1024.0 * 1024.0) / secs,
+            })
+            .collect()
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_interval() {
+        let mut ts = Timeseries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_millis(999), 10);
+        ts.record(SimTime::from_millis(1000), 20);
+        ts.record(SimTime::from_millis(2500), 30);
+        let p = ts.points();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].bytes, 10);
+        assert_eq!(p[1].bytes, 20);
+        assert_eq!(p[2].bytes, 30);
+        assert_eq!(p[2].time, SimTime::from_secs(2));
+        assert_eq!(ts.total_bytes(), 60);
+    }
+
+    #[test]
+    fn throughput_conversion_is_mib_per_sec() {
+        let mut ts = Timeseries::new(SimDuration::from_millis(500));
+        ts.record(SimTime::ZERO, 1024 * 1024);
+        let p = ts.points();
+        assert!((p[0].mib_per_sec - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ops_are_counted() {
+        let mut ts = Timeseries::new(SimDuration::from_secs(1));
+        for _ in 0..5 {
+            ts.record(SimTime::from_millis(10), 1);
+        }
+        assert_eq!(ts.points()[0].ops, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_rejected() {
+        Timeseries::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,120 @@
+//! Scalar summary statistics for benchmark reporting.
+
+use std::fmt;
+
+/// Summary statistics over a set of scalar observations (e.g. per-trial
+/// throughputs). The paper reports the median of three trials with min/max
+/// error bars; [`Summary`] computes exactly those.
+///
+/// # Examples
+///
+/// ```
+/// use sim::Summary;
+/// let s = Summary::from_values(&[3.0, 1.0, 2.0]);
+/// assert_eq!(s.median(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from raw observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a NaN.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "Summary requires at least one value");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "Summary values must not be NaN"
+        );
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary { sorted }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// Median observation (lower-median for even counts averaged with upper).
+    pub fn median(&self) -> f64 {
+        let n = self.sorted.len();
+        if n % 2 == 1 {
+            self.sorted[n / 2]
+        } else {
+            (self.sorted[n / 2 - 1] + self.sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "median={:.2} min={:.2} max={:.2} (n={})",
+            self.median(),
+            self.min(),
+            self.max(),
+            self.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_count_median() {
+        let s = Summary::from_values(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    fn even_count_median_averages() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let s = Summary::from_values(&[2.0, 4.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_rejected() {
+        Summary::from_values(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        Summary::from_values(&[f64::NAN]);
+    }
+}

@@ -1,0 +1,227 @@
+//! `zfio` — a tiny fio-like CLI over the simulated storage stacks.
+//!
+//! Runs a configurable workload against a freshly built target and prints
+//! the virtual-time report. Examples:
+//!
+//! ```console
+//! $ cargo run -p workloads --bin zfio -- --target raizn --rw write --bs 64k --jobs 8 --qd 64
+//! $ cargo run -p workloads --bin zfio -- --target mdraid --rw randread --bs 4k --ops 10000
+//! $ cargo run -p workloads --bin zfio -- --target zns --rw write --bs 1m
+//! ```
+
+use ftl::{BlockDevice, ConvSsd, FtlConfig};
+use mdraid5::{Md5Config, Md5Volume};
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::SimTime;
+use std::sync::Arc;
+use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
+use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+
+#[derive(Debug)]
+struct Args {
+    target: String,
+    rw: String,
+    block_sectors: u64,
+    jobs: u64,
+    queue_depth: usize,
+    ops: u64,
+    devices: usize,
+    zones: u32,
+    zone_mib: u64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: zfio [--target raizn|mdraid|zns|conv] [--rw read|write|randread]\n\
+         \u{20}           [--bs 4k|64k|1m|...] [--jobs N] [--qd N] [--ops N]\n\
+         \u{20}           [--devices N] [--zones N] [--zone-mib N] [--seed N]\n\
+         \n\
+         Runs a fio-style workload on a freshly built simulated target and\n\
+         prints virtual-time throughput and latency percentiles."
+    );
+    std::process::exit(2)
+}
+
+fn parse_bs(s: &str) -> Option<u64> {
+    let lower = s.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix('k') {
+        (n, 1024u64)
+    } else if let Some(n) = lower.strip_suffix('m') {
+        (n, 1024 * 1024)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let bytes = num.parse::<u64>().ok()? * mult;
+    if bytes % zns::SECTOR_SIZE != 0 || bytes == 0 {
+        return None;
+    }
+    Some(bytes / zns::SECTOR_SIZE)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        target: "raizn".to_string(),
+        rw: "write".to_string(),
+        block_sectors: 16,
+        jobs: 1,
+        queue_depth: 32,
+        ops: 0,
+        devices: 5,
+        zones: 32,
+        zone_mib: 16,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let val = argv.get(i + 1).unwrap_or_else(|| usage());
+        match key {
+            "--target" => args.target = val.clone(),
+            "--rw" => args.rw = val.clone(),
+            "--bs" => args.block_sectors = parse_bs(val).unwrap_or_else(|| usage()),
+            "--jobs" => args.jobs = val.parse().unwrap_or_else(|_| usage()),
+            "--qd" => args.queue_depth = val.parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = val.parse().unwrap_or_else(|_| usage()),
+            "--devices" => args.devices = val.parse().unwrap_or_else(|_| usage()),
+            "--zones" => args.zones = val.parse().unwrap_or_else(|_| usage()),
+            "--zone-mib" => args.zone_mib = val.parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn zns_devices(n: usize, zones: u32, zone_sectors: u64) -> Vec<Arc<ZnsDevice>> {
+    (0..n)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(zones, zone_sectors, zone_sectors)
+                    .open_limits(14, 28)
+                    .latency(LatencyConfig::zns_ssd())
+                    .store_data(false)
+                    .build(),
+            ))
+        })
+        .collect()
+}
+
+fn conv_device(user_sectors: u64) -> Arc<ConvSsd> {
+    Arc::new(ConvSsd::new(FtlConfig {
+        user_sectors,
+        pages_per_block: 256,
+        op_ratio: 0.07,
+        gc_low_blocks: 8,
+        latency: LatencyConfig::conventional_ssd(),
+        store_data: false,
+    }))
+}
+
+fn build_target(args: &Args) -> Box<dyn IoTarget> {
+    let zone_sectors = args.zone_mib * 1024 * 1024 / zns::SECTOR_SIZE;
+    match args.target.as_str() {
+        "raizn" => {
+            let devices = zns_devices(args.devices, args.zones, zone_sectors);
+            let vol = RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO)
+                .expect("format RAIZN");
+            Box::new(ZonedTarget::new(Arc::new(vol)))
+        }
+        "zns" => Box::new(ZonedTarget::new(
+            zns_devices(1, args.zones, zone_sectors).remove(0),
+        )),
+        "mdraid" => {
+            let devices: Vec<Arc<dyn BlockDevice>> = (0..args.devices)
+                .map(|_| conv_device(args.zones as u64 * zone_sectors) as Arc<dyn BlockDevice>)
+                .collect();
+            let md = Md5Volume::new(devices, Md5Config::default()).expect("assemble mdraid");
+            Box::new(BlockTarget::new(Arc::new(md)))
+        }
+        "conv" => Box::new(BlockTarget::new(conv_device(
+            args.zones as u64 * zone_sectors,
+        ))),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let target = build_target(&args);
+    let cap = target.capacity_sectors();
+
+    let (kind, pattern) = match args.rw.as_str() {
+        "read" => (OpKind::Read, Pattern::Sequential),
+        "write" => (OpKind::Write, Pattern::Sequential),
+        "randread" => (OpKind::Read, Pattern::Random),
+        _ => usage(),
+    };
+
+    // Reads need primed data.
+    let start = if kind == OpKind::Read {
+        bench_prime(target.as_ref())
+    } else {
+        SimTime::ZERO
+    };
+
+    // Align job regions to the target's natural boundary (zone capacity
+    // for zoned targets) so sequential jobs start at writable positions.
+    let align = target.max_io_at(0).min(cap);
+    let per_job = (cap / args.jobs / align).max(1) * align;
+    let jobs: Vec<JobSpec> = (0..args.jobs)
+        .map(|i| {
+            let end = ((i + 1) * per_job).min(cap);
+            let mut job = JobSpec::new(kind, pattern, args.block_sectors)
+                .region(i * per_job, end)
+                .queue_depth(args.queue_depth);
+            if args.ops > 0 {
+                job = job.ops(args.ops / args.jobs);
+            } else if pattern == Pattern::Random {
+                job = job.ops(10_000);
+            }
+            job
+        })
+        .collect();
+
+    let report = Engine::new(args.seed)
+        .start_at(start)
+        .run(target.as_ref(), &jobs)
+        .expect("workload failed");
+
+    println!(
+        "zfio: target={} rw={} bs={}K jobs={} qd={}",
+        args.target,
+        args.rw,
+        args.block_sectors * zns::SECTOR_SIZE / 1024,
+        args.jobs,
+        args.queue_depth
+    );
+    println!(
+        "  ops={} bytes={} MiB elapsed={:.3}s (virtual)",
+        report.total_ops,
+        report.total_bytes / (1024 * 1024),
+        report.duration.as_secs_f64()
+    );
+    println!(
+        "  throughput: {:.0} MiB/s, {:.0} IOPS",
+        report.throughput_mib_s(),
+        report.iops()
+    );
+    println!(
+        "  latency: p50={} p99={} p99.9={} max={}",
+        report.latency.median(),
+        report.latency.percentile(99.0),
+        report.latency.percentile(99.9),
+        report.latency.max()
+    );
+}
+
+fn bench_prime(target: &dyn IoTarget) -> SimTime {
+    let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).queue_depth(64);
+    Engine::new(0xF111)
+        .run(target, &[job])
+        .expect("priming failed")
+        .end
+}

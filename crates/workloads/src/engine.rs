@@ -1,0 +1,427 @@
+//! The job engine: queue depths, issue scheduling and reporting.
+
+use crate::series::LatencySeries;
+use crate::target::{io_buffer, IoTarget};
+use sim::{Histogram, SimDuration, SimRng, SimTime, Timeseries, TimeseriesPoint};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use zns::{Result, SECTOR_SIZE};
+
+/// Operation type of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Direct reads.
+    Read,
+    /// Direct writes.
+    Write,
+}
+
+/// Address pattern of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Ascending offsets from the job's start, wrapping within its region.
+    Sequential,
+    /// Uniform block-aligned offsets within the job's region.
+    Random,
+}
+
+/// One fio-style job: a stream of same-sized IOs with a private queue
+/// depth over a region of the target.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    kind: OpKind,
+    pattern: Pattern,
+    block_sectors: u64,
+    queue_depth: usize,
+    ops: u64,
+    region: Option<(u64, u64)>,
+}
+
+impl JobSpec {
+    /// Creates a job issuing `block_sectors`-sized IOs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_sectors` is zero.
+    pub fn new(kind: OpKind, pattern: Pattern, block_sectors: u64) -> Self {
+        assert!(block_sectors > 0, "block size must be nonzero");
+        JobSpec {
+            kind,
+            pattern,
+            block_sectors,
+            queue_depth: 1,
+            ops: 0,
+            region: None,
+        }
+    }
+
+    /// Sets the queue depth (fio `iodepth`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be nonzero");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the number of IOs to issue. Zero (the default) means "cover
+    /// the region exactly once" for sequential jobs and is invalid for
+    /// random jobs.
+    pub fn ops(mut self, ops: u64) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Restricts the job to dense sector range `[start, end)`.
+    pub fn region(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "empty job region");
+        self.region = Some((start, end));
+        self
+    }
+}
+
+/// Aggregate results of a run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// IOs completed.
+    pub total_ops: u64,
+    /// Bytes transferred.
+    pub total_bytes: u64,
+    /// Wall (virtual) time from first issue to last completion.
+    pub duration: SimDuration,
+    /// Per-IO latency distribution.
+    pub latency: Histogram,
+    /// Throughput timeseries, when sampling was enabled.
+    pub throughput_series: Option<Vec<TimeseriesPoint>>,
+    /// Latency timeseries, when sampling was enabled.
+    pub latency_series: Option<Vec<(SimTime, SimDuration, SimDuration)>>,
+    /// The virtual instant the run finished (for chaining phases).
+    pub end: SimTime,
+}
+
+impl RunReport {
+    /// Mean throughput in MiB/s over the run.
+    pub fn throughput_mib_s(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+
+    /// Operations per second over the run.
+    pub fn iops(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_ops as f64 / secs
+    }
+}
+
+struct JobState {
+    spec: JobSpec,
+    region: (u64, u64),
+    next_seq: u64,
+    remaining: u64,
+    in_flight: BinaryHeap<Reverse<u64>>,
+    frontier: SimTime,
+}
+
+/// The workload engine. Deterministic given its seed.
+#[derive(Debug)]
+pub struct Engine {
+    rng: SimRng,
+    start: SimTime,
+    sample: Option<SimDuration>,
+    time_limit: Option<SimDuration>,
+}
+
+impl Engine {
+    /// Creates an engine with a deterministic seed, starting at t = 0.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            rng: SimRng::new(seed),
+            start: SimTime::ZERO,
+            sample: None,
+            time_limit: None,
+        }
+    }
+
+    /// Starts issuing at `at` instead of t = 0 (for chaining phases).
+    pub fn start_at(mut self, at: SimTime) -> Self {
+        self.start = at;
+        self
+    }
+
+    /// Enables throughput/latency timeseries sampling at `interval`.
+    pub fn sample_interval(mut self, interval: SimDuration) -> Self {
+        self.sample = Some(interval);
+        self
+    }
+
+    /// Stops issuing new IOs once this much virtual time has elapsed.
+    pub fn time_limit(mut self, limit: SimDuration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Runs `jobs` against `target` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first target IO error.
+    pub fn run(&mut self, target: &dyn IoTarget, jobs: &[JobSpec]) -> Result<RunReport> {
+        assert!(!jobs.is_empty(), "at least one job required");
+        let cap = target.capacity_sectors();
+        let mut states: Vec<JobState> = jobs
+            .iter()
+            .map(|spec| {
+                let region = spec.region.unwrap_or((0, cap));
+                assert!(region.1 <= cap, "job region exceeds target capacity");
+                let region_blocks = (region.1 - region.0) / spec.block_sectors;
+                assert!(region_blocks > 0, "job region smaller than one block");
+                let remaining = if spec.ops > 0 {
+                    spec.ops
+                } else {
+                    assert_eq!(
+                        spec.pattern,
+                        Pattern::Sequential,
+                        "random jobs must set an explicit op count"
+                    );
+                    region_blocks
+                };
+                JobState {
+                    spec: spec.clone(),
+                    region,
+                    next_seq: region.0,
+                    remaining,
+                    in_flight: BinaryHeap::new(),
+                    frontier: self.start,
+                }
+            })
+            .collect();
+
+        let max_block = jobs.iter().map(|j| j.block_sectors).max().expect("jobs");
+        let mut buf = io_buffer(max_block);
+        let mut latency = Histogram::new();
+        let mut ts = self.sample.map(Timeseries::new);
+        let mut ls = self.sample.map(LatencySeries::new);
+        let mut total_ops = 0u64;
+        let mut total_bytes = 0u64;
+        let mut end = self.start;
+        let deadline = self.time_limit.map(|l| self.start + l);
+
+        loop {
+            // Pick the issuable job with the earliest issue instant;
+            // break ties toward the job with the fewest IOs in flight so
+            // concurrent jobs interleave their submissions (like racing
+            // fio threads) instead of bursting one queue at a time.
+            let mut best: Option<(usize, SimTime, usize)> = None;
+            for (i, j) in states.iter().enumerate() {
+                if j.remaining == 0 {
+                    continue;
+                }
+                let t = if j.in_flight.len() < j.spec.queue_depth {
+                    j.frontier
+                } else {
+                    SimTime::from_nanos(j.in_flight.peek().expect("at depth").0)
+                };
+                let depth = j.in_flight.len();
+                if best
+                    .map(|(_, bt, bd)| (t, depth) < (bt, bd))
+                    .unwrap_or(true)
+                {
+                    best = Some((i, t, depth));
+                }
+            }
+            let Some((ji, issue, _)) = best else { break };
+            if let Some(d) = deadline {
+                if issue >= d {
+                    break;
+                }
+            }
+            let job = &mut states[ji];
+            // Retire completions that free the queue slot.
+            while job.in_flight.len() >= job.spec.queue_depth {
+                let Reverse(done) = job.in_flight.pop().expect("at depth");
+                job.frontier = job.frontier.max(SimTime::from_nanos(done));
+            }
+            let issue = job.frontier.max(issue);
+
+            // Choose the offset.
+            let block = job.spec.block_sectors;
+            let off = match job.spec.pattern {
+                Pattern::Sequential => {
+                    if job.next_seq + block > job.region.1 {
+                        job.next_seq = job.region.0;
+                    }
+                    let o = job.next_seq;
+                    job.next_seq += block;
+                    o
+                }
+                Pattern::Random => {
+                    let slots = (job.region.1 - job.region.0) / block;
+                    let mut o = job.region.0 + self.rng.gen_range(slots) * block;
+                    let mut tries = 0;
+                    while target.max_io_at(o) < block && tries < 32 {
+                        o = job.region.0 + self.rng.gen_range(slots) * block;
+                        tries += 1;
+                    }
+                    o
+                }
+            };
+            let bytes = (block * SECTOR_SIZE) as usize;
+            let done = match job.spec.kind {
+                OpKind::Read => target.read(issue, off, &mut buf[..bytes])?,
+                OpKind::Write => target.write(issue, off, &buf[..bytes])?,
+            };
+            let lat = done.since(issue);
+            latency.record(lat);
+            if let Some(ts) = ts.as_mut() {
+                ts.record(done, bytes as u64);
+            }
+            if let Some(ls) = ls.as_mut() {
+                ls.record(done, lat);
+            }
+            job.in_flight.push(Reverse(done.as_nanos()));
+            job.remaining -= 1;
+            total_ops += 1;
+            total_bytes += bytes as u64;
+            end = end.max(done);
+        }
+
+        Ok(RunReport {
+            total_ops,
+            total_bytes,
+            duration: end.saturating_since(self.start),
+            latency,
+            throughput_series: ts.map(|t| t.points()),
+            latency_series: ls.map(|l| l.points()),
+            end,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::ZonedTarget;
+    use std::sync::Arc;
+    use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+
+    fn timed_device() -> Arc<ZnsDevice> {
+        Arc::new(ZnsDevice::new(
+            ZnsConfig::builder()
+                .zones(16, 1024, 1024)
+                .open_limits(8, 12)
+                .latency(LatencyConfig::zns_ssd())
+                .store_data(false)
+                .build(),
+        ))
+    }
+
+    #[test]
+    fn sequential_write_covers_region_once_by_default() {
+        let t = ZonedTarget::new(timed_device());
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 64).region(0, 1024);
+        let report = Engine::new(1).run(&t, &[job]).unwrap();
+        assert_eq!(report.total_ops, 16);
+        assert_eq!(report.total_bytes, 1024 * 4096);
+        assert!(report.throughput_mib_s() > 0.0);
+    }
+
+    #[test]
+    fn queue_depth_improves_read_throughput() {
+        let dev = timed_device();
+        let t = ZonedTarget::new(dev);
+        // Prime.
+        let w = JobSpec::new(OpKind::Write, Pattern::Sequential, 64).region(0, 4096);
+        let mut e = Engine::new(2);
+        let fill = e.run(&t, &[w]).unwrap();
+        let run_read = |qd: usize, start: SimTime| {
+            let job = JobSpec::new(OpKind::Read, Pattern::Random, 8)
+                .region(0, 4096)
+                .ops(512)
+                .queue_depth(qd);
+            Engine::new(3).start_at(start).run(&t, &[job]).unwrap()
+        };
+        let qd1 = run_read(1, fill.end);
+        let qd16 = run_read(16, qd1.end);
+        assert!(
+            qd16.throughput_mib_s() > 2.0 * qd1.throughput_mib_s(),
+            "qd16 {} <= 2x qd1 {}",
+            qd16.throughput_mib_s(),
+            qd1.throughput_mib_s()
+        );
+    }
+
+    #[test]
+    fn multiple_jobs_share_the_target() {
+        let t = ZonedTarget::new(timed_device());
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| {
+                JobSpec::new(OpKind::Write, Pattern::Sequential, 64)
+                    .region(i * 1024, (i + 1) * 1024)
+                    .queue_depth(8)
+            })
+            .collect();
+        let report = Engine::new(4).run(&t, &jobs).unwrap();
+        assert_eq!(report.total_ops, 64);
+    }
+
+    #[test]
+    fn sequential_wrap_overwrites() {
+        let t = ZonedTarget::new(timed_device());
+        // 2x the region size -> second pass resets zones.
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 64)
+            .region(0, 1024)
+            .ops(32);
+        let report = Engine::new(5).run(&t, &[job]).unwrap();
+        assert_eq!(report.total_ops, 32);
+    }
+
+    #[test]
+    fn time_limit_caps_run() {
+        let t = ZonedTarget::new(timed_device());
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 64).ops(1_000_000);
+        let mut e = Engine::new(6).time_limit(SimDuration::from_millis(10));
+        let report = e.run(&t, &[job]).unwrap();
+        assert!(report.total_ops < 1_000_000);
+        assert!(report.duration <= SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let t = ZonedTarget::new(timed_device());
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 64).region(0, 4096);
+        let mut e = Engine::new(7).sample_interval(SimDuration::from_millis(100));
+        let report = e.run(&t, &[job]).unwrap();
+        let ts = report.throughput_series.expect("sampling enabled");
+        assert!(!ts.is_empty());
+        assert_eq!(
+            ts.iter().map(|p| p.bytes).sum::<u64>(),
+            report.total_bytes
+        );
+        assert!(report.latency_series.is_some());
+    }
+
+    #[test]
+    fn latency_histogram_counts_every_op() {
+        let t = ZonedTarget::new(timed_device());
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 16).ops(100);
+        let report = Engine::new(8).run(&t, &[job]).unwrap();
+        assert_eq!(report.latency.count(), 100);
+        assert!(report.latency.percentile(99.9) >= report.latency.median());
+    }
+
+    #[test]
+    #[should_panic(expected = "random jobs must set an explicit op count")]
+    fn random_without_ops_rejected() {
+        let t = ZonedTarget::new(timed_device());
+        let job = JobSpec::new(OpKind::Read, Pattern::Random, 8);
+        let _ = Engine::new(9).run(&t, &[job]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-interval latency sampling for timeseries plots.
+
+use sim::{SimDuration, SimTime};
+
+/// Collects `(completion time, latency)` samples into fixed intervals,
+/// reporting mean and max latency per interval — the latency timeseries of
+/// the paper's Fig. 10.
+#[derive(Debug, Clone)]
+pub struct LatencySeries {
+    interval: SimDuration,
+    sum: Vec<u128>,
+    count: Vec<u64>,
+    max: Vec<u64>,
+}
+
+impl LatencySeries {
+    /// Creates a series with the given sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(
+            interval > SimDuration::ZERO,
+            "LatencySeries interval must be positive"
+        );
+        LatencySeries {
+            interval,
+            sum: Vec::new(),
+            count: Vec::new(),
+            max: Vec::new(),
+        }
+    }
+
+    /// Records an operation completing at `time` with the given latency.
+    pub fn record(&mut self, time: SimTime, latency: SimDuration) {
+        let slot = (time.as_nanos() / self.interval.as_nanos()) as usize;
+        if slot >= self.sum.len() {
+            self.sum.resize(slot + 1, 0);
+            self.count.resize(slot + 1, 0);
+            self.max.resize(slot + 1, 0);
+        }
+        self.sum[slot] += latency.as_nanos() as u128;
+        self.count[slot] += 1;
+        self.max[slot] = self.max[slot].max(latency.as_nanos());
+    }
+
+    /// `(interval start, mean latency, max latency)` per elapsed interval;
+    /// empty intervals report zeros.
+    pub fn points(&self) -> Vec<(SimTime, SimDuration, SimDuration)> {
+        (0..self.sum.len())
+            .map(|i| {
+                let start = SimTime::from_nanos(i as u64 * self.interval.as_nanos());
+                let mean = if self.count[i] == 0 {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_nanos((self.sum[i] / self.count[i] as u128) as u64)
+                };
+                (start, mean, SimDuration::from_nanos(self.max[i]))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max_per_interval() {
+        let mut s = LatencySeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_millis(100), SimDuration::from_micros(10));
+        s.record(SimTime::from_millis(200), SimDuration::from_micros(30));
+        s.record(SimTime::from_millis(1500), SimDuration::from_micros(100));
+        let p = s.points();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].1, SimDuration::from_micros(20));
+        assert_eq!(p[0].2, SimDuration::from_micros(30));
+        assert_eq!(p[1].2, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn empty_intervals_are_zero() {
+        let mut s = LatencySeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_secs(2), SimDuration::from_micros(5));
+        let p = s.points();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].1, SimDuration::ZERO);
+        assert_eq!(p[1].1, SimDuration::ZERO);
+    }
+}

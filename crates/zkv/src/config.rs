@@ -1,0 +1,72 @@
+//! Store configuration.
+
+/// Configuration of a [`crate::ZkvStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZkvConfig {
+    /// Memtable flush threshold in bytes.
+    pub memtable_bytes: usize,
+    /// Compact when this many SSTables accumulate.
+    pub compaction_trigger: usize,
+    /// Number of zones reserved for the write-ahead log (ping-pong pair).
+    pub wal_zones: u32,
+    /// Chunk size (sectors) for table flush/compaction IO.
+    pub io_chunk_sectors: u64,
+}
+
+impl Default for ZkvConfig {
+    fn default() -> Self {
+        ZkvConfig {
+            memtable_bytes: 8 * 1024 * 1024,
+            compaction_trigger: 6,
+            wal_zones: 2,
+            io_chunk_sectors: 64, // 256 KiB
+        }
+    }
+}
+
+impl ZkvConfig {
+    /// A tiny configuration for unit tests on
+    /// [`zns::ZnsConfig::small_test`] devices.
+    pub fn small_test() -> Self {
+        ZkvConfig {
+            memtable_bytes: 16 * 1024,
+            compaction_trigger: 3,
+            wal_zones: 2,
+            io_chunk_sectors: 8,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized fields.
+    pub fn validate(&self) {
+        assert!(self.memtable_bytes > 0, "memtable_bytes must be nonzero");
+        assert!(
+            self.compaction_trigger >= 2,
+            "compaction needs at least 2 tables"
+        );
+        assert!(self.wal_zones >= 2, "WAL needs a ping-pong zone pair");
+        assert!(self.io_chunk_sectors > 0, "io_chunk_sectors must be nonzero");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        ZkvConfig::default().validate();
+        ZkvConfig::small_test().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ping-pong")]
+    fn single_wal_zone_rejected() {
+        let mut c = ZkvConfig::small_test();
+        c.wal_zones = 1;
+        c.validate();
+    }
+}

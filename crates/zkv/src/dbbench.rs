@@ -1,0 +1,224 @@
+//! A db_bench-style driver (Fig. 13): fillseq, fillrandom, overwrite and
+//! readwhilewriting over a [`ZkvStore`].
+
+use crate::store::ZkvStore;
+use sim::{Histogram, SimDuration, SimRng, SimTime};
+use zns::{Result, ZonedVolume};
+
+/// The four db_bench workloads the paper runs (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbWorkload {
+    /// Insert `ops` values in ascending key order.
+    FillSeq,
+    /// Insert `ops` values at uniform-random keys.
+    FillRandom,
+    /// Overwrite uniform-random existing keys.
+    Overwrite,
+    /// Single writer streams random puts while `read_threads` readers
+    /// perform `ops` random gets.
+    ReadWhileWriting,
+}
+
+impl DbWorkload {
+    /// db_bench's name for the workload.
+    pub fn name(self) -> &'static str {
+        match self {
+            DbWorkload::FillSeq => "fillseq",
+            DbWorkload::FillRandom => "fillrandom",
+            DbWorkload::Overwrite => "overwrite",
+            DbWorkload::ReadWhileWriting => "readwhilewriting",
+        }
+    }
+}
+
+/// Results of one workload run.
+#[derive(Debug)]
+pub struct DbBenchReport {
+    /// The workload that ran.
+    pub workload: DbWorkload,
+    /// Operations completed (reads for readwhilewriting, writes otherwise).
+    pub ops: u64,
+    /// Virtual wall time.
+    pub duration: SimDuration,
+    /// Write-op latency distribution.
+    pub write_latency: Histogram,
+    /// Read-op latency distribution.
+    pub read_latency: Histogram,
+    /// Instant the run finished (for chaining).
+    pub end: SimTime,
+}
+
+impl DbBenchReport {
+    /// Primary-op throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+/// db_bench-style driver configuration.
+#[derive(Debug, Clone)]
+pub struct DbBench {
+    /// Operations per workload.
+    pub ops: u64,
+    /// Value size in bytes (the paper shows 4000 and 8000).
+    pub value_size: usize,
+    /// Reader threads for readwhilewriting (paper: 8).
+    pub read_threads: usize,
+    /// Key space size (defaults to `ops`).
+    pub key_space: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DbBench {
+    /// A driver issuing `ops` operations with `value_size`-byte values.
+    pub fn new(ops: u64, value_size: usize) -> Self {
+        DbBench {
+            ops,
+            value_size,
+            read_threads: 8,
+            key_space: ops,
+            seed: 0x5EED,
+        }
+    }
+
+    fn value(&self, key: u64) -> Vec<u8> {
+        vec![(key % 251) as u8; self.value_size]
+    }
+
+    /// Runs one workload starting at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store/volume errors (e.g. volume out of space).
+    pub fn run<V: ZonedVolume>(
+        &self,
+        store: &ZkvStore<V>,
+        workload: DbWorkload,
+        at: SimTime,
+    ) -> Result<DbBenchReport> {
+        let mut rng = SimRng::new(self.seed ^ workload as u64);
+        let mut write_latency = Histogram::new();
+        let mut read_latency = Histogram::new();
+        let mut end = at;
+        match workload {
+            DbWorkload::FillSeq | DbWorkload::FillRandom | DbWorkload::Overwrite => {
+                let mut t = at;
+                for i in 0..self.ops {
+                    let key = match workload {
+                        DbWorkload::FillSeq => i,
+                        _ => rng.gen_range(self.key_space),
+                    };
+                    let done = store.put(t, key, &self.value(key))?;
+                    write_latency.record(done.saturating_since(t));
+                    t = done;
+                }
+                end = t;
+            }
+            DbWorkload::ReadWhileWriting => {
+                // Frontier scheduling across 1 writer + N reader streams.
+                let mut frontiers = vec![at; self.read_threads + 1];
+                let mut reads_left = self.ops;
+                let mut reads_per_stream = vec![0u64; self.read_threads];
+                while reads_left > 0 {
+                    // The stream with the earliest frontier acts next.
+                    let (i, &t) = frontiers
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, t)| **t)
+                        .expect("streams exist");
+                    if i == 0 {
+                        // Writer stream.
+                        let key = rng.gen_range(self.key_space);
+                        let done = store.put(t, key, &self.value(key))?;
+                        write_latency.record(done.saturating_since(t));
+                        frontiers[0] = done;
+                    } else {
+                        let key = rng.gen_range(self.key_space);
+                        let (_, done) = store.get(t, key)?;
+                        read_latency.record(done.saturating_since(t));
+                        frontiers[i] = done;
+                        reads_per_stream[i - 1] += 1;
+                        reads_left -= 1;
+                    }
+                    end = end.max(frontiers[i]);
+                }
+            }
+        }
+        Ok(DbBenchReport {
+            workload,
+            ops: self.ops,
+            duration: end.saturating_since(at),
+            write_latency,
+            read_latency,
+            end,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZkvConfig;
+    use std::sync::Arc;
+    use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+
+    fn store() -> ZkvStore<ZnsDevice> {
+        let dev = Arc::new(ZnsDevice::new(
+            ZnsConfig::builder()
+                .zones(32, 256, 256)
+                .open_limits(8, 14)
+                .latency(LatencyConfig::zns_ssd())
+                .store_data(false)
+                .build(),
+        ));
+        ZkvStore::create(dev, ZkvConfig::small_test(), SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn fillseq_completes_and_reports() {
+        let s = store();
+        let bench = DbBench::new(200, 500);
+        let r = bench.run(&s, DbWorkload::FillSeq, SimTime::ZERO).unwrap();
+        assert_eq!(r.ops, 200);
+        assert!(r.ops_per_sec() > 0.0);
+        assert_eq!(r.write_latency.count(), 200);
+    }
+
+    #[test]
+    fn fillrandom_then_overwrite() {
+        let s = store();
+        let bench = DbBench::new(150, 400);
+        let a = bench.run(&s, DbWorkload::FillRandom, SimTime::ZERO).unwrap();
+        let b = bench.run(&s, DbWorkload::Overwrite, a.end).unwrap();
+        assert!(b.end > a.end);
+        assert!(s.stats().puts >= 300);
+    }
+
+    #[test]
+    fn readwhilewriting_interleaves() {
+        let s = store();
+        let bench = DbBench::new(100, 400);
+        bench.run(&s, DbWorkload::FillRandom, SimTime::ZERO).unwrap();
+        let r = bench
+            .run(&s, DbWorkload::ReadWhileWriting, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.read_latency.count(), 100);
+        assert!(
+            r.write_latency.count() > 0,
+            "writer starved: {:?}",
+            r.write_latency
+        );
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(DbWorkload::FillSeq.name(), "fillseq");
+        assert_eq!(DbWorkload::ReadWhileWriting.name(), "readwhilewriting");
+    }
+}

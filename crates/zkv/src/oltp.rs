@@ -1,0 +1,259 @@
+//! A sysbench-style OLTP driver (Fig. 14) over a [`ZkvStore`].
+//!
+//! Emulates sysbench's `oltp_read_only`, `oltp_write_only` and
+//! `oltp_read_write` on a key-value backend (as MyRocks does): tables are
+//! key ranges, point SELECTs are gets, UPDATE/INSERT are puts, DELETE is a
+//! tombstone. `threads` transaction streams run concurrently on the
+//! virtual clock for a fixed duration.
+
+use crate::store::ZkvStore;
+use sim::{Histogram, SimDuration, SimRng, SimTime};
+use zns::{Result, ZonedVolume};
+
+/// The sysbench transaction mixes the paper runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OltpMix {
+    /// 10 point SELECTs per transaction.
+    ReadOnly,
+    /// 2 UPDATEs, 1 DELETE, 1 INSERT per transaction.
+    WriteOnly,
+    /// 14 SELECTs, 2 UPDATEs, 1 DELETE, 1 INSERT per transaction.
+    ReadWrite,
+}
+
+impl OltpMix {
+    /// sysbench's name for the mix.
+    pub fn name(self) -> &'static str {
+        match self {
+            OltpMix::ReadOnly => "oltp_read_only",
+            OltpMix::WriteOnly => "oltp_write_only",
+            OltpMix::ReadWrite => "oltp_read_write",
+        }
+    }
+}
+
+/// Results of an OLTP run.
+#[derive(Debug)]
+pub struct OltpReport {
+    /// The mix that ran.
+    pub mix: OltpMix,
+    /// Transactions committed.
+    pub transactions: u64,
+    /// Virtual wall time.
+    pub duration: SimDuration,
+    /// Transaction latency distribution.
+    pub latency: Histogram,
+    /// Instant the run finished.
+    pub end: SimTime,
+}
+
+impl OltpReport {
+    /// Transactions per second.
+    pub fn tps(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.transactions as f64 / secs
+        }
+    }
+}
+
+/// sysbench-style driver configuration.
+#[derive(Debug, Clone)]
+pub struct OltpBench {
+    /// Number of tables (paper: 8).
+    pub tables: u32,
+    /// Rows per table (paper: 10 million; scale down for simulation).
+    pub rows_per_table: u64,
+    /// Concurrent transaction streams (paper: 64 and 128).
+    pub threads: usize,
+    /// Virtual run duration (paper: 600 s).
+    pub duration: SimDuration,
+    /// Row payload size in bytes (sysbench rows are ~180 B of data).
+    pub row_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OltpBench {
+    /// A driver with `tables` × `rows_per_table` rows and `threads`
+    /// streams.
+    pub fn new(tables: u32, rows_per_table: u64, threads: usize) -> Self {
+        OltpBench {
+            tables,
+            rows_per_table,
+            threads,
+            duration: SimDuration::from_secs(10),
+            row_bytes: 180,
+            seed: 0x0175EED,
+        }
+    }
+
+    fn key(&self, table: u32, row: u64) -> u64 {
+        ((table as u64) << 40) | row
+    }
+
+    fn row_value(&self, key: u64) -> Vec<u8> {
+        vec![(key % 247) as u8; self.row_bytes]
+    }
+
+    /// Loads every table (sysbench `prepare`). Returns the completion
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store/volume errors.
+    pub fn prepare<V: ZonedVolume>(&self, store: &ZkvStore<V>, at: SimTime) -> Result<SimTime> {
+        let mut t = at;
+        for table in 0..self.tables {
+            for row in 0..self.rows_per_table {
+                let k = self.key(table, row);
+                t = store.put(t, k, &self.row_value(k))?;
+            }
+        }
+        store.sync(t)
+    }
+
+    /// Runs the mix for the configured duration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store/volume errors.
+    pub fn run<V: ZonedVolume>(
+        &self,
+        store: &ZkvStore<V>,
+        mix: OltpMix,
+        at: SimTime,
+    ) -> Result<OltpReport> {
+        let mut rng = SimRng::new(self.seed ^ mix as u64);
+        let mut frontiers = vec![at; self.threads];
+        let deadline = at + self.duration;
+        let mut latency = Histogram::new();
+        let mut transactions = 0u64;
+        let mut end = at;
+        loop {
+            let (i, &t) = frontiers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .expect("streams exist");
+            if t >= deadline {
+                break;
+            }
+            let done = self.transaction(store, mix, t, &mut rng)?;
+            latency.record(done.saturating_since(t));
+            frontiers[i] = done;
+            transactions += 1;
+            end = end.max(done);
+        }
+        Ok(OltpReport {
+            mix,
+            transactions,
+            duration: end.saturating_since(at),
+            latency,
+            end,
+        })
+    }
+
+    fn transaction<V: ZonedVolume>(
+        &self,
+        store: &ZkvStore<V>,
+        mix: OltpMix,
+        at: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<SimTime> {
+        let mut t = at;
+        let pick = |rng: &mut SimRng| {
+            let table = rng.gen_range(self.tables as u64) as u32;
+            let row = rng.gen_range(self.rows_per_table);
+            self.key(table, row)
+        };
+        let selects = match mix {
+            OltpMix::ReadOnly => 10,
+            OltpMix::WriteOnly => 0,
+            OltpMix::ReadWrite => 14,
+        };
+        for _ in 0..selects {
+            let (_, done) = store.get(t, pick(rng))?;
+            t = done;
+        }
+        if mix != OltpMix::ReadOnly {
+            for _ in 0..2 {
+                let k = pick(rng);
+                t = store.put(t, k, &self.row_value(k))?;
+            }
+            let victim = pick(rng);
+            t = store.delete(t, victim)?;
+            // sysbench re-inserts the deleted row id.
+            t = store.put(t, victim, &self.row_value(victim))?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZkvConfig;
+    use std::sync::Arc;
+    use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+
+    fn store() -> ZkvStore<ZnsDevice> {
+        let dev = Arc::new(ZnsDevice::new(
+            ZnsConfig::builder()
+                .zones(32, 512, 512)
+                .open_limits(8, 14)
+                .latency(LatencyConfig::zns_ssd())
+                .store_data(false)
+                .build(),
+        ));
+        ZkvStore::create(dev, ZkvConfig::small_test(), SimTime::ZERO).unwrap()
+    }
+
+    fn bench() -> OltpBench {
+        let mut b = OltpBench::new(2, 50, 4);
+        b.duration = SimDuration::from_millis(50);
+        b
+    }
+
+    #[test]
+    fn prepare_loads_rows() {
+        let s = store();
+        let b = bench();
+        let t = b.prepare(&s, SimTime::ZERO).unwrap();
+        assert!(t > SimTime::ZERO);
+        assert!(s.stats().puts >= 100);
+    }
+
+    #[test]
+    fn read_only_mix_runs() {
+        let s = store();
+        let b = bench();
+        let t = b.prepare(&s, SimTime::ZERO).unwrap();
+        let r = b.run(&s, OltpMix::ReadOnly, t).unwrap();
+        assert!(r.transactions > 0);
+        assert!(r.tps() > 0.0);
+        assert_eq!(r.latency.count(), r.transactions);
+    }
+
+    #[test]
+    fn write_mixes_touch_the_store() {
+        let s = store();
+        let b = bench();
+        let t = b.prepare(&s, SimTime::ZERO).unwrap();
+        let before = s.stats().puts;
+        let r = b.run(&s, OltpMix::WriteOnly, t).unwrap();
+        assert!(r.transactions > 0);
+        assert!(s.stats().puts > before);
+        let r2 = b.run(&s, OltpMix::ReadWrite, r.end).unwrap();
+        assert!(r2.transactions > 0);
+    }
+
+    #[test]
+    fn mix_names() {
+        assert_eq!(OltpMix::ReadOnly.name(), "oltp_read_only");
+        assert_eq!(OltpMix::WriteOnly.name(), "oltp_write_only");
+        assert_eq!(OltpMix::ReadWrite.name(), "oltp_read_write");
+    }
+}

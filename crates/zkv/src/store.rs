@@ -1,0 +1,584 @@
+//! The LSM store engine.
+
+use crate::config::ZkvConfig;
+use parking_lot::Mutex;
+use sim::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use zns::{Lba, Result, WriteFlags, ZnsError, ZonedVolume, SECTOR_SIZE};
+
+/// Store statistics for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZkvStats {
+    /// user put/delete operations
+    pub puts: u64,
+    /// user get operations
+    pub gets: u64,
+    /// memtable flushes
+    pub flushes: u64,
+    /// compactions run
+    pub compactions: u64,
+    /// bytes written to SSTables (flush + compaction)
+    pub table_bytes_written: u64,
+    /// bytes read by compactions
+    pub compaction_bytes_read: u64,
+    /// zone resets issued (dead zones reclaimed + WAL rotation)
+    pub zone_resets: u64,
+}
+
+/// One index entry of an SSTable: where a key's value lives.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    key: u64,
+    lba: Lba,
+    sectors: u32,
+    value_len: u32,
+    tombstone: bool,
+}
+
+/// An immutable sorted run.
+#[derive(Debug)]
+struct SsTable {
+    /// Sorted by key (unique within a table).
+    entries: Vec<IndexEntry>,
+    /// Zones this table occupies (for reclamation).
+    zones: Vec<u32>,
+}
+
+struct ZoneAlloc {
+    free: VecDeque<u32>,
+    /// Currently open data zone and its next write offset (sectors).
+    open: Option<(u32, u64)>,
+    /// Live-table count per zone.
+    live: Vec<u32>,
+}
+
+struct Inner {
+    mem: BTreeMap<u64, Option<Vec<u8>>>,
+    mem_bytes: usize,
+    tables: Vec<SsTable>,
+    alloc: ZoneAlloc,
+    wal: Vec<u32>,
+    wal_active: usize,
+    wal_used: u64,
+    stats: ZkvStats,
+}
+
+/// A log-structured merge-tree key-value store over a zoned volume. See
+/// the crate documentation for the design and an example.
+pub struct ZkvStore<V> {
+    volume: Arc<V>,
+    config: ZkvConfig,
+    inner: Mutex<Inner>,
+}
+
+/// Sectors needed for a value of `len` bytes plus the 16-byte record
+/// header.
+fn record_sectors(len: usize) -> u64 {
+    ((len + 16) as u64).div_ceil(SECTOR_SIZE)
+}
+
+impl<V: ZonedVolume> ZkvStore<V> {
+    /// Creates a fresh store on `volume`. The first `wal_zones` zones hold
+    /// the WAL; the rest are data zones.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the volume has too few zones.
+    pub fn create(volume: Arc<V>, config: ZkvConfig, _at: SimTime) -> Result<Self> {
+        config.validate();
+        let zones = volume.geometry().num_zones();
+        if zones < config.wal_zones + 2 {
+            return Err(ZnsError::InvalidArgument(format!(
+                "volume has {zones} zones; zkv needs at least {}",
+                config.wal_zones + 2
+            )));
+        }
+        let wal: Vec<u32> = (0..config.wal_zones).collect();
+        let free: VecDeque<u32> = (config.wal_zones..zones).collect();
+        Ok(ZkvStore {
+            volume,
+            config,
+            inner: Mutex::new(Inner {
+                mem: BTreeMap::new(),
+                mem_bytes: 0,
+                tables: Vec::new(),
+                alloc: ZoneAlloc {
+                    free,
+                    open: None,
+                    live: vec![0; zones as usize],
+                },
+                wal,
+                wal_active: 0,
+                wal_used: 0,
+                stats: ZkvStats::default(),
+            }),
+        })
+    }
+
+    /// The underlying volume.
+    pub fn volume(&self) -> &Arc<V> {
+        &self.volume
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> ZkvStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of SSTables currently live.
+    pub fn table_count(&self) -> usize {
+        self.inner.lock().tables.len()
+    }
+
+    /// Inserts or overwrites `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume IO errors (e.g. out of space).
+    pub fn put(&self, at: SimTime, key: u64, value: &[u8]) -> Result<SimTime> {
+        self.upsert(at, key, Some(value))
+    }
+
+    /// Deletes `key` (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume IO errors.
+    pub fn delete(&self, at: SimTime, key: u64) -> Result<SimTime> {
+        self.upsert(at, key, None)
+    }
+
+    fn upsert(&self, at: SimTime, key: u64, value: Option<&[u8]>) -> Result<SimTime> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        // WAL append.
+        let vlen = value.map(|v| v.len()).unwrap_or(0);
+        let wal_sectors = record_sectors(vlen);
+        let geo = self.volume.geometry();
+        let mut t = at;
+        if inner.wal_used + wal_sectors > geo.zone_cap() {
+            // Rotate to the other WAL zone; the data it protects is forced
+            // into tables first.
+            t = self.flush_memtable(inner, t)?;
+            let old = inner.wal[inner.wal_active];
+            inner.wal_active = (inner.wal_active + 1) % inner.wal.len();
+            inner.wal_used = 0;
+            t = self.volume.reset_zone(t, old)?.done;
+            inner.stats.zone_resets += 1;
+        }
+        let wal_zone = inner.wal[inner.wal_active];
+        let mut rec = vec![0u8; (wal_sectors * SECTOR_SIZE) as usize];
+        rec[..8].copy_from_slice(&key.to_le_bytes());
+        rec[8..12].copy_from_slice(&(vlen as u32).to_le_bytes());
+        rec[12] = value.is_none() as u8;
+        if let Some(v) = value {
+            rec[16..16 + v.len()].copy_from_slice(v);
+        }
+        t = self
+            .volume
+            .append(t, wal_zone, &rec, WriteFlags::default())?
+            .done;
+        inner.wal_used += wal_sectors;
+
+        // Memtable insert.
+        let delta = 16 + vlen;
+        if let Some(old) = inner
+            .mem
+            .insert(key, value.map(|v| v.to_vec()))
+        {
+            inner.mem_bytes -= 16 + old.map(|o| o.len()).unwrap_or(0);
+        }
+        inner.mem_bytes += delta;
+        inner.stats.puts += 1;
+
+        if inner.mem_bytes >= self.config.memtable_bytes {
+            t = self.flush_memtable(inner, t)?;
+            if inner.tables.len() >= self.config.compaction_trigger {
+                t = self.compact(inner, t)?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Looks up `key`, returning its value (or `None`) and the completion
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume IO errors.
+    pub fn get(&self, at: SimTime, key: u64) -> Result<(Option<Vec<u8>>, SimTime)> {
+        let mut inner = self.inner.lock();
+        inner.stats.gets += 1;
+        if let Some(v) = inner.mem.get(&key) {
+            return Ok((v.clone(), at));
+        }
+        // Newest table first.
+        for table in inner.tables.iter().rev() {
+            let Ok(i) = table.entries.binary_search_by_key(&key, |e| e.key) else {
+                continue;
+            };
+            let e = table.entries[i];
+            if e.tombstone {
+                return Ok((None, at));
+            }
+            let mut buf = vec![0u8; e.sectors as usize * SECTOR_SIZE as usize];
+            let done = self.volume.read(at, e.lba, &mut buf)?.done;
+            // Record layout: 16-byte header then the value bytes. (On an
+            // accounting-only volume the buffer is zeros; the index-held
+            // length still shapes the returned value.)
+            buf.drain(..16);
+            buf.truncate(e.value_len as usize);
+            return Ok((Some(buf), done));
+        }
+        Ok((None, at))
+    }
+
+    /// Forces the memtable to disk (like a manual `Flush()` call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume IO errors.
+    pub fn sync(&self, at: SimTime) -> Result<SimTime> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let t = self.flush_memtable(inner, at)?;
+        Ok(self.volume.flush(t)?.done)
+    }
+
+    /// Allocates space for `sectors` in the open data zone, opening a new
+    /// zone when needed. Returns the write LBA.
+    fn alloc_extent(&self, inner: &mut Inner, at: SimTime, sectors: u64) -> Result<(Lba, u32, SimTime)> {
+        let geo = self.volume.geometry();
+        assert!(sectors <= geo.zone_cap(), "extent larger than a zone");
+        let t = at;
+        let need_new = match inner.alloc.open {
+            Some((_, used)) => used + sectors > geo.zone_cap(),
+            None => true,
+        };
+        if need_new {
+            // The previous open zone stays as-is (implicitly closed by the
+            // device); it is reclaimed once its tables die.
+            inner.alloc.open = None;
+            let zone = inner.alloc.free.pop_front().ok_or_else(|| {
+                ZnsError::InvalidArgument("zkv: out of free zones".to_string())
+            })?;
+            inner.alloc.open = Some((zone, 0));
+        }
+        let (zone, used) = inner.alloc.open.expect("opened above");
+        let lba = geo.zone_start(zone) + used;
+        inner.alloc.open = Some((zone, used + sectors));
+        Ok((lba, zone, t))
+    }
+
+    /// Writes the sorted `items` out as one SSTable.
+    fn write_table(
+        &self,
+        inner: &mut Inner,
+        at: SimTime,
+        items: &[(u64, Option<Vec<u8>>)],
+    ) -> Result<SimTime> {
+        let mut t = at;
+        let mut entries = Vec::with_capacity(items.len());
+        let mut zones = Vec::new();
+        // Pack records into chunked writes per zone extent.
+        let chunk_cap = self.config.io_chunk_sectors;
+        let mut pending: Vec<u8> = Vec::new();
+        let mut pending_lba: Option<Lba> = None;
+        let mut pending_sectors = 0u64;
+        for (key, value) in items {
+            let vlen = value.as_ref().map(|v| v.len()).unwrap_or(0);
+            let sectors = record_sectors(vlen);
+            // Flush the chunk when it cannot grow contiguously.
+            let (lba, zone, t2) = self.alloc_extent(inner, t, sectors)?;
+            t = t2;
+            let geo = self.volume.geometry();
+            let contiguous = pending_lba
+                .map(|pl| {
+                    pl + pending_sectors == lba
+                        && pending_sectors + sectors <= chunk_cap
+                        && geo.range_in_one_zone(pl, pending_sectors + sectors)
+                })
+                .unwrap_or(false);
+            if !contiguous && pending_lba.is_some() {
+                let wl = pending_lba.take().expect("pending");
+                t = self
+                    .volume
+                    .write(t, wl, &pending, WriteFlags::default())?
+                    .done;
+                inner.stats.table_bytes_written += pending.len() as u64;
+                pending.clear();
+                pending_sectors = 0;
+            }
+            if pending_lba.is_none() {
+                pending_lba = Some(lba);
+            }
+            let off = pending.len();
+            pending.resize(off + (sectors * SECTOR_SIZE) as usize, 0);
+            pending[off..off + 8].copy_from_slice(&key.to_le_bytes());
+            pending[off + 8..off + 12].copy_from_slice(&(vlen as u32).to_le_bytes());
+            pending[off + 12] = value.is_none() as u8;
+            if let Some(v) = value {
+                pending[off + 16..off + 16 + v.len()].copy_from_slice(v);
+            }
+            pending_sectors += sectors;
+            if zones.last() != Some(&zone) {
+                zones.push(zone);
+                inner.alloc.live[zone as usize] += 1;
+            }
+            entries.push(IndexEntry {
+                key: *key,
+                lba,
+                sectors: sectors as u32,
+                value_len: vlen as u32,
+                tombstone: value.is_none(),
+            });
+        }
+        if let Some(wl) = pending_lba {
+            t = self
+                .volume
+                .write(t, wl, &pending, WriteFlags::default())?
+                .done;
+            inner.stats.table_bytes_written += pending.len() as u64;
+        }
+        inner.tables.push(SsTable { entries, zones });
+        Ok(t)
+    }
+
+    fn flush_memtable(&self, inner: &mut Inner, at: SimTime) -> Result<SimTime> {
+        if inner.mem.is_empty() {
+            return Ok(at);
+        }
+        let items: Vec<(u64, Option<Vec<u8>>)> =
+            std::mem::take(&mut inner.mem).into_iter().collect();
+        inner.mem_bytes = 0;
+        let t = self.write_table(inner, at, &items)?;
+        inner.stats.flushes += 1;
+        Ok(t)
+    }
+
+    /// Merges all tables into one, dropping shadowed versions and
+    /// tombstones, then reclaims dead zones.
+    fn compact(&self, inner: &mut Inner, at: SimTime) -> Result<SimTime> {
+        let tables = std::mem::take(&mut inner.tables);
+        let mut t = at;
+        // Read each table's extents in chunked runs, keeping the buffers
+        // so survivor values can be sliced without extra device reads.
+        let chunk = self.config.io_chunk_sectors;
+        let mut run_data: Vec<(Lba, Vec<u8>)> = Vec::new();
+        for table in &tables {
+            let geo = self.volume.geometry();
+            let mut runs: Vec<(Lba, u64)> = Vec::new();
+            for e in &table.entries {
+                match runs.last_mut() {
+                    Some((l, s))
+                        if *l + *s == e.lba
+                            && *s + e.sectors as u64 <= chunk
+                            && geo.range_in_one_zone(*l, *s + e.sectors as u64) =>
+                    {
+                        *s += e.sectors as u64;
+                    }
+                    _ => runs.push((e.lba, e.sectors as u64)),
+                }
+            }
+            for (lba, sectors) in runs {
+                let mut buf = vec![0u8; (sectors * SECTOR_SIZE) as usize];
+                t = self.volume.read(t, lba, &mut buf)?.done;
+                inner.stats.compaction_bytes_read += buf.len() as u64;
+                run_data.push((lba, buf));
+            }
+        }
+        run_data.sort_by_key(|(lba, _)| *lba);
+        let slice_value = |e: &IndexEntry| -> Vec<u8> {
+            let i = run_data
+                .partition_point(|(lba, _)| *lba <= e.lba)
+                .checked_sub(1)
+                .expect("entry lba below every run");
+            let (run_lba, buf) = &run_data[i];
+            let off = ((e.lba - run_lba) * SECTOR_SIZE) as usize;
+            buf[off + 16..off + 16 + e.value_len as usize].to_vec()
+        };
+        // Merge indexes: newest table wins per key.
+        let mut merged: BTreeMap<u64, (usize, IndexEntry)> = BTreeMap::new();
+        for (ti, table) in tables.iter().enumerate() {
+            for e in &table.entries {
+                match merged.get(&e.key) {
+                    Some((prev_ti, _)) if *prev_ti > ti => {}
+                    _ => {
+                        merged.insert(e.key, (ti, *e));
+                    }
+                }
+            }
+        }
+        // Rewrite survivors, dropping tombstones (full compaction).
+        let mut items: Vec<(u64, Option<Vec<u8>>)> = Vec::with_capacity(merged.len());
+        for (key, (_, e)) in merged {
+            if e.tombstone {
+                continue;
+            }
+            items.push((key, Some(slice_value(&e))));
+        }
+        // Release live references, then write the merged table.
+        for table in &tables {
+            for z in &table.zones {
+                inner.alloc.live[*z as usize] -= 1;
+            }
+        }
+        if !items.is_empty() {
+            t = self.write_table(inner, t, &items)?;
+        }
+        // Reclaim zones with no remaining live tables (and not open).
+        let open_zone = inner.alloc.open.map(|(z, _)| z);
+        for table in &tables {
+            for z in &table.zones {
+                if inner.alloc.live[*z as usize] == 0
+                    && Some(*z) != open_zone
+                    && !inner.alloc.free.contains(z)
+                {
+                    t = self.volume.reset_zone(t, *z)?.done;
+                    inner.alloc.free.push_back(*z);
+                    inner.stats.zone_resets += 1;
+                }
+            }
+        }
+        inner.stats.compactions += 1;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zns::{ZnsConfig, ZnsDevice};
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn store() -> ZkvStore<ZnsDevice> {
+        let dev = Arc::new(ZnsDevice::new(
+            ZnsConfig::builder()
+                .zones(16, 64, 64)
+                .open_limits(8, 14)
+                .build(),
+        ));
+        ZkvStore::create(dev, ZkvConfig::small_test(), T0).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_from_memtable() {
+        let s = store();
+        s.put(T0, 1, b"alpha").unwrap();
+        let (v, _) = s.get(T0, 1).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(s.get(T0, 2).unwrap().0, None);
+    }
+
+    #[test]
+    fn values_survive_memtable_flush() {
+        let s = store();
+        let value = vec![0xAB; 800];
+        for k in 0..40u64 {
+            s.put(T0, k, &value).unwrap();
+        }
+        assert!(s.stats().flushes > 0, "memtable never flushed");
+        for k in 0..40u64 {
+            let (v, _) = s.get(T0, k).unwrap();
+            assert_eq!(v.as_deref(), Some(&value[..]), "key {k}");
+        }
+    }
+
+    #[test]
+    fn overwrites_return_latest() {
+        let s = store();
+        let big = vec![1u8; 600];
+        for round in 0..5u8 {
+            for k in 0..20u64 {
+                let mut v = big.clone();
+                v[0] = round;
+                s.put(T0, k, &v).unwrap();
+            }
+        }
+        for k in 0..20u64 {
+            let (v, _) = s.get(T0, k).unwrap();
+            assert_eq!(v.expect("present")[0], 4, "key {k}");
+        }
+    }
+
+    #[test]
+    fn deletes_are_tombstones() {
+        let s = store();
+        let value = vec![7u8; 700];
+        for k in 0..30u64 {
+            s.put(T0, k, &value).unwrap();
+        }
+        s.delete(T0, 5).unwrap();
+        // Force the tombstone through a flush.
+        s.sync(T0).unwrap();
+        assert_eq!(s.get(T0, 5).unwrap().0, None);
+        assert!(s.get(T0, 6).unwrap().0.is_some());
+    }
+
+    #[test]
+    fn compaction_reclaims_zones() {
+        let s = store();
+        let value = vec![3u8; 900];
+        for round in 0..8u64 {
+            for k in 0..30u64 {
+                s.put(T0, k, &value).unwrap();
+            }
+            let _ = round;
+        }
+        let st = s.stats();
+        assert!(st.compactions > 0, "no compaction ran: {st:?}");
+        assert!(st.zone_resets > 0, "no zone was reclaimed: {st:?}");
+        // Data still correct.
+        for k in 0..30u64 {
+            assert_eq!(s.get(T0, k).unwrap().0.as_deref(), Some(&value[..]));
+        }
+    }
+
+    #[test]
+    fn wal_rotation_resets_zones() {
+        let s = store();
+        // Values sized so WAL zones fill quickly.
+        let value = vec![9u8; 3 * 4096];
+        for k in 0..80u64 {
+            s.put(T0, k % 10, &value).unwrap();
+        }
+        assert!(s.stats().zone_resets > 0);
+        assert_eq!(s.get(T0, 3).unwrap().0.as_deref(), Some(&value[..]));
+    }
+
+    #[test]
+    fn virtual_time_advances_with_io() {
+        let dev = Arc::new(ZnsDevice::new(
+            ZnsConfig::builder()
+                .zones(16, 256, 256)
+                .open_limits(8, 14)
+                .latency(zns::LatencyConfig::zns_ssd())
+                .build(),
+        ));
+        let s = ZkvStore::create(dev, ZkvConfig::small_test(), T0).unwrap();
+        let t = s.put(T0, 1, &[1u8; 4000]).unwrap();
+        assert!(t > T0, "WAL write should cost time");
+    }
+
+    #[test]
+    fn out_of_space_is_reported() {
+        let dev = Arc::new(ZnsDevice::new(
+            ZnsConfig::builder().zones(4, 16, 16).open_limits(4, 4).build(),
+        ));
+        let s = ZkvStore::create(dev, ZkvConfig::small_test(), T0).unwrap();
+        let value = vec![0u8; 2000];
+        let mut err = None;
+        for k in 0..10_000u64 {
+            match s.put(T0, k, &value) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(err.is_some(), "store never ran out of space");
+    }
+}

@@ -1,0 +1,125 @@
+//! Model-based tests: random put/delete/get sequences on a [`ZkvStore`]
+//! are checked against a `BTreeMap` oracle, on both the RAIZN stack and
+//! the mdraid + zone-shim stack.
+
+use ftl::{BlockDevice, ConvSsd, FtlConfig};
+use mdraid5::{Md5Config, Md5Volume, ZonedBlockShim};
+use proptest::prelude::*;
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::SimTime;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use zkv::{ZkvConfig, ZkvStore};
+use zns::{ZnsConfig, ZnsDevice, ZonedVolume};
+
+const T0: SimTime = SimTime::ZERO;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u64, len: usize },
+    Delete { key: u64 },
+    Get { key: u64 },
+    Sync,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0u64..40, 1usize..1200).prop_map(|(key, len)| Op::Put { key, len }),
+            1 => (0u64..40).prop_map(|key| Op::Delete { key }),
+            3 => (0u64..40).prop_map(|key| Op::Get { key }),
+            1 => Just(Op::Sync),
+        ],
+        1..80,
+    )
+}
+
+fn value_for(key: u64, len: usize) -> Vec<u8> {
+    vec![(key as u8).wrapping_mul(31).wrapping_add(len as u8); len]
+}
+
+fn check_against_model<V: ZonedVolume>(store: &ZkvStore<V>, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut t = T0;
+    for op in ops {
+        match op {
+            Op::Put { key, len } => {
+                let v = value_for(*key, *len);
+                t = store.put(t, *key, &v).expect("put");
+                model.insert(*key, v);
+            }
+            Op::Delete { key } => {
+                t = store.delete(t, *key).expect("delete");
+                model.remove(key);
+            }
+            Op::Get { key } => {
+                let (got, t2) = store.get(t, *key).expect("get");
+                t = t2;
+                prop_assert_eq!(got.as_deref(), model.get(key).map(|v| &v[..]),
+                    "key {} diverged from model", key);
+            }
+            Op::Sync => {
+                t = store.sync(t).expect("sync");
+            }
+        }
+    }
+    // Final sweep: every key must match the oracle.
+    for key in 0..40u64 {
+        let (got, _) = store.get(t, key).expect("get");
+        prop_assert_eq!(got.as_deref(), model.get(&key).map(|v| &v[..]),
+            "final sweep: key {} diverged", key);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn zkv_on_raizn_matches_model(ops in ops_strategy()) {
+        let devices: Vec<Arc<ZnsDevice>> = (0..5)
+            .map(|_| {
+                Arc::new(ZnsDevice::new(
+                    ZnsConfig::builder()
+                        .zones(24, 64, 64)
+                        .open_limits(6, 10)
+                        .build(),
+                ))
+            })
+            .collect();
+        let vol = Arc::new(
+            RaiznVolume::format(devices, RaiznConfig::small_test(), T0).expect("format"),
+        );
+        let store = ZkvStore::create(vol, ZkvConfig::small_test(), T0).expect("store");
+        check_against_model(&store, &ops)?;
+    }
+
+    #[test]
+    fn zkv_on_mdraid_shim_matches_model(ops in ops_strategy()) {
+        let devices: Vec<Arc<dyn BlockDevice>> = (0..3)
+            .map(|_| {
+                Arc::new(ConvSsd::new(FtlConfig {
+                    user_sectors: 4096,
+                    pages_per_block: 16,
+                    op_ratio: 0.25,
+                    gc_low_blocks: 2,
+                    latency: zns::LatencyConfig::instant(),
+                    store_data: true,
+                })) as Arc<dyn BlockDevice>
+            })
+            .collect();
+        let md = Arc::new(
+            Md5Volume::new(
+                devices,
+                Md5Config {
+                    chunk_sectors: 4,
+                    stripe_cache_bytes: 256 * 1024,
+                },
+            )
+            .expect("assemble"),
+        );
+        let shim = Arc::new(ZonedBlockShim::new(md, 256).expect("shim"));
+        let store = ZkvStore::create(shim, ZkvConfig::small_test(), T0).expect("store");
+        check_against_model(&store, &ops)?;
+    }
+}

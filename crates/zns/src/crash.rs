@@ -1,0 +1,82 @@
+//! Power-loss policies for crash injection.
+
+use sim::SimRng;
+
+/// Decides, at simulated power loss, how much of each zone's volatile
+/// (cached, non-durable) data survives.
+///
+/// Durable data — everything below a zone's durable write pointer — always
+/// survives; ZNS guarantees persistence in LBA order, so the survivor is a
+/// prefix. The policy picks the survivor length within
+/// `[durable, write_pointer]` for each zone independently, which is exactly
+/// the degree of freedom that produces the paper's stripe holes (§3) when
+/// applied across array devices.
+pub enum CrashPolicy {
+    /// All cached data is lost; only flushed data survives.
+    LoseCache,
+    /// All cached data happens to survive (the lucky case).
+    KeepCache,
+    /// Every cached sector independently survives only if all earlier cached
+    /// sectors in its zone survived; the prefix length is uniform-random.
+    Random(SimRng),
+    /// Full control: called per zone with `(zone, durable_wp, wp)` (relative
+    /// sector offsets) and returns the surviving prefix length, clamped to
+    /// `[durable_wp, wp]`.
+    PerZone(Box<dyn FnMut(u32, u64, u64) -> u64 + Send>),
+}
+
+impl std::fmt::Debug for CrashPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPolicy::LoseCache => f.write_str("CrashPolicy::LoseCache"),
+            CrashPolicy::KeepCache => f.write_str("CrashPolicy::KeepCache"),
+            CrashPolicy::Random(_) => f.write_str("CrashPolicy::Random"),
+            CrashPolicy::PerZone(_) => f.write_str("CrashPolicy::PerZone"),
+        }
+    }
+}
+
+impl CrashPolicy {
+    /// Computes the surviving prefix (relative sectors) for one zone.
+    pub fn survivor(&mut self, zone: u32, durable: u64, wp: u64) -> u64 {
+        debug_assert!(durable <= wp);
+        match self {
+            CrashPolicy::LoseCache => durable,
+            CrashPolicy::KeepCache => wp,
+            CrashPolicy::Random(rng) => durable + rng.gen_range(wp - durable + 1),
+            CrashPolicy::PerZone(f) => f(zone, durable, wp).clamp(durable, wp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lose_cache_keeps_only_durable() {
+        assert_eq!(CrashPolicy::LoseCache.survivor(0, 5, 10), 5);
+    }
+
+    #[test]
+    fn keep_cache_keeps_everything() {
+        assert_eq!(CrashPolicy::KeepCache.survivor(0, 5, 10), 10);
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let mut p = CrashPolicy::Random(SimRng::new(1));
+        for _ in 0..1000 {
+            let s = p.survivor(0, 3, 9);
+            assert!((3..=9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn per_zone_is_clamped() {
+        let mut p = CrashPolicy::PerZone(Box::new(|_z, _d, _w| 1000));
+        assert_eq!(p.survivor(7, 2, 6), 6);
+        let mut p = CrashPolicy::PerZone(Box::new(|_z, _d, _w| 0));
+        assert_eq!(p.survivor(7, 2, 6), 2);
+    }
+}

@@ -1,0 +1,1141 @@
+//! The ZNS SSD device model.
+
+use crate::config::{sectors_to_bytes, ZnsConfig};
+use crate::crash::CrashPolicy;
+use crate::error::ZnsError;
+use crate::geometry::{Lba, ZoneGeometry, SECTOR_SIZE};
+use crate::stats::DeviceStats;
+use crate::volume::{AppendCompletion, IoCompletion, WriteFlags, ZonedVolume};
+use crate::zone::{Zone, ZoneInfo, ZoneState};
+use crate::Result;
+use parking_lot::Mutex;
+use sim::{ChannelModel, SimTime};
+
+/// A simulated ZNS SSD.
+///
+/// The device enforces full ZNS write semantics (sequential writes at the
+/// write pointer, zone capacity, open/active zone limits with implicit
+/// close), models a volatile write cache with in-order durability, and
+/// accounts service time on a channel-parallel virtual-time latency model.
+///
+/// All methods take `&self`; internal state is protected by a mutex so
+/// devices can be shared (`Arc<ZnsDevice>`) between a RAIZN volume and test
+/// harnesses.
+///
+/// # Examples
+///
+/// Sequential-write enforcement:
+///
+/// ```
+/// use zns::{ZnsConfig, ZnsDevice, ZnsError, WriteFlags, ZonedVolume};
+/// use sim::SimTime;
+///
+/// let dev = ZnsDevice::new(ZnsConfig::small_test());
+/// let sector = vec![0u8; 4096];
+/// dev.write(SimTime::ZERO, 0, &sector, WriteFlags::default()).unwrap();
+/// // Skipping a sector is rejected:
+/// let err = dev.write(SimTime::ZERO, 2, &sector, WriteFlags::default());
+/// assert!(matches!(err, Err(ZnsError::NotSequential { .. })));
+/// ```
+#[derive(Debug)]
+pub struct ZnsDevice {
+    config: ZnsConfig,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    zones: Vec<Zone>,
+    open_count: u32,
+    active_count: u32,
+    timing: ChannelModel,
+    stats: DeviceStats,
+    failed: bool,
+    write_seq: u64,
+}
+
+impl ZnsDevice {
+    /// Creates a fresh (all-zones-empty) device.
+    pub fn new(config: ZnsConfig) -> Self {
+        let zones = (0..config.geometry().num_zones())
+            .map(|_| Zone::new())
+            .collect();
+        let lat = config.latency();
+        let timing = ChannelModel::new(
+            lat.channels,
+            sim::SimDuration::ZERO,
+            sim::SimDuration::ZERO,
+            SECTOR_SIZE,
+        );
+        ZnsDevice {
+            inner: Mutex::new(Inner {
+                zones,
+                open_count: 0,
+                active_count: 0,
+                timing,
+                stats: DeviceStats::default(),
+                failed: false,
+                write_seq: 0,
+            }),
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &ZnsConfig {
+        &self.config
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.inner.lock().stats
+    }
+
+    /// Marks the device failed: every subsequent operation returns
+    /// [`ZnsError::DeviceFailed`]. Used for degraded-mode and rebuild
+    /// experiments.
+    pub fn fail(&self) {
+        self.inner.lock().failed = true;
+    }
+
+    /// Whether the device is failed.
+    pub fn is_failed(&self) -> bool {
+        self.inner.lock().failed
+    }
+
+    /// Simulates power loss: for every zone, a policy-chosen prefix of the
+    /// cached (non-durable) data survives; the rest is lost. Open zones
+    /// drop to closed/empty/full as appropriate and the command pipeline is
+    /// cleared.
+    ///
+    /// Returns the per-zone surviving write pointers (relative sectors) for
+    /// test assertions.
+    pub fn crash(&self, policy: &mut CrashPolicy) -> Vec<u64> {
+        let mut inner = self.inner.lock();
+        let cap = self.config.geometry().zone_cap();
+        let mut survivors = Vec::with_capacity(inner.zones.len());
+        let mut open = 0;
+        let mut active = 0;
+        for (idx, z) in inner.zones.iter_mut().enumerate() {
+            match z.state {
+                ZoneState::ReadOnly | ZoneState::Offline => {
+                    survivors.push(z.wp);
+                    continue;
+                }
+                _ => {}
+            }
+            let was_full = z.state == ZoneState::Full;
+            let survive = policy.survivor(idx as u32, z.durable, z.wp);
+            let lost_nothing = survive == z.wp;
+            z.wp = survive;
+            z.durable = survive;
+            if survive == 0 {
+                z.data = None;
+            }
+            z.state = if was_full && lost_nothing {
+                // A finished zone is durably sealed (finish implies
+                // durability), so it stays full across power loss — even a
+                // finished-while-empty zone.
+                ZoneState::Full
+            } else if survive == 0 {
+                ZoneState::Empty
+            } else if survive == cap {
+                ZoneState::Full
+            } else {
+                ZoneState::Closed
+            };
+            if z.state.is_open() {
+                open += 1;
+            }
+            if z.state.is_active() {
+                active += 1;
+            }
+            survivors.push(survive);
+        }
+        inner.open_count = open;
+        inner.active_count = active;
+        inner.timing.reset();
+        survivors
+    }
+
+    /// Reads back the durable write pointer of `zone` (relative sectors),
+    /// for test assertions about cache behaviour.
+    pub fn durable_wp(&self, zone: u32) -> u64 {
+        self.inner.lock().zones[zone as usize].durable
+    }
+
+    /// Forces `zone` into the read-only failure state (media wear
+    /// injection).
+    pub fn set_zone_read_only(&self, zone: u32) {
+        let mut inner = self.inner.lock();
+        self.detach_state(&mut inner, zone);
+        inner.zones[zone as usize].state = ZoneState::ReadOnly;
+    }
+
+    /// Forces `zone` offline (media failure injection); its data is gone.
+    pub fn set_zone_offline(&self, zone: u32) {
+        let mut inner = self.inner.lock();
+        self.detach_state(&mut inner, zone);
+        let z = &mut inner.zones[zone as usize];
+        z.state = ZoneState::Offline;
+        z.data = None;
+    }
+
+    /// Removes `zone`'s current state from the open/active accounting.
+    fn detach_state(&self, inner: &mut Inner, zone: u32) {
+        let state = inner.zones[zone as usize].state;
+        if state.is_open() {
+            inner.open_count -= 1;
+        }
+        if state.is_active() {
+            inner.active_count -= 1;
+        }
+    }
+
+    fn check_alive(inner: &Inner) -> Result<()> {
+        if inner.failed {
+            Err(ZnsError::DeviceFailed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_zone_index(&self, zone: u32) -> Result<()> {
+        let geo = self.config.geometry();
+        if zone >= geo.num_zones() {
+            return Err(ZnsError::OutOfRange {
+                lba: zone as u64 * geo.zone_size(),
+                sectors: 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn sector_count(data_len: usize) -> Result<u64> {
+        if data_len == 0 || data_len % SECTOR_SIZE as usize != 0 {
+            return Err(ZnsError::InvalidArgument(format!(
+                "buffer length {data_len} is not a positive multiple of the sector size"
+            )));
+        }
+        Ok((data_len / SECTOR_SIZE as usize) as u64)
+    }
+
+    /// Ensures `zone` is in a writable-open state, applying implicit open
+    /// with LRU implicit-close eviction when the open limit is reached.
+    fn ensure_open_for_write(&self, inner: &mut Inner, zone: u32) -> Result<()> {
+        let state = inner.zones[zone as usize].state;
+        match state {
+            ZoneState::ImplicitlyOpen | ZoneState::ExplicitlyOpen => Ok(()),
+            ZoneState::Empty | ZoneState::Closed => {
+                if state == ZoneState::Empty && inner.active_count >= self.config.max_active_zones()
+                {
+                    return Err(ZnsError::TooManyActiveZones {
+                        limit: self.config.max_active_zones(),
+                    });
+                }
+                if inner.open_count >= self.config.max_open_zones() {
+                    self.evict_implicitly_open(inner)?;
+                }
+                let was_active = state.is_active();
+                inner.zones[zone as usize].state = ZoneState::ImplicitlyOpen;
+                inner.open_count += 1;
+                if !was_active {
+                    inner.active_count += 1;
+                }
+                Ok(())
+            }
+            ZoneState::Full => Err(ZnsError::ZoneFull { zone }),
+            ZoneState::ReadOnly => Err(ZnsError::ZoneReadOnly { zone }),
+            ZoneState::Offline => Err(ZnsError::ZoneOffline { zone }),
+        }
+    }
+
+    /// Implicitly closes the least-recently-written implicitly-open zone,
+    /// as real controllers do to make room (NVMe ZNS §2.4.4).
+    fn evict_implicitly_open(&self, inner: &mut Inner) -> Result<()> {
+        let victim = inner
+            .zones
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| z.state == ZoneState::ImplicitlyOpen)
+            .min_by_key(|(_, z)| z.last_write_seq)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                // A zone with wp == 0 cannot be implicitly open (it would be
+                // empty), so the victim transitions to closed.
+                inner.zones[i].state = ZoneState::Closed;
+                inner.open_count -= 1;
+                Ok(())
+            }
+            None => Err(ZnsError::TooManyOpenZones {
+                limit: self.config.max_open_zones(),
+            }),
+        }
+    }
+
+    /// Shared implementation for write and append.
+    fn do_write(
+        &self,
+        at: SimTime,
+        zone: u32,
+        data: &[u8],
+        flags: WriteFlags,
+    ) -> Result<AppendCompletion> {
+        let geo = self.config.geometry();
+        let sectors = Self::sector_count(data.len())?;
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+
+        {
+            let z = &inner.zones[zone as usize];
+            if z.wp + sectors > geo.zone_cap() {
+                return match z.state {
+                    ZoneState::ReadOnly => Err(ZnsError::ZoneReadOnly { zone }),
+                    ZoneState::Offline => Err(ZnsError::ZoneOffline { zone }),
+                    _ => Err(ZnsError::ZoneFull { zone }),
+                };
+            }
+        }
+        self.ensure_open_for_write(&mut inner, zone)?;
+
+        // A preflush makes all *prior* cached writes durable before this
+        // write's data lands; the new write itself is only durable if FUA
+        // is also set.
+        let lat = self.config.latency().clone();
+        let mut issue = at;
+        if flags.preflush {
+            for z in inner.zones.iter_mut() {
+                z.durable = z.wp;
+            }
+            issue = inner.timing.drained_at().max(issue) + lat.flush;
+            inner.stats.flushes += 1;
+        }
+
+        let assigned = geo.zone_start(zone) + inner.zones[zone as usize].wp;
+        inner.write_seq += 1;
+        let seq = inner.write_seq;
+        let store = self.config.stores_data();
+        let cap_bytes = sectors_to_bytes(geo.zone_cap());
+        {
+            let z = &mut inner.zones[zone as usize];
+            if store {
+                let buf = z
+                    .data
+                    .get_or_insert_with(|| vec![0u8; cap_bytes].into_boxed_slice());
+                let off = sectors_to_bytes(z.wp);
+                buf[off..off + data.len()].copy_from_slice(data);
+            }
+            z.wp += sectors;
+            z.last_write_seq = seq;
+            if z.wp == geo.zone_cap() {
+                z.state = ZoneState::Full;
+            }
+        }
+        if inner.zones[zone as usize].state == ZoneState::Full {
+            inner.open_count -= 1;
+            inner.active_count -= 1;
+        }
+
+        let start = issue + lat.command_overhead;
+        let mut done = start;
+        let mut remaining = sectors;
+        while remaining > 0 {
+            let chunk = remaining.min(lat.chunk_sectors);
+            let dur = lat.write_per_sector.saturating_mul(chunk);
+            done = done.max(inner.timing.occupy(start, dur));
+            remaining -= chunk;
+        }
+        if flags.fua {
+            let z = &mut inner.zones[zone as usize];
+            z.durable = z.wp;
+            inner.stats.fua_writes += 1;
+        }
+        inner.stats.writes += 1;
+        inner.stats.sectors_written += sectors;
+        Ok(AppendCompletion {
+            lba: assigned,
+            done,
+        })
+    }
+
+    fn mgmt_completion(&self, inner: &mut Inner, at: SimTime, dur: sim::SimDuration) -> SimTime {
+        inner.timing.occupy(at, dur)
+    }
+
+    /// Writes into the Zone Random Write Area (§5.4): `lba` may land
+    /// anywhere in the window `[wp, wp + zrwa)` of its zone, overwriting
+    /// freely; the write pointer does not move until
+    /// [`commit_zrwa`](Self::commit_zrwa).
+    ///
+    /// # Errors
+    ///
+    /// Fails when ZRWA is disabled, the range leaves the window, or the
+    /// zone is not writable.
+    pub fn write_zrwa(&self, at: SimTime, lba: Lba, data: &[u8]) -> Result<IoCompletion> {
+        let zrwa = self.config.zrwa_sectors();
+        if zrwa == 0 {
+            return Err(ZnsError::InvalidArgument(
+                "ZRWA is not enabled on this device".to_string(),
+            ));
+        }
+        let geo = self.config.geometry();
+        let sectors = Self::sector_count(data.len())?;
+        if !geo.contains(lba) {
+            return Err(ZnsError::OutOfRange { lba, sectors });
+        }
+        if !geo.range_in_one_zone(lba, sectors) {
+            return Err(ZnsError::ZoneBoundary { lba, sectors });
+        }
+        let zone = geo.zone_of(lba);
+        let rel = geo.offset_in_zone(lba);
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        {
+            let z = &inner.zones[zone as usize];
+            match z.state {
+                ZoneState::Full => return Err(ZnsError::ZoneFull { zone }),
+                ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone }),
+                ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
+                _ => {}
+            }
+            if rel < z.wp || rel + sectors > z.wp + zrwa || rel + sectors > geo.zone_cap() {
+                return Err(ZnsError::InvalidArgument(format!(
+                    "zrwa write [{rel}, +{sectors}) outside window [{}, {})",
+                    z.wp,
+                    (z.wp + zrwa).min(geo.zone_cap())
+                )));
+            }
+        }
+        self.ensure_open_for_write(&mut inner, zone)?;
+        let store = self.config.stores_data();
+        let cap_bytes = sectors_to_bytes(geo.zone_cap());
+        if store {
+            let z = &mut inner.zones[zone as usize];
+            let buf = z
+                .data
+                .get_or_insert_with(|| vec![0u8; cap_bytes].into_boxed_slice());
+            let off = sectors_to_bytes(rel);
+            buf[off..off + data.len()].copy_from_slice(data);
+        }
+        let lat = self.config.latency().clone();
+        let start = at + lat.command_overhead;
+        let mut done = start;
+        let mut remaining = sectors;
+        while remaining > 0 {
+            let chunk = remaining.min(lat.chunk_sectors);
+            let dur = lat.write_per_sector.saturating_mul(chunk);
+            done = done.max(inner.timing.occupy(start, dur));
+            remaining -= chunk;
+        }
+        inner.stats.writes += 1;
+        inner.stats.sectors_written += sectors;
+        Ok(IoCompletion { done })
+    }
+
+    /// Commits the ZRWA window of `zone` up to relative sector `upto`,
+    /// advancing the write pointer (an "explicit ZRWA commit").
+    ///
+    /// # Errors
+    ///
+    /// Fails when ZRWA is disabled, `upto` is behind the write pointer or
+    /// beyond the window/capacity.
+    pub fn commit_zrwa(&self, at: SimTime, zone: u32, upto: u64) -> Result<IoCompletion> {
+        let zrwa = self.config.zrwa_sectors();
+        if zrwa == 0 {
+            return Err(ZnsError::InvalidArgument(
+                "ZRWA is not enabled on this device".to_string(),
+            ));
+        }
+        self.check_zone_index(zone)?;
+        let geo = self.config.geometry();
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        {
+            let z = &mut inner.zones[zone as usize];
+            if upto < z.wp || upto > z.wp + zrwa || upto > geo.zone_cap() {
+                return Err(ZnsError::InvalidArgument(format!(
+                    "zrwa commit to {upto} outside [{}, {}]",
+                    z.wp,
+                    (z.wp + zrwa).min(geo.zone_cap())
+                )));
+            }
+            z.wp = upto;
+            if z.wp == geo.zone_cap() {
+                z.state = ZoneState::Full;
+            }
+        }
+        if inner.zones[zone as usize].state == ZoneState::Full {
+            inner.open_count -= 1;
+            inner.active_count -= 1;
+        }
+        let dur = self.config.latency().zone_mgmt;
+        let done = self.mgmt_completion(&mut inner, at, dur);
+        Ok(IoCompletion { done })
+    }
+}
+
+impl ZonedVolume for ZnsDevice {
+    fn geometry(&self) -> ZoneGeometry {
+        self.config.geometry()
+    }
+
+    fn read(&self, at: SimTime, lba: Lba, buf: &mut [u8]) -> Result<IoCompletion> {
+        let geo = self.config.geometry();
+        let sectors = Self::sector_count(buf.len())?;
+        if !geo.contains(lba) {
+            return Err(ZnsError::OutOfRange { lba, sectors });
+        }
+        if !geo.range_in_one_zone(lba, sectors) {
+            return Err(ZnsError::ZoneBoundary { lba, sectors });
+        }
+        let zone = geo.zone_of(lba);
+        let rel = geo.offset_in_zone(lba);
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        {
+            let z = &inner.zones[zone as usize];
+            if z.state == ZoneState::Offline {
+                return Err(ZnsError::ZoneOffline { zone });
+            }
+            if rel + sectors > z.wp {
+                return Err(ZnsError::ReadUnwritten {
+                    lba: geo.zone_start(zone) + z.wp,
+                });
+            }
+            if self.config.stores_data() {
+                let data = z.data.as_ref().expect("written zone has a buffer");
+                let off = sectors_to_bytes(rel);
+                buf.copy_from_slice(&data[off..off + buf.len()]);
+            } else {
+                buf.fill(0);
+            }
+        }
+        let lat = self.config.latency().clone();
+        let start = at + lat.command_overhead;
+        let mut done = start;
+        let mut remaining = sectors;
+        while remaining > 0 {
+            let chunk = remaining.min(lat.chunk_sectors);
+            let dur = lat.read_per_sector.saturating_mul(chunk);
+            done = done.max(inner.timing.occupy(start, dur));
+            remaining -= chunk;
+        }
+        inner.stats.reads += 1;
+        inner.stats.sectors_read += sectors;
+        Ok(IoCompletion { done })
+    }
+
+    fn write(&self, at: SimTime, lba: Lba, data: &[u8], flags: WriteFlags) -> Result<IoCompletion> {
+        let geo = self.config.geometry();
+        let sectors = Self::sector_count(data.len())?;
+        if !geo.contains(lba) {
+            return Err(ZnsError::OutOfRange { lba, sectors });
+        }
+        let zone = geo.zone_of(lba);
+        if geo.offset_in_zone(lba) + sectors > geo.zone_size() {
+            return Err(ZnsError::ZoneBoundary { lba, sectors });
+        }
+        // Sequential-write check before the shared path so the error names
+        // the expected write pointer.
+        {
+            let inner = self.inner.lock();
+            Self::check_alive(&inner)?;
+            let z = &inner.zones[zone as usize];
+            let rel = geo.offset_in_zone(lba);
+            if z.state.is_writable() && rel != z.wp {
+                return Err(ZnsError::NotSequential {
+                    zone,
+                    expected: geo.zone_start(zone) + z.wp,
+                    got: lba,
+                });
+            }
+        }
+        self.do_write(at, zone, data, flags)
+            .map(|c| IoCompletion { done: c.done })
+    }
+
+    fn append(
+        &self,
+        at: SimTime,
+        zone: u32,
+        data: &[u8],
+        flags: WriteFlags,
+    ) -> Result<AppendCompletion> {
+        self.check_zone_index(zone)?;
+        self.do_write(at, zone, data, flags)
+    }
+
+    fn reset_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone_index(zone)?;
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        match inner.zones[zone as usize].state {
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone }),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
+            _ => {}
+        }
+        self.detach_state(&mut inner, zone);
+        {
+            let z = &mut inner.zones[zone as usize];
+            z.state = ZoneState::Empty;
+            z.wp = 0;
+            z.durable = 0;
+            z.data = None;
+        }
+        inner.stats.zone_resets += 1;
+        let dur = self.config.latency().reset;
+        let done = self.mgmt_completion(&mut inner, at, dur);
+        Ok(IoCompletion { done })
+    }
+
+    fn finish_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone_index(zone)?;
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        let state = inner.zones[zone as usize].state;
+        match state {
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone }),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
+            ZoneState::Full => {}
+            _ => {
+                self.detach_state(&mut inner, zone);
+                // Finishing durably seals the written prefix.
+                let z = &mut inner.zones[zone as usize];
+                z.state = ZoneState::Full;
+                z.durable = z.wp;
+            }
+        }
+        inner.stats.zone_finishes += 1;
+        let dur = self.config.latency().finish;
+        let done = self.mgmt_completion(&mut inner, at, dur);
+        Ok(IoCompletion { done })
+    }
+
+    fn open_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone_index(zone)?;
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        let state = inner.zones[zone as usize].state;
+        match state {
+            ZoneState::ExplicitlyOpen => {}
+            ZoneState::Empty | ZoneState::Closed | ZoneState::ImplicitlyOpen => {
+                if state == ZoneState::Empty && inner.active_count >= self.config.max_active_zones()
+                {
+                    return Err(ZnsError::TooManyActiveZones {
+                        limit: self.config.max_active_zones(),
+                    });
+                }
+                if !state.is_open() && inner.open_count >= self.config.max_open_zones() {
+                    self.evict_implicitly_open(&mut inner)?;
+                }
+                let was_open = state.is_open();
+                let was_active = state.is_active();
+                inner.zones[zone as usize].state = ZoneState::ExplicitlyOpen;
+                if !was_open {
+                    inner.open_count += 1;
+                }
+                if !was_active {
+                    inner.active_count += 1;
+                }
+            }
+            ZoneState::Full => return Err(ZnsError::ZoneFull { zone }),
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone }),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
+        }
+        let dur = self.config.latency().zone_mgmt;
+        let done = self.mgmt_completion(&mut inner, at, dur);
+        Ok(IoCompletion { done })
+    }
+
+    fn close_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
+        self.check_zone_index(zone)?;
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        let state = inner.zones[zone as usize].state;
+        if !state.is_open() {
+            return Err(ZnsError::BadZoneState {
+                zone,
+                state: state.name(),
+                op: "close",
+            });
+        }
+        inner.open_count -= 1;
+        let z = &mut inner.zones[zone as usize];
+        if z.wp == 0 {
+            z.state = ZoneState::Empty;
+            inner.active_count -= 1;
+        } else {
+            z.state = ZoneState::Closed;
+        }
+        let dur = self.config.latency().zone_mgmt;
+        let done = self.mgmt_completion(&mut inner, at, dur);
+        Ok(IoCompletion { done })
+    }
+
+    fn flush(&self, at: SimTime) -> Result<IoCompletion> {
+        let mut inner = self.inner.lock();
+        Self::check_alive(&inner)?;
+        for z in inner.zones.iter_mut() {
+            z.durable = z.wp;
+        }
+        inner.stats.flushes += 1;
+        let done = inner.timing.drained_at().max(at) + self.config.latency().flush;
+        Ok(IoCompletion { done })
+    }
+
+    fn zone_info(&self, zone: u32) -> Result<ZoneInfo> {
+        self.check_zone_index(zone)?;
+        let geo = self.config.geometry();
+        let inner = self.inner.lock();
+        let z = &inner.zones[zone as usize];
+        Ok(ZoneInfo {
+            zone,
+            state: z.state,
+            start: geo.zone_start(zone),
+            write_pointer: geo.zone_start(zone) + z.wp,
+            capacity: geo.zone_cap(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyConfig;
+
+    fn dev() -> ZnsDevice {
+        ZnsDevice::new(ZnsConfig::small_test())
+    }
+
+    fn sectors(n: u64) -> Vec<u8> {
+        vec![0xAB; (n * SECTOR_SIZE) as usize]
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let d = dev();
+        let mut data = sectors(2);
+        data[0] = 1;
+        data[4096] = 2;
+        d.write(SimTime::ZERO, 0, &data, WriteFlags::default())
+            .unwrap();
+        let mut out = sectors(2);
+        d.read(SimTime::ZERO, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn nonsequential_write_rejected() {
+        let d = dev();
+        let err = d
+            .write(SimTime::ZERO, 5, &sectors(1), WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::NotSequential { expected: 0, got: 5, .. }));
+    }
+
+    #[test]
+    fn write_pointer_advances_and_fills_zone() {
+        // zone_size (64) > zone_cap (48): the cap..size gap is unwritable.
+        let cfg = ZnsConfig::builder().zones(4, 64, 48).build();
+        let d = ZnsDevice::new(cfg);
+        d.write(SimTime::ZERO, 0, &sectors(48), WriteFlags::default())
+            .unwrap();
+        let info = d.zone_info(0).unwrap();
+        assert_eq!(info.state, ZoneState::Full);
+        assert_eq!(info.write_pointer, 48);
+        // Writing into the cap..size gap of the now-full zone fails.
+        let err = d
+            .write(SimTime::ZERO, 48, &sectors(1), WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::ZoneFull { zone: 0 }));
+        // The next zone starts at the zone_size stride, not at cap.
+        d.write(SimTime::ZERO, 64, &sectors(1), WriteFlags::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn write_beyond_capacity_rejected() {
+        let d = dev();
+        let cap = d.geometry().zone_cap();
+        let err = d
+            .write(SimTime::ZERO, 0, &sectors(cap + 1), WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ZnsError::ZoneFull { zone: 0 } | ZnsError::ZoneBoundary { .. }
+        ));
+    }
+
+    #[test]
+    fn read_unwritten_rejected() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        let mut buf = sectors(2);
+        let err = d.read(SimTime::ZERO, 0, &mut buf).unwrap_err();
+        assert!(matches!(err, ZnsError::ReadUnwritten { lba: 1 }));
+    }
+
+    #[test]
+    fn append_returns_assigned_lba() {
+        let d = dev();
+        let a = d
+            .append(SimTime::ZERO, 3, &sectors(2), WriteFlags::default())
+            .unwrap();
+        let start = d.geometry().zone_start(3);
+        assert_eq!(a.lba, start);
+        let b = d
+            .append(SimTime::ZERO, 3, &sectors(1), WriteFlags::default())
+            .unwrap();
+        assert_eq!(b.lba, start + 2);
+    }
+
+    #[test]
+    fn reset_empties_zone() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(4), WriteFlags::default())
+            .unwrap();
+        d.reset_zone(SimTime::ZERO, 0).unwrap();
+        let info = d.zone_info(0).unwrap();
+        assert_eq!(info.state, ZoneState::Empty);
+        assert_eq!(info.write_pointer, 0);
+        // After reset the zone is writable from the start again.
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn finish_seals_zone() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(2), WriteFlags::default())
+            .unwrap();
+        d.finish_zone(SimTime::ZERO, 0).unwrap();
+        let info = d.zone_info(0).unwrap();
+        assert_eq!(info.state, ZoneState::Full);
+        assert_eq!(info.write_pointer, 2); // readable prefix preserved
+        let err = d
+            .write(SimTime::ZERO, 2, &sectors(1), WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::ZoneFull { zone: 0 }));
+    }
+
+    #[test]
+    fn open_limit_evicts_implicitly_open_lru() {
+        let d = dev(); // max_open = 4
+        for z in 0..5u32 {
+            let start = d.geometry().zone_start(z);
+            d.write(SimTime::ZERO, start, &sectors(1), WriteFlags::default())
+                .unwrap();
+        }
+        // Zone 0 (LRU) was implicitly closed to admit zone 4.
+        assert_eq!(d.zone_info(0).unwrap().state, ZoneState::Closed);
+        assert_eq!(d.zone_info(4).unwrap().state, ZoneState::ImplicitlyOpen);
+    }
+
+    #[test]
+    fn active_limit_enforced() {
+        let d = dev(); // max_active = 6
+        for z in 0..6u32 {
+            let start = d.geometry().zone_start(z);
+            d.write(SimTime::ZERO, start, &sectors(1), WriteFlags::default())
+                .unwrap();
+        }
+        let start = d.geometry().zone_start(6);
+        let err = d
+            .write(SimTime::ZERO, start, &sectors(1), WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::TooManyActiveZones { limit: 6 }));
+        // Filling a zone to Full releases an active slot.
+        let cap = d.geometry().zone_cap();
+        let wp = d.zone_info(0).unwrap().write_pointer;
+        d.write(SimTime::ZERO, wp, &sectors(cap - 1), WriteFlags::default())
+            .unwrap();
+        d.write(SimTime::ZERO, start, &sectors(1), WriteFlags::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn explicit_open_close_lifecycle() {
+        let d = dev();
+        d.open_zone(SimTime::ZERO, 2).unwrap();
+        assert_eq!(d.zone_info(2).unwrap().state, ZoneState::ExplicitlyOpen);
+        // Closing an unwritten explicitly-open zone returns it to empty.
+        d.close_zone(SimTime::ZERO, 2).unwrap();
+        assert_eq!(d.zone_info(2).unwrap().state, ZoneState::Empty);
+        // Closing a written zone parks it at closed.
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        d.close_zone(SimTime::ZERO, 0).unwrap();
+        assert_eq!(d.zone_info(0).unwrap().state, ZoneState::Closed);
+        let err = d.close_zone(SimTime::ZERO, 0).unwrap_err();
+        assert!(matches!(err, ZnsError::BadZoneState { .. }));
+    }
+
+    #[test]
+    fn cached_writes_lost_on_crash_durable_kept() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(2), WriteFlags::default())
+            .unwrap();
+        d.flush(SimTime::ZERO).unwrap();
+        d.write(SimTime::ZERO, 2, &sectors(3), WriteFlags::default())
+            .unwrap();
+        assert_eq!(d.durable_wp(0), 2);
+        d.crash(&mut CrashPolicy::LoseCache);
+        let info = d.zone_info(0).unwrap();
+        assert_eq!(info.write_pointer, 2);
+        assert_eq!(info.state, ZoneState::Closed);
+        // Data below the survivor is still readable.
+        let mut buf = sectors(2);
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn fua_write_makes_prefix_durable() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(2), WriteFlags::default())
+            .unwrap();
+        d.write(SimTime::ZERO, 2, &sectors(1), WriteFlags::FUA)
+            .unwrap();
+        assert_eq!(d.durable_wp(0), 3);
+        d.crash(&mut CrashPolicy::LoseCache);
+        assert_eq!(d.zone_info(0).unwrap().write_pointer, 3);
+    }
+
+    #[test]
+    fn preflush_makes_other_zones_durable() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(2), WriteFlags::default())
+            .unwrap();
+        let z1 = d.geometry().zone_start(1);
+        d.write(
+            SimTime::ZERO,
+            z1,
+            &sectors(1),
+            WriteFlags {
+                fua: false,
+                preflush: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(d.durable_wp(0), 2);
+        // The preflush write itself is not durable (no FUA).
+        assert_eq!(d.durable_wp(1), 0);
+    }
+
+    #[test]
+    fn crash_keep_cache_preserves_everything() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(5), WriteFlags::default())
+            .unwrap();
+        d.crash(&mut CrashPolicy::KeepCache);
+        assert_eq!(d.zone_info(0).unwrap().write_pointer, 5);
+    }
+
+    #[test]
+    fn failed_device_rejects_everything() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        d.fail();
+        assert!(d.is_failed());
+        let mut buf = sectors(1);
+        assert!(matches!(
+            d.read(SimTime::ZERO, 0, &mut buf),
+            Err(ZnsError::DeviceFailed)
+        ));
+        assert!(matches!(
+            d.write(SimTime::ZERO, 1, &sectors(1), WriteFlags::default()),
+            Err(ZnsError::DeviceFailed)
+        ));
+        assert!(matches!(d.flush(SimTime::ZERO), Err(ZnsError::DeviceFailed)));
+        assert!(matches!(
+            d.reset_zone(SimTime::ZERO, 0),
+            Err(ZnsError::DeviceFailed)
+        ));
+    }
+
+    #[test]
+    fn offline_zone_unreadable() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        d.set_zone_offline(0);
+        let mut buf = sectors(1);
+        assert!(matches!(
+            d.read(SimTime::ZERO, 0, &mut buf),
+            Err(ZnsError::ZoneOffline { zone: 0 })
+        ));
+        assert!(matches!(
+            d.reset_zone(SimTime::ZERO, 0),
+            Err(ZnsError::ZoneOffline { zone: 0 })
+        ));
+    }
+
+    #[test]
+    fn read_only_zone_readable_not_writable() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        d.set_zone_read_only(0);
+        let mut buf = sectors(1);
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap();
+        assert!(matches!(
+            d.write(SimTime::ZERO, 1, &sectors(1), WriteFlags::default()),
+            Err(ZnsError::ZoneReadOnly { zone: 0 })
+        ));
+    }
+
+    #[test]
+    fn stats_are_counted() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(2), WriteFlags::FUA)
+            .unwrap();
+        let mut buf = sectors(1);
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap();
+        d.flush(SimTime::ZERO).unwrap();
+        d.reset_zone(SimTime::ZERO, 0).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.sectors_written, 2);
+        assert_eq!(s.fua_writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.sectors_read, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.zone_resets, 1);
+    }
+
+    #[test]
+    fn timing_advances_virtual_time() {
+        let cfg = ZnsConfig::builder()
+            .zones(4, 1024, 1024)
+            .open_limits(4, 4)
+            .latency(LatencyConfig::zns_ssd())
+            .build();
+        let d = ZnsDevice::new(cfg);
+        let c = d
+            .write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        assert!(c.done > SimTime::ZERO);
+        // A second write queues behind the first on the same channel set.
+        let c2 = d
+            .write(SimTime::ZERO, 1, &sectors(1), WriteFlags::default())
+            .unwrap();
+        assert!(c2.done >= c.done);
+    }
+
+    #[test]
+    fn sustained_write_throughput_near_target() {
+        // The ZNS latency preset should deliver ~1.0-1.1 GiB/s sequential
+        // write throughput for large IOs.
+        let cfg = ZnsConfig::builder()
+            .zones(8, 262_144, 262_144)
+            .open_limits(4, 4)
+            .latency(LatencyConfig::zns_ssd())
+            .store_data(false)
+            .build();
+        let d = ZnsDevice::new(cfg);
+        let io = sectors(256); // 1 MiB
+        let mut done = SimTime::ZERO;
+        let total: u64 = 512 * 1024 * 1024; // 512 MiB
+        let mut lba = 0;
+        for _ in 0..(total / (1024 * 1024)) {
+            done = d
+                .write(SimTime::ZERO, lba, &io, WriteFlags::default())
+                .unwrap()
+                .done;
+            lba += 256;
+        }
+        let mib_s = 512.0 / done.as_secs_f64();
+        assert!(
+            (900.0..1300.0).contains(&mib_s),
+            "unexpected write throughput {mib_s} MiB/s"
+        );
+    }
+
+    #[test]
+    fn discard_mode_reads_zeros() {
+        let cfg = ZnsConfig::builder().store_data(false).build();
+        let d = ZnsDevice::new(cfg);
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        let mut buf = vec![9u8; SECTOR_SIZE as usize];
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn unaligned_buffer_rejected() {
+        let d = dev();
+        let err = d
+            .write(SimTime::ZERO, 0, &vec![0u8; 100], WriteFlags::default())
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::InvalidArgument(_)));
+        let mut small = vec![0u8; 0];
+        let err = d.read(SimTime::ZERO, 0, &mut small).unwrap_err();
+        assert!(matches!(err, ZnsError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn zrwa_overwrites_within_window() {
+        let cfg = ZnsConfig::builder().zones(4, 64, 64).zrwa(8).build();
+        let d = ZnsDevice::new(cfg);
+        // Write rows 0..2 of the window, overwrite row 0, commit.
+        d.write_zrwa(SimTime::ZERO, 0, &sectors(2)).unwrap();
+        let patch = vec![0x11u8; SECTOR_SIZE as usize];
+        d.write_zrwa(SimTime::ZERO, 0, &patch).unwrap();
+        assert_eq!(d.zone_info(0).unwrap().write_pointer, 0); // not committed
+        d.commit_zrwa(SimTime::ZERO, 0, 2).unwrap();
+        assert_eq!(d.zone_info(0).unwrap().write_pointer, 2);
+        let mut out = vec![0u8; SECTOR_SIZE as usize];
+        d.read(SimTime::ZERO, 0, &mut out).unwrap();
+        assert_eq!(out, patch);
+    }
+
+    #[test]
+    fn zrwa_window_bounds_enforced() {
+        let cfg = ZnsConfig::builder().zones(4, 64, 64).zrwa(8).build();
+        let d = ZnsDevice::new(cfg);
+        // Beyond the window:
+        assert!(d.write_zrwa(SimTime::ZERO, 8, &sectors(1)).is_err());
+        // Behind the write pointer after commit:
+        d.write_zrwa(SimTime::ZERO, 0, &sectors(4)).unwrap();
+        d.commit_zrwa(SimTime::ZERO, 0, 4).unwrap();
+        assert!(d.write_zrwa(SimTime::ZERO, 2, &sectors(1)).is_err());
+        // Window slides with the write pointer:
+        d.write_zrwa(SimTime::ZERO, 11, &sectors(1)).unwrap();
+        // Commit up to the window end is allowed; overshooting is not.
+        assert!(d.commit_zrwa(SimTime::ZERO, 0, 12).is_ok());
+        assert!(d.commit_zrwa(SimTime::ZERO, 0, 21).is_err());
+    }
+
+    #[test]
+    fn zrwa_disabled_by_default() {
+        let d = dev();
+        assert!(matches!(
+            d.write_zrwa(SimTime::ZERO, 0, &sectors(1)),
+            Err(ZnsError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            d.commit_zrwa(SimTime::ZERO, 0, 1),
+            Err(ZnsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn zrwa_commit_to_capacity_fills_zone() {
+        let cfg = ZnsConfig::builder().zones(4, 64, 64).zrwa(64).build();
+        let d = ZnsDevice::new(cfg);
+        d.write_zrwa(SimTime::ZERO, 0, &sectors(64)).unwrap();
+        d.commit_zrwa(SimTime::ZERO, 0, 64).unwrap();
+        assert_eq!(d.zone_info(0).unwrap().state, ZoneState::Full);
+    }
+
+    #[test]
+    fn zone_report_covers_all_zones() {
+        let d = dev();
+        let report = d.zone_report().unwrap();
+        assert_eq!(report.len(), 16);
+        assert!(report.iter().all(|z| z.state == ZoneState::Empty));
+    }
+}

@@ -1,0 +1,155 @@
+//! Error type for zoned device and volume operations.
+
+use crate::geometry::Lba;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by zoned devices and logical volumes.
+///
+/// These mirror the NVMe ZNS command status codes that matter to a host
+/// (Zone Boundary Error, Zone Is Full, Too Many Active Zones, ...), plus the
+/// simulation-only `DeviceFailed` used for fault injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ZnsError {
+    /// The LBA (or LBA range) lies outside the device address space.
+    OutOfRange {
+        /// Requested starting LBA.
+        lba: Lba,
+        /// Requested length in sectors.
+        sectors: u64,
+    },
+    /// A write was not submitted at the zone's write pointer.
+    NotSequential {
+        /// Zone being written.
+        zone: u32,
+        /// The zone's current write pointer.
+        expected: Lba,
+        /// The LBA the host attempted to write.
+        got: Lba,
+    },
+    /// The write would exceed the zone's writable capacity.
+    ZoneFull {
+        /// Zone being written.
+        zone: u32,
+    },
+    /// An IO crossed a zone boundary (ZNS Zone Boundary Error).
+    ZoneBoundary {
+        /// Starting LBA of the offending IO.
+        lba: Lba,
+        /// Length in sectors.
+        sectors: u64,
+    },
+    /// Opening another zone would exceed the device's open-zone limit.
+    TooManyOpenZones {
+        /// The device limit.
+        limit: u32,
+    },
+    /// Activating another zone would exceed the device's active-zone limit.
+    TooManyActiveZones {
+        /// The device limit.
+        limit: u32,
+    },
+    /// The zone is in read-only state.
+    ZoneReadOnly {
+        /// The affected zone.
+        zone: u32,
+    },
+    /// The zone is offline and holds no valid data.
+    ZoneOffline {
+        /// The affected zone.
+        zone: u32,
+    },
+    /// A read touched sectors at or above the write pointer.
+    ReadUnwritten {
+        /// First unwritten LBA touched.
+        lba: Lba,
+    },
+    /// The device has failed (fault injection) and accepts no IO.
+    DeviceFailed,
+    /// The volume is in read-only mode (e.g. generation counter exhaustion).
+    VolumeReadOnly,
+    /// A buffer length was not a whole number of sectors, or another
+    /// argument was malformed.
+    InvalidArgument(String),
+    /// The operation is invalid in the zone's current state.
+    BadZoneState {
+        /// The affected zone.
+        zone: u32,
+        /// Human-readable state description.
+        state: &'static str,
+        /// The attempted operation.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for ZnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZnsError::OutOfRange { lba, sectors } => {
+                write!(f, "lba range [{lba}, +{sectors}) outside address space")
+            }
+            ZnsError::NotSequential {
+                zone,
+                expected,
+                got,
+            } => write!(
+                f,
+                "non-sequential write to zone {zone}: write pointer {expected}, got {got}"
+            ),
+            ZnsError::ZoneFull { zone } => write!(f, "zone {zone} is full"),
+            ZnsError::ZoneBoundary { lba, sectors } => {
+                write!(f, "io [{lba}, +{sectors}) crosses a zone boundary")
+            }
+            ZnsError::TooManyOpenZones { limit } => {
+                write!(f, "open zone limit ({limit}) exceeded")
+            }
+            ZnsError::TooManyActiveZones { limit } => {
+                write!(f, "active zone limit ({limit}) exceeded")
+            }
+            ZnsError::ZoneReadOnly { zone } => write!(f, "zone {zone} is read-only"),
+            ZnsError::ZoneOffline { zone } => write!(f, "zone {zone} is offline"),
+            ZnsError::ReadUnwritten { lba } => {
+                write!(f, "read of unwritten lba {lba}")
+            }
+            ZnsError::DeviceFailed => write!(f, "device has failed"),
+            ZnsError::VolumeReadOnly => write!(f, "volume is in read-only mode"),
+            ZnsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            ZnsError::BadZoneState { zone, state, op } => {
+                write!(f, "cannot {op} zone {zone} in state {state}")
+            }
+        }
+    }
+}
+
+impl Error for ZnsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ZnsError::NotSequential {
+            zone: 3,
+            expected: 100,
+            got: 104,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("zone 3"));
+        assert!(msg.contains("100"));
+        assert!(msg.contains("104"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<ZnsError>();
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(ZnsError::DeviceFailed);
+        assert_eq!(e.to_string(), "device has failed");
+    }
+}

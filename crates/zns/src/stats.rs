@@ -1,0 +1,51 @@
+//! Device operation counters.
+
+/// Cumulative operation counters for a device, used by tests and by the
+/// benchmark harness to report write amplification and IO breakdowns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Sectors read by the host.
+    pub sectors_read: u64,
+    /// Sectors written by the host (including FUA writes and appends).
+    pub sectors_written: u64,
+    /// Read commands completed.
+    pub reads: u64,
+    /// Write/append commands completed.
+    pub writes: u64,
+    /// Zone resets completed.
+    pub zone_resets: u64,
+    /// Zone finish commands completed.
+    pub zone_finishes: u64,
+    /// Flush commands completed.
+    pub flushes: u64,
+    /// Commands that carried FUA.
+    pub fua_writes: u64,
+}
+
+impl DeviceStats {
+    /// Bytes read by the host.
+    pub fn bytes_read(&self) -> u64 {
+        self.sectors_read * crate::SECTOR_SIZE
+    }
+
+    /// Bytes written by the host.
+    pub fn bytes_written(&self) -> u64 {
+        self.sectors_written * crate::SECTOR_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversions() {
+        let s = DeviceStats {
+            sectors_read: 2,
+            sectors_written: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.bytes_read(), 8192);
+        assert_eq!(s.bytes_written(), 12288);
+    }
+}

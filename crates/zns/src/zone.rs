@@ -1,0 +1,159 @@
+//! Zone state machine.
+
+use crate::geometry::Lba;
+use std::fmt;
+
+/// The state of a zone, per the NVMe ZNS state machine (§2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZoneState {
+    /// Unwritten; write pointer at zone start.
+    Empty,
+    /// Opened by a write without an explicit open command.
+    ImplicitlyOpen,
+    /// Opened by an explicit zone-open command.
+    ExplicitlyOpen,
+    /// Open resources released but still partially written (active).
+    Closed,
+    /// Fully written or finished; no further writes until reset.
+    Full,
+    /// Media failure: readable but not writable.
+    ReadOnly,
+    /// Media failure: neither readable nor writable.
+    Offline,
+}
+
+impl ZoneState {
+    /// Whether the zone counts against the open-zone limit.
+    pub fn is_open(self) -> bool {
+        matches!(self, ZoneState::ImplicitlyOpen | ZoneState::ExplicitlyOpen)
+    }
+
+    /// Whether the zone counts against the active-zone limit
+    /// (open or closed).
+    pub fn is_active(self) -> bool {
+        self.is_open() || self == ZoneState::Closed
+    }
+
+    /// Whether the zone may accept writes at its write pointer.
+    pub fn is_writable(self) -> bool {
+        matches!(
+            self,
+            ZoneState::Empty
+                | ZoneState::ImplicitlyOpen
+                | ZoneState::ExplicitlyOpen
+                | ZoneState::Closed
+        )
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ZoneState::Empty => "empty",
+            ZoneState::ImplicitlyOpen => "implicitly-open",
+            ZoneState::ExplicitlyOpen => "explicitly-open",
+            ZoneState::Closed => "closed",
+            ZoneState::Full => "full",
+            ZoneState::ReadOnly => "read-only",
+            ZoneState::Offline => "offline",
+        }
+    }
+}
+
+impl fmt::Display for ZoneState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A snapshot of one zone's externally visible state, as returned by zone
+/// report queries (`ZnsDevice::zone_info` via [`crate::ZonedVolume`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneInfo {
+    /// Zone index.
+    pub zone: u32,
+    /// Current state.
+    pub state: ZoneState,
+    /// First LBA of the zone.
+    pub start: Lba,
+    /// Write pointer (absolute LBA; equals `start` when empty).
+    pub write_pointer: Lba,
+    /// Writable capacity in sectors.
+    pub capacity: u64,
+}
+
+impl ZoneInfo {
+    /// Sectors written so far.
+    pub fn written(&self) -> u64 {
+        self.write_pointer - self.start
+    }
+
+    /// Sectors still writable.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.written()
+    }
+}
+
+/// Internal per-zone bookkeeping for the device model.
+#[derive(Debug, Clone)]
+pub(crate) struct Zone {
+    pub state: ZoneState,
+    /// Write pointer, relative to zone start, in sectors.
+    pub wp: u64,
+    /// Durable prefix length in sectors (<= wp). Data below this survived a
+    /// flush/FUA; data in `[durable, wp)` sits in the volatile write cache.
+    pub durable: u64,
+    /// Zone payload, lazily allocated at `zone_cap * SECTOR_SIZE` bytes.
+    /// `None` when the zone is empty-and-never-written or when the device
+    /// runs in discard-data mode.
+    pub data: Option<Box<[u8]>>,
+    /// Monotonic stamp of the most recent write (for implicit-close LRU).
+    pub last_write_seq: u64,
+}
+
+impl Zone {
+    pub fn new() -> Self {
+        Zone {
+            state: ZoneState::Empty,
+            wp: 0,
+            durable: 0,
+            data: None,
+            last_write_seq: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(ZoneState::ImplicitlyOpen.is_open());
+        assert!(ZoneState::ExplicitlyOpen.is_open());
+        assert!(!ZoneState::Closed.is_open());
+        assert!(ZoneState::Closed.is_active());
+        assert!(!ZoneState::Full.is_active());
+        assert!(ZoneState::Empty.is_writable());
+        assert!(!ZoneState::ReadOnly.is_writable());
+        assert!(!ZoneState::Offline.is_writable());
+    }
+
+    #[test]
+    fn info_accessors() {
+        let info = ZoneInfo {
+            zone: 2,
+            state: ZoneState::ImplicitlyOpen,
+            start: 200,
+            write_pointer: 230,
+            capacity: 80,
+        };
+        assert_eq!(info.written(), 30);
+        assert_eq!(info.remaining(), 50);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ZoneState::Empty.to_string(), "empty");
+        assert_eq!(ZoneState::ImplicitlyOpen.to_string(), "implicitly-open");
+    }
+}

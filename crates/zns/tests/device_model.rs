@@ -1,0 +1,153 @@
+//! Model-based tests of the ZNS device: random operation sequences are
+//! checked against a simple reference model of zone state, write pointers
+//! and durability.
+
+use proptest::prelude::*;
+use sim::SimTime;
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZoneState, ZonedVolume, SECTOR_SIZE};
+
+const T0: SimTime = SimTime::ZERO;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { zone: u32, sectors: u64, fua: bool },
+    Append { zone: u32, sectors: u64 },
+    Reset { zone: u32 },
+    Finish { zone: u32 },
+    Flush,
+}
+
+fn op_strategy(zones: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..zones, 1u64..6, any::<bool>())
+            .prop_map(|(zone, sectors, fua)| Op::Write { zone, sectors, fua }),
+        (0..zones, 1u64..6).prop_map(|(zone, sectors)| Op::Append { zone, sectors }),
+        (0..zones).prop_map(|zone| Op::Reset { zone }),
+        (0..zones).prop_map(|zone| Op::Finish { zone }),
+        Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The device's write pointers and durability always match a simple
+    /// reference model, and crash+survivor state is always a durable
+    /// prefix.
+    #[test]
+    fn device_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(4), 1..60),
+        lose_cache in any::<bool>(),
+    ) {
+        let cfg = ZnsConfig::builder()
+            .zones(4, 16, 16)
+            .open_limits(4, 4)
+            .build();
+        let dev = ZnsDevice::new(cfg);
+        let cap = 16u64;
+        // Reference model: (wp, durable, finished) per zone.
+        let mut model = vec![(0u64, 0u64, false); 4];
+        for op in &ops {
+            match op {
+                Op::Write { zone, sectors, fua } => {
+                    let lba = *zone as u64 * 16 + model[*zone as usize].0;
+                    let data = vec![1u8; (*sectors * SECTOR_SIZE) as usize];
+                    let r = dev.write(T0, lba, &data, WriteFlags { fua: *fua, preflush: false });
+                    let m = &mut model[*zone as usize];
+                    if !m.2 && m.0 + sectors <= cap {
+                        prop_assert!(r.is_ok(), "write should succeed: {r:?}");
+                        m.0 += sectors;
+                        if *fua {
+                            m.1 = m.0;
+                        }
+                        if m.0 == cap {
+                            m.2 = true;
+                        }
+                    } else {
+                        prop_assert!(r.is_err(), "write into full zone succeeded");
+                    }
+                }
+                Op::Append { zone, sectors } => {
+                    let data = vec![2u8; (*sectors * SECTOR_SIZE) as usize];
+                    let r = dev.append(T0, *zone, &data, WriteFlags::default());
+                    let m = &mut model[*zone as usize];
+                    if !m.2 && m.0 + sectors <= cap {
+                        let a = r.expect("append should succeed");
+                        prop_assert_eq!(a.lba, *zone as u64 * 16 + m.0);
+                        m.0 += sectors;
+                        if m.0 == cap {
+                            m.2 = true;
+                        }
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Op::Reset { zone } => {
+                    dev.reset_zone(T0, *zone).expect("reset");
+                    model[*zone as usize] = (0, 0, false);
+                }
+                Op::Finish { zone } => {
+                    dev.finish_zone(T0, *zone).expect("finish");
+                    let m = &mut model[*zone as usize];
+                    m.1 = m.0;
+                    m.2 = true;
+                }
+                Op::Flush => {
+                    dev.flush(T0).expect("flush");
+                    for m in &mut model {
+                        m.1 = m.0;
+                    }
+                }
+            }
+            // Check write pointers after every op.
+            for z in 0..4u32 {
+                let info = dev.zone_info(z).expect("info");
+                prop_assert_eq!(
+                    info.write_pointer - info.start,
+                    model[z as usize].0,
+                    "zone {} wp mismatch", z
+                );
+            }
+        }
+        // Crash and verify survivors.
+        let mut policy = if lose_cache {
+            CrashPolicy::LoseCache
+        } else {
+            CrashPolicy::KeepCache
+        };
+        let survivors = dev.crash(&mut policy);
+        for z in 0..4usize {
+            let (wp, durable, _) = model[z];
+            let expect = if lose_cache { durable } else { wp };
+            prop_assert_eq!(survivors[z], expect, "zone {} survivor", z);
+            let info = dev.zone_info(z as u32).expect("info");
+            prop_assert!(matches!(
+                info.state,
+                ZoneState::Empty | ZoneState::Closed | ZoneState::Full
+            ));
+        }
+    }
+
+    /// Reads below the write pointer always succeed and reads above always
+    /// fail, regardless of the preceding operation sequence.
+    #[test]
+    fn read_boundary_is_exact(writes in prop::collection::vec(1u64..5, 1..8)) {
+        let dev = ZnsDevice::new(ZnsConfig::small_test());
+        let mut wp = 0u64;
+        for w in &writes {
+            let n = (*w).min(64 - wp);
+            if n == 0 { break; }
+            let data = vec![3u8; (n * SECTOR_SIZE) as usize];
+            dev.write(T0, wp, &data, WriteFlags::default()).expect("write");
+            wp += n;
+        }
+        if wp > 0 {
+            let mut buf = vec![0u8; (wp * SECTOR_SIZE) as usize];
+            prop_assert!(dev.read(T0, 0, &mut buf).is_ok());
+        }
+        if wp < 64 {
+            let mut buf = vec![0u8; ((wp + 1) * SECTOR_SIZE) as usize];
+            prop_assert!(dev.read(T0, 0, &mut buf).is_err());
+        }
+    }
+}

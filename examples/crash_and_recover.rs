@@ -1,0 +1,62 @@
+//! Crash consistency demo: power loss in the middle of a striped write
+//! creates a "stripe hole" (Fig. 1 of the paper); mounting repairs it from
+//! parity / partial-parity logs, or rolls the zone back and relocates
+//! future conflicting writes.
+//!
+//! Run with: `cargo run --example crash_and_recover`
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::SimTime;
+use std::sync::Arc;
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume};
+
+fn main() -> Result<(), zns::ZnsError> {
+    let t0 = SimTime::ZERO;
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+        .collect();
+    let volume = RaiznVolume::format(devices.clone(), RaiznConfig::small_test(), t0)?;
+
+    // An application writes 9 sectors; the first 7 are FUA (acknowledged
+    // durable), the tail 2 sit in device write caches.
+    let durable: Vec<u8> = (0..7 * 4096).map(|i| (i % 250) as u8).collect();
+    let volatile = vec![0xEEu8; 2 * 4096];
+    volume.write(t0, 0, &durable, WriteFlags::FUA)?;
+    volume.write(t0, 7, &volatile, WriteFlags::default())?;
+    println!("wrote 7 durable (FUA) + 2 cached sectors, then the power fails...");
+
+    // Power loss: every device independently loses an arbitrary suffix of
+    // its cached data — the recipe for stripe holes.
+    drop(volume);
+    let mut rng = sim::SimRng::new(2024);
+    for d in &devices {
+        d.crash(&mut CrashPolicy::Random(rng.fork()));
+    }
+
+    // Mount scans write pointers, replays metadata logs, repairs holes.
+    let volume = RaiznVolume::mount(devices.clone(), RaiznConfig::small_test(), t0)?;
+    let info = volume.zone_info(0)?;
+    let recovered = info.write_pointer - info.start;
+    println!("after recovery the zone write pointer is {recovered} sectors");
+    assert!(recovered >= 7, "FUA-acknowledged data must survive");
+
+    let mut readback = vec![0u8; 7 * 4096];
+    volume.read(t0, 0, &mut readback)?;
+    assert_eq!(readback, durable);
+    println!("all FUA-acknowledged data verified intact");
+
+    // The recovered volume keeps full fault tolerance: fail a device and
+    // the same data is still readable through parity reconstruction.
+    volume.fail_device(1);
+    let mut degraded = vec![0u8; 7 * 4096];
+    volume.read(t0, 0, &mut degraded)?;
+    assert_eq!(degraded, durable);
+    println!("degraded read after device failure verified intact");
+
+    let s = volume.stats();
+    println!(
+        "recovery stats: {} stripe units repaired from parity, {} relocated",
+        s.recovered_units, s.relocated_units
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Root meta-crate of the RAIZN reproduction workspace.
+//!
+//! Re-exports every crate so integration tests and examples can use the
+//! whole stack through one dependency. See the README for the map and
+//! [`raizn`] for the core volume.
+
+pub use ftl;
+pub use mdraid5;
+pub use raizn;
+pub use sim;
+pub use workloads;
+pub use zkv;
+pub use zns;

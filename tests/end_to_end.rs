@@ -1,0 +1,305 @@
+//! Cross-crate integration tests: the paper's headline observations
+//! expressed as assertions over the full stack (devices → arrays →
+//! workload engine → application).
+
+use ftl::BlockDevice;
+use mdraid5::{Md5Config, Md5Volume, ZonedBlockShim};
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::{SimDuration, SimTime};
+use std::sync::Arc;
+use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
+use zkv::{DbBench, DbWorkload, ZkvConfig, ZkvStore};
+use zns::{LatencyConfig, ZnsConfig, ZnsDevice, ZonedVolume};
+
+const T0: SimTime = SimTime::ZERO;
+const ZONES: u32 = 8;
+const ZONE_SECTORS: u64 = 8192; // 32 MiB zones -> 256 MiB per device
+// (Few, large zones keep the per-reset cost amortized like the paper's
+// 1077 MiB zones; the same capacity is preserved.)
+
+fn raizn() -> Arc<RaiznVolume> {
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(ZONES, ZONE_SECTORS, ZONE_SECTORS)
+                    .open_limits(14, 28)
+                    .latency(LatencyConfig::zns_ssd())
+                    .store_data(false)
+                    .build(),
+            ))
+        })
+        .collect();
+    Arc::new(RaiznVolume::format(devices, RaiznConfig::default(), T0).unwrap())
+}
+
+fn mdraid() -> Arc<Md5Volume> {
+    let devices: Vec<Arc<dyn BlockDevice>> = (0..5)
+        .map(|_| {
+            Arc::new(ftl::ConvSsd::new(ftl::FtlConfig {
+                user_sectors: ZONES as u64 * ZONE_SECTORS,
+                pages_per_block: 256,
+                op_ratio: 0.07,
+                gc_low_blocks: 8,
+                latency: LatencyConfig::conventional_ssd(),
+                store_data: false,
+            })) as Arc<dyn BlockDevice>
+        })
+        .collect();
+    Arc::new(Md5Volume::new(devices, Md5Config::default()).unwrap())
+}
+
+/// Observation from §6 intro: RAIZN's large sequential throughput is
+/// within a few percent of aggregate raw device bandwidth (paper: 2%).
+#[test]
+fn raizn_large_writes_near_raw_aggregate() {
+    let vol = raizn();
+    let t = ZonedTarget::new(vol);
+    let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).queue_depth(64);
+    let report = Engine::new(1).run(&t, &[job]).unwrap();
+    // 4 data devices x ~1052 MiB/s ≈ 4208 MiB/s aggregate data bandwidth.
+    let mib_s = report.throughput_mib_s();
+    assert!(
+        mib_s > 4208.0 * 0.90,
+        "RAIZN sequential write {mib_s:.0} MiB/s is more than 10% below aggregate"
+    );
+}
+
+/// Observation 3 (Fig. 10): a full overwrite collapses mdraid throughput
+/// once device GC starts; RAIZN is unaffected.
+#[test]
+fn mdraid_gc_cliff_raizn_flat() {
+    let overwrite = |target: &dyn IoTarget| {
+        // Paper setup: five concurrent threads fill 20% regions each
+        // (mixing their streams in the FTL's erase blocks), then one
+        // thread sequentially overwrites everything.
+        let cap = target.capacity_sectors();
+        let fifth = cap / 5 / ZONE_SECTORS * ZONE_SECTORS;
+        let fill: Vec<JobSpec> = (0..5u64)
+            .map(|i| {
+                JobSpec::new(OpKind::Write, Pattern::Sequential, 256)
+                    .region(i * fifth, (i + 1) * fifth)
+                    .queue_depth(16)
+            })
+            .collect();
+        let p1 = Engine::new(2).run(target, &fill).unwrap();
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).region(0, fifth * 5);
+        let p2 = Engine::new(3)
+            .start_at(p1.end)
+            .run(target, &[job])
+            .unwrap();
+        (p1.throughput_mib_s(), p2.throughput_mib_s())
+    };
+    let (r1, r2) = overwrite(&ZonedTarget::new(raizn()));
+    let md = mdraid();
+    let (m1, m2) = overwrite(&BlockTarget::new(md));
+    eprintln!("[cliff] raizn {r1:.0}->{r2:.0}, mdraid {m1:.0}->{m2:.0}");
+    assert!(
+        r2 > r1 * 0.85,
+        "RAIZN overwrite pass slowed down: {r1:.0} -> {r2:.0} MiB/s"
+    );
+    assert!(
+        m2 < m1 * 0.6,
+        "mdraid overwrite showed no GC cliff: {m1:.0} -> {m2:.0} MiB/s"
+    );
+    // The paper's sustained-throughput advantage (up to 14x on their
+    // hardware); shape check: RAIZN sustained >> mdraid under GC.
+    assert!(
+        r2 > 2.0 * m2,
+        "RAIZN sustained ({r2:.0}) should far exceed mdraid under GC ({m2:.0})"
+    );
+}
+
+
+/// Diagnostic (ignored by default assertions): report FTL WAF under the
+/// Fig. 10 workload so the GC model can be sanity-checked.
+#[test]
+fn ftl_waf_probe() {
+    let devices: Vec<Arc<ftl::ConvSsd>> = (0..5)
+        .map(|_| {
+            Arc::new(ftl::ConvSsd::new(ftl::FtlConfig {
+                user_sectors: ZONES as u64 * ZONE_SECTORS,
+                pages_per_block: 256,
+                op_ratio: 0.07,
+                gc_low_blocks: 8,
+                latency: LatencyConfig::conventional_ssd(),
+                store_data: false,
+            }))
+        })
+        .collect();
+    let dyn_devs: Vec<Arc<dyn BlockDevice>> = devices
+        .iter()
+        .map(|d| d.clone() as Arc<dyn BlockDevice>)
+        .collect();
+    let md = Arc::new(Md5Volume::new(dyn_devs, Md5Config::default()).unwrap());
+    let target = BlockTarget::new(md);
+    let cap = target.capacity_sectors();
+    let fifth = cap / 5 / ZONE_SECTORS * ZONE_SECTORS;
+    let fill: Vec<JobSpec> = (0..5u64)
+        .map(|i| {
+            JobSpec::new(OpKind::Write, Pattern::Sequential, 256)
+                .region(i * fifth, (i + 1) * fifth)
+                .queue_depth(16)
+        })
+        .collect();
+    let p1 = Engine::new(2).run(&target, &fill).unwrap();
+    let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).region(0, fifth * 5);
+    Engine::new(3).start_at(p1.end).run(&target, &[job]).unwrap();
+    let s = devices[0].ftl_stats();
+    eprintln!(
+        "[waf] dev0 host={} copied={} waf={:.2} erases={} stall={}",
+        s.host_pages_written, s.gc_pages_copied, s.waf(), s.erases, s.gc_stall
+    );
+    assert!(s.waf() >= 1.0);
+}
+
+/// §6.2: degraded reads still return correct data at reasonable speed.
+#[test]
+fn degraded_reads_work_on_both_arrays() {
+    let vol = raizn();
+    let rt = ZonedTarget::new(vol.clone());
+    let fill = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).queue_depth(64);
+    let end = Engine::new(4).run(&rt, &[fill]).unwrap().end;
+    vol.fail_device(0);
+    let read = JobSpec::new(OpKind::Read, Pattern::Random, 16)
+        .ops(2000)
+        .queue_depth(64)
+        .region(0, rt.capacity_sectors() / ZONE_SECTORS / 4 * ZONE_SECTORS * 4);
+    let r = Engine::new(5).start_at(end).run(&rt, &[read]).unwrap();
+    assert_eq!(r.total_ops, 2000);
+    assert!(r.throughput_mib_s() > 0.0);
+}
+
+/// Fig. 12: RAIZN rebuild time scales with valid data; mdraid resync is
+/// constant at full-device time.
+#[test]
+fn rebuild_scales_with_data_resync_does_not() {
+    let ttr = |fraction: f64| {
+        let vol = raizn();
+        let t = ZonedTarget::new(vol.clone());
+        let sectors =
+            ((t.capacity_sectors() as f64 * fraction) as u64) / ZONE_SECTORS * ZONE_SECTORS;
+        let fill = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).region(0, sectors);
+        let end = Engine::new(6).run(&t, &[fill]).unwrap().end;
+        vol.fail_device(1);
+        let replacement = Arc::new(ZnsDevice::new(
+            ZnsConfig::builder()
+                .zones(ZONES, ZONE_SECTORS, ZONE_SECTORS)
+                .open_limits(14, 28)
+                .latency(LatencyConfig::zns_ssd())
+                .store_data(false)
+                .build(),
+        ));
+        vol.rebuild(end, replacement).unwrap().duration
+    };
+    let quarter = ttr(0.25);
+    let full = ttr(1.0);
+    assert!(
+        full.as_nanos() > 3 * quarter.as_nanos(),
+        "RAIZN TTR did not scale: quarter={quarter}, full={full}"
+    );
+
+    // mdraid: resync duration is independent of the data written.
+    let resync = |fraction: f64| {
+        let md = mdraid();
+        let t = BlockTarget::new(md.clone());
+        let sectors = (t.capacity_sectors() as f64 * fraction) as u64 / 256 * 256;
+        if sectors > 0 {
+            let fill = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).region(0, sectors);
+            Engine::new(7).run(&t, &[fill]).unwrap();
+        }
+        let repl: Arc<dyn BlockDevice> = Arc::new(ftl::ConvSsd::new(ftl::FtlConfig {
+            user_sectors: ZONES as u64 * ZONE_SECTORS,
+            pages_per_block: 256,
+            op_ratio: 0.07,
+            gc_low_blocks: 8,
+            latency: LatencyConfig::conventional_ssd(),
+            store_data: false,
+        }));
+        md.fail_device(0);
+        md.resync(SimTime::from_secs(1000), repl).unwrap()
+    };
+    let a = resync(0.25);
+    let b = resync(1.0);
+    assert_eq!(a.bytes_written, b.bytes_written, "mdraid must resync everything");
+}
+
+/// §6.3 shape: the same KV application runs on both stacks and stays
+/// within a sane performance envelope in steady state.
+#[test]
+fn zkv_runs_on_both_stacks() {
+    let bench = DbBench::new(2000, 4000);
+
+    let rz_store = ZkvStore::create(raizn(), ZkvConfig::default(), T0).unwrap();
+    let rz = bench.run(&rz_store, DbWorkload::FillRandom, T0).unwrap();
+
+    let md = mdraid();
+    let shim = Arc::new(ZonedBlockShim::new(md, 4 * ZONE_SECTORS).unwrap());
+    let md_store = ZkvStore::create(shim, ZkvConfig::default(), T0).unwrap();
+    let mdr = bench.run(&md_store, DbWorkload::FillRandom, T0).unwrap();
+
+    assert!(rz.ops_per_sec() > 0.0 && mdr.ops_per_sec() > 0.0);
+    let ratio = rz.ops_per_sec() / mdr.ops_per_sec();
+    assert!(
+        (0.4..=3.0).contains(&ratio),
+        "fillrandom throughput ratio {ratio:.2} outside sane envelope \
+         (rz {:.0} ops/s, md {:.0} ops/s)",
+        rz.ops_per_sec(),
+        mdr.ops_per_sec()
+    );
+}
+
+/// End-to-end crash test through the application: a KV store on RAIZN
+/// survives power loss of the array (volume-level recovery) without
+/// violating ZNS semantics on remount.
+#[test]
+fn volume_remount_under_application() {
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+        .collect();
+    let vol = Arc::new(
+        RaiznVolume::format(devices.clone(), RaiznConfig::small_test(), T0).unwrap(),
+    );
+    {
+        let store = ZkvStore::create(vol.clone(), ZkvConfig::small_test(), T0).unwrap();
+        let mut t = T0;
+        for k in 0..50u64 {
+            t = store.put(t, k, &vec![k as u8; 600]).unwrap();
+        }
+        store.sync(t).unwrap();
+    }
+    drop(vol);
+    for d in &devices {
+        d.crash(&mut zns::CrashPolicy::LoseCache);
+    }
+    // The volume remounts cleanly; all durable zone content is readable.
+    let vol = RaiznVolume::mount(devices, RaiznConfig::small_test(), T0).unwrap();
+    for z in 0..vol.geometry().num_zones() {
+        let info = vol.zone_info(z).unwrap();
+        let written = info.write_pointer - info.start;
+        if written > 0 {
+            let mut buf = vec![0u8; (written * zns::SECTOR_SIZE) as usize];
+            vol.read(T0, info.start, &mut buf).unwrap();
+        }
+    }
+}
+
+/// Virtual-time sanity across the whole stack: t only moves forward and
+/// latency percentiles are ordered.
+#[test]
+fn timing_is_monotone_through_the_stack() {
+    let vol = raizn();
+    let t = ZonedTarget::new(vol);
+    let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 64)
+        .ops(500)
+        .queue_depth(8);
+    let mut engine = Engine::new(8).sample_interval(SimDuration::from_millis(50));
+    let r = engine.run(&t, &[job]).unwrap();
+    assert_eq!(r.total_ops, 500);
+    let h = &r.latency;
+    assert!(h.percentile(50.0) <= h.percentile(99.0));
+    assert!(h.percentile(99.0) <= h.percentile(99.9));
+    assert!(h.max() >= h.percentile(99.9));
+    let series = r.throughput_series.unwrap();
+    assert_eq!(series.iter().map(|p| p.bytes).sum::<u64>(), r.total_bytes);
+}
