@@ -32,13 +32,18 @@ fn bench_xor_reconstruct(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(Throughput::Bytes(4 * 64 * 1024));
     let units: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 64 * 1024]).collect();
-    g.bench_function("xor_4_units", |b| {
+    let views: Vec<&[u8]> = units.iter().map(|u| u.as_slice()).collect();
+    let mut acc = vec![0u8; 64 * 1024];
+    g.bench_function("xor_fold_4_units", |b| {
         b.iter(|| {
-            let mut acc = vec![0u8; 64 * 1024];
+            sim::xor_fold(&mut acc, black_box(&views));
+            black_box(acc[0])
+        });
+    });
+    g.bench_function("xor_4_units_scalar_baseline", |b| {
+        b.iter(|| {
             for u in &units {
-                for (a, x) in acc.iter_mut().zip(u.iter()) {
-                    *a ^= *x;
-                }
+                sim::xor::xor_into_scalar_reference(&mut acc, black_box(u));
             }
             black_box(acc[0])
         });

@@ -27,9 +27,8 @@ fn bench_mount(c: &mut Criterion) {
     g.bench_function("clean_remount", |b| {
         b.iter(|| {
             let devs = devices();
-            let vol =
-                RaiznVolume::format(devs.clone(), RaiznConfig::default(), SimTime::ZERO)
-                    .expect("format");
+            let vol = RaiznVolume::format(devs.clone(), RaiznConfig::default(), SimTime::ZERO)
+                .expect("format");
             let data = vec![0u8; 64 * 4096];
             let mut lba = 0;
             for _ in 0..32 {
@@ -42,17 +41,16 @@ fn bench_mount(c: &mut Criterion) {
             for d in &devs {
                 d.crash(&mut CrashPolicy::LoseCache);
             }
-            let v2 = RaiznVolume::mount(devs, RaiznConfig::default(), SimTime::ZERO)
-                .expect("mount");
+            let v2 =
+                RaiznVolume::mount(devs, RaiznConfig::default(), SimTime::ZERO).expect("mount");
             black_box(v2.zone_info(0).expect("info").write_pointer)
         });
     });
     g.bench_function("crash_remount_with_holes", |b| {
         b.iter(|| {
             let devs = devices();
-            let vol =
-                RaiznVolume::format(devs.clone(), RaiznConfig::default(), SimTime::ZERO)
-                    .expect("format");
+            let vol = RaiznVolume::format(devs.clone(), RaiznConfig::default(), SimTime::ZERO)
+                .expect("format");
             let data = vec![0u8; 64 * 4096];
             let mut lba = 0;
             for _ in 0..32 {
@@ -65,8 +63,8 @@ fn bench_mount(c: &mut Criterion) {
             for d in &devs {
                 d.crash(&mut CrashPolicy::Random(rng.fork()));
             }
-            let v2 = RaiznVolume::mount(devs, RaiznConfig::default(), SimTime::ZERO)
-                .expect("mount");
+            let v2 =
+                RaiznVolume::mount(devs, RaiznConfig::default(), SimTime::ZERO).expect("mount");
             black_box(v2.zone_info(0).expect("info").write_pointer)
         });
     });

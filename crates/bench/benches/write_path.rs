@@ -63,7 +63,8 @@ fn bench_read_path(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(label), &sectors, |b, &n| {
             let mut buf = vec![0u8; (n * 4096) as usize];
             b.iter(|| {
-                vol.read(SimTime::ZERO, black_box(0), &mut buf).expect("read");
+                vol.read(SimTime::ZERO, black_box(0), &mut buf)
+                    .expect("read");
                 black_box(buf[0])
             });
         });

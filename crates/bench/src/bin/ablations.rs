@@ -11,8 +11,8 @@
 use bench::{bs_label, print_table, zns_devices};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
-use workloads::{Engine, JobSpec, OpKind, Pattern, ZonedTarget};
 use std::sync::Arc;
+use workloads::{Engine, JobSpec, OpKind, Pattern, ZonedTarget};
 use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
 
 const ZONES: u32 = 64;

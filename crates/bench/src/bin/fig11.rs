@@ -1,7 +1,7 @@
 //! Figure 11: degraded performance — sequential and random read
 //! throughput/latency after one device fails (no replacement).
 
-use bench::{bs_label, mdraid_volume, print_table, prime, raizn_volume, run_micro, Micro};
+use bench::{bs_label, mdraid_volume, prime, print_table, raizn_volume, run_micro, Micro};
 use sim::SimTime;
 use workloads::{BlockTarget, ZonedTarget};
 use zns::ZonedVolume;
@@ -40,7 +40,9 @@ fn main() {
     }
     print_table(
         "Figure 11: degraded read performance (device 0 failed)",
-        &["workload", "bs", "md MiB/s", "rz MiB/s", "md p99.9", "rz p99.9"],
+        &[
+            "workload", "bs", "md MiB/s", "rz MiB/s", "md p99.9", "rz p99.9",
+        ],
         &rows,
     );
 }

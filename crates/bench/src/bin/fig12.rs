@@ -32,7 +32,7 @@ fn main() {
         let rt = ZonedTarget::new(raizn.clone());
         let t = fill(&rt, fraction);
         raizn.fail_device(0);
-        let replacement: Arc<ZnsDevice> = zns_devices(1, ZONES, ZONE_SECTORS).remove(0).into();
+        let replacement: Arc<ZnsDevice> = zns_devices(1, ZONES, ZONE_SECTORS).remove(0);
         let report = raizn.rebuild(t, replacement).expect("rebuild");
 
         // mdraid: fill, fail, resync.
@@ -40,8 +40,7 @@ fn main() {
         let mt = BlockTarget::new(md.clone());
         let t = fill(&mt, fraction);
         md.fail_device(0);
-        let repl: Arc<dyn BlockDevice> =
-            conv_devices(1, ZONES as u64 * ZONE_SECTORS).remove(0);
+        let repl: Arc<dyn BlockDevice> = conv_devices(1, ZONES as u64 * ZONE_SECTORS).remove(0);
         let resync = md.resync(t, repl).expect("resync");
 
         rows.push(vec![

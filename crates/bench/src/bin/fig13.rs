@@ -14,13 +14,18 @@ const ZONES: u32 = 64;
 const ZONE_SECTORS: u64 = 4096; // 1 GiB per device
 const OPS: u64 = 20_000;
 
-fn run_suite<V: ZonedVolume>(mk: impl Fn() -> Arc<V>, value_size: usize) -> Vec<(String, f64, f64)> {
+fn run_suite<V: ZonedVolume>(
+    mk: impl Fn() -> Arc<V>,
+    value_size: usize,
+) -> Vec<(String, f64, f64)> {
     let bench = DbBench::new(OPS, value_size);
     let mut out = Vec::new();
     // fillseq runs on a fresh store.
     {
         let store = ZkvStore::create(mk(), ZkvConfig::default(), SimTime::ZERO).expect("store");
-        let r = bench.run(&store, DbWorkload::FillSeq, SimTime::ZERO).expect("fillseq");
+        let r = bench
+            .run(&store, DbWorkload::FillSeq, SimTime::ZERO)
+            .expect("fillseq");
         out.push((
             "fillseq".to_string(),
             r.ops_per_sec(),
@@ -35,14 +40,20 @@ fn run_suite<V: ZonedVolume>(mk: impl Fn() -> Arc<V>, value_size: usize) -> Vec<
         DbWorkload::Overwrite,
         DbWorkload::ReadWhileWriting,
     ] {
-        let r = bench.run(&store, wl, t).expect(wl.name());
+        let r = bench
+            .run(&store, wl, t)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", wl.name()));
         t = r.end;
         let p99 = if wl == DbWorkload::ReadWhileWriting {
             r.read_latency.percentile(99.0)
         } else {
             r.write_latency.percentile(99.0)
         };
-        out.push((wl.name().to_string(), r.ops_per_sec(), p99.as_secs_f64() * 1e6));
+        out.push((
+            wl.name().to_string(),
+            r.ops_per_sec(),
+            p99.as_secs_f64() * 1e6,
+        ));
     }
     out
 }

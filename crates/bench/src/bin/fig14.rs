@@ -15,7 +15,10 @@ const ZONE_SECTORS: u64 = 4096;
 const TABLES: u32 = 8;
 const ROWS: u64 = 10_000; // paper: 10M; scaled for simulation
 
-fn run_mixes<V: ZonedVolume>(mk: impl Fn() -> Arc<V>, threads: usize) -> Vec<(String, f64, f64, f64)> {
+fn run_mixes<V: ZonedVolume>(
+    mk: impl Fn() -> Arc<V>,
+    threads: usize,
+) -> Vec<(String, f64, f64, f64)> {
     let mut out = Vec::new();
     for mix in [OltpMix::ReadOnly, OltpMix::WriteOnly, OltpMix::ReadWrite] {
         // Fresh database per trial, like the paper.
@@ -23,7 +26,9 @@ fn run_mixes<V: ZonedVolume>(mk: impl Fn() -> Arc<V>, threads: usize) -> Vec<(St
         let mut bench = OltpBench::new(TABLES, ROWS, threads);
         bench.duration = SimDuration::from_secs(5);
         let t = bench.prepare(&store, SimTime::ZERO).expect("prepare");
-        let r = bench.run(&store, mix, t).expect(mix.name());
+        let r = bench
+            .run(&store, mix, t)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", mix.name()));
         out.push((
             mix.name().to_string(),
             r.tps(),

@@ -1,7 +1,7 @@
 //! Figure 7: mdraid throughput vs block size for 8–128 KiB stripe units
 //! (sequential write, sequential read, random read).
 
-use bench::{bs_label, mdraid_volume, print_table, prime, run_micro, Micro};
+use bench::{bs_label, mdraid_volume, prime, print_table, run_micro, Micro};
 use sim::SimTime;
 use workloads::BlockTarget;
 
@@ -32,7 +32,10 @@ fn main() {
             .collect();
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Figure 7: mdraid {} throughput (MiB/s) by stripe unit", micro.name()),
+            &format!(
+                "Figure 7: mdraid {} throughput (MiB/s) by stripe unit",
+                micro.name()
+            ),
             &headers_ref,
             &rows,
         );

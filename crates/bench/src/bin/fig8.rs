@@ -1,7 +1,7 @@
 //! Figure 8: RAIZN throughput vs block size for 8–128 KiB stripe units
 //! (sequential write, sequential read, random read).
 
-use bench::{bs_label, print_table, prime, raizn_volume, run_micro};
+use bench::{bs_label, prime, print_table, raizn_volume, run_micro};
 use sim::SimTime;
 use workloads::ZonedTarget;
 use zns::ZonedVolume;
@@ -36,7 +36,10 @@ fn main() {
             .collect();
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Figure 8: RAIZN {} throughput (MiB/s) by stripe unit", micro.name()),
+            &format!(
+                "Figure 8: RAIZN {} throughput (MiB/s) by stripe unit",
+                micro.name()
+            ),
             &headers_ref,
             &rows,
         );

@@ -2,7 +2,7 @@
 //! across block sizes for sequential write, sequential read and random
 //! read (64 KiB stripe units, 8 jobs × QD64 / 1 job × QD256).
 
-use bench::{bs_label, mdraid_volume, print_table, prime, raizn_volume, run_micro, Micro};
+use bench::{bs_label, mdraid_volume, prime, print_table, raizn_volume, run_micro, Micro};
 use sim::SimTime;
 use workloads::{BlockTarget, ZonedTarget};
 use zns::ZonedVolume;
@@ -53,8 +53,7 @@ fn main() {
     print_table(
         "Figure 9: RAIZN vs mdraid microbenchmarks (64 KiB stripe units)",
         &[
-            "workload", "bs", "md MiB/s", "rz MiB/s", "md p50", "rz p50", "md p99.9",
-            "rz p99.9",
+            "workload", "bs", "md MiB/s", "rz MiB/s", "md p50", "rz p50", "md p99.9", "rz p99.9",
         ],
         &rows,
     );

@@ -1,0 +1,151 @@
+//! Hot-path microbenchmark: XOR kernel speedup, steady-state write-path
+//! throughput, and per-write heap allocation counts.
+//!
+//! Emits `BENCH_hotpath.json` in the working directory with:
+//!
+//! - `xor_scalar_ns_per_op` / `xor_word_ns_per_op`: ns per 64 KiB XOR for
+//!   the pinned byte-at-a-time baseline vs the word-vectorized kernel,
+//!   and the resulting `xor_speedup` (gate: >= 4x).
+//! - `write_path_mib_s`: host-CPU throughput of steady-state full-stripe
+//!   RAIZN writes (simulated device time costs nothing real).
+//! - `allocs_per_full_stripe_write`: heap allocations per full-stripe
+//!   write after warm-up (gate: 0 — stripe-buffer pool + pooled metadata
+//!   scratch make the steady state allocation-free).
+//! - `allocs_per_partial_write`: heap allocations per 4 KiB partial-stripe
+//!   write (partial-parity log path) after warm-up.
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::SimTime;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use zns::{WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume};
+
+/// Allocation-counting wrapper around the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter update has no
+// allocator-visible side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Times `iters` runs of `f` and returns ns per run.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn fresh_volume() -> RaiznVolume {
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(32, 4096, 4096)
+                    .open_limits(14, 28)
+                    .store_data(false)
+                    .build(),
+            ))
+        })
+        .collect();
+    RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO).expect("format")
+}
+
+fn main() {
+    // --- XOR kernel: 64 KiB buffers -------------------------------------
+    let src = vec![0xA5u8; 64 * 1024];
+    let mut dst = vec![0x5Au8; 64 * 1024];
+    let scalar_ns = time_ns(400, || {
+        sim::xor::xor_into_scalar_reference(&mut dst, black_box(&src));
+    });
+    let word_ns = time_ns(400, || {
+        sim::xor_into(&mut dst, black_box(&src));
+    });
+    black_box(dst[0]);
+    let speedup = scalar_ns / word_ns;
+
+    // --- Write path: steady-state full-stripe writes --------------------
+    let vol = fresh_volume();
+    let stripe_sectors = 64u64; // 4 data units x 16 sectors
+    let stripe_bytes = (stripe_sectors * 4096) as usize;
+    let data = vec![0u8; stripe_bytes];
+    let mut lba = 0u64;
+    // Warm-up: fill a few stripes so the buffer pool and metadata scratch
+    // reach their steady-state capacities.
+    for _ in 0..8 {
+        vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+            .expect("warm-up write");
+        lba += stripe_sectors;
+    }
+    let full_iters = 64u64;
+    let a0 = allocs();
+    let t0 = Instant::now();
+    for _ in 0..full_iters {
+        vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+            .expect("steady-state write");
+        lba += stripe_sectors;
+    }
+    let elapsed = t0.elapsed();
+    let full_allocs = allocs() - a0;
+    let mib_s =
+        (full_iters * stripe_bytes as u64) as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64();
+    let allocs_per_full = full_allocs as f64 / full_iters as f64;
+
+    // --- Write path: 4 KiB partial-stripe writes (pp-log path) ----------
+    // Warm up within the same open zone, then measure.
+    for _ in 0..8 {
+        vol.write(SimTime::ZERO, lba, &data[..4096], WriteFlags::default())
+            .expect("partial warm-up");
+        lba += 1;
+    }
+    let partial_iters = 64u64;
+    let a1 = allocs();
+    for _ in 0..partial_iters {
+        vol.write(SimTime::ZERO, lba, &data[..4096], WriteFlags::default())
+            .expect("partial write");
+        lba += 1;
+    }
+    let allocs_per_partial = (allocs() - a1) as f64 / partial_iters as f64;
+
+    let reused = vol.stats().stripe_buffers_reused;
+    let json = format!(
+        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"stripe_buffers_reused\": {reused}\n}}\n"
+    );
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    print!("{json}");
+    assert!(
+        speedup >= 4.0,
+        "word XOR kernel below 4x over scalar baseline: {speedup:.2}x"
+    );
+    assert!(
+        allocs_per_full == 0.0,
+        "steady-state full-stripe writes allocate: {allocs_per_full} allocs/write"
+    );
+}

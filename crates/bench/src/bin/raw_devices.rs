@@ -3,7 +3,7 @@
 //! 1052 MiB/s write / 3265 MiB/s read for the ZNS device, 2% / 4% lower
 //! than the conventional SSD.
 
-use bench::{bs_label, conv_devices, print_table, prime, zns_devices};
+use bench::{bs_label, conv_devices, prime, print_table, zns_devices};
 use sim::SimTime;
 use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
 

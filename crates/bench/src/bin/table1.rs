@@ -17,15 +17,22 @@ fn main() {
     let units_per_zone = layout.stripes_per_zone() * layout.data_units();
     let pbitmap_bytes = units_per_zone.div_ceil(8);
     let gen_mem_per_zone = 8.0 + 32.0 / 508.0; // counter + amortized header
-    let stripe_buffer_bytes =
-        (layout.data_units() + 1) * layout.stripe_unit() * zns::SECTOR_SIZE;
+    let stripe_buffer_bytes = (layout.data_units() + 1) * layout.stripe_unit() * zns::SECTOR_SIZE;
 
     let rows = vec![
         vec![
             "Remapped stripe unit".into(),
             "affected device only".into(),
-            format!("{} KiB (header) + {} KiB (unit)", MD_HEADER_BYTES / 1024, su_bytes / 1024),
-            format!("{} KiB + {} KiB (unit)", MD_HEADER_BYTES / 1024, su_bytes / 1024),
+            format!(
+                "{} KiB (header) + {} KiB (unit)",
+                MD_HEADER_BYTES / 1024,
+                su_bytes / 1024
+            ),
+            format!(
+                "{} KiB + {} KiB (unit)",
+                MD_HEADER_BYTES / 1024,
+                su_bytes / 1024
+            ),
         ],
         vec![
             "Zone reset log".into(),
@@ -87,7 +94,12 @@ fn main() {
     ];
     print_table(
         "Table 1: RAIZN metadata (5 devices, 64 KiB stripe units, 1077 MiB zones)",
-        &["metadata type", "persistent location", "storage per update", "memory footprint"],
+        &[
+            "metadata type",
+            "persistent location",
+            "storage per update",
+            "memory footprint",
+        ],
         &rows,
     );
 

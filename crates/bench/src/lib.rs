@@ -44,11 +44,7 @@ pub fn zns_devices(n: usize, zones: u32, zone_sectors: u64) -> Vec<Arc<ZnsDevice
 /// # Panics
 ///
 /// Panics if the configuration is invalid.
-pub fn raizn_volume(
-    zones: u32,
-    zone_sectors: u64,
-    stripe_unit_sectors: u64,
-) -> Arc<RaiznVolume> {
+pub fn raizn_volume(zones: u32, zone_sectors: u64, stripe_unit_sectors: u64) -> Arc<RaiznVolume> {
     let devices = zns_devices(ARRAY_DEVICES, zones, zone_sectors);
     let config = RaiznConfig {
         stripe_unit_sectors,

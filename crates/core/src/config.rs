@@ -70,10 +70,7 @@ impl RaiznConfig {
     /// capacity, fewer than 3 metadata zones are reserved, or no data
     /// zones remain.
     pub fn validate(&self, geometry: &zns::ZoneGeometry) {
-        assert!(
-            self.stripe_unit_sectors > 0,
-            "stripe unit must be nonzero"
-        );
+        assert!(self.stripe_unit_sectors > 0, "stripe unit must be nonzero");
         assert_eq!(
             geometry.zone_cap() % self.stripe_unit_sectors,
             0,

@@ -76,7 +76,10 @@ mod volume;
 pub use bitmap::PersistenceBitmap;
 pub use config::RaiznConfig;
 pub use layout::{Location, RaiznLayout};
-pub use metadata::{MdPayload, MdRecord, MetadataHeader, MetadataType, GEN_COUNTERS_PER_PAGE, MD_HEADER_BYTES};
+pub use metadata::{
+    MdPayload, MdPayloadRef, MdRecord, MdRecordRef, MetadataHeader, MetadataType,
+    GEN_COUNTERS_PER_PAGE, MD_HEADER_BYTES,
+};
 pub use stats::RaiznStats;
 pub use stripe::StripeBuffer;
 pub use volume::{RaiznVolume, RebuildReport};

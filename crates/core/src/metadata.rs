@@ -151,30 +151,83 @@ fn get_u64(buf: &[u8], off: usize) -> u64 {
     u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
 }
 
-impl MdRecord {
-    /// Creates a record with the given header fields.
+/// A borrowed view of a record payload: the zero-copy twin of
+/// [`MdPayload`], used by the write path to serialize partial parity,
+/// relocated units, and generation pages straight out of live buffers
+/// (stripe buffer, relocation cache, counter table) without staging them
+/// in an owned `Vec` first.
+#[derive(Debug, Clone, Copy)]
+pub enum MdPayloadRef<'a> {
+    /// Array parameters, stored inline.
+    Superblock(Superblock),
+    /// `(first logical zone index, counters)`, stored inline.
+    GenCounters {
+        /// Index of the logical zone whose counter is first in the page.
+        first_zone: u32,
+        /// Up to [`GEN_COUNTERS_PER_PAGE`] counters.
+        counters: &'a [u64],
+    },
+    /// Intent to reset the logical zone covering the header's LBA range.
+    ZoneResetLog,
+    /// Stripe unit data redirected to the metadata zone.
+    RelocatedStripeUnit {
+        /// Logical zone containing the relocated slot.
+        lzone: u32,
+        /// Stripe index of the slot within the zone.
+        stripe: u64,
+        /// Valid sectors at the start of `data`.
+        valid_sectors: u64,
+        /// The unit's contents (full stripe unit, zero padded).
+        data: &'a [u8],
+    },
+    /// Partial parity rows.
+    PartialParity {
+        /// First parity row (sector within the stripe unit) covered.
+        first_row: u64,
+        /// Parity bytes for `rows = data.len() / SECTOR_SIZE` rows.
+        data: &'a [u8],
+    },
+}
+
+/// A record built over a borrowed payload; see [`MdPayloadRef`]. Encodes
+/// with [`MdRecordRef::encode_into`] into a caller-provided (typically
+/// pooled) buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct MdRecordRef<'a> {
+    /// The header.
+    pub header: MetadataHeader,
+    /// Borrowed payload.
+    pub payload: MdPayloadRef<'a>,
+}
+
+impl<'a> MdRecordRef<'a> {
+    /// Creates a record view with the given header fields (same header
+    /// fix-ups as [`MdRecord::new`]).
     pub fn new(
-        md_type_payload: MdPayload,
+        payload: MdPayloadRef<'a>,
         checkpoint: bool,
         start_lba: Lba,
         end_lba: Lba,
         generation: u64,
-    ) -> MdRecord {
-        let md_type = match &md_type_payload {
-            MdPayload::Superblock(_) => MetadataType::Superblock,
-            MdPayload::GenCounters { .. } => MetadataType::GenCounters,
-            MdPayload::ZoneResetLog => MetadataType::ZoneResetLog,
-            MdPayload::RelocatedStripeUnit { .. } => MetadataType::RelocatedStripeUnit,
-            MdPayload::PartialParity { .. } => MetadataType::PartialParity,
+    ) -> MdRecordRef<'a> {
+        let md_type = match &payload {
+            MdPayloadRef::Superblock(_) => MetadataType::Superblock,
+            MdPayloadRef::GenCounters { .. } => MetadataType::GenCounters,
+            MdPayloadRef::ZoneResetLog => MetadataType::ZoneResetLog,
+            MdPayloadRef::RelocatedStripeUnit { .. } => MetadataType::RelocatedStripeUnit,
+            MdPayloadRef::PartialParity { .. } => MetadataType::PartialParity,
         };
-        let (start_lba, end_lba) = match &md_type_payload {
-            MdPayload::GenCounters {
+        let (start_lba, end_lba) = match &payload {
+            MdPayloadRef::GenCounters {
                 first_zone,
                 counters,
-            } => (*first_zone as u64, *first_zone as u64 + counters.len() as u64),
+            } => (
+                *first_zone as u64,
+                *first_zone as u64 + counters.len() as u64,
+            ),
             _ => (start_lba, end_lba),
         };
-        MdRecord {
+        MdRecordRef {
             header: MetadataHeader {
                 md_type,
                 checkpoint,
@@ -182,41 +235,44 @@ impl MdRecord {
                 end_lba,
                 generation,
             },
-            payload: md_type_payload,
+            payload,
         }
     }
 
-    /// Serializes the record: one header sector plus any payload sectors.
-    /// The result length is always a multiple of the sector size.
+    /// Serializes the record into `out`, replacing its contents: one
+    /// header sector plus any payload sectors. The result length is always
+    /// a multiple of the sector size. `out` keeps its capacity, so a
+    /// recycled scratch buffer makes steady-state encoding allocation-free.
     ///
     /// # Panics
     ///
     /// Panics if a trailing payload is not sector-aligned.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut header = vec![0u8; MD_HEADER_BYTES];
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(MD_HEADER_BYTES, 0);
+        let header = &mut out[..MD_HEADER_BYTES];
         let type_word = self.header.md_type as u32
             | if self.header.checkpoint {
                 MD_CHECKPOINT_FLAG
             } else {
                 0
             };
-        put_u32(&mut header, 0, MD_MAGIC);
-        put_u32(&mut header, 4, type_word);
-        put_u64(&mut header, 8, self.header.start_lba);
-        put_u64(&mut header, 16, self.header.end_lba);
-        put_u64(&mut header, 24, self.header.generation);
+        put_u32(header, 0, MD_MAGIC);
+        put_u32(header, 4, type_word);
+        put_u64(header, 8, self.header.start_lba);
+        put_u64(header, 16, self.header.end_lba);
+        put_u64(header, 24, self.header.generation);
         match &self.payload {
-            MdPayload::Superblock(sb) => {
-                put_u32(&mut header, 32, sb.num_devices);
-                put_u32(&mut header, 36, sb.device_index);
-                put_u64(&mut header, 40, sb.stripe_unit_sectors);
-                put_u32(&mut header, 48, sb.md_zones_per_device);
-                put_u32(&mut header, 52, sb.phys_zones);
-                put_u64(&mut header, 56, sb.phys_zone_size);
-                put_u64(&mut header, 64, sb.phys_zone_cap);
-                header
+            MdPayloadRef::Superblock(sb) => {
+                put_u32(header, 32, sb.num_devices);
+                put_u32(header, 36, sb.device_index);
+                put_u64(header, 40, sb.stripe_unit_sectors);
+                put_u32(header, 48, sb.md_zones_per_device);
+                put_u32(header, 52, sb.phys_zones);
+                put_u64(header, 56, sb.phys_zone_size);
+                put_u64(header, 64, sb.phys_zone_cap);
             }
-            MdPayload::GenCounters {
+            MdPayloadRef::GenCounters {
                 first_zone,
                 counters,
             } => {
@@ -226,15 +282,14 @@ impl MdRecord {
                 );
                 // The header's LBA-range field doubles as the zone range
                 // (32-byte header + 508 counters = exactly 4 KiB, §4.3).
-                put_u64(&mut header, 8, *first_zone as u64);
-                put_u64(&mut header, 16, *first_zone as u64 + counters.len() as u64);
+                put_u64(header, 8, *first_zone as u64);
+                put_u64(header, 16, *first_zone as u64 + counters.len() as u64);
                 for (i, c) in counters.iter().enumerate() {
-                    put_u64(&mut header, 32 + i * 8, *c);
+                    put_u64(header, 32 + i * 8, *c);
                 }
-                header
             }
-            MdPayload::ZoneResetLog => header,
-            MdPayload::RelocatedStripeUnit {
+            MdPayloadRef::ZoneResetLog => {}
+            MdPayloadRef::RelocatedStripeUnit {
                 lzone,
                 stripe,
                 valid_sectors,
@@ -245,27 +300,101 @@ impl MdRecord {
                     0,
                     "relocated unit payload must be sector aligned"
                 );
-                put_u64(&mut header, 32, (data.len() / SECTOR_SIZE as usize) as u64);
-                put_u32(&mut header, 40, *lzone);
-                put_u64(&mut header, 48, *stripe);
-                put_u64(&mut header, 56, *valid_sectors);
-                let mut out = header;
+                put_u64(header, 32, (data.len() / SECTOR_SIZE as usize) as u64);
+                put_u32(header, 40, *lzone);
+                put_u64(header, 48, *stripe);
+                put_u64(header, 56, *valid_sectors);
                 out.extend_from_slice(data);
-                out
             }
-            MdPayload::PartialParity { first_row, data } => {
+            MdPayloadRef::PartialParity { first_row, data } => {
                 assert_eq!(
                     data.len() % SECTOR_SIZE as usize,
                     0,
                     "partial parity payload must be sector aligned"
                 );
-                put_u64(&mut header, 32, *first_row);
-                put_u64(&mut header, 40, (data.len() / SECTOR_SIZE as usize) as u64);
-                let mut out = header;
+                put_u64(header, 32, *first_row);
+                put_u64(header, 40, (data.len() / SECTOR_SIZE as usize) as u64);
                 out.extend_from_slice(data);
-                out
             }
         }
+    }
+}
+
+impl MdPayload {
+    /// Borrows this payload as an [`MdPayloadRef`].
+    pub fn as_ref(&self) -> MdPayloadRef<'_> {
+        match self {
+            MdPayload::Superblock(sb) => MdPayloadRef::Superblock(*sb),
+            MdPayload::GenCounters {
+                first_zone,
+                counters,
+            } => MdPayloadRef::GenCounters {
+                first_zone: *first_zone,
+                counters,
+            },
+            MdPayload::ZoneResetLog => MdPayloadRef::ZoneResetLog,
+            MdPayload::RelocatedStripeUnit {
+                lzone,
+                stripe,
+                valid_sectors,
+                data,
+            } => MdPayloadRef::RelocatedStripeUnit {
+                lzone: *lzone,
+                stripe: *stripe,
+                valid_sectors: *valid_sectors,
+                data,
+            },
+            MdPayload::PartialParity { first_row, data } => MdPayloadRef::PartialParity {
+                first_row: *first_row,
+                data,
+            },
+        }
+    }
+}
+
+impl MdRecord {
+    /// Creates a record with the given header fields.
+    pub fn new(
+        md_type_payload: MdPayload,
+        checkpoint: bool,
+        start_lba: Lba,
+        end_lba: Lba,
+        generation: u64,
+    ) -> MdRecord {
+        let header = MdRecordRef::new(
+            md_type_payload.as_ref(),
+            checkpoint,
+            start_lba,
+            end_lba,
+            generation,
+        )
+        .header;
+        MdRecord {
+            header,
+            payload: md_type_payload,
+        }
+    }
+
+    /// Borrows this record as an [`MdRecordRef`].
+    pub fn as_ref(&self) -> MdRecordRef<'_> {
+        MdRecordRef {
+            header: self.header,
+            payload: self.payload.as_ref(),
+        }
+    }
+
+    /// Serializes the record: one header sector plus any payload sectors.
+    /// The result length is always a multiple of the sector size. Hot
+    /// paths should prefer [`MdRecordRef::encode_into`] with a pooled
+    /// scratch buffer; this convenience allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trailing payload is not sector-aligned.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.as_ref().encode_into(&mut out);
+        out
     }
 
     /// Number of payload sectors that follow a header, given its bytes.
@@ -276,9 +405,7 @@ impl MdRecord {
         }
         let ty = MetadataType::from_u32(get_u32(header, 4) & !MD_CHECKPOINT_FLAG)?;
         Some(match ty {
-            MetadataType::Superblock
-            | MetadataType::GenCounters
-            | MetadataType::ZoneResetLog => 0,
+            MetadataType::Superblock | MetadataType::GenCounters | MetadataType::ZoneResetLog => 0,
             MetadataType::RelocatedStripeUnit => get_u64(header, 32),
             MetadataType::PartialParity => get_u64(header, 40),
         })
@@ -298,9 +425,7 @@ impl MdRecord {
             ));
         }
         if get_u32(header, 0) != MD_MAGIC {
-            return Err(ZnsError::InvalidArgument(
-                "bad metadata magic".to_string(),
-            ));
+            return Err(ZnsError::InvalidArgument("bad metadata magic".to_string()));
         }
         let type_word = get_u32(header, 4);
         let checkpoint = type_word & MD_CHECKPOINT_FLAG != 0;

@@ -150,23 +150,22 @@ impl RaiznVolume {
                     stripe,
                     valid_sectors,
                     data,
-                } => {
-                    if (*lzone as usize) < n_lzones && rec.header.generation == gens[*lzone as usize]
-                    {
-                        let key = (*lzone, *stripe, *dev as u32);
-                        let better = relocated
-                            .get(&key)
-                            .map(|r| r.valid < *valid_sectors)
-                            .unwrap_or(true);
-                        if better {
-                            relocated.insert(
-                                key,
-                                RelocatedUnit {
-                                    data: data.clone(),
-                                    valid: *valid_sectors,
-                                },
-                            );
-                        }
+                } if (*lzone as usize) < n_lzones
+                    && rec.header.generation == gens[*lzone as usize] =>
+                {
+                    let key = (*lzone, *stripe, *dev as u32);
+                    let better = relocated
+                        .get(&key)
+                        .map(|r| r.valid < *valid_sectors)
+                        .unwrap_or(true);
+                    if better {
+                        relocated.insert(
+                            key,
+                            RelocatedUnit {
+                                data: data.clone(),
+                                valid: *valid_sectors,
+                            },
+                        );
                     }
                 }
                 MdPayload::PartialParity { first_row, data } => {
@@ -208,8 +207,7 @@ impl RaiznVolume {
 
             let mut gen_bumped = false;
             for lz in 0..vol.layout.logical_zones() {
-                let recovered =
-                    vol.recover_zone(st, at, lz, reset_wals[lz as usize], &pp)?;
+                let recovered = vol.recover_zone(st, at, lz, reset_wals[lz as usize], &pp)?;
                 gen_bumped |= recovered;
             }
 
@@ -477,8 +475,7 @@ impl RaiznVolume {
                 let dev = layout.data_device(lz, stripe, k);
                 let off = (cursor * SECTOR_SIZE) as usize;
                 let out = &mut staged[off..off + (rows * SECTOR_SIZE) as usize];
-                if st.relocated.contains_key(&(lz, stripe, dev))
-                    || st.failed != Some(dev as usize)
+                if st.relocated.contains_key(&(lz, stripe, dev)) || st.failed != Some(dev as usize)
                 {
                     self.fetch_slot_rows(st, at, lz, stripe, dev, row0, out)?;
                 } else {
@@ -497,9 +494,9 @@ impl RaiznVolume {
                             )));
                         }
                     }
-                    let mut acc =
-                        img.rows[(row0 * SECTOR_SIZE) as usize..((row0 + rows) * SECTOR_SIZE) as usize]
-                            .to_vec();
+                    let mut acc = img.rows
+                        [(row0 * SECTOR_SIZE) as usize..((row0 + rows) * SECTOR_SIZE) as usize]
+                        .to_vec();
                     let mut tmp = vec![0u8; acc.len()];
                     for other in 0..d_units {
                         if other == k {
@@ -685,17 +682,12 @@ impl RaiznVolume {
         prefix
     }
 
-
     /// §5.2 maintenance: when a logical zone holds more relocated stripe
     /// units on one device than the configured threshold, the physical
     /// zone on that device is rewritten — contents are bounced through a
     /// swap zone, the zone is reset, and everything is written back with
     /// each relocated unit restored to its arithmetic slot.
-    pub(crate) fn rewrite_overloaded_zones(
-        &self,
-        st: &mut VolState,
-        at: SimTime,
-    ) -> Result<()> {
+    pub(crate) fn rewrite_overloaded_zones(&self, st: &mut VolState, at: SimTime) -> Result<()> {
         let threshold = self.config.relocation_threshold;
         let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
         for (lz, _stripe, dev) in st.relocated.keys() {
@@ -792,9 +784,7 @@ impl RaiznVolume {
 
         // The relocations on this device's column are healed.
         st.relocated.retain(|(z, _, d), _| !(*z == lz && *d == dev));
-        st.lzones[lz as usize]
-            .conflicts
-            .retain(|(_, d)| *d != dev);
+        st.lzones[lz as usize].conflicts.retain(|(_, d)| *d != dev);
         st.stats.zone_rewrites += 1;
         Ok(())
     }
@@ -833,8 +823,7 @@ impl RaiznVolume {
                     continue;
                 }
                 let lgeo = self.layout.logical_geometry();
-                let sstart =
-                    lgeo.zone_start(lz) + stripe * self.layout.stripe_data_sectors();
+                let sstart = lgeo.zone_start(lz) + stripe * self.layout.stripe_data_sectors();
                 recs.push(MdRecord::new(
                     MdPayload::RelocatedStripeUnit {
                         lzone: lz,
@@ -871,8 +860,8 @@ impl RaiznVolume {
                         let su = self.layout.stripe_unit();
                         let rows = b.filled_sectors().min(su);
                         let lgeo = self.layout.logical_geometry();
-                        let sstart = lgeo.zone_start(lz)
-                            + b.stripe() * self.layout.stripe_data_sectors();
+                        let sstart =
+                            lgeo.zone_start(lz) + b.stripe() * self.layout.stripe_data_sectors();
                         Some((
                             self.layout.parity_device(lz, b.stripe()) as usize,
                             MdRecord::new(

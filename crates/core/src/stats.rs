@@ -31,6 +31,8 @@ pub struct RaiznStats {
     pub zone_rewrites: u64,
     /// In-place ZRWA parity updates performed (§5.4 extension).
     pub zrwa_parity_writes: u64,
+    /// Stripe buffers served from the recycle pool instead of allocating.
+    pub stripe_buffers_reused: u64,
 }
 
 #[cfg(test)]

@@ -72,6 +72,12 @@ impl StripeBuffer {
     /// parity, and returns the affected parity row hull `(first, last+1)`
     /// in sectors — the range a partial-parity log entry must cover.
     ///
+    /// The parity update is *not* per sector: the written range is split
+    /// at stripe-unit boundaries, and each unit segment — whose sectors
+    /// occupy contiguous parity rows — is XORed as one contiguous range
+    /// through the word-vectorized [`sim::xor_into`] kernel. The row hull
+    /// falls out of the same segment arithmetic.
+    ///
     /// # Panics
     ///
     /// Panics if the write overflows the stripe or is not sector aligned.
@@ -89,21 +95,29 @@ impl StripeBuffer {
         let start = self.filled;
         let off = (start * SECTOR_SIZE) as usize;
         self.data[off..off + data.len()].copy_from_slice(data);
-        // XOR into the parity column row by row.
+        // Sectors [s, s+run) within one unit land on contiguous parity
+        // rows [s % su, s % su + run): XOR each such segment as a single
+        // contiguous range.
         let su = self.unit_sectors;
         let mut row_lo = u64::MAX;
         let mut row_hi = 0u64;
-        for s in start..start + sectors {
+        let mut s = start;
+        let end = start + sectors;
+        while s < end {
             let row = s % su;
+            let run = (su - row).min(end - s);
             row_lo = row_lo.min(row);
-            row_hi = row_hi.max(row + 1);
+            row_hi = row_hi.max(row + run);
             let d_off = (s * SECTOR_SIZE) as usize;
             let p_off = (row * SECTOR_SIZE) as usize;
-            for i in 0..SECTOR_SIZE as usize {
-                self.parity[p_off + i] ^= self.data[d_off + i];
-            }
+            let len = (run * SECTOR_SIZE) as usize;
+            sim::xor_into(
+                &mut self.parity[p_off..p_off + len],
+                &self.data[d_off..d_off + len],
+            );
+            s += run;
         }
-        self.filled += sectors;
+        self.filled = end;
         // Convex hull of the touched rows (a superset of the paper's exact
         // union when a write wraps across units — harmless for recovery,
         // documented in DESIGN.md).
@@ -139,12 +153,29 @@ impl StripeBuffer {
         &self.data[(from * SECTOR_SIZE) as usize..(to * SECTOR_SIZE) as usize]
     }
 
-    /// Resets the buffer for reuse on a new stripe.
+    /// Resets the buffer for reuse on a new stripe, clearing only the
+    /// dirty prefix.
+    ///
+    /// Fills are strictly sequential from the start of the stripe, so the
+    /// dirty region is exactly `[0, filled)` sectors of data and the first
+    /// `min(filled, unit_sectors)` parity rows; everything beyond is still
+    /// zero from construction (or the previous recycle). For a buffer
+    /// recycled after a partial stripe this avoids memsetting the full
+    /// D×SU extent.
     pub fn recycle(&mut self, stripe: u64) {
         self.stripe = stripe;
+        let data_dirty = (self.filled * SECTOR_SIZE) as usize;
+        let parity_dirty = (self.filled.min(self.unit_sectors) * SECTOR_SIZE) as usize;
+        self.data[..data_dirty].fill(0);
+        self.parity[..parity_dirty].fill(0);
         self.filled = 0;
-        self.data.fill(0);
-        self.parity.fill(0);
+    }
+
+    /// Whether this buffer stages stripes of the given shape (used by the
+    /// volume's buffer pool to check recycled buffers are interchangeable
+    /// with fresh ones).
+    pub fn shape_matches(&self, data_units: u64, unit_sectors: u64) -> bool {
+        self.data_units == data_units && self.unit_sectors == unit_sectors
     }
 }
 
@@ -229,15 +260,55 @@ mod tests {
                 b.fill(&data);
                 written += n;
             }
-            // Recompute parity from unit data.
+            // Recompute parity as one fold over the unit columns.
             let su_bytes = (4 * SECTOR_SIZE) as usize;
             let mut expect = vec![0u8; su_bytes];
-            for k in 0..4 {
-                for (e, d) in expect.iter_mut().zip(b.unit_data(k)) {
-                    *e ^= d;
-                }
-            }
+            sim::xor_fold(
+                &mut expect,
+                &(0..4).map(|k| b.unit_data(k)).collect::<Vec<_>>(),
+            );
             prop_assert_eq!(&expect[..], b.parity());
+        }
+
+        /// A buffer recycled after an arbitrary partial fill behaves
+        /// exactly like a freshly allocated one: same fill results, same
+        /// parity, same data, for any subsequent write sequence.
+        #[test]
+        fn recycled_buffer_indistinguishable_from_fresh(
+            pre in prop::collection::vec(1u64..5, 0..6),
+            post in prop::collection::vec(1u64..5, 1..6),
+        ) {
+            let total = 16u64; // 4 units x 4 sectors
+            let mut recycled = StripeBuffer::new(0, 4, 4);
+            let mut rng = sim::SimRng::new(1234);
+            let mut written = 0u64;
+            for c in pre {
+                let n = c.min(total - written);
+                if n == 0 { break; }
+                let mut data = vec![0u8; (n * SECTOR_SIZE) as usize];
+                rng.fill_bytes(&mut data);
+                recycled.fill(&data);
+                written += n;
+            }
+            recycled.recycle(7);
+            let mut fresh = StripeBuffer::new(7, 4, 4);
+            let mut written = 0u64;
+            for c in post {
+                let n = c.min(total - written);
+                if n == 0 { break; }
+                let mut data = vec![0u8; (n * SECTOR_SIZE) as usize];
+                rng.fill_bytes(&mut data);
+                let hull_r = recycled.fill(&data);
+                let hull_f = fresh.fill(&data);
+                prop_assert_eq!(hull_r, hull_f);
+                written += n;
+            }
+            prop_assert_eq!(recycled.stripe(), fresh.stripe());
+            prop_assert_eq!(recycled.filled_sectors(), fresh.filled_sectors());
+            prop_assert_eq!(recycled.parity(), fresh.parity());
+            for k in 0..4 {
+                prop_assert_eq!(recycled.unit_data(k), fresh.unit_data(k));
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 use crate::bitmap::PersistenceBitmap;
 use crate::config::RaiznConfig;
 use crate::layout::RaiznLayout;
-use crate::metadata::{MdPayload, MdRecord, Superblock};
+use crate::metadata::{MdPayload, MdPayloadRef, MdRecord, MdRecordRef, Superblock};
 use crate::stats::RaiznStats;
 use crate::stripe::StripeBuffer;
 use crate::Result;
@@ -69,6 +69,42 @@ pub(crate) struct VolState {
     pub relocated: HashMap<(u32, u64, u32), RelocatedUnit>,
     pub md: Vec<MdRoles>,
     pub stats: RaiznStats,
+    /// Recycled stripe buffers: retired buffers return here (cleared via
+    /// the high-water mark) so steady-state writes allocate nothing.
+    pub pool: Vec<StripeBuffer>,
+    /// Scratch buffer for metadata record encoding; taken/restored around
+    /// appends so payload bytes never need an owned staging `Vec`.
+    pub md_scratch: Vec<u8>,
+}
+
+/// Retired stripe buffers kept for reuse. One per logical zone is the
+/// steady-state need; the cap only bounds transient bursts.
+const STRIPE_POOL_CAP: usize = 64;
+
+impl VolState {
+    /// Returns a cleared stripe buffer for `stripe`, reusing a pooled one
+    /// when available.
+    fn stripe_buffer(&mut self, stripe: u64, data_units: u64, unit_sectors: u64) -> StripeBuffer {
+        match self.pool.pop() {
+            Some(mut b) => {
+                debug_assert!(b.shape_matches(data_units, unit_sectors));
+                debug_assert!(sim::is_zero(b.parity()), "pooled buffer not clean");
+                b.recycle(stripe);
+                self.stats.stripe_buffers_reused += 1;
+                b
+            }
+            None => StripeBuffer::new(stripe, data_units, unit_sectors),
+        }
+    }
+
+    /// Retires a stripe buffer into the pool (cleared via its dirty
+    /// high-water mark), or drops it if the pool is full.
+    fn retire_buffer(&mut self, mut buf: StripeBuffer) {
+        if self.pool.len() < STRIPE_POOL_CAP {
+            buf.recycle(0);
+            self.pool.push(buf);
+        }
+    }
 }
 
 /// Outcome of rebuilding a replaced device (§4.2, Fig. 12).
@@ -100,12 +136,9 @@ impl std::fmt::Debug for RaiznVolume {
     }
 }
 
-pub(crate) fn xor_into(dst: &mut [u8], src: &[u8]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d ^= *s;
-    }
-}
+// Parity arithmetic goes through the shared word-vectorized kernel in
+// `sim::xor` (also used by the stripe buffer, recovery, and mdraid5).
+pub(crate) use sim::xor_into;
 
 impl RaiznVolume {
     /// Initializes a fresh array: resets every zone, writes the superblock
@@ -130,7 +163,12 @@ impl RaiznVolume {
                 }
             }
         }
-        let vol = Self::assemble(devices, config, layout, vec![0; layout.logical_zones() as usize]);
+        let vol = Self::assemble(
+            devices,
+            config,
+            layout,
+            vec![0; layout.logical_zones() as usize],
+        );
         {
             let mut st = vol.state.lock();
             let mut t = at;
@@ -163,8 +201,7 @@ impl RaiznVolume {
                 .any(|d| d.config().zrwa_sectors() < config.stripe_unit_sectors)
         {
             return Err(ZnsError::InvalidArgument(
-                "use_zrwa requires every device's ZRWA window to cover one stripe unit"
-                    .to_string(),
+                "use_zrwa requires every device's ZRWA window to cover one stripe unit".to_string(),
             ));
         }
         Ok(RaiznLayout::new(devices.len() as u32, config, geo))
@@ -209,6 +246,8 @@ impl RaiznVolume {
                 relocated: HashMap::new(),
                 md,
                 stats: RaiznStats::default(),
+                pool: Vec::new(),
+                md_scratch: Vec::new(),
             }),
         }
     }
@@ -268,6 +307,10 @@ impl RaiznVolume {
 
     /// Appends a record to `dev`'s metadata zone for `role`, running
     /// metadata GC if the zone is full. Returns the completion time.
+    ///
+    /// Convenience wrapper over [`Self::md_append_bytes`] for owned
+    /// records on cold paths; the hot write path encodes borrowed-payload
+    /// [`crate::MdRecordRef`]s into the pooled scratch buffer instead.
     pub(crate) fn md_append(
         &self,
         st: &mut VolState,
@@ -280,18 +323,49 @@ impl RaiznVolume {
         if st.failed == Some(dev) {
             return Ok(at);
         }
-        let mut bytes = rec.encode();
+        let mut scratch = std::mem::take(&mut st.md_scratch);
+        rec.as_ref().encode_into(&mut scratch);
+        let is_pp = rec.header.md_type == crate::metadata::MetadataType::PartialParity;
+        let r = self.md_append_bytes(st, at, dev, role, is_pp, &scratch, fua);
+        st.md_scratch = scratch;
+        r
+    }
+
+    /// Appends pre-encoded record `bytes` (header + payload sectors) to
+    /// `dev`'s metadata zone for `role`, running metadata GC if the zone
+    /// is full. `is_pp` flags partial-parity records for the
+    /// logical-block-metadata ablation. Returns the completion time.
+    ///
+    /// Callers encode via [`crate::MdRecordRef::encode_into`] into
+    /// [`VolState::md_scratch`] (taken out around the call), keeping the
+    /// steady-state metadata path free of heap allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn md_append_bytes(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        dev: usize,
+        role: MdRole,
+        is_pp: bool,
+        bytes: &[u8],
+        fua: bool,
+    ) -> Result<SimTime> {
+        if st.failed == Some(dev) {
+            return Ok(at);
+        }
         // Ablation (§5.4): with logical-block metadata enabled, partial
         // parity headers ride in per-block metadata descriptors instead of
         // a dedicated 4 KiB header sector. Modelled by dropping the header
         // sector from the log append (recovery of such records is not
         // exercised by the ablation benches).
-        if self.config.lb_metadata_headers
-            && rec.header.md_type == crate::metadata::MetadataType::PartialParity
+        let bytes = if self.config.lb_metadata_headers
+            && is_pp
             && bytes.len() > crate::metadata::MD_HEADER_BYTES
         {
-            bytes.drain(..crate::metadata::MD_HEADER_BYTES);
-        }
+            &bytes[crate::metadata::MD_HEADER_BYTES..]
+        } else {
+            bytes
+        };
         let flags = WriteFlags {
             fua,
             preflush: false,
@@ -300,7 +374,7 @@ impl RaiznVolume {
             MdRole::General => st.md[dev].general,
             MdRole::PpLog => st.md[dev].pplog,
         };
-        match st.devices[dev].append(at, zone, &bytes, flags) {
+        match st.devices[dev].append(at, zone, bytes, flags) {
             Ok(c) => {
                 st.stats.md_appends += 1;
                 Ok(c.done)
@@ -311,7 +385,7 @@ impl RaiznVolume {
                     MdRole::General => st.md[dev].general,
                     MdRole::PpLog => st.md[dev].pplog,
                 };
-                let c = st.devices[dev].append(t, zone, &bytes, flags)?;
+                let c = st.devices[dev].append(t, zone, bytes, flags)?;
                 st.stats.md_appends += 1;
                 Ok(c.done)
             }
@@ -338,59 +412,96 @@ impl RaiznVolume {
             MdRole::PpLog => std::mem::replace(&mut st.md[dev].pplog, new_zone),
         };
         let mut t = at;
-        // Checkpoint live metadata, flagged as checkpoint records.
-        match role {
-            MdRole::PpLog => {
-                // Recalculate partial parity from every open zone's stripe
-                // buffer whose parity lands on this device.
-                let su = self.layout.stripe_unit();
-                let mut records = Vec::new();
-                for (lz, z) in st.lzones.iter().enumerate() {
-                    let Some(buf) = &z.buffer else { continue };
-                    if buf.filled_sectors() == 0 {
-                        continue;
-                    }
-                    let pdev = self.layout.parity_device(lz as u32, buf.stripe());
-                    if pdev as usize != dev {
-                        continue;
-                    }
-                    let rows = buf.filled_sectors().min(su);
+        // Checkpoint live metadata, flagged as checkpoint records. Every
+        // record is encoded straight out of live state (stripe buffers,
+        // relocation cache, counter table) into the pooled scratch buffer:
+        // no owned payload staging.
+        let mut scratch = std::mem::take(&mut st.md_scratch);
+        let r = (|| -> Result<()> {
+            match role {
+                MdRole::PpLog => {
+                    // Recalculate partial parity from every open zone's
+                    // stripe buffer whose parity lands on this device.
+                    let su = self.layout.stripe_unit();
                     let lgeo = self.layout.logical_geometry();
-                    let zstart = lgeo.zone_start(lz as u32);
-                    let sstart = zstart + buf.stripe() * self.layout.stripe_data_sectors();
-                    records.push(MdRecord::new(
-                        MdPayload::PartialParity {
-                            first_row: 0,
-                            data: buf.parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
-                        },
-                        true,
-                        sstart,
-                        sstart + buf.filled_sectors(),
-                        st.gens[lz],
-                    ));
-                }
-                for rec in records {
-                    let c = st.devices[dev].append(t, new_zone, &rec.encode(), WriteFlags::default())?;
-                    t = c.done;
-                    st.stats.md_appends += 1;
-                }
-            }
-            MdRole::General => {
-                let mut records = vec![self.superblock_record(st, dev, true)];
-                records.extend(self.gen_records(st, true));
-                for ((lz, stripe, rdev), unit) in st.relocated.iter() {
-                    if *rdev as usize != dev {
-                        continue;
+                    for lz in 0..st.lzones.len() {
+                        {
+                            let Some(buf) = &st.lzones[lz].buffer else {
+                                continue;
+                            };
+                            if buf.filled_sectors() == 0 {
+                                continue;
+                            }
+                            let pdev = self.layout.parity_device(lz as u32, buf.stripe());
+                            if pdev as usize != dev {
+                                continue;
+                            }
+                            let rows = buf.filled_sectors().min(su);
+                            let zstart = lgeo.zone_start(lz as u32);
+                            let sstart = zstart + buf.stripe() * self.layout.stripe_data_sectors();
+                            MdRecordRef::new(
+                                MdPayloadRef::PartialParity {
+                                    first_row: 0,
+                                    data: &buf.parity()[..(rows * SECTOR_SIZE) as usize],
+                                },
+                                true,
+                                sstart,
+                                sstart + buf.filled_sectors(),
+                                st.gens[lz],
+                            )
+                            .encode_into(&mut scratch);
+                        }
+                        let c =
+                            st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
+                        t = c.done;
+                        st.stats.md_appends += 1;
                     }
-                    records.push(self.relocation_record(st, *lz, *stripe, unit, true));
                 }
-                for rec in records {
-                    let c = st.devices[dev].append(t, new_zone, &rec.encode(), WriteFlags::default())?;
+                MdRole::General => {
+                    self.superblock_record(st, dev, true)
+                        .as_ref()
+                        .encode_into(&mut scratch);
+                    let c = st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
                     t = c.done;
                     st.stats.md_appends += 1;
+                    let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
+                    for first in (0..st.gens.len()).step_by(per) {
+                        Self::encode_gen_page(&st.gens, first, true, &mut scratch);
+                        let c =
+                            st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
+                        t = c.done;
+                        st.stats.md_appends += 1;
+                    }
+                    let mut keys: Vec<(u32, u64, u32)> = st
+                        .relocated
+                        .keys()
+                        .filter(|(_, _, rdev)| *rdev as usize == dev)
+                        .copied()
+                        .collect();
+                    keys.sort_unstable();
+                    for (lz, stripe, rdev) in keys {
+                        {
+                            let unit = &st.relocated[&(lz, stripe, rdev)];
+                            self.encode_relocation_record(
+                                st.gens[lz as usize],
+                                lz,
+                                stripe,
+                                unit,
+                                true,
+                                &mut scratch,
+                            );
+                        }
+                        let c =
+                            st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
+                        t = c.done;
+                        st.stats.md_appends += 1;
+                    }
                 }
             }
-        }
+            Ok(())
+        })();
+        st.md_scratch = scratch;
+        r?;
         // The checkpoint must be durable before the old zone disappears.
         t = st.devices[dev].flush(t)?.done;
         t = st.devices[dev].reset_zone(t, old_zone)?.done;
@@ -399,7 +510,12 @@ impl RaiznVolume {
         Ok(t)
     }
 
-    pub(crate) fn superblock_record(&self, st: &VolState, dev: usize, checkpoint: bool) -> MdRecord {
+    pub(crate) fn superblock_record(
+        &self,
+        st: &VolState,
+        dev: usize,
+        checkpoint: bool,
+    ) -> MdRecord {
         let phys = self.layout.phys_geometry();
         MdRecord::new(
             MdPayload::Superblock(Superblock {
@@ -438,28 +554,50 @@ impl RaiznVolume {
             .collect()
     }
 
-    fn relocation_record(
+    /// Encodes the generation counter page starting at logical zone
+    /// `first` into `out`, borrowing the live counter table directly.
+    fn encode_gen_page(gens: &[u64], first: usize, checkpoint: bool, out: &mut Vec<u8>) {
+        let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
+        let end = (first + per).min(gens.len());
+        MdRecordRef::new(
+            MdPayloadRef::GenCounters {
+                first_zone: first as u32,
+                counters: &gens[first..end],
+            },
+            checkpoint,
+            0,
+            0,
+            0,
+        )
+        .encode_into(out);
+    }
+
+    /// Encodes a relocation record into `out`, borrowing the cached
+    /// unit's payload bytes (no owned copy of the stripe unit).
+    fn encode_relocation_record(
         &self,
-        st: &VolState,
+        gen: u64,
         lzone: u32,
         stripe: u64,
         unit: &RelocatedUnit,
         checkpoint: bool,
-    ) -> MdRecord {
+        out: &mut Vec<u8>,
+    ) {
         let lgeo = self.layout.logical_geometry();
         let sstart = lgeo.zone_start(lzone) + stripe * self.layout.stripe_data_sectors();
-        MdRecord::new(
-            MdPayload::RelocatedStripeUnit {
+        MdRecordRef::new(
+            MdPayloadRef::RelocatedStripeUnit {
                 lzone,
                 stripe,
                 valid_sectors: unit.valid,
-                data: unit.data.clone(),
+                data: &unit.data,
             },
             checkpoint,
             sstart,
             sstart + self.layout.stripe_data_sectors(),
-            st.gens[lzone as usize],
+            gen,
         )
+        .encode_into(out);
     }
 
     /// Writes the superblock to every live device's general metadata zone.
@@ -474,14 +612,28 @@ impl RaiznVolume {
 
     /// Persists all generation counter pages to every live device.
     pub(crate) fn persist_all_gens(&self, st: &mut VolState, at: SimTime) -> Result<SimTime> {
-        let recs = self.gen_records(st, false);
-        let mut done = at;
-        for dev in 0..st.devices.len() {
-            for rec in &recs {
-                done = done.max(self.md_append(st, at, dev, MdRole::General, rec, true)?);
+        let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
+        let mut scratch = std::mem::take(&mut st.md_scratch);
+        let r = (|| -> Result<SimTime> {
+            let mut done = at;
+            for first in (0..st.gens.len()).step_by(per) {
+                Self::encode_gen_page(&st.gens, first, false, &mut scratch);
+                for dev in 0..st.devices.len() {
+                    done = done.max(self.md_append_bytes(
+                        st,
+                        at,
+                        dev,
+                        MdRole::General,
+                        false,
+                        &scratch,
+                        true,
+                    )?);
+                }
             }
-        }
-        Ok(done)
+            Ok(done)
+        })();
+        st.md_scratch = scratch;
+        r
     }
 
     /// Persists the generation counter page containing `lzone` to every
@@ -493,24 +645,26 @@ impl RaiznVolume {
         lzone: u32,
     ) -> Result<SimTime> {
         let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
-        let page = lzone as usize / per;
-        let first = page * per;
-        let chunk: Vec<u64> = st.gens[first..(first + per).min(st.gens.len())].to_vec();
-        let rec = MdRecord::new(
-            MdPayload::GenCounters {
-                first_zone: first as u32,
-                counters: chunk,
-            },
-            false,
-            0,
-            0,
-            0,
-        );
-        let mut done = at;
-        for dev in 0..st.devices.len() {
-            done = done.max(self.md_append(st, at, dev, MdRole::General, &rec, true)?);
-        }
-        Ok(done)
+        let first = (lzone as usize / per) * per;
+        let mut scratch = std::mem::take(&mut st.md_scratch);
+        Self::encode_gen_page(&st.gens, first, false, &mut scratch);
+        let r = (|| -> Result<SimTime> {
+            let mut done = at;
+            for dev in 0..st.devices.len() {
+                done = done.max(self.md_append_bytes(
+                    st,
+                    at,
+                    dev,
+                    MdRole::General,
+                    false,
+                    &scratch,
+                    true,
+                )?);
+            }
+            Ok(done)
+        })();
+        st.md_scratch = scratch;
+        r
     }
 
     // ------------------------------------------------------------------
@@ -521,6 +675,7 @@ impl RaiznVolume {
     /// `dev` for `(lzone, stripe)`, transparently serving relocated slots
     /// from the in-memory cache. Fails with `DeviceFailed` if the device
     /// is failed and the slot is not relocated.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn fetch_slot_rows(
         &self,
         st: &VolState,
@@ -546,6 +701,7 @@ impl RaiznVolume {
     /// Reconstructs `rows` sectors of the unit that `missing_dev` holds for
     /// `(lzone, stripe)` by XORing every other device's slot (§4.2). The
     /// stripe must be complete (parity present).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn reconstruct_slot_rows(
         &self,
         st: &VolState,
@@ -604,13 +760,36 @@ impl RaiznVolume {
             let off = (row0 * SECTOR_SIZE) as usize;
             entry.data[off..off + data.len()].copy_from_slice(data);
             entry.valid = entry.valid.max(row0 + data.len() as u64 / SECTOR_SIZE);
-            let unit = entry.clone();
+            let valid = entry.valid;
             if std::env::var_os("RAIZN_DEBUG").is_some() {
-                eprintln!("[reloc] lz={lzone} stripe={stripe} dev={dev} row0={row0} valid={}", unit.valid);
+                eprintln!("[reloc] lz={lzone} stripe={stripe} dev={dev} row0={row0} valid={valid}");
             }
             st.stats.relocated_units += 1;
-            let rec = self.relocation_record(st, lzone, stripe, &unit, false);
-            return self.md_append(st, at, dev as usize, MdRole::General, &rec, flags.fua);
+            // Encode the record borrowing the cached unit in place: no
+            // clone of the stripe-unit payload on the relocation path.
+            let mut scratch = std::mem::take(&mut st.md_scratch);
+            {
+                let unit = &st.relocated[&(lzone, stripe, dev)];
+                self.encode_relocation_record(
+                    st.gens[lzone as usize],
+                    lzone,
+                    stripe,
+                    unit,
+                    false,
+                    &mut scratch,
+                );
+            }
+            let r = self.md_append_bytes(
+                st,
+                at,
+                dev as usize,
+                MdRole::General,
+                false,
+                &scratch,
+                flags.fua,
+            );
+            st.md_scratch = scratch;
+            return r;
         }
         if st.failed == Some(dev as usize) {
             return Ok(at); // degraded write: omitted, covered by parity
@@ -628,7 +807,7 @@ impl RaiznVolume {
         flags: WriteFlags,
     ) -> Result<IoCompletion> {
         let lgeo = self.layout.logical_geometry();
-        if data.is_empty() || data.len() % SECTOR_SIZE as usize != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(SECTOR_SIZE as usize) {
             return Err(ZnsError::InvalidArgument(format!(
                 "buffer length {} is not a positive multiple of the sector size",
                 data.len()
@@ -681,22 +860,24 @@ impl RaiznVolume {
             let wp = st.lzones[lzone as usize].wp;
             let stripe = wp / stripe_data;
             let off_in_stripe = wp % stripe_data;
-            // Ensure the stripe buffer stages this stripe.
+            // Ensure the stripe buffer stages this stripe, drawing from
+            // the recycle pool so steady-state writes allocate nothing.
             {
-                let z = &mut st.lzones[lzone as usize];
-                let need_new = match &z.buffer {
+                let need_new = match &st.lzones[lzone as usize].buffer {
                     Some(b) => b.stripe() != stripe,
                     None => true,
                 };
                 if need_new {
-                    debug_assert_eq!(
-                        off_in_stripe, 0,
-                        "mid-stripe write without a staged buffer"
-                    );
-                    z.buffer = Some(StripeBuffer::new(stripe, data_units, su));
+                    debug_assert_eq!(off_in_stripe, 0, "mid-stripe write without a staged buffer");
+                    if let Some(stale) = st.lzones[lzone as usize].buffer.take() {
+                        st.retire_buffer(stale);
+                    }
+                    let buf = st.stripe_buffer(stripe, data_units, su);
+                    st.lzones[lzone as usize].buffer = Some(buf);
                 }
             }
-            let chunk_sectors = (stripe_data - off_in_stripe).min(remaining.len() as u64 / SECTOR_SIZE);
+            let chunk_sectors =
+                (stripe_data - off_in_stripe).min(remaining.len() as u64 / SECTOR_SIZE);
             let (chunk, rest) = remaining.split_at((chunk_sectors * SECTOR_SIZE) as usize);
             remaining = rest;
 
@@ -752,36 +933,27 @@ impl RaiznVolume {
             let zrwa_ok =
                 self.config.use_zrwa && st.failed != Some(pdev as usize) && !slot_conflicted;
             if complete {
+                // Detach the buffer: its parity is handed to the device
+                // layer as a borrowed slice (no copy) and the buffer is
+                // then retired into the recycle pool.
+                let buf = st.lzones[lzone as usize]
+                    .buffer
+                    .take()
+                    .expect("buffer staged");
                 if zrwa_ok {
                     // §5.4 extension: the earlier rows are already in the
                     // window; write the final delta and commit the slot.
-                    let (pp, phys_zone) = {
-                        let buf = st.lzones[lzone as usize]
-                            .buffer
-                            .as_ref()
-                            .expect("buffer staged");
-                        (
-                            buf.parity()[(row_lo * SECTOR_SIZE) as usize
-                                ..(row_hi * SECTOR_SIZE) as usize]
-                                .to_vec(),
-                            self.layout.phys_zone(lzone),
-                        )
-                    };
+                    let pp = &buf.parity()
+                        [(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize];
+                    let phys_zone = self.layout.phys_zone(lzone);
                     let pba = self.layout.stripe_pba(lzone, stripe) + row_lo;
                     let dev = &st.devices[pdev as usize];
-                    let mut done = dev.write_zrwa(issue, pba, &pp)?.done;
-                    done = done
-                        .max(dev.commit_zrwa(done, phys_zone, (stripe + 1) * su)?.done);
+                    let mut done = dev.write_zrwa(issue, pba, pp)?.done;
+                    done = done.max(dev.commit_zrwa(done, phys_zone, (stripe + 1) * su)?.done);
                     completion = completion.max(done);
                     st.stats.zrwa_parity_writes += 1;
                 } else {
                     // Full parity to the parity slot in the data zone.
-                    let parity = st.lzones[lzone as usize]
-                        .buffer
-                        .as_ref()
-                        .expect("buffer staged")
-                        .parity()
-                        .to_vec();
                     let done = self.store_slot_rows(
                         st,
                         issue,
@@ -789,7 +961,7 @@ impl RaiznVolume {
                         stripe,
                         pdev,
                         0,
-                        &parity,
+                        buf.parity(),
                         WriteFlags {
                             fua: flags.fua,
                             preflush: false,
@@ -798,27 +970,29 @@ impl RaiznVolume {
                     completion = completion.max(done);
                 }
                 st.stats.full_parity_writes += 1;
-                st.lzones[lzone as usize].buffer = None;
+                st.retire_buffer(buf);
             } else if zrwa_ok {
                 // §5.4 extension: overwrite the affected parity rows in
-                // place inside the parity slot's ZRWA window.
-                let pp = {
-                    let buf = st.lzones[lzone as usize]
-                        .buffer
-                        .as_ref()
-                        .expect("buffer staged");
-                    buf.parity()[(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize]
-                        .to_vec()
-                };
+                // place inside the parity slot's ZRWA window (borrowed
+                // straight out of the stripe buffer).
+                let buf = st.lzones[lzone as usize]
+                    .buffer
+                    .as_ref()
+                    .expect("buffer staged");
+                let pp =
+                    &buf.parity()[(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize];
                 let pba = self.layout.stripe_pba(lzone, stripe) + row_lo;
-                let done = st.devices[pdev as usize].write_zrwa(issue, pba, &pp)?.done;
+                let done = st.devices[pdev as usize].write_zrwa(issue, pba, pp)?.done;
                 completion = completion.max(done);
                 st.stats.zrwa_parity_writes += 1;
             } else {
                 // Partial parity log on the device that will hold this
                 // stripe's parity (§5.1). Write completion is withheld
-                // until the log is written, closing the write hole.
-                let (first_row, pp, end_rel) = {
+                // until the log is written, closing the write hole. The
+                // parity rows are encoded straight out of the stripe
+                // buffer into the pooled scratch: no owned payload copy.
+                let mut scratch = std::mem::take(&mut st.md_scratch);
+                let pp_rows = {
                     let z = &st.lzones[lzone as usize];
                     let buf = z.buffer.as_ref().expect("buffer staged");
                     // Ablation: optionally log the whole running parity
@@ -828,40 +1002,46 @@ impl RaiznVolume {
                     } else {
                         (row_lo, row_hi)
                     };
-                    (
-                        lo,
-                        buf.parity()[(lo * SECTOR_SIZE) as usize..(hi * SECTOR_SIZE) as usize]
-                            .to_vec(),
-                        z.wp,
+                    let zstart = lgeo.zone_start(lzone);
+                    MdRecordRef::new(
+                        MdPayloadRef::PartialParity {
+                            first_row: lo,
+                            data: &buf.parity()
+                                [(lo * SECTOR_SIZE) as usize..(hi * SECTOR_SIZE) as usize],
+                        },
+                        false,
+                        lba.max(zstart + z.wp - chunk_sectors),
+                        zstart + z.wp,
+                        st.gens[lzone as usize],
                     )
+                    .encode_into(&mut scratch);
+                    hi - lo
                 };
-                let zstart = lgeo.zone_start(lzone);
-                let pp_rows = pp.len() as u64 / SECTOR_SIZE;
-                let rec = MdRecord::new(
-                    MdPayload::PartialParity {
-                        first_row,
-                        data: pp,
-                    },
-                    false,
-                    lba.max(zstart + end_rel - chunk_sectors),
-                    zstart + end_rel,
-                    st.gens[lzone as usize],
+                let r = self.md_append_bytes(
+                    st,
+                    issue,
+                    pdev as usize,
+                    MdRole::PpLog,
+                    true,
+                    &scratch,
+                    flags.fua,
                 );
-                let done =
-                    self.md_append(st, issue, pdev as usize, MdRole::PpLog, &rec, flags.fua)?;
-                completion = completion.max(done);
+                st.md_scratch = scratch;
+                completion = completion.max(r?);
                 st.stats.pp_log_entries += 1;
                 st.stats.pp_log_bytes += pp_rows * SECTOR_SIZE;
             }
         }
 
         // State transitions.
-        {
+        if st.lzones[lzone as usize].wp == lgeo.zone_cap() {
+            st.lzones[lzone as usize].state = ZoneState::Full;
+            if let Some(buf) = st.lzones[lzone as usize].buffer.take() {
+                st.retire_buffer(buf);
+            }
+        } else {
             let z = &mut st.lzones[lzone as usize];
-            if z.wp == lgeo.zone_cap() {
-                z.state = ZoneState::Full;
-                z.buffer = None;
-            } else if z.state == ZoneState::Empty || z.state == ZoneState::Closed {
+            if z.state == ZoneState::Empty || z.state == ZoneState::Closed {
                 z.state = ZoneState::ImplicitlyOpen;
             }
         }
@@ -950,10 +1130,12 @@ impl RaiznVolume {
             st.read_only = true;
         }
         let done = self.persist_gen_page(st, t, lzone)?;
+        if let Some(buf) = st.lzones[lzone as usize].buffer.take() {
+            st.retire_buffer(buf);
+        }
         let z = &mut st.lzones[lzone as usize];
         z.state = ZoneState::Empty;
         z.wp = 0;
-        z.buffer = None;
         z.pbitmap.clear();
         z.conflicts.clear();
         st.relocated.retain(|(lz, _, _), _| *lz != lzone);
@@ -1176,7 +1358,7 @@ impl ZonedVolume for RaiznVolume {
 
     fn read(&self, at: SimTime, lba: Lba, buf: &mut [u8]) -> Result<IoCompletion> {
         let lgeo = self.layout.logical_geometry();
-        if buf.is_empty() || buf.len() % SECTOR_SIZE as usize != 0 {
+        if buf.is_empty() || !buf.len().is_multiple_of(SECTOR_SIZE as usize) {
             return Err(ZnsError::InvalidArgument(format!(
                 "buffer length {} is not a positive multiple of the sector size",
                 buf.len()
@@ -1307,35 +1489,35 @@ impl ZonedVolume for RaiznVolume {
         }
         let mut done = at;
         // Seal the incomplete stripe's parity prefix into the parity slot
-        // so the finished zone stays single-fault tolerant.
-        let pending = {
-            let z = &st.lzones[zone as usize];
-            match &z.buffer {
-                Some(b) if b.filled_sectors() > 0 => {
-                    let rows = b.filled_sectors().min(self.layout.stripe_unit());
-                    Some((
-                        b.stripe(),
-                        b.parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
-                    ))
+        // so the finished zone stays single-fault tolerant. The buffer is
+        // detached for the duration of the write so its parity can be
+        // passed as a borrowed slice, then reattached (rebuild still
+        // consults it for the incomplete stripe).
+        let taken = st.lzones[zone as usize].buffer.take();
+        let r = (|| -> Result<()> {
+            if let Some(buf) = &taken {
+                if buf.filled_sectors() > 0 {
+                    let rows = buf.filled_sectors().min(self.layout.stripe_unit());
+                    let stripe = buf.stripe();
+                    let pdev = self.layout.parity_device(zone, stripe);
+                    let t = self.store_slot_rows(
+                        st,
+                        at,
+                        zone,
+                        stripe,
+                        pdev,
+                        0,
+                        &buf.parity()[..(rows * SECTOR_SIZE) as usize],
+                        WriteFlags::default(),
+                    )?;
+                    done = done.max(t);
+                    st.stats.full_parity_writes += 1;
                 }
-                _ => None,
             }
-        };
-        if let Some((stripe, prows)) = pending {
-            let pdev = self.layout.parity_device(zone, stripe);
-            let t = self.store_slot_rows(
-                st,
-                at,
-                zone,
-                stripe,
-                pdev,
-                0,
-                &prows,
-                WriteFlags::default(),
-            )?;
-            done = done.max(t);
-            st.stats.full_parity_writes += 1;
-        }
+            Ok(())
+        })();
+        st.lzones[zone as usize].buffer = taken;
+        r?;
         let phys = self.layout.phys_zone(zone);
         for (i, dev) in st.devices.iter().enumerate() {
             if st.failed == Some(i) {

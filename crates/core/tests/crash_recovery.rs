@@ -6,9 +6,7 @@
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::{SimRng, SimTime};
 use std::sync::Arc;
-use zns::{
-    CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZE,
-};
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZE};
 
 const T0: SimTime = SimTime::ZERO;
 
@@ -219,7 +217,8 @@ fn forced_rollback_relocates_conflicting_writes() {
 fn relocated_units_survive_remount() {
     let devs = devices(5);
     let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
-    v.write(T0, 0, &bytes(8, 13), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(8, 13), WriteFlags::default())
+        .unwrap();
     drop(v);
     for (i, d) in devs.iter().enumerate() {
         if i == 2 {
@@ -269,7 +268,8 @@ fn partial_zone_reset_completed_on_mount() {
 fn completed_reset_stays_empty_on_mount() {
     let devs = devices(5);
     let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
-    v.write(T0, 0, &bytes(16, 17), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(16, 17), WriteFlags::default())
+        .unwrap();
     v.reset_zone(T0, 0).unwrap();
     let gen_after_reset = v.generation(0);
     drop(v);
@@ -313,7 +313,10 @@ fn power_plus_device_failure_recovers_via_pp_logs() {
     let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
     assert!(v2.is_degraded());
     let wp = v2.zone_info(0).unwrap().write_pointer;
-    assert!(wp >= 6, "acknowledged FUA data lost in degraded mount: {wp}");
+    assert!(
+        wp >= 6,
+        "acknowledged FUA data lost in degraded mount: {wp}"
+    );
     let mut out = vec![0u8; data.len()];
     v2.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, data, "degraded pp reconstruction produced wrong data");
@@ -386,140 +389,151 @@ fn randomized_crash_storm_oracle() {
         // recovery of already-recovered state (ghost slots, relocations,
         // reseeded stripe buffers).
         for generation in 0..2 {
-        let ops = 30 + rng.gen_range(40);
-        for op in 0..ops {
-            let op = generation * 1000 + op;
-            let z = rng.gen_range(zones as u64) as u32;
-            let dbg = std::env::var_os("STORM_DEBUG").is_some();
-            match rng.gen_range(12) {
-                0 => {
-                    if dbg { eprintln!("[storm] flush"); }
-                    // flush: everything becomes durable
-                    v.flush(T0).unwrap();
-                    for (w, d) in wp.iter().zip(durable.iter_mut()) {
-                        *d = *w;
-                    }
-                }
-                1 => {
-                    if wp[z as usize] > 0 {
-                        if dbg { eprintln!("[storm] reset z={z}"); }
-                        v.reset_zone(T0, z).unwrap();
-                        wp[z as usize] = 0;
-                        durable[z as usize] = 0;
-                        model[z as usize].fill(0);
-                        finished[z as usize] = false;
-                    }
-                }
-                2 => {
-                    // finish: seals the zone and makes its prefix durable
-                    if wp[z as usize] > 0 && !finished[z as usize] {
-                        if dbg { eprintln!("[storm] finish z={z} wp={}", wp[z as usize]); }
-                        v.finish_zone(T0, z).unwrap();
-                        finished[z as usize] = true;
-                        durable[z as usize] = wp[z as usize];
-                    }
-                }
-                3 => {
-                    // zone append (sequentialized by the volume)
-                    if finished[z as usize] {
-                        continue;
-                    }
-                    let remaining = g.zone_cap() - wp[z as usize];
-                    if remaining == 0 {
-                        continue;
-                    }
-                    let n = 1 + rng.gen_range(remaining.min(6));
-                    let data = bytes(n, round * 20_000 + op);
-                    if dbg { eprintln!("[storm] append z={z} wp={} n={n}", wp[z as usize]); }
-                    let a = v.append(T0, z, &data, WriteFlags::default()).unwrap();
-                    assert_eq!(a.lba, g.zone_start(z) + wp[z as usize]);
-                    let off = (wp[z as usize] * SECTOR_SIZE) as usize;
-                    model[z as usize][off..off + data.len()].copy_from_slice(&data);
-                    wp[z as usize] += n;
-                }
-                _ => {
-                    if finished[z as usize] {
-                        continue;
-                    }
-                    let remaining = g.zone_cap() - wp[z as usize];
-                    if remaining == 0 {
-                        continue;
-                    }
-                    let n = 1 + rng.gen_range(remaining.min(12));
-                    let data = bytes(n, round * 10_000 + op);
-                    let fua = rng.gen_bool(0.25);
-                    let preflush = rng.gen_bool(0.1);
-                    let flags = WriteFlags { fua, preflush };
-                    if dbg {
-                        eprintln!("[storm] write z={z} wp={} n={n} fua={fua} preflush={preflush}", wp[z as usize]);
-                    }
-                    v.write(T0, g.zone_start(z) + wp[z as usize], &data, flags)
-                        .unwrap();
-                    if preflush {
-                        // everything written before this op became durable
+            let ops = 30 + rng.gen_range(40);
+            for op in 0..ops {
+                let op = generation * 1000 + op;
+                let z = rng.gen_range(zones as u64) as u32;
+                let dbg = std::env::var_os("STORM_DEBUG").is_some();
+                match rng.gen_range(12) {
+                    0 => {
+                        if dbg {
+                            eprintln!("[storm] flush");
+                        }
+                        // flush: everything becomes durable
+                        v.flush(T0).unwrap();
                         for (w, d) in wp.iter().zip(durable.iter_mut()) {
                             *d = *w;
                         }
                     }
-                    let off = (wp[z as usize] * SECTOR_SIZE) as usize;
-                    model[z as usize][off..off + data.len()].copy_from_slice(&data);
-                    wp[z as usize] += n;
-                    if fua {
-                        durable[z as usize] = wp[z as usize];
+                    1 => {
+                        if wp[z as usize] > 0 {
+                            if dbg {
+                                eprintln!("[storm] reset z={z}");
+                            }
+                            v.reset_zone(T0, z).unwrap();
+                            wp[z as usize] = 0;
+                            durable[z as usize] = 0;
+                            model[z as usize].fill(0);
+                            finished[z as usize] = false;
+                        }
+                    }
+                    2 => {
+                        // finish: seals the zone and makes its prefix durable
+                        if wp[z as usize] > 0 && !finished[z as usize] {
+                            if dbg {
+                                eprintln!("[storm] finish z={z} wp={}", wp[z as usize]);
+                            }
+                            v.finish_zone(T0, z).unwrap();
+                            finished[z as usize] = true;
+                            durable[z as usize] = wp[z as usize];
+                        }
+                    }
+                    3 => {
+                        // zone append (sequentialized by the volume)
+                        if finished[z as usize] {
+                            continue;
+                        }
+                        let remaining = g.zone_cap() - wp[z as usize];
+                        if remaining == 0 {
+                            continue;
+                        }
+                        let n = 1 + rng.gen_range(remaining.min(6));
+                        let data = bytes(n, round * 20_000 + op);
+                        if dbg {
+                            eprintln!("[storm] append z={z} wp={} n={n}", wp[z as usize]);
+                        }
+                        let a = v.append(T0, z, &data, WriteFlags::default()).unwrap();
+                        assert_eq!(a.lba, g.zone_start(z) + wp[z as usize]);
+                        let off = (wp[z as usize] * SECTOR_SIZE) as usize;
+                        model[z as usize][off..off + data.len()].copy_from_slice(&data);
+                        wp[z as usize] += n;
+                    }
+                    _ => {
+                        if finished[z as usize] {
+                            continue;
+                        }
+                        let remaining = g.zone_cap() - wp[z as usize];
+                        if remaining == 0 {
+                            continue;
+                        }
+                        let n = 1 + rng.gen_range(remaining.min(12));
+                        let data = bytes(n, round * 10_000 + op);
+                        let fua = rng.gen_bool(0.25);
+                        let preflush = rng.gen_bool(0.1);
+                        let flags = WriteFlags { fua, preflush };
+                        if dbg {
+                            eprintln!(
+                                "[storm] write z={z} wp={} n={n} fua={fua} preflush={preflush}",
+                                wp[z as usize]
+                            );
+                        }
+                        v.write(T0, g.zone_start(z) + wp[z as usize], &data, flags)
+                            .unwrap();
+                        if preflush {
+                            // everything written before this op became durable
+                            for (w, d) in wp.iter().zip(durable.iter_mut()) {
+                                *d = *w;
+                            }
+                        }
+                        let off = (wp[z as usize] * SECTOR_SIZE) as usize;
+                        model[z as usize][off..off + data.len()].copy_from_slice(&data);
+                        wp[z as usize] += n;
+                        if fua {
+                            durable[z as usize] = wp[z as usize];
+                        }
                     }
                 }
             }
-        }
-        drop(v);
-        if std::env::var_os("STORM_DEBUG").is_some() {
-            eprintln!("[storm] CRASH round={round} gen={generation} model_wp={wp:?} durable={durable:?}");
-        }
-        crash_all(&devs, &mut CrashPolicy::Random(rng.fork()));
-        let v2 = RaiznVolume::mount(devs.clone(), RaiznConfig::small_test(), T0)
-            .unwrap_or_else(|e| panic!("round {round}: mount failed: {e}"));
-        for z in 0..zones {
-            let info = v2.zone_info(z).unwrap();
-            let got_wp = info.write_pointer - g.zone_start(z);
-            assert!(
-                got_wp >= durable[z as usize],
-                "round {round} zone {z}: durable data lost (wp {got_wp} < durable {})",
-                durable[z as usize]
-            );
-            assert!(
-                got_wp <= wp[z as usize],
-                "round {round} zone {z}: wp beyond written data"
-            );
-            if got_wp > 0 {
-                let mut out = vec![0u8; (got_wp * SECTOR_SIZE) as usize];
-                v2.read(T0, g.zone_start(z), &mut out).unwrap_or_else(|e| {
-                    panic!("round {round} zone {z}: read below wp failed: {e}")
-                });
-                let expect = &model[z as usize][..out.len()];
-                if out != expect {
-                    let bad_sector = out
-                        .chunks(SECTOR_SIZE as usize)
-                        .zip(expect.chunks(SECTOR_SIZE as usize))
-                        .position(|(a, b)| a != b)
-                        .unwrap();
-                    panic!(
-                        "round {round} gen {generation} zone {z}: recovered data \
+            drop(v);
+            if std::env::var_os("STORM_DEBUG").is_some() {
+                eprintln!("[storm] CRASH round={round} gen={generation} model_wp={wp:?} durable={durable:?}");
+            }
+            crash_all(&devs, &mut CrashPolicy::Random(rng.fork()));
+            let v2 = RaiznVolume::mount(devs.clone(), RaiznConfig::small_test(), T0)
+                .unwrap_or_else(|e| panic!("round {round}: mount failed: {e}"));
+            for z in 0..zones {
+                let info = v2.zone_info(z).unwrap();
+                let got_wp = info.write_pointer - g.zone_start(z);
+                assert!(
+                    got_wp >= durable[z as usize],
+                    "round {round} zone {z}: durable data lost (wp {got_wp} < durable {})",
+                    durable[z as usize]
+                );
+                assert!(
+                    got_wp <= wp[z as usize],
+                    "round {round} zone {z}: wp beyond written data"
+                );
+                if got_wp > 0 {
+                    let mut out = vec![0u8; (got_wp * SECTOR_SIZE) as usize];
+                    v2.read(T0, g.zone_start(z), &mut out).unwrap_or_else(|e| {
+                        panic!("round {round} zone {z}: read below wp failed: {e}")
+                    });
+                    let expect = &model[z as usize][..out.len()];
+                    if out != expect {
+                        let bad_sector = out
+                            .chunks(SECTOR_SIZE as usize)
+                            .zip(expect.chunks(SECTOR_SIZE as usize))
+                            .position(|(a, b)| a != b)
+                            .unwrap();
+                        panic!(
+                            "round {round} gen {generation} zone {z}: recovered data \
                          mismatch at sector {bad_sector} (wp={got_wp}, durable={}, \
                          written={})",
-                        durable[z as usize], wp[z as usize]
-                    );
+                            durable[z as usize], wp[z as usize]
+                        );
+                    }
                 }
             }
-        }
-        // Adopt the recovered state as the next generation's baseline;
-        // everything on media is durable after a power cycle.
-        for z in 0..zones {
-            let info = v2.zone_info(z).unwrap();
-            let got_wp = info.write_pointer - g.zone_start(z);
-            wp[z as usize] = got_wp;
-            durable[z as usize] = got_wp;
-            finished[z as usize] = info.state == zns::ZoneState::Full;
-        }
-        v = v2;
+            // Adopt the recovered state as the next generation's baseline;
+            // everything on media is durable after a power cycle.
+            for z in 0..zones {
+                let info = v2.zone_info(z).unwrap();
+                let got_wp = info.write_pointer - g.zone_start(z);
+                wp[z as usize] = got_wp;
+                durable[z as usize] = got_wp;
+                finished[z as usize] = info.state == zns::ZoneState::Full;
+            }
+            v = v2;
         }
     }
 }

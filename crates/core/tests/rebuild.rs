@@ -172,6 +172,11 @@ fn rebuild_prioritizes_active_zones() {
     let report = v.rebuild(T0, fresh_device()).unwrap();
     assert_eq!(report.zones_rebuilt, 2);
     // Both zones usable afterwards: the open zone accepts writes at its wp.
-    v.write(T0, g.zone_start(1) + 5, &bytes(3, 11), WriteFlags::default())
-        .unwrap();
+    v.write(
+        T0,
+        g.zone_start(1) + 5,
+        &bytes(3, 11),
+        WriteFlags::default(),
+    )
+    .unwrap();
 }

@@ -48,8 +48,17 @@ fn write_read_roundtrip_across_stripes() {
 #[test]
 fn sequential_write_enforced() {
     let v = volume(3);
-    let err = v.write(T0, 8, &bytes(1, 3), WriteFlags::default()).unwrap_err();
-    assert!(matches!(err, ZnsError::NotSequential { expected: 0, got: 8, .. }));
+    let err = v
+        .write(T0, 8, &bytes(1, 3), WriteFlags::default())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ZnsError::NotSequential {
+            expected: 0,
+            got: 8,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -65,7 +74,8 @@ fn read_beyond_wp_rejected() {
 fn zone_fills_and_rejects_overflow() {
     let v = volume(3);
     let cap = v.geometry().zone_cap();
-    v.write(T0, 0, &bytes(cap, 5), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(cap, 5), WriteFlags::default())
+        .unwrap();
     assert_eq!(v.zone_info(0).unwrap().state, ZoneState::Full);
     // Any further write addressed inside the (full) zone is rejected.
     let err = v
@@ -76,7 +86,8 @@ fn zone_fills_and_rejects_overflow() {
         other => panic!("unexpected error {other}"),
     }
     // The next zone remains writable at its own start.
-    v.write(T0, cap, &bytes(1, 6), WriteFlags::default()).unwrap();
+    v.write(T0, cap, &bytes(1, 6), WriteFlags::default())
+        .unwrap();
 }
 
 #[test]
@@ -96,8 +107,12 @@ fn writes_into_second_zone() {
 #[test]
 fn append_assigns_sequential_lbas() {
     let v = volume(3);
-    let a = v.append(T0, 2, &bytes(2, 8), WriteFlags::default()).unwrap();
-    let b = v.append(T0, 2, &bytes(1, 9), WriteFlags::default()).unwrap();
+    let a = v
+        .append(T0, 2, &bytes(2, 8), WriteFlags::default())
+        .unwrap();
+    let b = v
+        .append(T0, 2, &bytes(1, 9), WriteFlags::default())
+        .unwrap();
     let start = v.geometry().zone_start(2);
     assert_eq!(a.lba, start);
     assert_eq!(b.lba, start + 2);
@@ -203,7 +218,8 @@ fn fua_write_roundtrip() {
 #[test]
 fn flush_marks_everything() {
     let v = volume(3);
-    v.write(T0, 0, &bytes(5, 19), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(5, 19), WriteFlags::default())
+        .unwrap();
     v.flush(T0).unwrap();
     // A subsequent FUA write needs no extra persistence flushes for the
     // already-flushed prefix (only possibly for itself + parity).
@@ -216,12 +232,14 @@ fn flush_marks_everything() {
 #[test]
 fn partial_parity_logged_for_unaligned_writes() {
     let v = volume(5);
-    v.write(T0, 0, &bytes(1, 21), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(1, 21), WriteFlags::default())
+        .unwrap();
     let s = v.stats();
     assert_eq!(s.pp_log_entries, 1);
     assert_eq!(s.full_parity_writes, 0);
     // Completing the stripe writes full parity.
-    v.write(T0, 1, &bytes(15, 22), WriteFlags::default()).unwrap();
+    v.write(T0, 1, &bytes(15, 22), WriteFlags::default())
+        .unwrap();
     let s = v.stats();
     assert_eq!(s.full_parity_writes, 1);
 }
@@ -229,7 +247,8 @@ fn partial_parity_logged_for_unaligned_writes() {
 #[test]
 fn aligned_full_stripe_writes_log_no_partial_parity() {
     let v = volume(5);
-    v.write(T0, 0, &bytes(16, 23), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(16, 23), WriteFlags::default())
+        .unwrap();
     let s = v.stats();
     assert_eq!(s.pp_log_entries, 0);
     assert_eq!(s.full_parity_writes, 1);
@@ -238,10 +257,13 @@ fn aligned_full_stripe_writes_log_no_partial_parity() {
 #[test]
 fn finish_zone_seals_state() {
     let v = volume(3);
-    v.write(T0, 0, &bytes(3, 24), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(3, 24), WriteFlags::default())
+        .unwrap();
     v.finish_zone(T0, 0).unwrap();
     assert_eq!(v.zone_info(0).unwrap().state, ZoneState::Full);
-    let err = v.write(T0, 3, &bytes(1, 25), WriteFlags::default()).unwrap_err();
+    let err = v
+        .write(T0, 3, &bytes(1, 25), WriteFlags::default())
+        .unwrap_err();
     assert!(matches!(err, ZnsError::ZoneFull { zone: 0 }));
     // Data still readable.
     let mut out = vec![0u8; (3 * SECTOR_SIZE) as usize];
@@ -255,8 +277,13 @@ fn open_close_zone_transitions() {
     assert_eq!(v.zone_info(1).unwrap().state, ZoneState::ExplicitlyOpen);
     v.close_zone(T0, 1).unwrap();
     assert_eq!(v.zone_info(1).unwrap().state, ZoneState::Empty);
-    v.write(T0, v.geometry().zone_start(1), &bytes(1, 26), WriteFlags::default())
-        .unwrap();
+    v.write(
+        T0,
+        v.geometry().zone_start(1),
+        &bytes(1, 26),
+        WriteFlags::default(),
+    )
+    .unwrap();
     v.close_zone(T0, 1).unwrap();
     assert_eq!(v.zone_info(1).unwrap().state, ZoneState::Closed);
 }
@@ -296,8 +323,13 @@ fn metadata_gc_triggered_by_many_partial_writes() {
         let start = g.zone_start(z);
         for s in 0..g.zone_cap() {
             // 1-sector writes, every one logging partial parity.
-            if v.write(T0, start + s, &bytes(1, 1000 + wrote), WriteFlags::default())
-                .is_err()
+            if v.write(
+                T0,
+                start + s,
+                &bytes(1, 1000 + wrote),
+                WriteFlags::default(),
+            )
+            .is_err()
             {
                 break 'outer;
             }
@@ -321,7 +353,8 @@ fn metadata_gc_triggered_by_many_partial_writes() {
 #[test]
 fn stats_track_resets() {
     let v = volume(3);
-    v.write(T0, 0, &bytes(1, 27), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(1, 27), WriteFlags::default())
+        .unwrap();
     v.reset_zone(T0, 0).unwrap();
     assert_eq!(v.stats().zone_resets, 1);
 }

@@ -38,7 +38,8 @@ fn volume_with_relocations() -> (Vec<Arc<ZnsDevice>>, RaiznVolume, Vec<u8>) {
     let devs = devices(5);
     let v = RaiznVolume::format(devs.clone(), config(threshold), T0).unwrap();
     // Three full stripes, nothing flushed.
-    v.write(T0, 0, &bytes(48, 1), WriteFlags::default()).unwrap();
+    v.write(T0, 0, &bytes(48, 1), WriteFlags::default())
+        .unwrap();
     drop(v);
     for (i, d) in devs.iter().enumerate() {
         if i == 2 {

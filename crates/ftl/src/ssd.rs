@@ -5,8 +5,8 @@ use crate::config::FtlConfig;
 use crate::stats::FtlStats;
 use parking_lot::Mutex;
 use sim::{ChannelModel, SimDuration, SimTime};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use zns::{IoCompletion, Lba, Result, WriteFlags, ZnsError, SECTOR_SIZE};
 
 /// Sentinel for "unmapped" L2P entries and "stale" flash page slots.
@@ -84,8 +84,10 @@ struct Inner {
     /// Lazy min-heap of (valid_count, block) candidates for GC victim
     /// selection; entries are revalidated on pop.
     victims: BinaryHeap<Reverse<(u32, u32)>>,
-    /// Stored page payloads (only in store mode).
-    data: Vec<Option<Box<[u8]>>>,
+    /// Flat stored payload bytes (only in store mode), lazily grown to
+    /// cover the highest written sector. Invariant: bytes of unwritten or
+    /// trimmed sectors are zero, so reads are single bulk copies.
+    data: Vec<u8>,
     timing: ChannelModel,
     stats: FtlStats,
     failed: bool,
@@ -105,13 +107,6 @@ impl ConvSsd {
             .collect();
         // Keep block 0 as the initial frontier; the rest are free.
         let free_list: Vec<u32> = (1..total_blocks as u32).rev().collect();
-        let data = if config.store_data {
-            let mut v = Vec::new();
-            v.resize_with(config.user_sectors as usize, || None);
-            v
-        } else {
-            Vec::new()
-        };
         let timing = ChannelModel::new(
             config.latency.channels,
             SimDuration::ZERO,
@@ -125,7 +120,7 @@ impl ConvSsd {
                 free_list,
                 frontier: 0,
                 victims: BinaryHeap::new(),
-                data,
+                data: Vec::new(),
                 timing,
                 stats: FtlStats::default(),
                 failed: false,
@@ -173,7 +168,7 @@ impl ConvSsd {
     }
 
     fn sector_count(len: usize) -> Result<u64> {
-        if len == 0 || len % SECTOR_SIZE as usize != 0 {
+        if len == 0 || !len.is_multiple_of(SECTOR_SIZE as usize) {
             return Err(ZnsError::InvalidArgument(format!(
                 "buffer length {len} is not a positive multiple of the sector size"
             )));
@@ -348,14 +343,14 @@ impl BlockDevice for ConvSsd {
             return Err(ZnsError::DeviceFailed);
         }
         if self.config.store_data {
-            for i in 0..sectors {
-                let dst =
-                    &mut buf[(i * SECTOR_SIZE) as usize..((i + 1) * SECTOR_SIZE) as usize];
-                match &inner.data[(lba + i) as usize] {
-                    Some(page) => dst.copy_from_slice(page),
-                    None => dst.fill(0),
-                }
+            // Bulk copy of the stored prefix; anything beyond the lazily
+            // grown store is zero by invariant.
+            let off = (lba * SECTOR_SIZE) as usize;
+            let avail = inner.data.len().saturating_sub(off).min(buf.len());
+            if avail > 0 {
+                buf[..avail].copy_from_slice(&inner.data[off..off + avail]);
             }
+            buf[avail..].fill(0);
         } else {
             buf.fill(0);
         }
@@ -391,14 +386,16 @@ impl BlockDevice for ConvSsd {
             let (c, e) = Self::place(&mut inner, ppb, gc_low, lp);
             gc_copied += c;
             gc_erased += e;
-            if store {
-                let src = &data[(i * SECTOR_SIZE) as usize..((i + 1) * SECTOR_SIZE) as usize];
-                let slot = &mut inner.data[(lba + i) as usize];
-                match slot {
-                    Some(page) => page.copy_from_slice(src),
-                    None => *slot = Some(src.to_vec().into_boxed_slice()),
-                }
+        }
+        if store {
+            // One bulk copy for the whole request, growing the flat store
+            // (zero filled) only when the write extends past it.
+            let off = (lba * SECTOR_SIZE) as usize;
+            let end = off + data.len();
+            if inner.data.len() < end {
+                inner.data.resize(end, 0);
             }
+            inner.data[off..end].copy_from_slice(data);
         }
         inner.stats.host_pages_written += sectors;
 
@@ -408,13 +405,11 @@ impl BlockDevice for ConvSsd {
         let lat = self.config.latency.clone();
         let start = at + lat.command_overhead;
         if gc_copied > 0 || gc_erased > 0 {
-            let copy_cost = (lat.read_per_sector + lat.write_per_sector)
-                .saturating_mul(gc_copied);
+            let copy_cost = (lat.read_per_sector + lat.write_per_sector).saturating_mul(gc_copied);
             let erase_cost = lat.reset.saturating_mul(gc_erased);
             let gc_busy = copy_cost + erase_cost;
             // Spread the GC work over all channels.
-            let per_channel =
-                SimDuration::from_nanos(gc_busy.as_nanos() / lat.channels as u64);
+            let per_channel = SimDuration::from_nanos(gc_busy.as_nanos() / lat.channels as u64);
             for _ in 0..lat.channels {
                 inner.timing.occupy(start, per_channel);
             }
@@ -432,7 +427,7 @@ impl BlockDevice for ConvSsd {
             // Modelled as an extra cache-flush delay; conventional-side
             // crash consistency is out of scope (the paper benchmarks
             // mdraid without a journal).
-            done = done + lat.flush;
+            done += lat.flush;
         }
         Ok(IoCompletion { done })
     }
@@ -447,13 +442,17 @@ impl BlockDevice for ConvSsd {
         for i in 0..sectors {
             let lp = (lba + i) as u32;
             Self::invalidate(&mut inner, ppb, lp);
-            if self.config.store_data {
-                inner.data[(lba + i) as usize] = None;
+        }
+        if self.config.store_data {
+            // Zero the trimmed range to uphold the unwritten-is-zero
+            // invariant of the flat store.
+            let off = (lba * SECTOR_SIZE) as usize;
+            let end = (((lba + sectors) * SECTOR_SIZE) as usize).min(inner.data.len());
+            if off < end {
+                inner.data[off..end].fill(0);
             }
         }
-        let done = inner
-            .timing
-            .occupy(at, self.config.latency.zone_mgmt);
+        let done = inner.timing.occupy(at, self.config.latency.zone_mgmt);
         Ok(IoCompletion { done })
     }
 
@@ -645,7 +644,10 @@ mod tests {
             d.write(SimTime::ZERO, 0, &page(0), WriteFlags::default()),
             Err(ZnsError::DeviceFailed)
         ));
-        assert!(matches!(d.flush(SimTime::ZERO), Err(ZnsError::DeviceFailed)));
+        assert!(matches!(
+            d.flush(SimTime::ZERO),
+            Err(ZnsError::DeviceFailed)
+        ));
         assert!(matches!(
             d.trim(SimTime::ZERO, 0, 1),
             Err(ZnsError::DeviceFailed)
@@ -687,7 +689,7 @@ mod tests {
     fn unaligned_buffers_rejected() {
         let d = ConvSsd::new(FtlConfig::small_test());
         assert!(matches!(
-            d.write(SimTime::ZERO, 0, &vec![0u8; 5], WriteFlags::default()),
+            d.write(SimTime::ZERO, 0, &[0u8; 5], WriteFlags::default()),
             Err(ZnsError::InvalidArgument(_))
         ));
     }

@@ -39,10 +39,7 @@ impl Md5Layout {
     pub fn new(n: u32, chunk: u64, dev_sectors: u64) -> Self {
         assert!(n >= 3, "RAID-5 requires at least 3 devices");
         assert!(chunk > 0, "chunk size must be nonzero");
-        assert!(
-            dev_sectors >= chunk,
-            "devices must hold at least one chunk"
-        );
+        assert!(dev_sectors >= chunk, "devices must hold at least one chunk");
         Md5Layout {
             n,
             chunk,

@@ -71,14 +71,9 @@ impl std::fmt::Debug for Md5Volume {
     }
 }
 
-/// XORs `src` into `dst`.
-fn xor_into(dst: &mut [u8], src: &[u8]) {
-    debug_assert_eq!(dst.len(), src.len());
-    // Word-at-a-time XOR; the compiler vectorizes this loop.
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d ^= *s;
-    }
-}
+// Parity arithmetic goes through the shared word-vectorized kernel in
+// `sim::xor`, the same one RAIZN's stripe/recovery paths use.
+use sim::xor_into;
 
 impl Md5Volume {
     /// Assembles a volume from `devices` (all the same capacity class; the
@@ -217,6 +212,7 @@ impl Md5Volume {
 
     /// Writes `data` rows at `row_off` of `stripe` to the device holding
     /// `slot`, skipping failed devices. Updates the cache.
+    #[allow(clippy::too_many_arguments)]
     fn store_rows(
         &self,
         st: &mut State,
@@ -232,7 +228,8 @@ impl Md5Volume {
         } else {
             self.layout.data_device(stripe, slot as u64) as usize
         };
-        let full_chunk = row_off == 0 && data.len() as u64 / SECTOR_SIZE == self.layout.chunk_sectors();
+        let full_chunk =
+            row_off == 0 && data.len() as u64 / SECTOR_SIZE == self.layout.chunk_sectors();
         if full_chunk {
             st.cache.put(stripe, slot, data);
         } else {
@@ -275,15 +272,8 @@ impl Md5Volume {
             for (k, row, d) in touched {
                 done = done.max(self.store_rows(st, at, stripe, *k as usize, *row, d, flags)?);
             }
-            done = done.max(self.store_rows(
-                st,
-                at,
-                stripe,
-                self.parity_slot(),
-                0,
-                &parity,
-                flags,
-            )?);
+            done =
+                done.max(self.store_rows(st, at, stripe, self.parity_slot(), 0, &parity, flags)?);
             return Ok(done);
         }
 
@@ -342,14 +332,8 @@ impl Md5Volume {
                         // Rows of this chunk inside the union but outside
                         // the written range must be fetched.
                         if off > 0 {
-                            let done = self.fetch_rows(
-                                st,
-                                at,
-                                stripe,
-                                k as usize,
-                                u0,
-                                &mut col[..off],
-                            )?;
+                            let done =
+                                self.fetch_rows(st, at, stripe, k as usize, u0, &mut col[..off])?;
                             reads_done = reads_done.max(done);
                         }
                         let tail = off + d.len();
@@ -366,8 +350,7 @@ impl Md5Volume {
                         }
                     }
                     None => {
-                        let done =
-                            self.fetch_rows(st, at, stripe, k as usize, u0, &mut col)?;
+                        let done = self.fetch_rows(st, at, stripe, k as usize, u0, &mut col)?;
                         reads_done = reads_done.max(done);
                     }
                 }
@@ -379,7 +362,8 @@ impl Md5Volume {
         let wat = reads_done;
         let mut done = wat;
         for (k, row, d) in touched {
-            done = done.max(self.store_rows(st, at.max(wat), stripe, *k as usize, *row, d, flags)?);
+            done =
+                done.max(self.store_rows(st, at.max(wat), stripe, *k as usize, *row, d, flags)?);
         }
         if !parity_failed {
             done = done.max(self.store_rows(
@@ -468,7 +452,7 @@ impl BlockDevice for Md5Volume {
 
     fn read(&self, at: SimTime, lba: Lba, buf: &mut [u8]) -> Result<IoCompletion> {
         let sectors = buf.len() as u64 / SECTOR_SIZE;
-        if buf.is_empty() || buf.len() % SECTOR_SIZE as usize != 0 {
+        if buf.is_empty() || !buf.len().is_multiple_of(SECTOR_SIZE as usize) {
             return Err(ZnsError::InvalidArgument(format!(
                 "buffer length {} is not a positive multiple of the sector size",
                 buf.len()
@@ -503,7 +487,7 @@ impl BlockDevice for Md5Volume {
 
     fn write(&self, at: SimTime, lba: Lba, data: &[u8], flags: WriteFlags) -> Result<IoCompletion> {
         let sectors = data.len() as u64 / SECTOR_SIZE;
-        if data.is_empty() || data.len() % SECTOR_SIZE as usize != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(SECTOR_SIZE as usize) {
             return Err(ZnsError::InvalidArgument(format!(
                 "buffer length {} is not a positive multiple of the sector size",
                 data.len()
@@ -684,8 +668,7 @@ mod tests {
         v.write(SimTime::ZERO, 0, &data, WriteFlags::default())
             .unwrap();
         v.fail_device(0);
-        let replacement: Arc<dyn BlockDevice> =
-            Arc::new(ConvSsd::new(FtlConfig::small_test()));
+        let replacement: Arc<dyn BlockDevice> = Arc::new(ConvSsd::new(FtlConfig::small_test()));
         let report = v.resync(SimTime::ZERO, replacement).unwrap();
         assert!(report.bytes_written > 0);
         assert!(v.failed_device().is_none());
@@ -704,8 +687,7 @@ mod tests {
         v.write(SimTime::ZERO, 0, &bytes(4, 1), WriteFlags::default())
             .unwrap();
         v.fail_device(2);
-        let replacement: Arc<dyn BlockDevice> =
-            Arc::new(ConvSsd::new(FtlConfig::small_test()));
+        let replacement: Arc<dyn BlockDevice> = Arc::new(ConvSsd::new(FtlConfig::small_test()));
         let report = v.resync(SimTime::ZERO, replacement).unwrap();
         let expected = v.layout().stripes() * v.layout().chunk_sectors() * SECTOR_SIZE;
         assert_eq!(report.bytes_written, expected);
@@ -772,8 +754,7 @@ mod tests {
     #[test]
     fn journal_preserves_correctness() {
         let v = make(3);
-        let journal: Arc<dyn BlockDevice> =
-            Arc::new(ConvSsd::new(FtlConfig::small_test()));
+        let journal: Arc<dyn BlockDevice> = Arc::new(ConvSsd::new(FtlConfig::small_test()));
         v.attach_journal(journal);
         assert!(v.has_journal());
         let data: Vec<u8> = (0..(24 * SECTOR_SIZE as usize))
@@ -823,7 +804,12 @@ mod tests {
             let mut t = SimTime::ZERO;
             for i in 0..32u64 {
                 t = v
-                    .write(t, (i * 8) % v.capacity_sectors(), &data, WriteFlags::default())
+                    .write(
+                        t,
+                        (i * 8) % v.capacity_sectors(),
+                        &data,
+                        WriteFlags::default(),
+                    )
                     .unwrap()
                     .done;
             }

@@ -132,7 +132,10 @@ impl ChannelModel {
     /// The raw service duration this model charges for `bytes`, ignoring
     /// queueing.
     pub fn service_duration(&self, bytes: u64) -> SimDuration {
-        self.fixed + self.per_unit.saturating_mul(bytes.div_ceil(self.unit_bytes))
+        self.fixed
+            + self
+                .per_unit
+                .saturating_mul(bytes.div_ceil(self.unit_bytes))
     }
 }
 

@@ -16,6 +16,8 @@
 //!   (an HdrHistogram-style structure, sufficient for p50/p99/p99.9).
 //! - [`Timeseries`]: a throughput sampler for timeseries plots (Fig. 10).
 //! - [`SimRng`]: a deterministic, seedable RNG wrapper.
+//! - [`xor`]: word-vectorized XOR/zero-check kernels shared by every
+//!   parity hot path (stripe fill, reconstruction, rebuild, mdraid5).
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@ mod rng;
 mod series;
 mod stats;
 mod time;
+pub mod xor;
 
 pub use histogram::Histogram;
 pub use latency::ChannelModel;
@@ -46,3 +49,4 @@ pub use rng::SimRng;
 pub use series::{Timeseries, TimeseriesPoint};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
+pub use xor::{is_zero, xor_fold, xor_into};

@@ -401,10 +401,7 @@ mod tests {
         let report = e.run(&t, &[job]).unwrap();
         let ts = report.throughput_series.expect("sampling enabled");
         assert!(!ts.is_empty());
-        assert_eq!(
-            ts.iter().map(|p| p.bytes).sum::<u64>(),
-            report.total_bytes
-        );
+        assert_eq!(ts.iter().map(|p| p.bytes).sum::<u64>(), report.total_bytes);
         assert!(report.latency_series.is_some());
     }
 

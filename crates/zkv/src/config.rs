@@ -48,7 +48,10 @@ impl ZkvConfig {
             "compaction needs at least 2 tables"
         );
         assert!(self.wal_zones >= 2, "WAL needs a ping-pong zone pair");
-        assert!(self.io_chunk_sectors > 0, "io_chunk_sectors must be nonzero");
+        assert!(
+            self.io_chunk_sectors > 0,
+            "io_chunk_sectors must be nonzero"
+        );
     }
 }
 

@@ -194,7 +194,9 @@ mod tests {
     fn fillrandom_then_overwrite() {
         let s = store();
         let bench = DbBench::new(150, 400);
-        let a = bench.run(&s, DbWorkload::FillRandom, SimTime::ZERO).unwrap();
+        let a = bench
+            .run(&s, DbWorkload::FillRandom, SimTime::ZERO)
+            .unwrap();
         let b = bench.run(&s, DbWorkload::Overwrite, a.end).unwrap();
         assert!(b.end > a.end);
         assert!(s.stats().puts >= 300);
@@ -204,7 +206,9 @@ mod tests {
     fn readwhilewriting_interleaves() {
         let s = store();
         let bench = DbBench::new(100, 400);
-        bench.run(&s, DbWorkload::FillRandom, SimTime::ZERO).unwrap();
+        bench
+            .run(&s, DbWorkload::FillRandom, SimTime::ZERO)
+            .unwrap();
         let r = bench
             .run(&s, DbWorkload::ReadWhileWriting, SimTime::ZERO)
             .unwrap();

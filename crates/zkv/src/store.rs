@@ -183,10 +183,7 @@ impl<V: ZonedVolume> ZkvStore<V> {
 
         // Memtable insert.
         let delta = 16 + vlen;
-        if let Some(old) = inner
-            .mem
-            .insert(key, value.map(|v| v.to_vec()))
-        {
+        if let Some(old) = inner.mem.insert(key, value.map(|v| v.to_vec())) {
             inner.mem_bytes -= 16 + old.map(|o| o.len()).unwrap_or(0);
         }
         inner.mem_bytes += delta;
@@ -248,7 +245,12 @@ impl<V: ZonedVolume> ZkvStore<V> {
 
     /// Allocates space for `sectors` in the open data zone, opening a new
     /// zone when needed. Returns the write LBA.
-    fn alloc_extent(&self, inner: &mut Inner, at: SimTime, sectors: u64) -> Result<(Lba, u32, SimTime)> {
+    fn alloc_extent(
+        &self,
+        inner: &mut Inner,
+        at: SimTime,
+        sectors: u64,
+    ) -> Result<(Lba, u32, SimTime)> {
         let geo = self.volume.geometry();
         assert!(sectors <= geo.zone_cap(), "extent larger than a zone");
         let t = at;
@@ -260,9 +262,10 @@ impl<V: ZonedVolume> ZkvStore<V> {
             // The previous open zone stays as-is (implicitly closed by the
             // device); it is reclaimed once its tables die.
             inner.alloc.open = None;
-            let zone = inner.alloc.free.pop_front().ok_or_else(|| {
-                ZnsError::InvalidArgument("zkv: out of free zones".to_string())
-            })?;
+            let zone =
+                inner.alloc.free.pop_front().ok_or_else(|| {
+                    ZnsError::InvalidArgument("zkv: out of free zones".to_string())
+                })?;
             inner.alloc.open = Some((zone, 0));
         }
         let (zone, used) = inner.alloc.open.expect("opened above");
@@ -565,7 +568,10 @@ mod tests {
     #[test]
     fn out_of_space_is_reported() {
         let dev = Arc::new(ZnsDevice::new(
-            ZnsConfig::builder().zones(4, 16, 16).open_limits(4, 4).build(),
+            ZnsConfig::builder()
+                .zones(4, 16, 16)
+                .open_limits(4, 4)
+                .build(),
         ));
         let s = ZkvStore::create(dev, ZkvConfig::small_test(), T0).unwrap();
         let value = vec![0u8; 2000];

@@ -38,7 +38,10 @@ fn value_for(key: u64, len: usize) -> Vec<u8> {
     vec![(key as u8).wrapping_mul(31).wrapping_add(len as u8); len]
 }
 
-fn check_against_model<V: ZonedVolume>(store: &ZkvStore<V>, ops: &[Op]) -> Result<(), TestCaseError> {
+fn check_against_model<V: ZonedVolume>(
+    store: &ZkvStore<V>,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
     let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut t = T0;
     for op in ops {
@@ -55,8 +58,12 @@ fn check_against_model<V: ZonedVolume>(store: &ZkvStore<V>, ops: &[Op]) -> Resul
             Op::Get { key } => {
                 let (got, t2) = store.get(t, *key).expect("get");
                 t = t2;
-                prop_assert_eq!(got.as_deref(), model.get(key).map(|v| &v[..]),
-                    "key {} diverged from model", key);
+                prop_assert_eq!(
+                    got.as_deref(),
+                    model.get(key).map(|v| &v[..]),
+                    "key {} diverged from model",
+                    key
+                );
             }
             Op::Sync => {
                 t = store.sync(t).expect("sync");
@@ -66,8 +73,12 @@ fn check_against_model<V: ZonedVolume>(store: &ZkvStore<V>, ops: &[Op]) -> Resul
     // Final sweep: every key must match the oracle.
     for key in 0..40u64 {
         let (got, _) = store.get(t, key).expect("get");
-        prop_assert_eq!(got.as_deref(), model.get(&key).map(|v| &v[..]),
-            "final sweep: key {} diverged", key);
+        prop_assert_eq!(
+            got.as_deref(),
+            model.get(&key).map(|v| &v[..]),
+            "final sweep: key {} diverged",
+            key
+        );
     }
     Ok(())
 }

@@ -56,7 +56,7 @@ impl LatencyConfig {
     /// firmware (§6.1).
     pub fn conventional_ssd() -> Self {
         LatencyConfig {
-            read_per_sector: SimDuration::from_nanos(9_120),   // ~4% faster
+            read_per_sector: SimDuration::from_nanos(9_120), // ~4% faster
             write_per_sector: SimDuration::from_nanos(28_900), // ~2% faster
             ..Self::zns_ssd()
         }
@@ -260,7 +260,10 @@ impl ZnsConfigBuilder {
             self.max_active_zones,
             self.max_open_zones
         );
-        assert!(self.latency.channels > 0, "latency.channels must be nonzero");
+        assert!(
+            self.latency.channels > 0,
+            "latency.channels must be nonzero"
+        );
         assert!(
             self.latency.chunk_sectors > 0,
             "latency.chunk_sectors must be nonzero"

@@ -212,7 +212,7 @@ impl ZnsDevice {
     }
 
     fn sector_count(data_len: usize) -> Result<u64> {
-        if data_len == 0 || data_len % SECTOR_SIZE as usize != 0 {
+        if data_len == 0 || !data_len.is_multiple_of(SECTOR_SIZE as usize) {
             return Err(ZnsError::InvalidArgument(format!(
                 "buffer length {data_len} is not a positive multiple of the sector size"
             )));
@@ -731,7 +731,14 @@ mod tests {
         let err = d
             .write(SimTime::ZERO, 5, &sectors(1), WriteFlags::default())
             .unwrap_err();
-        assert!(matches!(err, ZnsError::NotSequential { expected: 0, got: 5, .. }));
+        assert!(matches!(
+            err,
+            ZnsError::NotSequential {
+                expected: 0,
+                got: 5,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -948,7 +955,10 @@ mod tests {
             d.write(SimTime::ZERO, 1, &sectors(1), WriteFlags::default()),
             Err(ZnsError::DeviceFailed)
         ));
-        assert!(matches!(d.flush(SimTime::ZERO), Err(ZnsError::DeviceFailed)));
+        assert!(matches!(
+            d.flush(SimTime::ZERO),
+            Err(ZnsError::DeviceFailed)
+        ));
         assert!(matches!(
             d.reset_zone(SimTime::ZERO, 0),
             Err(ZnsError::DeviceFailed)
@@ -1068,7 +1078,7 @@ mod tests {
     fn unaligned_buffer_rejected() {
         let d = dev();
         let err = d
-            .write(SimTime::ZERO, 0, &vec![0u8; 100], WriteFlags::default())
+            .write(SimTime::ZERO, 0, &[0u8; 100], WriteFlags::default())
             .unwrap_err();
         assert!(matches!(err, ZnsError::InvalidArgument(_)));
         let mut small = vec![0u8; 0];

@@ -151,8 +151,9 @@ mod tests {
 
     #[test]
     fn flag_constants() {
-        assert!(WriteFlags::FUA.fua && !WriteFlags::FUA.preflush);
-        assert!(WriteFlags::PREFLUSH_FUA.fua && WriteFlags::PREFLUSH_FUA.preflush);
+        let (fua, pf) = (WriteFlags::FUA, WriteFlags::PREFLUSH_FUA);
+        assert!(fua.fua && !fua.preflush);
+        assert!(pf.fua && pf.preflush);
         assert!(!WriteFlags::default().fua);
     }
 

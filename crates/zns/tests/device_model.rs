@@ -19,8 +19,11 @@ enum Op {
 
 fn op_strategy(zones: u32) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..zones, 1u64..6, any::<bool>())
-            .prop_map(|(zone, sectors, fua)| Op::Write { zone, sectors, fua }),
+        (0..zones, 1u64..6, any::<bool>()).prop_map(|(zone, sectors, fua)| Op::Write {
+            zone,
+            sectors,
+            fua
+        }),
         (0..zones, 1u64..6).prop_map(|(zone, sectors)| Op::Append { zone, sectors }),
         (0..zones).prop_map(|zone| Op::Reset { zone }),
         (0..zones).prop_map(|zone| Op::Finish { zone }),

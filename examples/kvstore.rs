@@ -57,7 +57,10 @@ fn main() -> Result<(), zns::ZnsError> {
     println!("zkv on RAIZN after 6000 puts + readback:");
     println!("  memtable flushes:     {}", s.flushes);
     println!("  compactions:          {}", s.compactions);
-    println!("  table bytes written:  {} KiB", s.table_bytes_written / 1024);
+    println!(
+        "  table bytes written:  {} KiB",
+        s.table_bytes_written / 1024
+    );
     println!("  zone resets (reclaim):{}", s.zone_resets);
     println!("  virtual time:         {:.3} ms", t2.as_secs_f64() * 1e3);
 

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Repo gate: build, full test suite, lints, formatting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+echo "check.sh: all gates passed"

@@ -14,8 +14,8 @@ use zns::{LatencyConfig, ZnsConfig, ZnsDevice, ZonedVolume};
 const T0: SimTime = SimTime::ZERO;
 const ZONES: u32 = 8;
 const ZONE_SECTORS: u64 = 8192; // 32 MiB zones -> 256 MiB per device
-// (Few, large zones keep the per-reset cost amortized like the paper's
-// 1077 MiB zones; the same capacity is preserved.)
+                                // (Few, large zones keep the per-reset cost amortized like the paper's
+                                // 1077 MiB zones; the same capacity is preserved.)
 
 fn raizn() -> Arc<RaiznVolume> {
     let devices: Vec<Arc<ZnsDevice>> = (0..5)
@@ -84,10 +84,7 @@ fn mdraid_gc_cliff_raizn_flat() {
             .collect();
         let p1 = Engine::new(2).run(target, &fill).unwrap();
         let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).region(0, fifth * 5);
-        let p2 = Engine::new(3)
-            .start_at(p1.end)
-            .run(target, &[job])
-            .unwrap();
+        let p2 = Engine::new(3).start_at(p1.end).run(target, &[job]).unwrap();
         (p1.throughput_mib_s(), p2.throughput_mib_s())
     };
     let (r1, r2) = overwrite(&ZonedTarget::new(raizn()));
@@ -109,7 +106,6 @@ fn mdraid_gc_cliff_raizn_flat() {
         "RAIZN sustained ({r2:.0}) should far exceed mdraid under GC ({m2:.0})"
     );
 }
-
 
 /// Diagnostic (ignored by default assertions): report FTL WAF under the
 /// Fig. 10 workload so the GC model can be sanity-checked.
@@ -144,11 +140,18 @@ fn ftl_waf_probe() {
         .collect();
     let p1 = Engine::new(2).run(&target, &fill).unwrap();
     let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).region(0, fifth * 5);
-    Engine::new(3).start_at(p1.end).run(&target, &[job]).unwrap();
+    Engine::new(3)
+        .start_at(p1.end)
+        .run(&target, &[job])
+        .unwrap();
     let s = devices[0].ftl_stats();
     eprintln!(
         "[waf] dev0 host={} copied={} waf={:.2} erases={} stall={}",
-        s.host_pages_written, s.gc_pages_copied, s.waf(), s.erases, s.gc_stall
+        s.host_pages_written,
+        s.gc_pages_copied,
+        s.waf(),
+        s.erases,
+        s.gc_stall
     );
     assert!(s.waf() >= 1.0);
 }
@@ -164,7 +167,10 @@ fn degraded_reads_work_on_both_arrays() {
     let read = JobSpec::new(OpKind::Read, Pattern::Random, 16)
         .ops(2000)
         .queue_depth(64)
-        .region(0, rt.capacity_sectors() / ZONE_SECTORS / 4 * ZONE_SECTORS * 4);
+        .region(
+            0,
+            rt.capacity_sectors() / ZONE_SECTORS / 4 * ZONE_SECTORS * 4,
+        );
     let r = Engine::new(5).start_at(end).run(&rt, &[read]).unwrap();
     assert_eq!(r.total_ops, 2000);
     assert!(r.throughput_mib_s() > 0.0);
@@ -221,7 +227,10 @@ fn rebuild_scales_with_data_resync_does_not() {
     };
     let a = resync(0.25);
     let b = resync(1.0);
-    assert_eq!(a.bytes_written, b.bytes_written, "mdraid must resync everything");
+    assert_eq!(
+        a.bytes_written, b.bytes_written,
+        "mdraid must resync everything"
+    );
 }
 
 /// §6.3 shape: the same KV application runs on both stacks and stays
@@ -257,9 +266,8 @@ fn volume_remount_under_application() {
     let devices: Vec<Arc<ZnsDevice>> = (0..5)
         .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
         .collect();
-    let vol = Arc::new(
-        RaiznVolume::format(devices.clone(), RaiznConfig::small_test(), T0).unwrap(),
-    );
+    let vol =
+        Arc::new(RaiznVolume::format(devices.clone(), RaiznConfig::small_test(), T0).unwrap());
     {
         let store = ZkvStore::create(vol.clone(), ZkvConfig::small_test(), T0).unwrap();
         let mut t = T0;

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crate registry, so this
+//! vendored shim implements the criterion API surface the workspace's
+//! benches use — `criterion_group!`/`criterion_main!`, benchmark groups
+//! with `sample_size`/`throughput`/`bench_function`/`bench_with_input`, and
+//! `Bencher::iter` — measuring wall-clock time with `std::time::Instant`
+//! and printing one line per benchmark. No statistical analysis, HTML
+//! reports, or CLI filtering.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Expected data rate of a benchmark, for derived MiB/s reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures over a fixed number of iterations.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup iteration (pulls code/data into cache, triggers lazy
+        // init) then `iters` measured iterations.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn report(group: &str, id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if mean_ns > 0.0 => {
+            let mib_s = b as f64 / (1024.0 * 1024.0) / (mean_ns / 1e9);
+            format!(" ({mib_s:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let elems_s = n as f64 / (mean_ns / 1e9);
+            format!(" ({elems_s:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!("bench {group}/{id}: {mean_ns:.0} ns/iter{rate}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Declares the per-iteration data rate for MiB/s reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.mean_ns, self.throughput);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.mean_ns, self.throughput);
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            iters: 10,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report("crit", &id.to_string(), b.mean_ns, None);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,201 @@
+//! The deterministic test runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected (do not count against the case budget).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// The outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Maximum rejected cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// A small deterministic RNG (splitmix64) used for value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` of 0 yields the full domain.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return self.next();
+        }
+        // Rejection-free multiply-shift reduction; bias is negligible for
+        // the bounds used in tests and determinism is what matters here.
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Runs a property over generated inputs; panics on the first failure,
+/// reporting the generated inputs (no shrinking).
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with `config`.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `cases` generated inputs of `strategy` through `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any case fails, echoing the generated value, or if too
+    /// many cases are rejected.
+    pub fn run<S: Strategy>(
+        &self,
+        name: &str,
+        strategy: &S,
+        f: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        // Seed from the test name: deterministic per test, different
+        // across tests.
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng::new(seed);
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut rng);
+            let echo = format!("{value:?}");
+            match f(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "proptest {name}: too many rejected cases ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest {name} failed after {passed} passing case(s)\n\
+                         input: {echo}\n{reason}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        for _ in 0..16 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn oneof_and_vec(v in prop::collection::vec(prop_oneof![
+            2 => (0u32..4).prop_map(|x| x as u64),
+            1 => Just(99u64),
+        ], 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in v {
+                prop_assert!(x < 4 || x == 99);
+            }
+        }
+    }
+}
