@@ -36,6 +36,14 @@ pub struct RaiznConfig {
     /// instead of a dedicated header sector, removing one sector of write
     /// amplification from every log append.
     pub lb_metadata_headers: bool,
+    /// How many times a transient (injected) device error is retried
+    /// before the command is declared failed and counted against the
+    /// device's error budget.
+    pub transient_retry_limit: u32,
+    /// Unrecovered errors (retry-exhausted transients and latent media
+    /// errors) a single device may accumulate before the array
+    /// auto-degrades it, exactly as if `fail_device` had been called.
+    pub device_error_budget: u64,
 }
 
 impl Default for RaiznConfig {
@@ -48,6 +56,8 @@ impl Default for RaiznConfig {
             pp_log_full_unit: false,
             use_zrwa: false,
             lb_metadata_headers: false,
+            transient_retry_limit: 3,
+            device_error_budget: 16,
         }
     }
 }

@@ -82,7 +82,7 @@ pub use metadata::{
 };
 pub use stats::RaiznStats;
 pub use stripe::StripeBuffer;
-pub use volume::{RaiznVolume, RebuildReport};
+pub use volume::{RaiznVolume, RebuildReport, ScrubReport};
 
 /// Result alias re-exported from the device layer (RAIZN shares the ZNS
 /// error type).

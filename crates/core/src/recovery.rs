@@ -154,9 +154,16 @@ impl RaiznVolume {
                     && rec.header.generation == gens[*lzone as usize] =>
                 {
                     let key = (*lzone, *stripe, *dev as u32);
+                    // Records always carry the full unit state and a
+                    // non-decreasing `valid`, so among same-generation
+                    // records the newest wins — on equal `valid` too:
+                    // a slot re-relocated after a rollback re-logs the
+                    // same extent with fresh contents, and the stable
+                    // (checkpoints, then append-order) scan puts that
+                    // newest record last.
                     let better = relocated
                         .get(&key)
-                        .map(|r| r.valid < *valid_sectors)
+                        .map(|r| r.valid <= *valid_sectors)
                         .unwrap_or(true);
                     if better {
                         relocated.insert(
@@ -552,7 +559,7 @@ impl RaiznVolume {
     #[allow(clippy::too_many_arguments)]
     fn rebuild_rows(
         &self,
-        st: &VolState,
+        st: &mut VolState,
         at: SimTime,
         lz: u32,
         stripe: u64,

@@ -33,6 +33,17 @@ pub struct RaiznStats {
     pub zrwa_parity_writes: u64,
     /// Stripe buffers served from the recycle pool instead of allocating.
     pub stripe_buffers_reused: u64,
+    /// Stripe units healed in place after a latent media read error
+    /// (reconstructed from surviving devices and relocated).
+    pub read_repairs: u64,
+    /// Transient device errors absorbed by the bounded retry policy.
+    pub transient_retries: u64,
+    /// Scrub passes completed.
+    pub scrub_runs: u64,
+    /// Stripe units (data or parity) repaired by scrub passes.
+    pub scrub_repairs: u64,
+    /// Devices auto-degraded after exceeding their error budget.
+    pub auto_degrades: u64,
 }
 
 #[cfg(test)]

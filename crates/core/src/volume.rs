@@ -69,6 +69,10 @@ pub(crate) struct VolState {
     pub relocated: HashMap<(u32, u64, u32), RelocatedUnit>,
     pub md: Vec<MdRoles>,
     pub stats: RaiznStats,
+    /// Per-device count of unrecovered errors (retry-exhausted transients
+    /// and media errors); exceeding the configured budget auto-degrades
+    /// the device.
+    pub device_errors: Vec<u64>,
     /// Recycled stripe buffers: retired buffers return here (cleared via
     /// the high-water mark) so steady-state writes allocate nothing.
     pub pool: Vec<StripeBuffer>,
@@ -139,6 +143,25 @@ impl std::fmt::Debug for RaiznVolume {
 // Parity arithmetic goes through the shared word-vectorized kernel in
 // `sim::xor` (also used by the stripe buffer, recovery, and mdraid5).
 pub(crate) use sim::xor_into;
+
+/// An internal invariant violation surfaced as an error instead of a
+/// panic, so injected device faults can never take the volume down
+/// mid-operation.
+fn internal(context: &'static str) -> ZnsError {
+    ZnsError::InvalidArgument(format!("internal invariant violated: {context}"))
+}
+
+/// Outcome of a [`RaiznVolume::scrub`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Complete stripes whose parity was verified.
+    pub stripes_checked: u64,
+    /// Parity mismatches detected and repaired (corrected parity
+    /// relocated via the metadata log).
+    pub parity_repairs: u64,
+    /// Stripe units healed from latent media errors during the walk.
+    pub units_healed: u64,
+}
 
 impl RaiznVolume {
     /// Initializes a fresh array: resets every zone, writes the superblock
@@ -246,6 +269,7 @@ impl RaiznVolume {
                 relocated: HashMap::new(),
                 md,
                 stats: RaiznStats::default(),
+                device_errors: vec![0; n],
                 pool: Vec::new(),
                 md_scratch: Vec::new(),
             }),
@@ -299,6 +323,84 @@ impl RaiznVolume {
     /// The failed device index, if any.
     pub fn failed_device(&self) -> Option<usize> {
         self.state.lock().failed
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling: retries and the per-device error budget
+    // ------------------------------------------------------------------
+
+    /// Records one unrecovered error against `dev` and auto-degrades the
+    /// array (the [`fail_device`](Self::fail_device) equivalent) once the
+    /// device exceeds its error budget. No-op when a device already
+    /// failed: RAIZN tolerates a single failure.
+    fn note_device_error(&self, st: &mut VolState, dev: usize) {
+        st.device_errors[dev] += 1;
+        if st.failed.is_none() && st.device_errors[dev] > self.config.device_error_budget {
+            st.devices[dev].fail();
+            st.failed = Some(dev);
+            st.stats.auto_degrades += 1;
+        }
+    }
+
+    /// Appends to `dev`'s physical `zone` with bounded retries on
+    /// transient errors; exhaustion counts against the device's error
+    /// budget and surfaces the transient error.
+    fn append_with_retry(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        dev: usize,
+        zone: u32,
+        bytes: &[u8],
+        flags: WriteFlags,
+    ) -> Result<AppendCompletion> {
+        let limit = self.config.transient_retry_limit;
+        let mut attempt = 0u32;
+        loop {
+            match st.devices[dev].append(at, zone, bytes, flags) {
+                Err(ZnsError::TransientError { .. }) if attempt < limit => {
+                    attempt += 1;
+                    st.stats.transient_retries += 1;
+                }
+                Err(e @ ZnsError::TransientError { .. }) => {
+                    self.note_device_error(st, dev);
+                    return Err(e);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Resets `dev`'s physical zone `phys` with bounded retries. On
+    /// exhaustion the device is charged an error; if that degrades it the
+    /// reset is treated as done (the device is out of the array, and the
+    /// logged reset WAL replays on its eventual rebuild/remount).
+    fn reset_phys_with_retry(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        dev: usize,
+        phys: u32,
+    ) -> Result<SimTime> {
+        let limit = self.config.transient_retry_limit;
+        let mut attempt = 0u32;
+        loop {
+            match st.devices[dev].reset_zone(at, phys) {
+                Ok(c) => return Ok(c.done),
+                Err(ZnsError::TransientError { .. }) if attempt < limit => {
+                    attempt += 1;
+                    st.stats.transient_retries += 1;
+                }
+                Err(e @ ZnsError::TransientError { .. }) => {
+                    self.note_device_error(st, dev);
+                    if st.failed == Some(dev) {
+                        return Ok(at);
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -374,7 +476,7 @@ impl RaiznVolume {
             MdRole::General => st.md[dev].general,
             MdRole::PpLog => st.md[dev].pplog,
         };
-        match st.devices[dev].append(at, zone, bytes, flags) {
+        match self.append_with_retry(st, at, dev, zone, bytes, flags) {
             Ok(c) => {
                 st.stats.md_appends += 1;
                 Ok(c.done)
@@ -385,10 +487,19 @@ impl RaiznVolume {
                     MdRole::General => st.md[dev].general,
                     MdRole::PpLog => st.md[dev].pplog,
                 };
-                let c = st.devices[dev].append(t, zone, bytes, flags)?;
-                st.stats.md_appends += 1;
-                Ok(c.done)
+                match self.append_with_retry(st, t, dev, zone, bytes, flags) {
+                    Ok(c) => {
+                        st.stats.md_appends += 1;
+                        Ok(c.done)
+                    }
+                    Err(ZnsError::TransientError { .. }) if st.failed == Some(dev) => Ok(t),
+                    Err(e) => Err(e),
+                }
             }
+            // Retry exhaustion just degraded the device: its metadata
+            // replica is gone with it, mirroring the failed-device
+            // early-return above.
+            Err(ZnsError::TransientError { .. }) if st.failed == Some(dev) => Ok(at),
             Err(e) => Err(e),
         }
     }
@@ -406,7 +517,7 @@ impl RaiznVolume {
         let new_zone = st.md[dev]
             .swaps
             .pop()
-            .expect("metadata GC requires at least one swap zone");
+            .ok_or_else(|| internal("metadata GC requires at least one swap zone"))?;
         let old_zone = match role {
             MdRole::General => std::mem::replace(&mut st.md[dev].general, new_zone),
             MdRole::PpLog => std::mem::replace(&mut st.md[dev].pplog, new_zone),
@@ -451,8 +562,14 @@ impl RaiznVolume {
                             )
                             .encode_into(&mut scratch);
                         }
-                        let c =
-                            st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
+                        let c = self.append_with_retry(
+                            st,
+                            t,
+                            dev,
+                            new_zone,
+                            &scratch,
+                            WriteFlags::default(),
+                        )?;
                         t = c.done;
                         st.stats.md_appends += 1;
                     }
@@ -461,14 +578,27 @@ impl RaiznVolume {
                     self.superblock_record(st, dev, true)
                         .as_ref()
                         .encode_into(&mut scratch);
-                    let c = st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
+                    let c = self.append_with_retry(
+                        st,
+                        t,
+                        dev,
+                        new_zone,
+                        &scratch,
+                        WriteFlags::default(),
+                    )?;
                     t = c.done;
                     st.stats.md_appends += 1;
                     let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
                     for first in (0..st.gens.len()).step_by(per) {
                         Self::encode_gen_page(&st.gens, first, true, &mut scratch);
-                        let c =
-                            st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
+                        let c = self.append_with_retry(
+                            st,
+                            t,
+                            dev,
+                            new_zone,
+                            &scratch,
+                            WriteFlags::default(),
+                        )?;
                         t = c.done;
                         st.stats.md_appends += 1;
                     }
@@ -491,8 +621,14 @@ impl RaiznVolume {
                                 &mut scratch,
                             );
                         }
-                        let c =
-                            st.devices[dev].append(t, new_zone, &scratch, WriteFlags::default())?;
+                        let c = self.append_with_retry(
+                            st,
+                            t,
+                            dev,
+                            new_zone,
+                            &scratch,
+                            WriteFlags::default(),
+                        )?;
                         t = c.done;
                         st.stats.md_appends += 1;
                     }
@@ -504,7 +640,7 @@ impl RaiznVolume {
         r?;
         // The checkpoint must be durable before the old zone disappears.
         t = st.devices[dev].flush(t)?.done;
-        t = st.devices[dev].reset_zone(t, old_zone)?.done;
+        t = self.reset_phys_with_retry(st, t, dev, old_zone)?;
         st.md[dev].swaps.insert(0, old_zone);
         st.stats.md_gc_runs += 1;
         Ok(t)
@@ -674,11 +810,14 @@ impl RaiznVolume {
     /// Reads `rows` sectors starting at row `row0` of the unit held by
     /// `dev` for `(lzone, stripe)`, transparently serving relocated slots
     /// from the in-memory cache. Fails with `DeviceFailed` if the device
-    /// is failed and the slot is not relocated.
+    /// is failed and the slot is not relocated. Transient device errors
+    /// are retried up to the configured bound; retry exhaustion and media
+    /// errors are charged against the device's error budget and surfaced
+    /// for the caller to reconstruct around.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn fetch_slot_rows(
         &self,
-        st: &VolState,
+        st: &mut VolState,
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -695,7 +834,22 @@ impl RaiznVolume {
             return Err(ZnsError::DeviceFailed);
         }
         let pba = self.layout.stripe_pba(lzone, stripe) + row0;
-        Ok(st.devices[dev as usize].read(at, pba, out)?.done)
+        let limit = self.config.transient_retry_limit;
+        let mut attempt = 0u32;
+        loop {
+            match st.devices[dev as usize].read(at, pba, out) {
+                Ok(c) => return Ok(c.done),
+                Err(ZnsError::TransientError { .. }) if attempt < limit => {
+                    attempt += 1;
+                    st.stats.transient_retries += 1;
+                }
+                Err(e @ (ZnsError::TransientError { .. } | ZnsError::MediaError { .. })) => {
+                    self.note_device_error(st, dev as usize);
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Reconstructs `rows` sectors of the unit that `missing_dev` holds for
@@ -704,7 +858,7 @@ impl RaiznVolume {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn reconstruct_slot_rows(
         &self,
-        st: &VolState,
+        st: &mut VolState,
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -724,6 +878,223 @@ impl RaiznVolume {
             xor_into(out, &tmp);
         }
         Ok(done)
+    }
+
+    // ------------------------------------------------------------------
+    // Self-healing read path
+    // ------------------------------------------------------------------
+
+    /// Reads `rows` sectors of data unit `unit` at `(lzone, stripe)`,
+    /// healing around device errors: latent media errors trigger in-place
+    /// repair (reconstruct + relocate), retry-exhausted transients fall
+    /// back to one-off reconstruction, and failed devices take the
+    /// degraded path.
+    #[allow(clippy::too_many_arguments)]
+    fn read_slot_rows(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        unit: u64,
+        row0: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime> {
+        let dev = self.layout.data_device(lzone, stripe, unit);
+        let relocated = st.relocated.contains_key(&(lzone, stripe, dev));
+        if relocated || st.failed != Some(dev as usize) {
+            match self.fetch_slot_rows(st, at, lzone, stripe, dev, row0, out) {
+                Ok(t) => Ok(t),
+                Err(
+                    e @ (ZnsError::MediaError { .. }
+                    | ZnsError::TransientError { .. }
+                    | ZnsError::DeviceFailed),
+                ) => self.heal_read(st, at, lzone, stripe, unit, dev, row0, out, e),
+                Err(e) => Err(e),
+            }
+        } else {
+            self.degraded_slot_read(st, at, lzone, stripe, unit, dev, row0, out)
+        }
+    }
+
+    /// Degraded read (§4.2): incomplete stripes come from the stripe
+    /// buffer; complete ones reconstruct from parity.
+    #[allow(clippy::too_many_arguments)]
+    fn degraded_slot_read(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        unit: u64,
+        dev: u32,
+        row0: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime> {
+        st.stats.degraded_reads += 1;
+        let from_buffer = matches!(&st.lzones[lzone as usize].buffer,
+            Some(b) if b.stripe() == stripe);
+        if from_buffer {
+            let b = st.lzones[lzone as usize]
+                .buffer
+                .as_ref()
+                .ok_or_else(|| internal("stripe buffer matched above"))?;
+            let su = self.layout.stripe_unit();
+            let s0 = unit * su + row0;
+            let rows = out.len() as u64 / SECTOR_SIZE;
+            out.copy_from_slice(b.read_range(s0, s0 + rows));
+            Ok(at)
+        } else {
+            self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)
+        }
+    }
+
+    /// Recovers a read that hit a device error on `dev`. Latent media
+    /// errors in complete stripes are healed in place: the whole unit is
+    /// reconstructed from the surviving devices and relocated, so
+    /// subsequent reads of the range succeed without reconstruction.
+    /// Other errors fall back to one-off degraded service.
+    #[allow(clippy::too_many_arguments)]
+    fn heal_read(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        unit: u64,
+        dev: u32,
+        row0: u64,
+        out: &mut [u8],
+        err: ZnsError,
+    ) -> Result<SimTime> {
+        let su = self.layout.stripe_unit();
+        let stripe_data = self.layout.stripe_data_sectors();
+        let complete = (stripe + 1) * stripe_data <= st.lzones[lzone as usize].wp;
+        if !complete {
+            // No parity yet: the stripe buffer still stages this stripe,
+            // and any sector below the logical wp is within its fill
+            // frontier.
+            let staged = matches!(&st.lzones[lzone as usize].buffer,
+                Some(b) if b.stripe() == stripe);
+            if staged {
+                return self.degraded_slot_read(st, at, lzone, stripe, unit, dev, row0, out);
+            }
+            return Err(err);
+        }
+        if matches!(err, ZnsError::MediaError { .. }) {
+            // Self-heal: rebuild the full unit, serve the requested rows,
+            // and relocate the repaired copy so the latent sectors are
+            // never read again.
+            let mut data = vec![0u8; (su * SECTOR_SIZE) as usize];
+            let t = self.reconstruct_slot_rows(st, at, lzone, stripe, dev, 0, &mut data)?;
+            let off = (row0 * SECTOR_SIZE) as usize;
+            out.copy_from_slice(&data[off..off + out.len()]);
+            st.stats.read_repairs += 1;
+            let t2 = self.relocate_repaired_unit(st, at, lzone, stripe, dev, data, su)?;
+            Ok(t.max(t2))
+        } else {
+            // Transient exhaustion / fresh device failure: serve this read
+            // from parity without committing a relocation.
+            st.stats.degraded_reads += 1;
+            self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)
+        }
+    }
+
+    /// Installs a repaired copy of the unit held by `dev` at
+    /// `(lzone, stripe)` into the relocation cache (marking the physical
+    /// slot conflicted) and persists a relocation record, mirroring the
+    /// §5.2 write-conflict machinery. Failure to persist the record is
+    /// tolerated: the cache still serves reads and metadata GC
+    /// checkpoints re-log it.
+    #[allow(clippy::too_many_arguments)]
+    fn relocate_repaired_unit(
+        &self,
+        st: &mut VolState,
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        dev: u32,
+        data: Vec<u8>,
+        valid: u64,
+    ) -> Result<SimTime> {
+        st.relocated
+            .insert((lzone, stripe, dev), RelocatedUnit { data, valid });
+        st.lzones[lzone as usize].conflicts.insert((stripe, dev));
+        let mut scratch = std::mem::take(&mut st.md_scratch);
+        {
+            let unit = &st.relocated[&(lzone, stripe, dev)];
+            self.encode_relocation_record(
+                st.gens[lzone as usize],
+                lzone,
+                stripe,
+                unit,
+                false,
+                &mut scratch,
+            );
+        }
+        let r = self.md_append_bytes(st, at, dev as usize, MdRole::General, false, &scratch, true);
+        st.md_scratch = scratch;
+        match r {
+            Ok(t) => Ok(t),
+            Err(ZnsError::TransientError { .. } | ZnsError::DeviceFailed) => Ok(at),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Walks every complete stripe of the volume verifying that data XOR
+    /// parity is zero, repairing what it finds (§4.2 maintenance):
+    /// latent media errors are healed by reconstruction, and parity
+    /// mismatches are corrected from the data. Returns what was checked
+    /// and repaired; counters land in [`stats`](Self::stats).
+    pub fn scrub(&self, at: SimTime) -> Result<ScrubReport> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        if st.failed.is_some() {
+            return Err(ZnsError::DeviceFailed);
+        }
+        if st.read_only {
+            return Err(ZnsError::VolumeReadOnly);
+        }
+        let su = self.layout.stripe_unit();
+        let stripe_data = self.layout.stripe_data_sectors();
+        let unit_bytes = (su * SECTOR_SIZE) as usize;
+        let mut report = ScrubReport::default();
+        let mut acc = vec![0u8; unit_bytes];
+        let mut slot = vec![0u8; unit_bytes];
+        for lz in 0..self.layout.logical_zones() {
+            let full_stripes = st.lzones[lz as usize].wp / stripe_data;
+            for stripe in 0..full_stripes {
+                acc.fill(0);
+                for dev in 0..self.layout.devices() {
+                    match self.fetch_slot_rows(st, at, lz, stripe, dev, 0, &mut slot) {
+                        Ok(_) => {}
+                        Err(ZnsError::MediaError { .. }) => {
+                            self.reconstruct_slot_rows(st, at, lz, stripe, dev, 0, &mut slot)?;
+                            self.relocate_repaired_unit(st, at, lz, stripe, dev, slot.clone(), su)?;
+                            report.units_healed += 1;
+                            st.stats.scrub_repairs += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    xor_into(&mut acc, &slot);
+                }
+                report.stripes_checked += 1;
+                if !sim::is_zero(&acc) {
+                    // The XOR of data and stored parity should vanish; it
+                    // does not, so stored_parity ^ acc is the correct
+                    // parity. Install it as a relocated unit.
+                    let pdev = self.layout.parity_device(lz, stripe);
+                    let mut fixed = vec![0u8; unit_bytes];
+                    self.fetch_slot_rows(st, at, lz, stripe, pdev, 0, &mut fixed)?;
+                    xor_into(&mut fixed, &acc);
+                    self.relocate_repaired_unit(st, at, lz, stripe, pdev, fixed, su)?;
+                    report.parity_repairs += 1;
+                    st.stats.scrub_repairs += 1;
+                }
+            }
+        }
+        st.stats.scrub_runs += 1;
+        Ok(report)
     }
 
     // ------------------------------------------------------------------
@@ -795,7 +1166,27 @@ impl RaiznVolume {
             return Ok(at); // degraded write: omitted, covered by parity
         }
         let pba = self.layout.stripe_pba(lzone, stripe) + row0;
-        Ok(st.devices[dev as usize].write(at, pba, data, flags)?.done)
+        let limit = self.config.transient_retry_limit;
+        let mut attempt = 0u32;
+        loop {
+            match st.devices[dev as usize].write(at, pba, data, flags) {
+                Ok(c) => return Ok(c.done),
+                Err(ZnsError::TransientError { .. }) if attempt < limit => {
+                    attempt += 1;
+                    st.stats.transient_retries += 1;
+                }
+                Err(e @ ZnsError::TransientError { .. }) => {
+                    self.note_device_error(st, dev as usize);
+                    if st.failed == Some(dev as usize) {
+                        // Freshly degraded: the write is omitted and the
+                        // unit stays covered by parity.
+                        return Ok(at);
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The write-path core, shared by `write` and `append`.
@@ -884,7 +1275,7 @@ impl RaiznVolume {
             let (row_lo, row_hi) = st.lzones[lzone as usize]
                 .buffer
                 .as_mut()
-                .expect("buffer staged above")
+                .ok_or_else(|| internal("stripe buffer staged above"))?
                 .fill(chunk);
 
             // Data sub-IOs, split per unit.
@@ -924,7 +1315,7 @@ impl RaiznVolume {
             let complete = st.lzones[lzone as usize]
                 .buffer
                 .as_ref()
-                .expect("buffer staged")
+                .ok_or_else(|| internal("stripe buffer staged for completion check"))?
                 .is_complete();
             let pdev = self.layout.parity_device(lzone, stripe);
             let slot_conflicted = st.lzones[lzone as usize]
@@ -939,7 +1330,7 @@ impl RaiznVolume {
                 let buf = st.lzones[lzone as usize]
                     .buffer
                     .take()
-                    .expect("buffer staged");
+                    .ok_or_else(|| internal("stripe buffer staged for parity write"))?;
                 if zrwa_ok {
                     // §5.4 extension: the earlier rows are already in the
                     // window; write the final delta and commit the slot.
@@ -978,7 +1369,7 @@ impl RaiznVolume {
                 let buf = st.lzones[lzone as usize]
                     .buffer
                     .as_ref()
-                    .expect("buffer staged");
+                    .ok_or_else(|| internal("stripe buffer staged for zrwa parity"))?;
                 let pp =
                     &buf.parity()[(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize];
                 let pba = self.layout.stripe_pba(lzone, stripe) + row_lo;
@@ -994,7 +1385,10 @@ impl RaiznVolume {
                 let mut scratch = std::mem::take(&mut st.md_scratch);
                 let pp_rows = {
                     let z = &st.lzones[lzone as usize];
-                    let buf = z.buffer.as_ref().expect("buffer staged");
+                    let buf = z
+                        .buffer
+                        .as_ref()
+                        .ok_or_else(|| internal("stripe buffer staged for pp log"))?;
                     // Ablation: optionally log the whole running parity
                     // unit instead of only the affected rows (§5.1).
                     let (lo, hi) = if self.config.pp_log_full_unit {
@@ -1281,7 +1675,7 @@ impl RaiznVolume {
                     let k = self
                         .layout
                         .unit_of_device(lzone, stripe, failed as u32)
-                        .expect("parity slot handled above");
+                        .ok_or_else(|| internal("parity slot handled above"))?;
                     match &z.buffer {
                         Some(buf) if buf.stripe() == stripe => {
                             let len = out.len();
@@ -1342,6 +1736,7 @@ impl RaiznVolume {
         };
         st.devices[failed] = replacement;
         st.failed = None;
+        st.device_errors[failed] = 0;
         st.stats.rebuild_bytes += bytes;
         Ok(RebuildReport {
             duration: last_write.since(at),
@@ -1373,12 +1768,12 @@ impl ZonedVolume for RaiznVolume {
         }
         let lzone = lgeo.zone_of(lba);
         let rel0 = lgeo.offset_in_zone(lba);
-        let st = self.state.lock();
-        let st = &*st;
-        let z = &st.lzones[lzone as usize];
-        if rel0 + sectors > z.wp {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let z_wp = st.lzones[lzone as usize].wp;
+        if rel0 + sectors > z_wp {
             return Err(ZnsError::ReadUnwritten {
-                lba: lgeo.zone_start(lzone) + z.wp,
+                lba: lgeo.zone_start(lzone) + z_wp,
             });
         }
         let su = self.layout.stripe_unit();
@@ -1392,27 +1787,8 @@ impl ZonedVolume for RaiznVolume {
             let unit = within / su;
             let row0 = within % su;
             let rows = (su - row0).min(rel0 + sectors - cursor);
-            let dev = self.layout.data_device(lzone, stripe, unit);
             let out = &mut buf[off..off + (rows * SECTOR_SIZE) as usize];
-            let relocated = st.relocated.contains_key(&(lzone, stripe, dev));
-            let t = if relocated || st.failed != Some(dev as usize) {
-                self.fetch_slot_rows(st, at, lzone, stripe, dev, row0, out)?
-            } else {
-                // Degraded read (§4.2): incomplete stripes come from the
-                // stripe buffer; complete ones reconstruct from parity.
-                let from_buffer = match &z.buffer {
-                    Some(b) => b.stripe() == stripe,
-                    None => false,
-                };
-                if from_buffer {
-                    let b = z.buffer.as_ref().expect("checked above");
-                    let s0 = unit * su + row0;
-                    out.copy_from_slice(b.read_range(s0, s0 + rows));
-                    at
-                } else {
-                    self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)?
-                }
-            };
+            let t = self.read_slot_rows(st, at, lzone, stripe, unit, row0, out)?;
             done = done.max(t);
             cursor += rows;
             off += (rows * SECTOR_SIZE) as usize;
@@ -1464,11 +1840,11 @@ impl ZonedVolume for RaiznVolume {
         let t = self.log_reset_intent(st, at, zone)?;
         let phys = self.layout.phys_zone(zone);
         let mut done = t;
-        for (i, dev) in st.devices.iter().enumerate() {
+        for i in 0..st.devices.len() {
             if st.failed == Some(i) {
                 continue;
             }
-            done = done.max(dev.reset_zone(t, phys)?.done);
+            done = done.max(self.reset_phys_with_retry(st, t, i, phys)?);
         }
         done = done.max(self.finish_reset(st, done, zone)?);
         Ok(IoCompletion { done })

@@ -37,6 +37,30 @@ impl std::fmt::Debug for CrashPolicy {
 }
 
 impl CrashPolicy {
+    /// A policy that pins `zone`'s survivor to `survivor` sectors
+    /// (clamped to `[durable, wp]` as always) and keeps every other
+    /// zone's cache intact — the single-knob probe used by the
+    /// exhaustive crash-sweep harness.
+    pub fn pin_zone(zone: u32, survivor: u64) -> CrashPolicy {
+        CrashPolicy::PerZone(Box::new(
+            move |z, _durable, wp| if z == zone { survivor } else { wp },
+        ))
+    }
+
+    /// Like [`pin_zone`](Self::pin_zone), but every other zone loses its
+    /// cache (worst case around the probed zone).
+    pub fn pin_zone_lose_rest(zone: u32, survivor: u64) -> CrashPolicy {
+        CrashPolicy::PerZone(Box::new(
+            move |z, durable, _wp| {
+                if z == zone {
+                    survivor
+                } else {
+                    durable
+                }
+            },
+        ))
+    }
+
     /// Computes the surviving prefix (relative sectors) for one zone.
     pub fn survivor(&mut self, zone: u32, durable: u64, wp: u64) -> u64 {
         debug_assert!(durable <= wp);
@@ -78,5 +102,15 @@ mod tests {
         assert_eq!(p.survivor(7, 2, 6), 6);
         let mut p = CrashPolicy::PerZone(Box::new(|_z, _d, _w| 0));
         assert_eq!(p.survivor(7, 2, 6), 2);
+    }
+
+    #[test]
+    fn pin_zone_probes_one_zone_only() {
+        let mut p = CrashPolicy::pin_zone(3, 4);
+        assert_eq!(p.survivor(3, 2, 6), 4);
+        assert_eq!(p.survivor(5, 2, 6), 6); // others keep cache
+        let mut p = CrashPolicy::pin_zone_lose_rest(3, 4);
+        assert_eq!(p.survivor(3, 2, 6), 4);
+        assert_eq!(p.survivor(5, 2, 6), 2); // others lose cache
     }
 }

@@ -3,6 +3,7 @@
 use crate::config::{sectors_to_bytes, ZnsConfig};
 use crate::crash::CrashPolicy;
 use crate::error::ZnsError;
+use crate::fault::{FaultOp, FaultPlan};
 use crate::geometry::{Lba, ZoneGeometry, SECTOR_SIZE};
 use crate::stats::DeviceStats;
 use crate::volume::{AppendCompletion, IoCompletion, WriteFlags, ZonedVolume};
@@ -52,6 +53,7 @@ struct Inner {
     stats: DeviceStats,
     failed: bool,
     write_seq: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl ZnsDevice {
@@ -76,6 +78,7 @@ impl ZnsDevice {
                 stats: DeviceStats::default(),
                 failed: false,
                 write_seq: 0,
+                faults: None,
             }),
             config,
         }
@@ -101,6 +104,68 @@ impl ZnsDevice {
     /// Whether the device is failed.
     pub fn is_failed(&self) -> bool {
         self.inner.lock().failed
+    }
+
+    /// Installs (or replaces) the fault-injection plan. Faults persist
+    /// across [`crash`](Self::crash) — power loss does not cure media.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.lock().faults = Some(plan);
+    }
+
+    /// Removes the fault plan; subsequent operations are fault-free.
+    pub fn clear_fault_plan(&self) {
+        self.inner.lock().faults = None;
+    }
+
+    /// Poisons `[lba, lba + sectors)` with latent read errors, installing
+    /// an inert plan if none is set.
+    pub fn inject_latent_errors(&self, lba: Lba, sectors: u64) {
+        let mut inner = self.inner.lock();
+        inner
+            .faults
+            .get_or_insert_with(|| FaultPlan::new(0))
+            .add_latent_range(lba, sectors);
+    }
+
+    /// Test support: flips bits (`mask`) in the first stored byte of
+    /// `lba`'s sector, simulating silent corruption that only a parity
+    /// scrub can detect. No-op when the device discards data or the
+    /// sector is unwritten.
+    #[doc(hidden)]
+    pub fn corrupt_sector_for_test(&self, lba: Lba, mask: u8) {
+        let geo = self.config.geometry();
+        let zone = geo.zone_of(lba);
+        let rel = geo.offset_in_zone(lba);
+        let mut inner = self.inner.lock();
+        if let Some(data) = inner.zones[zone as usize].data.as_mut() {
+            data[sectors_to_bytes(rel)] ^= mask;
+        }
+    }
+
+    /// Counts one operation of class `op` against the fault plan and
+    /// fails it transiently if the plan says so. Called before any state
+    /// changes, so a retry of the same command can succeed.
+    fn inject_fault(inner: &mut Inner, op: FaultOp) -> Result<()> {
+        if let Some(plan) = inner.faults.as_mut() {
+            if plan.fire_transient(op) {
+                inner.stats.injected_transients += 1;
+                return Err(ZnsError::TransientError { op });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fails a read that touches a poisoned (latent-error) sector.
+    fn check_latent(inner: &mut Inner, lba: Lba, sectors: u64) -> Result<()> {
+        if let Some(bad) = inner
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.first_latent_in(lba, sectors))
+        {
+            inner.stats.injected_media_errors += 1;
+            return Err(ZnsError::MediaError { lba: bad });
+        }
+        Ok(())
     }
 
     /// Simulates power loss: for every zone, a policy-chosen prefix of the
@@ -274,18 +339,21 @@ impl ZnsDevice {
         }
     }
 
-    /// Shared implementation for write and append.
+    /// Shared implementation for write and append; `op` distinguishes the
+    /// two for fault accounting.
     fn do_write(
         &self,
         at: SimTime,
         zone: u32,
         data: &[u8],
         flags: WriteFlags,
+        op: FaultOp,
     ) -> Result<AppendCompletion> {
         let geo = self.config.geometry();
         let sectors = Self::sector_count(data.len())?;
         let mut inner = self.inner.lock();
         Self::check_alive(&inner)?;
+        Self::inject_fault(&mut inner, op)?;
 
         {
             let z = &inner.zones[zone as usize];
@@ -391,6 +459,7 @@ impl ZnsDevice {
         let rel = geo.offset_in_zone(lba);
         let mut inner = self.inner.lock();
         Self::check_alive(&inner)?;
+        Self::inject_fault(&mut inner, FaultOp::Write)?;
         {
             let z = &inner.zones[zone as usize];
             match z.state {
@@ -493,6 +562,7 @@ impl ZonedVolume for ZnsDevice {
         let rel = geo.offset_in_zone(lba);
         let mut inner = self.inner.lock();
         Self::check_alive(&inner)?;
+        Self::inject_fault(&mut inner, FaultOp::Read)?;
         {
             let z = &inner.zones[zone as usize];
             if z.state == ZoneState::Offline {
@@ -503,6 +573,10 @@ impl ZonedVolume for ZnsDevice {
                     lba: geo.zone_start(zone) + z.wp,
                 });
             }
+        }
+        Self::check_latent(&mut inner, lba, sectors)?;
+        {
+            let z = &inner.zones[zone as usize];
             if self.config.stores_data() {
                 let data = z.data.as_ref().expect("written zone has a buffer");
                 let off = sectors_to_bytes(rel);
@@ -551,7 +625,7 @@ impl ZonedVolume for ZnsDevice {
                 });
             }
         }
-        self.do_write(at, zone, data, flags)
+        self.do_write(at, zone, data, flags, FaultOp::Write)
             .map(|c| IoCompletion { done: c.done })
     }
 
@@ -563,13 +637,15 @@ impl ZonedVolume for ZnsDevice {
         flags: WriteFlags,
     ) -> Result<AppendCompletion> {
         self.check_zone_index(zone)?;
-        self.do_write(at, zone, data, flags)
+        self.do_write(at, zone, data, flags, FaultOp::Append)
     }
 
     fn reset_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
         self.check_zone_index(zone)?;
+        let geo = self.config.geometry();
         let mut inner = self.inner.lock();
         Self::check_alive(&inner)?;
+        Self::inject_fault(&mut inner, FaultOp::Reset)?;
         match inner.zones[zone as usize].state {
             ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone }),
             ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
@@ -582,6 +658,10 @@ impl ZonedVolume for ZnsDevice {
             z.wp = 0;
             z.durable = 0;
             z.data = None;
+        }
+        // Resetting remaps the zone's media, curing its latent sectors.
+        if let Some(plan) = inner.faults.as_mut() {
+            plan.clear_latent_range(geo.zone_start(zone), geo.zone_size());
         }
         inner.stats.zone_resets += 1;
         let dur = self.config.latency().reset;
@@ -1147,5 +1227,100 @@ mod tests {
         let report = d.zone_report().unwrap();
         assert_eq!(report.len(), 16);
         assert!(report.iter().all(|z| z.state == ZoneState::Empty));
+    }
+
+    #[test]
+    fn nth_write_fault_fails_once_then_recovers() {
+        let d = dev();
+        d.set_fault_plan(FaultPlan::new(1).fail_nth(FaultOp::Write, 2));
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        let err = d
+            .write(SimTime::ZERO, 1, &sectors(1), WriteFlags::default())
+            .unwrap_err();
+        assert_eq!(err, ZnsError::TransientError { op: FaultOp::Write });
+        // The failed write changed no state: the retry lands at the same
+        // write pointer.
+        d.write(SimTime::ZERO, 1, &sectors(1), WriteFlags::default())
+            .unwrap();
+        assert_eq!(d.zone_info(0).unwrap().write_pointer, 2);
+        assert_eq!(d.stats().injected_transients, 1);
+    }
+
+    #[test]
+    fn latent_error_hits_reads_until_zone_reset() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(4), WriteFlags::default())
+            .unwrap();
+        d.inject_latent_errors(2, 1);
+        let mut buf = sectors(4);
+        let err = d.read(SimTime::ZERO, 0, &mut buf).unwrap_err();
+        assert_eq!(err, ZnsError::MediaError { lba: 2 });
+        // Reads that avoid the poisoned sector still work.
+        let mut two = sectors(2);
+        d.read(SimTime::ZERO, 0, &mut two).unwrap();
+        // A zone reset remaps the media and cures the sector.
+        d.reset_zone(SimTime::ZERO, 0).unwrap();
+        d.write(SimTime::ZERO, 0, &sectors(4), WriteFlags::default())
+            .unwrap();
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap();
+        assert_eq!(d.stats().injected_media_errors, 1);
+    }
+
+    #[test]
+    fn transient_rates_replay_across_identical_runs() {
+        let run = || {
+            let d = dev();
+            d.set_fault_plan(FaultPlan::new(9).transient_rate(FaultOp::Append, 0.4));
+            (0..50)
+                .map(|_| {
+                    d.append(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+                        .is_err()
+                })
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|e| *e), "rate 0.4 never fired in 50 appends");
+        assert!(a.iter().any(|e| !*e), "rate 0.4 always fired");
+    }
+
+    #[test]
+    fn faults_survive_crash() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(2), WriteFlags::FUA)
+            .unwrap();
+        d.inject_latent_errors(0, 1);
+        d.crash(&mut CrashPolicy::LoseCache);
+        let mut buf = sectors(1);
+        assert_eq!(
+            d.read(SimTime::ZERO, 0, &mut buf).unwrap_err(),
+            ZnsError::MediaError { lba: 0 }
+        );
+    }
+
+    #[test]
+    fn reset_fault_leaves_zone_intact() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(3), WriteFlags::default())
+            .unwrap();
+        d.set_fault_plan(FaultPlan::new(0).fail_nth(FaultOp::Reset, 1));
+        let err = d.reset_zone(SimTime::ZERO, 0).unwrap_err();
+        assert_eq!(err, ZnsError::TransientError { op: FaultOp::Reset });
+        assert_eq!(d.zone_info(0).unwrap().write_pointer, 3);
+        d.reset_zone(SimTime::ZERO, 0).unwrap();
+        assert_eq!(d.zone_info(0).unwrap().write_pointer, 0);
+    }
+
+    #[test]
+    fn corruption_helper_flips_stored_bytes() {
+        let d = dev();
+        d.write(SimTime::ZERO, 0, &sectors(1), WriteFlags::default())
+            .unwrap();
+        d.corrupt_sector_for_test(0, 0xFF);
+        let mut buf = sectors(1);
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAB ^ 0xFF);
+        assert_eq!(&buf[1..], &sectors(1)[1..]);
     }
 }

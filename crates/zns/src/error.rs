@@ -1,5 +1,6 @@
 //! Error type for zoned device and volume operations.
 
+use crate::fault::FaultOp;
 use crate::geometry::Lba;
 use std::error::Error;
 use std::fmt;
@@ -67,6 +68,18 @@ pub enum ZnsError {
     },
     /// The device has failed (fault injection) and accepts no IO.
     DeviceFailed,
+    /// A latent sector error: the media at `lba` is unreadable until the
+    /// zone is reset (fault injection via [`crate::FaultPlan`]).
+    MediaError {
+        /// First unreadable LBA in the requested range.
+        lba: Lba,
+    },
+    /// A transient command failure (fault injection via
+    /// [`crate::FaultPlan`]); retrying the same command may succeed.
+    TransientError {
+        /// The operation class that failed.
+        op: FaultOp,
+    },
     /// The volume is in read-only mode (e.g. generation counter exhaustion).
     VolumeReadOnly,
     /// A buffer length was not a whole number of sectors, or another
@@ -113,6 +126,12 @@ impl fmt::Display for ZnsError {
                 write!(f, "read of unwritten lba {lba}")
             }
             ZnsError::DeviceFailed => write!(f, "device has failed"),
+            ZnsError::MediaError { lba } => {
+                write!(f, "unrecoverable media error at lba {lba}")
+            }
+            ZnsError::TransientError { op } => {
+                write!(f, "transient {op} error (injected)")
+            }
             ZnsError::VolumeReadOnly => write!(f, "volume is in read-only mode"),
             ZnsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             ZnsError::BadZoneState { zone, state, op } => {
@@ -151,5 +170,13 @@ mod tests {
     fn error_trait_is_implemented() {
         let e: Box<dyn Error> = Box::new(ZnsError::DeviceFailed);
         assert_eq!(e.to_string(), "device has failed");
+    }
+
+    #[test]
+    fn fault_variants_name_the_cause() {
+        let m = ZnsError::MediaError { lba: 77 };
+        assert!(m.to_string().contains("77"));
+        let t = ZnsError::TransientError { op: FaultOp::Reset };
+        assert!(t.to_string().contains("reset"));
     }
 }

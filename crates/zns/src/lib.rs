@@ -46,6 +46,7 @@ mod config;
 mod crash;
 mod device;
 mod error;
+mod fault;
 mod geometry;
 mod stats;
 mod volume;
@@ -55,6 +56,7 @@ pub use config::{LatencyConfig, ZnsConfig, ZnsConfigBuilder};
 pub use crash::CrashPolicy;
 pub use device::ZnsDevice;
 pub use error::ZnsError;
+pub use fault::{FaultOp, FaultPlan};
 pub use geometry::{Lba, ZoneGeometry, SECTOR_SIZE};
 pub use stats::DeviceStats;
 pub use volume::{AppendCompletion, IoCompletion, WriteFlags, ZonedVolume};

@@ -20,6 +20,10 @@ pub struct DeviceStats {
     pub flushes: u64,
     /// Commands that carried FUA.
     pub fua_writes: u64,
+    /// Transient command failures fired by the fault plan.
+    pub injected_transients: u64,
+    /// Latent-sector media errors surfaced to reads by the fault plan.
+    pub injected_media_errors: u64,
 }
 
 impl DeviceStats {

@@ -5,6 +5,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test --workspace -q
+cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 echo "check.sh: all gates passed"
