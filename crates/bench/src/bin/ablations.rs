@@ -36,7 +36,12 @@ fn build(config: RaiznConfig) -> Arc<RaiznVolume> {
     } else {
         zns_devices(5, ZONES, ZONE_SECTORS)
     };
-    Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO).expect("format"))
+    for (i, dev) in devices.iter().enumerate() {
+        dev.set_recorder(bench::recorder(), i as u32);
+    }
+    let vol = Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO).expect("format"));
+    vol.set_recorder(bench::recorder());
+    vol
 }
 
 fn small_write_run(config: RaiznConfig) -> (f64, u64, u64) {
@@ -117,4 +122,6 @@ fn main() {
         &["stripe unit", "MiB/s", "pp entries", "pp MiB"],
         &rows,
     );
+
+    bench::write_breakdown("ablations");
 }

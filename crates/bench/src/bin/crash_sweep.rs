@@ -29,7 +29,11 @@ const RANDOM_TRIALS: u64 = 64;
 
 fn devices() -> Vec<Arc<ZnsDevice>> {
     (0..DEVICES)
-        .map(|_| Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+        .map(|i| {
+            let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+            dev.set_recorder(bench::recorder(), i as u32);
+            dev
+        })
         .collect()
 }
 
@@ -231,4 +235,6 @@ fn main() {
         points.len(),
         RANDOM_TRIALS
     );
+
+    bench::write_breakdown("crash_sweep");
 }

@@ -102,4 +102,6 @@ fn main() {
         &["system", "fill MiB/s", "overwrite MiB/s", "drop"],
         &summary,
     );
+
+    bench::write_breakdown("fig10");
 }

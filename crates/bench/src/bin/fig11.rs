@@ -45,4 +45,6 @@ fn main() {
         ],
         &rows,
     );
+
+    bench::write_breakdown("fig11");
 }

@@ -62,4 +62,6 @@ fn main() {
         ],
         &rows,
     );
+
+    bench::write_breakdown("fig12");
 }

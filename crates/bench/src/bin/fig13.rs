@@ -115,4 +115,6 @@ fn main() {
             &rows,
         );
     }
+
+    bench::write_breakdown("fig13");
 }

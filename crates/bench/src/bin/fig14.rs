@@ -93,4 +93,6 @@ fn main() {
             &rows,
         );
     }
+
+    bench::write_breakdown("fig14");
 }

@@ -40,4 +40,6 @@ fn main() {
             &rows,
         );
     }
+
+    bench::write_breakdown("fig7");
 }

@@ -44,4 +44,6 @@ fn main() {
             &rows,
         );
     }
+
+    bench::write_breakdown("fig8");
 }

@@ -57,4 +57,6 @@ fn main() {
         ],
         &rows,
     );
+
+    bench::write_breakdown("fig9");
 }

@@ -1,5 +1,5 @@
 //! Hot-path microbenchmark: XOR kernel speedup, steady-state write-path
-//! throughput, and per-write heap allocation counts.
+//! throughput, per-write heap allocation counts, and tracing overhead.
 //!
 //! Emits `BENCH_hotpath.json` in the working directory with:
 //!
@@ -7,12 +7,21 @@
 //!   the pinned byte-at-a-time baseline vs the word-vectorized kernel,
 //!   and the resulting `xor_speedup` (gate: >= 4x).
 //! - `write_path_mib_s`: host-CPU throughput of steady-state full-stripe
-//!   RAIZN writes (simulated device time costs nothing real).
+//!   RAIZN writes with tracing enabled (simulated device time costs
+//!   nothing real).
 //! - `allocs_per_full_stripe_write`: heap allocations per full-stripe
-//!   write after warm-up (gate: 0 — stripe-buffer pool + pooled metadata
-//!   scratch make the steady state allocation-free).
+//!   write after warm-up, **with an unsampled recorder attached** (gate:
+//!   0 — stripe-buffer pool, pooled metadata scratch and the fixed-size
+//!   trace ring make the steady state allocation-free).
 //! - `allocs_per_partial_write`: heap allocations per 4 KiB partial-stripe
-//!   write (partial-parity log path) after warm-up.
+//!   write (partial-parity log path) after warm-up, tracing enabled.
+//! - `trace_overhead_pct`: relative slowdown of the traced write path vs
+//!   an identical untraced volume (gate: < 5%). Both paths are timed in
+//!   interleaved rounds and the per-round minimum is compared, so a
+//!   one-off scheduler hiccup cannot fail the gate.
+//!
+//! Also emits `BENCH_hotpath_breakdown.json` with the per-stage latency
+//! breakdown recorded during the traced rounds.
 
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
@@ -63,19 +72,44 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
-fn fresh_volume() -> RaiznVolume {
+/// Builds a fresh 5-device RAIZN volume; when `recorder` is given, every
+/// device and the volume itself record into it (unsampled, so the traced
+/// configuration is the worst case).
+fn fresh_volume(recorder: Option<&Arc<obs::Recorder>>) -> RaiznVolume {
     let devices: Vec<Arc<ZnsDevice>> = (0..5)
-        .map(|_| {
-            Arc::new(ZnsDevice::new(
+        .map(|i| {
+            let dev = Arc::new(ZnsDevice::new(
                 ZnsConfig::builder()
                     .zones(32, 4096, 4096)
                     .open_limits(14, 28)
                     .store_data(false)
                     .build(),
-            ))
+            ));
+            if let Some(rec) = recorder {
+                dev.set_recorder(rec.clone(), i as u32);
+            }
+            dev
         })
         .collect();
-    RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO).expect("format")
+    let vol = RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO).expect("format");
+    if let Some(rec) = recorder {
+        vol.set_recorder(rec.clone());
+    }
+    vol
+}
+
+/// Issues `iters` contiguous writes of `data` starting at `*lba`,
+/// returning (ns per write, heap allocations observed).
+fn write_round(vol: &RaiznVolume, lba: &mut u64, data: &[u8], iters: u64) -> (f64, u64) {
+    let a0 = allocs();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        vol.write(SimTime::ZERO, *lba, data, WriteFlags::default())
+            .expect("steady-state write");
+        *lba += data.len() as u64 / 4096;
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    (ns, allocs() - a0)
 }
 
 fn main() {
@@ -92,60 +126,67 @@ fn main() {
     let speedup = scalar_ns / word_ns;
 
     // --- Write path: steady-state full-stripe writes --------------------
-    let vol = fresh_volume();
+    // Two identical volumes, one untraced and one recording every event
+    // (sample_every = 1). Rounds interleave so both see the same machine
+    // conditions; the minimum round of each side is compared.
+    let recorder = obs::Recorder::new(65_536, 1);
+    let untraced = fresh_volume(None);
+    let traced = fresh_volume(Some(&recorder));
     let stripe_sectors = 64u64; // 4 data units x 16 sectors
     let stripe_bytes = (stripe_sectors * 4096) as usize;
     let data = vec![0u8; stripe_bytes];
-    let mut lba = 0u64;
-    // Warm-up: fill a few stripes so the buffer pool and metadata scratch
-    // reach their steady-state capacities.
-    for _ in 0..8 {
-        vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
-            .expect("warm-up write");
-        lba += stripe_sectors;
-    }
+    let (mut lba_u, mut lba_t) = (0u64, 0u64);
+    // Warm-up: fill a few stripes so the buffer pools and metadata
+    // scratch on both volumes reach their steady-state capacities.
+    write_round(&untraced, &mut lba_u, &data, 8);
+    write_round(&traced, &mut lba_t, &data, 8);
+
+    const ROUNDS: usize = 3;
     let full_iters = 64u64;
-    let a0 = allocs();
-    let t0 = Instant::now();
-    for _ in 0..full_iters {
-        vol.write(SimTime::ZERO, lba, &data, WriteFlags::default())
-            .expect("steady-state write");
-        lba += stripe_sectors;
+    let mut untraced_ns = f64::INFINITY;
+    let mut traced_ns = f64::INFINITY;
+    let mut full_allocs = 0u64;
+    for _ in 0..ROUNDS {
+        let (nu, au) = write_round(&untraced, &mut lba_u, &data, full_iters);
+        let (nt, at) = write_round(&traced, &mut lba_t, &data, full_iters);
+        assert!(au == 0, "untraced steady-state writes allocate: {au}");
+        untraced_ns = untraced_ns.min(nu);
+        traced_ns = traced_ns.min(nt);
+        full_allocs += at;
     }
-    let elapsed = t0.elapsed();
-    let full_allocs = allocs() - a0;
-    let mib_s =
-        (full_iters * stripe_bytes as u64) as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64();
-    let allocs_per_full = full_allocs as f64 / full_iters as f64;
+    let allocs_per_full = full_allocs as f64 / (ROUNDS as u64 * full_iters) as f64;
+    let overhead_pct = ((traced_ns / untraced_ns - 1.0) * 100.0).max(0.0);
+    let mib_s = stripe_bytes as f64 / (1024.0 * 1024.0) / (traced_ns / 1e9);
 
     // --- Write path: 4 KiB partial-stripe writes (pp-log path) ----------
-    // Warm up within the same open zone, then measure.
-    for _ in 0..8 {
-        vol.write(SimTime::ZERO, lba, &data[..4096], WriteFlags::default())
-            .expect("partial warm-up");
-        lba += 1;
-    }
-    let partial_iters = 64u64;
-    let a1 = allocs();
-    for _ in 0..partial_iters {
-        vol.write(SimTime::ZERO, lba, &data[..4096], WriteFlags::default())
-            .expect("partial write");
-        lba += 1;
-    }
-    let allocs_per_partial = (allocs() - a1) as f64 / partial_iters as f64;
+    // Warm up within the same open zone, then measure (tracing enabled).
+    let four_k = &data[..4096];
+    write_round(&traced, &mut lba_t, four_k, 8);
+    let (_, partial_allocs) = write_round(&traced, &mut lba_t, four_k, 64);
+    let allocs_per_partial = partial_allocs as f64 / 64.0;
 
-    let reused = vol.stats().stripe_buffers_reused;
+    let reused = traced.stats().stripe_buffers_reused;
     let json = format!(
-        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"stripe_buffers_reused\": {reused}\n}}\n"
+        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2}\n}}\n"
     );
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     print!("{json}");
+    std::fs::write(
+        "BENCH_hotpath_breakdown.json",
+        recorder.breakdown_json("hotpath"),
+    )
+    .expect("write BENCH_hotpath_breakdown.json");
+    println!("\nlatency breakdown -> BENCH_hotpath_breakdown.json");
     assert!(
         speedup >= 4.0,
         "word XOR kernel below 4x over scalar baseline: {speedup:.2}x"
     );
     assert!(
         allocs_per_full == 0.0,
-        "steady-state full-stripe writes allocate: {allocs_per_full} allocs/write"
+        "traced steady-state full-stripe writes allocate: {allocs_per_full} allocs/write"
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "tracing overhead above budget: {overhead_pct:.2}% (limit 5%)"
     );
 }

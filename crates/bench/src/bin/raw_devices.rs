@@ -85,4 +85,6 @@ fn main() {
         ],
         &rows,
     );
+
+    bench::write_breakdown("raw_devices");
 }

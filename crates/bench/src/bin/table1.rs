@@ -109,4 +109,6 @@ fn main() {
         layout.logical_geometry().zone_cap() * zns::SECTOR_SIZE / (1024 * 1024),
         layout.stripes_per_zone()
     );
+
+    bench::write_breakdown("table1");
 }

@@ -16,25 +16,59 @@ use ftl::{BlockDevice, ConvSsd, FtlConfig};
 use mdraid5::{Md5Config, Md5Volume};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
 
 /// Number of array devices used throughout the evaluation (paper: 5).
 pub const ARRAY_DEVICES: usize = 5;
 
+/// Ring capacity of the shared benchmark recorder; long runs overflow it
+/// (oldest events drop) but histograms and counters always see everything.
+const RECORDER_CAPACITY: usize = 65_536;
+
+/// Sample every N-th event into the ring: benchmarks only consume the
+/// aggregate breakdown, so a thinned ring is plenty for spot-checks.
+const RECORDER_SAMPLE: u64 = 16;
+
+/// The process-wide benchmark recorder. Every volume and device built by
+/// this harness attaches to it, so [`write_breakdown`] covers the whole
+/// stack of the experiment that ran.
+pub fn recorder() -> Arc<obs::Recorder> {
+    static RECORDER: OnceLock<Arc<obs::Recorder>> = OnceLock::new();
+    RECORDER
+        .get_or_init(|| obs::Recorder::new(RECORDER_CAPACITY, RECORDER_SAMPLE))
+        .clone()
+}
+
+/// Writes the shared recorder's latency breakdown to
+/// `BENCH_<name>_breakdown.json` in the working directory (per-stage
+/// p50/p99/mean/max plus counters) and prints the path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (benchmark output must land).
+pub fn write_breakdown(name: &str) {
+    let path = format!("BENCH_{name}_breakdown.json");
+    let json = recorder().breakdown_json(name);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nlatency breakdown -> {path}");
+}
+
 /// Builds `n` ZNS devices with `zones` zones of `zone_sectors` capacity
 /// (accounting-only data mode, ZN540-like timing).
 pub fn zns_devices(n: usize, zones: u32, zone_sectors: u64) -> Vec<Arc<ZnsDevice>> {
     (0..n)
-        .map(|_| {
-            Arc::new(ZnsDevice::new(
+        .map(|i| {
+            let dev = Arc::new(ZnsDevice::new(
                 ZnsConfig::builder()
                     .zones(zones, zone_sectors, zone_sectors)
                     .open_limits(14, 28)
                     .latency(LatencyConfig::zns_ssd())
                     .store_data(false)
                     .build(),
-            ))
+            ));
+            dev.set_recorder(recorder(), i as u32);
+            dev
         })
         .collect()
 }
@@ -50,22 +84,27 @@ pub fn raizn_volume(zones: u32, zone_sectors: u64, stripe_unit_sectors: u64) -> 
         stripe_unit_sectors,
         ..RaiznConfig::default()
     };
-    Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO).expect("format RAIZN"))
+    let volume =
+        Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO).expect("format RAIZN"));
+    volume.set_recorder(recorder());
+    volume
 }
 
 /// Builds `n` conventional SSDs of `user_sectors` capacity (7% OP,
 /// accounting-only).
 pub fn conv_devices(n: usize, user_sectors: u64) -> Vec<Arc<ConvSsd>> {
     (0..n)
-        .map(|_| {
-            Arc::new(ConvSsd::new(FtlConfig {
+        .map(|i| {
+            let dev = Arc::new(ConvSsd::new(FtlConfig {
                 user_sectors,
                 pages_per_block: 256,
                 op_ratio: 0.07,
                 gc_low_blocks: 8,
                 latency: LatencyConfig::conventional_ssd(),
                 store_data: false,
-            }))
+            }));
+            dev.set_recorder(recorder(), i as u32);
+            dev
         })
         .collect()
 }
@@ -80,7 +119,7 @@ pub fn mdraid_volume(user_sectors: u64, chunk_sectors: u64) -> Arc<Md5Volume> {
         .into_iter()
         .map(|d| d as Arc<dyn BlockDevice>)
         .collect();
-    Arc::new(
+    let volume = Arc::new(
         Md5Volume::new(
             devices,
             Md5Config {
@@ -89,7 +128,9 @@ pub fn mdraid_volume(user_sectors: u64, chunk_sectors: u64) -> Arc<Md5Volume> {
             },
         )
         .expect("assemble mdraid"),
-    )
+    );
+    volume.set_recorder(recorder());
+    volume
 }
 
 /// Prints a fixed-width text table.
@@ -241,5 +282,20 @@ mod tests {
     fn labels() {
         assert_eq!(bs_label(1), "4K");
         assert_eq!(bs_label(256), "1M");
+    }
+
+    #[test]
+    fn harness_volumes_record_into_shared_recorder() {
+        let before = recorder().next_seq();
+        let v = raizn_volume(8, 4096, 16);
+        let data = vec![0u8; zns::SECTOR_SIZE as usize];
+        v.write(SimTime::ZERO, 0, &data, zns::WriteFlags::default())
+            .unwrap();
+        assert!(
+            recorder().next_seq() > before,
+            "harness-built volume did not trace"
+        );
+        let json = recorder().breakdown_json("unit");
+        assert!(json.contains("\"whole_op\""));
     }
 }

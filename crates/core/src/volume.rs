@@ -79,6 +79,9 @@ pub(crate) struct VolState {
     /// Scratch buffer for metadata record encoding; taken/restored around
     /// appends so payload bytes never need an owned staging `Vec`.
     pub md_scratch: Vec<u8>,
+    /// Observability recorder for volume-layer spans (parity-path
+    /// attribution, metadata appends, flush latency) and counters.
+    pub recorder: Option<std::sync::Arc<obs::Recorder>>,
 }
 
 /// Retired stripe buffers kept for reuse. One per logical zone is the
@@ -149,6 +152,45 @@ pub(crate) use sim::xor_into;
 /// mid-operation.
 fn internal(context: &'static str) -> ZnsError {
     ZnsError::InvalidArgument(format!("internal invariant violated: {context}"))
+}
+
+/// Records a volume-layer trace span on the attached recorder, if any.
+/// Volume spans carry `device == obs::NONE`: device attribution lives in
+/// the device-layer spans emitted by [`zns::ZnsDevice`] itself.
+#[allow(clippy::too_many_arguments)]
+fn trace_span(
+    st: &VolState,
+    op: obs::OpClass,
+    stage: obs::Stage,
+    path: Option<obs::PathKind>,
+    zone: u32,
+    lba: Lba,
+    sectors: u64,
+    start: SimTime,
+    end: SimTime,
+) {
+    if let Some(rec) = st.recorder.as_ref() {
+        rec.record(obs::TraceEvent {
+            seq: 0,
+            op,
+            stage,
+            path,
+            device: obs::NONE,
+            zone,
+            lba,
+            sectors,
+            start,
+            end,
+            outcome: obs::Outcome::Success,
+        });
+    }
+}
+
+/// Bumps a counter on the attached recorder, if any.
+fn bump(st: &VolState, counter: obs::Counter) {
+    if let Some(rec) = st.recorder.as_ref() {
+        rec.bump(counter);
+    }
 }
 
 /// Outcome of a [`RaiznVolume::scrub`] pass.
@@ -272,6 +314,7 @@ impl RaiznVolume {
                 device_errors: vec![0; n],
                 pool: Vec::new(),
                 md_scratch: Vec::new(),
+                recorder: None,
             }),
         }
     }
@@ -289,6 +332,14 @@ impl RaiznVolume {
     /// Volume statistics.
     pub fn stats(&self) -> RaiznStats {
         self.state.lock().stats
+    }
+
+    /// Attaches an observability recorder: volume-layer spans (parity-path
+    /// attribution, metadata appends, flush latency) and counters land on
+    /// it. To also capture device-layer spans, attach the same recorder to
+    /// the member devices via [`zns::ZnsDevice::set_recorder`].
+    pub fn set_recorder(&self, recorder: std::sync::Arc<obs::Recorder>) {
+        self.state.lock().recorder = Some(recorder);
     }
 
     /// The generation counter of logical zone `lzone`.
@@ -361,6 +412,7 @@ impl RaiznVolume {
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
                     st.stats.transient_retries += 1;
+                    bump(st, obs::Counter::Retries);
                 }
                 Err(e @ ZnsError::TransientError { .. }) => {
                     self.note_device_error(st, dev);
@@ -390,6 +442,7 @@ impl RaiznVolume {
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
                     st.stats.transient_retries += 1;
+                    bump(st, obs::Counter::Retries);
                 }
                 Err(e @ ZnsError::TransientError { .. }) => {
                     self.note_device_error(st, dev);
@@ -476,7 +529,7 @@ impl RaiznVolume {
             MdRole::General => st.md[dev].general,
             MdRole::PpLog => st.md[dev].pplog,
         };
-        match self.append_with_retry(st, at, dev, zone, bytes, flags) {
+        let r = match self.append_with_retry(st, at, dev, zone, bytes, flags) {
             Ok(c) => {
                 st.stats.md_appends += 1;
                 Ok(c.done)
@@ -501,7 +554,21 @@ impl RaiznVolume {
             // early-return above.
             Err(ZnsError::TransientError { .. }) if st.failed == Some(dev) => Ok(at),
             Err(e) => Err(e),
+        };
+        if let Ok(done) = r {
+            trace_span(
+                st,
+                obs::OpClass::Append,
+                obs::Stage::MetaAppend,
+                None,
+                zone,
+                0,
+                bytes.len() as u64 / SECTOR_SIZE,
+                at,
+                done,
+            );
         }
+        r
     }
 
     /// Garbage collects `dev`'s metadata zone for `role` (§4.3, Fig. 4):
@@ -514,6 +581,7 @@ impl RaiznVolume {
         dev: usize,
         role: MdRole,
     ) -> Result<SimTime> {
+        bump(st, obs::Counter::MdGcRuns);
         let new_zone = st.md[dev]
             .swaps
             .pop()
@@ -842,6 +910,7 @@ impl RaiznVolume {
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
                     st.stats.transient_retries += 1;
+                    bump(st, obs::Counter::Retries);
                 }
                 Err(e @ (ZnsError::TransientError { .. } | ZnsError::MediaError { .. })) => {
                     self.note_device_error(st, dev as usize);
@@ -932,9 +1001,10 @@ impl RaiznVolume {
         out: &mut [u8],
     ) -> Result<SimTime> {
         st.stats.degraded_reads += 1;
+        bump(st, obs::Counter::DegradedReads);
         let from_buffer = matches!(&st.lzones[lzone as usize].buffer,
             Some(b) if b.stripe() == stripe);
-        if from_buffer {
+        let r = if from_buffer {
             let b = st.lzones[lzone as usize]
                 .buffer
                 .as_ref()
@@ -946,7 +1016,21 @@ impl RaiznVolume {
             Ok(at)
         } else {
             self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)
+        };
+        if let Ok(t) = r {
+            trace_span(
+                st,
+                obs::OpClass::Read,
+                obs::Stage::WholeOp,
+                Some(obs::PathKind::Degraded),
+                lzone,
+                0,
+                out.len() as u64 / SECTOR_SIZE,
+                at,
+                t,
+            );
         }
+        r
     }
 
     /// Recovers a read that hit a device error on `dev`. Latent media
@@ -990,12 +1074,14 @@ impl RaiznVolume {
             let off = (row0 * SECTOR_SIZE) as usize;
             out.copy_from_slice(&data[off..off + out.len()]);
             st.stats.read_repairs += 1;
+            bump(st, obs::Counter::ReadRepairs);
             let t2 = self.relocate_repaired_unit(st, at, lzone, stripe, dev, data, su)?;
             Ok(t.max(t2))
         } else {
             // Transient exhaustion / fresh device failure: serve this read
             // from parity without committing a relocation.
             st.stats.degraded_reads += 1;
+            bump(st, obs::Counter::DegradedReads);
             self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)
         }
     }
@@ -1136,6 +1222,18 @@ impl RaiznVolume {
                 eprintln!("[reloc] lz={lzone} stripe={stripe} dev={dev} row0={row0} valid={valid}");
             }
             st.stats.relocated_units += 1;
+            bump(st, obs::Counter::RelocatedWrites);
+            trace_span(
+                st,
+                obs::OpClass::Write,
+                obs::Stage::WholeOp,
+                Some(obs::PathKind::Relocated),
+                lzone,
+                0,
+                data.len() as u64 / SECTOR_SIZE,
+                at,
+                at,
+            );
             // Encode the record borrowing the cached unit in place: no
             // clone of the stripe-unit payload on the relocation path.
             let mut scratch = std::mem::take(&mut st.md_scratch);
@@ -1174,6 +1272,7 @@ impl RaiznVolume {
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
                     st.stats.transient_retries += 1;
+                    bump(st, obs::Counter::Retries);
                 }
                 Err(e @ ZnsError::TransientError { .. }) => {
                     self.note_device_error(st, dev as usize);
@@ -1343,6 +1442,18 @@ impl RaiznVolume {
                     done = done.max(dev.commit_zrwa(done, phys_zone, (stripe + 1) * su)?.done);
                     completion = completion.max(done);
                     st.stats.zrwa_parity_writes += 1;
+                    bump(st, obs::Counter::ZrwaParityWrites);
+                    trace_span(
+                        st,
+                        obs::OpClass::Write,
+                        obs::Stage::Xor,
+                        Some(obs::PathKind::Zrwa),
+                        lzone,
+                        pba,
+                        row_hi - row_lo,
+                        issue,
+                        done,
+                    );
                 } else {
                     // Full parity to the parity slot in the data zone.
                     let done = self.store_slot_rows(
@@ -1359,8 +1470,20 @@ impl RaiznVolume {
                         },
                     )?;
                     completion = completion.max(done);
+                    trace_span(
+                        st,
+                        obs::OpClass::Write,
+                        obs::Stage::Xor,
+                        Some(obs::PathKind::FullParity),
+                        lzone,
+                        0,
+                        su,
+                        issue,
+                        done,
+                    );
                 }
                 st.stats.full_parity_writes += 1;
+                bump(st, obs::Counter::FullParityWrites);
                 st.retire_buffer(buf);
             } else if zrwa_ok {
                 // §5.4 extension: overwrite the affected parity rows in
@@ -1376,6 +1499,18 @@ impl RaiznVolume {
                 let done = st.devices[pdev as usize].write_zrwa(issue, pba, pp)?.done;
                 completion = completion.max(done);
                 st.stats.zrwa_parity_writes += 1;
+                bump(st, obs::Counter::ZrwaParityWrites);
+                trace_span(
+                    st,
+                    obs::OpClass::Write,
+                    obs::Stage::Xor,
+                    Some(obs::PathKind::Zrwa),
+                    lzone,
+                    pba,
+                    row_hi - row_lo,
+                    issue,
+                    done,
+                );
             } else {
                 // Partial parity log on the device that will hold this
                 // stripe's parity (§5.1). Write completion is withheld
@@ -1421,9 +1556,22 @@ impl RaiznVolume {
                     flags.fua,
                 );
                 st.md_scratch = scratch;
-                completion = completion.max(r?);
+                let pp_done = r?;
+                completion = completion.max(pp_done);
                 st.stats.pp_log_entries += 1;
                 st.stats.pp_log_bytes += pp_rows * SECTOR_SIZE;
+                bump(st, obs::Counter::PpLogWrites);
+                trace_span(
+                    st,
+                    obs::OpClass::Write,
+                    obs::Stage::Xor,
+                    Some(obs::PathKind::PpLog),
+                    lzone,
+                    0,
+                    pp_rows,
+                    issue,
+                    pp_done,
+                );
             }
         }
 
@@ -1446,6 +1594,17 @@ impl RaiznVolume {
             let done = self.persist_zone(st, completion, lzone)?;
             completion = completion.max(done);
         }
+        trace_span(
+            st,
+            obs::OpClass::Write,
+            obs::Stage::WholeOp,
+            None,
+            lzone,
+            lba,
+            sectors,
+            at,
+            completion,
+        );
         Ok(IoCompletion { done: completion })
     }
 
@@ -1473,6 +1632,17 @@ impl RaiznVolume {
             st.stats.persistence_flushes += 1;
         }
         st.lzones[lzone as usize].pbitmap.mark_persisted_below(wp);
+        trace_span(
+            st,
+            obs::OpClass::Flush,
+            obs::Stage::Flush,
+            None,
+            lzone,
+            0,
+            0,
+            at,
+            done,
+        );
         Ok(done)
     }
 
@@ -1489,6 +1659,17 @@ impl RaiznVolume {
             let wp = z.wp;
             z.pbitmap.mark_persisted_below(wp);
         }
+        trace_span(
+            st,
+            obs::OpClass::Flush,
+            obs::Stage::Flush,
+            None,
+            obs::NONE,
+            0,
+            0,
+            at,
+            done,
+        );
         Ok(done)
     }
 
@@ -1793,6 +1974,17 @@ impl ZonedVolume for RaiznVolume {
             cursor += rows;
             off += (rows * SECTOR_SIZE) as usize;
         }
+        trace_span(
+            st,
+            obs::OpClass::Read,
+            obs::Stage::WholeOp,
+            None,
+            lzone,
+            lba,
+            sectors,
+            at,
+            done,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -1847,6 +2039,17 @@ impl ZonedVolume for RaiznVolume {
             done = done.max(self.reset_phys_with_retry(st, t, i, phys)?);
         }
         done = done.max(self.finish_reset(st, done, zone)?);
+        trace_span(
+            st,
+            obs::OpClass::Reset,
+            obs::Stage::WholeOp,
+            None,
+            zone,
+            lgeo.zone_start(zone),
+            0,
+            at,
+            done,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -1888,6 +2091,7 @@ impl ZonedVolume for RaiznVolume {
                     )?;
                     done = done.max(t);
                     st.stats.full_parity_writes += 1;
+                    bump(st, obs::Counter::FullParityWrites);
                 }
             }
             Ok(())
@@ -1905,6 +2109,17 @@ impl ZonedVolume for RaiznVolume {
         let z = &mut st.lzones[zone as usize];
         z.state = ZoneState::Full;
         z.pbitmap.mark_persisted_below(wp);
+        trace_span(
+            st,
+            obs::OpClass::Finish,
+            obs::Stage::WholeOp,
+            None,
+            zone,
+            lgeo.zone_start(zone),
+            0,
+            at,
+            done,
+        );
         Ok(IoCompletion { done })
     }
 

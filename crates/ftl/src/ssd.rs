@@ -91,6 +91,34 @@ struct Inner {
     timing: ChannelModel,
     stats: FtlStats,
     failed: bool,
+    recorder: Option<std::sync::Arc<obs::Recorder>>,
+    dev_id: u32,
+}
+
+/// Emits one device-level span into the attached recorder, if any.
+fn trace_span(
+    inner: &Inner,
+    op: obs::OpClass,
+    lba: Lba,
+    sectors: u64,
+    start: SimTime,
+    end: SimTime,
+) {
+    if let Some(rec) = inner.recorder.as_ref() {
+        rec.record(obs::TraceEvent {
+            seq: 0,
+            op,
+            stage: obs::Stage::DeviceIo,
+            path: None,
+            device: inner.dev_id,
+            zone: obs::NONE,
+            lba,
+            sectors,
+            start,
+            end,
+            outcome: obs::Outcome::Success,
+        });
+    }
 }
 
 impl ConvSsd {
@@ -124,9 +152,21 @@ impl ConvSsd {
                 timing,
                 stats: FtlStats::default(),
                 failed: false,
+                recorder: None,
+                dev_id: 0,
             }),
             config,
         }
+    }
+
+    /// Attaches a trace recorder; every subsequent command emits spans
+    /// tagged with `dev_id` (the device's index within its array). GC
+    /// stalls are surfaced as [`obs::Counter::GcStalls`] /
+    /// [`obs::Counter::GcStallNanos`].
+    pub fn set_recorder(&self, recorder: std::sync::Arc<obs::Recorder>, dev_id: u32) {
+        let mut inner = self.inner.lock();
+        inner.recorder = Some(recorder);
+        inner.dev_id = dev_id;
     }
 
     /// The device configuration.
@@ -365,6 +405,7 @@ impl BlockDevice for ConvSsd {
             remaining -= chunk;
         }
         inner.stats.host_pages_read += sectors;
+        trace_span(&inner, obs::OpClass::Read, lba, sectors, at, done);
         Ok(IoCompletion { done })
     }
 
@@ -414,6 +455,10 @@ impl BlockDevice for ConvSsd {
                 inner.timing.occupy(start, per_channel);
             }
             inner.stats.gc_stall += gc_busy;
+            if let Some(rec) = inner.recorder.as_ref() {
+                rec.bump(obs::Counter::GcStalls);
+                rec.add(obs::Counter::GcStallNanos, gc_busy.as_nanos());
+            }
         }
         let mut done = start;
         let mut remaining = sectors;
@@ -428,7 +473,11 @@ impl BlockDevice for ConvSsd {
             // crash consistency is out of scope (the paper benchmarks
             // mdraid without a journal).
             done += lat.flush;
+            if let Some(rec) = inner.recorder.as_ref() {
+                rec.bump(obs::Counter::CacheFlushes);
+            }
         }
+        trace_span(&inner, obs::OpClass::Write, lba, sectors, at, done);
         Ok(IoCompletion { done })
     }
 
@@ -453,6 +502,7 @@ impl BlockDevice for ConvSsd {
             }
         }
         let done = inner.timing.occupy(at, self.config.latency.zone_mgmt);
+        trace_span(&inner, obs::OpClass::Reset, lba, sectors, at, done);
         Ok(IoCompletion { done })
     }
 
@@ -462,6 +512,22 @@ impl BlockDevice for ConvSsd {
             return Err(ZnsError::DeviceFailed);
         }
         let done = inner.timing.drained_at().max(at) + self.config.latency.flush;
+        if let Some(rec) = inner.recorder.as_ref() {
+            rec.bump(obs::Counter::CacheFlushes);
+            rec.record(obs::TraceEvent {
+                seq: 0,
+                op: obs::OpClass::Flush,
+                stage: obs::Stage::Flush,
+                path: None,
+                device: inner.dev_id,
+                zone: obs::NONE,
+                lba: 0,
+                sectors: 0,
+                start: at,
+                end: done,
+                outcome: obs::Outcome::Success,
+            });
+        }
         Ok(IoCompletion { done })
     }
 }
@@ -692,6 +758,30 @@ mod tests {
             d.write(SimTime::ZERO, 0, &[0u8; 5], WriteFlags::default()),
             Err(ZnsError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn recorder_sees_io_and_gc_stalls() {
+        let d = ConvSsd::new(FtlConfig::small_test());
+        let rec = obs::Recorder::new(256, 1);
+        d.set_recorder(rec.clone(), 1);
+        let data = page(3);
+        let mut rng = sim::SimRng::new(5);
+        for lba in 0..d.capacity_sectors() {
+            d.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                .unwrap();
+        }
+        for _ in 0..4 * d.capacity_sectors() {
+            let lba = rng.gen_range(d.capacity_sectors());
+            d.write(SimTime::ZERO, lba, &data, WriteFlags::default())
+                .unwrap();
+        }
+        assert!(rec.count(obs::Counter::GcStalls) > 0, "GC never stalled");
+        let evs = rec.events();
+        assert!(evs
+            .iter()
+            .all(|e| e.device == 1 && e.stage == obs::Stage::DeviceIo));
+        assert!(evs.iter().any(|e| e.op == obs::OpClass::Write));
     }
 
     #[test]

@@ -56,6 +56,47 @@ struct State {
     /// it ("ensuring maximum performance"); it exists here so that cost
     /// is measurable.
     journal: Option<Journal>,
+    /// Observability recorder for array-layer spans (full-stripe vs RMW vs
+    /// RCW path attribution, journal appends) and counters.
+    recorder: Option<Arc<obs::Recorder>>,
+}
+
+/// Records an array-layer trace span on the attached recorder, if any.
+/// mdraid has no zones, so spans carry `zone == obs::NONE` and address the
+/// stripe via its device-space offset in `lba`.
+#[allow(clippy::too_many_arguments)]
+fn trace_span(
+    st: &State,
+    op: obs::OpClass,
+    stage: obs::Stage,
+    path: Option<obs::PathKind>,
+    lba: Lba,
+    sectors: u64,
+    start: SimTime,
+    end: SimTime,
+) {
+    if let Some(rec) = st.recorder.as_ref() {
+        rec.record(obs::TraceEvent {
+            seq: 0,
+            op,
+            stage,
+            path,
+            device: obs::NONE,
+            zone: obs::NONE,
+            lba,
+            sectors,
+            start,
+            end,
+            outcome: obs::Outcome::Success,
+        });
+    }
+}
+
+/// Bumps a counter on the attached recorder, if any.
+fn bump(st: &State, counter: obs::Counter) {
+    if let Some(rec) = st.recorder.as_ref() {
+        rec.bump(counter);
+    }
 }
 
 struct Journal {
@@ -99,7 +140,9 @@ impl Md5Volume {
             .iter()
             .map(|d| d.capacity_sectors())
             .min()
-            .expect("nonempty device list");
+            .ok_or_else(|| {
+                ZnsError::InvalidArgument("RAID-5 needs a nonempty device list".to_string())
+            })?;
         let layout = Md5Layout::new(devices.len() as u32, config.chunk_sectors, dev_sectors);
         let chunk_bytes = (config.chunk_sectors * SECTOR_SIZE) as usize;
         let slots = devices.len(); // n-1 data + 1 parity
@@ -111,6 +154,7 @@ impl Md5Volume {
                 failed: None,
                 cache,
                 journal: None,
+                recorder: None,
             }),
         })
     }
@@ -126,6 +170,13 @@ impl Md5Volume {
     /// Whether a write journal is attached.
     pub fn has_journal(&self) -> bool {
         self.state.lock().journal.is_some()
+    }
+
+    /// Attaches an observability recorder: array-layer spans (full-stripe
+    /// vs read-modify-write vs reconstruct-write path attribution, journal
+    /// appends, degraded reads) and counters land on it.
+    pub fn set_recorder(&self, recorder: Arc<obs::Recorder>) {
+        self.state.lock().recorder = Some(recorder);
     }
 
     /// The address arithmetic of this array.
@@ -207,6 +258,17 @@ impl Md5Volume {
         if row_off == 0 && rows == self.layout.chunk_sectors() && out.len() == chunk_bytes {
             st.cache.put(stripe, slot, out);
         }
+        bump(st, obs::Counter::DegradedReads);
+        trace_span(
+            st,
+            obs::OpClass::Read,
+            obs::Stage::WholeOp,
+            Some(obs::PathKind::Degraded),
+            dev_lba,
+            rows,
+            at,
+            done,
+        );
         Ok(done)
     }
 
@@ -274,16 +336,33 @@ impl Md5Volume {
             }
             done =
                 done.max(self.store_rows(st, at, stripe, self.parity_slot(), 0, &parity, flags)?);
+            bump(st, obs::Counter::FullStripeWrites);
+            trace_span(
+                st,
+                obs::OpClass::Write,
+                obs::Stage::Xor,
+                Some(obs::PathKind::FullStripe),
+                self.layout.stripe_offset(stripe),
+                chunk * n_data,
+                at,
+                done,
+            );
             return Ok(done);
         }
 
         // Partial stripe: parity must be updated over the union row range.
-        let u0 = touched.iter().map(|(_, r, _)| *r).min().expect("nonempty");
+        let nonempty =
+            || ZnsError::InvalidArgument("write_stripe requires a touched chunk".to_string());
+        let u0 = touched
+            .iter()
+            .map(|(_, r, _)| *r)
+            .min()
+            .ok_or_else(nonempty)?;
         let u1 = touched
             .iter()
             .map(|(_, r, d)| r + d.len() as u64 / SECTOR_SIZE)
             .max()
-            .expect("nonempty");
+            .ok_or_else(nonempty)?;
         let union_rows = u1 - u0;
         let union_bytes = (union_rows * SECTOR_SIZE) as usize;
         let parity_dev = self.layout.parity_device(stripe) as usize;
@@ -376,6 +455,22 @@ impl Md5Volume {
                 flags,
             )?);
         }
+        let (path, counter) = if use_rmw {
+            (obs::PathKind::Rmw, obs::Counter::RmwWrites)
+        } else {
+            (obs::PathKind::Rcw, obs::Counter::RcwWrites)
+        };
+        bump(st, counter);
+        trace_span(
+            st,
+            obs::OpClass::Write,
+            obs::Stage::Xor,
+            Some(path),
+            self.layout.stripe_offset(stripe) + u0,
+            union_rows,
+            at,
+            done,
+        );
         Ok(done)
     }
 
@@ -482,6 +577,16 @@ impl BlockDevice for Md5Volume {
             cursor += rows;
             off += len;
         }
+        trace_span(
+            &st,
+            obs::OpClass::Read,
+            obs::Stage::WholeOp,
+            None,
+            lba,
+            sectors,
+            at,
+            done,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -503,9 +608,8 @@ impl BlockDevice for Md5Volume {
         let mut at = at;
         // Journal-first: the data must be durable on the journal device
         // before the (non-atomic) multi-device stripe update begins.
-        if st.journal.is_some() {
-            let (jdone, jcur) = {
-                let j = st.journal.as_ref().expect("checked");
+        let journal_done = match st.journal.as_ref() {
+            Some(j) => {
                 let jcap = j.device.capacity_sectors();
                 let mut cur = j.cursor;
                 if cur + sectors > jcap {
@@ -513,10 +617,24 @@ impl BlockDevice for Md5Volume {
                 }
                 let c = j.device.write(at, cur, data, flags)?;
                 let f = j.device.flush(c.done)?;
-                (f.done, cur + sectors)
-            };
-            let j = st.journal.as_mut().expect("checked");
-            j.cursor = jcur;
+                Some((f.done, cur + sectors))
+            }
+            None => None,
+        };
+        if let Some((jdone, jcur)) = journal_done {
+            if let Some(j) = st.journal.as_mut() {
+                j.cursor = jcur;
+            }
+            trace_span(
+                &st,
+                obs::OpClass::Append,
+                obs::Stage::MetaAppend,
+                None,
+                lba,
+                sectors,
+                at,
+                jdone,
+            );
             at = jdone;
         }
         let mut done = at;
@@ -544,6 +662,16 @@ impl BlockDevice for Md5Volume {
             cursor += span;
             off += (span * SECTOR_SIZE) as usize;
         }
+        trace_span(
+            &st,
+            obs::OpClass::Write,
+            obs::Stage::WholeOp,
+            None,
+            lba,
+            sectors,
+            at,
+            done,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -580,6 +708,16 @@ impl BlockDevice for Md5Volume {
             }
             done = done.max(dev.flush(at)?.done);
         }
+        trace_span(
+            &st,
+            obs::OpClass::Flush,
+            obs::Stage::Flush,
+            None,
+            0,
+            0,
+            at,
+            done,
+        );
         Ok(IoCompletion { done })
     }
 }

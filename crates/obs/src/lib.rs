@@ -1,0 +1,752 @@
+//! Observability layer: structured op tracing and latency attribution.
+//!
+//! Every layer of the stack (ZNS device model, conventional-SSD FTL, the
+//! RAIZN volume, the mdraid comparison target, the workload engine) can be
+//! handed a shared [`Recorder`] and will then emit [`TraceEvent`]s:
+//! one per IO span, carrying the op kind, the layer-specific *stage*
+//! (device IO, XOR, metadata append, flush), the device/zone/LBA range it
+//! touched, its virtual start/end instants, and the path the IO took
+//! ([`PathKind`] — e.g. full-parity vs partial-parity-log on RAIZN,
+//! full-stripe vs read-modify-write on mdraid).
+//!
+//! Design constraints (see DESIGN.md "Observability"):
+//!
+//! - **Allocation-free recording.** The ring buffer, stage histograms and
+//!   counter table are allocated once in [`Recorder::new`]; recording an
+//!   event is a mutex acquisition plus a few array writes. This preserves
+//!   the zero-alloc steady-state write-path gate of `BENCH_hotpath.json`.
+//! - **Deterministic.** Timestamps are [`SimTime`] (virtual) only; the
+//!   recorder never consults a wall clock, so two runs with the same seed
+//!   produce byte-identical traces — which is what lets tests use traces
+//!   as an *oracle* (assert which path an IO took, not just its result).
+//! - **Bounded.** The ring keeps the most recent `capacity` sampled
+//!   events; older events are overwritten (counted in
+//!   [`Recorder::dropped`]). Histograms and counters always see every
+//!   event regardless of sampling.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::{Counter, OpClass, Outcome, Recorder, Stage, TraceEvent};
+//! use sim::SimTime;
+//!
+//! let rec = Recorder::new(1024, 1);
+//! rec.record(TraceEvent {
+//!     op: OpClass::Write,
+//!     stage: Stage::DeviceIo,
+//!     device: 0,
+//!     zone: 3,
+//!     lba: 192,
+//!     sectors: 8,
+//!     start: SimTime::ZERO,
+//!     end: SimTime::from_micros(20),
+//!     outcome: Outcome::Success,
+//!     path: None,
+//!     seq: 0, // assigned by the recorder
+//! });
+//! rec.bump(Counter::CacheFlushes);
+//! let events = rec.events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].stage, Stage::DeviceIo);
+//! assert!(rec.breakdown_json("demo").contains("device_io"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use sim::{Histogram, SimDuration, SimTime};
+use std::io::Write as IoWrite;
+use std::sync::Arc;
+
+/// The class of operation a trace event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// A read command.
+    Read,
+    /// A positional write command.
+    Write,
+    /// A zone append command.
+    Append,
+    /// A cache flush (explicit or preflush).
+    Flush,
+    /// A zone reset (or TRIM on block devices).
+    Reset,
+    /// A zone finish.
+    Finish,
+}
+
+impl OpClass {
+    /// Stable lower-case name (used by the JSON exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Write => "write",
+            OpClass::Append => "append",
+            OpClass::Flush => "flush",
+            OpClass::Reset => "reset",
+            OpClass::Finish => "finish",
+        }
+    }
+}
+
+/// The pipeline stage a span is attributed to. Each logical write on the
+/// RAIZN path decomposes into `DeviceIo` + `Xor` + `MetaAppend` + `Flush`
+/// spans; `WholeOp` spans bracket the entire logical operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Time spent in a device data command (read/write/append/reset).
+    DeviceIo,
+    /// Parity / reconstruction XOR compute. Host compute is instantaneous
+    /// on the virtual clock, so these spans have zero duration; they exist
+    /// for path attribution and counting.
+    Xor,
+    /// Metadata-zone log appends (superblock, pp-log, relocation, WAL).
+    MetaAppend,
+    /// Cache-flush / persistence barriers (FUA closure, explicit flush).
+    Flush,
+    /// The whole logical operation as seen by the caller.
+    WholeOp,
+}
+
+impl Stage {
+    /// All stages, in index order.
+    pub const ALL: [Stage; 5] = [
+        Stage::DeviceIo,
+        Stage::Xor,
+        Stage::MetaAppend,
+        Stage::Flush,
+        Stage::WholeOp,
+    ];
+
+    /// Stable lower-case name (used by the JSON exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::DeviceIo => "device_io",
+            Stage::Xor => "xor",
+            Stage::MetaAppend => "meta_append",
+            Stage::Flush => "flush",
+            Stage::WholeOp => "whole_op",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::DeviceIo => 0,
+            Stage::Xor => 1,
+            Stage::MetaAppend => 2,
+            Stage::Flush => 3,
+            Stage::WholeOp => 4,
+        }
+    }
+}
+
+/// Which internal path an operation took — the trace-as-oracle field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathKind {
+    /// RAIZN: a completed stripe wrote its full parity unit.
+    FullParity,
+    /// RAIZN: a partial stripe logged partial parity to the metadata zone.
+    PpLog,
+    /// RAIZN: parity updated in place through a ZRWA window.
+    Zrwa,
+    /// RAIZN: the write was relocated to a metadata zone (conflicted unit).
+    Relocated,
+    /// RAIZN/mdraid: data served by parity reconstruction (degraded).
+    Degraded,
+    /// mdraid: aligned full-stripe write (no pre-reads).
+    FullStripe,
+    /// mdraid: read-modify-write partial-stripe update.
+    Rmw,
+    /// mdraid: reconstruct-write partial-stripe update.
+    Rcw,
+}
+
+impl PathKind {
+    /// Stable lower-case name (used by the JSON exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            PathKind::FullParity => "full_parity",
+            PathKind::PpLog => "pp_log",
+            PathKind::Zrwa => "zrwa",
+            PathKind::Relocated => "relocated",
+            PathKind::Degraded => "degraded",
+            PathKind::FullStripe => "full_stripe",
+            PathKind::Rmw => "rmw",
+            PathKind::Rcw => "rcw",
+        }
+    }
+}
+
+/// How a traced span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The operation completed.
+    Success,
+    /// The operation failed with an injected transient error.
+    Transient,
+    /// The operation failed with a media error.
+    Media,
+    /// The operation failed with any other error.
+    Error,
+}
+
+impl Outcome {
+    /// Stable lower-case name (used by the JSON exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Success => "ok",
+            Outcome::Transient => "transient",
+            Outcome::Media => "media",
+            Outcome::Error => "error",
+        }
+    }
+}
+
+/// Sentinel for [`TraceEvent::device`] / [`TraceEvent::zone`] when the
+/// span is not attributable to one device or zone (e.g. a volume-wide
+/// flush).
+pub const NONE: u32 = u32::MAX;
+
+/// One traced span. `Copy` and fixed-size so the ring buffer never
+/// allocates after construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, assigned by the recorder.
+    pub seq: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Attributed pipeline stage.
+    pub stage: Stage,
+    /// Path taken, when the layer records one (the oracle field).
+    pub path: Option<PathKind>,
+    /// Device index within its array, or [`NONE`].
+    pub device: u32,
+    /// Zone number, or [`NONE`].
+    pub zone: u32,
+    /// Starting LBA of the affected range (0 when not applicable).
+    pub lba: u64,
+    /// Length of the affected range in sectors (0 when not applicable).
+    pub sectors: u64,
+    /// Virtual instant the span started.
+    pub start: SimTime,
+    /// Virtual instant the span ended (`>= start`).
+    pub end: SimTime,
+    /// How the span ended.
+    pub outcome: Outcome,
+}
+
+impl TraceEvent {
+    const EMPTY: TraceEvent = TraceEvent {
+        seq: 0,
+        op: OpClass::Read,
+        stage: Stage::WholeOp,
+        path: None,
+        device: NONE,
+        zone: NONE,
+        lba: 0,
+        sectors: 0,
+        start: SimTime::ZERO,
+        end: SimTime::ZERO,
+        outcome: Outcome::Success,
+    };
+
+    /// The span's duration on the virtual clock.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Aggregate counters maintained alongside the trace ring. Unlike ring
+/// events these are never sampled away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Transient device errors retried by an upper layer.
+    Retries,
+    /// Reads served by parity reconstruction (device missing/failed).
+    DegradedReads,
+    /// Foreground FTL garbage-collection stalls suffered by host writes.
+    GcStalls,
+    /// Total virtual nanoseconds host writes spent stalled behind GC.
+    GcStallNanos,
+    /// Device write-cache flushes (explicit flush, preflush, FUA closure).
+    CacheFlushes,
+    /// RAIZN metadata-zone garbage-collection runs.
+    MdGcRuns,
+    /// Latent-sector read errors healed in place.
+    ReadRepairs,
+    /// RAIZN full parity-unit writes (completed stripes).
+    FullParityWrites,
+    /// RAIZN partial-parity log appends.
+    PpLogWrites,
+    /// RAIZN in-place ZRWA parity updates.
+    ZrwaParityWrites,
+    /// RAIZN writes relocated to a metadata zone.
+    RelocatedWrites,
+    /// mdraid full-stripe writes.
+    FullStripeWrites,
+    /// mdraid read-modify-write updates.
+    RmwWrites,
+    /// mdraid reconstruct-write updates.
+    RcwWrites,
+}
+
+impl Counter {
+    /// All counters, in index order.
+    pub const ALL: [Counter; 14] = [
+        Counter::Retries,
+        Counter::DegradedReads,
+        Counter::GcStalls,
+        Counter::GcStallNanos,
+        Counter::CacheFlushes,
+        Counter::MdGcRuns,
+        Counter::ReadRepairs,
+        Counter::FullParityWrites,
+        Counter::PpLogWrites,
+        Counter::ZrwaParityWrites,
+        Counter::RelocatedWrites,
+        Counter::FullStripeWrites,
+        Counter::RmwWrites,
+        Counter::RcwWrites,
+    ];
+
+    /// Stable snake-case name (used by the JSON exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Retries => "retries",
+            Counter::DegradedReads => "degraded_reads",
+            Counter::GcStalls => "gc_stalls",
+            Counter::GcStallNanos => "gc_stall_nanos",
+            Counter::CacheFlushes => "cache_flushes",
+            Counter::MdGcRuns => "md_gc_runs",
+            Counter::ReadRepairs => "read_repairs",
+            Counter::FullParityWrites => "full_parity_writes",
+            Counter::PpLogWrites => "pp_log_writes",
+            Counter::ZrwaParityWrites => "zrwa_parity_writes",
+            Counter::RelocatedWrites => "relocated_writes",
+            Counter::FullStripeWrites => "full_stripe_writes",
+            Counter::RmwWrites => "rmw_writes",
+            Counter::RcwWrites => "rcw_writes",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|c| *c == self)
+            .unwrap_or_default()
+    }
+}
+
+struct RecInner {
+    /// Fixed-capacity ring; `ring[(first + i) % cap]` is the i-th oldest.
+    ring: Vec<TraceEvent>,
+    first: usize,
+    len: usize,
+    /// Next sequence number to assign.
+    seq: u64,
+    /// Events not stored in the ring (sampled out or overwritten).
+    dropped: u64,
+    stages: [Histogram; Stage::ALL.len()],
+    counts: [u64; Counter::ALL.len()],
+}
+
+/// A bounded, shareable trace recorder. Cheap to clone behind an [`Arc`];
+/// all layers of one experiment normally share a single recorder so the
+/// breakdown covers the whole stack.
+pub struct Recorder {
+    sample_every: u64,
+    inner: Mutex<RecInner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Recorder")
+            .field("capacity", &inner.ring.len())
+            .field("sample_every", &self.sample_every)
+            .field("recorded", &inner.seq)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder whose ring holds `capacity` events and stores
+    /// every `sample_every`-th event (1 = keep all). Histograms and
+    /// counters are updated for *every* event regardless of sampling.
+    ///
+    /// All memory is allocated here; recording never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `sample_every` is zero.
+    pub fn new(capacity: usize, sample_every: u64) -> Arc<Self> {
+        assert!(capacity > 0, "recorder ring capacity must be nonzero");
+        assert!(sample_every > 0, "sample_every must be nonzero");
+        Arc::new(Recorder {
+            sample_every,
+            inner: Mutex::new(RecInner {
+                ring: vec![TraceEvent::EMPTY; capacity],
+                first: 0,
+                len: 0,
+                seq: 0,
+                dropped: 0,
+                stages: std::array::from_fn(|_| Histogram::new()),
+                counts: [0; Counter::ALL.len()],
+            }),
+        })
+    }
+
+    /// Records one span. The event's `seq` field is overwritten with the
+    /// recorder's own monotonic sequence number, which is also returned.
+    pub fn record(&self, mut ev: TraceEvent) -> u64 {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let seq = inner.seq;
+        inner.seq += 1;
+        ev.seq = seq;
+        inner.stages[ev.stage.index()].record(ev.duration());
+        if !seq.is_multiple_of(self.sample_every) {
+            inner.dropped += 1;
+            return seq;
+        }
+        let cap = inner.ring.len();
+        if inner.len == cap {
+            // Overwrite the oldest slot.
+            inner.ring[inner.first] = ev;
+            inner.first = (inner.first + 1) % cap;
+            inner.dropped += 1;
+        } else {
+            let slot = (inner.first + inner.len) % cap;
+            inner.ring[slot] = ev;
+            inner.len += 1;
+        }
+        seq
+    }
+
+    /// Increments `counter` by one.
+    pub fn bump(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Adds `n` to `counter`.
+    pub fn add(&self, counter: Counter, n: u64) {
+        let mut inner = self.inner.lock();
+        inner.counts[counter.index()] += n;
+    }
+
+    /// Current value of `counter`.
+    pub fn count(&self, counter: Counter) -> u64 {
+        self.inner.lock().counts[counter.index()]
+    }
+
+    /// Total events recorded so far (including sampled-out ones). The next
+    /// event gets this sequence number — use as a cursor for
+    /// [`Recorder::events_since`].
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Events not retained in the ring (sampled out or overwritten).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Snapshot of the retained events, oldest first. Allocates; intended
+    /// for tests and end-of-run export, not the IO path.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock();
+        let cap = inner.ring.len();
+        (0..inner.len)
+            .map(|i| inner.ring[(inner.first + i) % cap])
+            .collect()
+    }
+
+    /// Retained events with `seq >= since`, oldest first.
+    pub fn events_since(&self, since: u64) -> Vec<TraceEvent> {
+        let mut evs = self.events();
+        evs.retain(|e| e.seq >= since);
+        evs
+    }
+
+    /// Snapshot of one stage's latency histogram.
+    pub fn stage_histogram(&self, stage: Stage) -> Histogram {
+        self.inner.lock().stages[stage.index()].clone()
+    }
+
+    /// Clears the ring, histograms and counters (sequence numbers keep
+    /// increasing so cursors stay valid).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.first = 0;
+        inner.len = 0;
+        inner.dropped = 0;
+        for h in &mut inner.stages {
+            h.clear();
+        }
+        inner.counts = [0; Counter::ALL.len()];
+    }
+
+    /// Streams the retained events into `sink`, oldest first, returning
+    /// how many were emitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink IO errors.
+    pub fn export(&self, sink: &mut dyn TraceSink) -> std::io::Result<usize> {
+        let events = self.events();
+        for ev in &events {
+            sink.emit(ev)?;
+        }
+        sink.finish()?;
+        Ok(events.len())
+    }
+
+    /// A machine-readable latency breakdown: per-stage count / p50 / p99 /
+    /// mean / max (virtual nanoseconds) plus every counter. `name` tags
+    /// the producing experiment.
+    pub fn breakdown_json(&self, name: &str) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(name)));
+        out.push_str(&format!("  \"events_recorded\": {},\n", inner.seq));
+        out.push_str(&format!("  \"events_dropped\": {},\n", inner.dropped));
+        out.push_str("  \"stages\": {\n");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            let h = &inner.stages[stage.index()];
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"mean_ns\": {}, \"max_ns\": {}}}{}\n",
+                stage.name(),
+                h.count(),
+                h.percentile(50.0).as_nanos(),
+                h.percentile(99.0).as_nanos(),
+                h.mean().as_nanos(),
+                h.max().as_nanos(),
+                if i + 1 < Stage::ALL.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"counters\": {\n");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                c.name(),
+                inner.counts[c.index()],
+                if i + 1 < Counter::ALL.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Serializes one event as a single-line JSON object.
+pub fn event_json(ev: &TraceEvent) -> String {
+    let mut s = format!(
+        "{{\"seq\": {}, \"op\": \"{}\", \"stage\": \"{}\"",
+        ev.seq,
+        ev.op.name(),
+        ev.stage.name()
+    );
+    if let Some(p) = ev.path {
+        s.push_str(&format!(", \"path\": \"{}\"", p.name()));
+    }
+    if ev.device != NONE {
+        s.push_str(&format!(", \"device\": {}", ev.device));
+    }
+    if ev.zone != NONE {
+        s.push_str(&format!(", \"zone\": {}", ev.zone));
+    }
+    s.push_str(&format!(
+        ", \"lba\": {}, \"sectors\": {}, \"start_ns\": {}, \"end_ns\": {}, \
+         \"outcome\": \"{}\"}}",
+        ev.lba,
+        ev.sectors,
+        ev.start.as_nanos(),
+        ev.end.as_nanos(),
+        ev.outcome.name()
+    ));
+    s
+}
+
+/// A consumer of trace events (file, buffer, test collector).
+pub trait TraceSink {
+    /// Consumes one event.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors from the underlying medium.
+    fn emit(&mut self, ev: &TraceEvent) -> std::io::Result<()>;
+
+    /// Flushes any buffered output. Default: no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors from the underlying medium.
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A [`TraceSink`] writing one JSON object per line (JSON-lines).
+pub struct JsonLinesSink<W: IoWrite> {
+    writer: W,
+}
+
+impl<W: IoWrite> JsonLinesSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: IoWrite> TraceSink for JsonLinesSink<W> {
+    fn emit(&mut self, ev: &TraceEvent) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", event_json(ev))
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(stage: Stage, start_us: u64, end_us: u64) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            op: OpClass::Write,
+            stage,
+            path: None,
+            device: 0,
+            zone: 1,
+            lba: 64,
+            sectors: 8,
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(end_us),
+            outcome: Outcome::Success,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let r = Recorder::new(4, 1);
+        for i in 0..10u64 {
+            r.record(ev(Stage::DeviceIo, i, i + 1));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(r.dropped(), 6);
+        // Histograms saw all ten.
+        assert_eq!(r.stage_histogram(Stage::DeviceIo).count(), 10);
+    }
+
+    #[test]
+    fn sampling_thins_the_ring_but_not_histograms() {
+        let r = Recorder::new(64, 4);
+        for i in 0..16u64 {
+            r.record(ev(Stage::Flush, i, i + 2));
+        }
+        assert_eq!(r.events().len(), 4); // seq 0, 4, 8, 12
+        assert_eq!(r.stage_histogram(Stage::Flush).count(), 16);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Recorder::new(8, 1);
+        r.bump(Counter::Retries);
+        r.add(Counter::GcStallNanos, 500);
+        r.bump(Counter::Retries);
+        assert_eq!(r.count(Counter::Retries), 2);
+        assert_eq!(r.count(Counter::GcStallNanos), 500);
+        assert_eq!(r.count(Counter::DegradedReads), 0);
+    }
+
+    #[test]
+    fn events_since_cursor() {
+        let r = Recorder::new(64, 1);
+        r.record(ev(Stage::DeviceIo, 0, 1));
+        let cursor = r.next_seq();
+        r.record(ev(Stage::Flush, 1, 2));
+        r.record(ev(Stage::Xor, 2, 2));
+        let tail = r.events_since(cursor);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].stage, Stage::Flush);
+        assert_eq!(tail[1].stage, Stage::Xor);
+    }
+
+    #[test]
+    fn json_lines_export_roundtrip_shape() {
+        let r = Recorder::new(8, 1);
+        let mut e = ev(Stage::MetaAppend, 3, 5);
+        e.path = Some(PathKind::PpLog);
+        r.record(e);
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let n = r.export(&mut sink).unwrap();
+        assert_eq!(n, 1);
+        let line = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(line.contains("\"stage\": \"meta_append\""));
+        assert!(line.contains("\"path\": \"pp_log\""));
+        assert!(line.contains("\"start_ns\": 3000"));
+        assert!(line.ends_with("}\n"));
+    }
+
+    #[test]
+    fn breakdown_json_has_stages_and_counters() {
+        let r = Recorder::new(8, 1);
+        r.record(ev(Stage::DeviceIo, 0, 10));
+        r.record(ev(Stage::DeviceIo, 0, 20));
+        r.bump(Counter::CacheFlushes);
+        let j = r.breakdown_json("unit \"test\"");
+        assert!(j.contains("\"device_io\": {\"count\": 2"));
+        assert!(j.contains("\"cache_flushes\": 1"));
+        assert!(j.contains("unit \\\"test\\\""));
+        // Every stage and counter name is present.
+        for s in Stage::ALL {
+            assert!(j.contains(s.name()), "missing stage {}", s.name());
+        }
+        for c in Counter::ALL {
+            assert!(j.contains(c.name()), "missing counter {}", c.name());
+        }
+    }
+
+    #[test]
+    fn clear_resets_aggregates_but_not_seq() {
+        let r = Recorder::new(8, 1);
+        r.record(ev(Stage::WholeOp, 0, 9));
+        r.bump(Counter::RmwWrites);
+        r.clear();
+        assert!(r.events().is_empty());
+        assert_eq!(r.count(Counter::RmwWrites), 0);
+        assert_eq!(r.stage_histogram(Stage::WholeOp).count(), 0);
+        assert_eq!(r.next_seq(), 1);
+    }
+
+    #[test]
+    fn deterministic_timestamps_only() {
+        // Two identical recordings produce identical traces.
+        let mk = || {
+            let r = Recorder::new(16, 1);
+            r.record(ev(Stage::DeviceIo, 1, 4));
+            r.record(ev(Stage::Flush, 4, 6));
+            r.events()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

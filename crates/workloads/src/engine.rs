@@ -5,7 +5,8 @@ use crate::target::{io_buffer, IoTarget};
 use sim::{Histogram, SimDuration, SimRng, SimTime, Timeseries, TimeseriesPoint};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use zns::{Result, SECTOR_SIZE};
+use std::sync::Arc;
+use zns::{Result, ZnsError, SECTOR_SIZE};
 
 /// Operation type of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +138,7 @@ pub struct Engine {
     start: SimTime,
     sample: Option<SimDuration>,
     time_limit: Option<SimDuration>,
+    recorder: Option<Arc<obs::Recorder>>,
 }
 
 impl Engine {
@@ -147,7 +149,17 @@ impl Engine {
             start: SimTime::ZERO,
             sample: None,
             time_limit: None,
+            recorder: None,
         }
+    }
+
+    /// Attaches an observability recorder: every issued IO lands on it as
+    /// a whole-op span (kind, offset, size, issue and completion times),
+    /// making the engine's op stream replayable and comparable across
+    /// runs.
+    pub fn recorder(mut self, recorder: Arc<obs::Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Starts issuing at `at` instead of t = 0 (for chaining phases).
@@ -174,37 +186,53 @@ impl Engine {
     ///
     /// Propagates the first target IO error.
     pub fn run(&mut self, target: &dyn IoTarget, jobs: &[JobSpec]) -> Result<RunReport> {
-        assert!(!jobs.is_empty(), "at least one job required");
+        if jobs.is_empty() {
+            return Err(ZnsError::InvalidArgument(
+                "at least one job required".to_string(),
+            ));
+        }
         let cap = target.capacity_sectors();
         let mut states: Vec<JobState> = jobs
             .iter()
             .map(|spec| {
                 let region = spec.region.unwrap_or((0, cap));
-                assert!(region.1 <= cap, "job region exceeds target capacity");
+                if region.1 > cap {
+                    return Err(ZnsError::InvalidArgument(format!(
+                        "job region end {} exceeds target capacity {cap}",
+                        region.1
+                    )));
+                }
                 let region_blocks = (region.1 - region.0) / spec.block_sectors;
-                assert!(region_blocks > 0, "job region smaller than one block");
+                if region_blocks == 0 {
+                    return Err(ZnsError::InvalidArgument(
+                        "job region smaller than one block".to_string(),
+                    ));
+                }
                 let remaining = if spec.ops > 0 {
                     spec.ops
                 } else {
-                    assert_eq!(
-                        spec.pattern,
-                        Pattern::Sequential,
-                        "random jobs must set an explicit op count"
-                    );
+                    if spec.pattern != Pattern::Sequential {
+                        return Err(ZnsError::InvalidArgument(
+                            "random jobs must set an explicit op count".to_string(),
+                        ));
+                    }
                     region_blocks
                 };
-                JobState {
+                Ok(JobState {
                     spec: spec.clone(),
                     region,
                     next_seq: region.0,
                     remaining,
                     in_flight: BinaryHeap::new(),
                     frontier: self.start,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_>>()?;
 
-        let max_block = jobs.iter().map(|j| j.block_sectors).max().expect("jobs");
+        let max_block =
+            jobs.iter().map(|j| j.block_sectors).max().ok_or_else(|| {
+                ZnsError::InvalidArgument("at least one job required".to_string())
+            })?;
         let mut buf = io_buffer(max_block);
         let mut latency = Histogram::new();
         let mut ts = self.sample.map(Timeseries::new);
@@ -227,7 +255,10 @@ impl Engine {
                 let t = if j.in_flight.len() < j.spec.queue_depth {
                     j.frontier
                 } else {
-                    SimTime::from_nanos(j.in_flight.peek().expect("at depth").0)
+                    match j.in_flight.peek() {
+                        Some(Reverse(n)) => SimTime::from_nanos(*n),
+                        None => j.frontier,
+                    }
                 };
                 let depth = j.in_flight.len();
                 if best
@@ -246,7 +277,9 @@ impl Engine {
             let job = &mut states[ji];
             // Retire completions that free the queue slot.
             while job.in_flight.len() >= job.spec.queue_depth {
-                let Reverse(done) = job.in_flight.pop().expect("at depth");
+                let Some(Reverse(done)) = job.in_flight.pop() else {
+                    break;
+                };
                 job.frontier = job.frontier.max(SimTime::from_nanos(done));
             }
             let issue = job.frontier.max(issue);
@@ -280,6 +313,24 @@ impl Engine {
             };
             let lat = done.since(issue);
             latency.record(lat);
+            if let Some(rec) = self.recorder.as_ref() {
+                rec.record(obs::TraceEvent {
+                    seq: 0,
+                    op: match job.spec.kind {
+                        OpKind::Read => obs::OpClass::Read,
+                        OpKind::Write => obs::OpClass::Write,
+                    },
+                    stage: obs::Stage::WholeOp,
+                    path: None,
+                    device: obs::NONE,
+                    zone: obs::NONE,
+                    lba: off,
+                    sectors: block,
+                    start: issue,
+                    end: done,
+                    outcome: obs::Outcome::Success,
+                });
+            }
             if let Some(ts) = ts.as_mut() {
                 ts.record(done, bytes as u64);
             }
@@ -415,10 +466,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "random jobs must set an explicit op count")]
     fn random_without_ops_rejected() {
         let t = ZonedTarget::new(timed_device());
         let job = JobSpec::new(OpKind::Read, Pattern::Random, 8);
-        let _ = Engine::new(9).run(&t, &[job]);
+        let err = Engine::new(9).run(&t, &[job]).unwrap_err();
+        assert!(matches!(err, zns::ZnsError::InvalidArgument(ref m)
+            if m.contains("random jobs must set an explicit op count")));
+    }
+
+    #[test]
+    fn empty_job_list_rejected() {
+        let t = ZonedTarget::new(timed_device());
+        let err = Engine::new(10).run(&t, &[]).unwrap_err();
+        assert!(matches!(err, zns::ZnsError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn oversized_region_rejected() {
+        let t = ZonedTarget::new(timed_device());
+        let cap = t.capacity_sectors();
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 8).region(0, cap + 8);
+        let err = Engine::new(11).run(&t, &[job]).unwrap_err();
+        assert!(matches!(err, zns::ZnsError::InvalidArgument(ref m)
+            if m.contains("exceeds target capacity")));
     }
 }

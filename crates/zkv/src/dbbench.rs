@@ -127,11 +127,12 @@ impl DbBench {
                 let mut reads_per_stream = vec![0u64; self.read_threads];
                 while reads_left > 0 {
                     // The stream with the earliest frontier acts next.
-                    let (i, &t) = frontiers
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, t)| **t)
-                        .expect("streams exist");
+                    let Some((i, &t)) = frontiers.iter().enumerate().min_by_key(|(_, t)| **t)
+                    else {
+                        return Err(zns::ZnsError::InvalidArgument(
+                            "readwhilewriting requires at least one stream".to_string(),
+                        ));
+                    };
                     if i == 0 {
                         // Writer stream.
                         let key = rng.gen_range(self.key_space);

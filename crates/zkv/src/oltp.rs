@@ -133,11 +133,11 @@ impl OltpBench {
         let mut transactions = 0u64;
         let mut end = at;
         loop {
-            let (i, &t) = frontiers
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, t)| **t)
-                .expect("streams exist");
+            let Some((i, &t)) = frontiers.iter().enumerate().min_by_key(|(_, t)| **t) else {
+                return Err(zns::ZnsError::InvalidArgument(
+                    "OLTP run requires at least one thread".to_string(),
+                ));
+            };
             if t >= deadline {
                 break;
             }

@@ -252,23 +252,25 @@ impl<V: ZonedVolume> ZkvStore<V> {
         sectors: u64,
     ) -> Result<(Lba, u32, SimTime)> {
         let geo = self.volume.geometry();
-        assert!(sectors <= geo.zone_cap(), "extent larger than a zone");
+        if sectors > geo.zone_cap() {
+            return Err(ZnsError::InvalidArgument(format!(
+                "zkv: extent of {sectors} sectors larger than a zone ({})",
+                geo.zone_cap()
+            )));
+        }
         let t = at;
-        let need_new = match inner.alloc.open {
-            Some((_, used)) => used + sectors > geo.zone_cap(),
-            None => true,
-        };
-        if need_new {
-            // The previous open zone stays as-is (implicitly closed by the
-            // device); it is reclaimed once its tables die.
-            inner.alloc.open = None;
-            let zone =
-                inner.alloc.free.pop_front().ok_or_else(|| {
+        let (zone, used) = match inner.alloc.open {
+            Some((zone, used)) if used + sectors <= geo.zone_cap() => (zone, used),
+            _ => {
+                // The previous open zone stays as-is (implicitly closed by
+                // the device); it is reclaimed once its tables die.
+                inner.alloc.open = None;
+                let zone = inner.alloc.free.pop_front().ok_or_else(|| {
                     ZnsError::InvalidArgument("zkv: out of free zones".to_string())
                 })?;
-            inner.alloc.open = Some((zone, 0));
-        }
-        let (zone, used) = inner.alloc.open.expect("opened above");
+                (zone, 0)
+            }
+        };
         let lba = geo.zone_start(zone) + used;
         inner.alloc.open = Some((zone, used + sectors));
         Ok((lba, zone, t))
@@ -303,15 +305,16 @@ impl<V: ZonedVolume> ZkvStore<V> {
                         && geo.range_in_one_zone(pl, pending_sectors + sectors)
                 })
                 .unwrap_or(false);
-            if !contiguous && pending_lba.is_some() {
-                let wl = pending_lba.take().expect("pending");
-                t = self
-                    .volume
-                    .write(t, wl, &pending, WriteFlags::default())?
-                    .done;
-                inner.stats.table_bytes_written += pending.len() as u64;
-                pending.clear();
-                pending_sectors = 0;
+            if !contiguous {
+                if let Some(wl) = pending_lba.take() {
+                    t = self
+                        .volume
+                        .write(t, wl, &pending, WriteFlags::default())?
+                        .done;
+                    inner.stats.table_bytes_written += pending.len() as u64;
+                    pending.clear();
+                    pending_sectors = 0;
+                }
             }
             if pending_lba.is_none() {
                 pending_lba = Some(lba);
@@ -392,14 +395,19 @@ impl<V: ZonedVolume> ZkvStore<V> {
             }
         }
         run_data.sort_by_key(|(lba, _)| *lba);
-        let slice_value = |e: &IndexEntry| -> Vec<u8> {
+        let slice_value = |e: &IndexEntry| -> Result<Vec<u8>> {
             let i = run_data
                 .partition_point(|(lba, _)| *lba <= e.lba)
                 .checked_sub(1)
-                .expect("entry lba below every run");
+                .ok_or_else(|| {
+                    ZnsError::InvalidArgument(format!(
+                        "zkv: compaction entry at lba {} below every run",
+                        e.lba
+                    ))
+                })?;
             let (run_lba, buf) = &run_data[i];
             let off = ((e.lba - run_lba) * SECTOR_SIZE) as usize;
-            buf[off + 16..off + 16 + e.value_len as usize].to_vec()
+            Ok(buf[off + 16..off + 16 + e.value_len as usize].to_vec())
         };
         // Merge indexes: newest table wins per key.
         let mut merged: BTreeMap<u64, (usize, IndexEntry)> = BTreeMap::new();
@@ -419,7 +427,7 @@ impl<V: ZonedVolume> ZkvStore<V> {
             if e.tombstone {
                 continue;
             }
-            items.push((key, Some(slice_value(&e))));
+            items.push((key, Some(slice_value(&e)?)));
         }
         // Release live references, then write the merged table.
         for table in &tables {

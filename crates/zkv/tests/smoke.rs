@@ -1,0 +1,158 @@
+//! Cross-crate smoke tests: the key-value store and its db_bench / OLTP
+//! drivers running over a full RAIZN array, replay determinism on the
+//! virtual clock, and error propagation pins for injected faults and
+//! capacity exhaustion.
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::{SimDuration, SimTime};
+use std::sync::Arc;
+use zkv::{DbBench, DbWorkload, OltpBench, OltpMix, ZkvConfig, ZkvStore};
+use zns::{FaultOp, FaultPlan, LatencyConfig, ZnsConfig, ZnsDevice, ZnsError};
+
+const T0: SimTime = SimTime::ZERO;
+
+fn zns_store() -> ZkvStore<ZnsDevice> {
+    // Realistic timing matters: the db_bench readwhilewriting scheduler
+    // interleaves streams by completion time, so zero-latency devices
+    // would starve the reader streams.
+    let dev = Arc::new(ZnsDevice::new(
+        ZnsConfig::builder()
+            .zones(32, 256, 256)
+            .open_limits(8, 14)
+            .latency(LatencyConfig::zns_ssd())
+            .store_data(false)
+            .build(),
+    ));
+    ZkvStore::create(dev, ZkvConfig::small_test(), T0).unwrap()
+}
+
+/// The store runs unchanged over a 5-device RAIZN array (the paper's
+/// Fig. 13/14 configuration, scaled down).
+fn raizn_store() -> ZkvStore<RaiznVolume> {
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| {
+            Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(16, 256, 256)
+                    .open_limits(8, 12)
+                    .latency(LatencyConfig::zns_ssd())
+                    .store_data(false)
+                    .build(),
+            ))
+        })
+        .collect();
+    let vol = Arc::new(RaiznVolume::format(devices, RaiznConfig::default(), T0).unwrap());
+    ZkvStore::create(vol, ZkvConfig::small_test(), T0).unwrap()
+}
+
+#[test]
+fn dbbench_runs_on_a_raizn_array() {
+    let s = raizn_store();
+    let bench = DbBench::new(150, 500);
+    let a = bench.run(&s, DbWorkload::FillRandom, T0).unwrap();
+    assert_eq!(a.write_latency.count(), 150);
+    let b = bench.run(&s, DbWorkload::ReadWhileWriting, a.end).unwrap();
+    assert_eq!(b.read_latency.count(), 150);
+    assert!(b.ops_per_sec() > 0.0);
+}
+
+#[test]
+fn oltp_runs_on_a_raizn_array() {
+    let s = raizn_store();
+    let mut bench = OltpBench::new(2, 40, 4);
+    bench.duration = SimDuration::from_millis(50);
+    let t = bench.prepare(&s, T0).unwrap();
+    let r = bench.run(&s, OltpMix::ReadWrite, t).unwrap();
+    assert!(r.transactions > 0);
+    assert_eq!(r.latency.count(), r.transactions);
+}
+
+/// The same seed must replay to the same virtual end time, op count and
+/// latency distribution — on two independently built stores.
+#[test]
+fn dbbench_replay_is_deterministic() {
+    let run = || {
+        let s = zns_store();
+        let bench = DbBench::new(200, 400);
+        let a = bench.run(&s, DbWorkload::FillRandom, T0).unwrap();
+        let b = bench.run(&s, DbWorkload::ReadWhileWriting, a.end).unwrap();
+        (
+            a.end,
+            b.end,
+            b.write_latency.count(),
+            b.write_latency.mean(),
+            b.read_latency.mean(),
+        )
+    };
+    assert_eq!(run(), run(), "db_bench replay diverged across fresh stores");
+}
+
+#[test]
+fn oltp_replay_is_deterministic() {
+    let run = || {
+        let s = zns_store();
+        let mut bench = OltpBench::new(2, 30, 3);
+        bench.duration = SimDuration::from_millis(40);
+        let t = bench.prepare(&s, T0).unwrap();
+        let r = bench.run(&s, OltpMix::ReadWrite, t).unwrap();
+        (r.transactions, r.end, r.latency.mean())
+    };
+    assert_eq!(run(), run(), "OLTP replay diverged across fresh stores");
+}
+
+/// Regression pin: an injected append fault inside a put must propagate
+/// as an `Err` out of the driver loop, not panic (the store used to
+/// assert on allocator state).
+#[test]
+fn injected_fault_propagates_through_dbbench() {
+    let dev = Arc::new(ZnsDevice::new(
+        ZnsConfig::builder()
+            .zones(32, 256, 256)
+            .open_limits(8, 14)
+            .store_data(false)
+            .build(),
+    ));
+    dev.set_fault_plan(FaultPlan::new(11).fail_nth(FaultOp::Append, 20));
+    let s = ZkvStore::create(dev, ZkvConfig::small_test(), T0).unwrap();
+    let bench = DbBench::new(500, 600);
+    let err = bench.run(&s, DbWorkload::FillSeq, T0).unwrap_err();
+    assert!(
+        matches!(err, ZnsError::TransientError { .. }),
+        "expected the injected append fault, got {err}"
+    );
+}
+
+/// Regression pin: running the volume out of free zones must surface as
+/// an error from `put`, not a panic (the extent allocator used to
+/// assert it always had an open zone).
+#[test]
+fn capacity_exhaustion_is_an_error() {
+    let dev = Arc::new(ZnsDevice::new(
+        ZnsConfig::builder()
+            .zones(6, 64, 64)
+            .open_limits(4, 6)
+            .store_data(false)
+            .build(),
+    ));
+    let s = ZkvStore::create(dev, ZkvConfig::small_test(), T0).unwrap();
+    let mut t = T0;
+    let value = vec![7u8; 16 * 1024];
+    let mut hit_error = false;
+    for key in 0..200u64 {
+        match s.put(t, key, &value) {
+            Ok(done) => t = done,
+            Err(e) => {
+                assert!(
+                    matches!(
+                        e,
+                        ZnsError::InvalidArgument(_) | ZnsError::OutOfRange { .. }
+                    ),
+                    "unexpected exhaustion error: {e}"
+                );
+                hit_error = true;
+                break;
+            }
+        }
+    }
+    assert!(hit_error, "store never ran out of space on a 6-zone device");
+}

@@ -54,6 +54,39 @@ struct Inner {
     failed: bool,
     write_seq: u64,
     faults: Option<FaultPlan>,
+    recorder: Option<std::sync::Arc<obs::Recorder>>,
+    dev_id: u32,
+}
+
+/// Emits one device-level span into the attached recorder, if any.
+/// Allocation-free: the recorder's ring and histograms are pre-allocated.
+#[allow(clippy::too_many_arguments)]
+fn trace_span(
+    inner: &Inner,
+    op: obs::OpClass,
+    stage: obs::Stage,
+    zone: u32,
+    lba: Lba,
+    sectors: u64,
+    start: SimTime,
+    end: SimTime,
+    outcome: obs::Outcome,
+) {
+    if let Some(rec) = inner.recorder.as_ref() {
+        rec.record(obs::TraceEvent {
+            seq: 0,
+            op,
+            stage,
+            path: None,
+            device: inner.dev_id,
+            zone,
+            lba,
+            sectors,
+            start,
+            end,
+            outcome,
+        });
+    }
 }
 
 impl ZnsDevice {
@@ -79,9 +112,19 @@ impl ZnsDevice {
                 failed: false,
                 write_seq: 0,
                 faults: None,
+                recorder: None,
+                dev_id: 0,
             }),
             config,
         }
+    }
+
+    /// Attaches a trace recorder; every subsequent command emits spans
+    /// tagged with `dev_id` (the device's index within its array).
+    pub fn set_recorder(&self, recorder: std::sync::Arc<obs::Recorder>, dev_id: u32) {
+        let mut inner = self.inner.lock();
+        inner.recorder = Some(recorder);
+        inner.dev_id = dev_id;
     }
 
     /// The device configuration.
@@ -351,9 +394,27 @@ impl ZnsDevice {
     ) -> Result<AppendCompletion> {
         let geo = self.config.geometry();
         let sectors = Self::sector_count(data.len())?;
+        let opclass = if op == FaultOp::Append {
+            obs::OpClass::Append
+        } else {
+            obs::OpClass::Write
+        };
         let mut inner = self.inner.lock();
         Self::check_alive(&inner)?;
-        Self::inject_fault(&mut inner, op)?;
+        if let Err(e) = Self::inject_fault(&mut inner, op) {
+            trace_span(
+                &inner,
+                opclass,
+                obs::Stage::DeviceIo,
+                zone,
+                geo.zone_start(zone),
+                sectors,
+                at,
+                at,
+                obs::Outcome::Transient,
+            );
+            return Err(e);
+        }
 
         {
             let z = &inner.zones[zone as usize];
@@ -378,6 +439,20 @@ impl ZnsDevice {
             }
             issue = inner.timing.drained_at().max(issue) + lat.flush;
             inner.stats.flushes += 1;
+            if let Some(rec) = inner.recorder.as_ref() {
+                rec.bump(obs::Counter::CacheFlushes);
+            }
+            trace_span(
+                &inner,
+                obs::OpClass::Flush,
+                obs::Stage::Flush,
+                zone,
+                0,
+                0,
+                at,
+                issue,
+                obs::Outcome::Success,
+            );
         }
 
         let assigned = geo.zone_start(zone) + inner.zones[zone as usize].wp;
@@ -421,6 +496,17 @@ impl ZnsDevice {
         }
         inner.stats.writes += 1;
         inner.stats.sectors_written += sectors;
+        trace_span(
+            &inner,
+            opclass,
+            obs::Stage::DeviceIo,
+            zone,
+            assigned,
+            sectors,
+            at,
+            done,
+            obs::Outcome::Success,
+        );
         Ok(AppendCompletion {
             lba: assigned,
             done,
@@ -574,7 +660,20 @@ impl ZonedVolume for ZnsDevice {
                 });
             }
         }
-        Self::check_latent(&mut inner, lba, sectors)?;
+        if let Err(e) = Self::check_latent(&mut inner, lba, sectors) {
+            trace_span(
+                &inner,
+                obs::OpClass::Read,
+                obs::Stage::DeviceIo,
+                zone,
+                lba,
+                sectors,
+                at,
+                at,
+                obs::Outcome::Media,
+            );
+            return Err(e);
+        }
         {
             let z = &inner.zones[zone as usize];
             if self.config.stores_data() {
@@ -597,6 +696,17 @@ impl ZonedVolume for ZnsDevice {
         }
         inner.stats.reads += 1;
         inner.stats.sectors_read += sectors;
+        trace_span(
+            &inner,
+            obs::OpClass::Read,
+            obs::Stage::DeviceIo,
+            zone,
+            lba,
+            sectors,
+            at,
+            done,
+            obs::Outcome::Success,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -666,6 +776,17 @@ impl ZonedVolume for ZnsDevice {
         inner.stats.zone_resets += 1;
         let dur = self.config.latency().reset;
         let done = self.mgmt_completion(&mut inner, at, dur);
+        trace_span(
+            &inner,
+            obs::OpClass::Reset,
+            obs::Stage::DeviceIo,
+            zone,
+            geo.zone_start(zone),
+            0,
+            at,
+            done,
+            obs::Outcome::Success,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -689,6 +810,17 @@ impl ZonedVolume for ZnsDevice {
         inner.stats.zone_finishes += 1;
         let dur = self.config.latency().finish;
         let done = self.mgmt_completion(&mut inner, at, dur);
+        trace_span(
+            &inner,
+            obs::OpClass::Finish,
+            obs::Stage::DeviceIo,
+            zone,
+            0,
+            0,
+            at,
+            done,
+            obs::Outcome::Success,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -761,6 +893,20 @@ impl ZonedVolume for ZnsDevice {
         }
         inner.stats.flushes += 1;
         let done = inner.timing.drained_at().max(at) + self.config.latency().flush;
+        if let Some(rec) = inner.recorder.as_ref() {
+            rec.bump(obs::Counter::CacheFlushes);
+        }
+        trace_span(
+            &inner,
+            obs::OpClass::Flush,
+            obs::Stage::Flush,
+            obs::NONE,
+            0,
+            0,
+            at,
+            done,
+            obs::Outcome::Success,
+        );
         Ok(IoCompletion { done })
     }
 
@@ -1310,6 +1456,45 @@ mod tests {
         assert_eq!(d.zone_info(0).unwrap().write_pointer, 3);
         d.reset_zone(SimTime::ZERO, 0).unwrap();
         assert_eq!(d.zone_info(0).unwrap().write_pointer, 0);
+    }
+
+    #[test]
+    fn recorder_sees_device_spans() {
+        let d = dev();
+        let rec = obs::Recorder::new(64, 1);
+        d.set_recorder(rec.clone(), 3);
+        d.write(SimTime::ZERO, 0, &sectors(2), WriteFlags::default())
+            .unwrap();
+        let mut buf = sectors(1);
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap();
+        d.flush(SimTime::ZERO).unwrap();
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.iter().all(|e| e.device == 3));
+        assert_eq!(evs[0].op, obs::OpClass::Write);
+        assert_eq!(evs[0].sectors, 2);
+        assert_eq!(evs[1].op, obs::OpClass::Read);
+        assert_eq!(evs[2].stage, obs::Stage::Flush);
+        assert_eq!(rec.count(obs::Counter::CacheFlushes), 1);
+    }
+
+    #[test]
+    fn recorder_tags_fault_outcomes() {
+        let d = dev();
+        let rec = obs::Recorder::new(64, 1);
+        d.set_recorder(rec.clone(), 0);
+        d.write(SimTime::ZERO, 0, &sectors(4), WriteFlags::default())
+            .unwrap();
+        d.set_fault_plan(FaultPlan::new(1).fail_nth(FaultOp::Write, 1));
+        d.write(SimTime::ZERO, 4, &sectors(1), WriteFlags::default())
+            .unwrap_err();
+        d.inject_latent_errors(1, 1);
+        let mut buf = sectors(4);
+        d.read(SimTime::ZERO, 0, &mut buf).unwrap_err();
+        let evs = rec.events();
+        assert_eq!(evs[1].outcome, obs::Outcome::Transient);
+        assert_eq!(evs[2].outcome, obs::Outcome::Media);
+        assert_eq!(evs[2].op, obs::OpClass::Read);
     }
 
     #[test]

@@ -1,10 +1,27 @@
 #!/usr/bin/env bash
-# Repo gate: build, full test suite, lints, formatting.
+# Repo gate: build, full test suite, hot-path gates, lints, formatting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test --workspace -q
+
+# Every workspace crate must carry tests (unit or integration).
+for crate in crates/*/; do
+  name=$(basename "$crate")
+  if [ -d "$crate/tests" ]; then
+    continue
+  fi
+  if ! grep -rq "#\[test\]" "$crate/src"; then
+    echo "check.sh: crate '$name' has no tests" >&2
+    exit 1
+  fi
+done
+
+# Hot-path gates: XOR speedup >= 4x, 0 allocs/write with tracing
+# enabled, trace overhead < 5% (the binary asserts all three).
+cargo run --release -q -p raizn-bench --bin hotpath > /dev/null
+
 cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
