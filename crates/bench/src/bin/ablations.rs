@@ -8,7 +8,7 @@
 //! 3. **Stripe unit size** — small-write metadata overhead across stripe
 //!    unit sizes.
 
-use bench::{bs_label, print_table, zns_devices};
+use bench::{bs_label, print_table, TimelineRun};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
 use std::sync::Arc;
@@ -18,49 +18,70 @@ use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
 const ZONES: u32 = 64;
 const ZONE_SECTORS: u64 = 4096;
 
-fn build(config: RaiznConfig) -> Arc<RaiznVolume> {
-    let devices = if config.use_zrwa {
-        (0..5)
-            .map(|_| {
-                Arc::new(ZnsDevice::new(
-                    ZnsConfig::builder()
-                        .zones(ZONES, ZONE_SECTORS, ZONE_SECTORS)
-                        .open_limits(14, 28)
-                        .latency(LatencyConfig::zns_ssd())
-                        .store_data(false)
-                        .zrwa(config.stripe_unit_sectors)
-                        .build(),
-                ))
-            })
-            .collect()
-    } else {
-        zns_devices(5, ZONES, ZONE_SECTORS)
-    };
+/// Builds the volume. Custom configs (ZRWA windows, pp variants) mean the
+/// harness volume builders don't fit; when `run` is set the devices and
+/// volume are wired into its recorder and gauge registry instead of the
+/// process-wide recorder.
+fn build(config: RaiznConfig, run: Option<&TimelineRun>) -> bench::BenchResult<Arc<RaiznVolume>> {
+    let rec = run.map_or_else(bench::recorder, TimelineRun::recorder);
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|_| {
+            let mut builder = ZnsConfig::builder();
+            builder
+                .zones(ZONES, ZONE_SECTORS, ZONE_SECTORS)
+                .open_limits(14, 28)
+                .latency(LatencyConfig::zns_ssd())
+                .store_data(false);
+            if config.use_zrwa {
+                builder.zrwa(config.stripe_unit_sectors);
+            }
+            Arc::new(ZnsDevice::new(builder.build()))
+        })
+        .collect();
     for (i, dev) in devices.iter().enumerate() {
-        dev.set_recorder(bench::recorder(), i as u32);
+        dev.set_recorder(rec.clone(), i as u32);
+        if let Some(run) = run {
+            run.register(dev.clone());
+        }
     }
-    let vol = Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO).expect("format"));
-    vol.set_recorder(bench::recorder());
-    vol
+    let vol = Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO)?);
+    vol.set_recorder(rec);
+    if let Some(run) = run {
+        run.register(vol.clone());
+    }
+    Ok(vol)
 }
 
-fn small_write_run(config: RaiznConfig) -> (f64, u64, u64) {
-    let vol = build(config);
+fn small_write_run(
+    config: RaiznConfig,
+    run: Option<&TimelineRun>,
+) -> bench::BenchResult<(f64, u64, u64, SimTime)> {
+    let vol = build(config, run)?;
     let target = ZonedTarget::new(vol.clone());
     // 4 KiB sequential writes: every one logs partial parity.
     let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 1)
         .ops(16_384)
         .queue_depth(64);
-    let report = Engine::new(77).run(&target, &[job]).expect("run");
+    let mut engine = Engine::new(77);
+    if let Some(run) = run {
+        engine = engine.timeline(run.timeline());
+    }
+    let report = engine.run(&target, &[job])?;
     let stats = vol.stats();
-    (
+    Ok((
         report.throughput_mib_s(),
         stats.pp_log_entries,
         stats.pp_log_bytes,
-    )
+        report.end,
+    ))
 }
 
-fn main() {
+fn main() -> bench::BenchResult {
+    // Timeline capture rides on the paper-default variant: its pp-log and
+    // metadata gauges are the plot the ablation argues from.
+    let capture = TimelineRun::new("ablations");
+    let mut capture_end = SimTime::ZERO;
+
     // --- Ablation 1 + 2: pp scope and header cost at 4 KiB writes. ----
     let base = RaiznConfig::default();
     let full_unit = RaiznConfig {
@@ -75,25 +96,27 @@ fn main() {
         use_zrwa: true,
         ..base
     };
-    let rows: Vec<Vec<String>> = [
+    let mut rows = Vec::new();
+    for (label, cfg) in [
         ("affected-rows pp + header (paper)", base),
         ("full-unit pp + header", full_unit),
         ("affected-rows pp, free headers (§5.4)", lb_meta),
         ("ZRWA in-place parity (§5.4)", zrwa),
-    ]
-    .into_iter()
-    .map(|(label, cfg)| {
-        let (mib_s, entries, bytes) = small_write_run(cfg);
+    ] {
+        let flagship = label.contains("(paper)");
+        let (mib_s, entries, bytes, end) = small_write_run(cfg, flagship.then_some(&capture))?;
+        if flagship {
+            capture_end = end;
+        }
         let wa = (bytes + entries * 4096) as f64 / (16_384.0 * 4096.0);
-        vec![
+        rows.push(vec![
             label.to_string(),
             format!("{mib_s:.0}"),
             format!("{entries}"),
             format!("{:.1}", bytes as f64 / (1024.0 * 1024.0)),
             format!("{wa:.2}"),
-        ]
-    })
-    .collect();
+        ]);
+    }
     print_table(
         "Ablation: partial-parity logging strategy (16k x 4 KiB writes)",
         &["variant", "MiB/s", "pp entries", "pp MiB", "pp write-amp"],
@@ -101,27 +124,26 @@ fn main() {
     );
 
     // --- Ablation 3: stripe unit size vs small-write overhead. --------
-    let rows: Vec<Vec<String>> = [2u64, 4, 16, 32]
-        .into_iter()
-        .map(|su| {
-            let cfg = RaiznConfig {
-                stripe_unit_sectors: su,
-                ..RaiznConfig::default()
-            };
-            let (mib_s, entries, bytes) = small_write_run(cfg);
-            vec![
-                bs_label(su),
-                format!("{mib_s:.0}"),
-                format!("{entries}"),
-                format!("{:.1}", bytes as f64 / (1024.0 * 1024.0)),
-            ]
-        })
-        .collect();
+    let mut rows = Vec::new();
+    for su in [2u64, 4, 16, 32] {
+        let cfg = RaiznConfig {
+            stripe_unit_sectors: su,
+            ..RaiznConfig::default()
+        };
+        let (mib_s, entries, bytes, _) = small_write_run(cfg, None)?;
+        rows.push(vec![
+            bs_label(su),
+            format!("{mib_s:.0}"),
+            format!("{entries}"),
+            format!("{:.1}", bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
     print_table(
         "Ablation: stripe unit size at 4 KiB writes",
         &["stripe unit", "MiB/s", "pp entries", "pp MiB"],
         &rows,
     );
 
-    bench::write_breakdown("ablations");
+    capture.finish(capture_end)?;
+    bench::write_breakdown("ablations")
 }

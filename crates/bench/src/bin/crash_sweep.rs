@@ -17,7 +17,11 @@
 //!
 //! Usage: `crash_sweep [--seed N]` (default seed 42, used for the
 //! random trials; the enumerated sweep is exhaustive and seed-free).
+//!
+//! Every violated invariant exits nonzero with the crash point named on
+//! stderr (no panics: CI distinguishes a failed gate from a crash).
 
+use bench::{gate, BenchError};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::{SimRng, SimTime};
 use std::sync::Arc;
@@ -58,7 +62,7 @@ impl ZoneModel {
 /// parity logs, FUA barriers, a logged zone reset, zone finish, and
 /// cached tails (including a cached stripe completion with its parity
 /// write). `flush` is volume-global, so the durable phase comes first.
-fn run_workload(v: &RaiznVolume) -> Vec<ZoneModel> {
+fn run_workload(v: &RaiznVolume) -> bench::BenchResult<Vec<ZoneModel>> {
     let lgeo = v.layout().logical_geometry();
     let z = |zone: u32| lgeo.zone_start(zone);
 
@@ -73,23 +77,23 @@ fn run_workload(v: &RaiznVolume) -> Vec<ZoneModel> {
     let d1 = bytes(10, 0xD1);
 
     // Durable phase.
-    v.write(T0, z(0), &a0, WriteFlags::default()).unwrap();
-    v.write(T0, z(1), &b0, WriteFlags::FUA).unwrap();
-    v.write(T0, z(2), &c0, WriteFlags::default()).unwrap();
-    v.write(T0, z(2) + 5, &c1, WriteFlags::FUA).unwrap();
-    v.write(T0, z(3), &d0, WriteFlags::default()).unwrap();
-    v.flush(T0).unwrap();
-    v.reset_zone(T0, 3).unwrap();
-    v.write(T0, z(3), &d1, WriteFlags::default()).unwrap();
-    v.flush(T0).unwrap();
-    v.finish_zone(T0, 3).unwrap();
+    v.write(T0, z(0), &a0, WriteFlags::default())?;
+    v.write(T0, z(1), &b0, WriteFlags::FUA)?;
+    v.write(T0, z(2), &c0, WriteFlags::default())?;
+    v.write(T0, z(2) + 5, &c1, WriteFlags::FUA)?;
+    v.write(T0, z(3), &d0, WriteFlags::default())?;
+    v.flush(T0)?;
+    v.reset_zone(T0, 3)?;
+    v.write(T0, z(3), &d1, WriteFlags::default())?;
+    v.flush(T0)?;
+    v.finish_zone(T0, 3)?;
 
     // Cached tails.
-    v.write(T0, z(0) + 24, &a1, WriteFlags::default()).unwrap();
-    v.write(T0, z(1) + 16, &b1, WriteFlags::default()).unwrap();
-    v.write(T0, z(2) + 7, &c2, WriteFlags::default()).unwrap();
+    v.write(T0, z(0) + 24, &a1, WriteFlags::default())?;
+    v.write(T0, z(1) + 16, &b1, WriteFlags::default())?;
+    v.write(T0, z(2) + 7, &c2, WriteFlags::default())?;
 
-    vec![
+    Ok(vec![
         ZoneModel {
             data: [a0, a1].concat(),
             durable: 24,
@@ -106,20 +110,20 @@ fn run_workload(v: &RaiznVolume) -> Vec<ZoneModel> {
             data: d1,
             durable: 10,
         },
-    ]
+    ])
 }
 
-fn verify(v: &RaiznVolume, models: &[ZoneModel], point: &str) {
+fn verify(v: &RaiznVolume, models: &[ZoneModel], point: &str) -> bench::BenchResult {
     let lgeo = v.layout().logical_geometry();
     for (zi, m) in models.iter().enumerate() {
-        let info = v.zone_info(zi as u32).unwrap();
+        let info = v.zone_info(zi as u32)?;
         let wp = info.write_pointer - info.start;
-        assert!(
+        gate!(
             wp >= m.durable,
             "{point}: zone {zi} lost durable data (wp {wp} < durable {})",
             m.durable
         );
-        assert!(
+        gate!(
             wp <= m.written(),
             "{point}: zone {zi} invented data (wp {wp} > written {})",
             m.written()
@@ -127,8 +131,8 @@ fn verify(v: &RaiznVolume, models: &[ZoneModel], point: &str) {
         if wp > 0 {
             let mut out = vec![0u8; (wp * SECTOR_SIZE) as usize];
             v.read(T0, lgeo.zone_start(zi as u32), &mut out)
-                .unwrap_or_else(|e| panic!("{point}: zone {zi} read failed: {e}"));
-            assert!(
+                .map_err(|e| BenchError::Gate(format!("{point}: zone {zi} read failed: {e}")))?;
+            gate!(
                 out[..] == m.data[..out.len()],
                 "{point}: zone {zi} recovered data is not the written prefix (wp {wp})"
             );
@@ -136,30 +140,31 @@ fn verify(v: &RaiznVolume, models: &[ZoneModel], point: &str) {
     }
     let rep = v
         .scrub(T0)
-        .unwrap_or_else(|e| panic!("{point}: scrub failed: {e}"));
-    assert!(
+        .map_err(|e| BenchError::Gate(format!("{point}: scrub failed: {e}")))?;
+    gate!(
         rep.parity_repairs == 0 && rep.units_healed == 0,
         "{point}: scrub found damage after recovery: {rep:?}"
     );
+    Ok(())
 }
 
 /// Runs the workload on fresh devices, crashes each device with the
 /// policy `policy_for(device)` returns, mounts and verifies.
-fn run_point(point: &str, mut policy_for: impl FnMut(usize) -> CrashPolicy) {
+fn run_point(point: &str, mut policy_for: impl FnMut(usize) -> CrashPolicy) -> bench::BenchResult {
     let devs = devices();
-    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
-    let models = run_workload(&v);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0)?;
+    let models = run_workload(&v)?;
     drop(v);
     for (i, dev) in devs.iter().enumerate() {
         let mut p = policy_for(i);
         dev.crash(&mut p);
     }
     let v = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0)
-        .unwrap_or_else(|e| panic!("{point}: mount failed: {e}"));
-    verify(&v, &models, point);
+        .map_err(|e| BenchError::Gate(format!("{point}: mount failed: {e}")))?;
+    verify(&v, &models, point)
 }
 
-fn main() {
+fn main() -> bench::BenchResult {
     let mut seed = 42u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -168,24 +173,28 @@ fn main() {
                 seed = args
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .expect("--seed needs an integer");
+                    .ok_or_else(|| BenchError::Gate("--seed needs an integer".into()))?;
             }
-            other => panic!("unknown argument {other:?} (usage: crash_sweep [--seed N])"),
+            other => {
+                return Err(BenchError::Gate(format!(
+                    "unknown argument {other:?} (usage: crash_sweep [--seed N])"
+                )));
+            }
         }
     }
 
     // Baseline run: verify and snapshot the crash-point ranges.
     let base_devs = devices();
-    let v = RaiznVolume::format(base_devs.clone(), RaiznConfig::small_test(), T0).unwrap();
-    let models = run_workload(&v);
-    verify(&v, &models, "baseline");
+    let v = RaiznVolume::format(base_devs.clone(), RaiznConfig::small_test(), T0)?;
+    let models = run_workload(&v)?;
+    verify(&v, &models, "baseline")?;
     drop(v);
     let num_zones = base_devs[0].geometry().num_zones();
     let mut points: Vec<(usize, u32, u64)> = Vec::new();
     for (d, dev) in base_devs.iter().enumerate() {
         for zone in 0..num_zones {
             let durable = dev.durable_wp(zone);
-            let info = dev.zone_info(zone).unwrap();
+            let info = dev.zone_info(zone)?;
             let wp = info.write_pointer - info.start;
             for s in durable..wp {
                 points.push((d, zone, s));
@@ -199,8 +208,8 @@ fn main() {
     );
 
     // Global extremes.
-    run_point("keep-cache", |_| CrashPolicy::KeepCache);
-    run_point("lose-cache", |_| CrashPolicy::LoseCache);
+    run_point("keep-cache", |_| CrashPolicy::KeepCache)?;
+    run_point("lose-cache", |_| CrashPolicy::LoseCache)?;
 
     // Exhaustive single-zone pins: the probed zone survives at `s`
     // while the rest of the array keeps (mode A) or loses (mode B) its
@@ -212,14 +221,14 @@ fn main() {
             } else {
                 CrashPolicy::KeepCache
             }
-        });
+        })?;
         run_point(&format!("pin+lose dev {d} zone {zone} survivor {s}"), |i| {
             if i == *d {
                 CrashPolicy::pin_zone_lose_rest(*zone, *s)
             } else {
                 CrashPolicy::LoseCache
             }
-        });
+        })?;
     }
 
     // Seeded whole-array random crashes: every zone of every device
@@ -227,7 +236,7 @@ fn main() {
     for trial in 0..RANDOM_TRIALS {
         run_point(&format!("random trial {trial}"), |i| {
             CrashPolicy::Random(SimRng::new_stream(seed, trial * DEVICES as u64 + i as u64))
-        });
+        })?;
     }
 
     println!(
@@ -236,5 +245,5 @@ fn main() {
         RANDOM_TRIALS
     );
 
-    bench::write_breakdown("crash_sweep");
+    bench::write_breakdown("crash_sweep")
 }

@@ -3,8 +3,13 @@
 //! sequentially overwrites the whole address space. mdraid collapses when
 //! the conventional SSDs exhaust spare blocks and garbage-collect; RAIZN
 //! stays flat because ZNS devices have no device-side GC.
+//!
+//! Each system emits a `BENCH_fig10_<system>_timeline.json` artifact
+//! covering the overwrite phase (the phase the paper plots): per-window
+//! throughput and stage percentiles plus device/FTL/array gauges. The
+//! `report` binary renders and gates them (`scripts/check.sh`).
 
-use bench::{mdraid_volume, print_table, raizn_volume};
+use bench::{print_table, TimelineRun};
 use sim::SimDuration;
 use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
 
@@ -12,7 +17,11 @@ const ZONES: u32 = 64;
 const ZONE_SECTORS: u64 = 4096; // 16 MiB zones, 1 GiB per device
 const BS: u64 = 256; // 1 MiB writes
 
-fn run_overwrite(target: &dyn IoTarget, label: &str) -> Vec<Vec<String>> {
+fn run_overwrite(
+    target: &dyn IoTarget,
+    label: &str,
+    capture: &TimelineRun,
+) -> bench::BenchResult<Vec<Vec<String>>> {
     let cap = target.capacity_sectors();
     let fifth = cap / 5 / ZONE_SECTORS * ZONE_SECTORS;
     // Phase 1: 5 threads, 20% regions.
@@ -23,21 +32,31 @@ fn run_overwrite(target: &dyn IoTarget, label: &str) -> Vec<Vec<String>> {
                 .queue_depth(32)
         })
         .collect();
-    let mut e = Engine::new(10).sample_interval(SimDuration::from_millis(100));
-    let p1 = e.run(target, &phase1).expect("phase 1");
+    let mut e = Engine::new(10)
+        .sample_interval(SimDuration::from_millis(100))
+        .timeline(capture.timeline());
+    let p1 = e.run(target, &phase1)?;
+    // The paper's figure plots the overwrite phase; scope the timeline
+    // artifact to it so its windows are not diluted by the concurrent
+    // 5-job fill (which has a different throughput level by design).
+    capture.reset_capture();
     // Phase 2: single-thread full overwrite.
     let phase2 = vec![JobSpec::new(OpKind::Write, Pattern::Sequential, BS)
         .region(0, fifth * 5)
         .queue_depth(32)];
     let mut e2 = Engine::new(11)
         .start_at(p1.end)
-        .sample_interval(SimDuration::from_millis(100));
-    let p2 = e2.run(target, &phase2).expect("phase 2");
+        .sample_interval(SimDuration::from_millis(100))
+        .timeline(capture.timeline());
+    let p2 = e2.run(target, &phase2)?;
+    capture.write_to(std::path::Path::new("."), p2.end)?;
 
     let mut rows = Vec::new();
     let collect = |rows: &mut Vec<Vec<String>>, rep: &workloads::RunReport, phase: &str| {
-        let ts = rep.throughput_series.as_ref().expect("sampled");
-        let ls = rep.latency_series.as_ref().expect("sampled");
+        let (Some(ts), Some(ls)) = (rep.throughput_series.as_ref(), rep.latency_series.as_ref())
+        else {
+            return;
+        };
         for (p, l) in ts.iter().zip(ls.iter()) {
             if p.bytes == 0 {
                 continue;
@@ -54,17 +73,19 @@ fn run_overwrite(target: &dyn IoTarget, label: &str) -> Vec<Vec<String>> {
     };
     collect(&mut rows, &p1, "fill");
     collect(&mut rows, &p2, "overwrite");
-    rows
+    Ok(rows)
 }
 
-fn main() {
-    let raizn = raizn_volume(ZONES, ZONE_SECTORS, 16);
+fn main() -> bench::BenchResult {
+    let rz_capture = TimelineRun::new("fig10_raizn");
+    let raizn = rz_capture.raizn_volume(ZONES, ZONE_SECTORS, 16)?;
     let rt = ZonedTarget::new(raizn);
-    let mut rows = run_overwrite(&rt, "raizn");
+    let mut rows = run_overwrite(&rt, "raizn", &rz_capture)?;
 
-    let md = mdraid_volume(ZONES as u64 * ZONE_SECTORS, 16);
+    let md_capture = TimelineRun::new("fig10_mdraid");
+    let md = md_capture.mdraid_volume(ZONES as u64 * ZONE_SECTORS, 16)?;
     let mt = BlockTarget::new(md.clone());
-    rows.extend(run_overwrite(&mt, "mdraid"));
+    rows.extend(run_overwrite(&mt, "mdraid", &md_capture)?);
 
     print_table(
         "Figure 10: overwrite timeseries (100 ms samples)",
@@ -74,22 +95,24 @@ fn main() {
 
     // Summary: fill-phase vs overwrite-phase median throughput (edge
     // samples excluded to avoid ramp artifacts).
-    let median_tput = |rows: &[Vec<String>], system: &str, phase: &str| {
-        let mut tputs: Vec<f64> = rows
-            .iter()
-            .filter(|r| r[0] == system && r[1] == phase)
-            .map(|r| r[3].parse::<f64>().expect("tput"))
-            .collect();
-        if tputs.len() > 4 {
-            tputs.remove(0);
-            tputs.pop();
-        }
-        sim::Summary::from_values(&tputs).median()
-    };
+    let median_tput =
+        |rows: &[Vec<String>], system: &str, phase: &str| -> bench::BenchResult<f64> {
+            let mut tputs = Vec::new();
+            for r in rows.iter().filter(|r| r[0] == system && r[1] == phase) {
+                tputs.push(r[3].parse::<f64>().map_err(|e| {
+                    bench::BenchError::Gate(format!("unparseable throughput cell {:?}: {e}", r[3]))
+                })?);
+            }
+            if tputs.len() > 4 {
+                tputs.remove(0);
+                tputs.pop();
+            }
+            Ok(sim::Summary::from_values(&tputs).median())
+        };
     let mut summary = Vec::new();
     for system in ["raizn", "mdraid"] {
-        let fill = median_tput(&rows, system, "fill");
-        let over = median_tput(&rows, system, "overwrite");
+        let fill = median_tput(&rows, system, "fill")?;
+        let over = median_tput(&rows, system, "overwrite")?;
         summary.push(vec![
             system.to_string(),
             format!("{fill:.0}"),
@@ -103,5 +126,11 @@ fn main() {
         &summary,
     );
 
-    bench::write_breakdown("fig10");
+    // Timelines were already written at the end of each overwrite phase;
+    // fold the captures' aggregates into the shared breakdown.
+    rz_capture.reset_capture();
+    md_capture.reset_capture();
+    println!("timeline -> BENCH_fig10_raizn_timeline.json");
+    println!("timeline -> BENCH_fig10_mdraid_timeline.json");
+    bench::write_breakdown("fig10")
 }

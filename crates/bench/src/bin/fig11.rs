@@ -1,7 +1,9 @@
 //! Figure 11: degraded performance — sequential and random read
 //! throughput/latency after one device fails (no replacement).
 
-use bench::{bs_label, mdraid_volume, prime, print_table, raizn_volume, run_micro, Micro};
+use bench::{
+    bs_label, mdraid_volume, prime, print_table, raizn_volume, run_micro, Micro, TimelineRun,
+};
 use sim::SimTime;
 use workloads::{BlockTarget, ZonedTarget};
 use zns::ZonedVolume;
@@ -11,22 +13,35 @@ const ZONE_SECTORS: u64 = 4096;
 const SU: u64 = 16;
 const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
 
-fn main() {
+fn main() -> bench::BenchResult {
+    // Timeline capture rides on the flagship degraded random-read run;
+    // its gauges show the degraded flag and reconstruction load.
+    let capture = TimelineRun::new("fig11");
+    let mut capture_end = SimTime::ZERO;
     let mut rows = Vec::new();
     for micro in [Micro::SeqRead, Micro::RandRead] {
         for bs in BLOCK_SIZES {
-            let raizn = raizn_volume(ZONES, ZONE_SECTORS, SU);
+            let flagship = micro == Micro::RandRead && bs == 256;
+            let raizn = if flagship {
+                capture.raizn_volume(ZONES, ZONE_SECTORS, SU)?
+            } else {
+                raizn_volume(ZONES, ZONE_SECTORS, SU)?
+            };
             let rt = ZonedTarget::new(raizn.clone());
-            let start = prime(&rt, SimTime::ZERO);
+            let start = prime(&rt, SimTime::ZERO)?;
             raizn.fail_device(0);
             let align = rt.volume().geometry().zone_cap();
-            let r = run_micro(&rt, micro, bs, align, start);
+            let timeline = flagship.then(|| capture.timeline());
+            let r = run_micro(&rt, micro, bs, align, start, timeline)?;
+            if flagship {
+                capture_end = r.end;
+            }
 
-            let md = mdraid_volume(ZONES as u64 * ZONE_SECTORS, SU);
+            let md = mdraid_volume(ZONES as u64 * ZONE_SECTORS, SU)?;
             let mt = BlockTarget::new(md.clone());
-            let start = prime(&mt, SimTime::ZERO);
+            let start = prime(&mt, SimTime::ZERO)?;
             md.fail_device(0);
-            let m = run_micro(&mt, micro, bs, align, start);
+            let m = run_micro(&mt, micro, bs, align, start, None)?;
 
             rows.push(vec![
                 micro.name().to_string(),
@@ -46,5 +61,6 @@ fn main() {
         &rows,
     );
 
-    bench::write_breakdown("fig11");
+    capture.finish(capture_end)?;
+    bench::write_breakdown("fig11")
 }

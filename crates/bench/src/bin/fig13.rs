@@ -2,7 +2,7 @@
 //! overwrite, readwhilewriting) at 4000- and 8000-byte values, on
 //! zkv-over-RAIZN vs zkv-over-mdraid (via the F2FS-like zone shim).
 
-use bench::{conv_devices, print_table, raizn_volume};
+use bench::{conv_devices, print_table, raizn_volume, TimelineRun};
 use ftl::BlockDevice;
 use mdraid5::{Md5Config, Md5Volume, ZonedBlockShim};
 use sim::SimTime;
@@ -10,22 +10,28 @@ use std::sync::Arc;
 use zkv::{DbBench, DbWorkload, ZkvConfig, ZkvStore};
 use zns::ZonedVolume;
 
+/// Rows of (workload label, kops/s, MiB/s) plus the run's end time.
+type SuiteRows = (Vec<(String, f64, f64)>, SimTime);
+
 const ZONES: u32 = 64;
 const ZONE_SECTORS: u64 = 4096; // 1 GiB per device
 const OPS: u64 = 20_000;
 
+/// Runs the four db_bench workloads. `capture` (when present) rides on
+/// the store that serves the three chained workloads; zkv drives the
+/// volume directly (no engine loop), so gauges are force-sampled at
+/// workload boundaries while windows come from the recorded volume spans.
 fn run_suite<V: ZonedVolume>(
-    mk: impl Fn() -> Arc<V>,
+    mk: impl Fn(Option<&TimelineRun>) -> bench::BenchResult<Arc<V>>,
     value_size: usize,
-) -> Vec<(String, f64, f64)> {
+    capture: Option<&TimelineRun>,
+) -> bench::BenchResult<SuiteRows> {
     let bench = DbBench::new(OPS, value_size);
     let mut out = Vec::new();
     // fillseq runs on a fresh store.
     {
-        let store = ZkvStore::create(mk(), ZkvConfig::default(), SimTime::ZERO).expect("store");
-        let r = bench
-            .run(&store, DbWorkload::FillSeq, SimTime::ZERO)
-            .expect("fillseq");
+        let store = ZkvStore::create(mk(None)?, ZkvConfig::default(), SimTime::ZERO)?;
+        let r = bench.run(&store, DbWorkload::FillSeq, SimTime::ZERO)?;
         out.push((
             "fillseq".to_string(),
             r.ops_per_sec(),
@@ -33,17 +39,18 @@ fn run_suite<V: ZonedVolume>(
         ));
     }
     // The remaining three run in succession on one store (paper method).
-    let store = ZkvStore::create(mk(), ZkvConfig::default(), SimTime::ZERO).expect("store");
+    let store = ZkvStore::create(mk(capture)?, ZkvConfig::default(), SimTime::ZERO)?;
     let mut t = SimTime::ZERO;
     for wl in [
         DbWorkload::FillRandom,
         DbWorkload::Overwrite,
         DbWorkload::ReadWhileWriting,
     ] {
-        let r = bench
-            .run(&store, wl, t)
-            .unwrap_or_else(|e| panic!("{}: {e:?}", wl.name()));
+        let r = bench.run(&store, wl, t)?;
         t = r.end;
+        if let Some(c) = capture {
+            c.timeline().force_sample(t);
+        }
         let p99 = if wl == DbWorkload::ReadWhileWriting {
             r.read_latency.percentile(99.0)
         } else {
@@ -55,14 +62,29 @@ fn run_suite<V: ZonedVolume>(
             p99.as_secs_f64() * 1e6,
         ));
     }
-    out
+    Ok((out, t))
 }
 
-fn main() {
+fn main() -> bench::BenchResult {
+    // Timeline capture rides on the flagship suite: 4000-byte values on
+    // zkv-over-RAIZN, chained fillrandom/overwrite/readwhilewriting.
+    let capture = TimelineRun::new("fig13");
+    let mut capture_end = SimTime::ZERO;
     for value_size in [4000usize, 8000] {
-        let raizn = run_suite(|| raizn_volume(ZONES, ZONE_SECTORS, 16), value_size);
-        let mdraid = run_suite(
-            || {
+        let flagship = value_size == 4000;
+        let (raizn, rz_end) = run_suite(
+            |c| match c {
+                Some(c) => c.raizn_volume(ZONES, ZONE_SECTORS, 16),
+                None => raizn_volume(ZONES, ZONE_SECTORS, 16),
+            },
+            value_size,
+            flagship.then_some(&capture),
+        )?;
+        if flagship {
+            capture_end = rz_end;
+        }
+        let (mdraid, _) = run_suite(
+            |_| {
                 // The stripe cache is scaled with the dataset: the paper's
                 // database is ~3000x md's 128 MiB cache, so a full-size
                 // cache here would (unrealistically) hold the whole DB.
@@ -71,21 +93,19 @@ fn main() {
                         .into_iter()
                         .map(|d| d as Arc<dyn BlockDevice>)
                         .collect();
-                let md = Arc::new(
-                    Md5Volume::new(
-                        devices,
-                        Md5Config {
-                            chunk_sectors: 16,
-                            stripe_cache_bytes: 2 * 1024 * 1024,
-                        },
-                    )
-                    .expect("assemble mdraid"),
-                );
+                let md = Arc::new(Md5Volume::new(
+                    devices,
+                    Md5Config {
+                        chunk_sectors: 16,
+                        stripe_cache_bytes: 2 * 1024 * 1024,
+                    },
+                )?);
                 // Zone shim plays F2FS: logical zones match RAIZN's 64 MiB.
-                Arc::new(ZonedBlockShim::new(md, 4 * ZONE_SECTORS).expect("shim"))
+                Ok(Arc::new(ZonedBlockShim::new(md, 4 * ZONE_SECTORS)?))
             },
             value_size,
-        );
+            None,
+        )?;
         let rows: Vec<Vec<String>> = raizn
             .iter()
             .zip(mdraid.iter())
@@ -116,5 +136,6 @@ fn main() {
         );
     }
 
-    bench::write_breakdown("fig13");
+    capture.finish(capture_end)?;
+    bench::write_breakdown("fig13")
 }

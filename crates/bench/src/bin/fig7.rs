@@ -1,7 +1,7 @@
 //! Figure 7: mdraid throughput vs block size for 8–128 KiB stripe units
 //! (sequential write, sequential read, random read).
 
-use bench::{bs_label, mdraid_volume, prime, print_table, run_micro, Micro};
+use bench::{bs_label, mdraid_volume, prime, print_table, run_micro, Micro, TimelineRun};
 use sim::SimTime;
 use workloads::BlockTarget;
 
@@ -9,20 +9,33 @@ const DEV_SECTORS: u64 = 64 * 4096; // 1 GiB per device
 const STRIPE_UNITS: [u64; 4] = [2, 4, 16, 32]; // 8K, 16K, 64K, 128K
 const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
 
-fn main() {
+fn main() -> bench::BenchResult {
+    // Timeline capture rides on the flagship configuration (largest
+    // stripe unit and block size, sequential write).
+    let capture = TimelineRun::new("fig7");
+    let mut capture_end = SimTime::ZERO;
     for micro in [Micro::SeqWrite, Micro::SeqRead, Micro::RandRead] {
         let mut rows = Vec::new();
         for su in STRIPE_UNITS {
             let mut cells = vec![format!("su={}", bs_label(su))];
             for bs in BLOCK_SIZES {
-                let md = mdraid_volume(DEV_SECTORS, su);
+                let flagship = micro == Micro::SeqWrite && su == 32 && bs == 256;
+                let md = if flagship {
+                    capture.mdraid_volume(DEV_SECTORS, su)?
+                } else {
+                    mdraid_volume(DEV_SECTORS, su)?
+                };
                 let t = BlockTarget::new(md);
                 let start = if micro == Micro::SeqWrite {
                     SimTime::ZERO
                 } else {
-                    prime(&t, SimTime::ZERO)
+                    prime(&t, SimTime::ZERO)?
                 };
-                let r = run_micro(&t, micro, bs, su * 4, start);
+                let timeline = flagship.then(|| capture.timeline());
+                let r = run_micro(&t, micro, bs, su * 4, start, timeline)?;
+                if flagship {
+                    capture_end = r.end;
+                }
                 cells.push(format!("{:.0}", r.throughput_mib_s()));
             }
             rows.push(cells);
@@ -41,5 +54,6 @@ fn main() {
         );
     }
 
-    bench::write_breakdown("fig7");
+    capture.finish(capture_end)?;
+    bench::write_breakdown("fig7")
 }

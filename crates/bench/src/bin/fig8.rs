@@ -1,7 +1,7 @@
 //! Figure 8: RAIZN throughput vs block size for 8–128 KiB stripe units
 //! (sequential write, sequential read, random read).
 
-use bench::{bs_label, prime, print_table, raizn_volume, run_micro};
+use bench::{bs_label, prime, print_table, raizn_volume, run_micro, Micro, TimelineRun};
 use sim::SimTime;
 use workloads::ZonedTarget;
 use zns::ZonedVolume;
@@ -11,22 +11,34 @@ const ZONE_SECTORS: u64 = 4096; // 16 MiB zones
 const STRIPE_UNITS: [u64; 4] = [2, 4, 16, 32]; // 8K, 16K, 64K, 128K
 const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
 
-fn main() {
-    use bench::Micro;
+fn main() -> bench::BenchResult {
+    // Timeline capture rides on the flagship configuration (largest
+    // stripe unit and block size, sequential write).
+    let capture = TimelineRun::new("fig8");
+    let mut capture_end = SimTime::ZERO;
     for micro in [Micro::SeqWrite, Micro::SeqRead, Micro::RandRead] {
         let mut rows = Vec::new();
         for su in STRIPE_UNITS {
             let mut cells = vec![format!("su={}", bs_label(su))];
             for bs in BLOCK_SIZES {
-                let vol = raizn_volume(ZONES, ZONE_SECTORS, su);
+                let flagship = micro == Micro::SeqWrite && su == 32 && bs == 256;
+                let vol = if flagship {
+                    capture.raizn_volume(ZONES, ZONE_SECTORS, su)?
+                } else {
+                    raizn_volume(ZONES, ZONE_SECTORS, su)?
+                };
                 let t = ZonedTarget::new(vol);
                 let start = if micro == Micro::SeqWrite {
                     SimTime::ZERO
                 } else {
-                    prime(&t, SimTime::ZERO)
+                    prime(&t, SimTime::ZERO)?
                 };
                 let align = t.volume().geometry().zone_cap();
-                let r = run_micro(&t, micro, bs, align, start);
+                let timeline = flagship.then(|| capture.timeline());
+                let r = run_micro(&t, micro, bs, align, start, timeline)?;
+                if flagship {
+                    capture_end = r.end;
+                }
                 cells.push(format!("{:.0}", r.throughput_mib_s()));
             }
             rows.push(cells);
@@ -45,5 +57,6 @@ fn main() {
         );
     }
 
-    bench::write_breakdown("fig8");
+    capture.finish(capture_end)?;
+    bench::write_breakdown("fig8")
 }

@@ -2,7 +2,9 @@
 //! across block sizes for sequential write, sequential read and random
 //! read (64 KiB stripe units, 8 jobs × QD64 / 1 job × QD256).
 
-use bench::{bs_label, mdraid_volume, prime, print_table, raizn_volume, run_micro, Micro};
+use bench::{
+    bs_label, mdraid_volume, prime, print_table, raizn_volume, run_micro, Micro, TimelineRun,
+};
 use sim::SimTime;
 use workloads::{BlockTarget, ZonedTarget};
 use zns::ZonedVolume;
@@ -13,30 +15,54 @@ const ZONE_SECTORS: u64 = 4096;
 const SU: u64 = 16; // 64 KiB
 const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
 
-fn main() {
+fn main() -> bench::BenchResult {
+    // Per-system timeline captures ride on the flagship configuration
+    // (sequential write, 1 MiB blocks).
+    let rz_capture = TimelineRun::new("fig9_raizn");
+    let md_capture = TimelineRun::new("fig9_mdraid");
+    let mut rz_end = SimTime::ZERO;
+    let mut md_end = SimTime::ZERO;
     let mut rows = Vec::new();
     for micro in [Micro::SeqWrite, Micro::SeqRead, Micro::RandRead] {
         for bs in BLOCK_SIZES {
+            let flagship = micro == Micro::SeqWrite && bs == 256;
+
             // RAIZN on fresh ZNS devices.
-            let raizn = raizn_volume(ZONES, ZONE_SECTORS, SU);
+            let raizn = if flagship {
+                rz_capture.raizn_volume(ZONES, ZONE_SECTORS, SU)?
+            } else {
+                raizn_volume(ZONES, ZONE_SECTORS, SU)?
+            };
             let rt = ZonedTarget::new(raizn);
             let start = if micro == Micro::SeqWrite {
                 SimTime::ZERO
             } else {
-                prime(&rt, SimTime::ZERO)
+                prime(&rt, SimTime::ZERO)?
             };
             let align = rt.volume().geometry().zone_cap();
-            let r = run_micro(&rt, micro, bs, align, start);
+            let timeline = flagship.then(|| rz_capture.timeline());
+            let r = run_micro(&rt, micro, bs, align, start, timeline)?;
+            if flagship {
+                rz_end = r.end;
+            }
 
             // mdraid on fresh conventional SSDs of the same capacity.
-            let md = mdraid_volume(ZONES as u64 * ZONE_SECTORS, SU);
+            let md = if flagship {
+                md_capture.mdraid_volume(ZONES as u64 * ZONE_SECTORS, SU)?
+            } else {
+                mdraid_volume(ZONES as u64 * ZONE_SECTORS, SU)?
+            };
             let mt = BlockTarget::new(md);
             let start = if micro == Micro::SeqWrite {
                 SimTime::ZERO
             } else {
-                prime(&mt, SimTime::ZERO)
+                prime(&mt, SimTime::ZERO)?
             };
-            let m = run_micro(&mt, micro, bs, align, start);
+            let timeline = flagship.then(|| md_capture.timeline());
+            let m = run_micro(&mt, micro, bs, align, start, timeline)?;
+            if flagship {
+                md_end = m.end;
+            }
 
             rows.push(vec![
                 micro.name().to_string(),
@@ -58,5 +84,7 @@ fn main() {
         &rows,
     );
 
-    bench::write_breakdown("fig9");
+    rz_capture.finish(rz_end)?;
+    md_capture.finish(md_end)?;
+    bench::write_breakdown("fig9")
 }

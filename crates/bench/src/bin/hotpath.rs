@@ -1,5 +1,6 @@
 //! Hot-path microbenchmark: XOR kernel speedup, steady-state write-path
-//! throughput, per-write heap allocation counts, and tracing overhead.
+//! throughput, per-write heap allocation counts, and observability
+//! overhead.
 //!
 //! Emits `BENCH_hotpath.json` in the working directory with:
 //!
@@ -10,19 +11,24 @@
 //!   RAIZN writes with tracing enabled (simulated device time costs
 //!   nothing real).
 //! - `allocs_per_full_stripe_write`: heap allocations per full-stripe
-//!   write after warm-up, **with an unsampled recorder attached** (gate:
-//!   0 — stripe-buffer pool, pooled metadata scratch and the fixed-size
-//!   trace ring make the steady state allocation-free).
+//!   write after warm-up, **with an unsampled windowed recorder and a
+//!   gauge timeline attached** (gate: 0 — stripe-buffer pool, pooled
+//!   metadata scratch, the fixed-size trace ring, preallocated window
+//!   digests and preallocated gauge series make the steady state
+//!   allocation-free).
 //! - `allocs_per_partial_write`: heap allocations per 4 KiB partial-stripe
 //!   write (partial-parity log path) after warm-up, tracing enabled.
-//! - `trace_overhead_pct`: relative slowdown of the traced write path vs
-//!   an identical untraced volume (gate: < 5%). Both paths are timed in
-//!   interleaved rounds and the per-round minimum is compared, so a
+//! - `trace_overhead_pct`: relative slowdown of the observed write path
+//!   (unsampled tracing + tumbling windows + per-write timeline polling)
+//!   vs an identical unobserved volume (gate: < 5%). Both paths are timed
+//!   in interleaved rounds and the per-round minimum is compared, so a
 //!   one-off scheduler hiccup cannot fail the gate.
 //!
-//! Also emits `BENCH_hotpath_breakdown.json` with the per-stage latency
-//! breakdown recorded during the traced rounds.
+//! Also emits `BENCH_hotpath_breakdown.json` (per-stage latency breakdown
+//! of the traced rounds) and `BENCH_hotpath_timeline.json` (window
+//! digests and gauge series captured while the gate ran).
 
+use bench::gate;
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -74,8 +80,10 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
 
 /// Builds a fresh 5-device RAIZN volume; when `recorder` is given, every
 /// device and the volume itself record into it (unsampled, so the traced
-/// configuration is the worst case).
-fn fresh_volume(recorder: Option<&Arc<obs::Recorder>>) -> RaiznVolume {
+/// configuration is the worst case) and are registered on `timeline`.
+fn fresh_volume(
+    observe: Option<(&Arc<obs::Recorder>, &Arc<obs::Timeline>)>,
+) -> bench::BenchResult<Arc<RaiznVolume>> {
     let devices: Vec<Arc<ZnsDevice>> = (0..5)
         .map(|i| {
             let dev = Arc::new(ZnsDevice::new(
@@ -85,34 +93,49 @@ fn fresh_volume(recorder: Option<&Arc<obs::Recorder>>) -> RaiznVolume {
                     .store_data(false)
                     .build(),
             ));
-            if let Some(rec) = recorder {
+            if let Some((rec, tl)) = observe {
                 dev.set_recorder(rec.clone(), i as u32);
+                tl.register(dev.clone());
             }
             dev
         })
         .collect();
-    let vol = RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO).expect("format");
-    if let Some(rec) = recorder {
+    let vol = Arc::new(RaiznVolume::format(
+        devices,
+        RaiznConfig::default(),
+        SimTime::ZERO,
+    )?);
+    if let Some((rec, tl)) = observe {
         vol.set_recorder(rec.clone());
+        tl.register(vol.clone());
     }
-    vol
+    Ok(vol)
 }
 
 /// Issues `iters` contiguous writes of `data` starting at `*lba`,
-/// returning (ns per write, heap allocations observed).
-fn write_round(vol: &RaiznVolume, lba: &mut u64, data: &[u8], iters: u64) -> (f64, u64) {
+/// returning (ns per write, heap allocations observed). When `timeline`
+/// is given it is polled once per write, like the workload engine does.
+fn write_round(
+    vol: &RaiznVolume,
+    lba: &mut u64,
+    data: &[u8],
+    iters: u64,
+    timeline: Option<&obs::Timeline>,
+) -> bench::BenchResult<(f64, u64)> {
     let a0 = allocs();
     let t0 = Instant::now();
     for _ in 0..iters {
-        vol.write(SimTime::ZERO, *lba, data, WriteFlags::default())
-            .expect("steady-state write");
+        vol.write(SimTime::ZERO, *lba, data, WriteFlags::default())?;
+        if let Some(tl) = timeline {
+            tl.maybe_sample(SimTime::ZERO);
+        }
         *lba += data.len() as u64 / 4096;
     }
     let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
-    (ns, allocs() - a0)
+    Ok((ns, allocs() - a0))
 }
 
-fn main() {
+fn main() -> bench::BenchResult {
     // --- XOR kernel: 64 KiB buffers -------------------------------------
     let src = vec![0xA5u8; 64 * 1024];
     let mut dst = vec![0x5Au8; 64 * 1024];
@@ -126,20 +149,25 @@ fn main() {
     let speedup = scalar_ns / word_ns;
 
     // --- Write path: steady-state full-stripe writes --------------------
-    // Two identical volumes, one untraced and one recording every event
-    // (sample_every = 1). Rounds interleave so both see the same machine
-    // conditions; the minimum round of each side is compared.
+    // Two identical volumes, one unobserved and one with the full
+    // observability plane attached: unsampled tracing (sample_every = 1),
+    // tumbling windows, and a gauge timeline polled per write. Rounds
+    // interleave so both see the same machine conditions; the minimum
+    // round of each side is compared.
     let recorder = obs::Recorder::new(65_536, 1);
-    let untraced = fresh_volume(None);
-    let traced = fresh_volume(Some(&recorder));
+    recorder.enable_windows(bench::TIMELINE_WINDOW, 256);
+    let timeline = obs::Timeline::new(bench::TIMELINE_WINDOW);
+    let untraced = fresh_volume(None)?;
+    let traced = fresh_volume(Some((&recorder, &timeline)))?;
     let stripe_sectors = 64u64; // 4 data units x 16 sectors
     let stripe_bytes = (stripe_sectors * 4096) as usize;
     let data = vec![0u8; stripe_bytes];
     let (mut lba_u, mut lba_t) = (0u64, 0u64);
     // Warm-up: fill a few stripes so the buffer pools and metadata
-    // scratch on both volumes reach their steady-state capacities.
-    write_round(&untraced, &mut lba_u, &data, 8);
-    write_round(&traced, &mut lba_t, &data, 8);
+    // scratch on both volumes reach their steady-state capacities (the
+    // timeline takes its one due sample here, outside the timed rounds).
+    write_round(&untraced, &mut lba_u, &data, 8, None)?;
+    write_round(&traced, &mut lba_t, &data, 8, Some(&timeline))?;
 
     const ROUNDS: usize = 3;
     let full_iters = 64u64;
@@ -147,9 +175,9 @@ fn main() {
     let mut traced_ns = f64::INFINITY;
     let mut full_allocs = 0u64;
     for _ in 0..ROUNDS {
-        let (nu, au) = write_round(&untraced, &mut lba_u, &data, full_iters);
-        let (nt, at) = write_round(&traced, &mut lba_t, &data, full_iters);
-        assert!(au == 0, "untraced steady-state writes allocate: {au}");
+        let (nu, au) = write_round(&untraced, &mut lba_u, &data, full_iters, None)?;
+        let (nt, at) = write_round(&traced, &mut lba_t, &data, full_iters, Some(&timeline))?;
+        gate!(au == 0, "untraced steady-state writes allocate: {au}");
         untraced_ns = untraced_ns.min(nu);
         traced_ns = traced_ns.min(nt);
         full_allocs += at;
@@ -161,32 +189,38 @@ fn main() {
     // --- Write path: 4 KiB partial-stripe writes (pp-log path) ----------
     // Warm up within the same open zone, then measure (tracing enabled).
     let four_k = &data[..4096];
-    write_round(&traced, &mut lba_t, four_k, 8);
-    let (_, partial_allocs) = write_round(&traced, &mut lba_t, four_k, 64);
+    write_round(&traced, &mut lba_t, four_k, 8, Some(&timeline))?;
+    let (_, partial_allocs) = write_round(&traced, &mut lba_t, four_k, 64, Some(&timeline))?;
     let allocs_per_partial = partial_allocs as f64 / 64.0;
 
     let reused = traced.stats().stripe_buffers_reused;
     let json = format!(
         "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2}\n}}\n"
     );
-    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    std::fs::write("BENCH_hotpath.json", &json)?;
     print!("{json}");
     std::fs::write(
         "BENCH_hotpath_breakdown.json",
         recorder.breakdown_json("hotpath"),
-    )
-    .expect("write BENCH_hotpath_breakdown.json");
+    )?;
     println!("\nlatency breakdown -> BENCH_hotpath_breakdown.json");
-    assert!(
+    timeline.force_sample(SimTime::ZERO);
+    std::fs::write(
+        "BENCH_hotpath_timeline.json",
+        obs::timeline_json("hotpath", &recorder, Some(&timeline), zns::SECTOR_SIZE),
+    )?;
+    println!("timeline -> BENCH_hotpath_timeline.json");
+    gate!(
         speedup >= 4.0,
         "word XOR kernel below 4x over scalar baseline: {speedup:.2}x"
     );
-    assert!(
+    gate!(
         allocs_per_full == 0.0,
-        "traced steady-state full-stripe writes allocate: {allocs_per_full} allocs/write"
+        "observed steady-state full-stripe writes allocate: {allocs_per_full} allocs/write"
     );
-    assert!(
+    gate!(
         overhead_pct < 5.0,
-        "tracing overhead above budget: {overhead_pct:.2}% (limit 5%)"
+        "observability overhead above budget: {overhead_pct:.2}% (limit 5%)"
     );
+    Ok(())
 }

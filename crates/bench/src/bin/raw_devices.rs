@@ -10,51 +10,49 @@ use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTa
 const ZONES: u32 = 64;
 const ZONE_SECTORS: u64 = 4096;
 
-fn one(target: &dyn IoTarget, kind: OpKind, bs: u64, start: SimTime) -> f64 {
+fn one(target: &dyn IoTarget, kind: OpKind, bs: u64, start: SimTime) -> bench::BenchResult<f64> {
     let cap = target.capacity_sectors();
     let job = JobSpec::new(kind, Pattern::Sequential, bs)
         .region(0, cap)
         .ops((cap / bs).min(8192))
         .queue_depth(64);
-    Engine::new(60 + bs)
+    Ok(Engine::new(60 + bs)
         .start_at(start)
-        .run(target, &[job])
-        .expect("sweep")
-        .throughput_mib_s()
+        .run(target, &[job])?
+        .throughput_mib_s())
 }
 
 /// Fresh device per configuration, like the paper's reformat-per-trial.
-fn sweep(zoned: bool, kind: OpKind) -> Vec<(u64, f64)> {
-    [16u64, 64, 256]
-        .iter()
-        .map(|bs| {
-            let tput = if zoned {
-                let t = ZonedTarget::new(zns_devices(1, ZONES, ZONE_SECTORS).remove(0));
-                let start = if kind == OpKind::Read {
-                    prime(&t, SimTime::ZERO)
-                } else {
-                    SimTime::ZERO
-                };
-                one(&t, kind, *bs, start)
+fn sweep(zoned: bool, kind: OpKind) -> bench::BenchResult<Vec<(u64, f64)>> {
+    let mut out = Vec::new();
+    for bs in [16u64, 64, 256] {
+        let tput = if zoned {
+            let t = ZonedTarget::new(zns_devices(1, ZONES, ZONE_SECTORS).remove(0));
+            let start = if kind == OpKind::Read {
+                prime(&t, SimTime::ZERO)?
             } else {
-                let t = BlockTarget::new(conv_devices(1, ZONES as u64 * ZONE_SECTORS).remove(0));
-                let start = if kind == OpKind::Read {
-                    prime(&t, SimTime::ZERO)
-                } else {
-                    SimTime::ZERO
-                };
-                one(&t, kind, *bs, start)
+                SimTime::ZERO
             };
-            (*bs, tput)
-        })
-        .collect()
+            one(&t, kind, bs, start)?
+        } else {
+            let t = BlockTarget::new(conv_devices(1, ZONES as u64 * ZONE_SECTORS).remove(0));
+            let start = if kind == OpKind::Read {
+                prime(&t, SimTime::ZERO)?
+            } else {
+                SimTime::ZERO
+            };
+            one(&t, kind, bs, start)?
+        };
+        out.push((bs, tput));
+    }
+    Ok(out)
 }
 
-fn main() {
-    let zw = sweep(true, OpKind::Write);
-    let cw = sweep(false, OpKind::Write);
-    let zr = sweep(true, OpKind::Read);
-    let cr = sweep(false, OpKind::Read);
+fn main() -> bench::BenchResult {
+    let zw = sweep(true, OpKind::Write)?;
+    let cw = sweep(false, OpKind::Write)?;
+    let zr = sweep(true, OpKind::Read)?;
+    let cr = sweep(false, OpKind::Read)?;
 
     let rows: Vec<Vec<String>> = zw
         .iter()
@@ -86,5 +84,5 @@ fn main() {
         &rows,
     );
 
-    bench::write_breakdown("raw_devices");
+    bench::write_breakdown("raw_devices")
 }

@@ -1,0 +1,428 @@
+//! Timeline report and SLO gate.
+//!
+//! Loads `BENCH_*_timeline.json` artifacts, renders each run's per-window
+//! throughput as an aligned ASCII timeline, renders a cross-run
+//! comparison when more than one file is given (the mdraid GC collapse
+//! vs RAIZN's flat band of fig 10 is visible directly in the terminal),
+//! and evaluates machine-readable SLOs suitable as a regression gate in
+//! `scripts/check.sh`.
+//!
+//! ```text
+//! report [OPTIONS] [FILE...]
+//!   FILE                  timeline artifact to render
+//!   --expect-flat FILE    render + gate: the run holds a steady throughput
+//!                         band (min/max over active windows >= --flat-min)
+//!   --expect-decline FILE render + gate: throughput declines after an early
+//!                         peak (post-peak trough / early peak <= --decline-max)
+//!   --flat-min R          flat-band threshold (default 0.7)
+//!   --decline-max R       decline threshold (default 0.6)
+//!   --p99-factor F        additionally gate every file: worst window
+//!                         whole-op p99 <= F x whole-run p99 (0 = off)
+//! ```
+//!
+//! Every SLO prints one machine-readable line
+//! `SLO <check> file=<path> value=<v> threshold=<t> <PASS|FAIL>`; any FAIL
+//! exits nonzero after all lines are printed.
+//!
+//! Analysis windows: leading and trailing zero-throughput windows are
+//! trimmed (a capture may start mid-run on the virtual clock) and the
+//! final active window is dropped when possible — the run usually ends
+//! inside it, so its throughput over a full window underestimates.
+
+use bench::json::Json;
+use bench::BenchError;
+
+const BAR_WIDTH: usize = 40;
+const MAX_ROWS: usize = 50;
+
+struct Run {
+    label: String,
+    path: String,
+    window_secs: f64,
+    total_windows: usize,
+    errors: u64,
+    /// `(start_s, throughput_mib_s, whole_op_p99_ns)` of every window.
+    windows: Vec<(f64, f64, u64)>,
+    /// Index range of the analysis windows within `windows`.
+    active: std::ops::Range<usize>,
+    whole_run_p99_ns: u64,
+    /// `(source.gauge, first mean, last mean, series count)`.
+    gauges: Vec<(String, f64, f64, usize)>,
+}
+
+impl Run {
+    fn active_tputs(&self) -> Vec<f64> {
+        self.windows[self.active.clone()]
+            .iter()
+            .map(|w| w.1)
+            .collect()
+    }
+}
+
+fn req<'a>(v: &'a Json, key: &str, path: &str) -> bench::BenchResult<&'a Json> {
+    v.get(key)
+        .ok_or_else(|| BenchError::Gate(format!("{path}: missing key {key:?}")))
+}
+
+fn load(path: &str) -> bench::BenchResult<Run> {
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| BenchError::Gate(format!("{path}: invalid JSON: {e}")))?;
+    let label = req(&doc, "name", path)?
+        .as_str()
+        .unwrap_or(path)
+        .to_string();
+    let window_ns = req(&doc, "window_ns", path)?
+        .as_u64()
+        .ok_or_else(|| BenchError::Gate(format!("{path}: window_ns is not an integer")))?;
+    let whole_run_p99_ns = req(&doc, "whole_run", path)?
+        .get("stages")
+        .and_then(|s| s.get("whole_op"))
+        .and_then(|s| s.get("p99_ns"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    let mut windows = Vec::new();
+    let mut errors = 0u64;
+    for w in req(&doc, "windows", path)?.as_arr().unwrap_or(&[]) {
+        let start_s = req(w, "start_ns", path)?.as_u64().unwrap_or(0) as f64 / 1e9;
+        let tput = req(w, "throughput_mib_s", path)?.as_f64().unwrap_or(0.0);
+        let p99 = w
+            .get("stages")
+            .and_then(|s| s.get("whole_op"))
+            .and_then(|s| s.get("p99_ns"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        errors += w.get("errors").and_then(Json::as_u64).unwrap_or(0);
+        windows.push((start_s, tput, p99));
+    }
+
+    // Trim to the active range; drop the final (typically partial) window
+    // when at least two remain.
+    let first = windows.iter().position(|w| w.1 > 0.0);
+    let active = match first {
+        Some(first) => {
+            let last = windows.iter().rposition(|w| w.1 > 0.0).unwrap_or(first);
+            let end = if last > first { last } else { last + 1 };
+            first..end
+        }
+        None => 0..0,
+    };
+
+    let mut gauges: Vec<(String, f64, f64, usize)> = Vec::new();
+    for g in doc
+        .get("gauges")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+    {
+        let name = format!(
+            "{}.{}",
+            g.get("source").and_then(Json::as_str).unwrap_or("?"),
+            g.get("gauge").and_then(Json::as_str).unwrap_or("?"),
+        );
+        let points = g.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+        let value_of = |p: &Json| p.as_arr().and_then(|a| a.get(1)).and_then(Json::as_f64);
+        let (Some(first), Some(last)) = (
+            points.first().and_then(value_of),
+            points.last().and_then(value_of),
+        ) else {
+            continue;
+        };
+        match gauges.iter_mut().find(|(n, ..)| *n == name) {
+            Some((_, f, l, n)) => {
+                *f += first;
+                *l += last;
+                *n += 1;
+            }
+            None => gauges.push((name, first, last, 1)),
+        }
+    }
+    // Multiple series per gauge (one per device): report the mean.
+    for (_, f, l, n) in &mut gauges {
+        *f /= *n as f64;
+        *l /= *n as f64;
+    }
+
+    Ok(Run {
+        label,
+        path: path.to_string(),
+        window_secs: window_ns as f64 / 1e9,
+        total_windows: windows.len(),
+        errors,
+        windows,
+        active,
+        whole_run_p99_ns,
+        gauges,
+    })
+}
+
+/// Averages `values` down to at most `buckets` entries, preserving order.
+fn resample(values: &[f64], buckets: usize) -> Vec<f64> {
+    if values.len() <= buckets {
+        return values.to_vec();
+    }
+    (0..buckets)
+        .map(|b| {
+            let lo = b * values.len() / buckets;
+            let hi = ((b + 1) * values.len() / buckets).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    "#".repeat(n.min(width))
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.1} ms", ns as f64 / 1e6)
+}
+
+fn render(run: &Run) {
+    println!(
+        "\n## {} ({})\n   window {:.0} ms, {} windows ({} active), errors {}, whole-run p99 {}",
+        run.label,
+        run.path,
+        run.window_secs * 1e3,
+        run.total_windows,
+        run.active.len(),
+        run.errors,
+        fmt_ms(run.whole_run_p99_ns),
+    );
+    let tputs = run.active_tputs();
+    if tputs.is_empty() {
+        println!("   (no active windows)");
+        return;
+    }
+    let rows = resample(&tputs, MAX_ROWS);
+    let max = rows.iter().cloned().fold(0.0f64, f64::max);
+    let t0 = run.windows[run.active.start].0;
+    let step = tputs.len() as f64 * run.window_secs / rows.len() as f64;
+    println!("   t(s)    MiB/s");
+    for (i, v) in rows.iter().enumerate() {
+        println!(
+            "   {:>6.2} {:>7.0} |{}",
+            t0 + i as f64 * step,
+            v,
+            bar(*v, max, BAR_WIDTH)
+        );
+    }
+    if !run.gauges.is_empty() {
+        println!("   gauges (mean first -> mean last):");
+        for (name, first, last, n) in &run.gauges {
+            println!(
+                "     {name}: {first:.2} -> {last:.2}{}",
+                if *n > 1 {
+                    format!(" ({n} series)")
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+}
+
+/// Side-by-side timelines aligned at each run's first active window, on a
+/// shared scale — a collapsing run visibly empties next to a flat one.
+fn render_comparison(runs: &[&Run]) {
+    let series: Vec<(&str, Vec<f64>)> = runs
+        .iter()
+        .map(|r| (r.label.as_str(), r.active_tputs()))
+        .collect();
+    let rows = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    if rows == 0 || runs.len() < 2 {
+        return;
+    }
+    let buckets = rows.min(MAX_ROWS);
+    let resampled: Vec<Vec<f64>> = series.iter().map(|(_, v)| resample(v, buckets)).collect();
+    let max = resampled.iter().flatten().cloned().fold(0.0f64, f64::max);
+    let col = BAR_WIDTH / 2 + 9;
+    println!("\n## comparison (aligned at first active window, shared scale)");
+    print!("   rel(s) ");
+    for (label, _) in &series {
+        print!("| {label:<col$} ");
+    }
+    println!();
+    let step = rows as f64 * runs[0].window_secs / buckets as f64;
+    for i in 0..buckets {
+        print!("   {:>6.2} ", i as f64 * step);
+        for r in &resampled {
+            match r.get(i) {
+                Some(v) => {
+                    let cell = format!("{:>6.0} {}", v, bar(*v, max, BAR_WIDTH / 2));
+                    print!("| {cell:<col$} ");
+                }
+                None => print!("| {:<col$} ", ""),
+            }
+        }
+        println!();
+    }
+}
+
+enum Check {
+    /// min/max over active windows must be >= threshold.
+    Flat,
+    /// post-peak trough over early peak must be <= threshold.
+    Decline,
+    /// worst window p99 over whole-run p99 must be <= threshold.
+    P99,
+}
+
+impl Check {
+    fn name(&self) -> &'static str {
+        match self {
+            Check::Flat => "flat",
+            Check::Decline => "decline",
+            Check::P99 => "window_p99",
+        }
+    }
+
+    /// Returns `(value, pass)`; `None` when the run has too few windows.
+    fn evaluate(&self, run: &Run, threshold: f64) -> Option<(f64, bool)> {
+        let tputs = run.active_tputs();
+        match self {
+            Check::Flat => {
+                let min = tputs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = tputs.iter().cloned().fold(0.0f64, f64::max);
+                if max <= 0.0 {
+                    return None;
+                }
+                let ratio = min / max;
+                Some((ratio, ratio >= threshold))
+            }
+            Check::Decline => {
+                // Early peak: best window of the first quarter. Trough:
+                // worst window after the peak (GC recovery at the very end
+                // of a run must not mask the collapse, so min — not last).
+                let head = tputs.len().div_ceil(4);
+                let (peak_at, peak) = tputs[..head]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))?;
+                let trough = tputs[peak_at + 1..]
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
+                if !trough.is_finite() || *peak <= 0.0 {
+                    return None;
+                }
+                let ratio = trough / peak;
+                Some((ratio, ratio <= threshold))
+            }
+            Check::P99 => {
+                let worst = run.windows[run.active.clone()].iter().map(|w| w.2).max()?;
+                if run.whole_run_p99_ns == 0 {
+                    return None;
+                }
+                let factor = worst as f64 / run.whole_run_p99_ns as f64;
+                Some((factor, factor <= threshold))
+            }
+        }
+    }
+}
+
+fn usage() -> BenchError {
+    BenchError::Gate(
+        "usage: report [--expect-flat FILE] [--expect-decline FILE] \
+         [--flat-min R] [--decline-max R] [--p99-factor F] [FILE...]"
+            .to_string(),
+    )
+}
+
+fn main() -> bench::BenchResult {
+    let mut files: Vec<(String, Option<Check>)> = Vec::new();
+    let mut flat_min = 0.7f64;
+    let mut decline_max = 0.6f64;
+    let mut p99_factor = 0.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let numeric = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .ok_or_else(usage)
+        };
+        match a.as_str() {
+            "--expect-flat" => files.push((args.next().ok_or_else(usage)?, Some(Check::Flat))),
+            "--expect-decline" => {
+                files.push((args.next().ok_or_else(usage)?, Some(Check::Decline)));
+            }
+            "--flat-min" => flat_min = numeric(&mut args)?,
+            "--decline-max" => decline_max = numeric(&mut args)?,
+            "--p99-factor" => p99_factor = numeric(&mut args)?,
+            f if !f.starts_with("--") => files.push((f.to_string(), None)),
+            _ => return Err(usage()),
+        }
+    }
+    if files.is_empty() {
+        return Err(usage());
+    }
+
+    let runs: Vec<(Run, Option<Check>)> = files
+        .into_iter()
+        .map(|(path, check)| load(&path).map(|r| (r, check)))
+        .collect::<bench::BenchResult<_>>()?;
+
+    for (run, _) in &runs {
+        render(run);
+    }
+    if runs.len() >= 2 {
+        render_comparison(&runs.iter().map(|(r, _)| r).collect::<Vec<_>>());
+    }
+
+    println!();
+    let mut failures = Vec::new();
+    let mut gate = |check: &Check, run: &Run, threshold: f64| {
+        let line = match check.evaluate(run, threshold) {
+            Some((value, pass)) => {
+                let verdict = if pass { "PASS" } else { "FAIL" };
+                if !pass {
+                    failures.push(format!(
+                        "{} on {}: value {value:.3} vs threshold {threshold}",
+                        check.name(),
+                        run.path
+                    ));
+                }
+                format!(
+                    "SLO {} file={} value={value:.3} threshold={threshold} {verdict}",
+                    check.name(),
+                    run.path
+                )
+            }
+            None => {
+                failures.push(format!(
+                    "{} on {}: not enough active windows to evaluate",
+                    check.name(),
+                    run.path
+                ));
+                format!(
+                    "SLO {} file={} value=NaN threshold={threshold} FAIL",
+                    check.name(),
+                    run.path
+                )
+            }
+        };
+        println!("{line}");
+    };
+    for (run, check) in &runs {
+        match check {
+            Some(c @ Check::Flat) => gate(c, run, flat_min),
+            Some(c @ Check::Decline) => gate(c, run, decline_max),
+            Some(Check::P99) | None => {}
+        }
+        if p99_factor > 0.0 {
+            gate(&Check::P99, run, p99_factor);
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(BenchError::Gate(failures.join("; ")))
+    }
+}

@@ -6,7 +6,7 @@ use bench::print_table;
 use raizn::{RaiznConfig, RaiznLayout, MD_HEADER_BYTES};
 use zns::ZoneGeometry;
 
-fn main() {
+fn main() -> bench::BenchResult {
     // The paper's geometry: 2 TB ZN540 — 1077 MiB capacity zones.
     let phys = ZoneGeometry::new(1900, 524_288, 275_712);
     let config = RaiznConfig::default(); // 64 KiB stripe units, 3 md zones
@@ -110,5 +110,5 @@ fn main() {
         layout.stripes_per_zone()
     );
 
-    bench::write_breakdown("table1");
+    bench::write_breakdown("table1")
 }

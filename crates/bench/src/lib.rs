@@ -15,9 +15,62 @@
 use ftl::{BlockDevice, ConvSsd, FtlConfig};
 use mdraid5::{Md5Config, Md5Volume};
 use raizn::{RaiznConfig, RaiznVolume};
-use sim::SimTime;
+use sim::{SimDuration, SimTime};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+
+pub mod json;
+
+/// Errors a benchmark binary can exit with. Binaries return
+/// [`BenchResult`] from `main` so CI sees the cause on stderr and a
+/// nonzero exit code instead of a panic backtrace.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Filesystem error writing or reading an artifact.
+    Io(std::io::Error),
+    /// An IO error from the simulated stack.
+    Zns(zns::ZnsError),
+    /// A benchmark-level invariant or SLO gate failed.
+    Gate(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "io error: {e}"),
+            BenchError::Zns(e) => write!(f, "simulated-stack error: {e}"),
+            BenchError::Gate(msg) => write!(f, "gate failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+impl From<zns::ZnsError> for BenchError {
+    fn from(e: zns::ZnsError) -> Self {
+        BenchError::Zns(e)
+    }
+}
+
+/// Result alias for benchmark binaries and harness helpers.
+pub type BenchResult<T = ()> = Result<T, BenchError>;
+
+/// Fails a gate with a formatted message.
+#[macro_export]
+macro_rules! gate {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err($crate::BenchError::Gate(format!($($arg)+)));
+        }
+    };
+}
 
 /// Number of array devices used throughout the evaluation (paper: 5).
 pub const ARRAY_DEVICES: usize = 5;
@@ -41,22 +94,201 @@ pub fn recorder() -> Arc<obs::Recorder> {
 }
 
 /// Writes the shared recorder's latency breakdown to
-/// `BENCH_<name>_breakdown.json` in the working directory (per-stage
-/// p50/p99/mean/max plus counters) and prints the path.
+/// `BENCH_<name>_breakdown.json` in `dir` (per-stage p50/p99/mean/max
+/// plus counters), returning the path.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the file cannot be written (benchmark output must land).
-pub fn write_breakdown(name: &str) {
-    let path = format!("BENCH_{name}_breakdown.json");
+/// Returns an error if the file cannot be written.
+pub fn write_breakdown_to(name: &str, dir: &Path) -> BenchResult<PathBuf> {
+    let path = dir.join(format!("BENCH_{name}_breakdown.json"));
     let json = recorder().breakdown_json(name);
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("\nlatency breakdown -> {path}");
+    std::fs::write(&path, json)?;
+    Ok(path)
 }
 
+/// Writes the shared recorder's latency breakdown to
+/// `BENCH_<name>_breakdown.json` in the working directory and prints the
+/// path.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written.
+pub fn write_breakdown(name: &str) -> BenchResult {
+    let path = write_breakdown_to(name, Path::new("."))?;
+    println!("\nlatency breakdown -> {}", path.display());
+    Ok(())
+}
+
+/// Tumbling-window interval of timeline captures (matches the paper's
+/// fig-10 100 ms sampling).
+pub const TIMELINE_WINDOW: SimDuration = SimDuration::from_millis(100);
+
+/// Maximum retained windows per timeline run (819 s of virtual time).
+const TIMELINE_MAX_WINDOWS: usize = 8192;
+
+/// One timeline-enabled benchmark run: a private windowed [`obs::Recorder`]
+/// plus an [`obs::Timeline`] gauge registry covering one contiguous span
+/// of virtual time.
+///
+/// Benchmarks that chain several sub-runs restart the virtual clock per
+/// sub-run, which would interleave unrelated runs into the same windows if
+/// they shared one windowed recorder. A `TimelineRun` therefore gives each
+/// captured run fresh window state; [`TimelineRun::finish`] writes the
+/// `BENCH_<name>_timeline.json` artifact and folds the run's aggregate
+/// histograms/counters into the process-wide [`recorder`], so breakdown
+/// artifacts still cover everything.
+pub struct TimelineRun {
+    name: String,
+    recorder: Arc<obs::Recorder>,
+    timeline: Arc<obs::Timeline>,
+}
+
+impl TimelineRun {
+    /// Creates a run that will emit `BENCH_<name>_timeline.json`.
+    pub fn new(name: &str) -> Self {
+        let recorder = obs::Recorder::new(RECORDER_CAPACITY, RECORDER_SAMPLE);
+        recorder.enable_windows(TIMELINE_WINDOW, TIMELINE_MAX_WINDOWS);
+        TimelineRun {
+            name: name.to_string(),
+            recorder,
+            timeline: obs::Timeline::new(TIMELINE_WINDOW),
+        }
+    }
+
+    /// The run's private windowed recorder (attach to volumes/devices).
+    pub fn recorder(&self) -> Arc<obs::Recorder> {
+        self.recorder.clone()
+    }
+
+    /// The run's gauge timeline (attach to engines, register sources).
+    pub fn timeline(&self) -> Arc<obs::Timeline> {
+        self.timeline.clone()
+    }
+
+    /// Registers a gauge source for periodic sampling.
+    pub fn register(&self, source: Arc<dyn obs::GaugeSource>) {
+        self.timeline.register(source);
+    }
+
+    /// Builds a RAIZN volume wired for this run: devices and volume
+    /// record into the run's recorder and are registered as gauge sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn raizn_volume(
+        &self,
+        zones: u32,
+        zone_sectors: u64,
+        stripe_unit_sectors: u64,
+    ) -> BenchResult<Arc<RaiznVolume>> {
+        let devices = zns_devices_with(&self.recorder, ARRAY_DEVICES, zones, zone_sectors);
+        for dev in &devices {
+            self.register(dev.clone());
+        }
+        let config = RaiznConfig {
+            stripe_unit_sectors,
+            ..RaiznConfig::default()
+        };
+        let volume = Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO)?);
+        volume.set_recorder(self.recorder());
+        self.register(volume.clone());
+        Ok(volume)
+    }
+
+    /// Builds an mdraid-5 volume wired for this run (see
+    /// [`TimelineRun::raizn_volume`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn mdraid_volume(
+        &self,
+        user_sectors: u64,
+        chunk_sectors: u64,
+    ) -> BenchResult<Arc<Md5Volume>> {
+        let convs = conv_devices_with(&self.recorder, ARRAY_DEVICES, user_sectors);
+        for dev in &convs {
+            self.register(dev.clone());
+        }
+        let devices: Vec<Arc<dyn BlockDevice>> = convs
+            .into_iter()
+            .map(|d| d as Arc<dyn BlockDevice>)
+            .collect();
+        let volume = Arc::new(Md5Volume::new(
+            devices,
+            Md5Config {
+                chunk_sectors,
+                stripe_cache_bytes: 128 * 1024 * 1024,
+            },
+        )?);
+        volume.set_recorder(self.recorder());
+        self.register(volume.clone());
+        Ok(volume)
+    }
+
+    /// A workload engine that drives this run's gauge sampling.
+    pub fn engine(&self, seed: u64) -> workloads::Engine {
+        workloads::Engine::new(seed).timeline(self.timeline())
+    }
+
+    /// Takes a final gauge sample at `at` and writes the timeline artifact
+    /// into `dir`, returning its path. Callable repeatedly (e.g. once per
+    /// phase); the artifact accumulates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn write_to(&self, dir: &Path, at: SimTime) -> BenchResult<PathBuf> {
+        self.timeline.force_sample(at);
+        let path = dir.join(format!("BENCH_{}_timeline.json", self.name));
+        let json = obs::timeline_json(
+            &self.name,
+            &self.recorder,
+            Some(&self.timeline),
+            SECTOR_BYTES,
+        );
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Finishes the run: final gauge sample at `at`, artifact written to
+    /// the working directory, aggregates absorbed into the process-wide
+    /// [`recorder`] so breakdown artifacts stay complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the artifact cannot be written.
+    pub fn finish(self, at: SimTime) -> BenchResult<PathBuf> {
+        let path = self.write_to(Path::new("."), at)?;
+        println!("timeline -> {}", path.display());
+        recorder().absorb(&self.recorder);
+        Ok(path)
+    }
+
+    /// Discards everything captured so far (windows, gauge points,
+    /// histograms) after folding it into the process-wide [`recorder`].
+    /// Used to scope the artifact to the phase of interest: call this at
+    /// a phase boundary and the timeline covers only what follows.
+    pub fn reset_capture(&self) {
+        recorder().absorb(&self.recorder);
+        self.recorder.clear();
+        self.timeline.clear();
+    }
+}
+
+/// Bytes per sector, as a u64 (timeline throughput derivation).
+const SECTOR_BYTES: u64 = zns::SECTOR_SIZE;
+
 /// Builds `n` ZNS devices with `zones` zones of `zone_sectors` capacity
-/// (accounting-only data mode, ZN540-like timing).
-pub fn zns_devices(n: usize, zones: u32, zone_sectors: u64) -> Vec<Arc<ZnsDevice>> {
+/// (accounting-only data mode, ZN540-like timing), recording into `rec`.
+pub fn zns_devices_with(
+    rec: &Arc<obs::Recorder>,
+    n: usize,
+    zones: u32,
+    zone_sectors: u64,
+) -> Vec<Arc<ZnsDevice>> {
     (0..n)
         .map(|i| {
             let dev = Arc::new(ZnsDevice::new(
@@ -67,32 +299,44 @@ pub fn zns_devices(n: usize, zones: u32, zone_sectors: u64) -> Vec<Arc<ZnsDevice
                     .store_data(false)
                     .build(),
             ));
-            dev.set_recorder(recorder(), i as u32);
+            dev.set_recorder(rec.clone(), i as u32);
             dev
         })
         .collect()
 }
 
+/// Builds `n` ZNS devices recording into the process-wide [`recorder`].
+pub fn zns_devices(n: usize, zones: u32, zone_sectors: u64) -> Vec<Arc<ZnsDevice>> {
+    zns_devices_with(&recorder(), n, zones, zone_sectors)
+}
+
 /// Builds a formatted RAIZN volume over fresh ZNS devices.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid.
-pub fn raizn_volume(zones: u32, zone_sectors: u64, stripe_unit_sectors: u64) -> Arc<RaiznVolume> {
+/// Returns an error if the configuration is invalid.
+pub fn raizn_volume(
+    zones: u32,
+    zone_sectors: u64,
+    stripe_unit_sectors: u64,
+) -> BenchResult<Arc<RaiznVolume>> {
     let devices = zns_devices(ARRAY_DEVICES, zones, zone_sectors);
     let config = RaiznConfig {
         stripe_unit_sectors,
         ..RaiznConfig::default()
     };
-    let volume =
-        Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO).expect("format RAIZN"));
+    let volume = Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO)?);
     volume.set_recorder(recorder());
-    volume
+    Ok(volume)
 }
 
 /// Builds `n` conventional SSDs of `user_sectors` capacity (7% OP,
-/// accounting-only).
-pub fn conv_devices(n: usize, user_sectors: u64) -> Vec<Arc<ConvSsd>> {
+/// accounting-only), recording into `rec`.
+pub fn conv_devices_with(
+    rec: &Arc<obs::Recorder>,
+    n: usize,
+    user_sectors: u64,
+) -> Vec<Arc<ConvSsd>> {
     (0..n)
         .map(|i| {
             let dev = Arc::new(ConvSsd::new(FtlConfig {
@@ -103,34 +347,37 @@ pub fn conv_devices(n: usize, user_sectors: u64) -> Vec<Arc<ConvSsd>> {
                 latency: LatencyConfig::conventional_ssd(),
                 store_data: false,
             }));
-            dev.set_recorder(recorder(), i as u32);
+            dev.set_recorder(rec.clone(), i as u32);
             dev
         })
         .collect()
 }
 
+/// Builds `n` conventional SSDs recording into the process-wide
+/// [`recorder`].
+pub fn conv_devices(n: usize, user_sectors: u64) -> Vec<Arc<ConvSsd>> {
+    conv_devices_with(&recorder(), n, user_sectors)
+}
+
 /// Builds an mdraid-5 volume over fresh conventional SSDs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid.
-pub fn mdraid_volume(user_sectors: u64, chunk_sectors: u64) -> Arc<Md5Volume> {
+/// Returns an error if the configuration is invalid.
+pub fn mdraid_volume(user_sectors: u64, chunk_sectors: u64) -> BenchResult<Arc<Md5Volume>> {
     let devices: Vec<Arc<dyn BlockDevice>> = conv_devices(ARRAY_DEVICES, user_sectors)
         .into_iter()
         .map(|d| d as Arc<dyn BlockDevice>)
         .collect();
-    let volume = Arc::new(
-        Md5Volume::new(
-            devices,
-            Md5Config {
-                chunk_sectors,
-                stripe_cache_bytes: 128 * 1024 * 1024,
-            },
-        )
-        .expect("assemble mdraid"),
-    );
+    let volume = Arc::new(Md5Volume::new(
+        devices,
+        Md5Config {
+            chunk_sectors,
+            stripe_cache_bytes: 128 * 1024 * 1024,
+        },
+    )?);
     volume.set_recorder(recorder());
-    volume
+    Ok(volume)
 }
 
 /// Prints a fixed-width text table.
@@ -199,32 +446,30 @@ impl Micro {
 /// Fills the target sequentially with 1 MiB blocks (the paper's priming
 /// pass before read benchmarks), returning the end time.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on IO errors (benchmark setup must succeed).
-pub fn prime(target: &dyn workloads::IoTarget, at: SimTime) -> SimTime {
+/// Propagates IO errors from the simulated stack.
+pub fn prime(target: &dyn workloads::IoTarget, at: SimTime) -> BenchResult<SimTime> {
     use workloads::{Engine, JobSpec, OpKind, Pattern};
     let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).queue_depth(64);
-    Engine::new(0xF111)
-        .start_at(at)
-        .run(target, &[job])
-        .expect("priming failed")
-        .end
+    Ok(Engine::new(0xF111).start_at(at).run(target, &[job])?.end)
 }
 
 /// Runs one microbenchmark with the paper's job/queue-depth parameters,
-/// with per-config op counts capped for simulation speed.
+/// with per-config op counts capped for simulation speed. `timeline`, when
+/// given, has its gauges sampled as the run's virtual clock advances.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on IO errors.
+/// Propagates IO errors from the simulated stack.
 pub fn run_micro(
     target: &dyn workloads::IoTarget,
     micro: Micro,
     block_sectors: u64,
     align_sectors: u64,
     at: SimTime,
-) -> workloads::RunReport {
+    timeline: Option<Arc<obs::Timeline>>,
+) -> BenchResult<workloads::RunReport> {
     use workloads::{Engine, JobSpec, OpKind, Pattern};
     let cap = target.capacity_sectors();
     let jobs: Vec<JobSpec> = match micro {
@@ -259,10 +504,11 @@ pub fn run_micro(
                 .queue_depth(256)]
         }
     };
-    Engine::new(0xB5 ^ block_sectors)
-        .start_at(at)
-        .run(target, &jobs)
-        .expect("microbenchmark failed")
+    let mut engine = Engine::new(0xB5 ^ block_sectors).start_at(at);
+    if let Some(tl) = timeline {
+        engine = engine.timeline(tl);
+    }
+    Ok(engine.run(target, &jobs)?)
 }
 
 #[cfg(test)]
@@ -272,9 +518,9 @@ mod tests {
 
     #[test]
     fn arrays_assemble() {
-        let r = raizn_volume(8, 4096, 16);
+        let r = raizn_volume(8, 4096, 16).unwrap();
         assert_eq!(r.geometry().num_zones(), 5);
-        let m = mdraid_volume(262_144, 16);
+        let m = mdraid_volume(262_144, 16).unwrap();
         assert!(m.capacity_sectors() > 0);
     }
 
@@ -285,9 +531,33 @@ mod tests {
     }
 
     #[test]
+    fn timeline_run_isolated_from_global_recorder_until_finish() {
+        let run = TimelineRun::new("unit_tlr");
+        let v = run.raizn_volume(8, 4096, 16).unwrap();
+        let data = vec![0u8; zns::SECTOR_SIZE as usize];
+        let done = v
+            .write(SimTime::ZERO, 0, &data, zns::WriteFlags::default())
+            .unwrap()
+            .done;
+        assert!(run.recorder().next_seq() > 0, "run recorder saw spans");
+        let global_before = recorder().next_seq();
+        let dir = std::env::temp_dir();
+        let path = run.write_to(&dir, done).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"kind\": \"timeline\""));
+        assert!(text.contains("\"gauge\": \"wp_sectors\""));
+        let run_seq = run.recorder().next_seq();
+        run.finish(done).unwrap();
+        // finish() folded the run's aggregates into the global recorder.
+        assert!(recorder().next_seq() >= global_before + run_seq);
+        let _ = std::fs::remove_file(dir.join("BENCH_unit_tlr_timeline.json"));
+        let _ = std::fs::remove_file("BENCH_unit_tlr_timeline.json");
+    }
+
+    #[test]
     fn harness_volumes_record_into_shared_recorder() {
         let before = recorder().next_seq();
-        let v = raizn_volume(8, 4096, 16);
+        let v = raizn_volume(8, 4096, 16).unwrap();
         let data = vec![0u8; zns::SECTOR_SIZE as usize];
         v.write(SimTime::ZERO, 0, &data, zns::WriteFlags::default())
             .unwrap();

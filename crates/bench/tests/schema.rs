@@ -1,0 +1,229 @@
+//! Artifact schema validation.
+//!
+//! Runs a small timeline-enabled smoke benchmark for each array flavour,
+//! writes the artifacts it emits into a scratch directory, then parses
+//! every `BENCH_*_breakdown.json` / `BENCH_*_timeline.json` found there
+//! and asserts the documented schema (DESIGN.md "Observability"):
+//! required keys, per-stage digest fields, strictly monotone window
+//! indices and start timestamps, and monotone gauge sample times.
+
+use bench::json::Json;
+use bench::TimelineRun;
+use std::path::{Path, PathBuf};
+use workloads::{BlockTarget, JobSpec, OpKind, Pattern, ZonedTarget};
+
+const STAGES: [&str; 5] = ["device_io", "xor", "meta_append", "flush", "whole_op"];
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("raizn_schema_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Emits one RAIZN and one mdraid timeline (covering zns/raizn and
+/// ftl/mdraid gauge sources) plus a breakdown into `dir`.
+fn emit_artifacts(dir: &Path) {
+    let rz = TimelineRun::new("schema_rz");
+    let vol = rz.raizn_volume(8, 4096, 16).expect("raizn volume");
+    let target = ZonedTarget::new(vol);
+    let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 16)
+        .ops(512)
+        .queue_depth(8);
+    let rep = rz
+        .engine(7)
+        .run(&target, std::slice::from_ref(&job))
+        .expect("run");
+    rz.write_to(dir, rep.end).expect("write raizn timeline");
+
+    let md = TimelineRun::new("schema_md");
+    let vol = md.mdraid_volume(65_536, 16).expect("mdraid volume");
+    let target = BlockTarget::new(vol);
+    let rep = md.engine(8).run(&target, &[job]).expect("run");
+    md.write_to(dir, rep.end).expect("write mdraid timeline");
+
+    bench::write_breakdown_to("schema", dir).expect("write breakdown");
+}
+
+fn parse(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path).expect("read artifact");
+    Json::parse(&text).unwrap_or_else(|e| panic!("{}: invalid JSON: {e}", path.display()))
+}
+
+fn u64_field(v: &Json, key: &str, ctx: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("{ctx}: missing or non-integer {key:?}"))
+}
+
+fn check_stage_digest(stages: &Json, with_sectors: bool, ctx: &str) {
+    for stage in STAGES {
+        let s = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("{ctx}: missing stage {stage:?}"));
+        let sctx = format!("{ctx} stage {stage}");
+        u64_field(s, "count", &sctx);
+        u64_field(s, "p50_ns", &sctx);
+        u64_field(s, "p99_ns", &sctx);
+        u64_field(s, "max_ns", &sctx);
+        if with_sectors {
+            u64_field(s, "sectors", &sctx);
+            u64_field(s, "p95_ns", &sctx);
+        }
+    }
+}
+
+fn check_timeline(path: &Path) {
+    let doc = parse(path);
+    let ctx = path.display().to_string();
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("timeline"),
+        "{ctx}: kind"
+    );
+    assert!(
+        doc.get("name").and_then(Json::as_str).is_some(),
+        "{ctx}: name"
+    );
+    let window_ns = u64_field(&doc, "window_ns", &ctx);
+    assert!(window_ns > 0, "{ctx}: window_ns must be positive");
+    u64_field(&doc, "events_recorded", &ctx);
+    u64_field(&doc, "late_events", &ctx);
+    u64_field(&doc, "windows_dropped", &ctx);
+
+    let whole = doc
+        .get("whole_run")
+        .and_then(|w| w.get("stages"))
+        .unwrap_or_else(|| panic!("{ctx}: missing whole_run.stages"));
+    check_stage_digest(whole, false, &ctx);
+
+    let windows = doc
+        .get("windows")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{ctx}: missing windows array"));
+    assert!(!windows.is_empty(), "{ctx}: smoke run produced no windows");
+    let mut prev: Option<(u64, u64)> = None;
+    for w in windows {
+        let index = u64_field(w, "index", &ctx);
+        let start = u64_field(w, "start_ns", &ctx);
+        assert_eq!(
+            start,
+            index * window_ns,
+            "{ctx}: window {index} start_ns disagrees with index * window_ns"
+        );
+        w.get("throughput_mib_s")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{ctx}: window {index} missing throughput_mib_s"));
+        u64_field(w, "errors", &ctx);
+        let stages = w
+            .get("stages")
+            .unwrap_or_else(|| panic!("{ctx}: window {index} missing stages"));
+        check_stage_digest(stages, true, &format!("{ctx} window {index}"));
+        if let Some((pi, ps)) = prev {
+            assert!(index > pi, "{ctx}: window indices not strictly increasing");
+            assert!(start > ps, "{ctx}: window start_ns not strictly increasing");
+        }
+        prev = Some((index, start));
+    }
+
+    let gauges = doc
+        .get("gauges")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{ctx}: missing gauges array"));
+    assert!(
+        !gauges.is_empty(),
+        "{ctx}: smoke run produced no gauge series"
+    );
+    for g in gauges {
+        let source = g
+            .get("source")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{ctx}: gauge missing source"));
+        let name = g
+            .get("gauge")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{ctx}: gauge missing name"));
+        let gctx = format!("{ctx} gauge {source}.{name}");
+        let points = g
+            .get("points")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{gctx}: missing points"));
+        let mut prev_t = None;
+        for p in points {
+            let pair = p
+                .as_arr()
+                .unwrap_or_else(|| panic!("{gctx}: point not a pair"));
+            assert_eq!(pair.len(), 2, "{gctx}: point not a [t, v] pair");
+            let t = pair[0]
+                .as_u64()
+                .unwrap_or_else(|| panic!("{gctx}: non-integer sample time"));
+            pair[1]
+                .as_f64()
+                .unwrap_or_else(|| panic!("{gctx}: non-numeric sample value"));
+            if let Some(pt) = prev_t {
+                assert!(t >= pt, "{gctx}: sample times not monotone");
+            }
+            prev_t = Some(t);
+        }
+    }
+}
+
+fn check_breakdown(path: &Path) {
+    let doc = parse(path);
+    let ctx = path.display().to_string();
+    assert!(
+        doc.get("name").and_then(Json::as_str).is_some(),
+        "{ctx}: name"
+    );
+    u64_field(&doc, "events_recorded", &ctx);
+    u64_field(&doc, "events_dropped", &ctx);
+    let stages = doc
+        .get("stages")
+        .unwrap_or_else(|| panic!("{ctx}: missing stages"));
+    for stage in STAGES {
+        let s = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("{ctx}: missing stage {stage:?}"));
+        let sctx = format!("{ctx} stage {stage}");
+        u64_field(s, "count", &sctx);
+        u64_field(s, "p50_ns", &sctx);
+        u64_field(s, "p99_ns", &sctx);
+        u64_field(s, "mean_ns", &sctx);
+        u64_field(s, "max_ns", &sctx);
+    }
+    let counters = doc
+        .get("counters")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| panic!("{ctx}: missing counters"));
+    for (name, v) in counters {
+        assert!(
+            v.as_u64().is_some(),
+            "{ctx}: counter {name:?} is not a non-negative integer"
+        );
+    }
+}
+
+#[test]
+fn emitted_artifacts_conform_to_schema() {
+    let dir = scratch_dir();
+    emit_artifacts(&dir);
+
+    let mut timelines = 0;
+    let mut breakdowns = 0;
+    for entry in std::fs::read_dir(&dir).expect("read scratch dir") {
+        let path = entry.expect("dir entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with("BENCH_") && name.ends_with("_timeline.json") {
+            check_timeline(&path);
+            timelines += 1;
+        } else if name.starts_with("BENCH_") && name.ends_with("_breakdown.json") {
+            check_breakdown(&path);
+            breakdowns += 1;
+        }
+    }
+    assert_eq!(timelines, 2, "expected raizn + mdraid timeline artifacts");
+    assert_eq!(breakdowns, 1, "expected one breakdown artifact");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2214,3 +2214,61 @@ impl ZonedVolume for RaiznVolume {
         })
     }
 }
+
+impl obs::GaugeSource for RaiznVolume {
+    fn source_label(&self) -> &'static str {
+        "raizn"
+    }
+
+    /// Instantaneous array state: relocation backlog, degraded flag and
+    /// metadata-path counters volume-wide, plus per-device error-budget
+    /// headroom and metadata-zone utilization (general + pp-log zone fill,
+    /// the input to the §4.3 metadata GC policy).
+    fn sample_gauges(&self, out: &mut Vec<obs::GaugeReading>) {
+        let st = self.state.lock();
+        out.push(obs::GaugeReading::new(
+            "relocation_backlog",
+            obs::NONE,
+            st.relocated.len() as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "degraded",
+            obs::NONE,
+            if st.failed.is_some() { 1.0 } else { 0.0 },
+        ));
+        out.push(obs::GaugeReading::new(
+            "pp_log_entries",
+            obs::NONE,
+            st.stats.pp_log_entries as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "md_appends",
+            obs::NONE,
+            st.stats.md_appends as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "transient_retries",
+            obs::NONE,
+            st.stats.transient_retries as f64,
+        ));
+        let budget = self.config.device_error_budget;
+        for (d, (dev, roles)) in st.devices.iter().zip(st.md.iter()).enumerate() {
+            out.push(obs::GaugeReading::new(
+                "error_budget_remaining",
+                d as u32,
+                budget.saturating_sub(st.device_errors[d]) as f64,
+            ));
+            // Consistent volume -> device lock order (same as the IO path).
+            let zone_fill = |zone: u32| -> u64 {
+                dev.zone_info(zone)
+                    .map(|zi| zi.write_pointer - zi.start)
+                    .unwrap_or(0)
+            };
+            out.push(obs::GaugeReading::new(
+                "md_zone_used_sectors",
+                d as u32,
+                (zone_fill(roles.general) + zone_fill(roles.pplog)) as f64,
+            ));
+        }
+    }
+}

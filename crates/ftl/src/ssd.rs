@@ -532,6 +532,49 @@ impl BlockDevice for ConvSsd {
     }
 }
 
+impl obs::GaugeSource for ConvSsd {
+    fn source_label(&self) -> &'static str {
+        "ftl"
+    }
+
+    /// Instantaneous FTL state: GC activity (runs, copied pages, stall
+    /// time), write amplification, and the free-block pool — the gauges
+    /// that make the conventional-SSD throughput collapse explainable.
+    fn sample_gauges(&self, out: &mut Vec<obs::GaugeReading>) {
+        let inner = self.inner.lock();
+        let d = inner.dev_id;
+        let free = inner.free_list.len();
+        let total = inner.blocks.len().max(1);
+        out.push(obs::GaugeReading::new(
+            "gc_runs",
+            d,
+            inner.stats.gc_runs as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "gc_pages_copied",
+            d,
+            inner.stats.gc_pages_copied as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "gc_stall_nanos",
+            d,
+            inner.stats.gc_stall.as_nanos() as f64,
+        ));
+        out.push(obs::GaugeReading::new("waf", d, inner.stats.waf()));
+        out.push(obs::GaugeReading::new("free_blocks", d, free as f64));
+        out.push(obs::GaugeReading::new(
+            "free_block_ratio",
+            d,
+            free as f64 / total as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "host_pages_written",
+            d,
+            inner.stats.host_pages_written as f64,
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,11 @@ impl StripeCache {
         self.entries.is_empty()
     }
 
+    /// Maximum number of stripes the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// (hits, misses) counters for chunk lookups.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)

@@ -59,6 +59,10 @@ use sim::{Histogram, SimDuration, SimTime};
 use std::io::Write as IoWrite;
 use std::sync::Arc;
 
+pub mod timeline;
+
+pub use timeline::{timeline_json, GaugeReading, GaugeSeries, GaugeSource, Timeline};
+
 /// The class of operation a trace event describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
@@ -130,7 +134,9 @@ impl Stage {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable index into [`Stage::ALL`]-ordered arrays (e.g.
+    /// [`WindowSummary::stages`]).
+    pub fn index(self) -> usize {
         match self {
             Stage::DeviceIo => 0,
             Stage::Xor => 1,
@@ -338,6 +344,166 @@ impl Counter {
     }
 }
 
+/// Per-stage digest of one tumbling window (extracted from the window's
+/// histogram when the window closes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStageStats {
+    /// Spans attributed to this stage inside the window.
+    pub count: u64,
+    /// Total sectors those spans covered.
+    pub sectors: u64,
+    /// Median span duration.
+    pub p50: SimDuration,
+    /// 95th-percentile span duration.
+    pub p95: SimDuration,
+    /// 99th-percentile span duration.
+    pub p99: SimDuration,
+    /// Longest span in the window.
+    pub max: SimDuration,
+}
+
+impl WindowStageStats {
+    const EMPTY: WindowStageStats = WindowStageStats {
+        count: 0,
+        sectors: 0,
+        p50: SimDuration::ZERO,
+        p95: SimDuration::ZERO,
+        p99: SimDuration::ZERO,
+        max: SimDuration::ZERO,
+    };
+}
+
+/// One closed (or currently open) tumbling window of latency digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSummary {
+    /// Window ordinal: `start = index × interval` on the virtual clock.
+    pub index: u64,
+    /// Virtual instant the window opened.
+    pub start: SimTime,
+    /// Spans in the window that ended with a non-success outcome.
+    pub errors: u64,
+    /// Per-stage digests, indexed by [`Stage::index`].
+    pub stages: [WindowStageStats; Stage::ALL.len()],
+}
+
+impl WindowSummary {
+    fn empty(index: u64, interval_ns: u64) -> Self {
+        WindowSummary {
+            index,
+            start: SimTime::from_nanos(index * interval_ns),
+            errors: 0,
+            stages: [WindowStageStats::EMPTY; Stage::ALL.len()],
+        }
+    }
+}
+
+/// Tumbling-window state, co-located with the trace ring behind the same
+/// mutex so the hot path never takes a second lock. Windows roll
+/// *passively*: each recorded event's end instant decides which window it
+/// belongs to, and crossing into a later window finalizes the earlier
+/// ones (no callbacks, no background thread).
+struct WindowState {
+    interval_ns: u64,
+    /// Closed-window ring (preallocated to `cap`; overflow is counted in
+    /// `dropped`, keeping the earliest windows).
+    summaries: Vec<WindowSummary>,
+    cap: usize,
+    /// Ordinal of the currently open window.
+    cur_index: u64,
+    /// Per-stage histograms of the open window (cleared on roll, never
+    /// reallocated).
+    cur_stages: [Histogram; Stage::ALL.len()],
+    cur_sectors: [u64; Stage::ALL.len()],
+    cur_errors: u64,
+    cur_count: u64,
+    /// Events whose end instant fell before the open window (recorded into
+    /// the open window instead, since closed digests are immutable).
+    late_events: u64,
+    /// Closed windows not retained because the ring was full.
+    dropped: u64,
+}
+
+impl WindowState {
+    fn new(interval: SimDuration, cap: usize) -> Self {
+        WindowState {
+            interval_ns: interval.as_nanos(),
+            summaries: Vec::with_capacity(cap),
+            cap,
+            cur_index: 0,
+            cur_stages: std::array::from_fn(|_| Histogram::new()),
+            cur_sectors: [0; Stage::ALL.len()],
+            cur_errors: 0,
+            cur_count: 0,
+            late_events: 0,
+            dropped: 0,
+        }
+    }
+
+    fn open_summary(&self) -> WindowSummary {
+        let mut w = WindowSummary::empty(self.cur_index, self.interval_ns);
+        w.errors = self.cur_errors;
+        for (i, h) in self.cur_stages.iter().enumerate() {
+            w.stages[i] = WindowStageStats {
+                count: h.count(),
+                sectors: self.cur_sectors[i],
+                p50: h.percentile(50.0),
+                p95: h.percentile(95.0),
+                p99: h.percentile(99.0),
+                max: h.max(),
+            };
+        }
+        w
+    }
+
+    fn push_summary(&mut self, w: WindowSummary) {
+        if self.summaries.len() < self.cap {
+            self.summaries.push(w);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Closes the open window and any empty gap windows up to (excluding)
+    /// `target`, then re-opens at `target`. Bounded work: at most `cap`
+    /// empty summaries are materialized, the rest are counted as dropped.
+    fn roll_to(&mut self, target: u64) {
+        let closed = self.open_summary();
+        self.push_summary(closed);
+        for h in &mut self.cur_stages {
+            h.clear();
+        }
+        self.cur_sectors = [0; Stage::ALL.len()];
+        self.cur_errors = 0;
+        self.cur_count = 0;
+        let mut gap = self.cur_index + 1;
+        let room = self.cap - self.summaries.len();
+        let emit_until = gap + (room as u64).min(target - gap);
+        while gap < emit_until {
+            let w = WindowSummary::empty(gap, self.interval_ns);
+            self.summaries.push(w);
+            gap += 1;
+        }
+        self.dropped += target - gap;
+        self.cur_index = target;
+    }
+
+    fn observe(&mut self, ev: &TraceEvent) {
+        let target = ev.end.as_nanos() / self.interval_ns;
+        if target > self.cur_index {
+            self.roll_to(target);
+        } else if target < self.cur_index {
+            self.late_events += 1;
+        }
+        let i = ev.stage.index();
+        self.cur_stages[i].record(ev.duration());
+        self.cur_sectors[i] += ev.sectors;
+        self.cur_count += 1;
+        if ev.outcome != Outcome::Success {
+            self.cur_errors += 1;
+        }
+    }
+}
+
 struct RecInner {
     /// Fixed-capacity ring; `ring[(first + i) % cap]` is the i-th oldest.
     ring: Vec<TraceEvent>,
@@ -349,6 +515,8 @@ struct RecInner {
     dropped: u64,
     stages: [Histogram; Stage::ALL.len()],
     counts: [u64; Counter::ALL.len()],
+    /// Tumbling-window digests, when enabled ([`Recorder::enable_windows`]).
+    windows: Option<WindowState>,
 }
 
 /// A bounded, shareable trace recorder. Cheap to clone behind an [`Arc`];
@@ -394,8 +562,91 @@ impl Recorder {
                 dropped: 0,
                 stages: std::array::from_fn(|_| Histogram::new()),
                 counts: [0; Counter::ALL.len()],
+                windows: None,
             }),
         })
+    }
+
+    /// Enables tumbling-window latency digests: every recorded event also
+    /// lands in a per-stage histogram of the window containing its end
+    /// instant; crossing into a later window extracts p50/p95/p99/max and
+    /// retains up to `max_windows` summaries (plus empty summaries for
+    /// wholly idle windows). All window memory is allocated here, so
+    /// recording stays allocation-free. Re-enabling resets window state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `max_windows` is zero.
+    pub fn enable_windows(&self, interval: SimDuration, max_windows: usize) {
+        assert!(
+            interval > SimDuration::ZERO,
+            "window interval must be positive"
+        );
+        assert!(max_windows > 0, "max_windows must be nonzero");
+        self.inner.lock().windows = Some(WindowState::new(interval, max_windows));
+    }
+
+    /// The window interval, if windowing is enabled.
+    pub fn window_interval(&self) -> Option<SimDuration> {
+        self.inner
+            .lock()
+            .windows
+            .as_ref()
+            .map(|w| SimDuration::from_nanos(w.interval_ns))
+    }
+
+    /// Snapshot of the window summaries, oldest first: every closed
+    /// window plus the currently open one (if it has seen any event).
+    /// Empty when windowing is disabled.
+    pub fn windows(&self) -> Vec<WindowSummary> {
+        let inner = self.inner.lock();
+        match &inner.windows {
+            None => Vec::new(),
+            Some(w) => {
+                let mut out = w.summaries.clone();
+                if w.cur_count > 0 {
+                    out.push(w.open_summary());
+                }
+                out
+            }
+        }
+    }
+
+    /// Events that arrived with an end instant before the open window
+    /// (they are folded into the open window instead).
+    pub fn late_events(&self) -> u64 {
+        self.inner
+            .lock()
+            .windows
+            .as_ref()
+            .map_or(0, |w| w.late_events)
+    }
+
+    /// Closed windows discarded because the summary ring was full.
+    pub fn windows_dropped(&self) -> u64 {
+        self.inner.lock().windows.as_ref().map_or(0, |w| w.dropped)
+    }
+
+    /// Folds another recorder's whole-run aggregates (stage histograms,
+    /// counters, event/drop totals) into this one. Used by benches that
+    /// give each sub-run a fresh windowed recorder (virtual clocks restart
+    /// per run) while keeping one cumulative breakdown: the sub-run
+    /// recorder is absorbed after each run. Ring events and window state
+    /// are *not* transferred.
+    pub fn absorb(&self, other: &Recorder) {
+        let (stages, counts, seq, dropped) = {
+            let o = other.inner.lock();
+            (o.stages.clone(), o.counts, o.seq, o.dropped)
+        };
+        let mut inner = self.inner.lock();
+        for (mine, theirs) in inner.stages.iter_mut().zip(stages.iter()) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in inner.counts.iter_mut().zip(counts.iter()) {
+            *mine += theirs;
+        }
+        inner.seq += seq;
+        inner.dropped += dropped;
     }
 
     /// Records one span. The event's `seq` field is overwritten with the
@@ -407,6 +658,9 @@ impl Recorder {
         inner.seq += 1;
         ev.seq = seq;
         inner.stages[ev.stage.index()].record(ev.duration());
+        if let Some(w) = &mut inner.windows {
+            w.observe(&ev);
+        }
         if !seq.is_multiple_of(self.sample_every) {
             inner.dropped += 1;
             return seq;
@@ -486,6 +740,10 @@ impl Recorder {
             h.clear();
         }
         inner.counts = [0; Counter::ALL.len()];
+        if let Some(w) = &mut inner.windows {
+            let (interval_ns, cap) = (w.interval_ns, w.cap);
+            *w = WindowState::new(SimDuration::from_nanos(interval_ns), cap);
+        }
     }
 
     /// Streams the retained events into `sink`, oldest first, returning
@@ -618,7 +876,7 @@ impl<W: IoWrite> TraceSink for JsonLinesSink<W> {
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
@@ -736,6 +994,127 @@ mod tests {
         assert_eq!(r.count(Counter::RmwWrites), 0);
         assert_eq!(r.stage_histogram(Stage::WholeOp).count(), 0);
         assert_eq!(r.next_seq(), 1);
+    }
+
+    #[test]
+    fn windows_roll_on_end_instants() {
+        let r = Recorder::new(64, 1);
+        r.enable_windows(SimDuration::from_millis(10), 64);
+        // Two events in window 0, one in window 2 (window 1 idle).
+        r.record(ev(Stage::WholeOp, 0, 1_000)); // ends at 1 ms
+        r.record(ev(Stage::WholeOp, 2_000, 3_000)); // ends at 3 ms
+        r.record(ev(Stage::WholeOp, 24_000, 25_000)); // ends at 25 ms
+        let ws = r.windows();
+        assert_eq!(ws.len(), 3); // closed 0, empty 1, open 2
+        assert_eq!(ws[0].index, 0);
+        assert_eq!(ws[0].stages[Stage::WholeOp.index()].count, 2);
+        assert_eq!(ws[0].stages[Stage::WholeOp.index()].sectors, 16);
+        assert_eq!(
+            ws[0].stages[Stage::WholeOp.index()].max,
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(ws[1].index, 1);
+        assert_eq!(ws[1].stages[Stage::WholeOp.index()].count, 0);
+        assert_eq!(ws[1].start, SimTime::from_millis(10));
+        assert_eq!(ws[2].index, 2);
+        assert_eq!(ws[2].stages[Stage::WholeOp.index()].count, 1);
+        assert_eq!(r.late_events(), 0);
+        assert_eq!(r.windows_dropped(), 0);
+    }
+
+    #[test]
+    fn late_events_fold_into_open_window() {
+        let r = Recorder::new(64, 1);
+        r.enable_windows(SimDuration::from_millis(1), 16);
+        r.record(ev(Stage::DeviceIo, 5_000, 5_500)); // window 5
+        r.record(ev(Stage::DeviceIo, 1_000, 1_200)); // window 1: late
+        assert_eq!(r.late_events(), 1);
+        let ws = r.windows();
+        // Open window 5 holds both events.
+        let open = ws.last().unwrap();
+        assert_eq!(open.index, 5);
+        assert_eq!(open.stages[Stage::DeviceIo.index()].count, 2);
+    }
+
+    #[test]
+    fn window_overflow_keeps_earliest_and_counts_drops() {
+        let r = Recorder::new(64, 1);
+        r.enable_windows(SimDuration::from_micros(1), 4);
+        for i in 0..10u64 {
+            r.record(ev(Stage::WholeOp, i, i + 1)); // one event per window
+        }
+        let ws = r.windows();
+        // Event i ends at (i+1) µs, i.e. in window i+1; closed windows
+        // 0..=3 are retained (0 empty), 4..=9 dropped, window 10 open.
+        assert_eq!(ws.len(), 5);
+        assert_eq!(ws[0].index, 0);
+        assert_eq!(ws[3].index, 3);
+        assert_eq!(ws[4].index, 10);
+        assert_eq!(r.windows_dropped(), 6);
+    }
+
+    #[test]
+    fn huge_time_jump_is_bounded() {
+        let r = Recorder::new(64, 1);
+        r.enable_windows(SimDuration::from_nanos(1), 8);
+        r.record(ev(Stage::WholeOp, 0, 1));
+        // Jump ~3600 s forward: the idle-gap materialization must stay
+        // bounded by the ring capacity, with the rest counted as dropped.
+        r.record(ev(Stage::WholeOp, 3_600_000_000, 3_600_000_001));
+        let ws = r.windows();
+        assert_eq!(ws.len(), 9); // 8 retained + the open window
+        assert!(r.windows_dropped() > 1_000_000_000);
+    }
+
+    #[test]
+    fn window_errors_counted() {
+        let r = Recorder::new(64, 1);
+        r.enable_windows(SimDuration::from_millis(10), 8);
+        let mut bad = ev(Stage::DeviceIo, 0, 5);
+        bad.outcome = Outcome::Transient;
+        r.record(bad);
+        r.record(ev(Stage::DeviceIo, 5, 9));
+        let ws = r.windows();
+        assert_eq!(ws[0].errors, 1);
+    }
+
+    #[test]
+    fn absorb_merges_aggregates() {
+        let a = Recorder::new(16, 1);
+        let b = Recorder::new(16, 1);
+        a.record(ev(Stage::DeviceIo, 0, 10));
+        a.bump(Counter::Retries);
+        b.record(ev(Stage::DeviceIo, 0, 30));
+        b.record(ev(Stage::Flush, 0, 2));
+        b.add(Counter::Retries, 2);
+        a.absorb(&b);
+        assert_eq!(a.stage_histogram(Stage::DeviceIo).count(), 2);
+        assert_eq!(a.stage_histogram(Stage::Flush).count(), 1);
+        assert_eq!(a.count(Counter::Retries), 3);
+        assert_eq!(a.next_seq(), 3);
+        // b untouched.
+        assert_eq!(b.next_seq(), 2);
+    }
+
+    #[test]
+    fn windows_disabled_by_default() {
+        let r = Recorder::new(16, 1);
+        r.record(ev(Stage::WholeOp, 0, 5));
+        assert!(r.windows().is_empty());
+        assert_eq!(r.window_interval(), None);
+    }
+
+    #[test]
+    fn clear_resets_window_state() {
+        let r = Recorder::new(16, 1);
+        r.enable_windows(SimDuration::from_millis(1), 8);
+        r.record(ev(Stage::WholeOp, 0, 5_000));
+        r.record(ev(Stage::WholeOp, 0, 1_000)); // late
+        assert!(!r.windows().is_empty());
+        r.clear();
+        assert!(r.windows().is_empty());
+        assert_eq!(r.late_events(), 0);
+        assert_eq!(r.window_interval(), Some(SimDuration::from_millis(1)));
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl Histogram {
     }
 
     // Bucket 0 covers [0, 32) exactly (linear); bucket k >= 1 covers
-    // [32 << (k-1), 32 << k) split into 32 linear sub-buckets.
+    // [32 << (k-1), 32 << k) split into 32 linear sub-buckets. Values with
+    // the top bit set (>= 2^63 ns, centuries of virtual time) saturate
+    // into the last allocated bucket instead of indexing past the table.
     fn index(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             return value as usize;
@@ -60,7 +62,7 @@ impl Histogram {
         let msb = 63 - value.leading_zeros();
         let bucket = (msb - SUB_BITS + 1) as usize;
         let sub = (value >> (msb - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
-        bucket * SUB_BUCKETS + sub
+        (bucket * SUB_BUCKETS + sub).min((64 - SUB_BITS as usize) * SUB_BUCKETS - 1)
     }
 
     /// Representative (lower-bound) value for a bucket index.
@@ -73,13 +75,14 @@ impl Histogram {
         (SUB_BUCKETS as u64 + sub) << (bucket - 1)
     }
 
-    /// Records one duration sample.
+    /// Records one duration sample. Counts saturate instead of wrapping,
+    /// so a histogram fed more than `u64::MAX` samples stays well-formed.
     pub fn record(&mut self, d: SimDuration) {
         let v = d.as_nanos();
         let idx = Self::index(v);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.total += v as u128;
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.total = self.total.saturating_add(v as u128);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -144,13 +147,13 @@ impl Histogram {
         self.percentile(50.0)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one (counts saturate).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += *b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.total += other.total;
+        self.count = self.count.saturating_add(other.count);
+        self.total = self.total.saturating_add(other.total);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -254,6 +257,104 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_rejects_out_of_range() {
         Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn empty_percentiles_across_the_range() {
+        let h = Histogram::new();
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), SimDuration::ZERO, "p{p}");
+        }
+        assert_eq!(h.median(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert!(!h.is_empty());
+        assert_eq!(h.percentile(100.0), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bucket_boundary_values_index_in_bounds_and_monotone() {
+        // Exercise every power-of-two boundary and its neighbours,
+        // including the top of the u64 range (index saturation).
+        let mut prev_idx = 0usize;
+        let mut prev_v = 0u64;
+        for shift in 0..64u32 {
+            let base = 1u64 << shift;
+            for v in [base.saturating_sub(1), base, base.saturating_add(1)] {
+                let idx = Histogram::index(v);
+                assert!(
+                    idx < (64 - SUB_BITS as usize) * SUB_BUCKETS,
+                    "v={v} idx={idx} out of bounds"
+                );
+                if v >= prev_v {
+                    assert!(idx >= prev_idx, "index not monotone at v={v}");
+                    prev_idx = idx;
+                    prev_v = v;
+                }
+            }
+        }
+        assert_eq!(
+            Histogram::index(u64::MAX),
+            (64 - SUB_BITS as usize) * SUB_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn extreme_value_saturates_instead_of_panicking() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(u64::MAX));
+        h.record(SimDuration::from_nanos(u64::MAX - 1));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max().as_nanos(), u64::MAX);
+        // Percentiles stay clamped to the observed range.
+        assert!(h.percentile(50.0) >= SimDuration::from_nanos(u64::MAX - 1));
+        assert!(h.percentile(100.0) >= h.percentile(50.0));
+    }
+
+    #[test]
+    fn merge_then_clear_round_trips() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for us in 1..=100u64 {
+            a.record(SimDuration::from_micros(us));
+            b.record(SimDuration::from_micros(us * 10));
+        }
+        let a_alone_p50 = a.percentile(50.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.percentile(50.0) >= a_alone_p50);
+        assert_eq!(a.max(), SimDuration::from_micros(1000));
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.percentile(99.0), SimDuration::ZERO);
+        // Re-recording after clear behaves like a fresh histogram.
+        a.record(SimDuration::from_micros(7));
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), SimDuration::from_micros(7));
+        // b was not consumed by the merge.
+        assert_eq!(b.count(), 100);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_micros(3));
+        let before = (a.count(), a.min(), a.max(), a.mean());
+        a.merge(&Histogram::new());
+        assert_eq!(before, (a.count(), a.min(), a.max(), a.mean()));
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min(), SimDuration::from_micros(3));
     }
 
     proptest! {

@@ -18,9 +18,18 @@ for crate in crates/*/; do
   fi
 done
 
-# Hot-path gates: XOR speedup >= 4x, 0 allocs/write with tracing
-# enabled, trace overhead < 5% (the binary asserts all three).
+# Hot-path gates: XOR speedup >= 4x, 0 allocs/write with the full
+# observability plane attached (unsampled tracing + windows + gauge
+# timeline), observability overhead < 5% (the binary gates all three).
 cargo run --release -q -p raizn-bench --bin hotpath > /dev/null
+
+# Timeline SLO gate: fig 10's artifacts must show the paper's shape —
+# RAIZN holds a flat throughput band over the overwrite phase while
+# mdraid collapses into device GC after its early cache-absorbed burst.
+cargo run --release -q -p raizn-bench --bin fig10 > /dev/null
+cargo run --release -q -p raizn-bench --bin report -- \
+  --expect-flat BENCH_fig10_raizn_timeline.json \
+  --expect-decline BENCH_fig10_mdraid_timeline.json > /dev/null
 
 cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42
 cargo clippy --workspace --all-targets -- -D warnings
