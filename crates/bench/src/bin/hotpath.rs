@@ -18,6 +18,11 @@
 //!   allocation-free).
 //! - `allocs_per_partial_write`: heap allocations per 4 KiB partial-stripe
 //!   write (partial-parity log path) after warm-up, tracing enabled.
+//! - `allocs_per_qos_op`: heap allocations per op submitted through and
+//!   dispatched by the `qos` scheduler (coalescer on, recorder attached)
+//!   after warm-up (gate: 0 — pooled payload buffers, preallocated
+//!   queues and reused batch scratch make its steady state
+//!   allocation-free too).
 //! - `trace_overhead_pct`: relative slowdown of the observed write path
 //!   (unsampled tracing + tumbling windows + per-write timeline polling)
 //!   vs an identical unobserved volume (gate: < 5%). Both paths are timed
@@ -29,6 +34,7 @@
 //! digests and gauge series captured while the gate ran).
 
 use bench::gate;
+use qos::{QosConfig, QosScheduler, TenantSpec};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -36,6 +42,7 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use workloads::{Admission, SchedCompletion, SharedScheduler, ZonedTarget};
 use zns::{WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume};
 
 /// Allocation-counting wrapper around the system allocator.
@@ -135,6 +142,50 @@ fn write_round(
     Ok((ns, allocs() - a0))
 }
 
+/// Drives `iters` sequential 64 KiB writes closed-loop (QD 8) through a
+/// `qos` scheduler, returning heap allocations observed. `comps` is the
+/// caller's reused completion scratch so the round itself owns no heap.
+fn qos_round(
+    sched: &QosScheduler,
+    off: &mut u64,
+    frontier: &mut SimTime,
+    data: &[u8],
+    iters: u64,
+    comps: &mut Vec<SchedCompletion>,
+) -> bench::BenchResult<u64> {
+    let a0 = allocs();
+    let sectors = data.len() as u64 / 4096;
+    let (mut submitted, mut completed) = (0u64, 0u64);
+    let mut inflight = 0usize;
+    while completed < iters {
+        while submitted < iters && inflight < 8 {
+            match sched.submit_write(0, 0, *frontier, *off, data)? {
+                Admission::Admitted(_) => {}
+                Admission::Shed { .. } => {
+                    return Err(bench::BenchError::Gate(
+                        "qos hotpath round shed an op".to_string(),
+                    ));
+                }
+            }
+            *off += sectors;
+            submitted += 1;
+            inflight += 1;
+        }
+        comps.clear();
+        if !sched.step(comps)? {
+            return Err(bench::BenchError::Gate(
+                "qos scheduler idle with ops outstanding".to_string(),
+            ));
+        }
+        for c in comps.iter() {
+            *frontier = (*frontier).max(c.done);
+            completed += 1;
+            inflight -= 1;
+        }
+    }
+    Ok(allocs() - a0)
+}
+
 fn main() -> bench::BenchResult {
     // --- XOR kernel: 64 KiB buffers -------------------------------------
     let src = vec![0xA5u8; 64 * 1024];
@@ -193,9 +244,45 @@ fn main() -> bench::BenchResult {
     let (_, partial_allocs) = write_round(&traced, &mut lba_t, four_k, 64, Some(&timeline))?;
     let allocs_per_partial = partial_allocs as f64 / 64.0;
 
+    // --- QoS scheduler: steady-state submit/dispatch ---------------------
+    // Coalescer on, unsampled recorder attached (worst case): after a
+    // warm-up that fills the payload pool and scratch capacities, a
+    // submit/step window must not touch the heap at all.
+    let qdev = Arc::new(ZnsDevice::new(
+        ZnsConfig::builder()
+            .zones(64, 4096, 4096)
+            .open_limits(14, 28)
+            .store_data(false)
+            .build(),
+    ));
+    let qsched = QosScheduler::new(
+        Arc::new(ZonedTarget::new(qdev)),
+        QosConfig {
+            stripe_sectors,
+            ..QosConfig::default()
+        },
+        vec![TenantSpec::new("hot").coalesce(true)],
+    )?
+    .with_recorder(recorder.clone());
+    let qdata = &data[..16 * 4096];
+    let mut qoff = 0u64;
+    let mut qfrontier = SimTime::ZERO;
+    let mut qcomps: Vec<SchedCompletion> = Vec::with_capacity(64);
+    qos_round(&qsched, &mut qoff, &mut qfrontier, qdata, 64, &mut qcomps)?;
+    let qos_iters = 256u64;
+    let qos_allocs = qos_round(
+        &qsched,
+        &mut qoff,
+        &mut qfrontier,
+        qdata,
+        qos_iters,
+        &mut qcomps,
+    )?;
+    let allocs_per_qos = qos_allocs as f64 / qos_iters as f64;
+
     let reused = traced.stats().stripe_buffers_reused;
     let json = format!(
-        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2}\n}}\n"
+        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2}\n}}\n"
     );
     std::fs::write("BENCH_hotpath.json", &json)?;
     print!("{json}");
@@ -221,6 +308,10 @@ fn main() -> bench::BenchResult {
     gate!(
         overhead_pct < 5.0,
         "observability overhead above budget: {overhead_pct:.2}% (limit 5%)"
+    );
+    gate!(
+        allocs_per_qos == 0.0,
+        "qos scheduler steady state allocates: {allocs_per_qos} allocs/op"
     );
     Ok(())
 }

@@ -18,6 +18,14 @@
 //!   --decline-max R       decline threshold (default 0.6)
 //!   --p99-factor F        additionally gate every file: worst window
 //!                         whole-op p99 <= F x whole-run p99 (0 = off)
+//!   --qos FILE            render a BENCH_qos.json artifact (per-tenant
+//!                         sections) and gate its fairness/isolation SLOs
+//!   --qos-p99-ratio R     contended/solo victim p99 ceiling (default 1.25)
+//!   --qos-jain R          Jain fairness index floor (default 0.95)
+//!   --qos-share-dev R     max per-tenant deviation of ops/weight from the
+//!                         mean share (default 0.10)
+//!   --qos-uplift R        coalescer full-parity/pp-log uplift floor
+//!                         (default 2.0)
 //! ```
 //!
 //! Every SLO prints one machine-readable line
@@ -155,6 +163,134 @@ fn load(path: &str) -> bench::BenchResult<Run> {
         whole_run_p99_ns,
         gauges,
     })
+}
+
+/// One tenant row of a qos artifact's `tenants` array.
+struct QosTenant {
+    name: String,
+    completed: u64,
+    shed: u64,
+    deferred: u64,
+    merged: u64,
+}
+
+/// A parsed `BENCH_qos.json` artifact (emitted by the `qos` binary).
+struct QosRun {
+    path: String,
+    solo_p99_ns: u64,
+    contended_p99_ns: u64,
+    p99_ratio: f64,
+    noisy_load: f64,
+    iso_tenants: Vec<QosTenant>,
+    weights: Vec<u64>,
+    ops: Vec<u64>,
+    jain: f64,
+    max_weight_dev: f64,
+    fair_tenants: Vec<QosTenant>,
+    off_full_per_pp: f64,
+    on_full_per_pp: f64,
+    uplift: f64,
+    merged: u64,
+    batches: u64,
+}
+
+fn qos_tenants(section: &Json, path: &str) -> bench::BenchResult<Vec<QosTenant>> {
+    let mut out = Vec::new();
+    for t in req(section, "tenants", path)?.as_arr().unwrap_or(&[]) {
+        let field = |k: &str| t.get(k).and_then(Json::as_u64).unwrap_or(0);
+        out.push(QosTenant {
+            name: t
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            completed: field("completed"),
+            shed: field("shed"),
+            deferred: field("deferred"),
+            merged: field("merged"),
+        });
+    }
+    Ok(out)
+}
+
+fn load_qos(path: &str) -> bench::BenchResult<QosRun> {
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| BenchError::Gate(format!("{path}: invalid JSON: {e}")))?;
+    if req(&doc, "kind", path)?.as_str() != Some("qos") {
+        return Err(BenchError::Gate(format!("{path}: not a qos artifact")));
+    }
+    let iso = req(&doc, "isolation", path)?;
+    let fair = req(&doc, "fairness", path)?;
+    let coal = req(&doc, "coalesce", path)?;
+    let f64_of = |v: &Json, key: &str| -> bench::BenchResult<f64> {
+        req(v, key, path)?
+            .as_f64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not a number")))
+    };
+    let u64_list = |v: &Json, key: &str| -> bench::BenchResult<Vec<u64>> {
+        Ok(req(v, key, path)?
+            .as_arr()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect())
+    };
+    Ok(QosRun {
+        path: path.to_string(),
+        solo_p99_ns: req(iso, "victim_solo_p99_ns", path)?.as_u64().unwrap_or(0),
+        contended_p99_ns: req(iso, "victim_contended_p99_ns", path)?
+            .as_u64()
+            .unwrap_or(0),
+        p99_ratio: f64_of(iso, "p99_ratio")?,
+        noisy_load: f64_of(iso, "noisy_load_factor")?,
+        iso_tenants: qos_tenants(iso, path)?,
+        weights: u64_list(fair, "weights")?,
+        ops: u64_list(fair, "ops")?,
+        jain: f64_of(fair, "jain")?,
+        max_weight_dev: f64_of(fair, "max_weight_dev")?,
+        fair_tenants: qos_tenants(fair, path)?,
+        off_full_per_pp: f64_of(req(coal, "off", path)?, "full_per_pp")?,
+        on_full_per_pp: f64_of(req(coal, "on", path)?, "full_per_pp")?,
+        uplift: f64_of(coal, "uplift")?,
+        merged: req(coal, "on", path)?
+            .get("merged")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        batches: req(coal, "on", path)?
+            .get("batches")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    })
+}
+
+fn render_qos(q: &QosRun) {
+    println!("\n## qos ({})", q.path);
+    println!(
+        "   isolation: victim p99 {} solo -> {} beside a {:.1}x noisy neighbor (ratio {:.3})",
+        fmt_ms(q.solo_p99_ns),
+        fmt_ms(q.contended_p99_ns),
+        q.noisy_load,
+        q.p99_ratio,
+    );
+    let tenant_rows = |tenants: &[QosTenant]| {
+        for t in tenants {
+            println!(
+                "     {:<10} completed {:>7}  shed {:>5}  deferred {:>5}  merged {:>5}",
+                t.name, t.completed, t.shed, t.deferred, t.merged
+            );
+        }
+    };
+    tenant_rows(&q.iso_tenants);
+    println!(
+        "   fairness: weights {:?}, ops {:?}, jain {:.4}, max weight deviation {:.3}",
+        q.weights, q.ops, q.jain, q.max_weight_dev
+    );
+    tenant_rows(&q.fair_tenants);
+    println!(
+        "   coalesce: full-parity/pp-log {:.3} off -> {:.3} on ({:.1}x, {} ops merged into {} batches)",
+        q.off_full_per_pp, q.on_full_per_pp, q.uplift, q.merged, q.batches
+    );
 }
 
 /// Averages `values` down to at most `buckets` entries, preserving order.
@@ -330,16 +466,23 @@ impl Check {
 fn usage() -> BenchError {
     BenchError::Gate(
         "usage: report [--expect-flat FILE] [--expect-decline FILE] \
-         [--flat-min R] [--decline-max R] [--p99-factor F] [FILE...]"
+         [--flat-min R] [--decline-max R] [--p99-factor F] [--qos FILE] \
+         [--qos-p99-ratio R] [--qos-jain R] [--qos-share-dev R] \
+         [--qos-uplift R] [FILE...]"
             .to_string(),
     )
 }
 
 fn main() -> bench::BenchResult {
     let mut files: Vec<(String, Option<Check>)> = Vec::new();
+    let mut qos_files: Vec<String> = Vec::new();
     let mut flat_min = 0.7f64;
     let mut decline_max = 0.6f64;
     let mut p99_factor = 0.0f64;
+    let mut qos_p99_ratio = 1.25f64;
+    let mut qos_jain = 0.95f64;
+    let mut qos_share_dev = 0.10f64;
+    let mut qos_uplift = 2.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let numeric = |args: &mut dyn Iterator<Item = String>| {
@@ -355,11 +498,16 @@ fn main() -> bench::BenchResult {
             "--flat-min" => flat_min = numeric(&mut args)?,
             "--decline-max" => decline_max = numeric(&mut args)?,
             "--p99-factor" => p99_factor = numeric(&mut args)?,
+            "--qos" => qos_files.push(args.next().ok_or_else(usage)?),
+            "--qos-p99-ratio" => qos_p99_ratio = numeric(&mut args)?,
+            "--qos-jain" => qos_jain = numeric(&mut args)?,
+            "--qos-share-dev" => qos_share_dev = numeric(&mut args)?,
+            "--qos-uplift" => qos_uplift = numeric(&mut args)?,
             f if !f.starts_with("--") => files.push((f.to_string(), None)),
             _ => return Err(usage()),
         }
     }
-    if files.is_empty() {
+    if files.is_empty() && qos_files.is_empty() {
         return Err(usage());
     }
 
@@ -367,12 +515,19 @@ fn main() -> bench::BenchResult {
         .into_iter()
         .map(|(path, check)| load(&path).map(|r| (r, check)))
         .collect::<bench::BenchResult<_>>()?;
+    let qos_runs: Vec<QosRun> = qos_files
+        .iter()
+        .map(|path| load_qos(path))
+        .collect::<bench::BenchResult<_>>()?;
 
     for (run, _) in &runs {
         render(run);
     }
     if runs.len() >= 2 {
         render_comparison(&runs.iter().map(|(r, _)| r).collect::<Vec<_>>());
+    }
+    for q in &qos_runs {
+        render_qos(q);
     }
 
     println!();
@@ -418,6 +573,46 @@ fn main() -> bench::BenchResult {
         if p99_factor > 0.0 {
             gate(&Check::P99, run, p99_factor);
         }
+    }
+
+    let mut slo = |name: &str, path: &str, value: f64, threshold: f64, pass: bool| {
+        let verdict = if pass { "PASS" } else { "FAIL" };
+        if !pass {
+            failures.push(format!(
+                "{name} on {path}: value {value:.3} vs threshold {threshold}"
+            ));
+        }
+        println!("SLO {name} file={path} value={value:.3} threshold={threshold} {verdict}");
+    };
+    for q in &qos_runs {
+        slo(
+            "qos_isolation_p99_ratio",
+            &q.path,
+            q.p99_ratio,
+            qos_p99_ratio,
+            q.p99_ratio <= qos_p99_ratio,
+        );
+        slo(
+            "qos_fairness_jain",
+            &q.path,
+            q.jain,
+            qos_jain,
+            q.jain >= qos_jain,
+        );
+        slo(
+            "qos_weight_share_dev",
+            &q.path,
+            q.max_weight_dev,
+            qos_share_dev,
+            q.max_weight_dev <= qos_share_dev,
+        );
+        slo(
+            "qos_coalesce_uplift",
+            &q.path,
+            q.uplift,
+            qos_uplift,
+            q.uplift >= qos_uplift,
+        );
     }
 
     if failures.is_empty() {

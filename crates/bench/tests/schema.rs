@@ -12,7 +12,15 @@ use bench::TimelineRun;
 use std::path::{Path, PathBuf};
 use workloads::{BlockTarget, JobSpec, OpKind, Pattern, ZonedTarget};
 
-const STAGES: [&str; 5] = ["device_io", "xor", "meta_append", "flush", "whole_op"];
+const STAGES: [&str; 7] = [
+    "device_io",
+    "xor",
+    "meta_append",
+    "flush",
+    "queue_wait",
+    "service",
+    "whole_op",
+];
 
 fn scratch_dir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("raizn_schema_{}", std::process::id()));

@@ -44,6 +44,14 @@ pub struct RaiznStats {
     pub scrub_repairs: u64,
     /// Devices auto-degraded after exceeding their error budget.
     pub auto_degrades: u64,
+    /// Gather writes staged through [`write_vectored`]
+    /// (multi-segment batches submitted as one extent).
+    ///
+    /// [`write_vectored`]: zns::ZonedVolume::write_vectored
+    pub gather_writes: u64,
+    /// Segments absorbed into gather writes beyond the first of each
+    /// batch (the count of device round-trips avoided).
+    pub gather_segments_merged: u64,
 }
 
 #[cfg(test)]

@@ -79,6 +79,10 @@ pub(crate) struct VolState {
     /// Scratch buffer for metadata record encoding; taken/restored around
     /// appends so payload bytes never need an owned staging `Vec`.
     pub md_scratch: Vec<u8>,
+    /// Scratch buffer for gather writes ([`zns::ZonedVolume::write_vectored`]);
+    /// taken/restored around the staged write so steady-state batches
+    /// allocate nothing.
+    pub gather_scratch: Vec<u8>,
     /// Observability recorder for volume-layer spans (parity-path
     /// attribution, metadata appends, flush latency) and counters.
     pub recorder: Option<std::sync::Arc<obs::Recorder>>,
@@ -314,6 +318,7 @@ impl RaiznVolume {
                 device_errors: vec![0; n],
                 pool: Vec::new(),
                 md_scratch: Vec::new(),
+                gather_scratch: Vec::new(),
                 recorder: None,
             }),
         }
@@ -1990,6 +1995,38 @@ impl ZonedVolume for RaiznVolume {
 
     fn write(&self, at: SimTime, lba: Lba, data: &[u8], flags: WriteFlags) -> Result<IoCompletion> {
         self.do_write(at, lba, data, flags)
+    }
+
+    /// Batch-write entry point: stages `segments` into a pooled scratch
+    /// buffer and submits them as one contiguous extent, so a coalesced
+    /// batch spanning full stripes takes the full-parity path instead of
+    /// per-segment partial-parity logging.
+    fn write_vectored(
+        &self,
+        at: SimTime,
+        lba: Lba,
+        segments: &[&[u8]],
+        flags: WriteFlags,
+    ) -> Result<IoCompletion> {
+        match segments {
+            [] => Ok(IoCompletion { done: at }),
+            [only] => self.do_write(at, lba, only, flags),
+            _ => {
+                let mut scratch = std::mem::take(&mut self.state.lock().gather_scratch);
+                scratch.clear();
+                for seg in segments {
+                    scratch.extend_from_slice(seg);
+                }
+                let r = self.do_write(at, lba, &scratch, flags);
+                let mut st = self.state.lock();
+                st.gather_scratch = scratch;
+                if r.is_ok() {
+                    st.stats.gather_writes += 1;
+                    st.stats.gather_segments_merged += segments.len() as u64 - 1;
+                }
+                r
+            }
+        }
     }
 
     fn append(

@@ -109,17 +109,23 @@ pub enum Stage {
     MetaAppend,
     /// Cache-flush / persistence barriers (FUA closure, explicit flush).
     Flush,
+    /// Time an op spent queued in the QoS scheduler (arrival to dispatch).
+    QueueWait,
+    /// Scheduler-observed service time of an op (dispatch to completion).
+    Service,
     /// The whole logical operation as seen by the caller.
     WholeOp,
 }
 
 impl Stage {
     /// All stages, in index order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 7] = [
         Stage::DeviceIo,
         Stage::Xor,
         Stage::MetaAppend,
         Stage::Flush,
+        Stage::QueueWait,
+        Stage::Service,
         Stage::WholeOp,
     ];
 
@@ -130,6 +136,8 @@ impl Stage {
             Stage::Xor => "xor",
             Stage::MetaAppend => "meta_append",
             Stage::Flush => "flush",
+            Stage::QueueWait => "queue_wait",
+            Stage::Service => "service",
             Stage::WholeOp => "whole_op",
         }
     }
@@ -142,7 +150,9 @@ impl Stage {
             Stage::Xor => 1,
             Stage::MetaAppend => 2,
             Stage::Flush => 3,
-            Stage::WholeOp => 4,
+            Stage::QueueWait => 4,
+            Stage::Service => 5,
+            Stage::WholeOp => 6,
         }
     }
 }
@@ -295,11 +305,17 @@ pub enum Counter {
     RmwWrites,
     /// mdraid reconstruct-write updates.
     RcwWrites,
+    /// QoS scheduler: ops rejected at admission (queue full / congestion).
+    SchedSheds,
+    /// QoS scheduler: ops whose queue wait exceeded their deadline.
+    SchedDeferrals,
+    /// QoS scheduler: write ops merged into an already-queued batch.
+    SchedCoalescedOps,
 }
 
 impl Counter {
     /// All counters, in index order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::Retries,
         Counter::DegradedReads,
         Counter::GcStalls,
@@ -314,6 +330,9 @@ impl Counter {
         Counter::FullStripeWrites,
         Counter::RmwWrites,
         Counter::RcwWrites,
+        Counter::SchedSheds,
+        Counter::SchedDeferrals,
+        Counter::SchedCoalescedOps,
     ];
 
     /// Stable snake-case name (used by the JSON exporters).
@@ -333,6 +352,9 @@ impl Counter {
             Counter::FullStripeWrites => "full_stripe_writes",
             Counter::RmwWrites => "rmw_writes",
             Counter::RcwWrites => "rcw_writes",
+            Counter::SchedSheds => "sched_sheds",
+            Counter::SchedDeferrals => "sched_deferrals",
+            Counter::SchedCoalescedOps => "sched_coalesced_ops",
         }
     }
 

@@ -1,0 +1,595 @@
+//! The multi-tenant scheduler: admission, mClock dispatch, coalescing.
+
+use crate::config::{QosConfig, TenantSpec};
+use crate::mclock::{TagState, TokenBucket, NO_RESERVATION};
+use crate::stats::TenantSnapshot;
+use parking_lot::Mutex;
+use sim::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use workloads::{
+    Admission, IoTarget, OpToken, SchedCompletion, SharedScheduler, ShedReason, TenantId,
+};
+use zns::{Result, ZnsError, SECTOR_SIZE};
+
+/// Hard ceiling on ops merged into one batch (bounds the stack-allocated
+/// segment table used for gather writes).
+const MAX_BATCH: usize = 64;
+
+/// Retired payload buffers kept for reuse across ops.
+const POOL_CAP: usize = 1024;
+
+/// Floor for shed retry-at estimates.
+const MIN_RETRY_NS: u64 = 1_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpDir {
+    Read,
+    Write,
+}
+
+struct QueuedOp {
+    token: OpToken,
+    tag: u64,
+    dir: OpDir,
+    off: u64,
+    sectors: u64,
+    arrival_ns: u64,
+    r_tag: u64,
+    p_tag: u64,
+    /// Pooled payload for writes; `None` for reads.
+    buf: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Default)]
+struct TenantTotals {
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+    deferred: u64,
+    batches: u64,
+    merged: u64,
+    bytes: u64,
+    write_ops: u64,
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    queue: VecDeque<QueuedOp>,
+    tags: TagState,
+    bucket: TokenBucket,
+    totals: TenantTotals,
+}
+
+struct Inner {
+    tenants: Vec<TenantState>,
+    /// Free-at instants (nanos) of the `server_depth` dispatch slots.
+    slots: BinaryHeap<Reverse<u64>>,
+    /// Global proportional virtual time: p-tag of the last dispatch.
+    vtime: u64,
+    next_token: OpToken,
+    /// EWMA of device service latency (dispatch to completion), nanos.
+    ewma_service_ns: f64,
+    /// Recycled payload buffers.
+    pool: Vec<Vec<u8>>,
+    /// Scratch: constituents of the batch being dispatched.
+    batch: Vec<QueuedOp>,
+    /// Scratch: read landing buffer.
+    read_buf: Vec<u8>,
+}
+
+/// A deterministic virtual-time I/O scheduler wrapping one
+/// [`IoTarget`] with per-tenant mClock scheduling, token-bucket rate
+/// limits, bounded queues with shed/defer accounting, and stripe-aware
+/// write coalescing.
+///
+/// Drive it with [`workloads::Engine::run_shared`], or directly through
+/// the [`SharedScheduler`] trait. All state sits behind one mutex; the
+/// scheduler is deterministic given a deterministic call sequence.
+pub struct QosScheduler {
+    target: Arc<dyn IoTarget>,
+    config: QosConfig,
+    recorder: Option<Arc<obs::Recorder>>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for QosScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QosScheduler")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QosScheduler {
+    /// Creates a scheduler over `target` with one queue per tenant spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `tenants` is empty or a config knob is out of range.
+    pub fn new(
+        target: Arc<dyn IoTarget>,
+        config: QosConfig,
+        tenants: Vec<TenantSpec>,
+    ) -> Result<Self> {
+        if tenants.is_empty() {
+            return Err(ZnsError::InvalidArgument(
+                "at least one tenant required".to_string(),
+            ));
+        }
+        if config.server_depth == 0 {
+            return Err(ZnsError::InvalidArgument(
+                "server depth must be nonzero".to_string(),
+            ));
+        }
+        if !(config.congestion_alpha > 0.0 && config.congestion_alpha <= 1.0) {
+            return Err(ZnsError::InvalidArgument(format!(
+                "congestion alpha {} outside (0, 1]",
+                config.congestion_alpha
+            )));
+        }
+        let states = tenants
+            .into_iter()
+            .map(|spec| TenantState {
+                queue: VecDeque::with_capacity(spec.queue_cap),
+                tags: TagState::new(&spec),
+                bucket: TokenBucket::new(&spec),
+                totals: TenantTotals::default(),
+                spec,
+            })
+            .collect::<Vec<_>>();
+        let mut slots = BinaryHeap::with_capacity(config.server_depth);
+        for _ in 0..config.server_depth {
+            slots.push(Reverse(0));
+        }
+        let max_batch = config.max_coalesce_ops.clamp(1, MAX_BATCH);
+        Ok(QosScheduler {
+            target,
+            config: QosConfig {
+                max_coalesce_ops: max_batch,
+                ..config
+            },
+            recorder: None,
+            inner: Mutex::new(Inner {
+                tenants: states,
+                slots,
+                vtime: 0,
+                next_token: 0,
+                ewma_service_ns: 0.0,
+                pool: Vec::with_capacity(POOL_CAP),
+                batch: Vec::with_capacity(max_batch),
+                read_buf: Vec::new(),
+            }),
+        })
+    }
+
+    /// Attaches an observability recorder: each completed op emits a
+    /// queue-wait span (arrival to dispatch) and a service span
+    /// (dispatch to completion) tagged with its tenant index, and
+    /// sheds/deferrals/coalesces bump their counters.
+    pub fn with_recorder(mut self, recorder: Arc<obs::Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.inner.lock().tenants.len()
+    }
+
+    /// Per-tenant accounting snapshots, in registration order.
+    pub fn stats(&self) -> Vec<TenantSnapshot> {
+        let inner = self.inner.lock();
+        inner
+            .tenants
+            .iter()
+            .map(|t| TenantSnapshot {
+                name: t.spec.name.clone(),
+                admitted: t.totals.admitted,
+                completed: t.totals.completed,
+                shed: t.totals.shed,
+                deferred: t.totals.deferred,
+                batches: t.totals.batches,
+                merged: t.totals.merged,
+                bytes: t.totals.bytes,
+            })
+            .collect()
+    }
+
+    /// Current device service-latency EWMA (the congestion signal).
+    pub fn service_ewma(&self) -> SimDuration {
+        SimDuration::from_nanos(self.inner.lock().ewma_service_ns as u64)
+    }
+
+    /// Whether the congestion signal currently exceeds its threshold.
+    pub fn congested(&self) -> bool {
+        let t = self.config.congestion_threshold.as_nanos();
+        t > 0 && self.inner.lock().ewma_service_ns as u64 > t
+    }
+
+    fn congested_locked(&self, inner: &Inner) -> bool {
+        let t = self.config.congestion_threshold.as_nanos();
+        t > 0 && inner.ewma_service_ns as u64 > t
+    }
+
+    /// Deterministic estimate of when tenant `ti`'s queue will have
+    /// drained enough to admit again: its queue length worth of service
+    /// at the current EWMA, spread over the dispatch slots.
+    fn retry_estimate(&self, inner: &Inner, ti: usize, arrival: SimTime) -> SimTime {
+        let qlen = inner.tenants[ti].queue.len() as u64;
+        let per_slot = qlen.div_ceil(self.config.server_depth as u64).max(1);
+        let wait_ns = (inner.ewma_service_ns as u64)
+            .saturating_mul(per_slot)
+            .max(MIN_RETRY_NS);
+        arrival + SimDuration::from_nanos(wait_ns)
+    }
+
+    fn submit(
+        &self,
+        tenant: TenantId,
+        tag: u64,
+        arrival: SimTime,
+        off: u64,
+        sectors: u64,
+        data: Option<&[u8]>,
+    ) -> Result<Admission> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let ti = tenant as usize;
+        if ti >= inner.tenants.len() {
+            return Err(ZnsError::InvalidArgument(format!(
+                "unknown tenant {tenant}"
+            )));
+        }
+        if sectors == 0 {
+            return Err(ZnsError::InvalidArgument(
+                "zero-length submission".to_string(),
+            ));
+        }
+        if let Some(d) = data {
+            if d.len() as u64 != sectors * SECTOR_SIZE {
+                return Err(ZnsError::InvalidArgument(format!(
+                    "payload length {} does not match {sectors} sectors",
+                    d.len()
+                )));
+            }
+        }
+        if off + sectors > self.target.capacity_sectors() {
+            return Err(ZnsError::OutOfRange { lba: off, sectors });
+        }
+
+        let congested = self.congested_locked(inner);
+        let cap = inner.tenants[ti].spec.queue_cap;
+        let effective_cap = if congested { (cap / 2).max(1) } else { cap };
+        if inner.tenants[ti].queue.len() >= effective_cap {
+            let reason = if inner.tenants[ti].queue.len() >= cap {
+                ShedReason::QueueFull
+            } else {
+                ShedReason::Congestion
+            };
+            inner.tenants[ti].totals.shed += 1;
+            if let Some(rec) = self.recorder.as_ref() {
+                rec.bump(obs::Counter::SchedSheds);
+            }
+            let retry_at = self.retry_estimate(inner, ti, arrival);
+            return Ok(Admission::Shed { reason, retry_at });
+        }
+
+        let token = inner.next_token;
+        inner.next_token += 1;
+        let vtime = inner.vtime;
+        let t = &mut inner.tenants[ti];
+        let arrival_ns = arrival.as_nanos();
+        let r_tag = t.tags.next_r_tag(arrival_ns);
+        let p_tag = t.tags.next_p_tag(vtime, sectors);
+        let buf = data.map(|d| {
+            let mut b = inner.pool.pop().unwrap_or_default();
+            b.clear();
+            b.extend_from_slice(d);
+            b
+        });
+        t.queue.push_back(QueuedOp {
+            token,
+            tag,
+            dir: if data.is_some() {
+                OpDir::Write
+            } else {
+                OpDir::Read
+            },
+            off,
+            sectors,
+            arrival_ns,
+            r_tag,
+            p_tag,
+            buf,
+        });
+        t.totals.admitted += 1;
+        Ok(Admission::Admitted(token))
+    }
+
+    /// Picks the tenant to serve at `now_ns`: overdue reservation tags
+    /// first (smallest tag wins), then the smallest proportional tag
+    /// among limit-eligible heads. Ties break toward the lower tenant
+    /// index, keeping dispatch fully deterministic.
+    fn pick(&self, inner: &Inner, now_ns: u64) -> Option<usize> {
+        let mut best_r: Option<(u64, usize)> = None;
+        let mut best_p: Option<(u64, usize)> = None;
+        for (i, t) in inner.tenants.iter().enumerate() {
+            let Some(head) = t.queue.front() else {
+                continue;
+            };
+            if t.bucket.eligible_at(head.arrival_ns) > now_ns {
+                continue;
+            }
+            if head.r_tag != NO_RESERVATION && head.r_tag <= now_ns {
+                let cand = (head.r_tag, i);
+                if best_r.map(|b| cand < b).unwrap_or(true) {
+                    best_r = Some(cand);
+                }
+            }
+            let cand = (head.p_tag, i);
+            if best_p.map(|b| cand < b).unwrap_or(true) {
+                best_p = Some(cand);
+            }
+        }
+        best_r.or(best_p).map(|(_, i)| i)
+    }
+}
+
+impl SharedScheduler for QosScheduler {
+    fn capacity_sectors(&self) -> u64 {
+        self.target.capacity_sectors()
+    }
+
+    fn max_io_at(&self, off: u64) -> u64 {
+        self.target.max_io_at(off)
+    }
+
+    fn submit_write(
+        &self,
+        tenant: TenantId,
+        tag: u64,
+        arrival: SimTime,
+        off: u64,
+        data: &[u8],
+    ) -> Result<Admission> {
+        let sectors = data.len() as u64 / SECTOR_SIZE;
+        self.submit(tenant, tag, arrival, off, sectors, Some(data))
+    }
+
+    fn submit_read(
+        &self,
+        tenant: TenantId,
+        tag: u64,
+        arrival: SimTime,
+        off: u64,
+        sectors: u64,
+    ) -> Result<Admission> {
+        self.submit(tenant, tag, arrival, off, sectors, None)
+    }
+
+    fn step(&self, out: &mut Vec<SchedCompletion>) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+
+        // Earliest instant any head could dispatch (arrival + tokens).
+        let mut min_eligible: Option<u64> = None;
+        for t in &inner.tenants {
+            if let Some(head) = t.queue.front() {
+                let e = t.bucket.eligible_at(head.arrival_ns);
+                min_eligible = Some(min_eligible.map_or(e, |m: u64| m.min(e)));
+            }
+        }
+        let Some(min_eligible) = min_eligible else {
+            return Ok(false);
+        };
+        let slot_free = inner.slots.peek().map(|Reverse(n)| *n).unwrap_or(0);
+        let now_ns = slot_free.max(min_eligible);
+
+        let ti = match self.pick(inner, now_ns) {
+            Some(ti) => ti,
+            // Unreachable: the head achieving `min_eligible` is eligible
+            // at `now_ns` by construction. Keep a defensive error.
+            None => {
+                return Err(ZnsError::InvalidArgument(
+                    "scheduler found no eligible tenant".to_string(),
+                ))
+            }
+        };
+
+        // Pop the head, then greedily absorb adjacent queued sequential
+        // writes into a stripe-aligned batch.
+        inner.batch.clear();
+        let (coalesce_on, max_batch) = (
+            inner.tenants[ti].spec.coalesce,
+            self.config.max_coalesce_ops,
+        );
+        let head = inner.tenants[ti]
+            .queue
+            .pop_front()
+            .expect("picked tenant has a head op");
+        let start_off = head.off;
+        let head_p_tag = head.p_tag;
+        let dir = head.dir;
+        let mut end_off = head.off + head.sectors;
+        inner.batch.push(head);
+        if coalesce_on && dir == OpDir::Write {
+            // Batches never cross the next stripe boundary after their
+            // start (so merged batches land stripe-aligned) nor the
+            // target's own boundary at the start offset.
+            let stripe = self.config.stripe_sectors;
+            let stripe_end = start_off
+                .checked_div(stripe)
+                .map_or(u64::MAX, |q| (q + 1) * stripe);
+            let hard_end = stripe_end.min(start_off + self.target.max_io_at(start_off));
+            while inner.batch.len() < max_batch {
+                let Some(next) = inner.tenants[ti].queue.front() else {
+                    break;
+                };
+                if next.dir != OpDir::Write
+                    || next.off != end_off
+                    || next.arrival_ns > now_ns
+                    || end_off + next.sectors > hard_end
+                {
+                    break;
+                }
+                let op = inner.tenants[ti]
+                    .queue
+                    .pop_front()
+                    .expect("front checked above");
+                end_off += op.sectors;
+                inner.batch.push(op);
+            }
+        }
+
+        // One batch consumes one dispatch slot and one rate token.
+        inner.slots.pop();
+        inner.tenants[ti].bucket.consume(now_ns);
+        inner.vtime = inner.vtime.max(head_p_tag);
+
+        let dispatch = SimTime::from_nanos(now_ns);
+        let total_sectors = end_off - start_off;
+        let done = match dir {
+            OpDir::Write => {
+                let mut segs: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+                for (i, op) in inner.batch.iter().enumerate() {
+                    segs[i] = op.buf.as_deref().expect("write op carries payload");
+                }
+                self.target
+                    .write_vectored(dispatch, start_off, &segs[..inner.batch.len()])?
+            }
+            OpDir::Read => {
+                let bytes = (total_sectors * SECTOR_SIZE) as usize;
+                if inner.read_buf.len() < bytes {
+                    inner.read_buf.resize(bytes, 0);
+                }
+                self.target
+                    .read(dispatch, start_off, &mut inner.read_buf[..bytes])?
+            }
+        };
+        inner.slots.push(Reverse(done.as_nanos()));
+
+        let service_ns = done.since(dispatch).as_nanos() as f64;
+        let a = self.config.congestion_alpha;
+        inner.ewma_service_ns = if inner.ewma_service_ns == 0.0 {
+            service_ns
+        } else {
+            a * service_ns + (1.0 - a) * inner.ewma_service_ns
+        };
+
+        let merged = inner.batch.len() as u64 - 1;
+        let t = &mut inner.tenants[ti];
+        t.totals.batches += 1;
+        t.totals.merged += merged;
+        if let Some(rec) = self.recorder.as_ref() {
+            if merged > 0 {
+                rec.add(obs::Counter::SchedCoalescedOps, merged);
+            }
+        }
+        let deadline_ns = t.spec.deadline.as_nanos();
+        for mut op in inner.batch.drain(..) {
+            let arrival = SimTime::from_nanos(op.arrival_ns);
+            let deferred = deadline_ns > 0 && now_ns.saturating_sub(op.arrival_ns) > deadline_ns;
+            t.totals.completed += 1;
+            t.totals.bytes += op.sectors * SECTOR_SIZE;
+            if op.dir == OpDir::Write {
+                t.totals.write_ops += 1;
+            }
+            if deferred {
+                t.totals.deferred += 1;
+            }
+            if let Some(rec) = self.recorder.as_ref() {
+                if deferred {
+                    rec.bump(obs::Counter::SchedDeferrals);
+                }
+                let class = match op.dir {
+                    OpDir::Read => obs::OpClass::Read,
+                    OpDir::Write => obs::OpClass::Write,
+                };
+                rec.record(obs::TraceEvent {
+                    seq: 0,
+                    op: class,
+                    stage: obs::Stage::QueueWait,
+                    path: None,
+                    device: ti as u32,
+                    zone: obs::NONE,
+                    lba: op.off,
+                    sectors: op.sectors,
+                    start: arrival,
+                    end: dispatch,
+                    outcome: obs::Outcome::Success,
+                });
+                rec.record(obs::TraceEvent {
+                    seq: 0,
+                    op: class,
+                    stage: obs::Stage::Service,
+                    path: None,
+                    device: ti as u32,
+                    zone: obs::NONE,
+                    lba: op.off,
+                    sectors: op.sectors,
+                    start: dispatch,
+                    end: done,
+                    outcome: obs::Outcome::Success,
+                });
+            }
+            if let Some(buf) = op.buf.take() {
+                if inner.pool.len() < POOL_CAP {
+                    inner.pool.push(buf);
+                }
+            }
+            out.push(SchedCompletion {
+                token: op.token,
+                tenant: ti as TenantId,
+                tag: op.tag,
+                arrival,
+                dispatched: dispatch,
+                done,
+                deferred,
+            });
+        }
+        Ok(true)
+    }
+}
+
+impl obs::GaugeSource for QosScheduler {
+    fn source_label(&self) -> &'static str {
+        "qos"
+    }
+
+    fn sample_gauges(&self, out: &mut Vec<obs::GaugeReading>) {
+        let inner = self.inner.lock();
+        let total_completed: u64 = inner.tenants.iter().map(|t| t.totals.completed).sum();
+        for (i, t) in inner.tenants.iter().enumerate() {
+            let dev = i as u32;
+            out.push(obs::GaugeReading::new(
+                "queue_depth",
+                dev,
+                t.queue.len() as f64,
+            ));
+            let share = if total_completed > 0 {
+                t.totals.completed as f64 / total_completed as f64
+            } else {
+                0.0
+            };
+            out.push(obs::GaugeReading::new("granted_share", dev, share));
+            out.push(obs::GaugeReading::new(
+                "deferred_ops",
+                dev,
+                t.totals.deferred as f64,
+            ));
+            out.push(obs::GaugeReading::new(
+                "shed_ops",
+                dev,
+                t.totals.shed as f64,
+            ));
+            let ratio = if t.totals.write_ops > 0 {
+                t.totals.merged as f64 / t.totals.write_ops as f64
+            } else {
+                0.0
+            };
+            out.push(obs::GaugeReading::new("coalesce_ratio", dev, ratio));
+        }
+    }
+}

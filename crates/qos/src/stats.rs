@@ -1,0 +1,35 @@
+//! Per-tenant accounting snapshots.
+
+/// Cumulative per-tenant accounting, snapshotted from the scheduler.
+/// Nothing is dropped silently: `admitted == completed + queued` and
+/// every rejected submission counts in `shed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant label from its [`TenantSpec`](crate::TenantSpec).
+    pub name: String,
+    /// Ops accepted at admission.
+    pub admitted: u64,
+    /// Ops dispatched and completed.
+    pub completed: u64,
+    /// Submissions rejected at admission (queue full or congestion).
+    pub shed: u64,
+    /// Completed ops whose queue wait exceeded the tenant deadline.
+    pub deferred: u64,
+    /// Device dispatches (coalesced batches count once).
+    pub batches: u64,
+    /// Ops absorbed into batches beyond each batch's first op.
+    pub merged: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+impl TenantSnapshot {
+    /// Fraction of completed ops that rode along in a coalesced batch.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.merged as f64 / self.completed as f64
+        }
+    }
+}

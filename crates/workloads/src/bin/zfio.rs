@@ -15,7 +15,7 @@ use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
 use std::sync::Arc;
 use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
-use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+use zns::{LatencyConfig, Result, ZnsConfig, ZnsDevice};
 
 #[derive(Debug)]
 struct Args {
@@ -121,13 +121,12 @@ fn conv_device(user_sectors: u64) -> Arc<ConvSsd> {
     }))
 }
 
-fn build_target(args: &Args) -> Box<dyn IoTarget> {
+fn build_target(args: &Args) -> Result<Box<dyn IoTarget>> {
     let zone_sectors = args.zone_mib * 1024 * 1024 / zns::SECTOR_SIZE;
-    match args.target.as_str() {
+    Ok(match args.target.as_str() {
         "raizn" => {
             let devices = zns_devices(args.devices, args.zones, zone_sectors);
-            let vol = RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO)
-                .expect("format RAIZN");
+            let vol = RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO)?;
             Box::new(ZonedTarget::new(Arc::new(vol)))
         }
         "zns" => Box::new(ZonedTarget::new(
@@ -137,19 +136,19 @@ fn build_target(args: &Args) -> Box<dyn IoTarget> {
             let devices: Vec<Arc<dyn BlockDevice>> = (0..args.devices)
                 .map(|_| conv_device(args.zones as u64 * zone_sectors) as Arc<dyn BlockDevice>)
                 .collect();
-            let md = Md5Volume::new(devices, Md5Config::default()).expect("assemble mdraid");
+            let md = Md5Volume::new(devices, Md5Config::default())?;
             Box::new(BlockTarget::new(Arc::new(md)))
         }
         "conv" => Box::new(BlockTarget::new(conv_device(
             args.zones as u64 * zone_sectors,
         ))),
         _ => usage(),
-    }
+    })
 }
 
-fn main() {
+fn main() -> Result<()> {
     let args = parse_args();
-    let target = build_target(&args);
+    let target = build_target(&args)?;
     let cap = target.capacity_sectors();
 
     let (kind, pattern) = match args.rw.as_str() {
@@ -161,7 +160,7 @@ fn main() {
 
     // Reads need primed data.
     let start = if kind == OpKind::Read {
-        bench_prime(target.as_ref())
+        bench_prime(target.as_ref())?
     } else {
         SimTime::ZERO
     };
@@ -187,8 +186,7 @@ fn main() {
 
     let report = Engine::new(args.seed)
         .start_at(start)
-        .run(target.as_ref(), &jobs)
-        .expect("workload failed");
+        .run(target.as_ref(), &jobs)?;
 
     println!(
         "zfio: target={} rw={} bs={}K jobs={} qd={}",
@@ -216,12 +214,10 @@ fn main() {
         report.latency.percentile(99.9),
         report.latency.max()
     );
+    Ok(())
 }
 
-fn bench_prime(target: &dyn IoTarget) -> SimTime {
+fn bench_prime(target: &dyn IoTarget) -> Result<SimTime> {
     let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).queue_depth(64);
-    Engine::new(0xF111)
-        .run(target, &[job])
-        .expect("priming failed")
-        .end
+    Ok(Engine::new(0xF111).run(target, &[job])?.end)
 }

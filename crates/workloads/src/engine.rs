@@ -1,5 +1,6 @@
 //! The job engine: queue depths, issue scheduling and reporting.
 
+use crate::sched::{Admission, SchedCompletion, SharedScheduler, TenantId};
 use crate::series::LatencySeries;
 use crate::target::{io_buffer, IoTarget};
 use sim::{Histogram, SimDuration, SimRng, SimTime, Timeseries, TimeseriesPoint};
@@ -36,6 +37,7 @@ pub struct JobSpec {
     queue_depth: usize,
     ops: u64,
     region: Option<(u64, u64)>,
+    tenant: TenantId,
 }
 
 impl JobSpec {
@@ -53,6 +55,7 @@ impl JobSpec {
             queue_depth: 1,
             ops: 0,
             region: None,
+            tenant: 0,
         }
     }
 
@@ -81,6 +84,53 @@ impl JobSpec {
         self.region = Some((start, end));
         self
     }
+
+    /// Binds the job to a scheduler tenant (used by
+    /// [`Engine::run_shared`]; plain [`Engine::run`] ignores it).
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The tenant this job is bound to.
+    pub fn tenant_id(&self) -> TenantId {
+        self.tenant
+    }
+}
+
+/// Per-job results of a run: op counts and the job's own latency
+/// distribution, so multi-tenant runs can report per-tenant tails
+/// without a custom recorder.
+#[derive(Debug, Clone, Default)]
+pub struct JobReport {
+    /// IOs completed by this job.
+    pub ops: u64,
+    /// Bytes transferred by this job.
+    pub bytes: u64,
+    /// Ops rejected at scheduler admission (always 0 for [`Engine::run`]).
+    pub shed: u64,
+    /// Ops whose queue wait exceeded the tenant deadline (still
+    /// completed; always 0 for [`Engine::run`]).
+    pub deferred: u64,
+    /// This job's per-IO latency distribution (arrival to completion).
+    pub latency: Histogram,
+}
+
+impl JobReport {
+    /// Median latency.
+    pub fn p50(&self) -> SimDuration {
+        self.latency.percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> SimDuration {
+        self.latency.percentile(95.0)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> SimDuration {
+        self.latency.percentile(99.0)
+    }
 }
 
 /// Aggregate results of a run.
@@ -100,6 +150,8 @@ pub struct RunReport {
     pub latency_series: Option<Vec<(SimTime, SimDuration, SimDuration)>>,
     /// The virtual instant the run finished (for chaining phases).
     pub end: SimTime,
+    /// Per-job results, in job order.
+    pub jobs: Vec<JobReport>,
 }
 
 impl RunReport {
@@ -129,6 +181,38 @@ struct JobState {
     remaining: u64,
     in_flight: BinaryHeap<Reverse<u64>>,
     frontier: SimTime,
+    /// Ops submitted to a shared scheduler whose completions are pending
+    /// (only used by [`Engine::run_shared`]).
+    outstanding: usize,
+}
+
+impl JobState {
+    /// Picks the next dense offset per the job's pattern, advancing the
+    /// sequential cursor. `max_io_at` reports the largest IO that may
+    /// start at an offset (random picks retry to stay inside a boundary).
+    fn next_offset(&mut self, rng: &mut SimRng, max_io_at: &dyn Fn(u64) -> u64) -> u64 {
+        let block = self.spec.block_sectors;
+        match self.spec.pattern {
+            Pattern::Sequential => {
+                if self.next_seq + block > self.region.1 {
+                    self.next_seq = self.region.0;
+                }
+                let o = self.next_seq;
+                self.next_seq += block;
+                o
+            }
+            Pattern::Random => {
+                let slots = (self.region.1 - self.region.0) / block;
+                let mut o = self.region.0 + rng.gen_range(slots) * block;
+                let mut tries = 0;
+                while max_io_at(o) < block && tries < 32 {
+                    o = self.region.0 + rng.gen_range(slots) * block;
+                    tries += 1;
+                }
+                o
+            }
+        }
+    }
 }
 
 /// The workload engine. Deterministic given its seed.
@@ -193,54 +277,60 @@ impl Engine {
         self
     }
 
+    /// Validates `jobs` against a target of `cap` sectors and builds the
+    /// per-job runtime states.
+    fn init_states(&self, jobs: &[JobSpec], cap: u64) -> Result<Vec<JobState>> {
+        if jobs.is_empty() {
+            return Err(ZnsError::InvalidArgument(
+                "at least one job required".to_string(),
+            ));
+        }
+        let mut states = Vec::with_capacity(jobs.len());
+        for spec in jobs {
+            let region = spec.region.unwrap_or((0, cap));
+            if region.1 > cap {
+                return Err(ZnsError::InvalidArgument(format!(
+                    "job region end {} exceeds target capacity {cap}",
+                    region.1
+                )));
+            }
+            let region_blocks = (region.1 - region.0) / spec.block_sectors;
+            if region_blocks == 0 {
+                return Err(ZnsError::InvalidArgument(
+                    "job region smaller than one block".to_string(),
+                ));
+            }
+            if spec.ops == 0 && spec.pattern != Pattern::Sequential {
+                return Err(ZnsError::InvalidArgument(
+                    "random jobs must set an explicit op count".to_string(),
+                ));
+            }
+            let remaining = if spec.ops > 0 {
+                spec.ops
+            } else {
+                region_blocks
+            };
+            states.push(JobState {
+                spec: spec.clone(),
+                region,
+                next_seq: region.0,
+                remaining,
+                in_flight: BinaryHeap::new(),
+                frontier: self.start,
+                outstanding: 0,
+            });
+        }
+        Ok(states)
+    }
+
     /// Runs `jobs` against `target` to completion.
     ///
     /// # Errors
     ///
     /// Propagates the first target IO error.
     pub fn run(&mut self, target: &dyn IoTarget, jobs: &[JobSpec]) -> Result<RunReport> {
-        if jobs.is_empty() {
-            return Err(ZnsError::InvalidArgument(
-                "at least one job required".to_string(),
-            ));
-        }
         let cap = target.capacity_sectors();
-        let mut states: Vec<JobState> = jobs
-            .iter()
-            .map(|spec| {
-                let region = spec.region.unwrap_or((0, cap));
-                if region.1 > cap {
-                    return Err(ZnsError::InvalidArgument(format!(
-                        "job region end {} exceeds target capacity {cap}",
-                        region.1
-                    )));
-                }
-                let region_blocks = (region.1 - region.0) / spec.block_sectors;
-                if region_blocks == 0 {
-                    return Err(ZnsError::InvalidArgument(
-                        "job region smaller than one block".to_string(),
-                    ));
-                }
-                let remaining = if spec.ops > 0 {
-                    spec.ops
-                } else {
-                    if spec.pattern != Pattern::Sequential {
-                        return Err(ZnsError::InvalidArgument(
-                            "random jobs must set an explicit op count".to_string(),
-                        ));
-                    }
-                    region_blocks
-                };
-                Ok(JobState {
-                    spec: spec.clone(),
-                    region,
-                    next_seq: region.0,
-                    remaining,
-                    in_flight: BinaryHeap::new(),
-                    frontier: self.start,
-                })
-            })
-            .collect::<Result<_>>()?;
+        let mut states = self.init_states(jobs, cap)?;
 
         let max_block =
             jobs.iter().map(|j| j.block_sectors).max().ok_or_else(|| {
@@ -248,6 +338,7 @@ impl Engine {
             })?;
         let mut buf = io_buffer(max_block);
         let mut latency = Histogram::new();
+        let mut per_job: Vec<JobReport> = jobs.iter().map(|_| JobReport::default()).collect();
         let mut ts = self.sample.map(Timeseries::new);
         let mut ls = self.sample.map(LatencySeries::new);
         let mut total_ops = 0u64;
@@ -299,26 +390,7 @@ impl Engine {
 
             // Choose the offset.
             let block = job.spec.block_sectors;
-            let off = match job.spec.pattern {
-                Pattern::Sequential => {
-                    if job.next_seq + block > job.region.1 {
-                        job.next_seq = job.region.0;
-                    }
-                    let o = job.next_seq;
-                    job.next_seq += block;
-                    o
-                }
-                Pattern::Random => {
-                    let slots = (job.region.1 - job.region.0) / block;
-                    let mut o = job.region.0 + self.rng.gen_range(slots) * block;
-                    let mut tries = 0;
-                    while target.max_io_at(o) < block && tries < 32 {
-                        o = job.region.0 + self.rng.gen_range(slots) * block;
-                        tries += 1;
-                    }
-                    o
-                }
-            };
+            let off = job.next_offset(&mut self.rng, &|o| target.max_io_at(o));
             let bytes = (block * SECTOR_SIZE) as usize;
             let done = match job.spec.kind {
                 OpKind::Read => target.read(issue, off, &mut buf[..bytes])?,
@@ -326,6 +398,9 @@ impl Engine {
             };
             let lat = done.since(issue);
             latency.record(lat);
+            per_job[ji].ops += 1;
+            per_job[ji].bytes += bytes as u64;
+            per_job[ji].latency.record(lat);
             if let Some(rec) = self.recorder.as_ref() {
                 rec.record(obs::TraceEvent {
                     seq: 0,
@@ -368,6 +443,180 @@ impl Engine {
             throughput_series: ts.map(|t| t.points()),
             latency_series: ls.map(|l| l.points()),
             end,
+            jobs: per_job,
+        })
+    }
+
+    /// Runs `jobs` closed-loop against a shared multi-tenant scheduler:
+    /// each job keeps up to its queue depth submitted, the scheduler
+    /// dispatches in its own (mClock) order, and completions drive the
+    /// next submissions. Deterministic: the submission sequence depends
+    /// only on specs, seed and the scheduler's own deterministic replies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target IO errors and scheduler protocol violations
+    /// (e.g. a scheduler going idle with ops still outstanding).
+    pub fn run_shared(
+        &mut self,
+        sched: &dyn SharedScheduler,
+        jobs: &[JobSpec],
+    ) -> Result<RunReport> {
+        let cap = sched.capacity_sectors();
+        let mut states = self.init_states(jobs, cap)?;
+
+        let max_block =
+            jobs.iter().map(|j| j.block_sectors).max().ok_or_else(|| {
+                ZnsError::InvalidArgument("at least one job required".to_string())
+            })?;
+        let buf = io_buffer(max_block);
+        let mut latency = Histogram::new();
+        let mut per_job: Vec<JobReport> = jobs.iter().map(|_| JobReport::default()).collect();
+        let mut ts = self.sample.map(Timeseries::new);
+        let mut ls = self.sample.map(LatencySeries::new);
+        let mut total_ops = 0u64;
+        let mut total_bytes = 0u64;
+        let mut end = self.start;
+        let deadline = self.time_limit.map(|l| self.start + l);
+        let mut comps: Vec<SchedCompletion> = Vec::with_capacity(64);
+
+        // Submits one op for job `ji` at its frontier. Sheds count as
+        // consumed ops (the scheduler has already accounted them) and
+        // push the job's frontier to the advised retry instant so the
+        // loop always terminates.
+        fn submit_one(
+            engine: &mut Engine,
+            sched: &dyn SharedScheduler,
+            states: &mut [JobState],
+            per_job: &mut [JobReport],
+            buf: &[u8],
+            ji: usize,
+        ) -> Result<()> {
+            let job = &mut states[ji];
+            let block = job.spec.block_sectors;
+            let off = job.next_offset(&mut engine.rng, &|o| sched.max_io_at(o));
+            let arrival = job.frontier;
+            let tenant = job.spec.tenant;
+            let admission = match job.spec.kind {
+                OpKind::Write => {
+                    let bytes = (block * SECTOR_SIZE) as usize;
+                    sched.submit_write(tenant, ji as u64, arrival, off, &buf[..bytes])?
+                }
+                OpKind::Read => sched.submit_read(tenant, ji as u64, arrival, off, block)?,
+            };
+            match admission {
+                Admission::Admitted(_) => {
+                    states[ji].outstanding += 1;
+                    states[ji].remaining -= 1;
+                }
+                Admission::Shed { retry_at, .. } => {
+                    per_job[ji].shed += 1;
+                    states[ji].remaining -= 1;
+                    let bumped = arrival + SimDuration::from_nanos(1);
+                    states[ji].frontier = retry_at.max(bumped);
+                }
+            }
+            Ok(())
+        }
+
+        // Initial fill: give every job its full queue depth up front.
+        // Ops are not dispatch-eligible before their arrival instants,
+        // so early submission does not perturb scheduling.
+        for ji in 0..states.len() {
+            while states[ji].remaining > 0 && states[ji].outstanding < states[ji].spec.queue_depth {
+                submit_one(self, sched, &mut states, &mut per_job, &buf, ji)?;
+            }
+        }
+
+        loop {
+            comps.clear();
+            let any = sched.step(&mut comps)?;
+            if !any {
+                let idle = states
+                    .iter()
+                    .all(|s| s.remaining == 0 && s.outstanding == 0);
+                if idle {
+                    break;
+                }
+                return Err(ZnsError::InvalidArgument(
+                    "shared scheduler went idle with ops outstanding".to_string(),
+                ));
+            }
+            for c in &comps {
+                let ji = c.tag as usize;
+                if ji >= states.len() || states[ji].outstanding == 0 {
+                    return Err(ZnsError::InvalidArgument(format!(
+                        "shared scheduler returned unknown completion tag {}",
+                        c.tag
+                    )));
+                }
+                states[ji].outstanding -= 1;
+                let block = states[ji].spec.block_sectors;
+                let bytes = block * SECTOR_SIZE;
+                let lat = c.done.since(c.arrival);
+                latency.record(lat);
+                per_job[ji].ops += 1;
+                per_job[ji].bytes += bytes;
+                per_job[ji].latency.record(lat);
+                if c.deferred {
+                    per_job[ji].deferred += 1;
+                }
+                total_ops += 1;
+                total_bytes += bytes;
+                if let Some(rec) = self.recorder.as_ref() {
+                    rec.record(obs::TraceEvent {
+                        seq: 0,
+                        op: match states[ji].spec.kind {
+                            OpKind::Read => obs::OpClass::Read,
+                            OpKind::Write => obs::OpClass::Write,
+                        },
+                        stage: obs::Stage::WholeOp,
+                        path: None,
+                        device: states[ji].spec.tenant,
+                        zone: obs::NONE,
+                        lba: 0,
+                        sectors: block,
+                        start: c.arrival,
+                        end: c.done,
+                        outcome: obs::Outcome::Success,
+                    });
+                }
+                if let Some(tl) = self.timeline.as_ref() {
+                    tl.maybe_sample(c.done);
+                }
+                if let Some(ts) = ts.as_mut() {
+                    ts.record(c.done, bytes);
+                }
+                if let Some(ls) = ls.as_mut() {
+                    ls.record(c.done, lat);
+                }
+                end = end.max(c.done);
+                states[ji].frontier = states[ji].frontier.max(c.done);
+                if let Some(d) = deadline {
+                    if states[ji].frontier >= d {
+                        states[ji].remaining = 0;
+                    }
+                }
+            }
+            // Refill the queues the completions just drained.
+            for ji in 0..states.len() {
+                while states[ji].remaining > 0
+                    && states[ji].outstanding < states[ji].spec.queue_depth
+                {
+                    submit_one(self, sched, &mut states, &mut per_job, &buf, ji)?;
+                }
+            }
+        }
+
+        Ok(RunReport {
+            total_ops,
+            total_bytes,
+            duration: end.saturating_since(self.start),
+            latency,
+            throughput_series: ts.map(|t| t.points()),
+            latency_series: ls.map(|l| l.points()),
+            end,
+            jobs: per_job,
         })
     }
 }

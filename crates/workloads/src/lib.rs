@@ -32,9 +32,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod sched;
 mod series;
 mod target;
 
-pub use engine::{Engine, JobSpec, OpKind, Pattern, RunReport};
+pub use engine::{Engine, JobReport, JobSpec, OpKind, Pattern, RunReport};
+pub use sched::{Admission, OpToken, SchedCompletion, SharedScheduler, ShedReason, TenantId};
 pub use series::LatencySeries;
 pub use target::{BlockTarget, IoTarget, ZonedTarget};

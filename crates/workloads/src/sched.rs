@@ -1,0 +1,119 @@
+//! The shared-scheduler protocol: how the engine drives a multi-tenant
+//! I/O scheduler (e.g. `qos::QosScheduler`) without the two crates
+//! depending on each other.
+//!
+//! A [`SharedScheduler`] decouples *submission* from *completion*: the
+//! engine submits ops tagged with a tenant and an arrival instant, the
+//! scheduler queues them, and [`SharedScheduler::step`] dispatches the
+//! next op (or coalesced batch) in the scheduler's own order, returning
+//! one [`SchedCompletion`] per original op. This lets a scheduler reorder
+//! across tenants, rate-limit, defer and shed — none of which the
+//! synchronous [`IoTarget`](crate::IoTarget) interface can express.
+//!
+//! Determinism contract: given the same sequence of `submit_*`/`step`
+//! calls, a scheduler must produce the same admissions, dispatch order
+//! and completion times. The engine guarantees a deterministic call
+//! sequence, so whole runs replay exactly.
+
+use sim::SimTime;
+use zns::Result;
+
+/// Index of a tenant registered with the scheduler.
+pub type TenantId = u32;
+
+/// Scheduler-assigned identifier of an admitted op.
+pub type OpToken = u64;
+
+/// Why an op was rejected at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's bounded queue was full.
+    QueueFull,
+    /// The congestion controller clamped admission below the queue bound.
+    Congestion,
+}
+
+/// Outcome of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The op was queued; a completion carrying this token will follow.
+    Admitted(OpToken),
+    /// The op was rejected (counted by the scheduler — never silent).
+    /// `retry_at` is the scheduler's deterministic estimate of when the
+    /// tenant's queue will have drained enough to accept again.
+    Shed {
+        /// Why admission failed.
+        reason: ShedReason,
+        /// Earliest instant a retry is likely to be admitted.
+        retry_at: SimTime,
+    },
+}
+
+/// Completion record of one admitted op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedCompletion {
+    /// Token returned at admission.
+    pub token: OpToken,
+    /// Tenant the op belonged to.
+    pub tenant: TenantId,
+    /// Caller tag echoed from submission (the engine stores a job index).
+    pub tag: u64,
+    /// Instant the op arrived at the scheduler.
+    pub arrival: SimTime,
+    /// Instant the scheduler dispatched it to the underlying target.
+    pub dispatched: SimTime,
+    /// Instant the underlying target completed it.
+    pub done: SimTime,
+    /// The op's queue wait exceeded its tenant's deadline (the op still
+    /// completed; deferral is an accounting signal, not a drop).
+    pub deferred: bool,
+}
+
+/// A multi-tenant I/O scheduler the engine can drive op by op.
+pub trait SharedScheduler: Send + Sync {
+    /// Usable capacity of the underlying target in sectors.
+    fn capacity_sectors(&self) -> u64;
+
+    /// Largest IO (sectors) that may start at dense offset `off` on the
+    /// underlying target.
+    fn max_io_at(&self, off: u64) -> u64;
+
+    /// Submits a write of `data` at dense offset `off` for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on malformed submissions (unknown tenant, unaligned
+    /// length); resource exhaustion is reported as [`Admission::Shed`].
+    fn submit_write(
+        &self,
+        tenant: TenantId,
+        tag: u64,
+        arrival: SimTime,
+        off: u64,
+        data: &[u8],
+    ) -> Result<Admission>;
+
+    /// Submits a read of `sectors` at dense offset `off` for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on malformed submissions; resource exhaustion is
+    /// reported as [`Admission::Shed`].
+    fn submit_read(
+        &self,
+        tenant: TenantId,
+        tag: u64,
+        arrival: SimTime,
+        off: u64,
+        sectors: u64,
+    ) -> Result<Admission>;
+
+    /// Dispatches the next queued op (or coalesced batch) to the
+    /// underlying target, appending one completion per original op to
+    /// `out`. Returns `false` when nothing is queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from the underlying target.
+    fn step(&self, out: &mut Vec<SchedCompletion>) -> Result<bool>;
+}

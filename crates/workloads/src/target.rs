@@ -29,6 +29,25 @@ pub trait IoTarget: Send + Sync {
     /// Propagates target IO failures.
     fn write(&self, at: SimTime, off: u64, data: &[u8]) -> Result<SimTime>;
 
+    /// Writes `segments` as one contiguous extent at dense offset `off`
+    /// (gather write, used by coalescing schedulers). The default issues
+    /// one sequential write per segment; zoned targets forward to the
+    /// volume's batched path so full-stripe batches earn full-parity
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target IO failures.
+    fn write_vectored(&self, at: SimTime, off: u64, segments: &[&[u8]]) -> Result<SimTime> {
+        let mut done = at;
+        let mut cursor = off;
+        for seg in segments {
+            done = self.write(done, cursor, seg)?;
+            cursor += seg.len() as u64 / SECTOR_SIZE;
+        }
+        Ok(done)
+    }
+
     /// Makes everything durable.
     ///
     /// # Errors
@@ -95,6 +114,21 @@ impl<V: ZonedVolume> IoTarget for ZonedTarget<V> {
         Ok(self
             .volume
             .write(t, self.to_lba(off), data, WriteFlags::default())?
+            .done)
+    }
+
+    fn write_vectored(&self, at: SimTime, off: u64, segments: &[&[u8]]) -> Result<SimTime> {
+        let (zone, zoff) = self.locate(off);
+        let mut t = at;
+        if zoff == 0 {
+            let info = self.volume.zone_info(zone)?;
+            if info.write_pointer > info.start {
+                t = self.volume.reset_zone(t, zone)?.done;
+            }
+        }
+        Ok(self
+            .volume
+            .write_vectored(t, self.to_lba(off), segments, WriteFlags::default())?
             .done)
     }
 

@@ -77,6 +77,31 @@ pub trait ZonedVolume: Send + Sync {
     /// exhaustion, or target failure.
     fn write(&self, at: SimTime, lba: Lba, data: &[u8], flags: WriteFlags) -> Result<IoCompletion>;
 
+    /// Writes `segments` as one logically contiguous extent starting at
+    /// sector `lba` (gather write). The default issues one sequential
+    /// write per segment; volumes that benefit from large extents (RAIZN
+    /// full-stripe parity) override this to stage the segments and take
+    /// their batched write path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ZonedVolume::write`].
+    fn write_vectored(
+        &self,
+        at: SimTime,
+        lba: Lba,
+        segments: &[&[u8]],
+        flags: WriteFlags,
+    ) -> Result<IoCompletion> {
+        let mut done = at;
+        let mut cursor = lba;
+        for seg in segments {
+            done = self.write(done, cursor, seg, flags)?.done;
+            cursor += seg.len() as u64 / crate::SECTOR_SIZE;
+        }
+        Ok(IoCompletion { done })
+    }
+
     /// Appends `data` to `zone`, returning the assigned LBA.
     ///
     /// # Errors

@@ -31,6 +31,15 @@ cargo run --release -q -p raizn-bench --bin report -- \
   --expect-flat BENCH_fig10_raizn_timeline.json \
   --expect-decline BENCH_fig10_mdraid_timeline.json > /dev/null
 
+# QoS SLO gates: the multi-tenant scheduler must hold the noisy-neighbor
+# isolation bound (victim p99 within 1.25x of its solo run), track
+# configured weights (Jain >= 0.95, per-tenant share deviation <= 10%)
+# and convert unaligned sequential writes into full-stripe parity writes
+# (coalescer uplift; the report exits nonzero on any FAIL).
+cargo run --release -q -p raizn-bench --bin qos > /dev/null
+cargo run --release -q -p raizn-bench --bin report -- \
+  --qos BENCH_qos.json > /dev/null
+
 cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check

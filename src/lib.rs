@@ -6,6 +6,7 @@
 
 pub use ftl;
 pub use mdraid5;
+pub use qos;
 pub use raizn;
 pub use sim;
 pub use workloads;
