@@ -166,7 +166,11 @@ fn run_point(point: &str, mut policy_for: impl FnMut(usize) -> CrashPolicy) -> b
 
 fn main() -> bench::BenchResult {
     let mut seed = 42u64;
-    let mut args = std::env::args().skip(1);
+    let mut rest = bench::cli_args();
+    // Crash points must replay one at a time to pin blame; the flag
+    // exists for CLI uniformity.
+    bench::note_single_threaded("crash_sweep", bench::take_threads(&mut rest)?);
+    let mut args = rest.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => {
@@ -177,7 +181,7 @@ fn main() -> bench::BenchResult {
             }
             other => {
                 return Err(BenchError::Gate(format!(
-                    "unknown argument {other:?} (usage: crash_sweep [--seed N])"
+                    "unknown argument {other:?} (usage: crash_sweep [--seed N] [--threads N])"
                 )));
             }
         }

@@ -32,9 +32,12 @@ fn run_overwrite(
                 .queue_depth(32)
         })
         .collect();
+    let depth = workloads::PipelineDepth::new();
+    capture.register(depth.clone());
     let mut e = Engine::new(10)
         .sample_interval(SimDuration::from_millis(100))
-        .timeline(capture.timeline());
+        .timeline(capture.timeline())
+        .depth_gauge(depth.clone());
     let p1 = e.run(target, &phase1)?;
     // The paper's figure plots the overwrite phase; scope the timeline
     // artifact to it so its windows are not diluted by the concurrent
@@ -47,7 +50,8 @@ fn run_overwrite(
     let mut e2 = Engine::new(11)
         .start_at(p1.end)
         .sample_interval(SimDuration::from_millis(100))
-        .timeline(capture.timeline());
+        .timeline(capture.timeline())
+        .depth_gauge(depth);
     let p2 = e2.run(target, &phase2)?;
     capture.write_to(std::path::Path::new("."), p2.end)?;
 
@@ -77,6 +81,9 @@ fn run_overwrite(
 }
 
 fn main() -> bench::BenchResult {
+    // The 100 ms sample series this figure plots comes from the engine's
+    // single-threaded driver; the flag exists for CLI uniformity.
+    bench::note_single_threaded("fig10", bench::threads_arg("fig10")?);
     let rz_capture = TimelineRun::new("fig10_raizn");
     let raizn = rz_capture.raizn_volume(ZONES, ZONE_SECTORS, 16)?;
     let rt = ZonedTarget::new(raizn);

@@ -14,6 +14,7 @@ const SU: u64 = 16;
 const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
 
 fn main() -> bench::BenchResult {
+    let threads = bench::threads_arg("fig11")?;
     // Timeline capture rides on the flagship degraded random-read run;
     // its gauges show the degraded flag and reconstruction load.
     let capture = TimelineRun::new("fig11");
@@ -32,7 +33,7 @@ fn main() -> bench::BenchResult {
             raizn.fail_device(0);
             let align = rt.volume().geometry().zone_cap();
             let timeline = flagship.then(|| capture.timeline());
-            let r = run_micro(&rt, micro, bs, align, start, timeline)?;
+            let r = run_micro(&rt, micro, bs, align, start, timeline, threads)?;
             if flagship {
                 capture_end = r.end;
             }
@@ -41,7 +42,7 @@ fn main() -> bench::BenchResult {
             let mt = BlockTarget::new(md.clone());
             let start = prime(&mt, SimTime::ZERO)?;
             md.fail_device(0);
-            let m = run_micro(&mt, micro, bs, align, start, None)?;
+            let m = run_micro(&mt, micro, bs, align, start, None, threads)?;
 
             rows.push(vec![
                 micro.name().to_string(),

@@ -12,6 +12,7 @@ const STRIPE_UNITS: [u64; 4] = [2, 4, 16, 32]; // 8K, 16K, 64K, 128K
 const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
 
 fn main() -> bench::BenchResult {
+    let threads = bench::threads_arg("fig8")?;
     // Timeline capture rides on the flagship configuration (largest
     // stripe unit and block size, sequential write).
     let capture = TimelineRun::new("fig8");
@@ -35,7 +36,7 @@ fn main() -> bench::BenchResult {
                 };
                 let align = t.volume().geometry().zone_cap();
                 let timeline = flagship.then(|| capture.timeline());
-                let r = run_micro(&t, micro, bs, align, start, timeline)?;
+                let r = run_micro(&t, micro, bs, align, start, timeline, threads)?;
                 if flagship {
                     capture_end = r.end;
                 }

@@ -16,6 +16,7 @@ const SU: u64 = 16; // 64 KiB
 const BLOCK_SIZES: [u64; 5] = [1, 4, 16, 64, 256];
 
 fn main() -> bench::BenchResult {
+    let threads = bench::threads_arg("fig9")?;
     // Per-system timeline captures ride on the flagship configuration
     // (sequential write, 1 MiB blocks).
     let rz_capture = TimelineRun::new("fig9_raizn");
@@ -41,7 +42,7 @@ fn main() -> bench::BenchResult {
             };
             let align = rt.volume().geometry().zone_cap();
             let timeline = flagship.then(|| rz_capture.timeline());
-            let r = run_micro(&rt, micro, bs, align, start, timeline)?;
+            let r = run_micro(&rt, micro, bs, align, start, timeline, threads)?;
             if flagship {
                 rz_end = r.end;
             }
@@ -59,7 +60,7 @@ fn main() -> bench::BenchResult {
                 prime(&mt, SimTime::ZERO)?
             };
             let timeline = flagship.then(|| md_capture.timeline());
-            let m = run_micro(&mt, micro, bs, align, start, timeline)?;
+            let m = run_micro(&mt, micro, bs, align, start, timeline, threads)?;
             if flagship {
                 md_end = m.end;
             }

@@ -28,6 +28,12 @@
 //!   vs an identical unobserved volume (gate: < 5%). Both paths are timed
 //!   in interleaved rounds and the per-round minimum is compared, so a
 //!   one-off scheduler hiccup cannot fail the gate.
+//! - `scaling`: wall-clock thread-scaling sweep of the sharded write
+//!   pipeline — eight zone-disjoint sequential full-stripe jobs driven by
+//!   1/2/4/8 engine workers against fresh volumes, per-count minimum of
+//!   two rounds (gate: >= 2x throughput at 4 workers vs 1, checked only
+//!   when the host has >= 4 cores). `--threads N` caps the sweep's
+//!   largest worker count.
 //!
 //! Also emits `BENCH_hotpath_breakdown.json` (per-stage latency breakdown
 //! of the traced rounds) and `BENCH_hotpath_timeline.json` (window
@@ -42,7 +48,9 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use workloads::{Admission, SchedCompletion, SharedScheduler, ZonedTarget};
+use workloads::{
+    Admission, Engine, JobSpec, OpKind, Pattern, SchedCompletion, SharedScheduler, ZonedTarget,
+};
 use zns::{WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume};
 
 /// Allocation-counting wrapper around the system allocator.
@@ -186,7 +194,30 @@ fn qos_round(
     Ok(allocs() - a0)
 }
 
+/// One thread-scaling trial: runs `jobs` on `threads` engine workers
+/// against a fresh volume, returning (wall seconds, ops, bytes).
+fn scaling_trial(threads: usize, jobs: &[JobSpec]) -> bench::BenchResult<(f64, u64, u64)> {
+    let target = ZonedTarget::new(fresh_volume(None)?);
+    let engine = Engine::new(0x5CA1E);
+    let t0 = Instant::now();
+    let report = engine.run_threaded(&target, jobs, threads)?;
+    let wall = t0.elapsed().as_secs_f64();
+    Ok((wall, report.total_ops, report.total_bytes))
+}
+
 fn main() -> bench::BenchResult {
+    // `--threads N` caps the largest worker count of the scaling sweep
+    // (useful on small hosts); the sweep's default top is 8.
+    let mut args = bench::cli_args();
+    let capped = args.iter().any(|a| a == "--threads");
+    let threads_flag = bench::take_threads(&mut args)?;
+    if let Some(extra) = args.first() {
+        return Err(bench::BenchError::Gate(format!(
+            "unknown argument {extra:?} (usage: hotpath [--threads N])"
+        )));
+    }
+    let sweep_max = if capped { threads_flag } else { 8 };
+
     // --- XOR kernel: 64 KiB buffers -------------------------------------
     let src = vec![0xA5u8; 64 * 1024];
     let mut dst = vec![0x5Au8; 64 * 1024];
@@ -280,9 +311,85 @@ fn main() -> bench::BenchResult {
     )?;
     let allocs_per_qos = qos_allocs as f64 / qos_iters as f64;
 
+    // --- Thread scaling: sharded write pipeline --------------------------
+    // Fixed work — eight sequential full-stripe jobs, each confined to its
+    // own logical zones — driven by a growing worker pool against a fresh
+    // volume per trial. Device time is virtual (costs nothing real), so
+    // wall-clock speedup isolates the host-side write path: per-zone lock
+    // shards must let independent zones' writes proceed concurrently.
+    let probe = fresh_volume(None)?;
+    let zone_cap = probe.geometry().zone_cap();
+    let num_zones = u64::from(probe.geometry().num_zones());
+    drop(probe);
+    let scale_jobs_n = 8u64.min(num_zones);
+    let zones_per_job = (num_zones / scale_jobs_n).max(1);
+    let span = zone_cap * zones_per_job;
+    let scale_ops = (span / stripe_sectors).min(384);
+    let scale_jobs: Vec<JobSpec> = (0..scale_jobs_n)
+        .map(|i| {
+            JobSpec::new(OpKind::Write, Pattern::Sequential, stripe_sectors)
+                .region(i * span, (i + 1) * span)
+                .ops(scale_ops)
+                .queue_depth(16)
+        })
+        .collect();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|t| *t <= sweep_max)
+        .collect();
+    if sweep.is_empty() {
+        sweep.push(1);
+    }
+    const SCALE_ROUNDS: usize = 2;
+    let mut wall_ms: Vec<f64> = Vec::new();
+    let mut scale_mib_s: Vec<f64> = Vec::new();
+    let mut scale_total_ops = 0u64;
+    for &t in &sweep {
+        let mut best = f64::INFINITY;
+        let mut bytes = 0u64;
+        for _ in 0..SCALE_ROUNDS {
+            let (wall, ops, b) = scaling_trial(t, &scale_jobs)?;
+            gate!(
+                scale_total_ops == 0 || ops == scale_total_ops,
+                "scaling trial at {t} threads completed {ops} ops, expected {scale_total_ops}"
+            );
+            scale_total_ops = ops;
+            best = best.min(wall);
+            bytes = b;
+        }
+        wall_ms.push(best * 1e3);
+        scale_mib_s.push(bytes as f64 / (1024.0 * 1024.0) / best);
+    }
+    let speedup_4t = sweep
+        .iter()
+        .position(|t| *t == 4)
+        .map(|i| scale_mib_s[i] / scale_mib_s[0]);
+    let scaling_json = format!(
+        "{{\n    \"jobs\": {scale_jobs_n},\n    \"ops_per_job\": {scale_ops},\n    \"block_sectors\": {stripe_sectors},\n    \"threads\": [{}],\n    \"wall_ms\": [{}],\n    \"mib_s\": [{}],\n    \"speedup_4t\": {}\n  }}",
+        sweep
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        wall_ms
+            .iter()
+            .map(|w| format!("{w:.2}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        scale_mib_s
+            .iter()
+            .map(|m| format!("{m:.1}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        speedup_4t.map_or_else(|| "null".to_string(), |s| format!("{s:.2}")),
+    );
+
     let reused = traced.stats().stripe_buffers_reused;
     let json = format!(
-        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2}\n}}\n"
+        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2},\n  \"scaling\": {scaling_json}\n}}\n"
     );
     std::fs::write("BENCH_hotpath.json", &json)?;
     print!("{json}");
@@ -313,5 +420,21 @@ fn main() -> bench::BenchResult {
         allocs_per_qos == 0.0,
         "qos scheduler steady state allocates: {allocs_per_qos} allocs/op"
     );
+    match speedup_4t {
+        Some(s) if host_cores >= 4 => {
+            gate!(
+                s >= 2.0,
+                "write pipeline does not scale: {s:.2}x at 4 threads vs 1 (need >= 2x)"
+            );
+        }
+        Some(s) => {
+            println!(
+                "note: scaling gate skipped (host parallelism {host_cores} < 4); measured {s:.2}x"
+            );
+        }
+        None => {
+            println!("note: scaling gate skipped (sweep capped below 4 threads)");
+        }
+    }
     Ok(())
 }

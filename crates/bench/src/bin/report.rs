@@ -362,6 +362,36 @@ fn render(run: &Run) {
             );
         }
     }
+    // Concurrency health: the sharded write pipeline's lock counters are
+    // cumulative (the last sample is the run total, wall-clock nanos —
+    // see obs::LockStats), and the engine's queue-depth gauge reports its
+    // high-water mark. Summed back over series (the parse step averaged).
+    let total_of = |suffix: &str| -> Option<f64> {
+        let mut sum = None;
+        for (name, _, last, n) in &run.gauges {
+            if name.ends_with(suffix) {
+                *sum.get_or_insert(0.0) += last * *n as f64;
+            }
+        }
+        sum
+    };
+    if let (Some(acq), Some(contended), Some(wait)) = (
+        total_of(".lock_acquisitions"),
+        total_of(".lock_contended"),
+        total_of(".lock_wait_ns"),
+    ) {
+        if acq > 0.0 {
+            println!(
+                "   lock contention: {acq:.0} acquisitions, {:.3}% contended, \
+                 {:.1} ns blocked per acquisition (wall clock)",
+                contended / acq * 100.0,
+                wait / acq,
+            );
+        }
+    }
+    if let Some(peak) = total_of(".pipeline_queue_depth_peak") {
+        println!("   pipeline queue depth peak: {peak:.0}");
+    }
 }
 
 /// Side-by-side timelines aligned at each run's first active window, on a
@@ -483,7 +513,11 @@ fn main() -> bench::BenchResult {
     let mut qos_jain = 0.95f64;
     let mut qos_share_dev = 0.10f64;
     let mut qos_uplift = 2.0f64;
-    let mut args = std::env::args().skip(1);
+    // An artifact reader has no workload to shard; accepted (and inert)
+    // for CLI uniformity with the other binaries.
+    let mut rest = bench::cli_args();
+    bench::take_threads(&mut rest)?;
+    let mut args = rest.into_iter();
     while let Some(a) = args.next() {
         let numeric = |args: &mut dyn Iterator<Item = String>| {
             args.next()

@@ -75,6 +75,70 @@ macro_rules! gate {
 /// Number of array devices used throughout the evaluation (paper: 5).
 pub const ARRAY_DEVICES: usize = 5;
 
+/// The process command line minus the program name, for composition with
+/// [`take_threads`] and binary-specific flags.
+pub fn cli_args() -> Vec<String> {
+    std::env::args().skip(1).collect()
+}
+
+/// Consumes the shared `--threads N` flag from `args` (every benchmark
+/// binary accepts it), leaving all other arguments in place for the
+/// binary's own parsing. Returns the requested engine worker count;
+/// defaults to 1, which reproduces the single-threaded driver exactly, so
+/// default invocations keep bit-identical artifacts.
+///
+/// # Errors
+///
+/// Fails if `--threads` is present without a positive integer value.
+pub fn take_threads(args: &mut Vec<String>) -> BenchResult<usize> {
+    let mut threads = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            let value = args
+                .get(i + 1)
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| BenchError::Gate("--threads needs a positive integer".into()))?;
+            threads = value;
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(threads)
+}
+
+/// Parses a binary's command line when `--threads N` is its only flag,
+/// rejecting anything else with a usage message naming `bin`.
+///
+/// # Errors
+///
+/// Fails on a malformed `--threads` value or any unrecognized argument.
+pub fn threads_arg(bin: &str) -> BenchResult<usize> {
+    let mut args = cli_args();
+    let threads = take_threads(&mut args)?;
+    if let Some(extra) = args.first() {
+        return Err(BenchError::Gate(format!(
+            "unknown argument {extra:?} (usage: {bin} [--threads N])"
+        )));
+    }
+    Ok(threads)
+}
+
+/// Prints the standard notice for binaries whose capture methodology is
+/// inherently single-threaded (per-second series sampling, non-engine
+/// harnesses, crash/verify sequences): they accept `--threads` for CLI
+/// uniformity but run the capture on one driver thread.
+pub fn note_single_threaded(bin: &str, threads: usize) {
+    if threads > 1 {
+        println!(
+            "note: {bin}'s capture is single-threaded by methodology; \
+             --threads {threads} leaves results unchanged"
+        );
+    }
+}
+
 /// Ring capacity of the shared benchmark recorder; long runs overflow it
 /// (oldest events drop) but histograms and counters always see everything.
 const RECORDER_CAPACITY: usize = 65_536;
@@ -228,9 +292,15 @@ impl TimelineRun {
         Ok(volume)
     }
 
-    /// A workload engine that drives this run's gauge sampling.
+    /// A workload engine that drives this run's gauge sampling. The
+    /// engine's in-flight queue depth is registered as a gauge source, so
+    /// the artifact carries `engine.pipeline_queue_depth` series.
     pub fn engine(&self, seed: u64) -> workloads::Engine {
-        workloads::Engine::new(seed).timeline(self.timeline())
+        let depth = workloads::PipelineDepth::new();
+        self.register(depth.clone());
+        workloads::Engine::new(seed)
+            .timeline(self.timeline())
+            .depth_gauge(depth)
     }
 
     /// Takes a final gauge sample at `at` and writes the timeline artifact
@@ -459,6 +529,12 @@ pub fn prime(target: &dyn workloads::IoTarget, at: SimTime) -> BenchResult<SimTi
 /// with per-config op counts capped for simulation speed. `timeline`, when
 /// given, has its gauges sampled as the run's virtual clock advances.
 ///
+/// `threads` > 1 shards the jobs over that many OS threads (see
+/// [`workloads::Engine::run_threaded`]): logical outcomes stay
+/// reproducible, but virtual-time throughput may shift slightly under
+/// device-service contention, so figure artifacts are only bit-identical
+/// at the default of 1.
+///
 /// # Errors
 ///
 /// Propagates IO errors from the simulated stack.
@@ -469,6 +545,7 @@ pub fn run_micro(
     align_sectors: u64,
     at: SimTime,
     timeline: Option<Arc<obs::Timeline>>,
+    threads: usize,
 ) -> BenchResult<workloads::RunReport> {
     use workloads::{Engine, JobSpec, OpKind, Pattern};
     let cap = target.capacity_sectors();
@@ -508,7 +585,11 @@ pub fn run_micro(
     if let Some(tl) = timeline {
         engine = engine.timeline(tl);
     }
-    Ok(engine.run(target, &jobs)?)
+    if threads > 1 {
+        Ok(engine.run_threaded(target, &jobs, threads)?)
+    } else {
+        Ok(engine.run(target, &jobs)?)
+    }
 }
 
 #[cfg(test)]

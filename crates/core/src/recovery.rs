@@ -10,14 +10,20 @@
 //! hide the torn suffix, the orphaned "ghost" units are marked as
 //! conflicted slots, and future writes to them are relocated to metadata
 //! zones.
+//!
+//! Recovery runs before the volume is visible to other threads, but it
+//! still follows the sharded volume's lock order (zone shard → metadata →
+//! device) so the helpers it shares with the IO path stay uniform.
 
 use crate::config::RaiznConfig;
 use crate::metadata::{MdPayload, MdRecord, MD_HEADER_BYTES};
+use crate::stats::AtomicRaiznStats;
 use crate::stripe::StripeBuffer;
-use crate::volume::{xor_into, MdRole, RaiznVolume, RelocatedUnit, VolState};
+use crate::volume::{internal, xor_into, MdRole, MetaState, RaiznVolume, RelocatedUnit, NO_DEVICE};
 use crate::Result;
 use sim::SimTime;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use zns::{WriteFlags, ZnsDevice, ZnsError, ZoneState, ZonedVolume, SECTOR_SIZE};
 
@@ -203,38 +209,42 @@ impl RaiznVolume {
 
         // ---- 3. Assemble and recover each logical zone. -----------------
         let vol = Self::assemble(devices, config, layout, gens);
+        vol.failed
+            .store(failed.unwrap_or(NO_DEVICE), Ordering::Release);
         {
-            let mut st = vol.state.lock();
-            let st = &mut *st;
-            st.failed = failed;
-            st.relocated = relocated;
-            for ((lz, stripe, dev), _) in st.relocated.clone() {
-                st.lzones[lz as usize].conflicts.insert((stripe, dev));
+            let devices = vol.devices.read();
+            // Seed per-zone conflict sets before the map moves into the
+            // metadata domain (shard → meta lock order, one zone at a time).
+            for (lz, stripe, dev) in relocated.keys() {
+                vol.lock_shard(*lz).conflicts.insert((*stripe, *dev));
+            }
+            {
+                let mut m = vol.lock_meta();
+                m.relocated = relocated;
+                vol.sync_relocated_count(&m);
             }
 
-            let mut gen_bumped = false;
             for lz in 0..vol.layout.logical_zones() {
-                let recovered = vol.recover_zone(st, at, lz, reset_wals[lz as usize], &pp)?;
-                gen_bumped |= recovered;
+                vol.recover_zone(&devices, at, lz, reset_wals[lz as usize], &pp)?;
             }
 
             // ---- 3b. Rewrite physical zones whose relocation count
             // exceeds the threshold (§5.2): data is bounced through a swap
             // zone so every relocated unit returns to its arithmetic slot.
-            vol.rewrite_overloaded_zones(st, at)?;
+            vol.rewrite_overloaded_zones(&devices, at)?;
 
             // ---- 4. Refresh metadata state (mount-time GC). -------------
-            vol.mount_refresh_metadata(st, at)?;
-            let _ = gen_bumped;
+            vol.mount_refresh_metadata(&devices, at)?;
         }
         Ok(vol)
     }
 
     /// Recovers one logical zone; returns whether its generation was
-    /// bumped.
+    /// bumped. Holds the zone's shard and the metadata lock throughout
+    /// (mount is single-threaded; the locks document the domains used).
     fn recover_zone(
         &self,
-        st: &mut VolState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lz: u32,
         reset_logged: bool,
@@ -246,12 +256,14 @@ impl RaiznVolume {
         let stripe_data = layout.stripe_data_sectors();
         let phys_zone = layout.phys_zone(lz);
         let n = layout.devices();
+        let mut z = self.lock_shard(lz);
+        let mut m = self.lock_meta();
 
         // Per-device physical write pointers (relative), None for failed.
         let mut wp: Vec<Option<u64>> = Vec::with_capacity(n as usize);
         let mut live_full = true;
-        for (i, dev) in st.devices.iter().enumerate() {
-            if st.failed == Some(i) {
+        for (i, dev) in devices.iter().enumerate() {
+            if self.is_failed(i) {
                 wp.push(None);
             } else {
                 let info = dev.zone_info(phys_zone)?;
@@ -269,44 +281,33 @@ impl RaiznVolume {
         // Replayed partial zone reset: the WAL says this zone should be
         // empty; finish the job (§5.2).
         if reset_logged && any_content {
-            for (i, dev) in st.devices.iter().enumerate() {
-                if st.failed == Some(i) {
+            for (i, dev) in devices.iter().enumerate() {
+                if self.is_failed(i) {
                     continue;
                 }
                 dev.reset_zone(at, phys_zone)?;
             }
-            st.gens[lz as usize] += 1;
-            st.relocated.retain(|(z, _, _), _| *z != lz);
-            st.lzones[lz as usize].conflicts.clear();
-            st.stats.zone_resets += 1;
+            m.gens[lz as usize] += 1;
+            m.relocated.retain(|(z2, _, _), _| *z2 != lz);
+            self.sync_relocated_count(&m);
+            z.conflicts.clear();
+            AtomicRaiznStats::add(&self.stats.zone_resets, 1);
             return Ok(true);
         }
         if !any_content {
             // Empty zone: bump the generation so any stale metadata for it
             // is invalidated (§4.3).
-            st.gens[lz as usize] += 1;
-            st.relocated.retain(|(z, _, _), _| *z != lz);
-            st.lzones[lz as usize].conflicts.clear();
+            m.gens[lz as usize] += 1;
+            m.relocated.retain(|(z2, _, _), _| *z2 != lz);
+            self.sync_relocated_count(&m);
+            z.conflicts.clear();
             return Ok(true);
         }
 
         // Available sectors of the slot `dev` holds for `stripe`:
         // relocated slots count by their relocation extent.
-        fn avail_fn(
-            st: &VolState,
-            wp: &[Option<u64>],
-            lz: u32,
-            su: u64,
-            stripe: u64,
-            dev: u32,
-        ) -> Option<u64> {
-            if let Some(rel) = st.relocated.get(&(lz, stripe, dev)) {
-                return Some(rel.valid);
-            }
-            wp[dev as usize].map(|w| w.saturating_sub(stripe * su).min(su))
-        }
-        let avail = |st: &VolState, wp: &[Option<u64>], stripe: u64, dev: u32| {
-            avail_fn(st, wp, lz, su, stripe, dev)
+        let avail = |m: &MetaState, wp: &[Option<u64>], stripe: u64, dev: u32| {
+            avail_local(m, wp, lz, su, stripe, dev)
         };
 
         // Highest touched stripe and the intended data fill.
@@ -316,7 +317,7 @@ impl RaiznVolume {
         let last_parity = if finished {
             0 // ignore the finish-written parity prefix
         } else {
-            avail(st, &wp, max_stripe, parity_dev).unwrap_or(0)
+            avail(&m, &wp, max_stripe, parity_dev).unwrap_or(0)
         };
         let mut fill = if last_parity > 0 {
             // Parity present => the last stripe was completed.
@@ -325,7 +326,7 @@ impl RaiznVolume {
             let mut f = max_stripe * stripe_data;
             for k in 0..d_units {
                 let dev = layout.data_device(lz, max_stripe, k);
-                if let Some(a) = avail(st, &wp, max_stripe, dev) {
+                if let Some(a) = avail(&m, &wp, max_stripe, dev) {
                     if a > 0 {
                         f = f.max(max_stripe * stripe_data + k * su + a);
                     }
@@ -349,9 +350,8 @@ impl RaiznVolume {
         'stripes: for stripe in 0..repair_limit {
             let stripe_fill = (fill.saturating_sub(stripe * stripe_data)).min(stripe_data);
             let complete = stripe_fill == stripe_data;
-            let pdev = layout.parity_device(lz, stripe);
             for dev in 0..n {
-                if st.failed == Some(dev as usize) {
+                if self.is_failed(dev as usize) {
                     continue; // degraded mount: no repair writes possible
                 }
                 let needed = match layout.unit_of_device(lz, stripe, dev) {
@@ -364,7 +364,7 @@ impl RaiznVolume {
                     }
                     Some(k) => stripe_fill.saturating_sub(k * su).min(su),
                 };
-                let have = avail(st, &wp, stripe, dev).unwrap_or(0);
+                let have = avail(&m, &wp, stripe, dev).unwrap_or(0);
                 if have >= needed {
                     continue;
                 }
@@ -373,7 +373,8 @@ impl RaiznVolume {
                 let mut out = vec![0u8; (rows * SECTOR_SIZE) as usize];
                 let avail_now = wp.clone();
                 let ok = self.rebuild_rows(
-                    st, at, lz, stripe, dev, have, needed, complete, pp, &avail_now, &mut out,
+                    &m, devices, at, lz, stripe, dev, have, needed, complete, pp, &avail_now,
+                    &mut out,
                 )?;
                 if !ok {
                     if std::env::var_os("RAIZN_DEBUG").is_some() {
@@ -381,17 +382,16 @@ impl RaiznVolume {
                             "[recover] lz={lz} stripe={stripe} dev={dev} have={have} needed={needed} complete={complete} irreparable"
                         );
                     }
-                    rollback = Some(self.consistent_prefix(st, lz, &wp));
+                    rollback = Some(self.consistent_prefix(&m, lz, &wp));
                     break 'stripes;
                 }
                 // Write the recovered rows at the device's write pointer.
                 let pba = layout.stripe_pba(lz, stripe) + have;
-                st.devices[dev as usize].write(at, pba, &out, WriteFlags::default())?;
+                devices[dev as usize].write(at, pba, &out, WriteFlags::default())?;
                 if let Some(w) = wp.get_mut(dev as usize).and_then(|w| w.as_mut()) {
                     *w = stripe * su + needed;
                 }
-                st.stats.recovered_units += 1;
-                let _ = pdev;
+                AtomicRaiznStats::add(&self.stats.recovered_units, 1);
             }
         }
 
@@ -410,7 +410,7 @@ impl RaiznVolume {
         // rollback alike. Finished zones accept no writes until reset, so
         // no conflicts (or padding) are needed there.
         for dev in 0..if finished { 0 } else { n } {
-            if st.failed == Some(dev as usize) {
+            if self.is_failed(dev as usize) {
                 continue;
             }
             let w = wp[dev as usize].unwrap_or(0);
@@ -423,7 +423,7 @@ impl RaiznVolume {
                 if have == 0 {
                     break;
                 }
-                if st.relocated.contains_key(&(lz, stripe, dev)) {
+                if m.relocated.contains_key(&(lz, stripe, dev)) {
                     continue; // already a conflicted slot from a past session
                 }
                 let stripe_fill = (fill.saturating_sub(stripe * stripe_data)).min(stripe_data);
@@ -441,11 +441,11 @@ impl RaiznVolume {
                     if std::env::var_os("RAIZN_DEBUG").is_some() {
                         eprintln!("[recover] lz={lz} ghost slot stripe={stripe} dev={dev} have={have} expected={expected} fill={fill}");
                     }
-                    st.lzones[lz as usize].conflicts.insert((stripe, dev));
+                    z.conflicts.insert((stripe, dev));
                     // Record the conflict as an (empty) relocation so it
                     // survives future mounts: the padded ghost slot would
                     // otherwise masquerade as valid data next time.
-                    st.relocated
+                    m.relocated
                         .entry((lz, stripe, dev))
                         .or_insert_with(|| RelocatedUnit {
                             data: vec![0u8; (su * SECTOR_SIZE) as usize],
@@ -461,10 +461,11 @@ impl RaiznVolume {
                 if pad_to > w {
                     let zeros = vec![0u8; ((pad_to - w) * SECTOR_SIZE) as usize];
                     let pba = layout.phys_geometry().zone_start(phys_zone) + w;
-                    st.devices[dev as usize].write(at, pba, &zeros, WriteFlags::default())?;
+                    devices[dev as usize].write(at, pba, &zeros, WriteFlags::default())?;
                 }
             }
         }
+        self.sync_relocated_count(&m);
 
         // Seed the stripe buffer for an incomplete final stripe.
         let z_wp = fill;
@@ -482,9 +483,8 @@ impl RaiznVolume {
                 let dev = layout.data_device(lz, stripe, k);
                 let off = (cursor * SECTOR_SIZE) as usize;
                 let out = &mut staged[off..off + (rows * SECTOR_SIZE) as usize];
-                if st.relocated.contains_key(&(lz, stripe, dev)) || st.failed != Some(dev as usize)
-                {
-                    self.fetch_slot_rows(st, at, lz, stripe, dev, row0, out)?;
+                if m.relocated.contains_key(&(lz, stripe, dev)) || !self.is_failed(dev as usize) {
+                    self.fetch_slot_rows(&m, devices, at, lz, stripe, dev, row0, out)?;
                 } else {
                     // Degraded mount: reconstruct from the partial parity
                     // image ("up to one stripe buffer ... per open logical
@@ -518,7 +518,8 @@ impl RaiznVolume {
                         }
                         tmp.fill(0);
                         self.fetch_slot_rows(
-                            st,
+                            &m,
+                            devices,
                             at,
                             lz,
                             stripe,
@@ -533,14 +534,14 @@ impl RaiznVolume {
                 cursor += rows;
             }
             buf.fill(&staged);
-            st.lzones[lz as usize].buffer = Some(buf);
+            z.buffer = Some(buf);
         }
 
         if std::env::var_os("RAIZN_DEBUG").is_some() {
             eprintln!("[recover] lz={lz} final wp={z_wp} wps={wp:?}");
         }
-        let z = &mut st.lzones[lz as usize];
         z.wp = z_wp;
+        self.zone_wp[lz as usize].store(z_wp, Ordering::Release);
         z.state = if z_wp == 0 {
             ZoneState::Empty
         } else if finished || z_wp == lgeo.zone_cap() {
@@ -559,7 +560,8 @@ impl RaiznVolume {
     #[allow(clippy::too_many_arguments)]
     fn rebuild_rows(
         &self,
-        st: &mut VolState,
+        m: &MetaState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lz: u32,
         stripe: u64,
@@ -577,7 +579,7 @@ impl RaiznVolume {
         let rows = needed - have;
         let row0 = have;
         let is_parity = layout.unit_of_device(lz, stripe, dev).is_none();
-        let avail = |st: &VolState, stripe: u64, dev: u32| avail_local(st, wp, lz, su, stripe, dev);
+        let avail = |m: &MetaState, stripe: u64, dev: u32| avail_local(m, wp, lz, su, stripe, dev);
 
         // Gather the parity rows.
         let mut parity = vec![0u8; (rows * SECTOR_SIZE) as usize];
@@ -587,17 +589,17 @@ impl RaiznVolume {
             let mut tmp = vec![0u8; out.len()];
             for k in 0..d_units {
                 let kdev = layout.data_device(lz, stripe, k);
-                if avail(st, stripe, kdev).unwrap_or(0) < needed {
+                if avail(m, stripe, kdev).unwrap_or(0) < needed {
                     return Ok(false);
                 }
-                self.fetch_slot_rows(st, at, lz, stripe, kdev, row0, &mut tmp)?;
+                self.fetch_slot_rows(m, devices, at, lz, stripe, kdev, row0, &mut tmp)?;
                 xor_into(out, &tmp);
             }
             return Ok(true);
         }
         let k_missing = layout
             .unit_of_device(lz, stripe, dev)
-            .expect("not parity here");
+            .ok_or_else(|| internal("data slot resolved above"))?;
         let pdev = layout.parity_device(lz, stripe);
         // Pick the parity source AND the data extent it was computed over:
         // the full parity slot covers the whole stripe; a partial-parity
@@ -609,11 +611,11 @@ impl RaiznVolume {
                 .saturating_sub(stripe * layout.stripe_data_sectors())
         });
         let stripe_fill;
-        if complete && avail(st, stripe, pdev).unwrap_or(0) >= needed.min(su) {
-            self.fetch_slot_rows(st, at, lz, stripe, pdev, row0, &mut parity)?;
+        if complete && avail(m, stripe, pdev).unwrap_or(0) >= needed.min(su) {
+            self.fetch_slot_rows(m, devices, at, lz, stripe, pdev, row0, &mut parity)?;
             stripe_fill = layout.stripe_data_sectors();
         } else if let Some(img) = pp.get(&(lz, stripe)) {
-            let extent = pp_extent.expect("image exists");
+            let extent = pp_extent.ok_or_else(|| internal("parity image extent exists"))?;
             for r in row0..needed {
                 if !img.covered[r as usize] {
                     return Ok(false);
@@ -646,12 +648,13 @@ impl RaiznVolume {
             if krows == 0 {
                 continue;
             }
-            if avail(st, stripe, kdev).unwrap_or(0) < row0 + krows {
+            if avail(m, stripe, kdev).unwrap_or(0) < row0 + krows {
                 return Ok(false);
             }
             tmp.fill(0);
             self.fetch_slot_rows(
-                st,
+                m,
+                devices,
                 at,
                 lz,
                 stripe,
@@ -666,7 +669,7 @@ impl RaiznVolume {
 
     /// The longest prefix of the logical zone in which every sector is
     /// readable (used as the rollback point).
-    fn consistent_prefix(&self, st: &VolState, lz: u32, wp: &[Option<u64>]) -> u64 {
+    fn consistent_prefix(&self, m: &MetaState, lz: u32, wp: &[Option<u64>]) -> u64 {
         let layout = self.layout;
         let su = layout.stripe_unit();
         let stripe_data = layout.stripe_data_sectors();
@@ -679,7 +682,7 @@ impl RaiznVolume {
         for stripe in 0..=max_stripe {
             for k in 0..layout.data_units() {
                 let dev = layout.data_device(lz, stripe, k);
-                let a = avail_local(st, wp, lz, su, stripe, dev).unwrap_or(0);
+                let a = avail_local(m, wp, lz, su, stripe, dev).unwrap_or(0);
                 prefix = stripe * stripe_data + k * su + a;
                 if a < su {
                     return prefix;
@@ -694,30 +697,37 @@ impl RaiznVolume {
     /// zone on that device is rewritten — contents are bounced through a
     /// swap zone, the zone is reset, and everything is written back with
     /// each relocated unit restored to its arithmetic slot.
-    pub(crate) fn rewrite_overloaded_zones(&self, st: &mut VolState, at: SimTime) -> Result<()> {
+    pub(crate) fn rewrite_overloaded_zones(
+        &self,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+    ) -> Result<()> {
         let threshold = self.config.relocation_threshold;
-        let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
-        for (lz, _stripe, dev) in st.relocated.keys() {
-            *counts.entry((*lz, *dev)).or_default() += 1;
-        }
-        let mut targets: Vec<(u32, u32)> = counts
-            .into_iter()
-            .filter(|(_, c)| *c > threshold)
-            .map(|(k, _)| k)
-            .collect();
+        let mut targets: Vec<(u32, u32)> = {
+            let m = self.lock_meta();
+            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            for (lz, _stripe, dev) in m.relocated.keys() {
+                *counts.entry((*lz, *dev)).or_default() += 1;
+            }
+            counts
+                .into_iter()
+                .filter(|(_, c)| *c > threshold)
+                .map(|(k, _)| k)
+                .collect()
+        };
         targets.sort_unstable();
         for (lz, dev) in targets {
-            if st.failed == Some(dev as usize) {
+            if self.is_failed(dev as usize) {
                 continue;
             }
-            self.rewrite_zone_on_device(st, at, lz, dev)?;
+            self.rewrite_zone_on_device(devices, at, lz, dev)?;
         }
         Ok(())
     }
 
     fn rewrite_zone_on_device(
         &self,
-        st: &mut VolState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lz: u32,
         dev: u32,
@@ -725,9 +735,11 @@ impl RaiznVolume {
         let layout = self.layout;
         let su = layout.stripe_unit();
         let stripe_data = layout.stripe_data_sectors();
-        let fill = st.lzones[lz as usize].wp;
         let phys_zone = layout.phys_zone(lz);
         let phys_start = layout.phys_geometry().zone_start(phys_zone);
+        let mut z = self.lock_shard(lz);
+        let mut m = self.lock_meta();
+        let fill = z.wp;
 
         // Assemble the corrected contents of this device's column: every
         // slot at its arithmetic position, relocated units restored.
@@ -752,12 +764,12 @@ impl RaiznVolume {
                 break;
             }
             let bytes = (expected * SECTOR_SIZE) as usize;
-            if let Some(rel) = st.relocated.get(&(lz, stripe, dev)) {
+            if let Some(rel) = m.relocated.get(&(lz, stripe, dev)) {
                 corrected.extend_from_slice(&rel.data[..bytes]);
             } else {
                 let off = corrected.len();
                 corrected.resize(off + bytes, 0);
-                st.devices[dev as usize].read(
+                devices[dev as usize].read(
                     at,
                     phys_start + stripe * su,
                     &mut corrected[off..off + bytes],
@@ -771,12 +783,12 @@ impl RaiznVolume {
 
         // Bounce through a swap metadata zone so the data stays on stable
         // media across the reset window, then rewrite the zone in place.
-        let swap = st.md[dev as usize]
+        let swap = m.md[dev as usize]
             .swaps
             .first()
             .copied()
-            .expect("at least one swap zone");
-        let device = st.devices[dev as usize].clone();
+            .ok_or_else(|| internal("zone rewrite requires at least one swap zone"))?;
+        let device = devices[dev as usize].clone();
         let mut t = at;
         if !corrected.is_empty() {
             let c = device.append(t, swap, &corrected, WriteFlags::default())?;
@@ -790,108 +802,117 @@ impl RaiznVolume {
         device.reset_zone(t, swap)?;
 
         // The relocations on this device's column are healed.
-        st.relocated.retain(|(z, _, d), _| !(*z == lz && *d == dev));
-        st.lzones[lz as usize].conflicts.retain(|(_, d)| *d != dev);
-        st.stats.zone_rewrites += 1;
+        m.relocated
+            .retain(|(z2, _, d), _| !(*z2 == lz && *d == dev));
+        self.sync_relocated_count(&m);
+        z.conflicts.retain(|(_, d)| *d != dev);
+        AtomicRaiznStats::add(&self.stats.zone_rewrites, 1);
         Ok(())
     }
 
     /// Mount-time metadata refresh: checkpoint all live metadata into the
     /// emptiest metadata zone per device, then reset the others — leaving
     /// a compact, bounded metadata footprint for the new session.
-    fn mount_refresh_metadata(&self, st: &mut VolState, at: SimTime) -> Result<()> {
-        let m = self.layout.md_zones();
-        for dev in 0..st.devices.len() {
-            if st.failed == Some(dev) {
-                continue;
-            }
-            // Choose the md zone with the most free space as the new
-            // general zone.
-            let mut best = 0u32;
-            let mut best_free = 0u64;
-            for mz in 0..m {
-                let info = st.devices[dev].zone_info(mz)?;
-                let free = info.remaining();
-                if free >= best_free {
-                    best = mz;
-                    best_free = free;
-                }
-            }
-            st.md[dev].general = best;
-            let others: Vec<u32> = (0..m).filter(|z| *z != best).collect();
-            st.md[dev].pplog = others[0];
-            st.md[dev].swaps = others[1..].to_vec();
-
-            // Checkpoint.
-            let mut recs = vec![self.superblock_record(st, dev, true)];
-            recs.extend(self.gen_records(st, true));
-            for ((lz, stripe, rdev), unit) in st.relocated.clone() {
-                if rdev as usize != dev {
+    fn mount_refresh_metadata(&self, devices: &[Arc<ZnsDevice>], at: SimTime) -> Result<()> {
+        let mdz = self.layout.md_zones();
+        {
+            let mut m = self.lock_meta();
+            for dev in 0..devices.len() {
+                if self.is_failed(dev) {
                     continue;
                 }
-                let lgeo = self.layout.logical_geometry();
-                let sstart = lgeo.zone_start(lz) + stripe * self.layout.stripe_data_sectors();
-                recs.push(MdRecord::new(
-                    MdPayload::RelocatedStripeUnit {
-                        lzone: lz,
-                        stripe,
-                        valid_sectors: unit.valid,
-                        data: unit.data.clone(),
-                    },
-                    true,
-                    sstart,
-                    sstart + self.layout.stripe_data_sectors(),
-                    st.gens[lz as usize],
-                ));
-            }
-            let mut t = at;
-            for rec in recs {
-                t = self.md_append(st, t, dev, MdRole::General, &rec, false)?;
-            }
-            st.devices[dev].flush(t)?;
-            // Reset the other metadata zones.
-            for mz in others {
-                let info = st.devices[dev].zone_info(mz)?;
-                if info.write_pointer > info.start {
-                    st.devices[dev].reset_zone(t, mz)?;
+                // Choose the md zone with the most free space as the new
+                // general zone.
+                let mut best = 0u32;
+                let mut best_free = 0u64;
+                for mz in 0..mdz {
+                    let info = devices[dev].zone_info(mz)?;
+                    let free = info.remaining();
+                    if free >= best_free {
+                        best = mz;
+                        best_free = free;
+                    }
+                }
+                m.md[dev].general = best;
+                let others: Vec<u32> = (0..mdz).filter(|z| *z != best).collect();
+                m.md[dev].pplog = others[0];
+                m.md[dev].swaps = others[1..].to_vec();
+
+                // Checkpoint.
+                let mut recs = vec![self.superblock_record(devices.len(), dev, true)];
+                recs.extend(self.gen_records(&m, true));
+                let mut keys: Vec<(u32, u64, u32)> = m
+                    .relocated
+                    .keys()
+                    .filter(|(_, _, rdev)| *rdev as usize == dev)
+                    .copied()
+                    .collect();
+                keys.sort_unstable();
+                for key @ (lz, stripe, _) in keys {
+                    let unit = &m.relocated[&key];
+                    let lgeo = self.layout.logical_geometry();
+                    let sstart = lgeo.zone_start(lz) + stripe * self.layout.stripe_data_sectors();
+                    recs.push(MdRecord::new(
+                        MdPayload::RelocatedStripeUnit {
+                            lzone: lz,
+                            stripe,
+                            valid_sectors: unit.valid,
+                            data: unit.data.clone(),
+                        },
+                        true,
+                        sstart,
+                        sstart + self.layout.stripe_data_sectors(),
+                        m.gens[lz as usize],
+                    ));
+                }
+                let mut t = at;
+                for rec in recs {
+                    t = self.md_append(&mut m, devices, t, dev, MdRole::General, &rec, false)?;
+                }
+                devices[dev].flush(t)?;
+                // Reset the other metadata zones.
+                for mz in others {
+                    let info = devices[dev].zone_info(mz)?;
+                    if info.write_pointer > info.start {
+                        devices[dev].reset_zone(t, mz)?;
+                    }
                 }
             }
         }
         // Re-log partial parity for seeded stripe buffers so a failure of
-        // the data device before the next write is still recoverable.
+        // the data device before the next write is still recoverable, and
+        // seed the pp checkpoint snapshots the metadata GC relogs from.
         for lz in 0..self.layout.logical_zones() {
-            let rec = {
-                let z = &st.lzones[lz as usize];
-                match &z.buffer {
-                    Some(b) if b.filled_sectors() > 0 => {
-                        let su = self.layout.stripe_unit();
-                        let rows = b.filled_sectors().min(su);
-                        let lgeo = self.layout.logical_geometry();
-                        let sstart =
-                            lgeo.zone_start(lz) + b.stripe() * self.layout.stripe_data_sectors();
-                        Some((
-                            self.layout.parity_device(lz, b.stripe()) as usize,
-                            MdRecord::new(
-                                MdPayload::PartialParity {
-                                    first_row: 0,
-                                    data: b.parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
-                                },
-                                false,
-                                sstart,
-                                sstart + b.filled_sectors(),
-                                st.gens[lz as usize],
-                            ),
-                        ))
-                    }
-                    _ => None,
-                }
+            let z = self.lock_shard(lz);
+            let mut m = self.lock_meta();
+            let Some(b) = z.buffer.as_ref().filter(|b| b.filled_sectors() > 0) else {
+                continue;
             };
-            if let Some((pdev, rec)) = rec {
-                if st.failed != Some(pdev) {
-                    self.md_append(st, at, pdev, MdRole::PpLog, &rec, false)?;
-                    st.stats.pp_log_entries += 1;
-                }
+            let su = self.layout.stripe_unit();
+            let rows = b.filled_sectors().min(su);
+            let lgeo = self.layout.logical_geometry();
+            let sstart = lgeo.zone_start(lz) + b.stripe() * self.layout.stripe_data_sectors();
+            let pdev = self.layout.parity_device(lz, b.stripe()) as usize;
+            if !self.is_failed(pdev) {
+                let rec = MdRecord::new(
+                    MdPayload::PartialParity {
+                        first_row: 0,
+                        data: b.parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
+                    },
+                    false,
+                    sstart,
+                    sstart + b.filled_sectors(),
+                    m.gens[lz as usize],
+                );
+                self.md_append(&mut m, devices, at, pdev, MdRole::PpLog, &rec, false)?;
+                AtomicRaiznStats::add(&self.stats.pp_log_entries, 1);
             }
+            let snap = m.pp_live.entry(lz).or_default();
+            snap.stripe = b.stripe();
+            snap.filled = b.filled_sectors();
+            snap.parity.clear();
+            snap.parity
+                .extend_from_slice(&b.parity()[..(rows * SECTOR_SIZE) as usize]);
         }
         Ok(())
     }
@@ -899,14 +920,14 @@ impl RaiznVolume {
 
 /// Slot availability shared by the repair helpers.
 fn avail_local(
-    st: &VolState,
+    m: &MetaState,
     wp: &[Option<u64>],
     lz: u32,
     su: u64,
     stripe: u64,
     dev: u32,
 ) -> Option<u64> {
-    if let Some(rel) = st.relocated.get(&(lz, stripe, dev)) {
+    if let Some(rel) = m.relocated.get(&(lz, stripe, dev)) {
         return Some(rel.valid);
     }
     wp[dev as usize].map(|w| w.saturating_sub(stripe * su).min(su))

@@ -54,6 +54,72 @@ pub struct RaiznStats {
     pub gather_segments_merged: u64,
 }
 
+/// Lock-free mirror of [`RaiznStats`] used inside the sharded volume: hot
+/// paths bump counters with relaxed atomics instead of taking a lock, and
+/// [`snapshot`](AtomicRaiznStats::snapshot) materializes the public view.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicRaiznStats {
+    pub pp_log_entries: AtomicU64,
+    pub pp_log_bytes: AtomicU64,
+    pub full_parity_writes: AtomicU64,
+    pub md_appends: AtomicU64,
+    pub md_gc_runs: AtomicU64,
+    pub relocated_units: AtomicU64,
+    pub zone_resets: AtomicU64,
+    pub degraded_reads: AtomicU64,
+    pub recovered_units: AtomicU64,
+    pub rebuild_bytes: AtomicU64,
+    pub persistence_flushes: AtomicU64,
+    pub zone_rewrites: AtomicU64,
+    pub zrwa_parity_writes: AtomicU64,
+    pub stripe_buffers_reused: AtomicU64,
+    pub read_repairs: AtomicU64,
+    pub transient_retries: AtomicU64,
+    pub scrub_runs: AtomicU64,
+    pub scrub_repairs: AtomicU64,
+    pub auto_degrades: AtomicU64,
+    pub gather_writes: AtomicU64,
+    pub gather_segments_merged: AtomicU64,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+impl AtomicRaiznStats {
+    /// Bumps a counter by `n` (relaxed: counters impose no ordering).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of all counters (each read individually;
+    /// cross-counter skew is possible under concurrent updates).
+    pub fn snapshot(&self) -> RaiznStats {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        RaiznStats {
+            pp_log_entries: ld(&self.pp_log_entries),
+            pp_log_bytes: ld(&self.pp_log_bytes),
+            full_parity_writes: ld(&self.full_parity_writes),
+            md_appends: ld(&self.md_appends),
+            md_gc_runs: ld(&self.md_gc_runs),
+            relocated_units: ld(&self.relocated_units),
+            zone_resets: ld(&self.zone_resets),
+            degraded_reads: ld(&self.degraded_reads),
+            recovered_units: ld(&self.recovered_units),
+            rebuild_bytes: ld(&self.rebuild_bytes),
+            persistence_flushes: ld(&self.persistence_flushes),
+            zone_rewrites: ld(&self.zone_rewrites),
+            zrwa_parity_writes: ld(&self.zrwa_parity_writes),
+            stripe_buffers_reused: ld(&self.stripe_buffers_reused),
+            read_repairs: ld(&self.read_repairs),
+            transient_retries: ld(&self.transient_retries),
+            scrub_runs: ld(&self.scrub_runs),
+            scrub_repairs: ld(&self.scrub_repairs),
+            auto_degrades: ld(&self.auto_degrades),
+            gather_writes: ld(&self.gather_writes),
+            gather_segments_merged: ld(&self.gather_segments_merged),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +129,16 @@ mod tests {
         let s = RaiznStats::default();
         assert_eq!(s.pp_log_entries, 0);
         assert_eq!(s.rebuild_bytes, 0);
+    }
+
+    #[test]
+    fn atomic_snapshot_round_trips() {
+        let a = AtomicRaiznStats::default();
+        AtomicRaiznStats::add(&a.md_appends, 3);
+        AtomicRaiznStats::add(&a.pp_log_bytes, 4096);
+        let s = a.snapshot();
+        assert_eq!(s.md_appends, 3);
+        assert_eq!(s.pp_log_bytes, 4096);
+        assert_eq!(s.full_parity_writes, 0);
     }
 }

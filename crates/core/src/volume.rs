@@ -1,21 +1,42 @@
 //! The RAIZN logical volume: write/read paths, persistence, metadata
 //! logging and GC, zone resets, degraded mode and rebuild.
+//!
+//! # Concurrency model
+//!
+//! The volume is sharded for multi-core scaling (see `DESIGN.md`,
+//! "Concurrency model"): every logical zone owns a [`Mutex<LZone>`] shard
+//! holding its write pointer, stripe buffer and conflict set, while the
+//! global metadata that genuinely spans zones (generation counters,
+//! relocation cache, metadata zone roles, partial-parity checkpoint
+//! snapshots) lives in one [`MetaState`] mutex. Writes to independent
+//! zones proceed concurrently; the meta lock is taken only on metadata
+//! appends, relocations and resets.
+//!
+//! Lock order (deadlock freedom): **at most one zone shard → meta →
+//! device**. Counters are relaxed atomics ([`AtomicRaiznStats`]), the
+//! failed-device index and read-only flag are atomics, and per-zone write
+//! pointers are mirrored in lock-free [`RaiznVolume::zone_wp`] cells so
+//! metadata GC can validate checkpoint snapshots without touching shards.
 
 use crate::bitmap::PersistenceBitmap;
 use crate::config::RaiznConfig;
 use crate::layout::RaiznLayout;
 use crate::metadata::{MdPayload, MdPayloadRef, MdRecord, MdRecordRef, Superblock};
-use crate::stats::RaiznStats;
+use crate::stats::{AtomicRaiznStats, RaiznStats};
 use crate::stripe::StripeBuffer;
 use crate::Result;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use sim::SimTime;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use zns::{
     AppendCompletion, IoCompletion, Lba, WriteFlags, ZnsDevice, ZnsError, ZoneGeometry, ZoneInfo,
     ZoneState, ZonedVolume, SECTOR_SIZE,
 };
+
+/// Sentinel for "no failed device" in [`RaiznVolume::failed`].
+pub(crate) const NO_DEVICE: usize = usize::MAX;
 
 /// Which metadata zone a record goes to (§4.3: partial parity is isolated
 /// in its own zone; everything else shares the general zone).
@@ -37,7 +58,7 @@ pub(crate) struct MdRoles {
 }
 
 /// In-memory cached copy of a relocated stripe unit (§5.2). The key in
-/// [`VolState::relocated`] identifies the slot: `(lzone, stripe, device)`.
+/// [`MetaState::relocated`] identifies the slot: `(lzone, stripe, device)`.
 #[derive(Debug, Clone)]
 pub(crate) struct RelocatedUnit {
     /// Full stripe unit bytes, zero padded beyond `valid`.
@@ -46,11 +67,12 @@ pub(crate) struct RelocatedUnit {
     pub valid: u64,
 }
 
-/// Per-logical-zone descriptor.
+/// Per-logical-zone descriptor: one lock shard of the write pipeline.
 #[derive(Debug)]
 pub(crate) struct LZone {
     pub state: ZoneState,
     /// Write pointer, relative sectors within the logical zone capacity.
+    /// Mirrored lock-free in [`RaiznVolume::zone_wp`] on every change.
     pub wp: u64,
     pub pbitmap: PersistenceBitmap,
     /// Stripe buffer of the current incomplete stripe, if any.
@@ -58,24 +80,69 @@ pub(crate) struct LZone {
     /// Slots `(stripe, device)` occupied by unreachable "ghost" data from
     /// a rolled-back crash suffix; writes to them are relocated.
     pub conflicts: HashSet<(u64, u32)>,
+    /// Retired stripe buffer kept for reuse, so this zone's steady-state
+    /// writes allocate nothing. Per-shard (not a global pool): reuse never
+    /// contends with other zones' writers.
+    pub spare: Option<StripeBuffer>,
 }
 
-pub(crate) struct VolState {
-    pub devices: Vec<Arc<ZnsDevice>>,
-    pub failed: Option<usize>,
-    pub read_only: bool,
+impl LZone {
+    /// Returns a cleared stripe buffer for `stripe`, reusing the zone's
+    /// spare when available.
+    fn stripe_buffer(
+        &mut self,
+        stats: &AtomicRaiznStats,
+        stripe: u64,
+        data_units: u64,
+        unit_sectors: u64,
+    ) -> StripeBuffer {
+        match self.spare.take() {
+            Some(mut b) => {
+                debug_assert!(b.shape_matches(data_units, unit_sectors));
+                debug_assert!(sim::is_zero(b.parity()), "pooled buffer not clean");
+                b.recycle(stripe);
+                AtomicRaiznStats::add(&stats.stripe_buffers_reused, 1);
+                b
+            }
+            None => StripeBuffer::new(stripe, data_units, unit_sectors),
+        }
+    }
+
+    /// Retires a stripe buffer into the zone's spare slot (cleared via its
+    /// dirty high-water mark), or drops it if a spare is already parked.
+    fn retire_buffer(&mut self, mut buf: StripeBuffer) {
+        if self.spare.is_none() {
+            buf.recycle(0);
+            self.spare = Some(buf);
+        }
+    }
+}
+
+/// Checkpoint snapshot of a zone's running partial parity, maintained on
+/// every pp-log append so metadata GC can re-log live parity without
+/// locking the zone shard that owns the stripe buffer.
+#[derive(Debug, Default)]
+pub(crate) struct PpSnapshot {
+    /// Stripe index the snapshot describes.
+    pub stripe: u64,
+    /// Data sectors filled into the stripe at snapshot time. The snapshot
+    /// is live iff the zone's mirrored write pointer still equals
+    /// `stripe * stripe_data + filled`.
+    pub filled: u64,
+    /// Running parity prefix (`filled.min(stripe_unit)` rows).
+    pub parity: Vec<u8>,
+}
+
+/// Cross-zone volume metadata: the single global lock domain. Everything
+/// here is either genuinely shared between zones (generation table,
+/// metadata zone roles, relocation cache) or is scratch reused across
+/// operations.
+pub(crate) struct MetaState {
     pub gens: Vec<u64>,
-    pub lzones: Vec<LZone>,
     pub relocated: HashMap<(u32, u64, u32), RelocatedUnit>,
     pub md: Vec<MdRoles>,
-    pub stats: RaiznStats,
-    /// Per-device count of unrecovered errors (retry-exhausted transients
-    /// and media errors); exceeding the configured budget auto-degrades
-    /// the device.
-    pub device_errors: Vec<u64>,
-    /// Recycled stripe buffers: retired buffers return here (cleared via
-    /// the high-water mark) so steady-state writes allocate nothing.
-    pub pool: Vec<StripeBuffer>,
+    /// Per-zone partial-parity checkpoint snapshots (see [`PpSnapshot`]).
+    pub pp_live: HashMap<u32, PpSnapshot>,
     /// Scratch buffer for metadata record encoding; taken/restored around
     /// appends so payload bytes never need an owned staging `Vec`.
     pub md_scratch: Vec<u8>,
@@ -83,39 +150,6 @@ pub(crate) struct VolState {
     /// taken/restored around the staged write so steady-state batches
     /// allocate nothing.
     pub gather_scratch: Vec<u8>,
-    /// Observability recorder for volume-layer spans (parity-path
-    /// attribution, metadata appends, flush latency) and counters.
-    pub recorder: Option<std::sync::Arc<obs::Recorder>>,
-}
-
-/// Retired stripe buffers kept for reuse. One per logical zone is the
-/// steady-state need; the cap only bounds transient bursts.
-const STRIPE_POOL_CAP: usize = 64;
-
-impl VolState {
-    /// Returns a cleared stripe buffer for `stripe`, reusing a pooled one
-    /// when available.
-    fn stripe_buffer(&mut self, stripe: u64, data_units: u64, unit_sectors: u64) -> StripeBuffer {
-        match self.pool.pop() {
-            Some(mut b) => {
-                debug_assert!(b.shape_matches(data_units, unit_sectors));
-                debug_assert!(sim::is_zero(b.parity()), "pooled buffer not clean");
-                b.recycle(stripe);
-                self.stats.stripe_buffers_reused += 1;
-                b
-            }
-            None => StripeBuffer::new(stripe, data_units, unit_sectors),
-        }
-    }
-
-    /// Retires a stripe buffer into the pool (cleared via its dirty
-    /// high-water mark), or drops it if the pool is full.
-    fn retire_buffer(&mut self, mut buf: StripeBuffer) {
-        if self.pool.len() < STRIPE_POOL_CAP {
-            buf.recycle(0);
-            self.pool.push(buf);
-        }
-    }
 }
 
 /// Outcome of rebuilding a replaced device (§4.2, Fig. 12).
@@ -133,10 +167,43 @@ pub struct RebuildReport {
 /// devices with rotating parity. See the crate docs for the design and an
 /// example; construct with [`RaiznVolume::format`] (fresh array) or
 /// [`RaiznVolume::mount`] (crash recovery).
+///
+/// All IO entry points take `&self` and may be called from multiple
+/// threads; writes to distinct logical zones run concurrently (see the
+/// module docs for the locking discipline).
 pub struct RaiznVolume {
     pub(crate) layout: RaiznLayout,
     pub(crate) config: RaiznConfig,
-    pub(crate) state: Mutex<VolState>,
+    /// Per-zone lock shards.
+    pub(crate) zones: Vec<Mutex<LZone>>,
+    /// The global metadata domain.
+    pub(crate) meta: Mutex<MetaState>,
+    /// Member devices. Read-locked for the duration of an operation;
+    /// write-locked only by rebuild's final device swap.
+    pub(crate) devices: RwLock<Vec<Arc<ZnsDevice>>>,
+    /// Failed device index, or [`NO_DEVICE`].
+    pub(crate) failed: AtomicUsize,
+    read_only: AtomicBool,
+    /// Per-device count of unrecovered errors (retry-exhausted transients
+    /// and media errors); exceeding the configured budget auto-degrades
+    /// the device.
+    pub(crate) device_errors: Vec<AtomicU64>,
+    /// Lock-free mirror of each zone's write pointer, stored on every wp
+    /// change under the shard lock. Readers that only need the frontier
+    /// (metadata GC snapshot validation) use this instead of the shard.
+    pub(crate) zone_wp: Vec<AtomicU64>,
+    /// Lock-free mirror of `meta.relocated.len()`: hot reads skip the meta
+    /// lock entirely while no relocations exist.
+    relocated_len: AtomicUsize,
+    pub(crate) stats: AtomicRaiznStats,
+    /// Observability recorder for volume-layer spans (parity-path
+    /// attribution, metadata appends, flush latency) and counters.
+    recorder: RwLock<Option<Arc<obs::Recorder>>>,
+    /// Wall-clock contention statistics for the zone shard locks
+    /// (aggregate across shards; gauge id 0).
+    shard_locks: obs::LockStats,
+    /// Wall-clock contention statistics for the meta lock (gauge id 1).
+    meta_locks: obs::LockStats,
 }
 
 impl std::fmt::Debug for RaiznVolume {
@@ -154,47 +221,8 @@ pub(crate) use sim::xor_into;
 /// An internal invariant violation surfaced as an error instead of a
 /// panic, so injected device faults can never take the volume down
 /// mid-operation.
-fn internal(context: &'static str) -> ZnsError {
+pub(crate) fn internal(context: &'static str) -> ZnsError {
     ZnsError::InvalidArgument(format!("internal invariant violated: {context}"))
-}
-
-/// Records a volume-layer trace span on the attached recorder, if any.
-/// Volume spans carry `device == obs::NONE`: device attribution lives in
-/// the device-layer spans emitted by [`zns::ZnsDevice`] itself.
-#[allow(clippy::too_many_arguments)]
-fn trace_span(
-    st: &VolState,
-    op: obs::OpClass,
-    stage: obs::Stage,
-    path: Option<obs::PathKind>,
-    zone: u32,
-    lba: Lba,
-    sectors: u64,
-    start: SimTime,
-    end: SimTime,
-) {
-    if let Some(rec) = st.recorder.as_ref() {
-        rec.record(obs::TraceEvent {
-            seq: 0,
-            op,
-            stage,
-            path,
-            device: obs::NONE,
-            zone,
-            lba,
-            sectors,
-            start,
-            end,
-            outcome: obs::Outcome::Success,
-        });
-    }
-}
-
-/// Bumps a counter on the attached recorder, if any.
-fn bump(st: &VolState, counter: obs::Counter) {
-    if let Some(rec) = st.recorder.as_ref() {
-        rec.bump(counter);
-    }
 }
 
 /// Outcome of a [`RaiznVolume::scrub`] pass.
@@ -210,6 +238,84 @@ pub struct ScrubReport {
 }
 
 impl RaiznVolume {
+    // ------------------------------------------------------------------
+    // Locking and lock-free helpers
+    // ------------------------------------------------------------------
+
+    /// Locks logical zone `lzone`'s shard, recording contention.
+    pub(crate) fn lock_shard(&self, lzone: u32) -> parking_lot::MutexGuard<'_, LZone> {
+        self.shard_locks.lock(&self.zones[lzone as usize])
+    }
+
+    /// Locks the global metadata domain, recording contention. Callers
+    /// may hold at most one zone shard (lock order: shard → meta).
+    pub(crate) fn lock_meta(&self) -> parking_lot::MutexGuard<'_, MetaState> {
+        self.meta_locks.lock(&self.meta)
+    }
+
+    /// Whether device `dev` is the failed one.
+    pub(crate) fn is_failed(&self, dev: usize) -> bool {
+        self.failed.load(Ordering::Acquire) == dev
+    }
+
+    /// The failed device index, if any.
+    pub(crate) fn failed_idx(&self) -> Option<usize> {
+        match self.failed.load(Ordering::Acquire) {
+            NO_DEVICE => None,
+            d => Some(d),
+        }
+    }
+
+    /// Refreshes the lock-free relocation count mirror after any mutation
+    /// of `meta.relocated` (call with the meta lock still held).
+    pub(crate) fn sync_relocated_count(&self, m: &MetaState) {
+        self.relocated_len
+            .store(m.relocated.len(), Ordering::Release);
+    }
+
+    /// Records a volume-layer trace span on the attached recorder, if any.
+    /// Volume spans carry `device == obs::NONE`: device attribution lives
+    /// in the device-layer spans emitted by [`zns::ZnsDevice`] itself.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_span(
+        &self,
+        op: obs::OpClass,
+        stage: obs::Stage,
+        path: Option<obs::PathKind>,
+        zone: u32,
+        lba: Lba,
+        sectors: u64,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if let Some(rec) = self.recorder.read().as_ref() {
+            rec.record(obs::TraceEvent {
+                seq: 0,
+                op,
+                stage,
+                path,
+                device: obs::NONE,
+                zone,
+                lba,
+                sectors,
+                start,
+                end,
+                outcome: obs::Outcome::Success,
+            });
+        }
+    }
+
+    /// Bumps a counter on the attached recorder, if any.
+    fn bump(&self, counter: obs::Counter) {
+        if let Some(rec) = self.recorder.read().as_ref() {
+            rec.bump(counter);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
     /// Initializes a fresh array: resets every zone, writes the superblock
     /// and initial generation counters to every device.
     ///
@@ -239,10 +345,11 @@ impl RaiznVolume {
             vec![0; layout.logical_zones() as usize],
         );
         {
-            let mut st = vol.state.lock();
+            let devices = vol.devices.read();
+            let mut m = vol.lock_meta();
             let mut t = at;
-            t = vol.persist_superblock(&mut st, t)?;
-            vol.persist_all_gens(&mut st, t)?;
+            t = vol.persist_superblock(&mut m, &devices, t)?;
+            vol.persist_all_gens(&mut m, &devices, t)?;
         }
         Ok(vol)
     }
@@ -284,16 +391,20 @@ impl RaiznVolume {
         gens: Vec<u64>,
     ) -> RaiznVolume {
         let n = devices.len();
-        let lzones = (0..layout.logical_zones())
-            .map(|_| LZone {
-                state: ZoneState::Empty,
-                wp: 0,
-                pbitmap: PersistenceBitmap::new(
-                    layout.stripes_per_zone() * layout.data_units(),
-                    layout.stripe_unit(),
-                ),
-                buffer: None,
-                conflicts: HashSet::new(),
+        let nz = layout.logical_zones() as usize;
+        let zones = (0..nz)
+            .map(|_| {
+                Mutex::new(LZone {
+                    state: ZoneState::Empty,
+                    wp: 0,
+                    pbitmap: PersistenceBitmap::new(
+                        layout.stripes_per_zone() * layout.data_units(),
+                        layout.stripe_unit(),
+                    ),
+                    buffer: None,
+                    conflicts: HashSet::new(),
+                    spare: None,
+                })
             })
             .collect();
         let md = (0..n)
@@ -306,21 +417,25 @@ impl RaiznVolume {
         RaiznVolume {
             layout,
             config,
-            state: Mutex::new(VolState {
-                devices,
-                failed: None,
-                read_only: false,
+            zones,
+            meta: Mutex::new(MetaState {
                 gens,
-                lzones,
                 relocated: HashMap::new(),
                 md,
-                stats: RaiznStats::default(),
-                device_errors: vec![0; n],
-                pool: Vec::new(),
+                pp_live: HashMap::new(),
                 md_scratch: Vec::new(),
                 gather_scratch: Vec::new(),
-                recorder: None,
             }),
+            devices: RwLock::new(devices),
+            failed: AtomicUsize::new(NO_DEVICE),
+            read_only: AtomicBool::new(false),
+            device_errors: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            zone_wp: (0..nz).map(|_| AtomicU64::new(0)).collect(),
+            relocated_len: AtomicUsize::new(0),
+            stats: AtomicRaiznStats::default(),
+            recorder: RwLock::new(None),
+            shard_locks: obs::LockStats::new(),
+            meta_locks: obs::LockStats::new(),
         }
     }
 
@@ -336,7 +451,7 @@ impl RaiznVolume {
 
     /// Volume statistics.
     pub fn stats(&self) -> RaiznStats {
-        self.state.lock().stats
+        self.stats.snapshot()
     }
 
     /// Attaches an observability recorder: volume-layer spans (parity-path
@@ -344,22 +459,22 @@ impl RaiznVolume {
     /// it. To also capture device-layer spans, attach the same recorder to
     /// the member devices via [`zns::ZnsDevice::set_recorder`].
     pub fn set_recorder(&self, recorder: std::sync::Arc<obs::Recorder>) {
-        self.state.lock().recorder = Some(recorder);
+        *self.recorder.write() = Some(recorder);
     }
 
     /// The generation counter of logical zone `lzone`.
     pub fn generation(&self, lzone: u32) -> u64 {
-        self.state.lock().gens[lzone as usize]
+        self.lock_meta().gens[lzone as usize]
     }
 
     /// Whether the array is running degraded (a device has failed).
     pub fn is_degraded(&self) -> bool {
-        self.state.lock().failed.is_some()
+        self.failed_idx().is_some()
     }
 
     /// Number of currently relocated stripe units.
     pub fn relocated_count(&self) -> usize {
-        self.state.lock().relocated.len()
+        self.relocated_len.load(Ordering::Acquire)
     }
 
     /// Marks device `index` failed. Subsequent reads reconstruct from
@@ -369,16 +484,20 @@ impl RaiznVolume {
     ///
     /// Panics if `index` is out of range or another device already failed.
     pub fn fail_device(&self, index: usize) {
-        let mut st = self.state.lock();
-        assert!(index < st.devices.len(), "device index out of range");
-        assert!(st.failed.is_none(), "RAIZN tolerates one device failure");
-        st.devices[index].fail();
-        st.failed = Some(index);
+        let devices = self.devices.read();
+        assert!(index < devices.len(), "device index out of range");
+        assert!(
+            self.failed
+                .compare_exchange(NO_DEVICE, index, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok(),
+            "RAIZN tolerates one device failure"
+        );
+        devices[index].fail();
     }
 
     /// The failed device index, if any.
     pub fn failed_device(&self) -> Option<usize> {
-        self.state.lock().failed
+        self.failed_idx()
     }
 
     // ------------------------------------------------------------------
@@ -388,13 +507,18 @@ impl RaiznVolume {
     /// Records one unrecovered error against `dev` and auto-degrades the
     /// array (the [`fail_device`](Self::fail_device) equivalent) once the
     /// device exceeds its error budget. No-op when a device already
-    /// failed: RAIZN tolerates a single failure.
-    fn note_device_error(&self, st: &mut VolState, dev: usize) {
-        st.device_errors[dev] += 1;
-        if st.failed.is_none() && st.device_errors[dev] > self.config.device_error_budget {
-            st.devices[dev].fail();
-            st.failed = Some(dev);
-            st.stats.auto_degrades += 1;
+    /// failed: RAIZN tolerates a single failure. Lock-free: the failed
+    /// index is claimed by compare-exchange.
+    fn note_device_error(&self, devices: &[Arc<ZnsDevice>], dev: usize) {
+        let errs = self.device_errors[dev].fetch_add(1, Ordering::AcqRel) + 1;
+        if errs > self.config.device_error_budget
+            && self
+                .failed
+                .compare_exchange(NO_DEVICE, dev, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            devices[dev].fail();
+            AtomicRaiznStats::add(&self.stats.auto_degrades, 1);
         }
     }
 
@@ -403,7 +527,7 @@ impl RaiznVolume {
     /// budget and surfaces the transient error.
     fn append_with_retry(
         &self,
-        st: &mut VolState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         dev: usize,
         zone: u32,
@@ -413,14 +537,14 @@ impl RaiznVolume {
         let limit = self.config.transient_retry_limit;
         let mut attempt = 0u32;
         loop {
-            match st.devices[dev].append(at, zone, bytes, flags) {
+            match devices[dev].append(at, zone, bytes, flags) {
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
-                    st.stats.transient_retries += 1;
-                    bump(st, obs::Counter::Retries);
+                    AtomicRaiznStats::add(&self.stats.transient_retries, 1);
+                    self.bump(obs::Counter::Retries);
                 }
                 Err(e @ ZnsError::TransientError { .. }) => {
-                    self.note_device_error(st, dev);
+                    self.note_device_error(devices, dev);
                     return Err(e);
                 }
                 other => return other,
@@ -434,7 +558,7 @@ impl RaiznVolume {
     /// logged reset WAL replays on its eventual rebuild/remount).
     fn reset_phys_with_retry(
         &self,
-        st: &mut VolState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         dev: usize,
         phys: u32,
@@ -442,16 +566,16 @@ impl RaiznVolume {
         let limit = self.config.transient_retry_limit;
         let mut attempt = 0u32;
         loop {
-            match st.devices[dev].reset_zone(at, phys) {
+            match devices[dev].reset_zone(at, phys) {
                 Ok(c) => return Ok(c.done),
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
-                    st.stats.transient_retries += 1;
-                    bump(st, obs::Counter::Retries);
+                    AtomicRaiznStats::add(&self.stats.transient_retries, 1);
+                    self.bump(obs::Counter::Retries);
                 }
                 Err(e @ ZnsError::TransientError { .. }) => {
-                    self.note_device_error(st, dev);
-                    if st.failed == Some(dev) {
+                    self.note_device_error(devices, dev);
+                    if self.is_failed(dev) {
                         return Ok(at);
                     }
                     return Err(e);
@@ -460,7 +584,9 @@ impl RaiznVolume {
             }
         }
     }
+}
 
+impl RaiznVolume {
     // ------------------------------------------------------------------
     // Metadata plumbing
     // ------------------------------------------------------------------
@@ -471,23 +597,25 @@ impl RaiznVolume {
     /// Convenience wrapper over [`Self::md_append_bytes`] for owned
     /// records on cold paths; the hot write path encodes borrowed-payload
     /// [`crate::MdRecordRef`]s into the pooled scratch buffer instead.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn md_append(
         &self,
-        st: &mut VolState,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         dev: usize,
         role: MdRole,
         rec: &MdRecord,
         fua: bool,
     ) -> Result<SimTime> {
-        if st.failed == Some(dev) {
+        if self.is_failed(dev) {
             return Ok(at);
         }
-        let mut scratch = std::mem::take(&mut st.md_scratch);
+        let mut scratch = std::mem::take(&mut m.md_scratch);
         rec.as_ref().encode_into(&mut scratch);
         let is_pp = rec.header.md_type == crate::metadata::MetadataType::PartialParity;
-        let r = self.md_append_bytes(st, at, dev, role, is_pp, &scratch, fua);
-        st.md_scratch = scratch;
+        let r = self.md_append_bytes(m, devices, at, dev, role, is_pp, &scratch, fua);
+        m.md_scratch = scratch;
         r
     }
 
@@ -497,12 +625,13 @@ impl RaiznVolume {
     /// logical-block-metadata ablation. Returns the completion time.
     ///
     /// Callers encode via [`crate::MdRecordRef::encode_into`] into
-    /// [`VolState::md_scratch`] (taken out around the call), keeping the
+    /// [`MetaState::md_scratch`] (taken out around the call), keeping the
     /// steady-state metadata path free of heap allocation.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn md_append_bytes(
         &self,
-        st: &mut VolState,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         dev: usize,
         role: MdRole,
@@ -510,7 +639,7 @@ impl RaiznVolume {
         bytes: &[u8],
         fua: bool,
     ) -> Result<SimTime> {
-        if st.failed == Some(dev) {
+        if self.is_failed(dev) {
             return Ok(at);
         }
         // Ablation (§5.4): with logical-block metadata enabled, partial
@@ -531,38 +660,37 @@ impl RaiznVolume {
             preflush: false,
         };
         let zone = match role {
-            MdRole::General => st.md[dev].general,
-            MdRole::PpLog => st.md[dev].pplog,
+            MdRole::General => m.md[dev].general,
+            MdRole::PpLog => m.md[dev].pplog,
         };
-        let r = match self.append_with_retry(st, at, dev, zone, bytes, flags) {
+        let r = match self.append_with_retry(devices, at, dev, zone, bytes, flags) {
             Ok(c) => {
-                st.stats.md_appends += 1;
+                AtomicRaiznStats::add(&self.stats.md_appends, 1);
                 Ok(c.done)
             }
             Err(ZnsError::ZoneFull { .. }) => {
-                let t = self.md_gc(st, at, dev, role)?;
+                let t = self.md_gc(m, devices, at, dev, role)?;
                 let zone = match role {
-                    MdRole::General => st.md[dev].general,
-                    MdRole::PpLog => st.md[dev].pplog,
+                    MdRole::General => m.md[dev].general,
+                    MdRole::PpLog => m.md[dev].pplog,
                 };
-                match self.append_with_retry(st, t, dev, zone, bytes, flags) {
+                match self.append_with_retry(devices, t, dev, zone, bytes, flags) {
                     Ok(c) => {
-                        st.stats.md_appends += 1;
+                        AtomicRaiznStats::add(&self.stats.md_appends, 1);
                         Ok(c.done)
                     }
-                    Err(ZnsError::TransientError { .. }) if st.failed == Some(dev) => Ok(t),
+                    Err(ZnsError::TransientError { .. }) if self.is_failed(dev) => Ok(t),
                     Err(e) => Err(e),
                 }
             }
             // Retry exhaustion just degraded the device: its metadata
             // replica is gone with it, mirroring the failed-device
             // early-return above.
-            Err(ZnsError::TransientError { .. }) if st.failed == Some(dev) => Ok(at),
+            Err(ZnsError::TransientError { .. }) if self.is_failed(dev) => Ok(at),
             Err(e) => Err(e),
         };
         if let Ok(done) = r {
-            trace_span(
-                st,
+            self.trace_span(
                 obs::OpClass::Append,
                 obs::Stage::MetaAppend,
                 None,
@@ -579,64 +707,78 @@ impl RaiznVolume {
     /// Garbage collects `dev`'s metadata zone for `role` (§4.3, Fig. 4):
     /// designate a swap zone, checkpoint live metadata into it, flush, and
     /// reset the old zone back into the swap pool.
+    ///
+    /// Partial-parity checkpoints are re-logged from the [`PpSnapshot`]s
+    /// in [`MetaState::pp_live`] rather than the stripe buffers (which
+    /// live behind per-zone shard locks): a snapshot is included iff the
+    /// zone's lock-free write-pointer mirror still matches its frontier,
+    /// which makes the checkpoint identical to a buffer walk without
+    /// violating the shard → meta lock order.
     pub(crate) fn md_gc(
         &self,
-        st: &mut VolState,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         dev: usize,
         role: MdRole,
     ) -> Result<SimTime> {
-        bump(st, obs::Counter::MdGcRuns);
-        let new_zone = st.md[dev]
+        self.bump(obs::Counter::MdGcRuns);
+        let new_zone = m.md[dev]
             .swaps
             .pop()
             .ok_or_else(|| internal("metadata GC requires at least one swap zone"))?;
         let old_zone = match role {
-            MdRole::General => std::mem::replace(&mut st.md[dev].general, new_zone),
-            MdRole::PpLog => std::mem::replace(&mut st.md[dev].pplog, new_zone),
+            MdRole::General => std::mem::replace(&mut m.md[dev].general, new_zone),
+            MdRole::PpLog => std::mem::replace(&mut m.md[dev].pplog, new_zone),
         };
         let mut t = at;
         // Checkpoint live metadata, flagged as checkpoint records. Every
-        // record is encoded straight out of live state (stripe buffers,
+        // record is encoded straight out of live state (pp snapshots,
         // relocation cache, counter table) into the pooled scratch buffer:
         // no owned payload staging.
-        let mut scratch = std::mem::take(&mut st.md_scratch);
+        let mut scratch = std::mem::take(&mut m.md_scratch);
         let r = (|| -> Result<()> {
             match role {
                 MdRole::PpLog => {
-                    // Recalculate partial parity from every open zone's
-                    // stripe buffer whose parity lands on this device.
+                    // Re-log the partial parity of every zone whose
+                    // snapshot is still live and whose parity lands on
+                    // this device.
                     let su = self.layout.stripe_unit();
                     let lgeo = self.layout.logical_geometry();
-                    for lz in 0..st.lzones.len() {
-                        {
-                            let Some(buf) = &st.lzones[lz].buffer else {
-                                continue;
-                            };
-                            if buf.filled_sectors() == 0 {
-                                continue;
-                            }
-                            let pdev = self.layout.parity_device(lz as u32, buf.stripe());
-                            if pdev as usize != dev {
-                                continue;
-                            }
-                            let rows = buf.filled_sectors().min(su);
-                            let zstart = lgeo.zone_start(lz as u32);
-                            let sstart = zstart + buf.stripe() * self.layout.stripe_data_sectors();
-                            MdRecordRef::new(
-                                MdPayloadRef::PartialParity {
-                                    first_row: 0,
-                                    data: &buf.parity()[..(rows * SECTOR_SIZE) as usize],
-                                },
-                                true,
-                                sstart,
-                                sstart + buf.filled_sectors(),
-                                st.gens[lz],
-                            )
-                            .encode_into(&mut scratch);
+                    let stripe_data = self.layout.stripe_data_sectors();
+                    for lz in 0..self.layout.logical_zones() as usize {
+                        let Some(snap) = m.pp_live.get(&(lz as u32)) else {
+                            continue;
+                        };
+                        if snap.filled == 0 {
+                            continue;
                         }
+                        // Staleness guard: the snapshot must describe the
+                        // zone's current in-flight stripe frontier.
+                        let wp = self.zone_wp[lz].load(Ordering::Acquire);
+                        if wp / stripe_data != snap.stripe || wp % stripe_data != snap.filled {
+                            continue;
+                        }
+                        let pdev = self.layout.parity_device(lz as u32, snap.stripe);
+                        if pdev as usize != dev {
+                            continue;
+                        }
+                        let rows = snap.filled.min(su);
+                        let zstart = lgeo.zone_start(lz as u32);
+                        let sstart = zstart + snap.stripe * stripe_data;
+                        MdRecordRef::new(
+                            MdPayloadRef::PartialParity {
+                                first_row: 0,
+                                data: &snap.parity[..(rows * SECTOR_SIZE) as usize],
+                            },
+                            true,
+                            sstart,
+                            sstart + snap.filled,
+                            m.gens[lz],
+                        )
+                        .encode_into(&mut scratch);
                         let c = self.append_with_retry(
-                            st,
+                            devices,
                             t,
                             dev,
                             new_zone,
@@ -644,15 +786,15 @@ impl RaiznVolume {
                             WriteFlags::default(),
                         )?;
                         t = c.done;
-                        st.stats.md_appends += 1;
+                        AtomicRaiznStats::add(&self.stats.md_appends, 1);
                     }
                 }
                 MdRole::General => {
-                    self.superblock_record(st, dev, true)
+                    self.superblock_record(devices.len(), dev, true)
                         .as_ref()
                         .encode_into(&mut scratch);
                     let c = self.append_with_retry(
-                        st,
+                        devices,
                         t,
                         dev,
                         new_zone,
@@ -660,12 +802,12 @@ impl RaiznVolume {
                         WriteFlags::default(),
                     )?;
                     t = c.done;
-                    st.stats.md_appends += 1;
+                    AtomicRaiznStats::add(&self.stats.md_appends, 1);
                     let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
-                    for first in (0..st.gens.len()).step_by(per) {
-                        Self::encode_gen_page(&st.gens, first, true, &mut scratch);
+                    for first in (0..m.gens.len()).step_by(per) {
+                        Self::encode_gen_page(&m.gens, first, true, &mut scratch);
                         let c = self.append_with_retry(
-                            st,
+                            devices,
                             t,
                             dev,
                             new_zone,
@@ -673,9 +815,9 @@ impl RaiznVolume {
                             WriteFlags::default(),
                         )?;
                         t = c.done;
-                        st.stats.md_appends += 1;
+                        AtomicRaiznStats::add(&self.stats.md_appends, 1);
                     }
-                    let mut keys: Vec<(u32, u64, u32)> = st
+                    let mut keys: Vec<(u32, u64, u32)> = m
                         .relocated
                         .keys()
                         .filter(|(_, _, rdev)| *rdev as usize == dev)
@@ -684,9 +826,9 @@ impl RaiznVolume {
                     keys.sort_unstable();
                     for (lz, stripe, rdev) in keys {
                         {
-                            let unit = &st.relocated[&(lz, stripe, rdev)];
+                            let unit = &m.relocated[&(lz, stripe, rdev)];
                             self.encode_relocation_record(
-                                st.gens[lz as usize],
+                                m.gens[lz as usize],
                                 lz,
                                 stripe,
                                 unit,
@@ -695,7 +837,7 @@ impl RaiznVolume {
                             );
                         }
                         let c = self.append_with_retry(
-                            st,
+                            devices,
                             t,
                             dev,
                             new_zone,
@@ -703,32 +845,32 @@ impl RaiznVolume {
                             WriteFlags::default(),
                         )?;
                         t = c.done;
-                        st.stats.md_appends += 1;
+                        AtomicRaiznStats::add(&self.stats.md_appends, 1);
                     }
                 }
             }
             Ok(())
         })();
-        st.md_scratch = scratch;
+        m.md_scratch = scratch;
         r?;
         // The checkpoint must be durable before the old zone disappears.
-        t = st.devices[dev].flush(t)?.done;
-        t = self.reset_phys_with_retry(st, t, dev, old_zone)?;
-        st.md[dev].swaps.insert(0, old_zone);
-        st.stats.md_gc_runs += 1;
+        t = devices[dev].flush(t)?.done;
+        t = self.reset_phys_with_retry(devices, t, dev, old_zone)?;
+        m.md[dev].swaps.insert(0, old_zone);
+        AtomicRaiznStats::add(&self.stats.md_gc_runs, 1);
         Ok(t)
     }
 
     pub(crate) fn superblock_record(
         &self,
-        st: &VolState,
+        num_devices: usize,
         dev: usize,
         checkpoint: bool,
     ) -> MdRecord {
         let phys = self.layout.phys_geometry();
         MdRecord::new(
             MdPayload::Superblock(Superblock {
-                num_devices: st.devices.len() as u32,
+                num_devices: num_devices as u32,
                 device_index: dev as u32,
                 stripe_unit_sectors: self.layout.stripe_unit(),
                 md_zones_per_device: self.layout.md_zones(),
@@ -744,8 +886,8 @@ impl RaiznVolume {
     }
 
     /// Builds the generation counter pages covering all logical zones.
-    pub(crate) fn gen_records(&self, st: &VolState, checkpoint: bool) -> Vec<MdRecord> {
-        st.gens
+    pub(crate) fn gen_records(&self, m: &MetaState, checkpoint: bool) -> Vec<MdRecord> {
+        m.gens
             .chunks(crate::metadata::GEN_COUNTERS_PER_PAGE)
             .enumerate()
             .map(|(i, chunk)| {
@@ -810,26 +952,37 @@ impl RaiznVolume {
     }
 
     /// Writes the superblock to every live device's general metadata zone.
-    pub(crate) fn persist_superblock(&self, st: &mut VolState, at: SimTime) -> Result<SimTime> {
+    pub(crate) fn persist_superblock(
+        &self,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+    ) -> Result<SimTime> {
         let mut done = at;
-        for dev in 0..st.devices.len() {
-            let rec = self.superblock_record(st, dev, false);
-            done = done.max(self.md_append(st, at, dev, MdRole::General, &rec, true)?);
+        for dev in 0..devices.len() {
+            let rec = self.superblock_record(devices.len(), dev, false);
+            done = done.max(self.md_append(m, devices, at, dev, MdRole::General, &rec, true)?);
         }
         Ok(done)
     }
 
     /// Persists all generation counter pages to every live device.
-    pub(crate) fn persist_all_gens(&self, st: &mut VolState, at: SimTime) -> Result<SimTime> {
+    pub(crate) fn persist_all_gens(
+        &self,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+    ) -> Result<SimTime> {
         let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
-        let mut scratch = std::mem::take(&mut st.md_scratch);
+        let mut scratch = std::mem::take(&mut m.md_scratch);
         let r = (|| -> Result<SimTime> {
             let mut done = at;
-            for first in (0..st.gens.len()).step_by(per) {
-                Self::encode_gen_page(&st.gens, first, false, &mut scratch);
-                for dev in 0..st.devices.len() {
+            for first in (0..m.gens.len()).step_by(per) {
+                Self::encode_gen_page(&m.gens, first, false, &mut scratch);
+                for dev in 0..devices.len() {
                     done = done.max(self.md_append_bytes(
-                        st,
+                        m,
+                        devices,
                         at,
                         dev,
                         MdRole::General,
@@ -841,7 +994,7 @@ impl RaiznVolume {
             }
             Ok(done)
         })();
-        st.md_scratch = scratch;
+        m.md_scratch = scratch;
         r
     }
 
@@ -849,19 +1002,21 @@ impl RaiznVolume {
     /// live device (one 4 KiB page per update, Table 1).
     pub(crate) fn persist_gen_page(
         &self,
-        st: &mut VolState,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
     ) -> Result<SimTime> {
         let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
         let first = (lzone as usize / per) * per;
-        let mut scratch = std::mem::take(&mut st.md_scratch);
-        Self::encode_gen_page(&st.gens, first, false, &mut scratch);
+        let mut scratch = std::mem::take(&mut m.md_scratch);
+        Self::encode_gen_page(&m.gens, first, false, &mut scratch);
         let r = (|| -> Result<SimTime> {
             let mut done = at;
-            for dev in 0..st.devices.len() {
+            for dev in 0..devices.len() {
                 done = done.max(self.md_append_bytes(
-                    st,
+                    m,
+                    devices,
                     at,
                     dev,
                     MdRole::General,
@@ -872,25 +1027,23 @@ impl RaiznVolume {
             }
             Ok(done)
         })();
-        st.md_scratch = scratch;
+        m.md_scratch = scratch;
         r
     }
+}
 
+impl RaiznVolume {
     // ------------------------------------------------------------------
     // Unit fetch (relocation- and failure-aware)
     // ------------------------------------------------------------------
 
-    /// Reads `rows` sectors starting at row `row0` of the unit held by
-    /// `dev` for `(lzone, stripe)`, transparently serving relocated slots
-    /// from the in-memory cache. Fails with `DeviceFailed` if the device
-    /// is failed and the slot is not relocated. Transient device errors
-    /// are retried up to the configured bound; retry exhaustion and media
-    /// errors are charged against the device's error budget and surfaced
-    /// for the caller to reconstruct around.
+    /// Reads rows straight off `dev` with bounded transient retries; retry
+    /// exhaustion and media errors are charged against the device's error
+    /// budget and surfaced for the caller to reconstruct around.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn fetch_slot_rows(
+    fn fetch_device_rows(
         &self,
-        st: &mut VolState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -898,27 +1051,22 @@ impl RaiznVolume {
         row0: u64,
         out: &mut [u8],
     ) -> Result<SimTime> {
-        if let Some(rel) = st.relocated.get(&(lzone, stripe, dev)) {
-            let off = (row0 * SECTOR_SIZE) as usize;
-            out.copy_from_slice(&rel.data[off..off + out.len()]);
-            return Ok(at);
-        }
-        if st.failed == Some(dev as usize) {
+        if self.is_failed(dev as usize) {
             return Err(ZnsError::DeviceFailed);
         }
         let pba = self.layout.stripe_pba(lzone, stripe) + row0;
         let limit = self.config.transient_retry_limit;
         let mut attempt = 0u32;
         loop {
-            match st.devices[dev as usize].read(at, pba, out) {
+            match devices[dev as usize].read(at, pba, out) {
                 Ok(c) => return Ok(c.done),
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
-                    st.stats.transient_retries += 1;
-                    bump(st, obs::Counter::Retries);
+                    AtomicRaiznStats::add(&self.stats.transient_retries, 1);
+                    self.bump(obs::Counter::Retries);
                 }
                 Err(e @ (ZnsError::TransientError { .. } | ZnsError::MediaError { .. })) => {
-                    self.note_device_error(st, dev as usize);
+                    self.note_device_error(devices, dev as usize);
                     return Err(e);
                 }
                 Err(e) => return Err(e),
@@ -926,13 +1074,62 @@ impl RaiznVolume {
         }
     }
 
-    /// Reconstructs `rows` sectors of the unit that `missing_dev` holds for
+    /// Reads `out.len()` bytes starting at row `row0` of the unit held by
+    /// `dev` for `(lzone, stripe)`, transparently serving relocated slots
+    /// from the in-memory cache. Cold-path variant for callers already
+    /// holding the meta lock (recovery).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fetch_slot_rows(
+        &self,
+        m: &MetaState,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        dev: u32,
+        row0: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime> {
+        if let Some(rel) = m.relocated.get(&(lzone, stripe, dev)) {
+            let off = (row0 * SECTOR_SIZE) as usize;
+            out.copy_from_slice(&rel.data[off..off + out.len()]);
+            return Ok(at);
+        }
+        self.fetch_device_rows(devices, at, lzone, stripe, dev, row0, out)
+    }
+
+    /// Hot-path variant of [`Self::fetch_slot_rows`]: consults the
+    /// relocation cache only when the lock-free relocation count says any
+    /// entries exist, so steady-state reads never touch the meta lock.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_slot_rows_live(
+        &self,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+        lzone: u32,
+        stripe: u64,
+        dev: u32,
+        row0: u64,
+        out: &mut [u8],
+    ) -> Result<SimTime> {
+        if self.relocated_len.load(Ordering::Acquire) > 0 {
+            let m = self.lock_meta();
+            if let Some(rel) = m.relocated.get(&(lzone, stripe, dev)) {
+                let off = (row0 * SECTOR_SIZE) as usize;
+                out.copy_from_slice(&rel.data[off..off + out.len()]);
+                return Ok(at);
+            }
+        }
+        self.fetch_device_rows(devices, at, lzone, stripe, dev, row0, out)
+    }
+
+    /// Reconstructs rows of the unit that `missing_dev` holds for
     /// `(lzone, stripe)` by XORing every other device's slot (§4.2). The
     /// stripe must be complete (parity present).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn reconstruct_slot_rows(
         &self,
-        st: &mut VolState,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -947,7 +1144,7 @@ impl RaiznVolume {
             if dev == missing_dev {
                 continue;
             }
-            let t = self.fetch_slot_rows(st, at, lzone, stripe, dev, row0, &mut tmp)?;
+            let t = self.fetch_slot_rows_live(devices, at, lzone, stripe, dev, row0, &mut tmp)?;
             done = done.max(t);
             xor_into(out, &tmp);
         }
@@ -958,15 +1155,16 @@ impl RaiznVolume {
     // Self-healing read path
     // ------------------------------------------------------------------
 
-    /// Reads `rows` sectors of data unit `unit` at `(lzone, stripe)`,
-    /// healing around device errors: latent media errors trigger in-place
-    /// repair (reconstruct + relocate), retry-exhausted transients fall
-    /// back to one-off reconstruction, and failed devices take the
-    /// degraded path.
+    /// Reads rows of data unit `unit` at `(lzone, stripe)`, healing around
+    /// device errors: latent media errors trigger in-place repair
+    /// (reconstruct + relocate), retry-exhausted transients fall back to
+    /// one-off reconstruction, and failed devices take the degraded path.
+    /// Runs under `lzone`'s shard lock (`z`).
     #[allow(clippy::too_many_arguments)]
     fn read_slot_rows(
         &self,
-        st: &mut VolState,
+        z: &mut LZone,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -975,19 +1173,23 @@ impl RaiznVolume {
         out: &mut [u8],
     ) -> Result<SimTime> {
         let dev = self.layout.data_device(lzone, stripe, unit);
-        let relocated = st.relocated.contains_key(&(lzone, stripe, dev));
-        if relocated || st.failed != Some(dev as usize) {
-            match self.fetch_slot_rows(st, at, lzone, stripe, dev, row0, out) {
+        let relocated = self.relocated_len.load(Ordering::Acquire) > 0
+            && self
+                .lock_meta()
+                .relocated
+                .contains_key(&(lzone, stripe, dev));
+        if relocated || !self.is_failed(dev as usize) {
+            match self.fetch_slot_rows_live(devices, at, lzone, stripe, dev, row0, out) {
                 Ok(t) => Ok(t),
                 Err(
                     e @ (ZnsError::MediaError { .. }
                     | ZnsError::TransientError { .. }
                     | ZnsError::DeviceFailed),
-                ) => self.heal_read(st, at, lzone, stripe, unit, dev, row0, out, e),
+                ) => self.heal_read(z, devices, at, lzone, stripe, unit, dev, row0, out, e),
                 Err(e) => Err(e),
             }
         } else {
-            self.degraded_slot_read(st, at, lzone, stripe, unit, dev, row0, out)
+            self.degraded_slot_read(z, devices, at, lzone, stripe, unit, dev, row0, out)
         }
     }
 
@@ -996,7 +1198,8 @@ impl RaiznVolume {
     #[allow(clippy::too_many_arguments)]
     fn degraded_slot_read(
         &self,
-        st: &mut VolState,
+        z: &LZone,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -1005,12 +1208,11 @@ impl RaiznVolume {
         row0: u64,
         out: &mut [u8],
     ) -> Result<SimTime> {
-        st.stats.degraded_reads += 1;
-        bump(st, obs::Counter::DegradedReads);
-        let from_buffer = matches!(&st.lzones[lzone as usize].buffer,
-            Some(b) if b.stripe() == stripe);
+        AtomicRaiznStats::add(&self.stats.degraded_reads, 1);
+        self.bump(obs::Counter::DegradedReads);
+        let from_buffer = matches!(&z.buffer, Some(b) if b.stripe() == stripe);
         let r = if from_buffer {
-            let b = st.lzones[lzone as usize]
+            let b = z
                 .buffer
                 .as_ref()
                 .ok_or_else(|| internal("stripe buffer matched above"))?;
@@ -1020,11 +1222,10 @@ impl RaiznVolume {
             out.copy_from_slice(b.read_range(s0, s0 + rows));
             Ok(at)
         } else {
-            self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)
+            self.reconstruct_slot_rows(devices, at, lzone, stripe, dev, row0, out)
         };
         if let Ok(t) = r {
-            trace_span(
-                st,
+            self.trace_span(
                 obs::OpClass::Read,
                 obs::Stage::WholeOp,
                 Some(obs::PathKind::Degraded),
@@ -1046,7 +1247,8 @@ impl RaiznVolume {
     #[allow(clippy::too_many_arguments)]
     fn heal_read(
         &self,
-        st: &mut VolState,
+        z: &mut LZone,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -1058,15 +1260,15 @@ impl RaiznVolume {
     ) -> Result<SimTime> {
         let su = self.layout.stripe_unit();
         let stripe_data = self.layout.stripe_data_sectors();
-        let complete = (stripe + 1) * stripe_data <= st.lzones[lzone as usize].wp;
+        let complete = (stripe + 1) * stripe_data <= z.wp;
         if !complete {
             // No parity yet: the stripe buffer still stages this stripe,
             // and any sector below the logical wp is within its fill
             // frontier.
-            let staged = matches!(&st.lzones[lzone as usize].buffer,
-                Some(b) if b.stripe() == stripe);
+            let staged = matches!(&z.buffer, Some(b) if b.stripe() == stripe);
             if staged {
-                return self.degraded_slot_read(st, at, lzone, stripe, unit, dev, row0, out);
+                return self
+                    .degraded_slot_read(z, devices, at, lzone, stripe, unit, dev, row0, out);
             }
             return Err(err);
         }
@@ -1075,19 +1277,19 @@ impl RaiznVolume {
             // and relocate the repaired copy so the latent sectors are
             // never read again.
             let mut data = vec![0u8; (su * SECTOR_SIZE) as usize];
-            let t = self.reconstruct_slot_rows(st, at, lzone, stripe, dev, 0, &mut data)?;
+            let t = self.reconstruct_slot_rows(devices, at, lzone, stripe, dev, 0, &mut data)?;
             let off = (row0 * SECTOR_SIZE) as usize;
             out.copy_from_slice(&data[off..off + out.len()]);
-            st.stats.read_repairs += 1;
-            bump(st, obs::Counter::ReadRepairs);
-            let t2 = self.relocate_repaired_unit(st, at, lzone, stripe, dev, data, su)?;
+            AtomicRaiznStats::add(&self.stats.read_repairs, 1);
+            self.bump(obs::Counter::ReadRepairs);
+            let t2 = self.relocate_repaired_unit(z, devices, at, lzone, stripe, dev, data, su)?;
             Ok(t.max(t2))
         } else {
             // Transient exhaustion / fresh device failure: serve this read
             // from parity without committing a relocation.
-            st.stats.degraded_reads += 1;
-            bump(st, obs::Counter::DegradedReads);
-            self.reconstruct_slot_rows(st, at, lzone, stripe, dev, row0, out)
+            AtomicRaiznStats::add(&self.stats.degraded_reads, 1);
+            self.bump(obs::Counter::DegradedReads);
+            self.reconstruct_slot_rows(devices, at, lzone, stripe, dev, row0, out)
         }
     }
 
@@ -1096,11 +1298,12 @@ impl RaiznVolume {
     /// slot conflicted) and persists a relocation record, mirroring the
     /// §5.2 write-conflict machinery. Failure to persist the record is
     /// tolerated: the cache still serves reads and metadata GC
-    /// checkpoints re-log it.
+    /// checkpoints re-log it. Runs under `lzone`'s shard lock.
     #[allow(clippy::too_many_arguments)]
     fn relocate_repaired_unit(
         &self,
-        st: &mut VolState,
+        z: &mut LZone,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -1108,14 +1311,16 @@ impl RaiznVolume {
         data: Vec<u8>,
         valid: u64,
     ) -> Result<SimTime> {
-        st.relocated
+        z.conflicts.insert((stripe, dev));
+        let mut m = self.lock_meta();
+        m.relocated
             .insert((lzone, stripe, dev), RelocatedUnit { data, valid });
-        st.lzones[lzone as usize].conflicts.insert((stripe, dev));
-        let mut scratch = std::mem::take(&mut st.md_scratch);
+        self.sync_relocated_count(&m);
+        let mut scratch = std::mem::take(&mut m.md_scratch);
         {
-            let unit = &st.relocated[&(lzone, stripe, dev)];
+            let unit = &m.relocated[&(lzone, stripe, dev)];
             self.encode_relocation_record(
-                st.gens[lzone as usize],
+                m.gens[lzone as usize],
                 lzone,
                 stripe,
                 unit,
@@ -1123,8 +1328,17 @@ impl RaiznVolume {
                 &mut scratch,
             );
         }
-        let r = self.md_append_bytes(st, at, dev as usize, MdRole::General, false, &scratch, true);
-        st.md_scratch = scratch;
+        let r = self.md_append_bytes(
+            &mut m,
+            devices,
+            at,
+            dev as usize,
+            MdRole::General,
+            false,
+            &scratch,
+            true,
+        );
+        m.md_scratch = scratch;
         match r {
             Ok(t) => Ok(t),
             Err(ZnsError::TransientError { .. } | ZnsError::DeviceFailed) => Ok(at),
@@ -1137,15 +1351,17 @@ impl RaiznVolume {
     /// latent media errors are healed by reconstruction, and parity
     /// mismatches are corrected from the data. Returns what was checked
     /// and repaired; counters land in [`stats`](Self::stats).
+    ///
+    /// Takes each zone's shard in turn; concurrent writers to other zones
+    /// are unaffected.
     pub fn scrub(&self, at: SimTime) -> Result<ScrubReport> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        if st.failed.is_some() {
+        if self.failed_idx().is_some() {
             return Err(ZnsError::DeviceFailed);
         }
-        if st.read_only {
+        if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
+        let devices = self.devices.read();
         let su = self.layout.stripe_unit();
         let stripe_data = self.layout.stripe_data_sectors();
         let unit_bytes = (su * SECTOR_SIZE) as usize;
@@ -1153,17 +1369,29 @@ impl RaiznVolume {
         let mut acc = vec![0u8; unit_bytes];
         let mut slot = vec![0u8; unit_bytes];
         for lz in 0..self.layout.logical_zones() {
-            let full_stripes = st.lzones[lz as usize].wp / stripe_data;
+            let mut z = self.lock_shard(lz);
+            let full_stripes = z.wp / stripe_data;
             for stripe in 0..full_stripes {
                 acc.fill(0);
                 for dev in 0..self.layout.devices() {
-                    match self.fetch_slot_rows(st, at, lz, stripe, dev, 0, &mut slot) {
+                    match self.fetch_slot_rows_live(&devices, at, lz, stripe, dev, 0, &mut slot) {
                         Ok(_) => {}
                         Err(ZnsError::MediaError { .. }) => {
-                            self.reconstruct_slot_rows(st, at, lz, stripe, dev, 0, &mut slot)?;
-                            self.relocate_repaired_unit(st, at, lz, stripe, dev, slot.clone(), su)?;
+                            self.reconstruct_slot_rows(
+                                &devices, at, lz, stripe, dev, 0, &mut slot,
+                            )?;
+                            self.relocate_repaired_unit(
+                                &mut z,
+                                &devices,
+                                at,
+                                lz,
+                                stripe,
+                                dev,
+                                slot.clone(),
+                                su,
+                            )?;
                             report.units_healed += 1;
-                            st.stats.scrub_repairs += 1;
+                            AtomicRaiznStats::add(&self.stats.scrub_repairs, 1);
                         }
                         Err(e) => return Err(e),
                     }
@@ -1176,18 +1404,20 @@ impl RaiznVolume {
                     // parity. Install it as a relocated unit.
                     let pdev = self.layout.parity_device(lz, stripe);
                     let mut fixed = vec![0u8; unit_bytes];
-                    self.fetch_slot_rows(st, at, lz, stripe, pdev, 0, &mut fixed)?;
+                    self.fetch_slot_rows_live(&devices, at, lz, stripe, pdev, 0, &mut fixed)?;
                     xor_into(&mut fixed, &acc);
-                    self.relocate_repaired_unit(st, at, lz, stripe, pdev, fixed, su)?;
+                    self.relocate_repaired_unit(&mut z, &devices, at, lz, stripe, pdev, fixed, su)?;
                     report.parity_repairs += 1;
-                    st.stats.scrub_repairs += 1;
+                    AtomicRaiznStats::add(&self.stats.scrub_repairs, 1);
                 }
             }
         }
-        st.stats.scrub_runs += 1;
+        AtomicRaiznStats::add(&self.stats.scrub_runs, 1);
         Ok(report)
     }
+}
 
+impl RaiznVolume {
     // ------------------------------------------------------------------
     // Write path helpers
     // ------------------------------------------------------------------
@@ -1195,10 +1425,12 @@ impl RaiznVolume {
     /// Stores `data` rows of the slot held by `dev` at `(lzone, stripe)`,
     /// relocating to the device's metadata zone when the slot is
     /// conflicted, and skipping failed devices. `row0` is the first row.
+    /// Runs under `lzone`'s shard lock (`z`).
     #[allow(clippy::too_many_arguments)]
     fn store_slot_rows(
         &self,
-        st: &mut VolState,
+        z: &mut LZone,
+        devices: &[Arc<ZnsDevice>],
         at: SimTime,
         lzone: u32,
         stripe: u64,
@@ -1208,11 +1440,12 @@ impl RaiznVolume {
         flags: WriteFlags,
     ) -> Result<SimTime> {
         let su = self.layout.stripe_unit();
-        if st.lzones[lzone as usize].conflicts.contains(&(stripe, dev)) {
+        if z.conflicts.contains(&(stripe, dev)) {
             // Relocate: accumulate into the cached unit and persist a
             // relocation record on the affected device (§5.2).
             let unit_bytes = (su * SECTOR_SIZE) as usize;
-            let entry = st
+            let mut m = self.lock_meta();
+            let entry = m
                 .relocated
                 .entry((lzone, stripe, dev))
                 .or_insert_with(|| RelocatedUnit {
@@ -1223,13 +1456,13 @@ impl RaiznVolume {
             entry.data[off..off + data.len()].copy_from_slice(data);
             entry.valid = entry.valid.max(row0 + data.len() as u64 / SECTOR_SIZE);
             let valid = entry.valid;
+            self.sync_relocated_count(&m);
             if std::env::var_os("RAIZN_DEBUG").is_some() {
                 eprintln!("[reloc] lz={lzone} stripe={stripe} dev={dev} row0={row0} valid={valid}");
             }
-            st.stats.relocated_units += 1;
-            bump(st, obs::Counter::RelocatedWrites);
-            trace_span(
-                st,
+            AtomicRaiznStats::add(&self.stats.relocated_units, 1);
+            self.bump(obs::Counter::RelocatedWrites);
+            self.trace_span(
                 obs::OpClass::Write,
                 obs::Stage::WholeOp,
                 Some(obs::PathKind::Relocated),
@@ -1241,11 +1474,11 @@ impl RaiznVolume {
             );
             // Encode the record borrowing the cached unit in place: no
             // clone of the stripe-unit payload on the relocation path.
-            let mut scratch = std::mem::take(&mut st.md_scratch);
+            let mut scratch = std::mem::take(&mut m.md_scratch);
             {
-                let unit = &st.relocated[&(lzone, stripe, dev)];
+                let unit = &m.relocated[&(lzone, stripe, dev)];
                 self.encode_relocation_record(
-                    st.gens[lzone as usize],
+                    m.gens[lzone as usize],
                     lzone,
                     stripe,
                     unit,
@@ -1254,7 +1487,8 @@ impl RaiznVolume {
                 );
             }
             let r = self.md_append_bytes(
-                st,
+                &mut m,
+                devices,
                 at,
                 dev as usize,
                 MdRole::General,
@@ -1262,26 +1496,26 @@ impl RaiznVolume {
                 &scratch,
                 flags.fua,
             );
-            st.md_scratch = scratch;
+            m.md_scratch = scratch;
             return r;
         }
-        if st.failed == Some(dev as usize) {
+        if self.is_failed(dev as usize) {
             return Ok(at); // degraded write: omitted, covered by parity
         }
         let pba = self.layout.stripe_pba(lzone, stripe) + row0;
         let limit = self.config.transient_retry_limit;
         let mut attempt = 0u32;
         loop {
-            match st.devices[dev as usize].write(at, pba, data, flags) {
+            match devices[dev as usize].write(at, pba, data, flags) {
                 Ok(c) => return Ok(c.done),
                 Err(ZnsError::TransientError { .. }) if attempt < limit => {
                     attempt += 1;
-                    st.stats.transient_retries += 1;
-                    bump(st, obs::Counter::Retries);
+                    AtomicRaiznStats::add(&self.stats.transient_retries, 1);
+                    self.bump(obs::Counter::Retries);
                 }
                 Err(e @ ZnsError::TransientError { .. }) => {
-                    self.note_device_error(st, dev as usize);
-                    if st.failed == Some(dev as usize) {
+                    self.note_device_error(devices, dev as usize);
+                    if self.is_failed(dev as usize) {
                         // Freshly degraded: the write is omitted and the
                         // unit stays covered by parity.
                         return Ok(at);
@@ -1293,7 +1527,10 @@ impl RaiznVolume {
         }
     }
 
-    /// The write-path core, shared by `write` and `append`.
+    /// The write-path core, shared by `write` and `append`. Takes only
+    /// the target zone's shard lock (plus brief meta acquisitions on the
+    /// metadata-logging branches), so writes to distinct zones run
+    /// concurrently.
     fn do_write(
         &self,
         at: SimTime,
@@ -1313,13 +1550,12 @@ impl RaiznVolume {
             return Err(ZnsError::OutOfRange { lba, sectors });
         }
         let lzone = lgeo.zone_of(lba);
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        if st.read_only {
+        if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
-        {
-            let z = &st.lzones[lzone as usize];
+        let devices = self.devices.read();
+        let mut z = self.lock_shard(lzone);
+        let validate = |z: &LZone| -> Result<()> {
             match z.state {
                 ZoneState::Full => return Err(ZnsError::ZoneFull { zone: lzone }),
                 ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone: lzone }),
@@ -1337,14 +1573,23 @@ impl RaiznVolume {
             if z.wp + sectors > lgeo.zone_cap() {
                 return Err(ZnsError::ZoneFull { zone: lzone });
             }
-        }
+            Ok(())
+        };
+        validate(&z)?;
 
         let mut issue = at;
         let mut completion = at;
         if flags.preflush {
-            let done = self.flush_all(st, at)?;
+            // flush_all takes every shard in index order; release ours
+            // first (lock order: at most one shard at a time), then
+            // re-validate — a racing writer to the same zone surfaces as
+            // an ordinary sequencing error.
+            drop(z);
+            let done = self.flush_all(&devices, at)?;
             issue = done;
             completion = done;
+            z = self.lock_shard(lzone);
+            validate(&z)?;
         }
 
         let stripe_data = self.layout.stripe_data_sectors();
@@ -1352,23 +1597,23 @@ impl RaiznVolume {
         let data_units = self.layout.data_units();
         let mut remaining = data;
         while !remaining.is_empty() {
-            let wp = st.lzones[lzone as usize].wp;
+            let wp = z.wp;
             let stripe = wp / stripe_data;
             let off_in_stripe = wp % stripe_data;
             // Ensure the stripe buffer stages this stripe, drawing from
-            // the recycle pool so steady-state writes allocate nothing.
+            // the zone's spare so steady-state writes allocate nothing.
             {
-                let need_new = match &st.lzones[lzone as usize].buffer {
+                let need_new = match &z.buffer {
                     Some(b) => b.stripe() != stripe,
                     None => true,
                 };
                 if need_new {
                     debug_assert_eq!(off_in_stripe, 0, "mid-stripe write without a staged buffer");
-                    if let Some(stale) = st.lzones[lzone as usize].buffer.take() {
-                        st.retire_buffer(stale);
+                    if let Some(stale) = z.buffer.take() {
+                        z.retire_buffer(stale);
                     }
-                    let buf = st.stripe_buffer(stripe, data_units, su);
-                    st.lzones[lzone as usize].buffer = Some(buf);
+                    let buf = z.stripe_buffer(&self.stats, stripe, data_units, su);
+                    z.buffer = Some(buf);
                 }
             }
             let chunk_sectors =
@@ -1376,7 +1621,7 @@ impl RaiznVolume {
             let (chunk, rest) = remaining.split_at((chunk_sectors * SECTOR_SIZE) as usize);
             remaining = rest;
 
-            let (row_lo, row_hi) = st.lzones[lzone as usize]
+            let (row_lo, row_hi) = z
                 .buffer
                 .as_mut()
                 .ok_or_else(|| internal("stripe buffer staged above"))?
@@ -1392,7 +1637,8 @@ impl RaiznVolume {
                 let dev = self.layout.data_device(lzone, stripe, unit);
                 let bytes = &chunk[coff..coff + (rows * SECTOR_SIZE) as usize];
                 let done = self.store_slot_rows(
-                    st,
+                    &mut z,
+                    &devices,
                     issue,
                     lzone,
                     stripe,
@@ -1410,28 +1656,27 @@ impl RaiznVolume {
             }
 
             {
-                let z = &mut st.lzones[lzone as usize];
                 // The written units are volatile again until the next
                 // flush/FUA, even if an earlier flush covered their heads.
-                z.pbitmap.clear_range(z.wp, z.wp + chunk_sectors);
+                let wp = z.wp;
+                z.pbitmap.clear_range(wp, wp + chunk_sectors);
                 z.wp += chunk_sectors;
+                self.zone_wp[lzone as usize].store(z.wp, Ordering::Release);
             }
-            let complete = st.lzones[lzone as usize]
+            let complete = z
                 .buffer
                 .as_ref()
                 .ok_or_else(|| internal("stripe buffer staged for completion check"))?
                 .is_complete();
             let pdev = self.layout.parity_device(lzone, stripe);
-            let slot_conflicted = st.lzones[lzone as usize]
-                .conflicts
-                .contains(&(stripe, pdev));
+            let slot_conflicted = z.conflicts.contains(&(stripe, pdev));
             let zrwa_ok =
-                self.config.use_zrwa && st.failed != Some(pdev as usize) && !slot_conflicted;
+                self.config.use_zrwa && !self.is_failed(pdev as usize) && !slot_conflicted;
             if complete {
                 // Detach the buffer: its parity is handed to the device
                 // layer as a borrowed slice (no copy) and the buffer is
-                // then retired into the recycle pool.
-                let buf = st.lzones[lzone as usize]
+                // then retired into the zone's spare slot.
+                let buf = z
                     .buffer
                     .take()
                     .ok_or_else(|| internal("stripe buffer staged for parity write"))?;
@@ -1442,14 +1687,13 @@ impl RaiznVolume {
                         [(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize];
                     let phys_zone = self.layout.phys_zone(lzone);
                     let pba = self.layout.stripe_pba(lzone, stripe) + row_lo;
-                    let dev = &st.devices[pdev as usize];
+                    let dev = &devices[pdev as usize];
                     let mut done = dev.write_zrwa(issue, pba, pp)?.done;
                     done = done.max(dev.commit_zrwa(done, phys_zone, (stripe + 1) * su)?.done);
                     completion = completion.max(done);
-                    st.stats.zrwa_parity_writes += 1;
-                    bump(st, obs::Counter::ZrwaParityWrites);
-                    trace_span(
-                        st,
+                    AtomicRaiznStats::add(&self.stats.zrwa_parity_writes, 1);
+                    self.bump(obs::Counter::ZrwaParityWrites);
+                    self.trace_span(
                         obs::OpClass::Write,
                         obs::Stage::Xor,
                         Some(obs::PathKind::Zrwa),
@@ -1462,7 +1706,8 @@ impl RaiznVolume {
                 } else {
                     // Full parity to the parity slot in the data zone.
                     let done = self.store_slot_rows(
-                        st,
+                        &mut z,
+                        &devices,
                         issue,
                         lzone,
                         stripe,
@@ -1475,8 +1720,7 @@ impl RaiznVolume {
                         },
                     )?;
                     completion = completion.max(done);
-                    trace_span(
-                        st,
+                    self.trace_span(
                         obs::OpClass::Write,
                         obs::Stage::Xor,
                         Some(obs::PathKind::FullParity),
@@ -1487,26 +1731,25 @@ impl RaiznVolume {
                         done,
                     );
                 }
-                st.stats.full_parity_writes += 1;
-                bump(st, obs::Counter::FullParityWrites);
-                st.retire_buffer(buf);
+                AtomicRaiznStats::add(&self.stats.full_parity_writes, 1);
+                self.bump(obs::Counter::FullParityWrites);
+                z.retire_buffer(buf);
             } else if zrwa_ok {
                 // §5.4 extension: overwrite the affected parity rows in
                 // place inside the parity slot's ZRWA window (borrowed
                 // straight out of the stripe buffer).
-                let buf = st.lzones[lzone as usize]
+                let buf = z
                     .buffer
                     .as_ref()
                     .ok_or_else(|| internal("stripe buffer staged for zrwa parity"))?;
                 let pp =
                     &buf.parity()[(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize];
                 let pba = self.layout.stripe_pba(lzone, stripe) + row_lo;
-                let done = st.devices[pdev as usize].write_zrwa(issue, pba, pp)?.done;
+                let done = devices[pdev as usize].write_zrwa(issue, pba, pp)?.done;
                 completion = completion.max(done);
-                st.stats.zrwa_parity_writes += 1;
-                bump(st, obs::Counter::ZrwaParityWrites);
-                trace_span(
-                    st,
+                AtomicRaiznStats::add(&self.stats.zrwa_parity_writes, 1);
+                self.bump(obs::Counter::ZrwaParityWrites);
+                self.trace_span(
                     obs::OpClass::Write,
                     obs::Stage::Xor,
                     Some(obs::PathKind::Zrwa),
@@ -1522,9 +1765,9 @@ impl RaiznVolume {
                 // until the log is written, closing the write hole. The
                 // parity rows are encoded straight out of the stripe
                 // buffer into the pooled scratch: no owned payload copy.
-                let mut scratch = std::mem::take(&mut st.md_scratch);
-                let pp_rows = {
-                    let z = &st.lzones[lzone as usize];
+                let mut m = self.lock_meta();
+                let mut scratch = std::mem::take(&mut m.md_scratch);
+                let (pp_rows, pp_stripe, pp_filled) = {
                     let buf = z
                         .buffer
                         .as_ref()
@@ -1546,13 +1789,14 @@ impl RaiznVolume {
                         false,
                         lba.max(zstart + z.wp - chunk_sectors),
                         zstart + z.wp,
-                        st.gens[lzone as usize],
+                        m.gens[lzone as usize],
                     )
                     .encode_into(&mut scratch);
-                    hi - lo
+                    (hi - lo, buf.stripe(), buf.filled_sectors())
                 };
                 let r = self.md_append_bytes(
-                    st,
+                    &mut m,
+                    &devices,
                     issue,
                     pdev as usize,
                     MdRole::PpLog,
@@ -1560,14 +1804,28 @@ impl RaiznVolume {
                     &scratch,
                     flags.fua,
                 );
-                st.md_scratch = scratch;
+                m.md_scratch = scratch;
                 let pp_done = r?;
+                // Refresh the checkpoint snapshot for metadata GC: the
+                // stripe buffer itself stays behind this zone's shard.
+                {
+                    let buf = z
+                        .buffer
+                        .as_ref()
+                        .ok_or_else(|| internal("stripe buffer staged for pp snapshot"))?;
+                    let rows = (pp_filled.min(su) * SECTOR_SIZE) as usize;
+                    let snap = m.pp_live.entry(lzone).or_default();
+                    snap.stripe = pp_stripe;
+                    snap.filled = pp_filled;
+                    snap.parity.clear();
+                    snap.parity.extend_from_slice(&buf.parity()[..rows]);
+                }
+                drop(m);
                 completion = completion.max(pp_done);
-                st.stats.pp_log_entries += 1;
-                st.stats.pp_log_bytes += pp_rows * SECTOR_SIZE;
-                bump(st, obs::Counter::PpLogWrites);
-                trace_span(
-                    st,
+                AtomicRaiznStats::add(&self.stats.pp_log_entries, 1);
+                AtomicRaiznStats::add(&self.stats.pp_log_bytes, pp_rows * SECTOR_SIZE);
+                self.bump(obs::Counter::PpLogWrites);
+                self.trace_span(
                     obs::OpClass::Write,
                     obs::Stage::Xor,
                     Some(obs::PathKind::PpLog),
@@ -1581,26 +1839,22 @@ impl RaiznVolume {
         }
 
         // State transitions.
-        if st.lzones[lzone as usize].wp == lgeo.zone_cap() {
-            st.lzones[lzone as usize].state = ZoneState::Full;
-            if let Some(buf) = st.lzones[lzone as usize].buffer.take() {
-                st.retire_buffer(buf);
+        if z.wp == lgeo.zone_cap() {
+            z.state = ZoneState::Full;
+            if let Some(buf) = z.buffer.take() {
+                z.retire_buffer(buf);
             }
-        } else {
-            let z = &mut st.lzones[lzone as usize];
-            if z.state == ZoneState::Empty || z.state == ZoneState::Closed {
-                z.state = ZoneState::ImplicitlyOpen;
-            }
+        } else if z.state == ZoneState::Empty || z.state == ZoneState::Closed {
+            z.state = ZoneState::ImplicitlyOpen;
         }
 
         // FUA: everything below the new write pointer must be durable
         // before completion (§5.3).
         if flags.fua {
-            let done = self.persist_zone(st, completion, lzone)?;
+            let done = self.persist_zone(&mut z, &devices, completion, lzone)?;
             completion = completion.max(done);
         }
-        trace_span(
-            st,
+        self.trace_span(
             obs::OpClass::Write,
             obs::Stage::WholeOp,
             None,
@@ -1615,11 +1869,18 @@ impl RaiznVolume {
 
     /// Flushes every device holding a non-persisted stripe unit of
     /// `lzone` below its write pointer, then marks the zone persisted.
-    fn persist_zone(&self, st: &mut VolState, at: SimTime, lzone: u32) -> Result<SimTime> {
+    /// Runs under `lzone`'s shard lock.
+    fn persist_zone(
+        &self,
+        z: &mut LZone,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+        lzone: u32,
+    ) -> Result<SimTime> {
         let data_units = self.layout.data_units();
-        let wp = st.lzones[lzone as usize].wp;
+        let wp = z.wp;
         let mut flush_set = HashSet::new();
-        for unit in st.lzones[lzone as usize].pbitmap.unpersisted_below(wp) {
+        for unit in z.pbitmap.unpersisted_below(wp) {
             let stripe = unit / data_units;
             let k = unit % data_units;
             let dev = self.layout.data_device(lzone, stripe, k);
@@ -1630,15 +1891,14 @@ impl RaiznVolume {
         }
         let mut done = at;
         for dev in flush_set {
-            if st.failed == Some(dev as usize) {
+            if self.is_failed(dev as usize) {
                 continue;
             }
-            done = done.max(st.devices[dev as usize].flush(at)?.done);
-            st.stats.persistence_flushes += 1;
+            done = done.max(devices[dev as usize].flush(at)?.done);
+            AtomicRaiznStats::add(&self.stats.persistence_flushes, 1);
         }
-        st.lzones[lzone as usize].pbitmap.mark_persisted_below(wp);
-        trace_span(
-            st,
+        z.pbitmap.mark_persisted_below(wp);
+        self.trace_span(
             obs::OpClass::Flush,
             obs::Stage::Flush,
             None,
@@ -1651,21 +1911,23 @@ impl RaiznVolume {
         Ok(done)
     }
 
-    /// Flushes all devices and marks every zone persisted.
-    fn flush_all(&self, st: &mut VolState, at: SimTime) -> Result<SimTime> {
+    /// Flushes all devices and marks every zone persisted. Callers must
+    /// not hold any shard lock: each zone's shard is taken in index order
+    /// to update its persistence bitmap.
+    fn flush_all(&self, devices: &[Arc<ZnsDevice>], at: SimTime) -> Result<SimTime> {
         let mut done = at;
-        for (i, dev) in st.devices.iter().enumerate() {
-            if st.failed == Some(i) {
+        for (i, dev) in devices.iter().enumerate() {
+            if self.is_failed(i) {
                 continue;
             }
             done = done.max(dev.flush(at)?.done);
         }
-        for z in &mut st.lzones {
+        for zm in &self.zones {
+            let mut z = self.shard_locks.lock(zm);
             let wp = z.wp;
             z.pbitmap.mark_persisted_below(wp);
         }
-        trace_span(
-            st,
+        self.trace_span(
             obs::OpClass::Flush,
             obs::Stage::Flush,
             None,
@@ -1685,41 +1947,62 @@ impl RaiznVolume {
     /// Appends the zone-reset WAL for `lzone` to the two designated
     /// devices (first stripe unit holder and first parity holder, rotating
     /// per zone) and returns the completion time.
-    fn log_reset_intent(&self, st: &mut VolState, at: SimTime, lzone: u32) -> Result<SimTime> {
+    fn log_reset_intent(
+        &self,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+        lzone: u32,
+    ) -> Result<SimTime> {
         let lgeo = self.layout.logical_geometry();
         let rec = MdRecord::new(
             MdPayload::ZoneResetLog,
             false,
             lgeo.zone_start(lzone),
             lgeo.zone_start(lzone) + lgeo.zone_cap(),
-            st.gens[lzone as usize],
+            m.gens[lzone as usize],
         );
         let d0 = self.layout.data_device(lzone, 0, 0) as usize;
         let d1 = self.layout.parity_device(lzone, 0) as usize;
         let mut done = at;
-        done = done.max(self.md_append(st, at, d0, MdRole::General, &rec, true)?);
-        done = done.max(self.md_append(st, at, d1, MdRole::General, &rec, true)?);
+        done = done.max(self.md_append(m, devices, at, d0, MdRole::General, &rec, true)?);
+        done = done.max(self.md_append(m, devices, at, d1, MdRole::General, &rec, true)?);
         Ok(done)
     }
 
-    fn finish_reset(&self, st: &mut VolState, t: SimTime, lzone: u32) -> Result<SimTime> {
-        st.gens[lzone as usize] += 1;
-        if st.gens[lzone as usize] == u64::MAX {
-            // Counter exhaustion: the volume goes read-only until
-            // maintenance runs (§4.3).
-            st.read_only = true;
+    /// Completes a logical zone reset: bumps the generation counter,
+    /// persists its page, and clears the zone's in-memory state. Runs
+    /// under `lzone`'s shard lock.
+    fn finish_reset(
+        &self,
+        z: &mut LZone,
+        devices: &[Arc<ZnsDevice>],
+        t: SimTime,
+        lzone: u32,
+    ) -> Result<SimTime> {
+        let done = {
+            let mut m = self.lock_meta();
+            m.gens[lzone as usize] += 1;
+            if m.gens[lzone as usize] == u64::MAX {
+                // Counter exhaustion: the volume goes read-only until
+                // maintenance runs (§4.3).
+                self.read_only.store(true, Ordering::Release);
+            }
+            let done = self.persist_gen_page(&mut m, devices, t, lzone)?;
+            m.relocated.retain(|(lz, _, _), _| *lz != lzone);
+            self.sync_relocated_count(&m);
+            m.pp_live.remove(&lzone);
+            done
+        };
+        if let Some(buf) = z.buffer.take() {
+            z.retire_buffer(buf);
         }
-        let done = self.persist_gen_page(st, t, lzone)?;
-        if let Some(buf) = st.lzones[lzone as usize].buffer.take() {
-            st.retire_buffer(buf);
-        }
-        let z = &mut st.lzones[lzone as usize];
         z.state = ZoneState::Empty;
         z.wp = 0;
         z.pbitmap.clear();
         z.conflicts.clear();
-        st.relocated.retain(|(lz, _, _), _| *lz != lzone);
-        st.stats.zone_resets += 1;
+        self.zone_wp[lzone as usize].store(0, Ordering::Release);
+        AtomicRaiznStats::add(&self.stats.zone_resets, 1);
         Ok(done)
     }
 
@@ -1738,11 +2021,14 @@ impl RaiznVolume {
         lzone: u32,
         devices_reset: usize,
     ) -> Result<()> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        let t = self.log_reset_intent(st, at, lzone)?;
+        let devices = self.devices.read();
+        let _z = self.lock_shard(lzone);
+        let t = {
+            let mut m = self.lock_meta();
+            self.log_reset_intent(&mut m, &devices, at, lzone)?
+        };
         let phys = self.layout.phys_zone(lzone);
-        for dev in st.devices.iter().take(devices_reset) {
+        for dev in devices.iter().take(devices_reset) {
             dev.reset_zone(t, phys)?;
         }
         Ok(())
@@ -1758,20 +2044,42 @@ impl RaiznVolume {
     ///
     /// Propagates device IO errors.
     pub fn maintenance(&self, at: SimTime) -> Result<SimTime> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        for g in &mut st.gens {
+        let devices = self.devices.read();
+        let su = self.layout.stripe_unit();
+        // Sync the pp checkpoint snapshots from the live stripe buffers
+        // first (shard → meta per zone): zones staging parity without pp
+        // appends (the ZRWA path) have buffers but no snapshots.
+        for lz in 0..self.layout.logical_zones() {
+            let z = self.lock_shard(lz);
+            let mut m = self.lock_meta();
+            match &z.buffer {
+                Some(buf) if buf.filled_sectors() > 0 => {
+                    let rows = (buf.filled_sectors().min(su) * SECTOR_SIZE) as usize;
+                    let snap = m.pp_live.entry(lz).or_default();
+                    snap.stripe = buf.stripe();
+                    snap.filled = buf.filled_sectors();
+                    snap.parity.clear();
+                    snap.parity.extend_from_slice(&buf.parity()[..rows]);
+                }
+                _ => {
+                    m.pp_live.remove(&lz);
+                }
+            }
+        }
+        let mut m = self.lock_meta();
+        for g in &mut m.gens {
             *g = 0;
         }
         let mut t = at;
-        for dev in 0..st.devices.len() {
-            if st.failed == Some(dev) {
+        for dev in 0..devices.len() {
+            if self.is_failed(dev) {
                 continue;
             }
-            t = t.max(self.md_gc(st, t, dev, MdRole::General)?);
-            t = t.max(self.md_gc(st, t, dev, MdRole::PpLog)?);
+            t = t.max(self.md_gc(&mut m, &devices, t, dev, MdRole::General)?);
+            t = t.max(self.md_gc(&mut m, &devices, t, dev, MdRole::PpLog)?);
         }
-        st.read_only = false;
+        drop(m);
+        self.read_only.store(false, Ordering::Release);
         Ok(t)
     }
 
@@ -1783,14 +2091,16 @@ impl RaiznVolume {
     /// active zones first, rebuilding **only valid data** (up to each
     /// logical zone's write pointer) — the Fig. 12 behaviour.
     ///
+    /// Locks one zone shard at a time; concurrent IO to other zones is
+    /// not blocked, but callers should quiesce writes for a consistent
+    /// rebuild point (see `DESIGN.md`).
+    ///
     /// # Errors
     ///
     /// Fails if no device is failed, the replacement geometry mismatches,
     /// or device IO fails.
     pub fn rebuild(&self, at: SimTime, replacement: Arc<ZnsDevice>) -> Result<RebuildReport> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        let failed = st.failed.ok_or_else(|| {
+        let failed = self.failed_idx().ok_or_else(|| {
             ZnsError::InvalidArgument("rebuild requires a failed device".to_string())
         })?;
         if replacement.geometry() != self.layout.phys_geometry() {
@@ -1801,129 +2111,148 @@ impl RaiznVolume {
         let su = self.layout.stripe_unit();
         let su_bytes = (su * SECTOR_SIZE) as usize;
 
-        // Priority order: active zones first (open/closed), then full.
-        let mut order: Vec<u32> = (0..self.layout.logical_zones())
-            .filter(|z| st.lzones[*z as usize].wp > 0)
-            .collect();
-        order.sort_by_key(|z| match st.lzones[*z as usize].state {
-            ZoneState::ImplicitlyOpen | ZoneState::ExplicitlyOpen | ZoneState::Closed => 0,
-            _ => 1,
-        });
-
         let mut cursor = at;
         let mut last_write = at;
         let mut bytes = 0u64;
         let mut zones_rebuilt = 0u32;
-        for lzone in order.iter().copied() {
-            let wp = st.lzones[lzone as usize].wp;
-            let phys_zone = self.layout.phys_zone(lzone);
-            let full_stripes = wp / self.layout.stripe_data_sectors();
-            let tail = wp % self.layout.stripe_data_sectors();
-            let max_stripe = full_stripes + if tail > 0 { 1 } else { 0 };
-            for stripe in 0..max_stripe {
-                let complete = stripe < full_stripes;
-                // What does the replacement hold for this stripe?
-                let needed: u64 = match self.layout.unit_of_device(lzone, stripe, failed as u32) {
-                    None => {
-                        // Parity slot: present only for complete stripes.
-                        if complete {
-                            su
-                        } else {
-                            0
-                        }
-                    }
-                    Some(k) => {
-                        if complete {
-                            su
-                        } else {
-                            tail.saturating_sub(k * su).min(su)
-                        }
-                    }
-                };
-                if needed == 0 {
+        {
+            let devices = self.devices.read();
+            // Priority order: active zones first (open/closed), then full.
+            let mut order: Vec<(u32, u8)> = Vec::new();
+            for lz in 0..self.layout.logical_zones() {
+                let z = self.lock_shard(lz);
+                if z.wp == 0 {
                     continue;
                 }
-                let mut out = vec![0u8; (needed * SECTOR_SIZE) as usize];
-                let reads_done;
-                if let Some(rel) = st.relocated.get(&(lzone, stripe, failed as u32)) {
-                    // Heal the relocation: the true data returns to its
-                    // arithmetic slot on the fresh device.
-                    let len = out.len();
-                    out.copy_from_slice(&rel.data[..len]);
-                    reads_done = cursor;
-                    st.relocated.remove(&(lzone, stripe, failed as u32));
-                    st.lzones[lzone as usize]
-                        .conflicts
-                        .remove(&(stripe, failed as u32));
-                } else if !complete {
-                    // Incomplete stripe: serve from the stripe buffer.
-                    let z = &st.lzones[lzone as usize];
-                    let k = self
-                        .layout
-                        .unit_of_device(lzone, stripe, failed as u32)
-                        .ok_or_else(|| internal("parity slot handled above"))?;
-                    match &z.buffer {
-                        Some(buf) if buf.stripe() == stripe => {
-                            let len = out.len();
-                            out.copy_from_slice(&buf.unit_data(k)[..len]);
-                        }
-                        _ => {
-                            // No buffer (e.g. finished zone): reconstruct
-                            // readable rows from surviving devices is not
-                            // possible without parity; read from survivors
-                            // directly is not possible either (this IS the
-                            // missing device). Treat as zeros.
-                        }
-                    }
-                    reads_done = cursor;
-                } else {
-                    reads_done = self.reconstruct_slot_rows(
-                        st,
-                        cursor,
-                        lzone,
-                        stripe,
-                        failed as u32,
-                        0,
-                        &mut out,
-                    )?;
-                }
-                debug_assert!(out.len() <= su_bytes);
-                let pba = self.layout.phys_geometry().zone_start(phys_zone) + stripe * su;
-                let w = replacement.write(reads_done, pba, &out, WriteFlags::default())?;
-                last_write = last_write.max(w.done);
-                bytes += out.len() as u64;
-                cursor = reads_done;
+                let pri = match z.state {
+                    ZoneState::ImplicitlyOpen | ZoneState::ExplicitlyOpen | ZoneState::Closed => 0,
+                    _ => 1,
+                };
+                order.push((lz, pri));
             }
-            // Seal the replacement's zone to match the logical state.
-            let zstate = st.lzones[lzone as usize].state;
-            if zstate == ZoneState::Full {
-                replacement.finish_zone(last_write, phys_zone)?;
-            }
-            zones_rebuilt += 1;
-        }
+            order.sort_by_key(|&(_, pri)| pri);
 
-        // Replicated metadata goes onto the fresh device.
-        {
-            let sb = self.superblock_record(st, failed, false);
-            let gens = self.gen_records(st, false);
-            let mut t = last_write;
-            let c = replacement.append(t, 0, &sb.encode(), WriteFlags::FUA)?;
-            t = c.done;
-            for rec in gens {
-                let c = replacement.append(t, 0, &rec.encode(), WriteFlags::FUA)?;
-                t = c.done;
+            for (lzone, _) in order {
+                let mut z = self.lock_shard(lzone);
+                let wp = z.wp;
+                let phys_zone = self.layout.phys_zone(lzone);
+                let full_stripes = wp / self.layout.stripe_data_sectors();
+                let tail = wp % self.layout.stripe_data_sectors();
+                let max_stripe = full_stripes + if tail > 0 { 1 } else { 0 };
+                for stripe in 0..max_stripe {
+                    let complete = stripe < full_stripes;
+                    // What does the replacement hold for this stripe?
+                    let needed: u64 = match self.layout.unit_of_device(lzone, stripe, failed as u32)
+                    {
+                        None => {
+                            // Parity slot: present only for complete stripes.
+                            if complete {
+                                su
+                            } else {
+                                0
+                            }
+                        }
+                        Some(k) => {
+                            if complete {
+                                su
+                            } else {
+                                tail.saturating_sub(k * su).min(su)
+                            }
+                        }
+                    };
+                    if needed == 0 {
+                        continue;
+                    }
+                    let mut out = vec![0u8; (needed * SECTOR_SIZE) as usize];
+                    let reads_done;
+                    let healed = {
+                        let mut m = self.lock_meta();
+                        let rel = m.relocated.remove(&(lzone, stripe, failed as u32));
+                        if rel.is_some() {
+                            self.sync_relocated_count(&m);
+                        }
+                        rel
+                    };
+                    if let Some(rel) = healed {
+                        // Heal the relocation: the true data returns to its
+                        // arithmetic slot on the fresh device.
+                        let len = out.len();
+                        out.copy_from_slice(&rel.data[..len]);
+                        reads_done = cursor;
+                        z.conflicts.remove(&(stripe, failed as u32));
+                    } else if !complete {
+                        // Incomplete stripe: serve from the stripe buffer.
+                        let k = self
+                            .layout
+                            .unit_of_device(lzone, stripe, failed as u32)
+                            .ok_or_else(|| internal("parity slot handled above"))?;
+                        match &z.buffer {
+                            Some(buf) if buf.stripe() == stripe => {
+                                let len = out.len();
+                                out.copy_from_slice(&buf.unit_data(k)[..len]);
+                            }
+                            _ => {
+                                // No buffer (e.g. finished zone): reconstruct
+                                // readable rows from surviving devices is not
+                                // possible without parity; read from survivors
+                                // directly is not possible either (this IS the
+                                // missing device). Treat as zeros.
+                            }
+                        }
+                        reads_done = cursor;
+                    } else {
+                        reads_done = self.reconstruct_slot_rows(
+                            &devices,
+                            cursor,
+                            lzone,
+                            stripe,
+                            failed as u32,
+                            0,
+                            &mut out,
+                        )?;
+                    }
+                    debug_assert!(out.len() <= su_bytes);
+                    let pba = self.layout.phys_geometry().zone_start(phys_zone) + stripe * su;
+                    let w = replacement.write(reads_done, pba, &out, WriteFlags::default())?;
+                    last_write = last_write.max(w.done);
+                    bytes += out.len() as u64;
+                    cursor = reads_done;
+                }
+                // Seal the replacement's zone to match the logical state.
+                if z.state == ZoneState::Full {
+                    replacement.finish_zone(last_write, phys_zone)?;
+                }
+                zones_rebuilt += 1;
             }
-            last_write = last_write.max(t);
+
+            // Replicated metadata goes onto the fresh device.
+            {
+                let mut m = self.lock_meta();
+                let sb = self.superblock_record(devices.len(), failed, false);
+                let gens = self.gen_records(&m, false);
+                let mut t = last_write;
+                let c = replacement.append(t, 0, &sb.encode(), WriteFlags::FUA)?;
+                t = c.done;
+                for rec in gens {
+                    let c = replacement.append(t, 0, &rec.encode(), WriteFlags::FUA)?;
+                    t = c.done;
+                }
+                last_write = last_write.max(t);
+                m.md[failed] = MdRoles {
+                    general: 0,
+                    pplog: 1,
+                    swaps: (2..self.layout.md_zones()).collect(),
+                };
+            }
         }
-        st.md[failed] = MdRoles {
-            general: 0,
-            pplog: 1,
-            swaps: (2..self.layout.md_zones()).collect(),
-        };
-        st.devices[failed] = replacement;
-        st.failed = None;
-        st.device_errors[failed] = 0;
-        st.stats.rebuild_bytes += bytes;
+        // Swap in the replacement: the only writer of the device table.
+        {
+            let mut devs = self.devices.write();
+            devs[failed] = replacement;
+        }
+        self.failed.store(NO_DEVICE, Ordering::Release);
+        self.device_errors[failed].store(0, Ordering::Relaxed);
+        AtomicRaiznStats::add(&self.stats.rebuild_bytes, bytes);
         Ok(RebuildReport {
             duration: last_write.since(at),
             bytes_written: bytes,
@@ -1954,12 +2283,11 @@ impl ZonedVolume for RaiznVolume {
         }
         let lzone = lgeo.zone_of(lba);
         let rel0 = lgeo.offset_in_zone(lba);
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        let z_wp = st.lzones[lzone as usize].wp;
-        if rel0 + sectors > z_wp {
+        let devices = self.devices.read();
+        let mut z = self.lock_shard(lzone);
+        if rel0 + sectors > z.wp {
             return Err(ZnsError::ReadUnwritten {
-                lba: lgeo.zone_start(lzone) + z_wp,
+                lba: lgeo.zone_start(lzone) + z.wp,
             });
         }
         let su = self.layout.stripe_unit();
@@ -1974,13 +2302,12 @@ impl ZonedVolume for RaiznVolume {
             let row0 = within % su;
             let rows = (su - row0).min(rel0 + sectors - cursor);
             let out = &mut buf[off..off + (rows * SECTOR_SIZE) as usize];
-            let t = self.read_slot_rows(st, at, lzone, stripe, unit, row0, out)?;
+            let t = self.read_slot_rows(&mut z, &devices, at, lzone, stripe, unit, row0, out)?;
             done = done.max(t);
             cursor += rows;
             off += (rows * SECTOR_SIZE) as usize;
         }
-        trace_span(
-            st,
+        self.trace_span(
             obs::OpClass::Read,
             obs::Stage::WholeOp,
             None,
@@ -2012,17 +2339,19 @@ impl ZonedVolume for RaiznVolume {
             [] => Ok(IoCompletion { done: at }),
             [only] => self.do_write(at, lba, only, flags),
             _ => {
-                let mut scratch = std::mem::take(&mut self.state.lock().gather_scratch);
+                let mut scratch = std::mem::take(&mut self.lock_meta().gather_scratch);
                 scratch.clear();
                 for seg in segments {
                     scratch.extend_from_slice(seg);
                 }
                 let r = self.do_write(at, lba, &scratch, flags);
-                let mut st = self.state.lock();
-                st.gather_scratch = scratch;
+                self.lock_meta().gather_scratch = scratch;
                 if r.is_ok() {
-                    st.stats.gather_writes += 1;
-                    st.stats.gather_segments_merged += segments.len() as u64 - 1;
+                    AtomicRaiznStats::add(&self.stats.gather_writes, 1);
+                    AtomicRaiznStats::add(
+                        &self.stats.gather_segments_merged,
+                        segments.len() as u64 - 1,
+                    );
                 }
                 r
             }
@@ -2044,8 +2373,8 @@ impl ZonedVolume for RaiznVolume {
             });
         }
         let lba = {
-            let st = self.state.lock();
-            lgeo.zone_start(zone) + st.lzones[zone as usize].wp
+            let z = self.lock_shard(zone);
+            lgeo.zone_start(zone) + z.wp
         };
         let c = self.do_write(at, lba, data, flags)?;
         Ok(AppendCompletion { lba, done: c.done })
@@ -2059,25 +2388,27 @@ impl ZonedVolume for RaiznVolume {
                 sectors: 0,
             });
         }
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        if st.read_only {
+        let devices = self.devices.read();
+        let mut z = self.lock_shard(zone);
+        if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
         // WAL first (§5.2): the reset must be replayable before any
         // physical zone is touched.
-        let t = self.log_reset_intent(st, at, zone)?;
+        let t = {
+            let mut m = self.lock_meta();
+            self.log_reset_intent(&mut m, &devices, at, zone)?
+        };
         let phys = self.layout.phys_zone(zone);
         let mut done = t;
-        for i in 0..st.devices.len() {
-            if st.failed == Some(i) {
+        for i in 0..devices.len() {
+            if self.is_failed(i) {
                 continue;
             }
-            done = done.max(self.reset_phys_with_retry(st, t, i, phys)?);
+            done = done.max(self.reset_phys_with_retry(&devices, t, i, phys)?);
         }
-        done = done.max(self.finish_reset(st, done, zone)?);
-        trace_span(
-            st,
+        done = done.max(self.finish_reset(&mut z, &devices, done, zone)?);
+        self.trace_span(
             obs::OpClass::Reset,
             obs::Stage::WholeOp,
             None,
@@ -2098,9 +2429,9 @@ impl ZonedVolume for RaiznVolume {
                 sectors: 0,
             });
         }
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        if st.read_only {
+        let devices = self.devices.read();
+        let mut z = self.lock_shard(zone);
+        if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
         let mut done = at;
@@ -2109,45 +2440,46 @@ impl ZonedVolume for RaiznVolume {
         // detached for the duration of the write so its parity can be
         // passed as a borrowed slice, then reattached (rebuild still
         // consults it for the incomplete stripe).
-        let taken = st.lzones[zone as usize].buffer.take();
-        let r = (|| -> Result<()> {
-            if let Some(buf) = &taken {
-                if buf.filled_sectors() > 0 {
-                    let rows = buf.filled_sectors().min(self.layout.stripe_unit());
-                    let stripe = buf.stripe();
-                    let pdev = self.layout.parity_device(zone, stripe);
-                    let t = self.store_slot_rows(
-                        st,
-                        at,
-                        zone,
-                        stripe,
-                        pdev,
-                        0,
-                        &buf.parity()[..(rows * SECTOR_SIZE) as usize],
-                        WriteFlags::default(),
-                    )?;
-                    done = done.max(t);
-                    st.stats.full_parity_writes += 1;
-                    bump(st, obs::Counter::FullParityWrites);
+        let taken = z.buffer.take();
+        let mut seal_result: Result<()> = Ok(());
+        if let Some(buf) = &taken {
+            if buf.filled_sectors() > 0 {
+                let rows = buf.filled_sectors().min(self.layout.stripe_unit());
+                let stripe = buf.stripe();
+                let pdev = self.layout.parity_device(zone, stripe);
+                match self.store_slot_rows(
+                    &mut z,
+                    &devices,
+                    at,
+                    zone,
+                    stripe,
+                    pdev,
+                    0,
+                    &buf.parity()[..(rows * SECTOR_SIZE) as usize],
+                    WriteFlags::default(),
+                ) {
+                    Ok(t) => {
+                        done = done.max(t);
+                        AtomicRaiznStats::add(&self.stats.full_parity_writes, 1);
+                        self.bump(obs::Counter::FullParityWrites);
+                    }
+                    Err(e) => seal_result = Err(e),
                 }
             }
-            Ok(())
-        })();
-        st.lzones[zone as usize].buffer = taken;
-        r?;
+        }
+        z.buffer = taken;
+        seal_result?;
         let phys = self.layout.phys_zone(zone);
-        for (i, dev) in st.devices.iter().enumerate() {
-            if st.failed == Some(i) {
+        for (i, dev) in devices.iter().enumerate() {
+            if self.is_failed(i) {
                 continue;
             }
             done = done.max(dev.finish_zone(at, phys)?.done);
         }
-        let wp = st.lzones[zone as usize].wp;
-        let z = &mut st.lzones[zone as usize];
         z.state = ZoneState::Full;
+        let wp = z.wp;
         z.pbitmap.mark_persisted_below(wp);
-        trace_span(
-            st,
+        self.trace_span(
             obs::OpClass::Finish,
             obs::Stage::WholeOp,
             None,
@@ -2168,17 +2500,17 @@ impl ZonedVolume for RaiznVolume {
                 sectors: 0,
             });
         }
-        let mut st = self.state.lock();
-        let st = &mut *st;
+        let devices = self.devices.read();
+        let mut z = self.lock_shard(zone);
         let phys = self.layout.phys_zone(zone);
         let mut done = at;
-        for (i, dev) in st.devices.iter().enumerate() {
-            if st.failed == Some(i) {
+        for (i, dev) in devices.iter().enumerate() {
+            if self.is_failed(i) {
                 continue;
             }
             done = done.max(dev.open_zone(at, phys)?.done);
         }
-        st.lzones[zone as usize].state = ZoneState::ExplicitlyOpen;
+        z.state = ZoneState::ExplicitlyOpen;
         Ok(IoCompletion { done })
     }
 
@@ -2190,22 +2522,19 @@ impl ZonedVolume for RaiznVolume {
                 sectors: 0,
             });
         }
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        {
-            let z = &st.lzones[zone as usize];
-            if !z.state.is_open() {
-                return Err(ZnsError::BadZoneState {
-                    zone,
-                    state: z.state.name(),
-                    op: "close",
-                });
-            }
+        let devices = self.devices.read();
+        let mut z = self.lock_shard(zone);
+        if !z.state.is_open() {
+            return Err(ZnsError::BadZoneState {
+                zone,
+                state: z.state.name(),
+                op: "close",
+            });
         }
         let phys = self.layout.phys_zone(zone);
         let mut done = at;
-        for (i, dev) in st.devices.iter().enumerate() {
-            if st.failed == Some(i) {
+        for (i, dev) in devices.iter().enumerate() {
+            if self.is_failed(i) {
                 continue;
             }
             // Physical zones that were never written cannot be closed;
@@ -2216,7 +2545,6 @@ impl ZonedVolume for RaiznVolume {
                 Err(e) => return Err(e),
             }
         }
-        let z = &mut st.lzones[zone as usize];
         z.state = if z.wp == 0 {
             ZoneState::Empty
         } else {
@@ -2226,9 +2554,8 @@ impl ZonedVolume for RaiznVolume {
     }
 
     fn flush(&self, at: SimTime) -> Result<IoCompletion> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        let done = self.flush_all(st, at)?;
+        let devices = self.devices.read();
+        let done = self.flush_all(&devices, at)?;
         Ok(IoCompletion { done })
     }
 
@@ -2240,8 +2567,7 @@ impl ZonedVolume for RaiznVolume {
                 sectors: 0,
             });
         }
-        let st = self.state.lock();
-        let z = &st.lzones[zone as usize];
+        let z = self.lock_shard(zone);
         Ok(ZoneInfo {
             zone,
             state: z.state,
@@ -2259,53 +2585,65 @@ impl obs::GaugeSource for RaiznVolume {
 
     /// Instantaneous array state: relocation backlog, degraded flag and
     /// metadata-path counters volume-wide, plus per-device error-budget
-    /// headroom and metadata-zone utilization (general + pp-log zone fill,
-    /// the input to the §4.3 metadata GC policy).
+    /// headroom, metadata-zone utilization (general + pp-log zone fill,
+    /// the input to the §4.3 metadata GC policy), and — new with the
+    /// sharded pipeline — per-lock-domain contention gauges (id 0 = zone
+    /// shards, id 1 = global metadata).
     fn sample_gauges(&self, out: &mut Vec<obs::GaugeReading>) {
-        let st = self.state.lock();
         out.push(obs::GaugeReading::new(
             "relocation_backlog",
             obs::NONE,
-            st.relocated.len() as f64,
+            self.relocated_len.load(Ordering::Acquire) as f64,
         ));
         out.push(obs::GaugeReading::new(
             "degraded",
             obs::NONE,
-            if st.failed.is_some() { 1.0 } else { 0.0 },
+            if self.failed_idx().is_some() {
+                1.0
+            } else {
+                0.0
+            },
         ));
+        let s = self.stats.snapshot();
         out.push(obs::GaugeReading::new(
             "pp_log_entries",
             obs::NONE,
-            st.stats.pp_log_entries as f64,
+            s.pp_log_entries as f64,
         ));
         out.push(obs::GaugeReading::new(
             "md_appends",
             obs::NONE,
-            st.stats.md_appends as f64,
+            s.md_appends as f64,
         ));
         out.push(obs::GaugeReading::new(
             "transient_retries",
             obs::NONE,
-            st.stats.transient_retries as f64,
+            s.transient_retries as f64,
         ));
         let budget = self.config.device_error_budget;
-        for (d, (dev, roles)) in st.devices.iter().zip(st.md.iter()).enumerate() {
-            out.push(obs::GaugeReading::new(
-                "error_budget_remaining",
-                d as u32,
-                budget.saturating_sub(st.device_errors[d]) as f64,
-            ));
-            // Consistent volume -> device lock order (same as the IO path).
-            let zone_fill = |zone: u32| -> u64 {
-                dev.zone_info(zone)
-                    .map(|zi| zi.write_pointer - zi.start)
-                    .unwrap_or(0)
-            };
-            out.push(obs::GaugeReading::new(
-                "md_zone_used_sectors",
-                d as u32,
-                (zone_fill(roles.general) + zone_fill(roles.pplog)) as f64,
-            ));
+        {
+            let devices = self.devices.read();
+            let m = self.lock_meta();
+            for (d, (dev, roles)) in devices.iter().zip(m.md.iter()).enumerate() {
+                out.push(obs::GaugeReading::new(
+                    "error_budget_remaining",
+                    d as u32,
+                    budget.saturating_sub(self.device_errors[d].load(Ordering::Relaxed)) as f64,
+                ));
+                // Consistent meta -> device lock order (same as the IO path).
+                let zone_fill = |zone: u32| -> u64 {
+                    dev.zone_info(zone)
+                        .map(|zi| zi.write_pointer - zi.start)
+                        .unwrap_or(0)
+                };
+                out.push(obs::GaugeReading::new(
+                    "md_zone_used_sectors",
+                    d as u32,
+                    (zone_fill(roles.general) + zone_fill(roles.pplog)) as f64,
+                ));
+            }
         }
+        self.shard_locks.sample_gauges(0, out);
+        self.meta_locks.sample_gauges(1, out);
     }
 }

@@ -47,6 +47,11 @@ const NONE32: u32 = u32::MAX;
 pub struct ConvSsd {
     config: FtlConfig,
     inner: Mutex<Inner>,
+    /// Wall-clock contention statistics for the device lock — the
+    /// conventional baseline serializes every command behind one mutex
+    /// (unlike the sharded RAIZN write path), and these gauges make that
+    /// serialization visible next to the array's shard/meta lock gauges.
+    locks: obs::LockStats,
 }
 
 #[derive(Debug)]
@@ -156,6 +161,7 @@ impl ConvSsd {
                 dev_id: 0,
             }),
             config,
+            locks: obs::LockStats::new(),
         }
     }
 
@@ -164,7 +170,7 @@ impl ConvSsd {
     /// stalls are surfaced as [`obs::Counter::GcStalls`] /
     /// [`obs::Counter::GcStallNanos`].
     pub fn set_recorder(&self, recorder: std::sync::Arc<obs::Recorder>, dev_id: u32) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locks.lock(&self.inner);
         inner.recorder = Some(recorder);
         inner.dev_id = dev_id;
     }
@@ -176,23 +182,23 @@ impl ConvSsd {
 
     /// FTL statistics (write amplification, GC stalls).
     pub fn ftl_stats(&self) -> FtlStats {
-        self.inner.lock().stats
+        self.locks.lock(&self.inner).stats
     }
 
     /// Marks the device failed; all subsequent IO returns
     /// [`ZnsError::DeviceFailed`].
     pub fn fail(&self) {
-        self.inner.lock().failed = true;
+        self.locks.lock(&self.inner).failed = true;
     }
 
     /// Whether the device is failed.
     pub fn is_failed(&self) -> bool {
-        self.inner.lock().failed
+        self.locks.lock(&self.inner).failed
     }
 
     /// Number of currently free erase blocks (test observability).
     pub fn free_blocks(&self) -> usize {
-        self.inner.lock().free_list.len()
+        self.locks.lock(&self.inner).free_list.len()
     }
 
     fn check_range(&self, lba: Lba, sectors: u64) -> Result<()> {
@@ -378,7 +384,7 @@ impl BlockDevice for ConvSsd {
     fn read(&self, at: SimTime, lba: Lba, buf: &mut [u8]) -> Result<IoCompletion> {
         let sectors = Self::sector_count(buf.len())?;
         self.check_range(lba, sectors)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.locks.lock(&self.inner);
         if inner.failed {
             return Err(ZnsError::DeviceFailed);
         }
@@ -414,7 +420,7 @@ impl BlockDevice for ConvSsd {
         self.check_range(lba, sectors)?;
         let ppb = self.config.pages_per_block;
         let gc_low = self.config.gc_low_blocks;
-        let mut inner = self.inner.lock();
+        let mut inner = self.locks.lock(&self.inner);
         if inner.failed {
             return Err(ZnsError::DeviceFailed);
         }
@@ -484,7 +490,7 @@ impl BlockDevice for ConvSsd {
     fn trim(&self, at: SimTime, lba: Lba, sectors: u64) -> Result<IoCompletion> {
         self.check_range(lba, sectors)?;
         let ppb = self.config.pages_per_block;
-        let mut inner = self.inner.lock();
+        let mut inner = self.locks.lock(&self.inner);
         if inner.failed {
             return Err(ZnsError::DeviceFailed);
         }
@@ -507,7 +513,7 @@ impl BlockDevice for ConvSsd {
     }
 
     fn flush(&self, at: SimTime) -> Result<IoCompletion> {
-        let inner = self.inner.lock();
+        let inner = self.locks.lock(&self.inner);
         if inner.failed {
             return Err(ZnsError::DeviceFailed);
         }
@@ -541,7 +547,7 @@ impl obs::GaugeSource for ConvSsd {
     /// time), write amplification, and the free-block pool — the gauges
     /// that make the conventional-SSD throughput collapse explainable.
     fn sample_gauges(&self, out: &mut Vec<obs::GaugeReading>) {
-        let inner = self.inner.lock();
+        let inner = self.locks.lock(&self.inner);
         let d = inner.dev_id;
         let free = inner.free_list.len();
         let total = inner.blocks.len().max(1);
@@ -572,6 +578,8 @@ impl obs::GaugeSource for ConvSsd {
             d,
             inner.stats.host_pages_written as f64,
         ));
+        drop(inner);
+        self.locks.sample_gauges(d, out);
     }
 }
 

@@ -203,7 +203,7 @@ mod tests {
         .unwrap();
         let mut out = Vec::new();
         s.sample_gauges(&mut out);
-        assert_eq!(out.len(), 10, "5 gauges x 2 tenants");
+        assert_eq!(out.len(), 13, "5 gauges x 2 tenants + 3 lock gauges");
         let mut again = Vec::new();
         s.sample_gauges(&mut again);
         assert_eq!(

@@ -85,13 +85,19 @@ struct Inner {
 /// write coalescing.
 ///
 /// Drive it with [`workloads::Engine::run_shared`], or directly through
-/// the [`SharedScheduler`] trait. All state sits behind one mutex; the
-/// scheduler is deterministic given a deterministic call sequence.
+/// the [`SharedScheduler`] trait. All state sits behind one mutex and
+/// every method takes `&self`, so multiple engine workers may submit
+/// concurrently; dispatch order is then serialized by the mutex and
+/// deterministic only for a deterministic call sequence (the benchmarks
+/// drive it single-threaded for exactly that reason). Contention on the
+/// scheduler mutex is surfaced through the same `lock_*` gauges as the
+/// RAIZN volume's shard and meta locks.
 pub struct QosScheduler {
     target: Arc<dyn IoTarget>,
     config: QosConfig,
     recorder: Option<Arc<obs::Recorder>>,
     inner: Mutex<Inner>,
+    locks: obs::LockStats,
 }
 
 impl std::fmt::Debug for QosScheduler {
@@ -151,6 +157,7 @@ impl QosScheduler {
                 ..config
             },
             recorder: None,
+            locks: obs::LockStats::new(),
             inner: Mutex::new(Inner {
                 tenants: states,
                 slots,
@@ -175,12 +182,12 @@ impl QosScheduler {
 
     /// Number of registered tenants.
     pub fn tenant_count(&self) -> usize {
-        self.inner.lock().tenants.len()
+        self.locks.lock(&self.inner).tenants.len()
     }
 
     /// Per-tenant accounting snapshots, in registration order.
     pub fn stats(&self) -> Vec<TenantSnapshot> {
-        let inner = self.inner.lock();
+        let inner = self.locks.lock(&self.inner);
         inner
             .tenants
             .iter()
@@ -199,13 +206,13 @@ impl QosScheduler {
 
     /// Current device service-latency EWMA (the congestion signal).
     pub fn service_ewma(&self) -> SimDuration {
-        SimDuration::from_nanos(self.inner.lock().ewma_service_ns as u64)
+        SimDuration::from_nanos(self.locks.lock(&self.inner).ewma_service_ns as u64)
     }
 
     /// Whether the congestion signal currently exceeds its threshold.
     pub fn congested(&self) -> bool {
         let t = self.config.congestion_threshold.as_nanos();
-        t > 0 && self.inner.lock().ewma_service_ns as u64 > t
+        t > 0 && self.locks.lock(&self.inner).ewma_service_ns as u64 > t
     }
 
     fn congested_locked(&self, inner: &Inner) -> bool {
@@ -234,7 +241,7 @@ impl QosScheduler {
         sectors: u64,
         data: Option<&[u8]>,
     ) -> Result<Admission> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locks.lock(&self.inner);
         let inner = &mut *inner;
         let ti = tenant as usize;
         if ti >= inner.tenants.len() {
@@ -370,7 +377,7 @@ impl SharedScheduler for QosScheduler {
     }
 
     fn step(&self, out: &mut Vec<SchedCompletion>) -> Result<bool> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locks.lock(&self.inner);
         let inner = &mut *inner;
 
         // Earliest instant any head could dispatch (arrival + tokens).
@@ -559,7 +566,7 @@ impl obs::GaugeSource for QosScheduler {
     }
 
     fn sample_gauges(&self, out: &mut Vec<obs::GaugeReading>) {
-        let inner = self.inner.lock();
+        let inner = self.locks.lock(&self.inner);
         let total_completed: u64 = inner.tenants.iter().map(|t| t.totals.completed).sum();
         for (i, t) in inner.tenants.iter().enumerate() {
             let dev = i as u32;
@@ -591,5 +598,7 @@ impl obs::GaugeSource for QosScheduler {
             };
             out.push(obs::GaugeReading::new("coalesce_ratio", dev, ratio));
         }
+        drop(inner);
+        self.locks.sample_gauges(0, out);
     }
 }

@@ -12,6 +12,9 @@
 //! - [`ChannelModel`]: a channel-parallel service-time model that turns
 //!   byte counts into completion times, approximating the internal
 //!   parallelism of an SSD.
+//! - [`OccupancyModel`]: the lock-free discrete-event generalization with
+//!   per-channel/way/plane `next_avail_time`, shareable across worker
+//!   threads without a device mutex.
 //! - [`Histogram`]: a log-linear latency histogram with percentile queries
 //!   (an HdrHistogram-style structure, sufficient for p50/p99/p99.9).
 //! - [`Timeseries`]: a throughput sampler for timeseries plots (Fig. 10).
@@ -37,6 +40,7 @@
 
 mod histogram;
 mod latency;
+mod occupancy;
 mod rng;
 mod series;
 mod stats;
@@ -45,6 +49,7 @@ pub mod xor;
 
 pub use histogram::Histogram;
 pub use latency::ChannelModel;
+pub use occupancy::OccupancyModel;
 pub use rng::SimRng;
 pub use series::{Timeseries, TimeseriesPoint};
 pub use stats::Summary;

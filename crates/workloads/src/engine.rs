@@ -6,8 +6,65 @@ use crate::target::{io_buffer, IoTarget};
 use sim::{Histogram, SimDuration, SimRng, SimTime, Timeseries, TimeseriesPoint};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use zns::{Result, ZnsError, SECTOR_SIZE};
+
+/// Live pipeline occupancy gauge: how many IOs the engine currently keeps
+/// in flight across all jobs (and the high-water mark). Attach with
+/// [`Engine::depth_gauge`] and register on an [`obs::Timeline`] to get a
+/// `pipeline_queue_depth` series; multi-threaded runs share one gauge
+/// across workers.
+#[derive(Debug, Default)]
+pub struct PipelineDepth {
+    cur: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl PipelineDepth {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Current in-flight IO count.
+    pub fn current(&self) -> u64 {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// Highest in-flight IO count observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    fn enter(&self) {
+        let now = self.cur.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn exit(&self) {
+        self.cur.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl obs::GaugeSource for PipelineDepth {
+    fn source_label(&self) -> &'static str {
+        "engine"
+    }
+
+    fn sample_gauges(&self, out: &mut Vec<obs::GaugeReading>) {
+        out.push(obs::GaugeReading::new(
+            "pipeline_queue_depth",
+            obs::NONE,
+            self.current() as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "pipeline_queue_depth_peak",
+            obs::NONE,
+            self.peak() as f64,
+        ));
+    }
+}
 
 /// Operation type of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,11 +276,13 @@ impl JobState {
 #[derive(Debug)]
 pub struct Engine {
     rng: SimRng,
+    seed: u64,
     start: SimTime,
     sample: Option<SimDuration>,
     time_limit: Option<SimDuration>,
     recorder: Option<Arc<obs::Recorder>>,
     timeline: Option<Arc<obs::Timeline>>,
+    depth: Option<Arc<PipelineDepth>>,
 }
 
 impl Engine {
@@ -231,12 +290,21 @@ impl Engine {
     pub fn new(seed: u64) -> Self {
         Engine {
             rng: SimRng::new(seed),
+            seed,
             start: SimTime::ZERO,
             sample: None,
             time_limit: None,
             recorder: None,
             timeline: None,
+            depth: None,
         }
+    }
+
+    /// Attaches a shared [`PipelineDepth`] gauge the run updates on every
+    /// issue and retire.
+    pub fn depth_gauge(mut self, gauge: Arc<PipelineDepth>) -> Self {
+        self.depth = Some(gauge);
+        self
     }
 
     /// Attaches an observability recorder: every issued IO lands on it as
@@ -385,6 +453,9 @@ impl Engine {
                     break;
                 };
                 job.frontier = job.frontier.max(SimTime::from_nanos(done));
+                if let Some(g) = self.depth.as_ref() {
+                    g.exit();
+                }
             }
             let issue = job.frontier.max(issue);
 
@@ -429,10 +500,20 @@ impl Engine {
                 ls.record(done, lat);
             }
             job.in_flight.push(Reverse(done.as_nanos()));
+            if let Some(g) = self.depth.as_ref() {
+                g.enter();
+            }
             job.remaining -= 1;
             total_ops += 1;
             total_bytes += bytes as u64;
             end = end.max(done);
+        }
+        if let Some(g) = self.depth.as_ref() {
+            for job in &states {
+                for _ in 0..job.in_flight.len() {
+                    g.exit();
+                }
+            }
         }
 
         Ok(RunReport {
@@ -442,6 +523,100 @@ impl Engine {
             latency,
             throughput_series: ts.map(|t| t.points()),
             latency_series: ls.map(|l| l.points()),
+            end,
+            jobs: per_job,
+        })
+    }
+
+    /// Runs `jobs` against `target` on `threads` OS threads: worker `w`
+    /// owns the jobs whose index is congruent to `w` modulo `threads` and
+    /// drives them with its own closed loop and a private RNG stream
+    /// ([`SimRng::new_stream`] of this engine's seed). Workers merge back
+    /// in worker order and per-job reports land at their original indices,
+    /// so the logical outcome (ops, bytes, read-back data) of a given
+    /// `(seed, jobs, threads)` triple is reproducible; per-IO virtual
+    /// latencies may differ across runs when workers contend for the same
+    /// device service units.
+    ///
+    /// Jobs should target disjoint regions (for zoned targets: disjoint
+    /// zones) — RAIZN serializes same-zone writers, and the zone-reset
+    /// heuristic of [`ZonedTarget`](crate::ZonedTarget) is not atomic
+    /// across racing jobs. Timeseries sampling is disabled for workers;
+    /// the recorder, timeline and depth gauge (all thread-safe) are
+    /// shared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker error (lowest worker index wins).
+    pub fn run_threaded(
+        &self,
+        target: &dyn IoTarget,
+        jobs: &[JobSpec],
+        threads: usize,
+    ) -> Result<RunReport> {
+        let threads = threads.max(1).min(jobs.len().max(1));
+        if threads == 1 {
+            // Degenerate case: keep the exact single-threaded loop (and
+            // its bit-identical op order).
+            return Engine {
+                rng: SimRng::new_stream(self.seed, 0),
+                seed: self.seed,
+                start: self.start,
+                sample: None,
+                time_limit: self.time_limit,
+                recorder: self.recorder.clone(),
+                timeline: self.timeline.clone(),
+                depth: self.depth.clone(),
+            }
+            .run(target, jobs);
+        }
+        let results: Vec<Result<RunReport>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let subset: Vec<JobSpec> =
+                        jobs.iter().skip(w).step_by(threads).cloned().collect();
+                    let mut worker = Engine {
+                        rng: SimRng::new_stream(self.seed, w as u64),
+                        seed: self.seed,
+                        start: self.start,
+                        sample: None,
+                        time_limit: self.time_limit,
+                        recorder: self.recorder.clone(),
+                        timeline: self.timeline.clone(),
+                        depth: self.depth.clone(),
+                    };
+                    scope.spawn(move || worker.run(target, &subset))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        // Deterministic merge: workers in index order, each job report back
+        // at its original position.
+        let mut per_job: Vec<JobReport> = jobs.iter().map(|_| JobReport::default()).collect();
+        let mut latency = Histogram::new();
+        let mut total_ops = 0u64;
+        let mut total_bytes = 0u64;
+        let mut end = self.start;
+        for (w, result) in results.into_iter().enumerate() {
+            let report = result?;
+            for (k, jr) in report.jobs.into_iter().enumerate() {
+                per_job[w + k * threads] = jr;
+            }
+            latency.merge(&report.latency);
+            total_ops += report.total_ops;
+            total_bytes += report.total_bytes;
+            end = end.max(report.end);
+        }
+        Ok(RunReport {
+            total_ops,
+            total_bytes,
+            duration: end.saturating_since(self.start),
+            latency,
+            throughput_series: None,
+            latency_series: None,
             end,
             jobs: per_job,
         })
@@ -626,7 +801,7 @@ mod tests {
     use super::*;
     use crate::target::ZonedTarget;
     use std::sync::Arc;
-    use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
+    use zns::{LatencyConfig, ZnsConfig, ZnsDevice, ZonedVolume};
 
     fn timed_device() -> Arc<ZnsDevice> {
         Arc::new(ZnsDevice::new(
@@ -753,6 +928,76 @@ mod tests {
         // Write pointer advances monotonically across samples.
         assert!(wp.points.windows(2).all(|w| w[0].1 <= w[1].1));
         assert!(wp.points.last().unwrap().1 > 0.0);
+    }
+
+    #[test]
+    fn threaded_run_matches_job_totals() {
+        let t = ZonedTarget::new(timed_device());
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| {
+                JobSpec::new(OpKind::Write, Pattern::Sequential, 64)
+                    .region(i * 1024, (i + 1) * 1024)
+                    .queue_depth(4)
+            })
+            .collect();
+        let report = Engine::new(21).run_threaded(&t, &jobs, 4).unwrap();
+        assert_eq!(report.total_ops, 64);
+        assert_eq!(report.total_bytes, 64 * 64 * 4096);
+        assert_eq!(report.jobs.len(), 4);
+        for jr in &report.jobs {
+            assert_eq!(jr.ops, 16);
+        }
+        assert_eq!(report.latency.count(), 64);
+    }
+
+    #[test]
+    fn threaded_run_deterministic_logical_outcome() {
+        let run_once = || {
+            let dev = Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(16, 1024, 1024)
+                    .open_limits(8, 12)
+                    .latency(LatencyConfig::zns_ssd())
+                    .build(),
+            ));
+            let t = ZonedTarget::new(dev.clone());
+            let jobs: Vec<JobSpec> = (0..4)
+                .map(|i| {
+                    JobSpec::new(OpKind::Write, Pattern::Sequential, 32)
+                        .region(i * 2048, (i + 1) * 2048)
+                        .queue_depth(2)
+                })
+                .collect();
+            let report = Engine::new(33).run_threaded(&t, &jobs, 4).unwrap();
+            let wps: Vec<u64> = (0..16)
+                .map(|z| dev.zone_info(z).unwrap().write_pointer)
+                .collect();
+            (report.total_ops, report.total_bytes, wps)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn depth_gauge_tracks_in_flight() {
+        let t = ZonedTarget::new(timed_device());
+        let gauge = PipelineDepth::new();
+        let job = JobSpec::new(OpKind::Write, Pattern::Sequential, 64)
+            .region(0, 4096)
+            .queue_depth(8);
+        Engine::new(13)
+            .depth_gauge(gauge.clone())
+            .run(&t, &[job])
+            .unwrap();
+        assert_eq!(gauge.current(), 0, "all IOs retired at run end");
+        assert!(
+            gauge.peak() >= 1 && gauge.peak() <= 8,
+            "peak {}",
+            gauge.peak()
+        );
+        let mut out = Vec::new();
+        obs::GaugeSource::sample_gauges(&*gauge, &mut out);
+        assert!(out.iter().any(|g| g.gauge == "pipeline_queue_depth"));
+        assert!(out.iter().any(|g| g.gauge == "pipeline_queue_depth_peak"));
     }
 
     #[test]

@@ -13,6 +13,13 @@ use sim::SimDuration;
 pub struct LatencyConfig {
     /// Number of parallel flash channels.
     pub channels: usize,
+    /// Ways (dies per channel). With `planes`, multiplies the channel
+    /// count into `channels × ways × planes` independent service units of
+    /// the occupancy model. `1` preserves the original channel-only model
+    /// (and its exact timings).
+    pub ways: usize,
+    /// Planes per die; see [`ways`](Self::ways).
+    pub planes: usize,
     /// Channel-split granularity in sectors (models internal striping of
     /// large host IOs).
     pub chunk_sectors: u64,
@@ -40,6 +47,8 @@ impl LatencyConfig {
     pub fn zns_ssd() -> Self {
         LatencyConfig {
             channels: 8,
+            ways: 1,
+            planes: 1,
             chunk_sectors: 4,
             command_overhead: SimDuration::from_micros(16),
             read_per_sector: SimDuration::from_nanos(9_500),
@@ -67,6 +76,8 @@ impl LatencyConfig {
     pub fn instant() -> Self {
         LatencyConfig {
             channels: 1,
+            ways: 1,
+            planes: 1,
             chunk_sectors: 1,
             command_overhead: SimDuration::ZERO,
             read_per_sector: SimDuration::ZERO,
@@ -263,6 +274,10 @@ impl ZnsConfigBuilder {
         assert!(
             self.latency.channels > 0,
             "latency.channels must be nonzero"
+        );
+        assert!(
+            self.latency.ways > 0 && self.latency.planes > 0,
+            "latency.ways and latency.planes must be nonzero"
         );
         assert!(
             self.latency.chunk_sectors > 0,

@@ -10,7 +10,7 @@ use crate::volume::{AppendCompletion, IoCompletion, WriteFlags, ZonedVolume};
 use crate::zone::{Zone, ZoneInfo, ZoneState};
 use crate::Result;
 use parking_lot::Mutex;
-use sim::{ChannelModel, SimTime};
+use sim::{OccupancyModel, SimTime};
 
 /// A simulated ZNS SSD.
 ///
@@ -41,6 +41,10 @@ use sim::{ChannelModel, SimTime};
 #[derive(Debug)]
 pub struct ZnsDevice {
     config: ZnsConfig,
+    /// Discrete-event occupancy model. Lives *outside* the state mutex —
+    /// it is lock-free, so concurrent writers to different zones account
+    /// service time in parallel without serializing on `inner`.
+    timing: OccupancyModel,
     inner: Mutex<Inner>,
 }
 
@@ -49,7 +53,6 @@ struct Inner {
     zones: Vec<Zone>,
     open_count: u32,
     active_count: u32,
-    timing: ChannelModel,
     stats: DeviceStats,
     failed: bool,
     write_seq: u64,
@@ -96,18 +99,13 @@ impl ZnsDevice {
             .map(|_| Zone::new())
             .collect();
         let lat = config.latency();
-        let timing = ChannelModel::new(
-            lat.channels,
-            sim::SimDuration::ZERO,
-            sim::SimDuration::ZERO,
-            SECTOR_SIZE,
-        );
+        let timing = OccupancyModel::new(lat.channels, lat.ways, lat.planes);
         ZnsDevice {
+            timing,
             inner: Mutex::new(Inner {
                 zones,
                 open_count: 0,
                 active_count: 0,
-                timing,
                 stats: DeviceStats::default(),
                 failed: false,
                 write_seq: 0,
@@ -262,7 +260,7 @@ impl ZnsDevice {
         }
         inner.open_count = open;
         inner.active_count = active;
-        inner.timing.reset();
+        self.timing.reset();
         survivors
     }
 
@@ -437,7 +435,7 @@ impl ZnsDevice {
             for z in inner.zones.iter_mut() {
                 z.durable = z.wp;
             }
-            issue = inner.timing.drained_at().max(issue) + lat.flush;
+            issue = self.timing.drained_at().max(issue) + lat.flush;
             inner.stats.flushes += 1;
             if let Some(rec) = inner.recorder.as_ref() {
                 rec.bump(obs::Counter::CacheFlushes);
@@ -486,7 +484,7 @@ impl ZnsDevice {
         while remaining > 0 {
             let chunk = remaining.min(lat.chunk_sectors);
             let dur = lat.write_per_sector.saturating_mul(chunk);
-            done = done.max(inner.timing.occupy(start, dur));
+            done = done.max(self.timing.occupy_affine(zone as u64, start, dur));
             remaining -= chunk;
         }
         if flags.fua {
@@ -513,8 +511,8 @@ impl ZnsDevice {
         })
     }
 
-    fn mgmt_completion(&self, inner: &mut Inner, at: SimTime, dur: sim::SimDuration) -> SimTime {
-        inner.timing.occupy(at, dur)
+    fn mgmt_completion(&self, at: SimTime, dur: sim::SimDuration) -> SimTime {
+        self.timing.occupy(at, dur)
     }
 
     /// Writes into the Zone Random Write Area (§5.4): `lba` may land
@@ -580,7 +578,7 @@ impl ZnsDevice {
         while remaining > 0 {
             let chunk = remaining.min(lat.chunk_sectors);
             let dur = lat.write_per_sector.saturating_mul(chunk);
-            done = done.max(inner.timing.occupy(start, dur));
+            done = done.max(self.timing.occupy_affine(zone as u64, start, dur));
             remaining -= chunk;
         }
         inner.stats.writes += 1;
@@ -625,7 +623,7 @@ impl ZnsDevice {
             inner.active_count -= 1;
         }
         let dur = self.config.latency().zone_mgmt;
-        let done = self.mgmt_completion(&mut inner, at, dur);
+        let done = self.mgmt_completion(at, dur);
         Ok(IoCompletion { done })
     }
 }
@@ -691,7 +689,7 @@ impl ZonedVolume for ZnsDevice {
         while remaining > 0 {
             let chunk = remaining.min(lat.chunk_sectors);
             let dur = lat.read_per_sector.saturating_mul(chunk);
-            done = done.max(inner.timing.occupy(start, dur));
+            done = done.max(self.timing.occupy_affine(zone as u64, start, dur));
             remaining -= chunk;
         }
         inner.stats.reads += 1;
@@ -775,7 +773,7 @@ impl ZonedVolume for ZnsDevice {
         }
         inner.stats.zone_resets += 1;
         let dur = self.config.latency().reset;
-        let done = self.mgmt_completion(&mut inner, at, dur);
+        let done = self.mgmt_completion(at, dur);
         trace_span(
             &inner,
             obs::OpClass::Reset,
@@ -809,7 +807,7 @@ impl ZonedVolume for ZnsDevice {
         }
         inner.stats.zone_finishes += 1;
         let dur = self.config.latency().finish;
-        let done = self.mgmt_completion(&mut inner, at, dur);
+        let done = self.mgmt_completion(at, dur);
         trace_span(
             &inner,
             obs::OpClass::Finish,
@@ -856,7 +854,7 @@ impl ZonedVolume for ZnsDevice {
             ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
         }
         let dur = self.config.latency().zone_mgmt;
-        let done = self.mgmt_completion(&mut inner, at, dur);
+        let done = self.mgmt_completion(at, dur);
         Ok(IoCompletion { done })
     }
 
@@ -881,7 +879,7 @@ impl ZonedVolume for ZnsDevice {
             z.state = ZoneState::Closed;
         }
         let dur = self.config.latency().zone_mgmt;
-        let done = self.mgmt_completion(&mut inner, at, dur);
+        let done = self.mgmt_completion(at, dur);
         Ok(IoCompletion { done })
     }
 
@@ -892,7 +890,7 @@ impl ZonedVolume for ZnsDevice {
             z.durable = z.wp;
         }
         inner.stats.flushes += 1;
-        let done = inner.timing.drained_at().max(at) + self.config.latency().flush;
+        let done = self.timing.drained_at().max(at) + self.config.latency().flush;
         if let Some(rec) = inner.recorder.as_ref() {
             rec.bump(obs::Counter::CacheFlushes);
         }

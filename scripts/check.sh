@@ -18,9 +18,17 @@ for crate in crates/*/; do
   fi
 done
 
+# Concurrency correctness: racing per-zone schedules vs the
+# single-threaded oracle, same-seed determinism, remount after the race.
+cargo test --release -q -p raizn --test concurrent_stress
+
 # Hot-path gates: XOR speedup >= 4x, 0 allocs/write with the full
 # observability plane attached (unsampled tracing + windows + gauge
 # timeline), observability overhead < 5% (the binary gates all three).
+# Also runs the thread-scaling sweep: on hosts with >= 4 cores the
+# sharded write pipeline must reach >= 2x wall-clock write throughput at
+# 4 engine workers vs 1 (the binary skips the gate, with a notice, on
+# smaller hosts).
 cargo run --release -q -p raizn-bench --bin hotpath > /dev/null
 
 # Timeline SLO gate: fig 10's artifacts must show the paper's shape —
