@@ -15,8 +15,15 @@
 //! Two pin modes are swept (all other zones keep their cache / lose
 //! their cache), followed by seeded whole-array random-crash trials.
 //!
-//! Usage: `crash_sweep [--seed N]` (default seed 42, used for the
-//! random trials; the enumerated sweep is exhaustive and seed-free).
+//! With `--raid6` the sweep runs the dual-parity (RAIZN-2) layout and
+//! additionally marks **two devices failed** after every crash point,
+//! cycling deterministically through the device pairs: the mount must
+//! replay the P and Q partial-parity legs, serve byte-identical reads,
+//! and — after both devices are rebuilt onto fresh replacements — pass
+//! a clean scrub.
+//!
+//! Usage: `crash_sweep [--seed N] [--raid6]` (default seed 42, used for
+//! the random trials; the enumerated sweep is exhaustive and seed-free).
 //!
 //! Every violated invariant exits nonzero with the crash point named on
 //! stderr (no panics: CI distinguishes a failed gate from a crash).
@@ -30,6 +37,21 @@ use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZ
 const T0: SimTime = SimTime::ZERO;
 const DEVICES: usize = 5;
 const RANDOM_TRIALS: u64 = 64;
+
+/// Every unordered pair of the five devices; `--raid6` cycles through
+/// these so each crash point exercises a deterministic double failure.
+const PAIRS: [(usize, usize); 10] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (2, 3),
+    (2, 4),
+    (3, 4),
+];
 
 fn devices() -> Vec<Arc<ZnsDevice>> {
     (0..DEVICES)
@@ -113,7 +135,7 @@ fn run_workload(v: &RaiznVolume) -> bench::BenchResult<Vec<ZoneModel>> {
     ])
 }
 
-fn verify(v: &RaiznVolume, models: &[ZoneModel], point: &str) -> bench::BenchResult {
+fn verify(v: &RaiznVolume, models: &[ZoneModel], point: &str, scrub: bool) -> bench::BenchResult {
     let lgeo = v.layout().logical_geometry();
     for (zi, m) in models.iter().enumerate() {
         let info = v.zone_info(zi as u32)?;
@@ -138,34 +160,67 @@ fn verify(v: &RaiznVolume, models: &[ZoneModel], point: &str) -> bench::BenchRes
             );
         }
     }
-    let rep = v
-        .scrub(T0)
-        .map_err(|e| BenchError::Gate(format!("{point}: scrub failed: {e}")))?;
-    gate!(
-        rep.parity_repairs == 0 && rep.units_healed == 0,
-        "{point}: scrub found damage after recovery: {rep:?}"
-    );
+    if scrub {
+        let rep = v
+            .scrub(T0)
+            .map_err(|e| BenchError::Gate(format!("{point}: scrub failed: {e}")))?;
+        gate!(
+            rep.parity_repairs == 0 && rep.units_healed == 0,
+            "{point}: scrub found damage after recovery: {rep:?}"
+        );
+    }
     Ok(())
 }
 
 /// Runs the workload on fresh devices, crashes each device with the
-/// policy `policy_for(device)` returns, mounts and verifies.
-fn run_point(point: &str, mut policy_for: impl FnMut(usize) -> CrashPolicy) -> bench::BenchResult {
+/// policy `policy_for(device)` returns, mounts and verifies. With a
+/// `fail_pair`, both devices are marked failed before the mount: the
+/// recovery runs degraded, reads are verified through the two-erasure
+/// path, then both devices are rebuilt onto fresh replacements and the
+/// full (scrubbed) verification repeats.
+fn run_point(
+    point: &str,
+    cfg: &RaiznConfig,
+    fail_pair: Option<(usize, usize)>,
+    mut policy_for: impl FnMut(usize) -> CrashPolicy,
+) -> bench::BenchResult {
     let devs = devices();
-    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0)?;
+    let v = RaiznVolume::format(devs.clone(), *cfg, T0)?;
     let models = run_workload(&v)?;
     drop(v);
     for (i, dev) in devs.iter().enumerate() {
         let mut p = policy_for(i);
         dev.crash(&mut p);
     }
-    let v = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0)
+    if let Some((a, b)) = fail_pair {
+        devs[a].fail();
+        devs[b].fail();
+    }
+    let v = RaiznVolume::mount(devs, *cfg, T0)
         .map_err(|e| BenchError::Gate(format!("{point}: mount failed: {e}")))?;
-    verify(&v, &models, point)
+    if let Some((a, b)) = fail_pair {
+        // Scrub needs full redundancy: verify reads degraded first.
+        verify(&v, &models, point, false)?;
+        for lost in [a, b] {
+            let fresh = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+            fresh.set_recorder(bench::recorder(), lost as u32);
+            v.rebuild(T0, fresh).map_err(|e| {
+                BenchError::Gate(format!("{point}: rebuild of dev {lost} failed: {e}"))
+            })?;
+        }
+        gate!(
+            v.failed_devices().is_empty(),
+            "{point}: devices still failed after both rebuilds"
+        );
+        verify(&v, &models, point, true)
+    } else {
+        verify(&v, &models, point, true)
+    }
 }
 
 fn main() -> bench::BenchResult {
     let mut seed = 42u64;
+    let mut raid6 = false;
     let mut rest = bench::cli_args();
     // Crash points must replay one at a time to pin blame; the flag
     // exists for CLI uniformity.
@@ -179,19 +234,37 @@ fn main() -> bench::BenchResult {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| BenchError::Gate("--seed needs an integer".into()))?;
             }
+            "--raid6" => raid6 = true,
             other => {
                 return Err(BenchError::Gate(format!(
-                    "unknown argument {other:?} (usage: crash_sweep [--seed N] [--threads N])"
+                    "unknown argument {other:?} (usage: crash_sweep [--seed N] [--raid6] [--threads N])"
                 )));
             }
         }
     }
+    let cfg = if raid6 {
+        RaiznConfig::small_test_raizn2()
+    } else {
+        RaiznConfig::small_test()
+    };
+    // `--raid6` cycles one device pair per crash point so the sweep stays
+    // the same length while every pair recurs across the enumeration.
+    let mut pair_seq = 0usize;
+    let mut next_pair = || {
+        if raid6 {
+            let p = PAIRS[pair_seq % PAIRS.len()];
+            pair_seq += 1;
+            Some(p)
+        } else {
+            None
+        }
+    };
 
     // Baseline run: verify and snapshot the crash-point ranges.
     let base_devs = devices();
-    let v = RaiznVolume::format(base_devs.clone(), RaiznConfig::small_test(), T0)?;
+    let v = RaiznVolume::format(base_devs.clone(), cfg, T0)?;
     let models = run_workload(&v)?;
-    verify(&v, &models, "baseline")?;
+    verify(&v, &models, "baseline", true)?;
     drop(v);
     let num_zones = base_devs[0].geometry().num_zones();
     let mut points: Vec<(usize, u32, u64)> = Vec::new();
@@ -206,45 +279,57 @@ fn main() -> bench::BenchResult {
         }
     }
     println!(
-        "crash sweep: {} enumerated crash points x 2 pin modes + {} random trials (seed {seed})",
+        "crash sweep{}: {} enumerated crash points x 2 pin modes + {} random trials (seed {seed})",
+        if raid6 { " [raid6]" } else { "" },
         points.len(),
         RANDOM_TRIALS
     );
 
     // Global extremes.
-    run_point("keep-cache", |_| CrashPolicy::KeepCache)?;
-    run_point("lose-cache", |_| CrashPolicy::LoseCache)?;
+    run_point("keep-cache", &cfg, next_pair(), |_| CrashPolicy::KeepCache)?;
+    run_point("lose-cache", &cfg, next_pair(), |_| CrashPolicy::LoseCache)?;
 
     // Exhaustive single-zone pins: the probed zone survives at `s`
     // while the rest of the array keeps (mode A) or loses (mode B) its
     // cache.
     for (d, zone, s) in &points {
-        run_point(&format!("pin dev {d} zone {zone} survivor {s}"), |i| {
-            if i == *d {
-                CrashPolicy::pin_zone(*zone, *s)
-            } else {
-                CrashPolicy::KeepCache
-            }
-        })?;
-        run_point(&format!("pin+lose dev {d} zone {zone} survivor {s}"), |i| {
-            if i == *d {
-                CrashPolicy::pin_zone_lose_rest(*zone, *s)
-            } else {
-                CrashPolicy::LoseCache
-            }
-        })?;
+        run_point(
+            &format!("pin dev {d} zone {zone} survivor {s}"),
+            &cfg,
+            next_pair(),
+            |i| {
+                if i == *d {
+                    CrashPolicy::pin_zone(*zone, *s)
+                } else {
+                    CrashPolicy::KeepCache
+                }
+            },
+        )?;
+        run_point(
+            &format!("pin+lose dev {d} zone {zone} survivor {s}"),
+            &cfg,
+            next_pair(),
+            |i| {
+                if i == *d {
+                    CrashPolicy::pin_zone_lose_rest(*zone, *s)
+                } else {
+                    CrashPolicy::LoseCache
+                }
+            },
+        )?;
     }
 
     // Seeded whole-array random crashes: every zone of every device
     // rolls independently.
     for trial in 0..RANDOM_TRIALS {
-        run_point(&format!("random trial {trial}"), |i| {
+        run_point(&format!("random trial {trial}"), &cfg, next_pair(), |i| {
             CrashPolicy::Random(SimRng::new_stream(seed, trial * DEVICES as u64 + i as u64))
         })?;
     }
 
     println!(
-        "crash sweep: PASS ({} points x 2 modes, 2 extremes, {} random trials)",
+        "crash sweep{}: PASS ({} points x 2 modes, 2 extremes, {} random trials)",
+        if raid6 { " [raid6]" } else { "" },
         points.len(),
         RANDOM_TRIALS
     );

@@ -30,7 +30,7 @@ fn main() -> bench::BenchResult {
             };
             let rt = ZonedTarget::new(raizn.clone());
             let start = prime(&rt, SimTime::ZERO)?;
-            raizn.fail_device(0);
+            raizn.fail_device(0).unwrap();
             let align = rt.volume().geometry().zone_cap();
             let timeline = flagship.then(|| capture.timeline());
             let r = run_micro(&rt, micro, bs, align, start, timeline, threads)?;

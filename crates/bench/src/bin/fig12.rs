@@ -44,7 +44,7 @@ fn main() -> bench::BenchResult {
         };
         let rt = ZonedTarget::new(raizn.clone());
         let t = fill(&rt, fraction)?;
-        raizn.fail_device(0);
+        raizn.fail_device(0).unwrap();
         if flagship {
             capture.timeline().force_sample(t);
         }

@@ -18,6 +18,11 @@
 //!   allocation-free).
 //! - `allocs_per_partial_write`: heap allocations per 4 KiB partial-stripe
 //!   write (partial-parity log path) after warm-up, tracing enabled.
+//! - `allocs_per_full_stripe_write_p2` / `allocs_per_partial_write_p2`:
+//!   the same two counts on a dual-parity (RAIZN-2) volume — the Q
+//!   accumulator and second pp-log leg share the parity pools, so the
+//!   full-stripe count gates at 0 as well (`raizn2_write_mib_s` reports
+//!   its throughput).
 //! - `allocs_per_qos_op`: heap allocations per op submitted through and
 //!   dispatched by the `qos` scheduler (coalescer on, recorder attached)
 //!   after warm-up (gate: 0 — pooled payload buffers, preallocated
@@ -98,6 +103,7 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
 /// configuration is the worst case) and are registered on `timeline`.
 fn fresh_volume(
     observe: Option<(&Arc<obs::Recorder>, &Arc<obs::Timeline>)>,
+    parity: u32,
 ) -> bench::BenchResult<Arc<RaiznVolume>> {
     let devices: Vec<Arc<ZnsDevice>> = (0..5)
         .map(|i| {
@@ -117,7 +123,10 @@ fn fresh_volume(
         .collect();
     let vol = Arc::new(RaiznVolume::format(
         devices,
-        RaiznConfig::default(),
+        RaiznConfig {
+            parity,
+            ..RaiznConfig::default()
+        },
         SimTime::ZERO,
     )?);
     if let Some((rec, tl)) = observe {
@@ -197,7 +206,7 @@ fn qos_round(
 /// One thread-scaling trial: runs `jobs` on `threads` engine workers
 /// against a fresh volume, returning (wall seconds, ops, bytes).
 fn scaling_trial(threads: usize, jobs: &[JobSpec]) -> bench::BenchResult<(f64, u64, u64)> {
-    let target = ZonedTarget::new(fresh_volume(None)?);
+    let target = ZonedTarget::new(fresh_volume(None, 1)?);
     let engine = Engine::new(0x5CA1E);
     let t0 = Instant::now();
     let report = engine.run_threaded(&target, jobs, threads)?;
@@ -239,8 +248,8 @@ fn main() -> bench::BenchResult {
     let recorder = obs::Recorder::new(65_536, 1);
     recorder.enable_windows(bench::TIMELINE_WINDOW, 256);
     let timeline = obs::Timeline::new(bench::TIMELINE_WINDOW);
-    let untraced = fresh_volume(None)?;
-    let traced = fresh_volume(Some((&recorder, &timeline)))?;
+    let untraced = fresh_volume(None, 1)?;
+    let traced = fresh_volume(Some((&recorder, &timeline)), 1)?;
     let stripe_sectors = 64u64; // 4 data units x 16 sectors
     let stripe_bytes = (stripe_sectors * 4096) as usize;
     let data = vec![0u8; stripe_bytes];
@@ -274,6 +283,23 @@ fn main() -> bench::BenchResult {
     write_round(&traced, &mut lba_t, four_k, 8, Some(&timeline))?;
     let (_, partial_allocs) = write_round(&traced, &mut lba_t, four_k, 64, Some(&timeline))?;
     let allocs_per_partial = partial_allocs as f64 / 64.0;
+
+    // --- Write path: dual parity (RAIZN-2) steady state ------------------
+    // parity = 2 must hold the same budget: the Q accumulator and the
+    // second partial-parity leg draw from the same pools as P, so a warm
+    // dual-parity volume is allocation-free per write too (full observability
+    // attached, like the parity = 1 rounds above).
+    let raizn2 = fresh_volume(Some((&recorder, &timeline)), 2)?;
+    let r2_stripe_sectors = 48u64; // 3 data units x 16 sectors
+    let r2_data = &data[..(r2_stripe_sectors * 4096) as usize];
+    let mut lba2 = 0u64;
+    write_round(&raizn2, &mut lba2, r2_data, 8, Some(&timeline))?;
+    let (r2_ns, r2_full_allocs) = write_round(&raizn2, &mut lba2, r2_data, 64, Some(&timeline))?;
+    let allocs_per_full_p2 = r2_full_allocs as f64 / 64.0;
+    write_round(&raizn2, &mut lba2, four_k, 8, Some(&timeline))?;
+    let (_, r2_partial_allocs) = write_round(&raizn2, &mut lba2, four_k, 64, Some(&timeline))?;
+    let allocs_per_partial_p2 = r2_partial_allocs as f64 / 64.0;
+    let raizn2_mib_s = (r2_stripe_sectors * 4096) as f64 / (1024.0 * 1024.0) / (r2_ns / 1e9);
 
     // --- QoS scheduler: steady-state submit/dispatch ---------------------
     // Coalescer on, unsampled recorder attached (worst case): after a
@@ -317,7 +343,7 @@ fn main() -> bench::BenchResult {
     // volume per trial. Device time is virtual (costs nothing real), so
     // wall-clock speedup isolates the host-side write path: per-zone lock
     // shards must let independent zones' writes proceed concurrently.
-    let probe = fresh_volume(None)?;
+    let probe = fresh_volume(None, 1)?;
     let zone_cap = probe.geometry().zone_cap();
     let num_zones = u64::from(probe.geometry().num_zones());
     drop(probe);
@@ -389,7 +415,7 @@ fn main() -> bench::BenchResult {
 
     let reused = traced.stats().stripe_buffers_reused;
     let json = format!(
-        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2},\n  \"scaling\": {scaling_json}\n}}\n"
+        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"raizn2_write_mib_s\": {raizn2_mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_full_stripe_write_p2\": {allocs_per_full_p2},\n  \"allocs_per_partial_write_p2\": {allocs_per_partial_p2},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2},\n  \"scaling\": {scaling_json}\n}}\n"
     );
     std::fs::write("BENCH_hotpath.json", &json)?;
     print!("{json}");
@@ -411,6 +437,10 @@ fn main() -> bench::BenchResult {
     gate!(
         allocs_per_full == 0.0,
         "observed steady-state full-stripe writes allocate: {allocs_per_full} allocs/write"
+    );
+    gate!(
+        allocs_per_full_p2 == 0.0,
+        "dual-parity steady-state full-stripe writes allocate: {allocs_per_full_p2} allocs/write"
     );
     gate!(
         overhead_pct < 5.0,

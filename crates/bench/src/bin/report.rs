@@ -392,6 +392,26 @@ fn render(run: &Run) {
     if let Some(peak) = total_of(".pipeline_queue_depth_peak") {
         println!("   pipeline queue depth peak: {peak:.0}");
     }
+    // Redundancy health: the volume exports its failed-device count and
+    // rebuild progress as gauges; surface them so a run that ended
+    // degraded (or mid-rebuild) is impossible to miss in the report.
+    if let Some(failed) = total_of(".failed_devices") {
+        if failed > 0.0 {
+            println!(
+                "   DEGRADED: {failed:.0} device(s) still failed at end of run \
+                 (reads served via parity decode)"
+            );
+        }
+    }
+    if let Some(total) = total_of(".rebuild_zones_total") {
+        if total > 0.0 {
+            let done = total_of(".rebuild_zones_done").unwrap_or(0.0);
+            println!(
+                "   rebuild in flight: {done:.0}/{total:.0} zones ({:.0}%)",
+                done / total * 100.0
+            );
+        }
+    }
 }
 
 /// Side-by-side timelines aligned at each run's first active window, on a

@@ -9,6 +9,11 @@
 pub struct RaiznConfig {
     /// Stripe unit size in sectors (default 16 = 64 KiB).
     pub stripe_unit_sectors: u64,
+    /// Rotating parity units per stripe: `1` (the paper's RAIZN, XOR
+    /// parity P) or `2` (RAIZN-2, P plus a GF(2^8) Reed–Solomon Q —
+    /// survives any two device failures). Q rotates with P: it always
+    /// sits on the device after the parity device.
+    pub parity: u32,
     /// Metadata zones reserved at the start of every device (>= 3:
     /// general + partial-parity + at least one swap zone).
     pub md_zones_per_device: u32,
@@ -50,6 +55,7 @@ impl Default for RaiznConfig {
     fn default() -> Self {
         RaiznConfig {
             stripe_unit_sectors: 16,
+            parity: 1,
             md_zones_per_device: 3,
             stripe_buffers_per_zone: 8,
             relocation_threshold: 16,
@@ -72,6 +78,14 @@ impl RaiznConfig {
         }
     }
 
+    /// [`small_test`](Self::small_test) with dual (P+Q) parity.
+    pub fn small_test_raizn2() -> Self {
+        RaiznConfig {
+            parity: 2,
+            ..Self::small_test()
+        }
+    }
+
     /// Validates the configuration against a device geometry.
     ///
     /// # Panics
@@ -81,6 +95,11 @@ impl RaiznConfig {
     /// zones remain.
     pub fn validate(&self, geometry: &zns::ZoneGeometry) {
         assert!(self.stripe_unit_sectors > 0, "stripe unit must be nonzero");
+        assert!(
+            self.parity == 1 || self.parity == 2,
+            "parity must be 1 (RAIZN) or 2 (RAIZN-2), got {}",
+            self.parity
+        );
         assert_eq!(
             geometry.zone_cap() % self.stripe_unit_sectors,
             0,

@@ -6,6 +6,12 @@
 //! `stripe_unit` chunks with one parity unit per stripe; the parity device
 //! rotates every stripe *and* every zone (the per-zone rotation also
 //! spreads the zone-reset WAL write amplification, §5.2).
+//!
+//! RAIZN-2 (`parity = 2`) adds a second rotating parity column Q — a
+//! GF(2^8) Reed–Solomon code word over the data units ([`sim::gf`]) —
+//! on the device immediately after the P device, so the P/Q pair rotates
+//! as one and any two device failures are survivable. Data unit `k` then
+//! starts at `P + 2` instead of `P + 1`.
 
 use crate::config::RaiznConfig;
 use zns::{Lba, ZoneGeometry};
@@ -31,6 +37,7 @@ pub struct RaiznLayout {
     n: u32,
     su: u64,
     md_zones: u32,
+    parity: u32,
     phys: ZoneGeometry,
 }
 
@@ -39,14 +46,21 @@ impl RaiznLayout {
     ///
     /// # Panics
     ///
-    /// Panics if `n < 3` or the configuration fails validation.
+    /// Panics if fewer than two data units remain (`n < parity + 2`) or
+    /// the configuration fails validation.
     pub fn new(n: u32, config: RaiznConfig, phys: ZoneGeometry) -> Self {
-        assert!(n >= 3, "RAIZN requires at least 3 devices");
         config.validate(&phys);
+        assert!(
+            n >= config.parity + 2,
+            "RAIZN requires at least {} devices with parity = {} (got {n})",
+            config.parity + 2,
+            config.parity
+        );
         RaiznLayout {
             n,
             su: config.stripe_unit_sectors,
             md_zones: config.md_zones_per_device,
+            parity: config.parity,
             phys,
         }
     }
@@ -56,9 +70,14 @@ impl RaiznLayout {
         self.n
     }
 
-    /// Data stripe units per stripe (`devices - 1`).
+    /// Rotating parity units per stripe (1 = P only, 2 = P + Q).
+    pub fn parity_units(&self) -> u32 {
+        self.parity
+    }
+
+    /// Data stripe units per stripe (`devices - parity_units`).
     pub fn data_units(&self) -> u64 {
-        (self.n - 1) as u64
+        (self.n - self.parity) as u64
     }
 
     /// Stripe unit size in sectors.
@@ -108,10 +127,21 @@ impl RaiznLayout {
         lzone + self.md_zones
     }
 
-    /// The device holding the parity unit of `stripe` in `lzone`. Rotates
-    /// per stripe and per zone.
+    /// The device holding the (P) parity unit of `stripe` in `lzone`.
+    /// Rotates per stripe and per zone.
     pub fn parity_device(&self, lzone: u32, stripe: u64) -> u32 {
         ((lzone as u64 + stripe) % self.n as u64) as u32
+    }
+
+    /// The device holding the Q (Reed–Solomon) parity unit of `stripe`
+    /// in `lzone`, or `None` in single-parity mode. Q always sits on the
+    /// device after P, so the P/Q pair rotates as one.
+    pub fn q_device(&self, lzone: u32, stripe: u64) -> Option<u32> {
+        if self.parity < 2 {
+            return None;
+        }
+        let p = self.parity_device(lzone, stripe) as u64;
+        Some(((p + 1) % self.n as u64) as u32)
     }
 
     /// The device holding data unit `k` of `stripe` in `lzone`.
@@ -122,19 +152,20 @@ impl RaiznLayout {
     pub fn data_device(&self, lzone: u32, stripe: u64, k: u64) -> u32 {
         debug_assert!(k < self.data_units(), "data unit index out of range");
         let p = self.parity_device(lzone, stripe) as u64;
-        ((p + 1 + k) % self.n as u64) as u32
+        ((p + self.parity as u64 + k) % self.n as u64) as u32
     }
 
     /// The inverse of [`data_device`](Self::data_device): which data unit
     /// index (or parity) device `dev` holds for `stripe` of `lzone`.
-    /// Returns `None` when `dev` holds the parity.
+    /// Returns `None` when `dev` holds P or Q parity.
     pub fn unit_of_device(&self, lzone: u32, stripe: u64, dev: u32) -> Option<u64> {
         let p = self.parity_device(lzone, stripe);
-        if dev == p {
-            return None;
-        }
         let n = self.n as u64;
-        Some((dev as u64 + n - 1 - p as u64) % n)
+        let k = (dev as u64 + n - p as u64) % n;
+        if k < self.parity as u64 {
+            return None; // k == 0 is P itself, k == 1 is Q in dual mode.
+        }
+        Some(k - self.parity as u64)
     }
 
     /// PBA (on whichever device) of `stripe`'s units within the backing
@@ -248,6 +279,46 @@ mod tests {
                 assert_eq!(l.unit_of_device(lz, s, p), None);
             }
         }
+    }
+
+    #[test]
+    fn dual_parity_geometry() {
+        let l = RaiznLayout::new(
+            5,
+            RaiznConfig::small_test_raizn2(),
+            zns::ZnsConfig::small_test().geometry(),
+        );
+        assert_eq!(l.parity_units(), 2);
+        assert_eq!(l.data_units(), 3);
+        // 3 data units * 64-sector zones.
+        assert_eq!(l.logical_geometry().zone_cap(), 192);
+        for lz in 0..3u32 {
+            for s in 0..7u64 {
+                let p = l.parity_device(lz, s);
+                let q = l.q_device(lz, s).expect("dual mode has Q");
+                assert_eq!(q, (p + 1) % 5, "Q trails P");
+                assert_eq!(l.unit_of_device(lz, s, p), None);
+                assert_eq!(l.unit_of_device(lz, s, q), None);
+                for k in 0..l.data_units() {
+                    let d = l.data_device(lz, s, k);
+                    assert_ne!(d, p);
+                    assert_ne!(d, q);
+                    assert_eq!(l.unit_of_device(lz, s, d), Some(k));
+                }
+            }
+        }
+        // Single-parity mode exposes no Q device.
+        assert_eq!(layout().q_device(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 devices")]
+    fn dual_parity_needs_four_devices() {
+        RaiznLayout::new(
+            3,
+            RaiznConfig::small_test_raizn2(),
+            zns::ZnsConfig::small_test().geometry(),
+        );
     }
 
     #[test]

@@ -87,3 +87,10 @@ pub use volume::{RaiznVolume, RebuildReport, ScrubReport};
 /// Result alias re-exported from the device layer (RAIZN shares the ZNS
 /// error type).
 pub type Result<T> = zns::Result<T>;
+
+/// The error type RAIZN operations return (an alias for the shared device
+/// error type). Array-level conditions such as
+/// [`RaiznError::TooManyFailures`] — marking more devices failed than the
+/// configured parity tolerates — live here alongside the ZNS command
+/// errors.
+pub use zns::ZnsError as RaiznError;

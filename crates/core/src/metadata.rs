@@ -39,6 +39,12 @@ pub enum MetadataType {
     RelocatedStripeUnit = 4,
     /// Parity of a partially written stripe.
     PartialParity = 5,
+    /// Q (Reed–Solomon) parity of a partially written stripe (RAIZN-2).
+    /// Same wire format as [`PartialParity`](Self::PartialParity); a
+    /// distinct tag keeps the record self-describing so recovery and
+    /// metadata GC never have to infer the parity role from the device
+    /// the record happens to live on.
+    PartialParityQ = 6,
 }
 
 impl MetadataType {
@@ -49,6 +55,7 @@ impl MetadataType {
             3 => Some(MetadataType::ZoneResetLog),
             4 => Some(MetadataType::RelocatedStripeUnit),
             5 => Some(MetadataType::PartialParity),
+            6 => Some(MetadataType::PartialParityQ),
             _ => None,
         }
     }
@@ -113,6 +120,14 @@ pub enum MdPayload {
         /// Parity bytes for `rows = data.len() / SECTOR_SIZE` rows.
         data: Vec<u8>,
     },
+    /// Partial Q-parity rows (RAIZN-2); the bytes follow the header on
+    /// disk.
+    PartialParityQ {
+        /// First parity row (sector within the stripe unit) covered.
+        first_row: u64,
+        /// Q-parity bytes for `rows = data.len() / SECTOR_SIZE` rows.
+        data: Vec<u8>,
+    },
 }
 
 /// The array parameters persisted to every device (inline in a
@@ -143,12 +158,30 @@ fn put_u64(buf: &mut [u8], off: usize, v: u64) {
     buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
 }
 
-fn get_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"))
+fn get_u32(buf: &[u8], off: usize) -> Result<u32> {
+    match buf.get(off..off + 4) {
+        Some(b) => {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(b);
+            Ok(u32::from_le_bytes(w))
+        }
+        None => Err(ZnsError::InvalidArgument(format!(
+            "metadata header truncated at byte offset {off}"
+        ))),
+    }
 }
 
-fn get_u64(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+fn get_u64(buf: &[u8], off: usize) -> Result<u64> {
+    match buf.get(off..off + 8) {
+        Some(b) => {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(b);
+            Ok(u64::from_le_bytes(w))
+        }
+        None => Err(ZnsError::InvalidArgument(format!(
+            "metadata header truncated at byte offset {off}"
+        ))),
+    }
 }
 
 /// A borrowed view of a record payload: the zero-copy twin of
@@ -187,6 +220,13 @@ pub enum MdPayloadRef<'a> {
         /// Parity bytes for `rows = data.len() / SECTOR_SIZE` rows.
         data: &'a [u8],
     },
+    /// Partial Q-parity rows (RAIZN-2).
+    PartialParityQ {
+        /// First parity row (sector within the stripe unit) covered.
+        first_row: u64,
+        /// Q-parity bytes for `rows = data.len() / SECTOR_SIZE` rows.
+        data: &'a [u8],
+    },
 }
 
 /// A record built over a borrowed payload; see [`MdPayloadRef`]. Encodes
@@ -216,6 +256,7 @@ impl<'a> MdRecordRef<'a> {
             MdPayloadRef::ZoneResetLog => MetadataType::ZoneResetLog,
             MdPayloadRef::RelocatedStripeUnit { .. } => MetadataType::RelocatedStripeUnit,
             MdPayloadRef::PartialParity { .. } => MetadataType::PartialParity,
+            MdPayloadRef::PartialParityQ { .. } => MetadataType::PartialParityQ,
         };
         let (start_lba, end_lba) = match &payload {
             MdPayloadRef::GenCounters {
@@ -306,7 +347,8 @@ impl<'a> MdRecordRef<'a> {
                 put_u64(header, 56, *valid_sectors);
                 out.extend_from_slice(data);
             }
-            MdPayloadRef::PartialParity { first_row, data } => {
+            MdPayloadRef::PartialParity { first_row, data }
+            | MdPayloadRef::PartialParityQ { first_row, data } => {
                 assert_eq!(
                     data.len() % SECTOR_SIZE as usize,
                     0,
@@ -345,6 +387,10 @@ impl MdPayload {
                 data,
             },
             MdPayload::PartialParity { first_row, data } => MdPayloadRef::PartialParity {
+                first_row: *first_row,
+                data,
+            },
+            MdPayload::PartialParityQ { first_row, data } => MdPayloadRef::PartialParityQ {
                 first_row: *first_row,
                 data,
             },
@@ -400,14 +446,16 @@ impl MdRecord {
     /// Number of payload sectors that follow a header, given its bytes.
     /// Returns `None` when the header is not a valid RAIZN header.
     pub fn payload_sectors(header: &[u8]) -> Option<u64> {
-        if header.len() < MD_HEADER_BYTES || get_u32(header, 0) != MD_MAGIC {
+        if header.len() < MD_HEADER_BYTES || get_u32(header, 0).ok()? != MD_MAGIC {
             return None;
         }
-        let ty = MetadataType::from_u32(get_u32(header, 4) & !MD_CHECKPOINT_FLAG)?;
+        let ty = MetadataType::from_u32(get_u32(header, 4).ok()? & !MD_CHECKPOINT_FLAG)?;
         Some(match ty {
             MetadataType::Superblock | MetadataType::GenCounters | MetadataType::ZoneResetLog => 0,
-            MetadataType::RelocatedStripeUnit => get_u64(header, 32),
-            MetadataType::PartialParity => get_u64(header, 40),
+            MetadataType::RelocatedStripeUnit => get_u64(header, 32).ok()?,
+            MetadataType::PartialParity | MetadataType::PartialParityQ => {
+                get_u64(header, 40).ok()?
+            }
         })
     }
 
@@ -424,10 +472,10 @@ impl MdRecord {
                 "metadata header shorter than one sector".to_string(),
             ));
         }
-        if get_u32(header, 0) != MD_MAGIC {
+        if get_u32(header, 0)? != MD_MAGIC {
             return Err(ZnsError::InvalidArgument("bad metadata magic".to_string()));
         }
-        let type_word = get_u32(header, 4);
+        let type_word = get_u32(header, 4)?;
         let checkpoint = type_word & MD_CHECKPOINT_FLAG != 0;
         let md_type = MetadataType::from_u32(type_word & !MD_CHECKPOINT_FLAG).ok_or_else(|| {
             ZnsError::InvalidArgument(format!("unknown metadata type {type_word:#x}"))
@@ -435,29 +483,32 @@ impl MdRecord {
         let h = MetadataHeader {
             md_type,
             checkpoint,
-            start_lba: get_u64(header, 8),
-            end_lba: get_u64(header, 16),
-            generation: get_u64(header, 24),
+            start_lba: get_u64(header, 8)?,
+            end_lba: get_u64(header, 16)?,
+            generation: get_u64(header, 24)?,
         };
         let payload = match md_type {
             MetadataType::Superblock => MdPayload::Superblock(Superblock {
-                num_devices: get_u32(header, 32),
-                device_index: get_u32(header, 36),
-                stripe_unit_sectors: get_u64(header, 40),
-                md_zones_per_device: get_u32(header, 48),
-                phys_zones: get_u32(header, 52),
-                phys_zone_size: get_u64(header, 56),
-                phys_zone_cap: get_u64(header, 64),
+                num_devices: get_u32(header, 32)?,
+                device_index: get_u32(header, 36)?,
+                stripe_unit_sectors: get_u64(header, 40)?,
+                md_zones_per_device: get_u32(header, 48)?,
+                phys_zones: get_u32(header, 52)?,
+                phys_zone_size: get_u64(header, 56)?,
+                phys_zone_cap: get_u64(header, 64)?,
             }),
             MetadataType::GenCounters => {
-                let first_zone = get_u64(header, 8) as u32;
-                let count = (get_u64(header, 16) - get_u64(header, 8)) as usize;
+                let first_zone = get_u64(header, 8)? as u32;
+                let count = (get_u64(header, 16)? - get_u64(header, 8)?) as usize;
                 if count > GEN_COUNTERS_PER_PAGE {
                     return Err(ZnsError::InvalidArgument(format!(
                         "generation counter page claims {count} counters"
                     )));
                 }
-                let counters = (0..count).map(|i| get_u64(header, 32 + i * 8)).collect();
+                let mut counters = Vec::with_capacity(count);
+                for i in 0..count {
+                    counters.push(get_u64(header, 32 + i * 8)?);
+                }
                 MdPayload::GenCounters {
                     first_zone,
                     counters,
@@ -465,30 +516,32 @@ impl MdRecord {
             }
             MetadataType::ZoneResetLog => MdPayload::ZoneResetLog,
             MetadataType::RelocatedStripeUnit => {
-                let sectors = get_u64(header, 32);
+                let sectors = get_u64(header, 32)?;
                 if payload.len() as u64 != sectors * SECTOR_SIZE {
                     return Err(ZnsError::InvalidArgument(
                         "relocated unit payload length mismatch".to_string(),
                     ));
                 }
                 MdPayload::RelocatedStripeUnit {
-                    lzone: get_u32(header, 40),
-                    stripe: get_u64(header, 48),
-                    valid_sectors: get_u64(header, 56),
+                    lzone: get_u32(header, 40)?,
+                    stripe: get_u64(header, 48)?,
+                    valid_sectors: get_u64(header, 56)?,
                     data: payload.to_vec(),
                 }
             }
-            MetadataType::PartialParity => {
-                let first_row = get_u64(header, 32);
-                let sectors = get_u64(header, 40);
+            MetadataType::PartialParity | MetadataType::PartialParityQ => {
+                let first_row = get_u64(header, 32)?;
+                let sectors = get_u64(header, 40)?;
                 if payload.len() as u64 != sectors * SECTOR_SIZE {
                     return Err(ZnsError::InvalidArgument(
                         "partial parity payload length mismatch".to_string(),
                     ));
                 }
-                MdPayload::PartialParity {
-                    first_row,
-                    data: payload.to_vec(),
+                let data = payload.to_vec();
+                if md_type == MetadataType::PartialParity {
+                    MdPayload::PartialParity { first_row, data }
+                } else {
+                    MdPayload::PartialParityQ { first_row, data }
                 }
             }
         };
@@ -576,6 +629,30 @@ mod tests {
             48,
             11,
         ));
+    }
+
+    #[test]
+    fn partial_parity_q_roundtrip() {
+        roundtrip(MdRecord::new(
+            MdPayload::PartialParityQ {
+                first_row: 1,
+                data: vec![0x5A; 3 * SECTOR_SIZE as usize],
+            },
+            false,
+            40,
+            48,
+            11,
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_an_error_not_a_panic() {
+        let rec = MdRecord::new(MdPayload::ZoneResetLog, false, 0, 1, 0);
+        let bytes = rec.encode();
+        // Long enough to pass the length gate nowhere, short enough that a
+        // naive slice would panic: decode must return InvalidArgument.
+        assert!(MdRecord::decode(&bytes[..16], &[]).is_err());
+        assert!(MdRecord::payload_sectors(&bytes[..16]).is_none());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::config::RaiznConfig;
 use crate::metadata::{MdPayload, MdRecord, MD_HEADER_BYTES};
 use crate::stats::AtomicRaiznStats;
 use crate::stripe::StripeBuffer;
-use crate::volume::{internal, xor_into, MdRole, MetaState, RaiznVolume, RelocatedUnit, NO_DEVICE};
+use crate::volume::{internal, xor_into, MdRole, MetaState, RaiznVolume, RelocatedUnit};
 use crate::Result;
 use sim::SimTime;
 use std::collections::HashMap;
@@ -35,8 +35,8 @@ struct Harvest {
 }
 
 /// A per-(zone, stripe) partial-parity image assembled by replaying pp
-/// records in write order.
-#[derive(Debug)]
+/// records in write order, snapshotted at one data extent.
+#[derive(Debug, Clone)]
 struct ParityImage {
     /// Parity bytes, one stripe unit.
     rows: Vec<u8>,
@@ -47,16 +47,41 @@ struct ParityImage {
     end_lba: u64,
 }
 
+/// The partial-parity images replayed from the metadata logs: the XOR (P)
+/// leg and, in dual-parity mode, the Reed–Solomon (Q) leg.
+///
+/// Each (zone, stripe) keeps one snapshot per distinct record extent,
+/// sorted by `end_lba`. Later snapshots fold more data units in; the
+/// earlier ones stay decodable when a unit staged *after* a FUA barrier
+/// died with its device — the durable prefix must then be recovered from
+/// the parity as it stood at the barrier, not as it stood at the crash.
+#[derive(Debug, Default)]
+struct PpImages {
+    p: HashMap<(u32, u64), Vec<ParityImage>>,
+    q: HashMap<(u32, u64), Vec<ParityImage>>,
+}
+
+impl ParityImage {
+    /// Data extent (sectors into the stripe) this image was computed over.
+    fn extent(&self, lz: u32, stripe: u64, layout: &crate::RaiznLayout) -> u64 {
+        let lgeo = layout.logical_geometry();
+        (self.end_lba.saturating_sub(lgeo.zone_start(lz)))
+            .saturating_sub(stripe * layout.stripe_data_sectors())
+    }
+}
+
 impl RaiznVolume {
     /// Mounts an existing array after shutdown, power loss, or a crash
-    /// with one failed device. `config` must match the one used at
+    /// with up to `parity` failed devices (one for RAIZN, two for
+    /// RAIZN-2). `config` must match the one used at
     /// [`format`](RaiznVolume::format) (it is validated against the
     /// persisted superblock).
     ///
     /// # Errors
     ///
     /// Fails if no valid superblock is found, parameters mismatch, more
-    /// than one device is failed, or device IO fails.
+    /// devices are failed than the parity count tolerates, or device IO
+    /// fails.
     pub fn mount(
         devices: Vec<Arc<ZnsDevice>>,
         config: RaiznConfig,
@@ -69,18 +94,18 @@ impl RaiznVolume {
             .filter(|(_, d)| d.is_failed())
             .map(|(i, _)| i)
             .collect();
-        if failed.len() > 1 {
-            return Err(ZnsError::InvalidArgument(format!(
-                "{} devices failed; RAIZN tolerates one",
-                failed.len()
-            )));
+        if failed.len() > layout.parity_units() as usize {
+            return Err(ZnsError::TooManyFailures {
+                failed: failed.len() as u32,
+                parity: layout.parity_units(),
+            });
         }
-        let failed = failed.first().copied();
+        let failed_mask: u64 = failed.iter().fold(0, |m, d| m | (1u64 << d));
 
         // ---- 1. Scan metadata zones. -----------------------------------
         let mut harvest = Harvest::default();
         for (di, dev) in devices.iter().enumerate() {
-            if failed == Some(di) {
+            if failed_mask & (1u64 << di) != 0 {
                 continue;
             }
             for mz in 0..config.md_zones_per_device {
@@ -133,7 +158,7 @@ impl RaiznVolume {
         let mut relocated: HashMap<(u32, u64, u32), RelocatedUnit> = HashMap::new();
         // Partial parity images per (lzone, stripe): replay normal records
         // after checkpointed ones so normal entries win overlaps (§4.3).
-        let mut pp: HashMap<(u32, u64), ParityImage> = HashMap::new();
+        let mut pp = PpImages::default();
         let su = layout.stripe_unit();
         let su_bytes = (su * SECTOR_SIZE) as usize;
         let mut ordered: Vec<&(usize, MdRecord)> = harvest.records.iter().collect();
@@ -181,18 +206,38 @@ impl RaiznVolume {
                         );
                     }
                 }
-                MdPayload::PartialParity { first_row, data } => {
+                MdPayload::PartialParity { first_row, data }
+                | MdPayload::PartialParityQ { first_row, data } => {
                     let lz = lgeo.zone_of(rec.header.start_lba);
                     if rec.header.generation != gens[lz as usize] {
                         continue;
                     }
                     let zoff = lgeo.offset_in_zone(rec.header.start_lba);
                     let stripe = zoff / layout.stripe_data_sectors();
-                    let img = pp.entry((lz, stripe)).or_insert_with(|| ParityImage {
-                        rows: vec![0u8; su_bytes],
-                        covered: vec![false; su as usize],
-                        end_lba: 0,
-                    });
+                    let map = if matches!(&rec.payload, MdPayload::PartialParityQ { .. }) {
+                        &mut pp.q
+                    } else {
+                        &mut pp.p
+                    };
+                    let imgs = map.entry((lz, stripe)).or_default();
+                    let e = rec.header.end_lba;
+                    let pos = imgs.partition_point(|i| i.end_lba < e);
+                    if imgs.get(pos).is_none_or(|i| i.end_lba != e) {
+                        // New extent: snapshot continues from the previous
+                        // one — rows this record does not touch kept their
+                        // parity (and fold set) unchanged.
+                        let mut next = match pos.checked_sub(1).map(|p| &imgs[p]) {
+                            Some(prev) => prev.clone(),
+                            None => ParityImage {
+                                rows: vec![0u8; su_bytes],
+                                covered: vec![false; su as usize],
+                                end_lba: 0,
+                            },
+                        };
+                        next.end_lba = e;
+                        imgs.insert(pos, next);
+                    }
+                    let img = &mut imgs[pos];
                     let rows = data.len() as u64 / SECTOR_SIZE;
                     for r in 0..rows {
                         let dst = ((first_row + r) * SECTOR_SIZE) as usize;
@@ -201,16 +246,26 @@ impl RaiznVolume {
                             .copy_from_slice(&data[src..src + SECTOR_SIZE as usize]);
                         img.covered[(first_row + r) as usize] = true;
                     }
-                    img.end_lba = img.end_lba.max(rec.header.end_lba);
                 }
                 _ => {}
+            }
+        }
+        if std::env::var_os("RAIZN_DEBUG").is_some() {
+            for (tag, map) in [("P", &pp.p), ("Q", &pp.q)] {
+                for ((lz, stripe), imgs) in map.iter() {
+                    for img in imgs {
+                        eprintln!(
+                            "[harvest] {tag} lz={lz} stripe={stripe} end_lba={} covered={:?}",
+                            img.end_lba, img.covered
+                        );
+                    }
+                }
             }
         }
 
         // ---- 3. Assemble and recover each logical zone. -----------------
         let vol = Self::assemble(devices, config, layout, gens);
-        vol.failed
-            .store(failed.unwrap_or(NO_DEVICE), Ordering::Release);
+        vol.failed_mask.store(failed_mask, Ordering::Release);
         {
             let devices = vol.devices.read();
             // Seed per-zone conflict sets before the map moves into the
@@ -248,7 +303,7 @@ impl RaiznVolume {
         at: SimTime,
         lz: u32,
         reset_logged: bool,
-        pp: &HashMap<(u32, u64), ParityImage>,
+        pp: &PpImages,
     ) -> Result<bool> {
         let layout = self.layout;
         let su = layout.stripe_unit();
@@ -271,7 +326,18 @@ impl RaiznVolume {
                 live_full &= info.state == ZoneState::Full;
             }
         }
-        let any_content = wp.iter().flatten().any(|w| *w > 0);
+        // Generation-filtered pp images count as content: on a degraded
+        // mount the failed devices may have held every written data unit,
+        // leaving the parity logs as the zone's only witnesses.
+        let pp_witness = [&pp.p, &pp.q].into_iter().any(|map| {
+            map.iter().any(|((z2, _), imgs)| {
+                *z2 == lz
+                    && imgs
+                        .last()
+                        .is_some_and(|img| img.covered.iter().any(|c| *c))
+            })
+        });
+        let any_content = wp.iter().flatten().any(|w| *w > 0) || pp_witness;
         // Every surviving physical zone sealed => the logical zone was
         // finished (or filled). A finish writes the final stripe's parity
         // *prefix* into the parity slot, so the parity-presence shortcut
@@ -310,14 +376,40 @@ impl RaiznVolume {
             avail_local(m, wp, lz, su, stripe, dev)
         };
 
-        // Highest touched stripe and the intended data fill.
+        // Highest touched stripe and the intended data fill. Surviving
+        // write pointers alone can understate the frontier on a degraded
+        // mount: when the failed devices held the only data of the last
+        // stripe, its partial-parity images (or a relocation) are the
+        // only remaining witnesses.
         let max_wp = wp.iter().flatten().copied().max().unwrap_or(0);
-        let max_stripe = (max_wp - 1) / su;
+        let mut max_stripe = max_wp.saturating_sub(1) / su;
+        for map in [&pp.p, &pp.q] {
+            for ((z2, s), imgs) in map.iter() {
+                let witnessed = imgs
+                    .last()
+                    .is_some_and(|img| img.covered.iter().any(|c| *c));
+                if *z2 == lz && witnessed {
+                    max_stripe = max_stripe.max(*s);
+                }
+            }
+        }
+        for ((z2, s, _), rel) in m.relocated.iter() {
+            if *z2 == lz && rel.valid > 0 {
+                max_stripe = max_stripe.max(*s);
+            }
+        }
         let parity_dev = layout.parity_device(lz, max_stripe);
         let last_parity = if finished {
             0 // ignore the finish-written parity prefix
         } else {
-            avail(&m, &wp, max_stripe, parity_dev).unwrap_or(0)
+            // Either parity leg witnesses stripe completion: in a degraded
+            // dual-parity mount the P holder may be the failed device.
+            let p = avail(&m, &wp, max_stripe, parity_dev).unwrap_or(0);
+            let q = layout
+                .q_device(lz, max_stripe)
+                .and_then(|qd| avail(&m, &wp, max_stripe, qd))
+                .unwrap_or(0);
+            p.max(q)
         };
         let mut fill = if last_parity > 0 {
             // Parity present => the last stripe was completed.
@@ -333,11 +425,12 @@ impl RaiznVolume {
                 }
             }
             // Partial-parity logs may witness a higher extent than any
-            // surviving device (degraded mounts).
-            if let Some(img) = pp.get(&(lz, max_stripe)) {
-                let lgeo = layout.logical_geometry();
-                let rel = img.end_lba.saturating_sub(lgeo.zone_start(lz));
-                f = f.max(rel);
+            // surviving device (degraded mounts) — either leg will do.
+            let lgeo = layout.logical_geometry();
+            for map in [&pp.p, &pp.q] {
+                if let Some(img) = map.get(&(lz, max_stripe)).and_then(|v| v.last()) {
+                    f = f.max(img.end_lba.saturating_sub(lgeo.zone_start(lz)));
+                }
             }
             f
         };
@@ -351,10 +444,8 @@ impl RaiznVolume {
             let stripe_fill = (fill.saturating_sub(stripe * stripe_data)).min(stripe_data);
             let complete = stripe_fill == stripe_data;
             for dev in 0..n {
-                if self.is_failed(dev as usize) {
-                    continue; // degraded mount: no repair writes possible
-                }
-                let needed = match layout.unit_of_device(lz, stripe, dev) {
+                let unit = layout.unit_of_device(lz, stripe, dev);
+                let needed = match unit {
                     None => {
                         if complete {
                             su
@@ -368,7 +459,17 @@ impl RaiznVolume {
                 if have >= needed {
                     continue;
                 }
+                let failed = self.is_failed(dev as usize);
+                if failed && unit.is_none() {
+                    // A failed device's parity slot is neither repairable
+                    // nor needed for the prefix to stay readable.
+                    continue;
+                }
                 // Stripe hole: rebuild rows [have, needed) of this slot.
+                // For a failed device's data slot this is a probe only —
+                // no repair write is possible, but the rows must still be
+                // reconstructable or the zone has to roll back (a cached
+                // tail can die with its device).
                 let rows = needed - have;
                 let mut out = vec![0u8; (rows * SECTOR_SIZE) as usize];
                 let avail_now = wp.clone();
@@ -382,8 +483,11 @@ impl RaiznVolume {
                             "[recover] lz={lz} stripe={stripe} dev={dev} have={have} needed={needed} complete={complete} irreparable"
                         );
                     }
-                    rollback = Some(self.consistent_prefix(&m, lz, &wp));
+                    rollback = Some(self.readable_prefix(&m, devices, at, lz, &mut wp, pp, fill)?);
                     break 'stripes;
+                }
+                if failed {
+                    continue;
                 }
                 // Write the recovered rows at the device's write pointer.
                 let pba = layout.stripe_pba(lz, stripe) + have;
@@ -403,6 +507,85 @@ impl RaiznVolume {
             }
             fill = r;
         }
+
+        // Seed the stripe buffer for an incomplete final stripe. This runs
+        // BEFORE the ghost sweep: reconstruction may need rolled-back rows
+        // still sitting on healthy devices as fold sources (they are
+        // consistent with the pre-rollback parity that folds them), and the
+        // sweep is about to mask those slots behind empty relocations.
+        if fill % stripe_data != 0 {
+            let stripe = fill / stripe_data;
+            let mut buf = StripeBuffer::with_parity(stripe, d_units, su, layout.parity_units());
+            let in_stripe = fill % stripe_data;
+            let mut staged = vec![0u8; (in_stripe * SECTOR_SIZE) as usize];
+            // Fetch every reachable unit first; collect the rest. Degraded
+            // mounts reconstruct them from the parity slots and the
+            // partial-parity images ("up to one stripe buffer ... per open
+            // logical zone", §5.1) — one unit from the P leg, two from P
+            // and Q jointly.
+            let mut missing: Vec<u64> = Vec::new();
+            let mut cursor = 0u64;
+            while cursor < in_stripe {
+                let k = cursor / su;
+                let row0 = cursor % su;
+                let rows = (su - row0).min(in_stripe - cursor);
+                let dev = layout.data_device(lz, stripe, k);
+                let off = (cursor * SECTOR_SIZE) as usize;
+                if m.relocated.contains_key(&(lz, stripe, dev)) || !self.is_failed(dev as usize) {
+                    let out = &mut staged[off..off + (rows * SECTOR_SIZE) as usize];
+                    self.fetch_slot_rows(&m, devices, at, lz, stripe, dev, row0, out)?;
+                } else {
+                    missing.push(k);
+                }
+                cursor += rows;
+            }
+            if missing.len() > layout.parity_units() as usize {
+                return Err(ZnsError::InvalidArgument(format!(
+                    "degraded mount: {} data units of zone {lz} stripe {stripe} \
+                     unreachable, parity tolerates {}",
+                    missing.len(),
+                    layout.parity_units()
+                )));
+            }
+            // Decode each missing unit's staged rows through the shared
+            // reconstruction kernel: it tries the physical parity slots
+            // (the stripe may have completed in cache before the rollback),
+            // the pp image snapshots, and two-erasure combinations of both.
+            // A finished zone's parity slot holds a parity *prefix*, not
+            // full-stripe parity, and a ZRWA slot tracks the in-place fill
+            // — the slot-candidate extent is wrong for both, so candidates
+            // stay image-only there.
+            let slots_usable = !finished && !self.config.use_zrwa;
+            for &j in &missing {
+                let jw = (in_stripe.saturating_sub(j * su)).min(su);
+                let jdev = layout.data_device(lz, stripe, j);
+                let mut out = vec![0u8; (jw * SECTOR_SIZE) as usize];
+                let ok = self.rebuild_rows(
+                    &m,
+                    devices,
+                    at,
+                    lz,
+                    stripe,
+                    jdev,
+                    0,
+                    jw,
+                    slots_usable,
+                    pp,
+                    &wp,
+                    &mut out,
+                )?;
+                if !ok {
+                    return Err(ZnsError::InvalidArgument(format!(
+                        "degraded mount: no usable partial parity for zone {lz} stripe {stripe}"
+                    )));
+                }
+                let off = (j * su * SECTOR_SIZE) as usize;
+                staged[off..off + out.len()].copy_from_slice(&out);
+            }
+            buf.fill(&staged);
+            z.buffer = Some(buf);
+        }
+
         // Consistency sweep: every device's physical extent must match what
         // the final logical write pointer implies, or the excess becomes a
         // conflicted "ghost" slot whose future writes are relocated. This
@@ -467,76 +650,8 @@ impl RaiznVolume {
         }
         self.sync_relocated_count(&m);
 
-        // Seed the stripe buffer for an incomplete final stripe.
         let z_wp = fill;
         let lgeo = layout.logical_geometry();
-        if z_wp % stripe_data != 0 {
-            let stripe = z_wp / stripe_data;
-            let mut buf = StripeBuffer::new(stripe, d_units, su);
-            let in_stripe = z_wp % stripe_data;
-            let mut staged = vec![0u8; (in_stripe * SECTOR_SIZE) as usize];
-            let mut cursor = 0u64;
-            while cursor < in_stripe {
-                let k = cursor / su;
-                let row0 = cursor % su;
-                let rows = (su - row0).min(in_stripe - cursor);
-                let dev = layout.data_device(lz, stripe, k);
-                let off = (cursor * SECTOR_SIZE) as usize;
-                let out = &mut staged[off..off + (rows * SECTOR_SIZE) as usize];
-                if m.relocated.contains_key(&(lz, stripe, dev)) || !self.is_failed(dev as usize) {
-                    self.fetch_slot_rows(&m, devices, at, lz, stripe, dev, row0, out)?;
-                } else {
-                    // Degraded mount: reconstruct from the partial parity
-                    // image ("up to one stripe buffer ... per open logical
-                    // zone", §5.1).
-                    let img = pp.get(&(lz, stripe)).ok_or_else(|| {
-                        ZnsError::InvalidArgument(format!(
-                            "degraded mount: no partial parity for zone {lz} stripe {stripe}"
-                        ))
-                    })?;
-                    for r in row0..row0 + rows {
-                        if !img.covered[r as usize] {
-                            return Err(ZnsError::InvalidArgument(format!(
-                                "degraded mount: parity row {r} not covered"
-                            )));
-                        }
-                    }
-                    let mut acc = img.rows
-                        [(row0 * SECTOR_SIZE) as usize..((row0 + rows) * SECTOR_SIZE) as usize]
-                        .to_vec();
-                    let mut tmp = vec![0u8; acc.len()];
-                    for other in 0..d_units {
-                        if other == k {
-                            continue;
-                        }
-                        let odev = layout.data_device(lz, stripe, other);
-                        // Zero contribution beyond the written extent.
-                        let owritten = (in_stripe.saturating_sub(other * su)).min(su);
-                        let orows = owritten.saturating_sub(row0).min(rows);
-                        if orows == 0 {
-                            continue;
-                        }
-                        tmp.fill(0);
-                        self.fetch_slot_rows(
-                            &m,
-                            devices,
-                            at,
-                            lz,
-                            stripe,
-                            odev,
-                            row0,
-                            &mut tmp[..(orows * SECTOR_SIZE) as usize],
-                        )?;
-                        xor_into(&mut acc, &tmp);
-                    }
-                    out.copy_from_slice(&acc);
-                }
-                cursor += rows;
-            }
-            buf.fill(&staged);
-            z.buffer = Some(buf);
-        }
-
         if std::env::var_os("RAIZN_DEBUG").is_some() {
             eprintln!("[recover] lz={lz} final wp={z_wp} wps={wp:?}");
         }
@@ -557,6 +672,11 @@ impl RaiznVolume {
     /// Attempts to rebuild rows `[have, needed)` of the slot `dev` holds
     /// for `(lz, stripe)`. Returns `Ok(false)` when reconstruction is
     /// impossible (triggering rollback).
+    ///
+    /// Parity sources are the full parity slots (complete stripes) or the
+    /// partial-parity images replayed from the logs; in dual-parity mode
+    /// the Reed–Solomon Q leg lets the repair decode around one *more*
+    /// unavailable slot (a second failed device or a second stripe hole).
     #[allow(clippy::too_many_arguments)]
     fn rebuild_rows(
         &self,
@@ -569,7 +689,7 @@ impl RaiznVolume {
         have: u64,
         needed: u64,
         complete: bool,
-        pp: &HashMap<(u32, u64), ParityImage>,
+        pp: &PpImages,
         wp: &[Option<u64>],
         out: &mut [u8],
     ) -> Result<bool> {
@@ -578,118 +698,307 @@ impl RaiznVolume {
         let d_units = layout.data_units();
         let rows = needed - have;
         let row0 = have;
-        let is_parity = layout.unit_of_device(lz, stripe, dev).is_none();
+        let bytes = (rows * SECTOR_SIZE) as usize;
         let avail = |m: &MetaState, stripe: u64, dev: u32| avail_local(m, wp, lz, su, stripe, dev);
-
-        // Gather the parity rows.
-        let mut parity = vec![0u8; (rows * SECTOR_SIZE) as usize];
-        if is_parity {
-            // Rebuilding the parity slot itself: XOR of all data units.
-            out.fill(0);
-            let mut tmp = vec![0u8; out.len()];
-            for k in 0..d_units {
-                let kdev = layout.data_device(lz, stripe, k);
-                if avail(m, stripe, kdev).unwrap_or(0) < needed {
-                    return Ok(false);
-                }
-                self.fetch_slot_rows(m, devices, at, lz, stripe, kdev, row0, &mut tmp)?;
-                xor_into(out, &tmp);
-            }
-            return Ok(true);
-        }
-        let k_missing = layout
-            .unit_of_device(lz, stripe, dev)
-            .ok_or_else(|| internal("data slot resolved above"))?;
         let pdev = layout.parity_device(lz, stripe);
-        // Pick the parity source AND the data extent it was computed over:
-        // the full parity slot covers the whole stripe; a partial-parity
-        // image only covers data up to its recorded end LBA — sectors
-        // written after that cannot be recovered from it (§5.1).
-        let pp_extent = pp.get(&(lz, stripe)).map(|img| {
-            let lgeo = layout.logical_geometry();
-            (img.end_lba.saturating_sub(lgeo.zone_start(lz)))
-                .saturating_sub(stripe * layout.stripe_data_sectors())
-        });
-        let stripe_fill;
-        if complete && avail(m, stripe, pdev).unwrap_or(0) >= needed.min(su) {
-            self.fetch_slot_rows(m, devices, at, lz, stripe, pdev, row0, &mut parity)?;
-            stripe_fill = layout.stripe_data_sectors();
-        } else if let Some(img) = pp.get(&(lz, stripe)) {
-            let extent = pp_extent.ok_or_else(|| internal("parity image extent exists"))?;
-            for r in row0..needed {
-                if !img.covered[r as usize] {
-                    return Ok(false);
-                }
-                // The sector we are reconstructing must have been part of
-                // the data this parity was computed over.
-                if k_missing * su + r >= extent {
-                    return Ok(false);
-                }
-            }
-            parity.copy_from_slice(
-                &img.rows[(row0 * SECTOR_SIZE) as usize..(needed * SECTOR_SIZE) as usize],
-            );
-            stripe_fill = extent;
-        } else {
-            return Ok(false);
-        }
+        let qdev = layout.q_device(lz, stripe);
 
-        // out = parity ^ XOR(other units' rows), zero-extended past each
-        // unit's written extent (§5.1 recovery rule).
-        out.copy_from_slice(&parity);
-        let mut tmp = vec![0u8; out.len()];
-        for k in 0..d_units {
-            if k == k_missing {
-                continue;
+        // Load every usable version of one parity leg for rows
+        // [row0, needed): the parity slot of a complete stripe first, then
+        // the replayed pp image snapshots, newest extent first. Each
+        // candidate carries the data extent its parity was computed over —
+        // an older (smaller-extent) snapshot can be the only decodable one
+        // when a unit staged after it died with its device.
+        let leg_candidates =
+            |leg_dev: u32, imgs: Option<&Vec<ParityImage>>| -> Result<Vec<(Vec<u8>, u64)>> {
+                let mut cands = Vec::new();
+                if complete && avail(m, stripe, leg_dev).unwrap_or(0) >= needed.min(su) {
+                    let mut buf = vec![0u8; bytes];
+                    self.fetch_slot_rows(m, devices, at, lz, stripe, leg_dev, row0, &mut buf)?;
+                    cands.push((buf, layout.stripe_data_sectors()));
+                }
+                for img in imgs.into_iter().flatten().rev() {
+                    if (row0..needed).all(|r| img.covered[r as usize]) {
+                        let buf = img.rows
+                            [(row0 * SECTOR_SIZE) as usize..(needed * SECTOR_SIZE) as usize]
+                            .to_vec();
+                        cands.push((buf, img.extent(lz, stripe, &layout)));
+                    }
+                }
+                Ok(cands)
+            };
+
+        // Data units short of `irows` rows at extent `fill`, excluding
+        // `skip` (the unit being rebuilt, if any).
+        let missing_at = |fill: u64, skip: Option<u64>| -> Vec<u64> {
+            (0..d_units)
+                .filter(|i| Some(*i) != skip)
+                .filter(|&i| {
+                    let written = fill.saturating_sub(i * su).min(su);
+                    let irows = written.saturating_sub(row0).min(rows);
+                    irows > 0
+                        && avail(m, stripe, layout.data_device(lz, stripe, i)).unwrap_or(0)
+                            < row0 + irows
+                })
+                .collect()
+        };
+
+        // Accumulate every available data unit (except `skips`) into
+        // `dst`, XOR-wise (coeff == None) or scaled by g^i (Q leg),
+        // zero-extended past each unit's written extent at `fill`.
+        let mut tmp = vec![0u8; bytes];
+        let accumulate =
+            |dst: &mut [u8], tmp: &mut Vec<u8>, fill: u64, skips: &[u64], rs: bool| -> Result<()> {
+                for i in 0..d_units {
+                    if skips.contains(&i) {
+                        continue;
+                    }
+                    let written = fill.saturating_sub(i * su).min(su);
+                    let irows = written.saturating_sub(row0).min(rows);
+                    if irows == 0 {
+                        continue;
+                    }
+                    let idev = layout.data_device(lz, stripe, i);
+                    tmp.fill(0);
+                    self.fetch_slot_rows(
+                        m,
+                        devices,
+                        at,
+                        lz,
+                        stripe,
+                        idev,
+                        row0,
+                        &mut tmp[..(irows * SECTOR_SIZE) as usize],
+                    )?;
+                    if rs {
+                        sim::gf_mul_into(dst, tmp, sim::gf_pow(2, i as u32));
+                    } else {
+                        xor_into(dst, tmp);
+                    }
+                }
+                Ok(())
+            };
+
+        match layout.unit_of_device(lz, stripe, dev) {
+            // ---- Rebuilding a parity slot (P or Q). ----------------------
+            None => {
+                let is_q = qdev == Some(dev);
+                let fill = layout.stripe_data_sectors(); // parity slots exist only complete
+                let missing = missing_at(fill, None);
+                match missing.as_slice() {
+                    [] => {
+                        out.fill(0);
+                        accumulate(out, &mut tmp, fill, &[], is_q)?;
+                        Ok(true)
+                    }
+                    missing => {
+                        // Some data units are also gone: recover each one
+                        // through the full data-unit machinery (the other
+                        // parity leg, lower-extent pp snapshots, or a
+                        // two-erasure solve), then fold them in. Depth is
+                        // bounded: the data arm never recurses.
+                        out.fill(0);
+                        accumulate(out, &mut tmp, fill, missing, is_q)?;
+                        for &k in missing {
+                            let kdev = layout.data_device(lz, stripe, k);
+                            let mut dk = vec![0u8; bytes];
+                            let ok = self.rebuild_rows(
+                                m, devices, at, lz, stripe, kdev, have, needed, complete, pp, wp,
+                                &mut dk,
+                            )?;
+                            if !ok {
+                                return Ok(false);
+                            }
+                            if is_q {
+                                sim::gf_mul_into(out, &dk, sim::gf_pow(2, k as u32));
+                            } else {
+                                xor_into(out, &dk);
+                            }
+                        }
+                        Ok(true)
+                    }
+                }
             }
-            let kdev = layout.data_device(lz, stripe, k);
-            let written = stripe_fill.saturating_sub(k * su).min(su);
-            let krows = written.saturating_sub(row0).min(rows);
-            if krows == 0 {
-                continue;
+            // ---- Rebuilding a data unit. ---------------------------------
+            Some(j) => {
+                let p_cands = leg_candidates(pdev, pp.p.get(&(lz, stripe)))?;
+                let q_cands = match qdev {
+                    Some(qd) => leg_candidates(qd, pp.q.get(&(lz, stripe)))?,
+                    None => Vec::new(),
+                };
+                // Single-erasure via P: out = P ^ XOR(other units).
+                for (pbuf, extent) in &p_cands {
+                    if j * su + needed <= *extent && missing_at(*extent, Some(j)).is_empty() {
+                        out.copy_from_slice(pbuf);
+                        accumulate(out, &mut tmp, *extent, &[j], false)?;
+                        return Ok(true);
+                    }
+                }
+                // Single-erasure via Q: out = g^{-j} · (Q ^ Σ g^i·D_i).
+                for (qbuf, extent) in &q_cands {
+                    if j * su + needed <= *extent && missing_at(*extent, Some(j)).is_empty() {
+                        out.copy_from_slice(qbuf);
+                        accumulate(out, &mut tmp, *extent, &[j], true)?;
+                        sim::gf_scale(out, sim::gf_inv(sim::gf_pow(2, j as u32)));
+                        return Ok(true);
+                    }
+                }
+                // Two-erasure: both legs at the same data extent, exactly
+                // one other unit missing there.
+                for (pbuf, ep) in &p_cands {
+                    for (qbuf, eq) in &q_cands {
+                        if ep != eq || j * su + needed > *ep {
+                            continue;
+                        }
+                        let missing = missing_at(*ep, Some(j));
+                        let [k] = missing.as_slice() else {
+                            continue;
+                        };
+                        let k = *k;
+                        let mut sp = pbuf.clone();
+                        let mut sq = qbuf.clone();
+                        accumulate(&mut sp, &mut tmp, *ep, &[j, k], false)?;
+                        accumulate(&mut sq, &mut tmp, *ep, &[j, k], true)?;
+                        // Rows where unit k holds data need the 2x2 solve;
+                        // rows past its written extent see D_k == 0, so sp
+                        // is D_j there outright (staggered fill, §5.1).
+                        let written_k = ep.saturating_sub(k * su).min(su);
+                        let krows = written_k.saturating_sub(row0).min(rows);
+                        let kb = (krows * SECTOR_SIZE) as usize;
+                        sim::rs_solve_two(&mut sp[..kb], &mut sq[..kb], j as u32, k as u32);
+                        // rs_solve_two leaves D_j in sq (and D_k in sp).
+                        out[..kb].copy_from_slice(&sq[..kb]);
+                        out[kb..].copy_from_slice(&sp[kb..]);
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
             }
-            if avail(m, stripe, kdev).unwrap_or(0) < row0 + krows {
-                return Ok(false);
-            }
-            tmp.fill(0);
-            self.fetch_slot_rows(
-                m,
-                devices,
-                at,
-                lz,
-                stripe,
-                kdev,
-                row0,
-                &mut tmp[..(krows * SECTOR_SIZE) as usize],
-            )?;
-            xor_into(out, &tmp);
         }
-        Ok(true)
     }
 
     /// The longest prefix of the logical zone in which every sector is
-    /// readable (used as the rollback point).
-    fn consistent_prefix(&self, m: &MetaState, lz: u32, wp: &[Option<u64>]) -> u64 {
+    /// readable — directly or by reconstruction within the parity
+    /// headroom — used as the rollback point after an irreparable slot.
+    ///
+    /// Reconstructable holes on healthy devices below the returned prefix
+    /// are repaired in place (the main repair pass stops at the first
+    /// irreparable slot, possibly leaving later reconstructable holes
+    /// behind); holes on failed devices are left to the degraded read
+    /// path. Without the reconstruction probe, a degraded dual-parity
+    /// mount would roll back below durable data merely because the failed
+    /// devices' slots are not directly readable.
+    ///
+    /// Within each stripe the data units are probed before the parity
+    /// legs: a parity slot is only reconstructable once the data holes it
+    /// folds over are filled, and repairing in data-then-parity order
+    /// keeps every healthy device's write pointer aligned with the slots
+    /// the walk exposes.
+    #[allow(clippy::too_many_arguments)]
+    fn readable_prefix(
+        &self,
+        m: &MetaState,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+        lz: u32,
+        wp: &mut [Option<u64>],
+        pp: &PpImages,
+        fill: u64,
+    ) -> Result<u64> {
         let layout = self.layout;
         let su = layout.stripe_unit();
         let stripe_data = layout.stripe_data_sectors();
-        let max_wp = wp.iter().flatten().copied().max().unwrap_or(0);
-        if max_wp == 0 {
-            return 0;
-        }
-        let max_stripe = (max_wp - 1) / su;
-        let mut prefix = 0u64;
-        for stripe in 0..=max_stripe {
-            for k in 0..layout.data_units() {
-                let dev = layout.data_device(lz, stripe, k);
-                let a = avail_local(m, wp, lz, su, stripe, dev).unwrap_or(0);
-                prefix = stripe * stripe_data + k * su + a;
-                if a < su {
-                    return prefix;
+        // Once a healthy device's slot could not be fully repaired, its
+        // physical write pointer is stuck short — later slots on it can
+        // no longer be written in place (their addresses would misalign).
+        let mut write_blocked = vec![false; layout.devices() as usize];
+        let mut stripe = 0u64;
+        loop {
+            let stripe_fill = (fill.saturating_sub(stripe * stripe_data)).min(stripe_data);
+            if stripe_fill == 0 {
+                return Ok(fill);
+            }
+            let complete = stripe_fill == stripe_data;
+            let mut order: Vec<u32> = (0..layout.data_units())
+                .map(|k| layout.data_device(lz, stripe, k))
+                .collect();
+            order.push(layout.parity_device(lz, stripe));
+            order.extend(layout.q_device(lz, stripe));
+            // First sector of this stripe proven unreadable, if any.
+            let mut stripe_cap: Option<u64> = None;
+            for dev in order {
+                let unit = layout.unit_of_device(lz, stripe, dev);
+                let needed = match unit {
+                    None => {
+                        if complete {
+                            su
+                        } else {
+                            0
+                        }
+                    }
+                    Some(k) => stripe_fill.saturating_sub(k * su).min(su),
+                };
+                let have = avail_local(m, wp, lz, su, stripe, dev)
+                    .unwrap_or(0)
+                    .min(needed);
+                if have >= needed {
+                    continue;
+                }
+                let mut cap = |k: u64, rows: u64| {
+                    let pos = stripe * stripe_data + k * su + rows;
+                    stripe_cap = Some(stripe_cap.map_or(pos, |c| c.min(pos)));
+                };
+                if m.relocated.contains_key(&(lz, stripe, dev)) {
+                    // A short relocation cannot be extended here.
+                    if let Some(k) = unit {
+                        cap(k, have);
+                    }
+                    write_blocked[dev as usize] = true;
+                    continue;
+                }
+                // Largest reconstructable prefix [have, best) of the short
+                // rows: a durable prefix can be decodable from an older pp
+                // snapshot even when the cached tail died with a device.
+                let avail_now: Vec<Option<u64>> = wp.to_vec();
+                let mut best = have;
+                let mut repaired: Vec<u8> = Vec::new();
+                for want in (have + 1..=needed).rev() {
+                    let mut out = vec![0u8; ((want - have) * SECTOR_SIZE) as usize];
+                    let ok = self.rebuild_rows(
+                        m, devices, at, lz, stripe, dev, have, want, complete, pp, &avail_now,
+                        &mut out,
+                    )?;
+                    if ok {
+                        best = want;
+                        repaired = out;
+                        break;
+                    }
+                }
+                if best < needed {
+                    if let Some(k) = unit {
+                        cap(k, best);
+                    }
+                }
+                let failed = self.is_failed(dev as usize);
+                if !failed && !write_blocked[dev as usize] && best > have {
+                    // Repair in place so the exposed prefix stays directly
+                    // readable on healthy devices.
+                    let pba = layout.stripe_pba(lz, stripe) + have;
+                    devices[dev as usize].write(at, pba, &repaired, WriteFlags::default())?;
+                    if let Some(w) = wp.get_mut(dev as usize).and_then(|w| w.as_mut()) {
+                        *w = stripe * su + best;
+                    }
+                    AtomicRaiznStats::add(&self.stats.recovered_units, 1);
+                }
+                if best < needed {
+                    write_blocked[dev as usize] = true;
                 }
             }
+            if let Some(c) = stripe_cap {
+                return Ok(c.min(fill));
+            }
+            stripe += 1;
         }
-        prefix
     }
 
     /// §5.2 maintenance: when a logical zone holds more relocated stripe
@@ -907,12 +1216,33 @@ impl RaiznVolume {
                 self.md_append(&mut m, devices, at, pdev, MdRole::PpLog, &rec, false)?;
                 AtomicRaiznStats::add(&self.stats.pp_log_entries, 1);
             }
+            if let Some(qd) = self.layout.q_device(lz, b.stripe()) {
+                if !self.is_failed(qd as usize) {
+                    let rec = MdRecord::new(
+                        MdPayload::PartialParityQ {
+                            first_row: 0,
+                            data: b.q_parity()[..(rows * SECTOR_SIZE) as usize].to_vec(),
+                        },
+                        false,
+                        sstart,
+                        sstart + b.filled_sectors(),
+                        m.gens[lz as usize],
+                    );
+                    self.md_append(&mut m, devices, at, qd as usize, MdRole::PpLog, &rec, false)?;
+                    AtomicRaiznStats::add(&self.stats.pp_q_log_entries, 1);
+                }
+            }
             let snap = m.pp_live.entry(lz).or_default();
             snap.stripe = b.stripe();
             snap.filled = b.filled_sectors();
             snap.parity.clear();
             snap.parity
                 .extend_from_slice(&b.parity()[..(rows * SECTOR_SIZE) as usize]);
+            snap.q.clear();
+            if self.layout.parity_units() >= 2 {
+                snap.q
+                    .extend_from_slice(&b.q_parity()[..(rows * SECTOR_SIZE) as usize]);
+            }
         }
         Ok(())
     }

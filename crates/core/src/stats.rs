@@ -11,6 +11,11 @@ pub struct RaiznStats {
     pub pp_log_bytes: u64,
     /// Full parity stripe units written to data zones.
     pub full_parity_writes: u64,
+    /// Q (Reed–Solomon) parity stripe units written to data zones
+    /// (RAIZN-2 dual-parity mode).
+    pub q_parity_writes: u64,
+    /// Partial-parity log entries appended for the Q leg (RAIZN-2).
+    pub pp_q_log_entries: u64,
     /// Metadata records appended (all types).
     pub md_appends: u64,
     /// Metadata zone garbage collections performed.
@@ -21,10 +26,15 @@ pub struct RaiznStats {
     pub zone_resets: u64,
     /// Reads served in degraded mode (reconstruction).
     pub degraded_reads: u64,
+    /// Degraded reads that reconstructed around two missing devices
+    /// (two-erasure Reed–Solomon decode, RAIZN-2).
+    pub double_degraded_reads: u64,
     /// Stripe units repaired from parity during recovery.
     pub recovered_units: u64,
     /// Bytes written to replacement devices by rebuilds.
     pub rebuild_bytes: u64,
+    /// Device rebuilds completed (one per replaced device).
+    pub rebuilds_completed: u64,
     /// Flush sub-IOs issued for FUA/persistence handling.
     pub persistence_flushes: u64,
     /// Physical zones rewritten to heal excess relocations (§5.2).
@@ -62,13 +72,17 @@ pub(crate) struct AtomicRaiznStats {
     pub pp_log_entries: AtomicU64,
     pub pp_log_bytes: AtomicU64,
     pub full_parity_writes: AtomicU64,
+    pub q_parity_writes: AtomicU64,
+    pub pp_q_log_entries: AtomicU64,
     pub md_appends: AtomicU64,
     pub md_gc_runs: AtomicU64,
     pub relocated_units: AtomicU64,
     pub zone_resets: AtomicU64,
     pub degraded_reads: AtomicU64,
+    pub double_degraded_reads: AtomicU64,
     pub recovered_units: AtomicU64,
     pub rebuild_bytes: AtomicU64,
+    pub rebuilds_completed: AtomicU64,
     pub persistence_flushes: AtomicU64,
     pub zone_rewrites: AtomicU64,
     pub zrwa_parity_writes: AtomicU64,
@@ -98,13 +112,17 @@ impl AtomicRaiznStats {
             pp_log_entries: ld(&self.pp_log_entries),
             pp_log_bytes: ld(&self.pp_log_bytes),
             full_parity_writes: ld(&self.full_parity_writes),
+            q_parity_writes: ld(&self.q_parity_writes),
+            pp_q_log_entries: ld(&self.pp_q_log_entries),
             md_appends: ld(&self.md_appends),
             md_gc_runs: ld(&self.md_gc_runs),
             relocated_units: ld(&self.relocated_units),
             zone_resets: ld(&self.zone_resets),
             degraded_reads: ld(&self.degraded_reads),
+            double_degraded_reads: ld(&self.double_degraded_reads),
             recovered_units: ld(&self.recovered_units),
             rebuild_bytes: ld(&self.rebuild_bytes),
+            rebuilds_completed: ld(&self.rebuilds_completed),
             persistence_flushes: ld(&self.persistence_flushes),
             zone_rewrites: ld(&self.zone_rewrites),
             zrwa_parity_writes: ld(&self.zrwa_parity_writes),

@@ -31,6 +31,9 @@ pub struct StripeBuffer {
     unit_sectors: u64,
     data: Vec<u8>,
     parity: Vec<u8>,
+    /// Running GF(2^8) Reed–Solomon parity (RAIZN-2); empty in
+    /// single-parity mode so the dual-mode cost is opt-in.
+    q: Vec<u8>,
     filled: u64,
 }
 
@@ -42,13 +45,29 @@ impl StripeBuffer {
     ///
     /// Panics if either dimension is zero.
     pub fn new(stripe: u64, data_units: u64, unit_sectors: u64) -> Self {
+        Self::with_parity(stripe, data_units, unit_sectors, 1)
+    }
+
+    /// Creates an empty buffer maintaining `parity_units` running parity
+    /// columns: 1 (XOR parity P) or 2 (P plus the GF(2^8) Q column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `parity_units` is not 1 or 2.
+    pub fn with_parity(stripe: u64, data_units: u64, unit_sectors: u64, parity_units: u32) -> Self {
         assert!(data_units > 0 && unit_sectors > 0, "empty stripe shape");
+        assert!(
+            parity_units == 1 || parity_units == 2,
+            "parity_units must be 1 or 2"
+        );
+        let col = (unit_sectors * SECTOR_SIZE) as usize;
         StripeBuffer {
             stripe,
             data_units,
             unit_sectors,
-            data: vec![0u8; (data_units * unit_sectors * SECTOR_SIZE) as usize],
-            parity: vec![0u8; (unit_sectors * SECTOR_SIZE) as usize],
+            data: vec![0u8; (data_units as usize) * col],
+            parity: vec![0u8; col],
+            q: vec![0u8; if parity_units == 2 { col } else { 0 }],
             filled: 0,
         }
     }
@@ -115,6 +134,15 @@ impl StripeBuffer {
                 &mut self.parity[p_off..p_off + len],
                 &self.data[d_off..d_off + len],
             );
+            if !self.q.is_empty() {
+                // Q accumulates g^k * data for unit index k = s / su.
+                let coeff = sim::gf_pow(2, (s / su) as u32);
+                sim::gf_mul_into(
+                    &mut self.q[p_off..p_off + len],
+                    &self.data[d_off..d_off + len],
+                    coeff,
+                );
+            }
             s += run;
         }
         self.filled = end;
@@ -127,6 +155,25 @@ impl StripeBuffer {
     /// The running parity column (`unit_sectors` sectors).
     pub fn parity(&self) -> &[u8] {
         &self.parity
+    }
+
+    /// How many running parity columns this buffer maintains (1 or 2).
+    pub fn parity_units(&self) -> u32 {
+        if self.q.is_empty() {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The running Q (GF(2^8) Reed–Solomon) parity column.
+    ///
+    /// # Panics
+    ///
+    /// Panics in single-parity mode (no Q column is maintained).
+    pub fn q_parity(&self) -> &[u8] {
+        assert!(!self.q.is_empty(), "no Q column in single-parity mode");
+        &self.q
     }
 
     /// The data of unit `k` as written so far (zero-filled beyond the
@@ -168,6 +215,9 @@ impl StripeBuffer {
         let parity_dirty = (self.filled.min(self.unit_sectors) * SECTOR_SIZE) as usize;
         self.data[..data_dirty].fill(0);
         self.parity[..parity_dirty].fill(0);
+        if !self.q.is_empty() {
+            self.q[..parity_dirty].fill(0);
+        }
         self.filled = 0;
     }
 
@@ -176,6 +226,12 @@ impl StripeBuffer {
     /// with fresh ones).
     pub fn shape_matches(&self, data_units: u64, unit_sectors: u64) -> bool {
         self.data_units == data_units && self.unit_sectors == unit_sectors
+    }
+
+    /// [`shape_matches`](Self::shape_matches) plus the parity-column
+    /// count (dual-parity pools must not hand out single-parity buffers).
+    pub fn shape_matches_parity(&self, data_units: u64, unit_sectors: u64, parity: u32) -> bool {
+        self.shape_matches(data_units, unit_sectors) && self.parity_units() == parity
     }
 }
 
@@ -233,6 +289,39 @@ mod tests {
         assert_eq!(b.stripe(), 7);
         assert_eq!(b.filled_sectors(), 0);
         assert!(b.parity().iter().all(|x| *x == 0));
+    }
+
+    #[test]
+    fn q_column_tracks_rs_code() {
+        let mut b = StripeBuffer::with_parity(0, 4, 4, 2);
+        let mut rng = sim::SimRng::new(0x9A);
+        let mut chunk = vec![0u8; 3 * SECTOR_SIZE as usize];
+        for _ in 0..5 {
+            rng.fill_bytes(&mut chunk);
+            b.fill(&chunk);
+        }
+        rng.fill_bytes(&mut chunk[..SECTOR_SIZE as usize]);
+        b.fill(&chunk[..SECTOR_SIZE as usize]);
+        assert!(b.is_complete());
+        let su_bytes = (4 * SECTOR_SIZE) as usize;
+        let mut p = vec![0u8; su_bytes];
+        let mut q = vec![0u8; su_bytes];
+        for k in 0..4u64 {
+            sim::xor_into(&mut p, b.unit_data(k));
+            sim::gf_mul_into(&mut q, b.unit_data(k), sim::gf_pow(2, k as u32));
+        }
+        assert_eq!(&p[..], b.parity());
+        assert_eq!(&q[..], b.q_parity());
+        b.recycle(3);
+        assert!(sim::is_zero(b.q_parity()));
+        assert!(b.shape_matches_parity(4, 4, 2));
+        assert!(!b.shape_matches_parity(4, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no Q column")]
+    fn single_parity_has_no_q() {
+        StripeBuffer::new(0, 2, 2).q_parity();
     }
 
     #[test]

@@ -14,9 +14,10 @@
 //!
 //! Lock order (deadlock freedom): **at most one zone shard → meta →
 //! device**. Counters are relaxed atomics ([`AtomicRaiznStats`]), the
-//! failed-device index and read-only flag are atomics, and per-zone write
-//! pointers are mirrored in lock-free [`RaiznVolume::zone_wp`] cells so
-//! metadata GC can validate checkpoint snapshots without touching shards.
+//! failed-device bitmask and read-only flag are atomics, and per-zone
+//! write pointers are mirrored in lock-free [`RaiznVolume::zone_wp`] cells
+//! so metadata GC can validate checkpoint snapshots without touching
+//! shards.
 
 use crate::bitmap::PersistenceBitmap;
 use crate::config::RaiznConfig;
@@ -35,8 +36,17 @@ use zns::{
     ZoneState, ZonedVolume, SECTOR_SIZE,
 };
 
-/// Sentinel for "no failed device" in [`RaiznVolume::failed`].
-pub(crate) const NO_DEVICE: usize = usize::MAX;
+/// What a device stores for one particular stripe (the roles rotate per
+/// stripe and zone; see [`RaiznLayout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotRole {
+    /// Data unit `k` of the stripe.
+    Data(u64),
+    /// The XOR parity unit.
+    P,
+    /// The Reed–Solomon Q parity unit (dual-parity mode only).
+    Q,
+}
 
 /// Which metadata zone a record goes to (§4.3: partial parity is isolated
 /// in its own zone; everything else shares the general zone).
@@ -95,16 +105,21 @@ impl LZone {
         stripe: u64,
         data_units: u64,
         unit_sectors: u64,
+        parity_units: u32,
     ) -> StripeBuffer {
         match self.spare.take() {
             Some(mut b) => {
-                debug_assert!(b.shape_matches(data_units, unit_sectors));
+                debug_assert!(b.shape_matches_parity(data_units, unit_sectors, parity_units));
                 debug_assert!(sim::is_zero(b.parity()), "pooled buffer not clean");
+                debug_assert!(
+                    b.parity_units() < 2 || sim::is_zero(b.q_parity()),
+                    "pooled buffer Q not clean"
+                );
                 b.recycle(stripe);
                 AtomicRaiznStats::add(&stats.stripe_buffers_reused, 1);
                 b
             }
-            None => StripeBuffer::new(stripe, data_units, unit_sectors),
+            None => StripeBuffer::with_parity(stripe, data_units, unit_sectors, parity_units),
         }
     }
 
@@ -131,6 +146,9 @@ pub(crate) struct PpSnapshot {
     pub filled: u64,
     /// Running parity prefix (`filled.min(stripe_unit)` rows).
     pub parity: Vec<u8>,
+    /// Running Q-parity prefix, same shape as `parity`. Empty in
+    /// single-parity mode.
+    pub q: Vec<u8>,
 }
 
 /// Cross-zone volume metadata: the single global lock domain. Everything
@@ -181,8 +199,11 @@ pub struct RaiznVolume {
     /// Member devices. Read-locked for the duration of an operation;
     /// write-locked only by rebuild's final device swap.
     pub(crate) devices: RwLock<Vec<Arc<ZnsDevice>>>,
-    /// Failed device index, or [`NO_DEVICE`].
-    pub(crate) failed: AtomicUsize,
+    /// Bitmask of failed devices (bit `i` = device `i`). The array keeps
+    /// serving while `count_ones() <= layout.parity_units()`; claiming a
+    /// failure beyond that headroom is refused with
+    /// [`ZnsError::TooManyFailures`].
+    pub(crate) failed_mask: AtomicU64,
     read_only: AtomicBool,
     /// Per-device count of unrecovered errors (retry-exhausted transients
     /// and media errors); exceeding the configured budget auto-degrades
@@ -195,6 +216,11 @@ pub struct RaiznVolume {
     /// Lock-free mirror of `meta.relocated.len()`: hot reads skip the meta
     /// lock entirely while no relocations exist.
     relocated_len: AtomicUsize,
+    /// Rebuild progress: zones scheduled by the in-flight rebuild pass
+    /// (0 when no rebuild is running). Exported as a gauge.
+    pub(crate) rebuild_zones_total: AtomicU64,
+    /// Rebuild progress: zones completed by the in-flight rebuild pass.
+    pub(crate) rebuild_zones_done: AtomicU64,
     pub(crate) stats: AtomicRaiznStats,
     /// Observability recorder for volume-layer spans (parity-path
     /// attribution, metadata appends, flush latency) and counters.
@@ -253,16 +279,57 @@ impl RaiznVolume {
         self.meta_locks.lock(&self.meta)
     }
 
-    /// Whether device `dev` is the failed one.
+    /// Whether device `dev` is in the failed set.
     pub(crate) fn is_failed(&self, dev: usize) -> bool {
-        self.failed.load(Ordering::Acquire) == dev
+        self.failed_mask.load(Ordering::Acquire) & (1u64 << dev) != 0
     }
 
-    /// The failed device index, if any.
+    /// The current failed-device bitmask.
+    pub(crate) fn failure_mask(&self) -> u64 {
+        self.failed_mask.load(Ordering::Acquire)
+    }
+
+    /// Number of devices currently failed.
+    pub(crate) fn failed_count(&self) -> u32 {
+        self.failure_mask().count_ones()
+    }
+
+    /// The lowest failed device index, if any.
     pub(crate) fn failed_idx(&self) -> Option<usize> {
-        match self.failed.load(Ordering::Acquire) {
-            NO_DEVICE => None,
-            d => Some(d),
+        match self.failure_mask() {
+            0 => None,
+            m => Some(m.trailing_zeros() as usize),
+        }
+    }
+
+    /// Attempts to add `dev` to the failed set. Returns `Ok(true)` when
+    /// this call newly claimed the failure, `Ok(false)` when the device
+    /// was already failed, and [`ZnsError::TooManyFailures`] when the
+    /// failure would exceed the array's parity count (no redundancy
+    /// headroom left). Lock-free compare-exchange loop.
+    pub(crate) fn claim_failure(&self, dev: usize) -> Result<bool> {
+        let bit = 1u64 << dev;
+        let parity = self.layout.parity_units();
+        let mut cur = self.failed_mask.load(Ordering::Acquire);
+        loop {
+            if cur & bit != 0 {
+                return Ok(false);
+            }
+            if cur.count_ones() >= parity {
+                return Err(ZnsError::TooManyFailures {
+                    failed: cur.count_ones(),
+                    parity,
+                });
+            }
+            match self.failed_mask.compare_exchange(
+                cur,
+                cur | bit,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(true),
+                Err(seen) => cur = seen,
+            }
         }
     }
 
@@ -359,9 +426,17 @@ impl RaiznVolume {
         devices: &[Arc<ZnsDevice>],
         config: RaiznConfig,
     ) -> Result<RaiznLayout> {
-        if devices.len() < 3 {
+        let min_devices = config.parity as usize + 2;
+        if devices.len() < min_devices {
             return Err(ZnsError::InvalidArgument(format!(
-                "RAIZN needs >= 3 devices, got {}",
+                "RAIZN needs >= {min_devices} devices with parity = {}, got {}",
+                config.parity,
+                devices.len()
+            )));
+        }
+        if devices.len() > 64 {
+            return Err(ZnsError::InvalidArgument(format!(
+                "RAIZN supports at most 64 devices (failure bitmask), got {}",
                 devices.len()
             )));
         }
@@ -427,11 +502,13 @@ impl RaiznVolume {
                 gather_scratch: Vec::new(),
             }),
             devices: RwLock::new(devices),
-            failed: AtomicUsize::new(NO_DEVICE),
+            failed_mask: AtomicU64::new(0),
             read_only: AtomicBool::new(false),
             device_errors: (0..n).map(|_| AtomicU64::new(0)).collect(),
             zone_wp: (0..nz).map(|_| AtomicU64::new(0)).collect(),
             relocated_len: AtomicUsize::new(0),
+            rebuild_zones_total: AtomicU64::new(0),
+            rebuild_zones_done: AtomicU64::new(0),
             stats: AtomicRaiznStats::default(),
             recorder: RwLock::new(None),
             shard_locks: obs::LockStats::new(),
@@ -478,26 +555,44 @@ impl RaiznVolume {
     }
 
     /// Marks device `index` failed. Subsequent reads reconstruct from
-    /// parity; writes omit the device.
+    /// parity; writes omit the device. Idempotent for an already-failed
+    /// device.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is out of range or another device already failed.
-    pub fn fail_device(&self, index: usize) {
+    /// Returns [`ZnsError::InvalidArgument`] if `index` is out of range
+    /// and [`ZnsError::TooManyFailures`] if the failure would exceed the
+    /// array's parity count (one for RAIZN, two for RAIZN-2).
+    pub fn fail_device(&self, index: usize) -> Result<()> {
         let devices = self.devices.read();
-        assert!(index < devices.len(), "device index out of range");
-        assert!(
-            self.failed
-                .compare_exchange(NO_DEVICE, index, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok(),
-            "RAIZN tolerates one device failure"
-        );
-        devices[index].fail();
+        if index >= devices.len() {
+            return Err(ZnsError::InvalidArgument(format!(
+                "device index {index} out of range (array has {})",
+                devices.len()
+            )));
+        }
+        if self.claim_failure(index)? {
+            devices[index].fail();
+        }
+        Ok(())
     }
 
-    /// The failed device index, if any.
+    /// The lowest failed device index, if any. See
+    /// [`failed_devices`](Self::failed_devices) for the full set.
     pub fn failed_device(&self) -> Option<usize> {
         self.failed_idx()
+    }
+
+    /// All currently failed device indices, ascending.
+    pub fn failed_devices(&self) -> Vec<usize> {
+        let mut m = self.failure_mask();
+        let mut out = Vec::new();
+        while m != 0 {
+            let d = m.trailing_zeros() as usize;
+            out.push(d);
+            m &= m - 1;
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -506,17 +601,14 @@ impl RaiznVolume {
 
     /// Records one unrecovered error against `dev` and auto-degrades the
     /// array (the [`fail_device`](Self::fail_device) equivalent) once the
-    /// device exceeds its error budget. No-op when a device already
-    /// failed: RAIZN tolerates a single failure. Lock-free: the failed
-    /// index is claimed by compare-exchange.
+    /// device exceeds its error budget — but only while redundancy
+    /// headroom remains: once `parity` devices are already failed the
+    /// array keeps limping on the sick device rather than taking itself
+    /// past its tolerable failure count. Lock-free: the failure bit is
+    /// claimed by compare-exchange.
     fn note_device_error(&self, devices: &[Arc<ZnsDevice>], dev: usize) {
         let errs = self.device_errors[dev].fetch_add(1, Ordering::AcqRel) + 1;
-        if errs > self.config.device_error_budget
-            && self
-                .failed
-                .compare_exchange(NO_DEVICE, dev, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-        {
+        if errs > self.config.device_error_budget && self.claim_failure(dev) == Ok(true) {
             devices[dev].fail();
             AtomicRaiznStats::add(&self.stats.auto_degrades, 1);
         }
@@ -613,7 +705,11 @@ impl RaiznVolume {
         }
         let mut scratch = std::mem::take(&mut m.md_scratch);
         rec.as_ref().encode_into(&mut scratch);
-        let is_pp = rec.header.md_type == crate::metadata::MetadataType::PartialParity;
+        let is_pp = matches!(
+            rec.header.md_type,
+            crate::metadata::MetadataType::PartialParity
+                | crate::metadata::MetadataType::PartialParityQ
+        );
         let r = self.md_append_bytes(m, devices, at, dev, role, is_pp, &scratch, fua);
         m.md_scratch = scratch;
         r
@@ -760,23 +856,29 @@ impl RaiznVolume {
                             continue;
                         }
                         let pdev = self.layout.parity_device(lz as u32, snap.stripe);
-                        if pdev as usize != dev {
+                        let qdev = self.layout.q_device(lz as u32, snap.stripe);
+                        let is_p_home = pdev as usize == dev;
+                        let is_q_home = qdev == Some(dev as u32);
+                        if !is_p_home && !is_q_home {
                             continue;
                         }
                         let rows = snap.filled.min(su);
                         let zstart = lgeo.zone_start(lz as u32);
                         let sstart = zstart + snap.stripe * stripe_data;
-                        MdRecordRef::new(
+                        let bytes = (rows * SECTOR_SIZE) as usize;
+                        let payload = if is_p_home {
                             MdPayloadRef::PartialParity {
                                 first_row: 0,
-                                data: &snap.parity[..(rows * SECTOR_SIZE) as usize],
-                            },
-                            true,
-                            sstart,
-                            sstart + snap.filled,
-                            m.gens[lz],
-                        )
-                        .encode_into(&mut scratch);
+                                data: &snap.parity[..bytes],
+                            }
+                        } else {
+                            MdPayloadRef::PartialParityQ {
+                                first_row: 0,
+                                data: &snap.q[..bytes],
+                            }
+                        };
+                        MdRecordRef::new(payload, true, sstart, sstart + snap.filled, m.gens[lz])
+                            .encode_into(&mut scratch);
                         let c = self.append_with_retry(
                             devices,
                             t,
@@ -1123,9 +1225,33 @@ impl RaiznVolume {
         self.fetch_device_rows(devices, at, lzone, stripe, dev, row0, out)
     }
 
+    /// The role a device plays in one stripe: a data unit, the P (XOR)
+    /// parity, or the Q (Reed–Solomon) parity.
+    fn slot_role(&self, lzone: u32, stripe: u64, dev: u32) -> SlotRole {
+        match self.layout.unit_of_device(lzone, stripe, dev) {
+            Some(k) => SlotRole::Data(k),
+            None => {
+                if dev == self.layout.parity_device(lzone, stripe) {
+                    SlotRole::P
+                } else {
+                    SlotRole::Q
+                }
+            }
+        }
+    }
+
     /// Reconstructs rows of the unit that `missing_dev` holds for
-    /// `(lzone, stripe)` by XORing every other device's slot (§4.2). The
-    /// stripe must be complete (parity present).
+    /// `(lzone, stripe)` from the surviving devices (§4.2). The stripe
+    /// must be complete (parity present).
+    ///
+    /// Erasure decode is syndrome-based: `sp` accumulates the XOR of every
+    /// available data unit plus P, `sq` accumulates `g^k ·` every
+    /// available data unit plus Q (generator `g = 2` in GF(2^8)). With one
+    /// erasure the relevant syndrome *is* the missing slot; with two
+    /// erasures (RAIZN-2) the pair is solved with [`sim::rs_solve_two`].
+    /// Devices in the failed set whose slots are not served by the
+    /// relocation cache count as erased alongside `missing_dev`; more
+    /// erasures than parity units is unrecoverable.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn reconstruct_slot_rows(
         &self,
@@ -1137,16 +1263,161 @@ impl RaiznVolume {
         row0: u64,
         out: &mut [u8],
     ) -> Result<SimTime> {
-        out.fill(0);
-        let mut tmp = vec![0u8; out.len()];
-        let mut done = at;
-        for dev in 0..self.layout.devices() {
-            if dev == missing_dev {
-                continue;
+        let n = self.layout.devices();
+        let mut missing = 1u64 << missing_dev;
+        let failed = self.failure_mask();
+        if failed & !missing != 0 {
+            for dev in 0..n {
+                let bit = 1u64 << dev;
+                if failed & bit == 0 || missing & bit != 0 {
+                    continue;
+                }
+                // A failed device's slot is still available when the
+                // relocation cache holds it.
+                let relocated = self.relocated_len.load(Ordering::Acquire) > 0
+                    && self
+                        .lock_meta()
+                        .relocated
+                        .contains_key(&(lzone, stripe, dev));
+                if !relocated {
+                    missing |= bit;
+                }
             }
-            let t = self.fetch_slot_rows_live(devices, at, lzone, stripe, dev, row0, &mut tmp)?;
-            done = done.max(t);
-            xor_into(out, &tmp);
+        }
+        if missing.count_ones() > self.layout.parity_units() {
+            return Err(ZnsError::DeviceFailed);
+        }
+        let target = self.slot_role(lzone, stripe, missing_dev);
+        // A *source* slot can turn out unreadable mid-decode (a latent
+        // media error on a second device); with parity headroom left it
+        // joins the erasure set and the decode restarts.
+        let (mut sp, mut sq, other, done) = 'retry: loop {
+            let other = {
+                let rest = missing & !(1u64 << missing_dev);
+                if rest == 0 {
+                    None
+                } else {
+                    Some(self.slot_role(lzone, stripe, rest.trailing_zeros()))
+                }
+            };
+            // Which syndromes this erasure pattern needs.
+            let (need_sp, need_sq) = match (target, other) {
+                (SlotRole::Data(_) | SlotRole::P, None) => (true, false),
+                (SlotRole::Q, None) => (false, true),
+                (SlotRole::Data(_), Some(SlotRole::Data(_))) => (true, true),
+                (SlotRole::Data(_), Some(SlotRole::P)) | (SlotRole::P, Some(SlotRole::Data(_))) => {
+                    // D_j comes out of sq alone; recovering P additionally
+                    // needs the XOR of the available data (sp).
+                    (matches!(target, SlotRole::P), true)
+                }
+                (SlotRole::Data(_), Some(SlotRole::Q)) | (SlotRole::Q, Some(SlotRole::Data(_))) => {
+                    (true, matches!(target, SlotRole::Q))
+                }
+                (SlotRole::P, Some(SlotRole::Q)) | (SlotRole::Q, Some(SlotRole::P)) => {
+                    (matches!(target, SlotRole::P), matches!(target, SlotRole::Q))
+                }
+                (SlotRole::P, Some(SlotRole::P)) | (SlotRole::Q, Some(SlotRole::Q)) => {
+                    return Err(internal("duplicate parity role in erasure set"))
+                }
+            };
+            let mut sp = vec![0u8; if need_sp { out.len() } else { 0 }];
+            let mut sq = vec![0u8; if need_sq { out.len() } else { 0 }];
+            let mut tmp = vec![0u8; out.len()];
+            let mut done = at;
+            for dev in 0..n {
+                if missing & (1u64 << dev) != 0 {
+                    continue;
+                }
+                let role = self.slot_role(lzone, stripe, dev);
+                let (to_sp, to_sq) = match role {
+                    SlotRole::Data(_) => (need_sp, need_sq),
+                    SlotRole::P => (need_sp, false),
+                    SlotRole::Q => (false, need_sq),
+                };
+                if !to_sp && !to_sq {
+                    continue;
+                }
+                let t = match self
+                    .fetch_slot_rows_live(devices, at, lzone, stripe, dev, row0, &mut tmp)
+                {
+                    Ok(t) => t,
+                    Err(
+                        e @ (ZnsError::MediaError { .. }
+                        | ZnsError::TransientError { .. }
+                        | ZnsError::DeviceFailed),
+                    ) => {
+                        if missing.count_ones() >= self.layout.parity_units() {
+                            return Err(e);
+                        }
+                        missing |= 1u64 << dev;
+                        continue 'retry;
+                    }
+                    Err(e) => return Err(e),
+                };
+                done = done.max(t);
+                if to_sp {
+                    xor_into(&mut sp, &tmp);
+                }
+                if to_sq {
+                    match role {
+                        SlotRole::Data(k) => {
+                            sim::gf_mul_into(&mut sq, &tmp, sim::gf_pow(2, k as u32))
+                        }
+                        SlotRole::Q => xor_into(&mut sq, &tmp),
+                        SlotRole::P => {}
+                    }
+                }
+            }
+            break 'retry (sp, sq, other, done);
+        };
+        let double = other.is_some();
+        if double {
+            AtomicRaiznStats::add(&self.stats.double_degraded_reads, 1);
+            self.bump(obs::Counter::DoubleDegradedReads);
+        }
+        match (target, other) {
+            // One erasure: the syndrome is the slot.
+            (SlotRole::Data(_) | SlotRole::P, None) => out.copy_from_slice(&sp),
+            (SlotRole::Q, None) => out.copy_from_slice(&sq),
+            // Two data units: solve the 2x2 Vandermonde system.
+            (SlotRole::Data(j), Some(SlotRole::Data(k))) => {
+                sim::rs_solve_two(&mut sp, &mut sq, j as u32, k as u32);
+                // rs_solve_two leaves D_j in sq and D_k in sp.
+                out.copy_from_slice(&sq);
+            }
+            // Data + P: sq collapses to g^j · D_j.
+            (SlotRole::Data(j), Some(SlotRole::P)) => {
+                sim::gf_scale(&mut sq, sim::gf_inv(sim::gf_pow(2, j as u32)));
+                out.copy_from_slice(&sq);
+            }
+            (SlotRole::P, Some(SlotRole::Data(j))) => {
+                sim::gf_scale(&mut sq, sim::gf_inv(sim::gf_pow(2, j as u32)));
+                xor_into(&mut sp, &sq);
+                out.copy_from_slice(&sp);
+            }
+            // Data + Q: sp is D_j; Q follows from re-encoding it.
+            (SlotRole::Data(_), Some(SlotRole::Q)) => out.copy_from_slice(&sp),
+            (SlotRole::Q, Some(SlotRole::Data(j))) => {
+                sim::gf_mul_into(&mut sq, &sp, sim::gf_pow(2, j as u32));
+                out.copy_from_slice(&sq);
+            }
+            // P + Q: each syndrome is its parity over the (all available)
+            // data units.
+            (SlotRole::P, Some(SlotRole::Q)) => out.copy_from_slice(&sp),
+            (SlotRole::Q, Some(SlotRole::P)) => out.copy_from_slice(&sq),
+            (SlotRole::P, Some(SlotRole::P)) | (SlotRole::Q, Some(SlotRole::Q)) => unreachable!(),
+        }
+        if double {
+            self.trace_span(
+                obs::OpClass::Read,
+                obs::Stage::WholeOp,
+                Some(obs::PathKind::DoubleDegraded),
+                lzone,
+                0,
+                out.len() as u64 / SECTOR_SIZE,
+                at,
+                done,
+            );
         }
         Ok(done)
     }
@@ -1346,11 +1617,13 @@ impl RaiznVolume {
         }
     }
 
-    /// Walks every complete stripe of the volume verifying that data XOR
-    /// parity is zero, repairing what it finds (§4.2 maintenance):
-    /// latent media errors are healed by reconstruction, and parity
-    /// mismatches are corrected from the data. Returns what was checked
-    /// and repaired; counters land in [`stats`](Self::stats).
+    /// Walks every complete stripe of the volume verifying its parity,
+    /// repairing what it finds (§4.2 maintenance): latent media errors
+    /// are healed by reconstruction, and parity mismatches are corrected
+    /// from the data. In dual-parity mode both P (data XOR parity must
+    /// vanish) and Q (the Reed–Solomon syndrome must vanish) are checked
+    /// and repaired independently. Returns what was checked and repaired;
+    /// counters land in [`stats`](Self::stats).
     ///
     /// Takes each zone's shard in turn; concurrent writers to other zones
     /// are unaffected.
@@ -1363,16 +1636,19 @@ impl RaiznVolume {
         }
         let devices = self.devices.read();
         let su = self.layout.stripe_unit();
+        let dual = self.layout.parity_units() == 2;
         let stripe_data = self.layout.stripe_data_sectors();
         let unit_bytes = (su * SECTOR_SIZE) as usize;
         let mut report = ScrubReport::default();
-        let mut acc = vec![0u8; unit_bytes];
+        let mut acc_p = vec![0u8; unit_bytes];
+        let mut acc_q = vec![0u8; if dual { unit_bytes } else { 0 }];
         let mut slot = vec![0u8; unit_bytes];
         for lz in 0..self.layout.logical_zones() {
             let mut z = self.lock_shard(lz);
             let full_stripes = z.wp / stripe_data;
             for stripe in 0..full_stripes {
-                acc.fill(0);
+                acc_p.fill(0);
+                acc_q.fill(0);
                 for dev in 0..self.layout.devices() {
                     match self.fetch_slot_rows_live(&devices, at, lz, stripe, dev, 0, &mut slot) {
                         Ok(_) => {}
@@ -1395,18 +1671,42 @@ impl RaiznVolume {
                         }
                         Err(e) => return Err(e),
                     }
-                    xor_into(&mut acc, &slot);
+                    // Role-aware accumulation: the P syndrome folds data
+                    // and stored P, the Q syndrome folds g^k-scaled data
+                    // and stored Q; each vanishes iff its parity is right.
+                    match self.slot_role(lz, stripe, dev) {
+                        SlotRole::Data(k) => {
+                            xor_into(&mut acc_p, &slot);
+                            if dual {
+                                sim::gf_mul_into(&mut acc_q, &slot, sim::gf_pow(2, k as u32));
+                            }
+                        }
+                        SlotRole::P => xor_into(&mut acc_p, &slot),
+                        SlotRole::Q => xor_into(&mut acc_q, &slot),
+                    }
                 }
                 report.stripes_checked += 1;
-                if !sim::is_zero(&acc) {
-                    // The XOR of data and stored parity should vanish; it
-                    // does not, so stored_parity ^ acc is the correct
-                    // parity. Install it as a relocated unit.
+                if !sim::is_zero(&acc_p) {
+                    // The P syndrome should vanish; it does not, so
+                    // stored_P ^ acc_p is the correct parity. Install it
+                    // as a relocated unit.
                     let pdev = self.layout.parity_device(lz, stripe);
                     let mut fixed = vec![0u8; unit_bytes];
                     self.fetch_slot_rows_live(&devices, at, lz, stripe, pdev, 0, &mut fixed)?;
-                    xor_into(&mut fixed, &acc);
+                    xor_into(&mut fixed, &acc_p);
                     self.relocate_repaired_unit(&mut z, &devices, at, lz, stripe, pdev, fixed, su)?;
+                    report.parity_repairs += 1;
+                    AtomicRaiznStats::add(&self.stats.scrub_repairs, 1);
+                }
+                if dual && !sim::is_zero(&acc_q) {
+                    let qdev = self
+                        .layout
+                        .q_device(lz, stripe)
+                        .ok_or_else(|| internal("dual mode must have a Q device"))?;
+                    let mut fixed = vec![0u8; unit_bytes];
+                    self.fetch_slot_rows_live(&devices, at, lz, stripe, qdev, 0, &mut fixed)?;
+                    xor_into(&mut fixed, &acc_q);
+                    self.relocate_repaired_unit(&mut z, &devices, at, lz, stripe, qdev, fixed, su)?;
                     report.parity_repairs += 1;
                     AtomicRaiznStats::add(&self.stats.scrub_repairs, 1);
                 }
@@ -1612,7 +1912,13 @@ impl RaiznVolume {
                     if let Some(stale) = z.buffer.take() {
                         z.retire_buffer(stale);
                     }
-                    let buf = z.stripe_buffer(&self.stats, stripe, data_units, su);
+                    let buf = z.stripe_buffer(
+                        &self.stats,
+                        stripe,
+                        data_units,
+                        su,
+                        self.layout.parity_units(),
+                    );
                     z.buffer = Some(buf);
                 }
             }
@@ -1669,9 +1975,19 @@ impl RaiznVolume {
                 .ok_or_else(|| internal("stripe buffer staged for completion check"))?
                 .is_complete();
             let pdev = self.layout.parity_device(lzone, stripe);
+            let qdev = self.layout.q_device(lzone, stripe);
             let slot_conflicted = z.conflicts.contains(&(stripe, pdev));
-            let zrwa_ok =
-                self.config.use_zrwa && !self.is_failed(pdev as usize) && !slot_conflicted;
+            // The in-place ZRWA parity path needs healthy, unconflicted
+            // slots for every parity leg; otherwise fall back to the
+            // store/pp-log paths which handle degradation and relocation.
+            let q_zrwa_ok = match qdev {
+                None => true,
+                Some(q) => !self.is_failed(q as usize) && !z.conflicts.contains(&(stripe, q)),
+            };
+            let zrwa_ok = self.config.use_zrwa
+                && !self.is_failed(pdev as usize)
+                && !slot_conflicted
+                && q_zrwa_ok;
             if complete {
                 // Detach the buffer: its parity is handed to the device
                 // layer as a borrowed slice (no copy) and the buffer is
@@ -1703,6 +2019,18 @@ impl RaiznVolume {
                         issue,
                         done,
                     );
+                    if let Some(q) = qdev {
+                        // Q-leg: the same delta rows of the Q column.
+                        let qq = &buf.q_parity()
+                            [(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize];
+                        let qd = &devices[q as usize];
+                        let mut qdone = qd.write_zrwa(issue, pba, qq)?.done;
+                        qdone =
+                            qdone.max(qd.commit_zrwa(qdone, phys_zone, (stripe + 1) * su)?.done);
+                        completion = completion.max(qdone);
+                        AtomicRaiznStats::add(&self.stats.zrwa_parity_writes, 1);
+                        self.bump(obs::Counter::ZrwaParityWrites);
+                    }
                 } else {
                     // Full parity to the parity slot in the data zone.
                     let done = self.store_slot_rows(
@@ -1733,6 +2061,38 @@ impl RaiznVolume {
                 }
                 AtomicRaiznStats::add(&self.stats.full_parity_writes, 1);
                 self.bump(obs::Counter::FullParityWrites);
+                if let Some(q) = qdev {
+                    if !zrwa_ok {
+                        // Full Q parity to the Q slot in the data zone.
+                        let qdone = self.store_slot_rows(
+                            &mut z,
+                            &devices,
+                            issue,
+                            lzone,
+                            stripe,
+                            q,
+                            0,
+                            buf.q_parity(),
+                            WriteFlags {
+                                fua: flags.fua,
+                                preflush: false,
+                            },
+                        )?;
+                        completion = completion.max(qdone);
+                        self.trace_span(
+                            obs::OpClass::Write,
+                            obs::Stage::Xor,
+                            Some(obs::PathKind::QParity),
+                            lzone,
+                            0,
+                            su,
+                            issue,
+                            qdone,
+                        );
+                    }
+                    AtomicRaiznStats::add(&self.stats.q_parity_writes, 1);
+                    self.bump(obs::Counter::QParityWrites);
+                }
                 z.retire_buffer(buf);
             } else if zrwa_ok {
                 // §5.4 extension: overwrite the affected parity rows in
@@ -1759,6 +2119,16 @@ impl RaiznVolume {
                     issue,
                     done,
                 );
+                if let Some(q) = qdev {
+                    // Q-leg: the same rows of the Q column, still open in
+                    // the Q slot's ZRWA window until the stripe completes.
+                    let qq = &buf.q_parity()
+                        [(row_lo * SECTOR_SIZE) as usize..(row_hi * SECTOR_SIZE) as usize];
+                    let qdone = devices[q as usize].write_zrwa(issue, pba, qq)?.done;
+                    completion = completion.max(qdone);
+                    AtomicRaiznStats::add(&self.stats.zrwa_parity_writes, 1);
+                    self.bump(obs::Counter::ZrwaParityWrites);
+                }
             } else {
                 // Partial parity log on the device that will hold this
                 // stripe's parity (§5.1). Write completion is withheld
@@ -1804,8 +2174,64 @@ impl RaiznVolume {
                     &scratch,
                     flags.fua,
                 );
+                let mut pp_done = match r {
+                    Ok(done) => done,
+                    Err(e) => {
+                        m.md_scratch = scratch;
+                        return Err(e);
+                    }
+                };
+                // Q-leg (§RAIZN-2): a second partial-parity record, tagged
+                // PartialParityQ, on the device that will hold this
+                // stripe's Q parity. Both legs must land before the write
+                // completes so a crash plus two device losses can still
+                // close the write hole.
+                if let Some(q) = qdev {
+                    {
+                        let buf = z
+                            .buffer
+                            .as_ref()
+                            .ok_or_else(|| internal("stripe buffer staged for pp-q log"))?;
+                        let (lo, hi) = if self.config.pp_log_full_unit {
+                            (0, su)
+                        } else {
+                            (row_lo, row_hi)
+                        };
+                        let zstart = lgeo.zone_start(lzone);
+                        MdRecordRef::new(
+                            MdPayloadRef::PartialParityQ {
+                                first_row: lo,
+                                data: &buf.q_parity()
+                                    [(lo * SECTOR_SIZE) as usize..(hi * SECTOR_SIZE) as usize],
+                            },
+                            false,
+                            lba.max(zstart + z.wp - chunk_sectors),
+                            zstart + z.wp,
+                            m.gens[lzone as usize],
+                        )
+                        .encode_into(&mut scratch);
+                    }
+                    let rq = self.md_append_bytes(
+                        &mut m,
+                        &devices,
+                        issue,
+                        q as usize,
+                        MdRole::PpLog,
+                        true,
+                        &scratch,
+                        flags.fua,
+                    );
+                    match rq {
+                        Ok(done) => pp_done = pp_done.max(done),
+                        Err(e) => {
+                            m.md_scratch = scratch;
+                            return Err(e);
+                        }
+                    }
+                    AtomicRaiznStats::add(&self.stats.pp_q_log_entries, 1);
+                    AtomicRaiznStats::add(&self.stats.pp_log_bytes, pp_rows * SECTOR_SIZE);
+                }
                 m.md_scratch = scratch;
-                let pp_done = r?;
                 // Refresh the checkpoint snapshot for metadata GC: the
                 // stripe buffer itself stays behind this zone's shard.
                 {
@@ -1819,6 +2245,10 @@ impl RaiznVolume {
                     snap.filled = pp_filled;
                     snap.parity.clear();
                     snap.parity.extend_from_slice(&buf.parity()[..rows]);
+                    snap.q.clear();
+                    if qdev.is_some() {
+                        snap.q.extend_from_slice(&buf.q_parity()[..rows]);
+                    }
                 }
                 drop(m);
                 completion = completion.max(pp_done);
@@ -1888,6 +2318,9 @@ impl RaiznVolume {
             // The parity (or its log) must be durable too for fault
             // tolerance of the acknowledged data.
             flush_set.insert(self.layout.parity_device(lzone, stripe));
+            if let Some(q) = self.layout.q_device(lzone, stripe) {
+                flush_set.insert(q);
+            }
         }
         let mut done = at;
         for dev in flush_set {
@@ -1967,6 +2400,19 @@ impl RaiznVolume {
         let mut done = at;
         done = done.max(self.md_append(m, devices, at, d0, MdRole::General, &rec, true)?);
         done = done.max(self.md_append(m, devices, at, d1, MdRole::General, &rec, true)?);
+        // Dual parity keeps a third WAL copy on the Q holder so the intent
+        // survives losing any two devices.
+        if let Some(q) = self.layout.q_device(lzone, 0) {
+            done = done.max(self.md_append(
+                m,
+                devices,
+                at,
+                q as usize,
+                MdRole::General,
+                &rec,
+                true,
+            )?);
+        }
         Ok(done)
     }
 
@@ -2060,6 +2506,10 @@ impl RaiznVolume {
                     snap.filled = buf.filled_sectors();
                     snap.parity.clear();
                     snap.parity.extend_from_slice(&buf.parity()[..rows]);
+                    snap.q.clear();
+                    if buf.parity_units() >= 2 {
+                        snap.q.extend_from_slice(&buf.q_parity()[..rows]);
+                    }
                 }
                 _ => {
                     m.pp_live.remove(&lz);
@@ -2087,9 +2537,15 @@ impl RaiznVolume {
     // Rebuild (§4.2)
     // ------------------------------------------------------------------
 
-    /// Rebuilds the failed device onto `replacement`, zone by zone with
-    /// active zones first, rebuilding **only valid data** (up to each
-    /// logical zone's write pointer) — the Fig. 12 behaviour.
+    /// Rebuilds the lowest-indexed failed device onto `replacement`, zone
+    /// by zone with active zones first, rebuilding **only valid data** (up
+    /// to each logical zone's write pointer) — the Fig. 12 behaviour.
+    ///
+    /// In dual-parity mode with two devices failed, each `rebuild` call
+    /// restores one device (lowest index first); reconstruction during the
+    /// first pass decodes around the second missing device with the
+    /// two-erasure Reed–Solomon path. Call again with a second
+    /// replacement to restore full redundancy.
     ///
     /// Locks one zone shard at a time; concurrent IO to other zones is
     /// not blocked, but callers should quiesce writes for a consistent
@@ -2131,6 +2587,9 @@ impl RaiznVolume {
                 order.push((lz, pri));
             }
             order.sort_by_key(|&(_, pri)| pri);
+            self.rebuild_zones_total
+                .store(order.len() as u64, Ordering::Release);
+            self.rebuild_zones_done.store(0, Ordering::Release);
 
             for (lzone, _) in order {
                 let mut z = self.lock_shard(lzone);
@@ -2223,6 +2682,7 @@ impl RaiznVolume {
                     replacement.finish_zone(last_write, phys_zone)?;
                 }
                 zones_rebuilt += 1;
+                self.rebuild_zones_done.fetch_add(1, Ordering::AcqRel);
             }
 
             // Replicated metadata goes onto the fresh device.
@@ -2250,9 +2710,16 @@ impl RaiznVolume {
             let mut devs = self.devices.write();
             devs[failed] = replacement;
         }
-        self.failed.store(NO_DEVICE, Ordering::Release);
+        // Clear only this device's failure bit: in dual-parity mode the
+        // other failed device (if any) stays degraded until its own
+        // rebuild pass.
+        self.failed_mask
+            .fetch_and(!(1u64 << failed), Ordering::AcqRel);
         self.device_errors[failed].store(0, Ordering::Relaxed);
+        self.rebuild_zones_total.store(0, Ordering::Release);
+        self.rebuild_zones_done.store(0, Ordering::Release);
         AtomicRaiznStats::add(&self.stats.rebuild_bytes, bytes);
+        AtomicRaiznStats::add(&self.stats.rebuilds_completed, 1);
         Ok(RebuildReport {
             duration: last_write.since(at),
             bytes_written: bytes,
@@ -2465,6 +2932,28 @@ impl ZonedVolume for RaiznVolume {
                     }
                     Err(e) => seal_result = Err(e),
                 }
+                if seal_result.is_ok() {
+                    if let Some(q) = self.layout.q_device(zone, stripe) {
+                        match self.store_slot_rows(
+                            &mut z,
+                            &devices,
+                            at,
+                            zone,
+                            stripe,
+                            q,
+                            0,
+                            &buf.q_parity()[..(rows * SECTOR_SIZE) as usize],
+                            WriteFlags::default(),
+                        ) {
+                            Ok(t) => {
+                                done = done.max(t);
+                                AtomicRaiznStats::add(&self.stats.q_parity_writes, 1);
+                                self.bump(obs::Counter::QParityWrites);
+                            }
+                            Err(e) => seal_result = Err(e),
+                        }
+                    }
+                }
             }
         }
         z.buffer = taken;
@@ -2643,6 +3132,21 @@ impl obs::GaugeSource for RaiznVolume {
                 ));
             }
         }
+        out.push(obs::GaugeReading::new(
+            "failed_devices",
+            obs::NONE,
+            self.failed_count() as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "rebuild_zones_total",
+            obs::NONE,
+            self.rebuild_zones_total.load(Ordering::Relaxed) as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "rebuild_zones_done",
+            obs::NONE,
+            self.rebuild_zones_done.load(Ordering::Relaxed) as f64,
+        ));
         self.shard_locks.sample_gauges(0, out);
         self.meta_locks.sample_gauges(1, out);
     }

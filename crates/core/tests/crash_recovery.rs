@@ -67,7 +67,7 @@ fn remount_continues_writing_mid_stripe() {
     assert_eq!(&out[..a.len()], &a[..]);
     assert_eq!(&out[a.len()..], &b[..]);
     // The completed stripe is fault tolerant: fail a device and re-read.
-    v2.fail_device(1);
+    v2.fail_device(1).unwrap();
     let mut out2 = vec![0u8; out.len()];
     v2.read(T0, 0, &mut out2).unwrap();
     assert_eq!(out2, out);
@@ -207,7 +207,7 @@ fn forced_rollback_relocates_conflicting_writes() {
     v2.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, fresh);
     // Degraded read through the relocated unit (fail a non-ghost device).
-    v2.fail_device(3);
+    v2.fail_device(3).unwrap();
     let mut out2 = vec![0u8; fresh.len()];
     v2.read(T0, 0, &mut out2).unwrap();
     assert_eq!(out2, fresh);

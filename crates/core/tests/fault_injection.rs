@@ -177,7 +177,7 @@ fn scrub_repairs_corrupted_parity() {
     // The repaired parity actually reconstructs: fail a data device of
     // stripe 0 and re-read everything.
     let ddev = layout.data_device(0, 0, 0) as usize;
-    v.fail_device(ddev);
+    v.fail_device(ddev).unwrap();
     assert_eq!(read_all(&v, 32), data);
 }
 
@@ -212,6 +212,6 @@ fn scrub_refuses_degraded_array() {
     v.write(T0, 0, &bytes(16, 18), WriteFlags::default())
         .unwrap();
     v.flush(T0).unwrap();
-    v.fail_device(1);
+    v.fail_device(1).unwrap();
     assert!(matches!(v.scrub(T0), Err(ZnsError::DeviceFailed)));
 }

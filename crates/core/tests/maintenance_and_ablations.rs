@@ -127,7 +127,7 @@ fn ablation_configs_still_read_back_correctly() {
         v.read(T0, 0, &mut out).unwrap();
         assert_eq!(out, data);
         // Degraded reads still reconstruct (full parity path unaffected).
-        v.fail_device(2);
+        v.fail_device(2).unwrap();
         let mut out2 = vec![0u8; data.len()];
         v.read(T0, 0, &mut out2).unwrap();
         assert_eq!(out2, data);

@@ -34,17 +34,26 @@ fn rebuild_without_failure_is_rejected() {
 #[test]
 fn second_failure_is_rejected() {
     let v = RaiznVolume::format(devices(4), RaiznConfig::small_test(), T0).unwrap();
-    v.fail_device(0);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        v.fail_device(1);
-    }));
-    assert!(result.is_err(), "double failure must be rejected");
+    v.fail_device(0).unwrap();
+    let err = v.fail_device(1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ZnsError::TooManyFailures {
+                failed: 1,
+                parity: 1
+            }
+        ),
+        "double failure must be rejected with TooManyFailures, got {err:?}"
+    );
+    // Idempotent re-fail of the already-failed device stays fine.
+    v.fail_device(0).unwrap();
 }
 
 #[test]
 fn rebuild_with_wrong_geometry_rejected() {
     let v = RaiznVolume::format(devices(3), RaiznConfig::small_test(), T0).unwrap();
-    v.fail_device(0);
+    v.fail_device(0).unwrap();
     let wrong = Arc::new(ZnsDevice::new(
         ZnsConfig::builder().zones(8, 64, 64).build(),
     ));
@@ -67,12 +76,12 @@ fn rebuild_covers_multiple_zones_and_partial_stripes() {
     v.write(T0, g.zone_start(2), &tiny, WriteFlags::default())
         .unwrap();
 
-    v.fail_device(3);
+    v.fail_device(3).unwrap();
     let report = v.rebuild(T0, fresh_device()).unwrap();
     assert_eq!(report.zones_rebuilt, 3);
 
     // All data intact, including under a different failure.
-    v.fail_device(1);
+    v.fail_device(1).unwrap();
     let mut out = vec![0u8; full.len()];
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, full);
@@ -105,7 +114,7 @@ fn rebuild_heals_relocated_units() {
     v.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
     assert!(v.relocated_count() > 0, "setup: no relocation happened");
 
-    v.fail_device(2);
+    v.fail_device(2).unwrap();
     v.rebuild(T0, fresh_device()).unwrap();
     assert_eq!(
         v.relocated_count(),
@@ -133,9 +142,9 @@ fn rebuild_after_crash_recovery() {
     let v = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
     let wp = v.zone_info(0).unwrap().write_pointer;
     assert!(wp >= 24);
-    v.fail_device(4);
+    v.fail_device(4).unwrap();
     v.rebuild(T0, fresh_device()).unwrap();
-    v.fail_device(0);
+    v.fail_device(0).unwrap();
     let mut out = vec![0u8; data.len()];
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, data);
@@ -146,13 +155,13 @@ fn degraded_writes_then_rebuild_round_trip() {
     let v = RaiznVolume::format(devices(4), RaiznConfig::small_test(), T0).unwrap();
     let before = bytes(12, 7);
     v.write(T0, 0, &before, WriteFlags::default()).unwrap();
-    v.fail_device(1);
+    v.fail_device(1).unwrap();
     let during = bytes(24, 8);
     v.write(T0, 12, &during, WriteFlags::default()).unwrap();
     v.rebuild(T0, fresh_device()).unwrap();
     // Everything written before and during degraded mode must be present
     // on the rebuilt array, including via reconstruction.
-    v.fail_device(2);
+    v.fail_device(2).unwrap();
     let mut out = vec![0u8; before.len() + during.len()];
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(&out[..before.len()], &before[..]);
@@ -168,7 +177,7 @@ fn rebuild_prioritizes_active_zones() {
         .unwrap();
     v.write(T0, g.zone_start(1), &bytes(5, 10), WriteFlags::default())
         .unwrap();
-    v.fail_device(0);
+    v.fail_device(0).unwrap();
     let report = v.rebuild(T0, fresh_device()).unwrap();
     assert_eq!(report.zones_rebuilt, 2);
     // Both zones usable afterwards: the open zone accepts writes at its wp.

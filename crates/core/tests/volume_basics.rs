@@ -139,7 +139,7 @@ fn degraded_read_full_stripes() {
     let v = volume(5);
     let data = bytes(64, 12); // 4 complete stripes
     v.write(T0, 0, &data, WriteFlags::default()).unwrap();
-    v.fail_device(2);
+    v.fail_device(2).unwrap();
     assert!(v.is_degraded());
     let mut out = vec![0u8; data.len()];
     v.read(T0, 0, &mut out).unwrap();
@@ -151,7 +151,7 @@ fn degraded_read_incomplete_stripe_uses_buffer() {
     let v = volume(5);
     let data = bytes(7, 13); // partial first stripe
     v.write(T0, 0, &data, WriteFlags::default()).unwrap();
-    v.fail_device(0);
+    v.fail_device(0).unwrap();
     let mut out = vec![0u8; data.len()];
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, data);
@@ -162,7 +162,7 @@ fn degraded_writes_continue_and_read_back() {
     let v = volume(4);
     let pre = bytes(10, 14);
     v.write(T0, 0, &pre, WriteFlags::default()).unwrap();
-    v.fail_device(1);
+    v.fail_device(1).unwrap();
     let post = bytes(20, 15);
     v.write(T0, 10, &post, WriteFlags::default()).unwrap();
     let mut out = vec![0u8; pre.len() + post.len()];
@@ -176,7 +176,7 @@ fn rebuild_restores_full_redundancy() {
     let v = volume(4);
     let data = bytes(40, 16);
     v.write(T0, 0, &data, WriteFlags::default()).unwrap();
-    v.fail_device(0);
+    v.fail_device(0).unwrap();
     let replacement = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
     let report = v.rebuild(T0, replacement).unwrap();
     assert!(!v.is_degraded());
@@ -184,7 +184,7 @@ fn rebuild_restores_full_redundancy() {
     assert_eq!(report.zones_rebuilt, 1);
     // Fail a different device: reconstruction through the rebuilt device
     // must produce the original data.
-    v.fail_device(2);
+    v.fail_device(2).unwrap();
     let mut out = vec![0u8; data.len()];
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, data);
@@ -196,7 +196,7 @@ fn rebuild_only_valid_data() {
     // Write one stripe into one zone of a 13-zone volume.
     let data = bytes(12, 17);
     v.write(T0, 0, &data, WriteFlags::default()).unwrap();
-    v.fail_device(3);
+    v.fail_device(3).unwrap();
     let replacement = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
     let report = v.rebuild(T0, replacement).unwrap();
     // Far less than the full device (16 zones * 64 sectors).

@@ -84,7 +84,7 @@ fn rewrite_heals_relocations_at_mount() {
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, fresh, "data corrupted by the zone rewrite");
     // The healed zone serves degraded reads through its arithmetic slots.
-    v.fail_device(2);
+    v.fail_device(2).unwrap();
     let mut out2 = vec![0u8; fresh.len()];
     v.read(T0, 0, &mut out2).unwrap();
     assert_eq!(out2, fresh);

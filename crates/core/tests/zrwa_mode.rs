@@ -74,7 +74,7 @@ fn data_roundtrip_and_degraded_reads() {
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, data);
     // Completed stripes carry committed parity: degraded reads work.
-    v.fail_device(1);
+    v.fail_device(1).unwrap();
     let mut out2 = vec![0u8; data.len()];
     v.read(T0, 0, &mut out2).unwrap();
     assert_eq!(out2, data);
@@ -86,7 +86,7 @@ fn full_stripe_writes_commit_parity() {
     let data = bytes(32, 3); // two complete stripes
     v.write(T0, 0, &data, WriteFlags::default()).unwrap();
     assert_eq!(v.stats().full_parity_writes, 2);
-    v.fail_device(0);
+    v.fail_device(0).unwrap();
     let mut out = vec![0u8; data.len()];
     v.read(T0, 0, &mut out).unwrap();
     assert_eq!(out, data);

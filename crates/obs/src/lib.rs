@@ -177,6 +177,11 @@ pub enum PathKind {
     Relocated,
     /// RAIZN/mdraid: data served by parity reconstruction (degraded).
     Degraded,
+    /// RAIZN-2: a completed stripe wrote its Q (Reed–Solomon) parity unit.
+    QParity,
+    /// RAIZN-2: data served by two-erasure RS reconstruction (two
+    /// devices missing/failed).
+    DoubleDegraded,
     /// mdraid: aligned full-stripe write (no pre-reads).
     FullStripe,
     /// mdraid: read-modify-write partial-stripe update.
@@ -194,6 +199,8 @@ impl PathKind {
             PathKind::Zrwa => "zrwa",
             PathKind::Relocated => "relocated",
             PathKind::Degraded => "degraded",
+            PathKind::QParity => "q_parity",
+            PathKind::DoubleDegraded => "double_degraded",
             PathKind::FullStripe => "full_stripe",
             PathKind::Rmw => "rmw",
             PathKind::Rcw => "rcw",
@@ -288,6 +295,9 @@ pub enum Counter {
     Retries,
     /// Reads served by parity reconstruction (device missing/failed).
     DegradedReads,
+    /// Reads served by two-erasure RS reconstruction (RAIZN-2, two
+    /// devices missing/failed).
+    DoubleDegradedReads,
     /// Foreground FTL garbage-collection stalls suffered by host writes.
     GcStalls,
     /// Total virtual nanoseconds host writes spent stalled behind GC.
@@ -300,6 +310,8 @@ pub enum Counter {
     ReadRepairs,
     /// RAIZN full parity-unit writes (completed stripes).
     FullParityWrites,
+    /// RAIZN-2 full Q-parity-unit writes (completed stripes, dual parity).
+    QParityWrites,
     /// RAIZN partial-parity log appends.
     PpLogWrites,
     /// RAIZN in-place ZRWA parity updates.
@@ -322,15 +334,17 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in index order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Retries,
         Counter::DegradedReads,
+        Counter::DoubleDegradedReads,
         Counter::GcStalls,
         Counter::GcStallNanos,
         Counter::CacheFlushes,
         Counter::MdGcRuns,
         Counter::ReadRepairs,
         Counter::FullParityWrites,
+        Counter::QParityWrites,
         Counter::PpLogWrites,
         Counter::ZrwaParityWrites,
         Counter::RelocatedWrites,
@@ -347,12 +361,14 @@ impl Counter {
         match self {
             Counter::Retries => "retries",
             Counter::DegradedReads => "degraded_reads",
+            Counter::DoubleDegradedReads => "double_degraded_reads",
             Counter::GcStalls => "gc_stalls",
             Counter::GcStallNanos => "gc_stall_nanos",
             Counter::CacheFlushes => "cache_flushes",
             Counter::MdGcRuns => "md_gc_runs",
             Counter::ReadRepairs => "read_repairs",
             Counter::FullParityWrites => "full_parity_writes",
+            Counter::QParityWrites => "q_parity_writes",
             Counter::PpLogWrites => "pp_log_writes",
             Counter::ZrwaParityWrites => "zrwa_parity_writes",
             Counter::RelocatedWrites => "relocated_writes",

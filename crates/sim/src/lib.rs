@@ -21,6 +21,8 @@
 //! - [`SimRng`]: a deterministic, seedable RNG wrapper.
 //! - [`xor`]: word-vectorized XOR/zero-check kernels shared by every
 //!   parity hot path (stripe fill, reconstruction, rebuild, mdraid5).
+//! - [`gf`]: word-vectorized GF(2^8) Reed–Solomon kernels for the dual
+//!   (P+Q) parity mode, plus the two-erasure decode solver.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gf;
 mod histogram;
 mod latency;
 mod occupancy;
@@ -47,6 +50,7 @@ mod stats;
 mod time;
 pub mod xor;
 
+pub use gf::{gf_inv, gf_mul, gf_mul_into, gf_pow, gf_scale, rs_solve_two};
 pub use histogram::Histogram;
 pub use latency::ChannelModel;
 pub use occupancy::OccupancyModel;

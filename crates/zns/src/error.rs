@@ -68,6 +68,14 @@ pub enum ZnsError {
     },
     /// The device has failed (fault injection) and accepts no IO.
     DeviceFailed,
+    /// Marking another device failed would exceed the array's parity
+    /// count (RAIZN tolerates `parity` simultaneous failures).
+    TooManyFailures {
+        /// Device failures already accumulated.
+        failed: u32,
+        /// The array's parity (= maximum tolerable failure) count.
+        parity: u32,
+    },
     /// A latent sector error: the media at `lba` is unreadable until the
     /// zone is reset (fault injection via [`crate::FaultPlan`]).
     MediaError {
@@ -126,6 +134,10 @@ impl fmt::Display for ZnsError {
                 write!(f, "read of unwritten lba {lba}")
             }
             ZnsError::DeviceFailed => write!(f, "device has failed"),
+            ZnsError::TooManyFailures { failed, parity } => write!(
+                f,
+                "cannot fail another device: {failed} already failed, parity tolerates {parity}"
+            ),
             ZnsError::MediaError { lba } => {
                 write!(f, "unrecoverable media error at lba {lba}")
             }

@@ -47,7 +47,7 @@ fn main() -> Result<(), zns::ZnsError> {
 
     // The recovered volume keeps full fault tolerance: fail a device and
     // the same data is still readable through parity reconstruction.
-    volume.fail_device(1);
+    volume.fail_device(1)?;
     let mut degraded = vec![0u8; 7 * 4096];
     volume.read(t0, 0, &mut degraded)?;
     assert_eq!(degraded, durable);

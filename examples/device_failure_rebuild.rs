@@ -38,7 +38,7 @@ fn ttr_for_fill(zones_to_fill: u32) -> sim::SimDuration {
             lba += 256;
         }
     }
-    volume.fail_device(2);
+    volume.fail_device(2).unwrap();
     let report = volume.rebuild(t, device()).expect("rebuild");
     println!(
         "  {zones_to_fill:2} zones of data -> rebuilt {:6.1} MiB in {:.3} s (virtual)",

@@ -24,7 +24,9 @@ cargo test --release -q -p raizn --test concurrent_stress
 
 # Hot-path gates: XOR speedup >= 4x, 0 allocs/write with the full
 # observability plane attached (unsampled tracing + windows + gauge
-# timeline), observability overhead < 5% (the binary gates all three).
+# timeline), observability overhead < 5% (the binary gates all three),
+# and dual-parity (parity = 2) steady-state full-stripe writes also
+# allocation-free.
 # Also runs the thread-scaling sweep: on hosts with >= 4 cores the
 # sharded write pipeline must reach >= 2x wall-clock write throughput at
 # 4 engine workers vs 1 (the binary skips the gate, with a notice, on
@@ -48,7 +50,19 @@ cargo run --release -q -p raizn-bench --bin qos > /dev/null
 cargo run --release -q -p raizn-bench --bin report -- \
   --qos BENCH_qos.json > /dev/null
 
+# Dual-parity (RAIZN-2) gates: parity = 2 keeps >= 55% of single-parity
+# write throughput (theoretical data share is 75%), the two-device
+# rebuild holds >= 200 MiB/s of virtual time, and the double-failure
+# survival scenario reads byte-identical through the two-erasure decode.
+cargo run --release -q -p raizn-bench --bin raizn2 > /dev/null
+
+# Crash-consistency sweeps: exhaustive per-zone crash points plus seeded
+# whole-array trials; the --raid6 pass reruns every point on the
+# dual-parity layout with a rotating pair of failed devices, so recovery
+# must replay both partial-parity legs and rebuild to a clean scrub.
 cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42
+cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42 --raid6
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 echo "check.sh: all gates passed"

@@ -163,7 +163,7 @@ fn degraded_reads_work_on_both_arrays() {
     let rt = ZonedTarget::new(vol.clone());
     let fill = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).queue_depth(64);
     let end = Engine::new(4).run(&rt, &[fill]).unwrap().end;
-    vol.fail_device(0);
+    vol.fail_device(0).unwrap();
     let read = JobSpec::new(OpKind::Read, Pattern::Random, 16)
         .ops(2000)
         .queue_depth(64)
@@ -187,7 +187,7 @@ fn rebuild_scales_with_data_resync_does_not() {
             ((t.capacity_sectors() as f64 * fraction) as u64) / ZONE_SECTORS * ZONE_SECTORS;
         let fill = JobSpec::new(OpKind::Write, Pattern::Sequential, 256).region(0, sectors);
         let end = Engine::new(6).run(&t, &[fill]).unwrap().end;
-        vol.fail_device(1);
+        vol.fail_device(1).unwrap();
         let replacement = Arc::new(ZnsDevice::new(
             ZnsConfig::builder()
                 .zones(ZONES, ZONE_SECTORS, ZONE_SECTORS)
