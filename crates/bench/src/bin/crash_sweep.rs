@@ -32,7 +32,7 @@ use bench::{gate, BenchError};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::{SimRng, SimTime};
 use std::sync::Arc;
-use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZE};
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZoneState, ZonedVolume, SECTOR_SIZE};
 
 const T0: SimTime = SimTime::ZERO;
 const DEVICES: usize = 5;
@@ -218,6 +218,137 @@ fn run_point(
     }
 }
 
+/// Lifecycle crash points: a background zone finish or a batched zone
+/// reset interrupted after `k` of the array's per-device operations
+/// landed. Both are write-ahead logged: the remount replays the reset,
+/// and rolls the finish forward to Full at the logged write pointer —
+/// even when every already-sealed device is among the failed pair, the
+/// replicated finish log is witness enough. Either way the remount must
+/// agree with the durable zone states and leave the zone immediately
+/// usable.
+fn run_lifecycle_point(
+    cfg: &RaiznConfig,
+    fail_pair: Option<(usize, usize)>,
+    mid_finish: bool,
+    k: usize,
+) -> bench::BenchResult {
+    let what = if mid_finish { "finish" } else { "reset" };
+    let point = format!(
+        "lifecycle {what} k={k}{}",
+        fail_pair.map_or(String::new(), |(a, b)| format!(" fail ({a},{b})"))
+    );
+    let devs = devices();
+    let v = RaiznVolume::format(devs.clone(), *cfg, T0)?;
+    let lgeo = v.layout().logical_geometry();
+    let stripe_data = v.layout().stripe_data_sectors();
+    let phys = v.layout().phys_zone(0);
+    // Zone 0 takes the interruption; zone 1 is an untouched control.
+    let sectors = 2 * stripe_data;
+    let data = bytes(sectors, 0xF0 + k as u64);
+    let control = bytes(stripe_data + 3, 0xE0 + k as u64);
+    v.write(T0, lgeo.zone_start(0), &data, WriteFlags::default())?;
+    v.write(T0, lgeo.zone_start(1), &control, WriteFlags::default())?;
+    v.flush(T0)?;
+    if mid_finish {
+        v.interrupted_finish_for_test(T0, 0, k)?;
+    } else {
+        v.interrupted_reset_for_test(T0, 0, k)?;
+    }
+    drop(v);
+    for dev in &devs {
+        dev.crash(&mut CrashPolicy::LoseCache);
+    }
+    if let Some((a, b)) = fail_pair {
+        devs[a].fail();
+        devs[b].fail();
+    }
+    let v = RaiznVolume::mount(devs.clone(), *cfg, T0)
+        .map_err(|e| BenchError::Gate(format!("{point}: mount failed: {e}")))?;
+
+    let failed = |i: usize| fail_pair.is_some_and(|(a, b)| i == a || i == b);
+    // Roll-forward work (and its stat) happens only when a surviving
+    // device is still unsealed; if every live device already sealed,
+    // the remount just acknowledges the completed finish.
+    let surv_open = (k..DEVICES).any(|i| !failed(i));
+    let info = v.zone_info(0)?;
+    let wp = info.write_pointer - info.start;
+    if mid_finish {
+        gate!(
+            info.state == ZoneState::Full,
+            "{point}: finish not rolled forward ({:?})",
+            info.state
+        );
+        gate!(
+            v.stats().finish_rollforwards == (surv_open as u64),
+            "{point}: rollforward count {} (expected {})",
+            v.stats().finish_rollforwards,
+            surv_open as u64
+        );
+        for (i, dev) in devs.iter().enumerate() {
+            if !failed(i) {
+                let st = dev.zone_info(phys)?.state;
+                gate!(
+                    st == ZoneState::Full,
+                    "{point}: device {i} left unsealed ({st:?})"
+                );
+            }
+        }
+        gate!(
+            wp == sectors,
+            "{point}: zone 0 wp {wp} (expected {sectors})"
+        );
+        let mut out = vec![0u8; data.len()];
+        v.read(T0, lgeo.zone_start(0), &mut out)
+            .map_err(|e| BenchError::Gate(format!("{point}: zone 0 read failed: {e}")))?;
+        gate!(out == data, "{point}: zone 0 prefix corrupted");
+    } else {
+        // The reset WAL wins regardless of how many devices got reset.
+        gate!(
+            info.state == ZoneState::Empty && wp == 0,
+            "{point}: reset not replayed (state {:?} wp {wp})",
+            info.state
+        );
+    }
+    // The control zone is untouched by either interruption.
+    let c = v.zone_info(1)?;
+    gate!(
+        c.write_pointer - c.start == stripe_data + 3,
+        "{point}: control zone wp moved"
+    );
+    let mut out = vec![0u8; control.len()];
+    v.read(T0, lgeo.zone_start(1), &mut out)
+        .map_err(|e| BenchError::Gate(format!("{point}: control read failed: {e}")))?;
+    gate!(out == control, "{point}: control zone corrupted");
+
+    if let Some((a, b)) = fail_pair {
+        for lost in [a, b] {
+            let fresh = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+            fresh.set_recorder(bench::recorder(), lost as u32);
+            v.rebuild(T0, fresh).map_err(|e| {
+                BenchError::Gate(format!("{point}: rebuild of dev {lost} failed: {e}"))
+            })?;
+        }
+    }
+    let rep = v
+        .scrub(T0)
+        .map_err(|e| BenchError::Gate(format!("{point}: scrub failed: {e}")))?;
+    gate!(
+        rep.parity_repairs == 0 && rep.units_healed == 0,
+        "{point}: scrub found damage after recovery: {rep:?}"
+    );
+    // The zone is immediately usable: rolled-forward finishes reopen
+    // via reset, replayed resets accept fresh data straight away.
+    let probe = bytes(2, 0x90 + k as u64);
+    if mid_finish {
+        v.reset_zone(T0, 0)?;
+    }
+    v.write(T0, lgeo.zone_start(0), &probe, WriteFlags::default())?;
+    let mut out = vec![0u8; probe.len()];
+    v.read(T0, lgeo.zone_start(0), &mut out)?;
+    gate!(out == probe, "{point}: zone 0 unusable after recovery");
+    Ok(())
+}
+
 fn main() -> bench::BenchResult {
     let mut seed = 42u64;
     let mut raid6 = false;
@@ -289,6 +420,19 @@ fn main() -> bench::BenchResult {
     run_point("keep-cache", &cfg, next_pair(), |_| CrashPolicy::KeepCache)?;
     run_point("lose-cache", &cfg, next_pair(), |_| CrashPolicy::LoseCache)?;
 
+    // Lifecycle crash points: a background finish interrupted after k of
+    // 5 device seals, and a batched reset interrupted after k of 5
+    // device resets (k = 0 leaves only the WAL intent in both cases).
+    let mut lifecycle_points = 0usize;
+    for k in 0..DEVICES {
+        run_lifecycle_point(&cfg, next_pair(), true, k)?;
+        lifecycle_points += 1;
+    }
+    for k in 0..DEVICES {
+        run_lifecycle_point(&cfg, next_pair(), false, k)?;
+        lifecycle_points += 1;
+    }
+
     // Exhaustive single-zone pins: the probed zone survives at `s`
     // while the rest of the array keeps (mode A) or loses (mode B) its
     // cache.
@@ -328,9 +472,10 @@ fn main() -> bench::BenchResult {
     }
 
     println!(
-        "crash sweep{}: PASS ({} points x 2 modes, 2 extremes, {} random trials)",
+        "crash sweep{}: PASS ({} points x 2 modes, 2 extremes, {} lifecycle points, {} random trials)",
         if raid6 { " [raid6]" } else { "" },
         points.len(),
+        lifecycle_points,
         RANDOM_TRIALS
     );
 

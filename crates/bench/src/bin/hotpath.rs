@@ -28,6 +28,10 @@
 //!   after warm-up (gate: 0 — pooled payload buffers, preallocated
 //!   queues and reused batch scratch make its steady state
 //!   allocation-free too).
+//! - `allocs_per_write_managed`: heap allocations per full-stripe write
+//!   with a `ZoneLifecycleManager` attached and pumped once per write
+//!   (gate: 0 — per-zone manager state is preallocated and the pump's
+//!   zone scan touches only atomics).
 //! - `trace_overhead_pct`: relative slowdown of the observed write path
 //!   (unsampled tracing + tumbling windows + per-write timeline polling)
 //!   vs an identical unobserved volume (gate: < 5%). Both paths are timed
@@ -46,7 +50,7 @@
 
 use bench::gate;
 use qos::{QosConfig, QosScheduler, TenantSpec};
-use raizn::{RaiznConfig, RaiznVolume};
+use raizn::{LifecycleConfig, RaiznConfig, RaiznVolume, ZoneLifecycleManager};
 use sim::SimTime;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -301,6 +305,30 @@ fn main() -> bench::BenchResult {
     let allocs_per_partial_p2 = r2_partial_allocs as f64 / 64.0;
     let raizn2_mib_s = (r2_stripe_sectors * 4096) as f64 / (1024.0 * 1024.0) / (r2_ns / 1e9);
 
+    // --- Lifecycle manager: steady-state pumps on the write path --------
+    // A ZoneLifecycleManager attached to the traced volume and pumped
+    // once per write must keep the path allocation-free: all per-zone
+    // manager state is preallocated at construction and the pump's zone
+    // scan touches only atomics. Warm-up pumps settle the pre-open pass
+    // (its one management open) before the measured window.
+    let manager = ZoneLifecycleManager::new(traced.clone(), LifecycleConfig::default());
+    let zone_cap = traced.geometry().zone_cap();
+    let mut lba_m = zone_cap; // fresh zone: stripe-aligned writes
+    for _ in 0..8 {
+        manager.pump(SimTime::ZERO)?;
+    }
+    traced.write(SimTime::ZERO, lba_m, &data, WriteFlags::default())?;
+    lba_m += stripe_sectors;
+    let mgr_iters = 64u64;
+    let m0 = allocs();
+    for _ in 0..mgr_iters {
+        traced.write(SimTime::ZERO, lba_m, &data, WriteFlags::default())?;
+        lba_m += stripe_sectors;
+        timeline.maybe_sample(SimTime::ZERO);
+        manager.pump(SimTime::ZERO)?;
+    }
+    let allocs_per_managed = (allocs() - m0) as f64 / mgr_iters as f64;
+
     // --- QoS scheduler: steady-state submit/dispatch ---------------------
     // Coalescer on, unsampled recorder attached (worst case): after a
     // warm-up that fills the payload pool and scratch capacities, a
@@ -415,7 +443,7 @@ fn main() -> bench::BenchResult {
 
     let reused = traced.stats().stripe_buffers_reused;
     let json = format!(
-        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"raizn2_write_mib_s\": {raizn2_mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_full_stripe_write_p2\": {allocs_per_full_p2},\n  \"allocs_per_partial_write_p2\": {allocs_per_partial_p2},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2},\n  \"scaling\": {scaling_json}\n}}\n"
+        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"raizn2_write_mib_s\": {raizn2_mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_full_stripe_write_p2\": {allocs_per_full_p2},\n  \"allocs_per_partial_write_p2\": {allocs_per_partial_p2},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"allocs_per_write_managed\": {allocs_per_managed},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2},\n  \"scaling\": {scaling_json}\n}}\n"
     );
     std::fs::write("BENCH_hotpath.json", &json)?;
     print!("{json}");
@@ -449,6 +477,11 @@ fn main() -> bench::BenchResult {
     gate!(
         allocs_per_qos == 0.0,
         "qos scheduler steady state allocates: {allocs_per_qos} allocs/op"
+    );
+    gate!(
+        allocs_per_managed == 0.0,
+        "write path with lifecycle manager attached allocates: \
+         {allocs_per_managed} allocs/write"
     );
     match speedup_4t {
         Some(s) if host_cores >= 4 => {

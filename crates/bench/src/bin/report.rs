@@ -26,6 +26,12 @@
 //!                         mean share (default 0.10)
 //!   --qos-uplift R        coalescer full-parity/pp-log uplift floor
 //!                         (default 2.0)
+//!   --lifecycle FILE      render a BENCH_ziggurat.json artifact (zone
+//!                         lifecycle) and gate its cliff/flat/budget SLOs
+//!   --cliff-max R         unmanaged-run cliff ceiling: post-peak trough /
+//!                         early peak must be <= R (default 0.70)
+//!   --lifecycle-flat R    managed-run flat floor: min/max over active
+//!                         windows must be >= R (default 0.90)
 //! ```
 //!
 //! Every SLO prints one machine-readable line
@@ -262,6 +268,154 @@ fn load_qos(path: &str) -> bench::BenchResult<QosRun> {
             .and_then(Json::as_u64)
             .unwrap_or(0),
     })
+}
+
+struct LifecycleRun {
+    path: String,
+    cliff_ratio: f64,
+    flat_ratio: f64,
+    mgr_fg_reclaims: u64,
+    active_limit: u64,
+    max_active_mgr: u64,
+    max_active_nomgr: u64,
+    mgmt_finishes: u64,
+    mgmt_resets: u64,
+    sched_mgmt_ops: u64,
+    mgmt_io_share: f64,
+    nomgr_windows: Vec<f64>,
+    mgr_windows: Vec<f64>,
+}
+
+fn load_lifecycle(path: &str) -> bench::BenchResult<LifecycleRun> {
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| BenchError::Gate(format!("{path}: invalid JSON: {e}")))?;
+    if req(&doc, "kind", path)?.as_str() != Some("lifecycle") {
+        return Err(BenchError::Gate(format!(
+            "{path}: not a lifecycle artifact"
+        )));
+    }
+    let nomgr = req(&doc, "nomgr", path)?;
+    let mgr = req(&doc, "mgr", path)?;
+    let f64_of = |v: &Json, key: &str| -> bench::BenchResult<f64> {
+        req(v, key, path)?
+            .as_f64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not a number")))
+    };
+    let u64_of = |v: &Json, key: &str| -> bench::BenchResult<u64> {
+        req(v, key, path)?
+            .as_u64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not an integer")))
+    };
+    let windows = |v: &Json| -> bench::BenchResult<Vec<f64>> {
+        Ok(req(v, "windows_mib_s", path)?
+            .as_arr()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_f64)
+            .collect())
+    };
+    Ok(LifecycleRun {
+        path: path.to_string(),
+        cliff_ratio: f64_of(nomgr, "cliff_ratio")?,
+        flat_ratio: f64_of(mgr, "flat_ratio")?,
+        mgr_fg_reclaims: u64_of(mgr, "foreground_reclaims")?,
+        active_limit: u64_of(&doc, "active_limit")?,
+        max_active_mgr: u64_of(mgr, "max_active_seen")?,
+        max_active_nomgr: u64_of(nomgr, "max_active_seen")?,
+        mgmt_finishes: u64_of(mgr, "mgmt_finishes")?,
+        mgmt_resets: u64_of(mgr, "mgmt_resets")?,
+        sched_mgmt_ops: u64_of(mgr, "sched_mgmt_ops")?,
+        mgmt_io_share: f64_of(mgr, "mgmt_io_share")?,
+        nomgr_windows: windows(nomgr)?,
+        mgr_windows: windows(mgr)?,
+    })
+}
+
+fn render_lifecycle(l: &LifecycleRun) {
+    println!("\n## lifecycle ({})", l.path);
+    let max = l
+        .nomgr_windows
+        .iter()
+        .chain(l.mgr_windows.iter())
+        .cloned()
+        .fold(0.0f64, f64::max);
+    for (name, windows, ratio, label) in [
+        ("nomgr", &l.nomgr_windows, l.cliff_ratio, "cliff"),
+        ("mgr", &l.mgr_windows, l.flat_ratio, "flat"),
+    ] {
+        println!("   {name} ({label} {ratio:.3}):");
+        for w in resample(windows, 12) {
+            println!("     {:>8.0} MiB/s |{}", w, bar(w, max, 40));
+        }
+    }
+    println!(
+        "   manager: {} finishes, {} resets, {} scheduler-dispatched mgmt ops, \
+         {:.1}% of device writes; active zones mgr {}/{} nomgr {}/{}; \
+         mgr foreground reclaims {}",
+        l.mgmt_finishes,
+        l.mgmt_resets,
+        l.sched_mgmt_ops,
+        l.mgmt_io_share * 100.0,
+        l.max_active_mgr,
+        l.active_limit,
+        l.max_active_nomgr,
+        l.active_limit,
+        l.mgr_fg_reclaims,
+    );
+}
+
+/// The lifecycle SLO set: `(name, value, threshold, pass)` per gate.
+///
+/// - `lifecycle_cliff`: the unmanaged run must actually show the cliff
+///   (post-peak trough <= `cliff_max` of the early peak) — it is the
+///   regression oracle proving the cost model bites.
+/// - `lifecycle_flat`: the managed run holds >= `flat_min` of its best
+///   window across the whole band.
+/// - `lifecycle_fg_reclaims`: the manager keeps the foreground reclaim
+///   path completely idle.
+/// - `lifecycle_budget`: no run ever exceeds the device active-zone
+///   budget.
+/// - `lifecycle_mgmt_ops`: management IO went through the scheduler
+///   (attribution is part of the contract, not a side effect).
+fn lifecycle_slos(
+    l: &LifecycleRun,
+    cliff_max: f64,
+    flat_min: f64,
+) -> Vec<(&'static str, f64, f64, bool)> {
+    let max_active = l.max_active_mgr.max(l.max_active_nomgr) as f64;
+    vec![
+        (
+            "lifecycle_cliff",
+            l.cliff_ratio,
+            cliff_max,
+            l.cliff_ratio <= cliff_max,
+        ),
+        (
+            "lifecycle_flat",
+            l.flat_ratio,
+            flat_min,
+            l.flat_ratio >= flat_min,
+        ),
+        (
+            "lifecycle_fg_reclaims",
+            l.mgr_fg_reclaims as f64,
+            0.0,
+            l.mgr_fg_reclaims == 0,
+        ),
+        (
+            "lifecycle_budget",
+            max_active,
+            l.active_limit as f64,
+            max_active <= l.active_limit as f64,
+        ),
+        (
+            "lifecycle_mgmt_ops",
+            l.sched_mgmt_ops as f64,
+            1.0,
+            l.sched_mgmt_ops >= 1,
+        ),
+    ]
 }
 
 fn render_qos(q: &QosRun) {
@@ -518,7 +672,8 @@ fn usage() -> BenchError {
         "usage: report [--expect-flat FILE] [--expect-decline FILE] \
          [--flat-min R] [--decline-max R] [--p99-factor F] [--qos FILE] \
          [--qos-p99-ratio R] [--qos-jain R] [--qos-share-dev R] \
-         [--qos-uplift R] [FILE...]"
+         [--qos-uplift R] [--lifecycle FILE] [--cliff-max R] \
+         [--lifecycle-flat R] [FILE...]"
             .to_string(),
     )
 }
@@ -533,6 +688,9 @@ fn main() -> bench::BenchResult {
     let mut qos_jain = 0.95f64;
     let mut qos_share_dev = 0.10f64;
     let mut qos_uplift = 2.0f64;
+    let mut lifecycle_files: Vec<String> = Vec::new();
+    let mut cliff_max = 0.70f64;
+    let mut lifecycle_flat = 0.90f64;
     // An artifact reader has no workload to shard; accepted (and inert)
     // for CLI uniformity with the other binaries.
     let mut rest = bench::cli_args();
@@ -557,11 +715,14 @@ fn main() -> bench::BenchResult {
             "--qos-jain" => qos_jain = numeric(&mut args)?,
             "--qos-share-dev" => qos_share_dev = numeric(&mut args)?,
             "--qos-uplift" => qos_uplift = numeric(&mut args)?,
+            "--lifecycle" => lifecycle_files.push(args.next().ok_or_else(usage)?),
+            "--cliff-max" => cliff_max = numeric(&mut args)?,
+            "--lifecycle-flat" => lifecycle_flat = numeric(&mut args)?,
             f if !f.starts_with("--") => files.push((f.to_string(), None)),
             _ => return Err(usage()),
         }
     }
-    if files.is_empty() && qos_files.is_empty() {
+    if files.is_empty() && qos_files.is_empty() && lifecycle_files.is_empty() {
         return Err(usage());
     }
 
@@ -573,6 +734,10 @@ fn main() -> bench::BenchResult {
         .iter()
         .map(|path| load_qos(path))
         .collect::<bench::BenchResult<_>>()?;
+    let lifecycle_runs: Vec<LifecycleRun> = lifecycle_files
+        .iter()
+        .map(|path| load_lifecycle(path))
+        .collect::<bench::BenchResult<_>>()?;
 
     for (run, _) in &runs {
         render(run);
@@ -582,6 +747,9 @@ fn main() -> bench::BenchResult {
     }
     for q in &qos_runs {
         render_qos(q);
+    }
+    for l in &lifecycle_runs {
+        render_lifecycle(l);
     }
 
     println!();
@@ -669,9 +837,96 @@ fn main() -> bench::BenchResult {
         );
     }
 
+    for l in &lifecycle_runs {
+        for (name, value, threshold, pass) in lifecycle_slos(l, cliff_max, lifecycle_flat) {
+            slo(name, &l.path, value, threshold, pass);
+        }
+    }
+
     if failures.is_empty() {
         Ok(())
     } else {
         Err(BenchError::Gate(failures.join("; ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> LifecycleRun {
+        LifecycleRun {
+            path: "BENCH_ziggurat.json".into(),
+            cliff_ratio: 0.59,
+            flat_ratio: 0.97,
+            mgr_fg_reclaims: 0,
+            active_limit: 9,
+            max_active_mgr: 4,
+            max_active_nomgr: 9,
+            mgmt_finishes: 39,
+            mgmt_resets: 8,
+            sched_mgmt_ops: 82,
+            mgmt_io_share: 0.14,
+            nomgr_windows: vec![1865.0, 1865.0, 1100.0, 1100.0],
+            mgr_windows: vec![1865.0, 1860.0, 1865.0, 1862.0],
+        }
+    }
+
+    fn verdict(slos: &[(&'static str, f64, f64, bool)], name: &str) -> bool {
+        slos.iter().find(|s| s.0 == name).expect("missing slo").3
+    }
+
+    #[test]
+    fn healthy_artifact_passes_every_gate() {
+        let slos = lifecycle_slos(&healthy(), 0.70, 0.90);
+        assert_eq!(slos.len(), 5);
+        assert!(slos.iter().all(|s| s.3), "{slos:?}");
+    }
+
+    #[test]
+    fn missing_cliff_fails_the_oracle() {
+        // A flat unmanaged run means the cost model stopped biting.
+        let l = LifecycleRun {
+            cliff_ratio: 0.95,
+            ..healthy()
+        };
+        let slos = lifecycle_slos(&l, 0.70, 0.90);
+        assert!(!verdict(&slos, "lifecycle_cliff"));
+        assert!(verdict(&slos, "lifecycle_flat"));
+    }
+
+    #[test]
+    fn managed_cliff_fails_the_flat_gate() {
+        let l = LifecycleRun {
+            flat_ratio: 0.58,
+            ..healthy()
+        };
+        assert!(!verdict(&lifecycle_slos(&l, 0.70, 0.90), "lifecycle_flat"));
+    }
+
+    #[test]
+    fn reclaims_budget_and_attribution_gates() {
+        let l = LifecycleRun {
+            mgr_fg_reclaims: 3,
+            max_active_mgr: 11,
+            sched_mgmt_ops: 0,
+            ..healthy()
+        };
+        let slos = lifecycle_slos(&l, 0.70, 0.90);
+        assert!(!verdict(&slos, "lifecycle_fg_reclaims"));
+        assert!(!verdict(&slos, "lifecycle_budget"));
+        assert!(!verdict(&slos, "lifecycle_mgmt_ops"));
+    }
+
+    #[test]
+    fn budget_gate_covers_the_unmanaged_run_too() {
+        let l = LifecycleRun {
+            max_active_nomgr: 10,
+            ..healthy()
+        };
+        assert!(!verdict(
+            &lifecycle_slos(&l, 0.70, 0.90),
+            "lifecycle_budget"
+        ));
     }
 }

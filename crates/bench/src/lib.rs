@@ -21,6 +21,7 @@ use std::sync::{Arc, OnceLock};
 use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
 
 pub mod json;
+pub mod lifecycle;
 
 /// Errors a benchmark binary can exit with. Binaries return
 /// [`BenchResult`] from `main` so CI sees the cause on stderr and a

@@ -8,7 +8,11 @@
 //! indices and start timestamps, and monotone gauge sample times.
 
 use bench::json::Json;
+use bench::lifecycle::{lifecycle_json, SprayOutcome};
 use bench::TimelineRun;
+use qos::TenantSnapshot;
+use raizn::{LifecycleStats, RaiznStats};
+use sim::SimTime;
 use std::path::{Path, PathBuf};
 use workloads::{BlockTarget, JobSpec, OpKind, Pattern, ZonedTarget};
 
@@ -208,6 +212,161 @@ fn check_breakdown(path: &Path) {
             "{ctx}: counter {name:?} is not a non-negative integer"
         );
     }
+}
+
+fn f64_field(v: &Json, key: &str, ctx: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{ctx}: missing or non-numeric {key:?}"))
+}
+
+fn check_tenants(run: &Json, ctx: &str) {
+    let tenants = run
+        .get("tenants")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{ctx}: missing tenants array"));
+    assert_eq!(tenants.len(), 2, "{ctx}: expected fg + mgmt tenants");
+    for t in tenants {
+        let name = t
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{ctx}: tenant missing name"));
+        let tctx = format!("{ctx} tenant {name}");
+        for key in [
+            "admitted",
+            "completed",
+            "shed",
+            "deferred",
+            "batches",
+            "merged",
+            "bytes",
+        ] {
+            u64_field(t, key, &tctx);
+        }
+    }
+}
+
+/// Validates the `kind: "lifecycle"` document the `ziggurat` binary
+/// writes as `BENCH_ziggurat.json` (DESIGN.md "Observability"): run
+/// geometry, both runs' window series and band ratios, the unmanaged
+/// run's reclaim counters, the managed run's management counters, and
+/// per-run scheduler tenant accounting.
+fn check_lifecycle(doc: &Json, ctx: &str) {
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("lifecycle"),
+        "{ctx}: kind"
+    );
+    for key in [
+        "active_limit",
+        "spray_zones",
+        "stripes_per_zone",
+        "reset_lag",
+    ] {
+        assert!(
+            u64_field(doc, key, ctx) > 0,
+            "{ctx}: {key} must be positive"
+        );
+    }
+    for (run_key, ratio_key) in [("nomgr", "cliff_ratio"), ("mgr", "flat_ratio")] {
+        let run = doc
+            .get(run_key)
+            .unwrap_or_else(|| panic!("{ctx}: missing run {run_key:?}"));
+        let rctx = format!("{ctx} run {run_key}");
+        let windows = run
+            .get("windows_mib_s")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{rctx}: missing windows_mib_s"));
+        assert!(!windows.is_empty(), "{rctx}: empty window series");
+        for w in windows {
+            assert!(
+                w.as_f64().is_some_and(|v| v >= 0.0),
+                "{rctx}: window not a non-negative number"
+            );
+        }
+        let ratio = f64_field(run, ratio_key, &rctx);
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "{rctx}: {ratio_key} {ratio} outside [0, 1]"
+        );
+        u64_field(run, "foreground_reclaims", &rctx);
+        u64_field(run, "max_active_seen", &rctx);
+        assert!(
+            f64_field(run, "duration_ms", &rctx) >= 0.0,
+            "{rctx}: negative duration"
+        );
+        check_tenants(run, &rctx);
+    }
+    let nomgr = doc.get("nomgr").unwrap();
+    u64_field(nomgr, "zone_finishes", &format!("{ctx} run nomgr"));
+    let mgr = doc.get("mgr").unwrap();
+    let mctx = format!("{ctx} run mgr");
+    for key in [
+        "mgmt_finishes",
+        "mgmt_resets",
+        "mgmt_pre_opens",
+        "mgmt_pumps",
+        "sched_mgmt_ops",
+    ] {
+        u64_field(mgr, key, &mctx);
+    }
+    let share = f64_field(mgr, "mgmt_io_share", &mctx);
+    assert!(
+        (0.0..=1.0).contains(&share),
+        "{mctx}: mgmt_io_share {share} outside [0, 1]"
+    );
+}
+
+fn tenant(name: &str, completed: u64) -> TenantSnapshot {
+    TenantSnapshot {
+        name: name.into(),
+        admitted: completed,
+        completed,
+        shed: 0,
+        deferred: 0,
+        batches: completed,
+        merged: 0,
+        bytes: completed * 4096,
+    }
+}
+
+#[test]
+fn lifecycle_artifact_conforms_to_schema() {
+    // Drive the production emitter (the exact code path behind
+    // `BENCH_ziggurat.json`) with representative outcomes and validate
+    // the document it renders.
+    let nomgr = SprayOutcome {
+        windows_mib_s: vec![1800.0, 1810.0, 1100.0, 1090.0],
+        end: SimTime::from_nanos(1_500_000_000),
+        max_active_seen: 9,
+        raizn: RaiznStats {
+            foreground_reclaims: 32,
+            zone_finishes: 32,
+            ..RaiznStats::default()
+        },
+        tenants: vec![tenant("fg", 8800), tenant("mgmt", 0)],
+        mgmt: None,
+        mgmt_io_share: 0.0,
+        sched_mgmt_ops: 0,
+    };
+    let mgr = SprayOutcome {
+        windows_mib_s: vec![1800.0, 1810.0, 1805.0, 1795.0],
+        end: SimTime::from_nanos(1_200_000_000),
+        max_active_seen: 4,
+        raizn: RaiznStats::default(),
+        tenants: vec![tenant("fg", 8800), tenant("mgmt", 80)],
+        mgmt: Some(LifecycleStats {
+            finishes: 39,
+            resets: 8,
+            pre_opens: 33,
+            pumps: 1100,
+        }),
+        mgmt_io_share: 0.14,
+        sched_mgmt_ops: 80,
+    };
+    let json = lifecycle_json(&nomgr, 0.6, &mgr, 0.99);
+    let doc = Json::parse(&json).expect("lifecycle artifact is valid JSON");
+    check_lifecycle(&doc, "lifecycle_json");
 }
 
 #[test]

@@ -41,6 +41,15 @@ pub struct RaiznConfig {
     /// instead of a dedicated header sector, removing one sector of write
     /// amplification from every log append.
     pub lb_metadata_headers: bool,
+    /// When the devices' active-zone budget is exhausted and a write
+    /// needs to activate a fresh logical zone, inline-finish the most
+    /// nearly full active logical zone to reclaim headroom instead of
+    /// surfacing `TooManyActiveZones`. This is the *foreground* reclaim
+    /// path: the triggering write eats the full finish cost (fill writes
+    /// over the victim's remainder), which is exactly the write-stall
+    /// cliff the `ZoneLifecycleManager` exists to prevent. Off by
+    /// default; benches and tests enable it to reproduce the cliff.
+    pub reclaim_on_exhaustion: bool,
     /// How many times a transient (injected) device error is retried
     /// before the command is declared failed and counted against the
     /// device's error budget.
@@ -62,6 +71,7 @@ impl Default for RaiznConfig {
             pp_log_full_unit: false,
             use_zrwa: false,
             lb_metadata_headers: false,
+            reclaim_on_exhaustion: false,
             transient_retry_limit: 3,
             device_error_budget: 16,
         }

@@ -67,6 +67,7 @@
 mod bitmap;
 mod config;
 mod layout;
+mod lifecycle;
 mod metadata;
 mod recovery;
 mod stats;
@@ -76,6 +77,7 @@ mod volume;
 pub use bitmap::PersistenceBitmap;
 pub use config::RaiznConfig;
 pub use layout::{Location, RaiznLayout};
+pub use lifecycle::{LifecycleConfig, LifecycleStats, MgmtSink, ZoneLifecycleManager};
 pub use metadata::{
     MdPayload, MdPayloadRef, MdRecord, MdRecordRef, MetadataHeader, MetadataType,
     GEN_COUNTERS_PER_PAGE, MD_HEADER_BYTES,

@@ -45,6 +45,11 @@ pub enum MetadataType {
     /// metadata GC never have to infer the parity role from the device
     /// the record happens to live on.
     PartialParityQ = 6,
+    /// Write-ahead record of a logical zone finish: the header's LBA
+    /// range runs from the zone start to the sealed write pointer, so a
+    /// remount knows the exact durable fill even when the devices
+    /// witnessing the final stripe are gone.
+    ZoneFinishLog = 7,
 }
 
 impl MetadataType {
@@ -56,6 +61,7 @@ impl MetadataType {
             4 => Some(MetadataType::RelocatedStripeUnit),
             5 => Some(MetadataType::PartialParity),
             6 => Some(MetadataType::PartialParityQ),
+            7 => Some(MetadataType::ZoneFinishLog),
             _ => None,
         }
     }
@@ -128,6 +134,9 @@ pub enum MdPayload {
         /// Q-parity bytes for `rows = data.len() / SECTOR_SIZE` rows.
         data: Vec<u8>,
     },
+    /// The logical zone covering the header's LBA range was finished; the
+    /// range's end is the sealed write pointer.
+    ZoneFinishLog,
 }
 
 /// The array parameters persisted to every device (inline in a
@@ -227,6 +236,8 @@ pub enum MdPayloadRef<'a> {
         /// Q-parity bytes for `rows = data.len() / SECTOR_SIZE` rows.
         data: &'a [u8],
     },
+    /// The logical zone covering the header's LBA range was finished.
+    ZoneFinishLog,
 }
 
 /// A record built over a borrowed payload; see [`MdPayloadRef`]. Encodes
@@ -257,6 +268,7 @@ impl<'a> MdRecordRef<'a> {
             MdPayloadRef::RelocatedStripeUnit { .. } => MetadataType::RelocatedStripeUnit,
             MdPayloadRef::PartialParity { .. } => MetadataType::PartialParity,
             MdPayloadRef::PartialParityQ { .. } => MetadataType::PartialParityQ,
+            MdPayloadRef::ZoneFinishLog => MetadataType::ZoneFinishLog,
         };
         let (start_lba, end_lba) = match &payload {
             MdPayloadRef::GenCounters {
@@ -329,7 +341,7 @@ impl<'a> MdRecordRef<'a> {
                     put_u64(header, 32 + i * 8, *c);
                 }
             }
-            MdPayloadRef::ZoneResetLog => {}
+            MdPayloadRef::ZoneResetLog | MdPayloadRef::ZoneFinishLog => {}
             MdPayloadRef::RelocatedStripeUnit {
                 lzone,
                 stripe,
@@ -375,6 +387,7 @@ impl MdPayload {
                 counters,
             },
             MdPayload::ZoneResetLog => MdPayloadRef::ZoneResetLog,
+            MdPayload::ZoneFinishLog => MdPayloadRef::ZoneFinishLog,
             MdPayload::RelocatedStripeUnit {
                 lzone,
                 stripe,
@@ -451,7 +464,10 @@ impl MdRecord {
         }
         let ty = MetadataType::from_u32(get_u32(header, 4).ok()? & !MD_CHECKPOINT_FLAG)?;
         Some(match ty {
-            MetadataType::Superblock | MetadataType::GenCounters | MetadataType::ZoneResetLog => 0,
+            MetadataType::Superblock
+            | MetadataType::GenCounters
+            | MetadataType::ZoneResetLog
+            | MetadataType::ZoneFinishLog => 0,
             MetadataType::RelocatedStripeUnit => get_u64(header, 32).ok()?,
             MetadataType::PartialParity | MetadataType::PartialParityQ => {
                 get_u64(header, 40).ok()?
@@ -515,6 +531,7 @@ impl MdRecord {
                 }
             }
             MetadataType::ZoneResetLog => MdPayload::ZoneResetLog,
+            MetadataType::ZoneFinishLog => MdPayload::ZoneFinishLog,
             MetadataType::RelocatedStripeUnit => {
                 let sectors = get_u64(header, 32)?;
                 if payload.len() as u64 != sectors * SECTOR_SIZE {
@@ -599,6 +616,12 @@ mod tests {
     #[test]
     fn zone_reset_log_roundtrip() {
         roundtrip(MdRecord::new(MdPayload::ZoneResetLog, false, 256, 512, 7));
+    }
+
+    #[test]
+    fn zone_finish_log_roundtrip() {
+        // End LBA is the sealed write pointer, not the zone cap.
+        roundtrip(MdRecord::new(MdPayload::ZoneFinishLog, false, 256, 280, 7));
     }
 
     #[test]

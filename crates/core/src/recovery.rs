@@ -154,6 +154,8 @@ impl RaiznVolume {
         let lgeo = layout.logical_geometry();
         // Latest valid reset WAL per zone.
         let mut reset_wals = vec![false; n_lzones];
+        // Sealed write pointer from the latest valid finish WAL per zone.
+        let mut finish_wps: Vec<Option<u64>> = vec![None; n_lzones];
         // Relocations: best (highest valid) per slot.
         let mut relocated: HashMap<(u32, u64, u32), RelocatedUnit> = HashMap::new();
         // Partial parity images per (lzone, stripe): replay normal records
@@ -174,6 +176,13 @@ impl RaiznVolume {
                     let lz = lgeo.zone_of(rec.header.start_lba) as usize;
                     if rec.header.generation == gens[lz] {
                         reset_wals[lz] = true;
+                    }
+                }
+                MdPayload::ZoneFinishLog => {
+                    let lz = lgeo.zone_of(rec.header.start_lba) as usize;
+                    if rec.header.generation == gens[lz] {
+                        let wp = rec.header.end_lba.saturating_sub(rec.header.start_lba);
+                        finish_wps[lz] = Some(finish_wps[lz].map_or(wp, |p| p.max(wp)));
                     }
                 }
                 MdPayload::RelocatedStripeUnit {
@@ -280,7 +289,14 @@ impl RaiznVolume {
             }
 
             for lz in 0..vol.layout.logical_zones() {
-                vol.recover_zone(&devices, at, lz, reset_wals[lz as usize], &pp)?;
+                vol.recover_zone(
+                    &devices,
+                    at,
+                    lz,
+                    reset_wals[lz as usize],
+                    finish_wps[lz as usize],
+                    &pp,
+                )?;
             }
 
             // ---- 3b. Rewrite physical zones whose relocation count
@@ -303,6 +319,7 @@ impl RaiznVolume {
         at: SimTime,
         lz: u32,
         reset_logged: bool,
+        finish_wp: Option<u64>,
         pp: &PpImages,
     ) -> Result<bool> {
         let layout = self.layout;
@@ -317,6 +334,7 @@ impl RaiznVolume {
         // Per-device physical write pointers (relative), None for failed.
         let mut wp: Vec<Option<u64>> = Vec::with_capacity(n as usize);
         let mut live_full = true;
+        let mut any_full = false;
         for (i, dev) in devices.iter().enumerate() {
             if self.is_failed(i) {
                 wp.push(None);
@@ -324,6 +342,7 @@ impl RaiznVolume {
                 let info = dev.zone_info(phys_zone)?;
                 wp.push(Some(info.write_pointer - info.start));
                 live_full &= info.state == ZoneState::Full;
+                any_full |= info.state == ZoneState::Full;
             }
         }
         // Generation-filtered pp images count as content: on a degraded
@@ -342,7 +361,22 @@ impl RaiznVolume {
         // finished (or filled). A finish writes the final stripe's parity
         // *prefix* into the parity slot, so the parity-presence shortcut
         // below must not be used to infer stripe completion here.
-        let finished = live_full && any_content;
+        //
+        // An interrupted finish is witnessed two ways: by its WAL record
+        // (written before any device seals) and by a sealed *minority* of
+        // physical zones — writes fill the array's physical zones in
+        // lock-step, so only a crash mid-way through the per-device
+        // finish loop can leave a mixed Full / not-Full line-up (the
+        // witness path also covers arrays from before the WAL existed).
+        // Sealed zones reject writes until reset — leaving the logical
+        // zone `Closed` would wedge it — so the finish is rolled forward
+        // (the mirror image of the logged reset replay below): the zone
+        // recovers as finished and the straggler devices are sealed once
+        // its prefix is settled. A reset intent supersedes: you cannot
+        // finish a zone after logging its reset without the replay
+        // bumping the generation first.
+        let finish_roll = !reset_logged && !live_full && (any_full || finish_wp.is_some());
+        let finished = (live_full || any_full || finish_wp.is_some()) && any_content;
 
         // Replayed partial zone reset: the WAL says this zone should be
         // empty; finish the job (§5.2).
@@ -362,7 +396,18 @@ impl RaiznVolume {
         }
         if !any_content {
             // Empty zone: bump the generation so any stale metadata for it
-            // is invalidated (§4.3).
+            // is invalidated (§4.3). A sealed-but-empty physical zone is a
+            // finish interrupted before the zone held any data — reset the
+            // sealed stragglers so the empty logical zone stays writable
+            // on every device.
+            if finish_roll {
+                for (i, dev) in devices.iter().enumerate() {
+                    if self.is_failed(i) {
+                        continue;
+                    }
+                    dev.reset_zone(at, phys_zone)?;
+                }
+            }
             m.gens[lz as usize] += 1;
             m.relocated.retain(|(z2, _, _), _| *z2 != lz);
             self.sync_relocated_count(&m);
@@ -434,6 +479,17 @@ impl RaiznVolume {
             }
             f
         };
+        // The finish WAL is authoritative for sealed zones: it records
+        // the exact fill at seal time, which the surviving-extent
+        // heuristics above can only understate when the devices holding
+        // the final stripe's data are among the failed (a sealed zone's
+        // parity-prefix slot cannot distinguish a complete final stripe
+        // from a prefix, so it never witnesses completion).
+        if finished {
+            if let Some(w) = finish_wp {
+                fill = fill.max(w);
+            }
+        }
 
         // Repair pass: walk stripes, rebuilding missing unit suffixes.
         // Finished zones are sealed (no repair writes possible); their
@@ -664,6 +720,35 @@ impl RaiznVolume {
         } else {
             ZoneState::Closed
         };
+        // Complete an interrupted finish: seal the straggler devices
+        // (idempotent on the already-Full ones) so the device-level zone
+        // states agree with the recovered logical seal and no physical
+        // zone is pinned active under a Full logical zone. The fills pad
+        // each straggler's unwritten remainder at the modeled cost.
+        if finish_roll {
+            for (i, dev) in devices.iter().enumerate() {
+                if self.is_failed(i) {
+                    continue;
+                }
+                if z.state == ZoneState::Full {
+                    dev.finish_zone(at, phys_zone)?;
+                } else {
+                    // The recovered prefix collapsed to empty: undo the
+                    // partial seal instead so the zone stays writable.
+                    dev.reset_zone(at, phys_zone)?;
+                }
+            }
+            if z.state == ZoneState::Full {
+                AtomicRaiznStats::add(&self.stats.zone_finishes, 1);
+                AtomicRaiznStats::add(&self.stats.finish_rollforwards, 1);
+            }
+        }
+        // Any Full zone keeps (or gains) a checkpointed finish WAL: the
+        // next metadata GC re-logs the recovered fill, so it stays
+        // durable even for witness-rolled or naturally filled zones.
+        if z.state == ZoneState::Full {
+            self.zone_sealed[lz as usize].store(true, Ordering::Release);
+        }
         // Post-crash, everything on media is durable.
         z.pbitmap.mark_persisted_below(z_wp);
         Ok(false)

@@ -54,6 +54,16 @@ pub struct RaiznStats {
     pub scrub_repairs: u64,
     /// Devices auto-degraded after exceeding their error budget.
     pub auto_degrades: u64,
+    /// Logical zone finishes completed (explicit, background, or
+    /// foreground-reclaim).
+    pub zone_finishes: u64,
+    /// Inline zone finishes forced on the write path by active-budget
+    /// exhaustion (`reclaim_on_exhaustion`) — each one is a write stall.
+    pub foreground_reclaims: u64,
+    /// Interrupted zone finishes completed at mount: a crash caught a
+    /// finish partway across the array (some physical zones sealed, some
+    /// not) and recovery sealed the stragglers.
+    pub finish_rollforwards: u64,
     /// Gather writes staged through [`write_vectored`]
     /// (multi-segment batches submitted as one extent).
     ///
@@ -92,6 +102,9 @@ pub(crate) struct AtomicRaiznStats {
     pub scrub_runs: AtomicU64,
     pub scrub_repairs: AtomicU64,
     pub auto_degrades: AtomicU64,
+    pub zone_finishes: AtomicU64,
+    pub foreground_reclaims: AtomicU64,
+    pub finish_rollforwards: AtomicU64,
     pub gather_writes: AtomicU64,
     pub gather_segments_merged: AtomicU64,
 }
@@ -132,6 +145,9 @@ impl AtomicRaiznStats {
             scrub_runs: ld(&self.scrub_runs),
             scrub_repairs: ld(&self.scrub_repairs),
             auto_degrades: ld(&self.auto_degrades),
+            zone_finishes: ld(&self.zone_finishes),
+            foreground_reclaims: ld(&self.foreground_reclaims),
+            finish_rollforwards: ld(&self.finish_rollforwards),
             gather_writes: ld(&self.gather_writes),
             gather_segments_merged: ld(&self.gather_segments_merged),
         }

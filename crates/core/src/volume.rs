@@ -213,6 +213,10 @@ pub struct RaiznVolume {
     /// change under the shard lock. Readers that only need the frontier
     /// (metadata GC snapshot validation) use this instead of the shard.
     pub(crate) zone_wp: Vec<AtomicU64>,
+    /// Lock-free per-zone "sealed by an explicit finish" flags. Metadata
+    /// GC checkpoints a [`MdPayload::ZoneFinishLog`] for flagged zones so
+    /// the sealed write pointer stays durable across GC passes.
+    pub(crate) zone_sealed: Vec<AtomicBool>,
     /// Lock-free mirror of `meta.relocated.len()`: hot reads skip the meta
     /// lock entirely while no relocations exist.
     relocated_len: AtomicUsize,
@@ -506,6 +510,7 @@ impl RaiznVolume {
             read_only: AtomicBool::new(false),
             device_errors: (0..n).map(|_| AtomicU64::new(0)).collect(),
             zone_wp: (0..nz).map(|_| AtomicU64::new(0)).collect(),
+            zone_sealed: (0..nz).map(|_| AtomicBool::new(false)).collect(),
             relocated_len: AtomicUsize::new(0),
             rebuild_zones_total: AtomicU64::new(0),
             rebuild_zones_done: AtomicU64::new(0),
@@ -908,6 +913,35 @@ impl RaiznVolume {
                     let per = crate::metadata::GEN_COUNTERS_PER_PAGE;
                     for first in (0..m.gens.len()).step_by(per) {
                         Self::encode_gen_page(&m.gens, first, true, &mut scratch);
+                        let c = self.append_with_retry(
+                            devices,
+                            t,
+                            dev,
+                            new_zone,
+                            &scratch,
+                            WriteFlags::default(),
+                        )?;
+                        t = c.done;
+                        AtomicRaiznStats::add(&self.stats.md_appends, 1);
+                    }
+                    // Zone-finish WALs stay live until the zone's next
+                    // reset: re-log one checkpoint record per sealed zone
+                    // (the lock-free mirrors carry the frozen frontier).
+                    let lgeo = self.layout.logical_geometry();
+                    for lz in 0..self.layout.logical_zones() as usize {
+                        if !self.zone_sealed[lz].load(Ordering::Acquire) {
+                            continue;
+                        }
+                        let wp = self.zone_wp[lz].load(Ordering::Acquire);
+                        let zstart = lgeo.zone_start(lz as u32);
+                        MdRecordRef::new(
+                            MdPayloadRef::ZoneFinishLog,
+                            true,
+                            zstart,
+                            zstart + wp,
+                            m.gens[lz],
+                        )
+                        .encode_into(&mut scratch);
                         let c = self.append_with_retry(
                             devices,
                             t,
@@ -1827,6 +1861,53 @@ impl RaiznVolume {
         }
     }
 
+    /// Foreground active-budget reclaim: when `reclaim_on_exhaustion` is
+    /// set, a write that would activate a fresh logical zone while some
+    /// device sits at its active-zone limit inline-finishes the most
+    /// nearly full active logical zone to make room, and returns the
+    /// finish completion as the write's new issue time — the write-stall
+    /// cliff a [`crate::ZoneLifecycleManager`] exists to prevent.
+    ///
+    /// Takes no locks on entry; `zone_info`/`finish_zone` acquire their
+    /// own (shard → meta → device), so this must run before `do_write`
+    /// locks anything.
+    fn reclaim_for_activation(&self, at: SimTime, lzone: u32) -> Result<SimTime> {
+        if !self.config.reclaim_on_exhaustion
+            || self.zone_wp[lzone as usize].load(Ordering::Acquire) != 0
+        {
+            return Ok(at);
+        }
+        let exhausted = {
+            let devices = self.devices.read();
+            devices.iter().enumerate().any(|(d, dev)| {
+                !self.is_failed(d) && dev.active_zones() >= dev.config().max_active_zones()
+            })
+        };
+        if !exhausted {
+            return Ok(at);
+        }
+        // Victim: the most nearly full writable logical zone (the cheapest
+        // remainder to fill), never the zone being activated.
+        let mut candidates: Vec<(u64, u32)> = (0..self.layout.logical_zones())
+            .filter(|z| *z != lzone)
+            .filter_map(|z| {
+                let wp = self.zone_wp[z as usize].load(Ordering::Acquire);
+                (wp > 0).then_some((wp, z))
+            })
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        for (_, victim) in candidates {
+            if !self.zone_info(victim)?.state.is_writable() {
+                continue;
+            }
+            let done = self.finish_zone(at, victim)?.done;
+            AtomicRaiznStats::add(&self.stats.foreground_reclaims, 1);
+            return Ok(done);
+        }
+        // Nothing reclaimable: let the device report budget exhaustion.
+        Ok(at)
+    }
+
     /// The write-path core, shared by `write` and `append`. Takes only
     /// the target zone's shard lock (plus brief meta acquisitions on the
     /// metadata-logging branches), so writes to distinct zones run
@@ -1853,6 +1934,12 @@ impl RaiznVolume {
         if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
+        // Foreground reclaim (opt-in): activating a fresh zone with the
+        // device active budget exhausted inline-finishes a victim zone
+        // first, and this write absorbs the whole finish (fill writes
+        // over the victim's remainder). Runs before any lock is taken:
+        // it acquires shard/meta/device locks of its own.
+        let at = self.reclaim_for_activation(at, lzone)?;
         let devices = self.devices.read();
         let mut z = self.lock_shard(lzone);
         let validate = |z: &LZone| -> Result<()> {
@@ -2274,6 +2361,10 @@ impl RaiznVolume {
             if let Some(buf) = z.buffer.take() {
                 z.retire_buffer(buf);
             }
+            // No WAL is written on the hot path, but the next metadata GC
+            // checkpoints a finish record so the cap fill stays durable
+            // under maximal device failures.
+            self.zone_sealed[lzone as usize].store(true, Ordering::Release);
         } else if z.state == ZoneState::Empty || z.state == ZoneState::Closed {
             z.state = ZoneState::ImplicitlyOpen;
         }
@@ -2416,6 +2507,47 @@ impl RaiznVolume {
         Ok(done)
     }
 
+    /// Appends the zone-finish WAL for `lzone` (sealed at `wp`) to the
+    /// same devices as the reset WAL. Unlike the reset intent — which is
+    /// consumed by the replay — the finish record stays live until the
+    /// zone's next reset bumps its generation: it is the remount's only
+    /// authoritative witness of the sealed fill when the devices holding
+    /// the final stripe's data are gone.
+    fn log_finish_intent(
+        &self,
+        m: &mut MetaState,
+        devices: &[Arc<ZnsDevice>],
+        at: SimTime,
+        lzone: u32,
+        wp: u64,
+    ) -> Result<SimTime> {
+        let lgeo = self.layout.logical_geometry();
+        let rec = MdRecord::new(
+            MdPayload::ZoneFinishLog,
+            false,
+            lgeo.zone_start(lzone),
+            lgeo.zone_start(lzone) + wp,
+            m.gens[lzone as usize],
+        );
+        let d0 = self.layout.data_device(lzone, 0, 0) as usize;
+        let d1 = self.layout.parity_device(lzone, 0) as usize;
+        let mut done = at;
+        done = done.max(self.md_append(m, devices, at, d0, MdRole::General, &rec, true)?);
+        done = done.max(self.md_append(m, devices, at, d1, MdRole::General, &rec, true)?);
+        if let Some(q) = self.layout.q_device(lzone, 0) {
+            done = done.max(self.md_append(
+                m,
+                devices,
+                at,
+                q as usize,
+                MdRole::General,
+                &rec,
+                true,
+            )?);
+        }
+        Ok(done)
+    }
+
     /// Completes a logical zone reset: bumps the generation counter,
     /// persists its page, and clears the zone's in-memory state. Runs
     /// under `lzone`'s shard lock.
@@ -2448,6 +2580,9 @@ impl RaiznVolume {
         z.pbitmap.clear();
         z.conflicts.clear();
         self.zone_wp[lzone as usize].store(0, Ordering::Release);
+        // The generation bump above invalidates any finish WAL; stop
+        // checkpointing it.
+        self.zone_sealed[lzone as usize].store(false, Ordering::Release);
         AtomicRaiznStats::add(&self.stats.zone_resets, 1);
         Ok(done)
     }
@@ -2476,6 +2611,35 @@ impl RaiznVolume {
         let phys = self.layout.phys_zone(lzone);
         for dev in devices.iter().take(devices_reset) {
             dev.reset_zone(t, phys)?;
+        }
+        Ok(())
+    }
+
+    /// Test support: performs the finish WAL and then finishes only the
+    /// first `devices_finished` physical zones — a background finish
+    /// interrupted partway across the array's per-device seal loop. No
+    /// logical state is updated and no parity prefix is sealed; the
+    /// volume must be dropped and remounted afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    #[doc(hidden)]
+    pub fn interrupted_finish_for_test(
+        &self,
+        at: SimTime,
+        lzone: u32,
+        devices_finished: usize,
+    ) -> Result<()> {
+        let devices = self.devices.read();
+        let z = self.lock_shard(lzone);
+        let t = {
+            let mut m = self.lock_meta();
+            self.log_finish_intent(&mut m, &devices, at, lzone, z.wp)?
+        };
+        let phys = self.layout.phys_zone(lzone);
+        for dev in devices.iter().take(devices_finished) {
+            dev.finish_zone(t, phys)?;
         }
         Ok(())
     }
@@ -2958,6 +3122,14 @@ impl ZonedVolume for RaiznVolume {
         }
         z.buffer = taken;
         seal_result?;
+        // Write-ahead: the sealed write pointer goes to the metadata WAL
+        // before any device seals, so a crash anywhere in the per-device
+        // finish loop rolls forward to exactly this fill at mount.
+        {
+            let mut m = self.lock_meta();
+            let t = self.log_finish_intent(&mut m, &devices, at, zone, z.wp)?;
+            done = done.max(t);
+        }
         let phys = self.layout.phys_zone(zone);
         for (i, dev) in devices.iter().enumerate() {
             if self.is_failed(i) {
@@ -2965,9 +3137,11 @@ impl ZonedVolume for RaiznVolume {
             }
             done = done.max(dev.finish_zone(at, phys)?.done);
         }
+        self.zone_sealed[zone as usize].store(true, Ordering::Release);
         z.state = ZoneState::Full;
         let wp = z.wp;
         z.pbitmap.mark_persisted_below(wp);
+        AtomicRaiznStats::add(&self.stats.zone_finishes, 1);
         self.trace_span(
             obs::OpClass::Finish,
             obs::Stage::WholeOp,

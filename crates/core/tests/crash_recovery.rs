@@ -6,7 +6,7 @@
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::{SimRng, SimTime};
 use std::sync::Arc;
-use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZE};
+use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZoneState, ZonedVolume, SECTOR_SIZE};
 
 const T0: SimTime = SimTime::ZERO;
 
@@ -258,6 +258,66 @@ fn partial_zone_reset_completed_on_mount() {
     assert_eq!(info.write_pointer, 0, "partial reset not completed");
     // And writable again.
     let fresh = bytes(4, 16);
+    v2.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; fresh.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh);
+}
+
+#[test]
+fn partial_zone_finish_completed_on_mount() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    let data = bytes(32, 35);
+    v.write(T0, 0, &data, WriteFlags::default()).unwrap();
+    v.flush(T0).unwrap();
+    // Background finish interrupted after only 2 of 5 physical zones
+    // were sealed (no WAL exists for finishes; the sealed minority is
+    // the only witness).
+    v.interrupted_finish_for_test(T0, 0, 2).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // Recovery rolls the finish forward: the zone is sealed, the prefix
+    // intact, and no physical zone is left active under it.
+    let info = v2.zone_info(0).unwrap();
+    assert_eq!(info.state, ZoneState::Full, "finish not rolled forward");
+    assert_eq!(info.write_pointer, 32);
+    assert_eq!(v2.stats().finish_rollforwards, 1);
+    let mut out = vec![0u8; data.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+    let phys = v2.layout().phys_zone(0);
+    for d in &devs {
+        assert_eq!(d.zone_info(phys).unwrap().state, ZoneState::Full);
+    }
+    // Sealed means sealed: the zone rejects writes until reset.
+    assert!(v2
+        .write(T0, 32, &bytes(1, 36), WriteFlags::default())
+        .is_err());
+    v2.reset_zone(T0, 0).unwrap();
+    let fresh = bytes(4, 37);
+    v2.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
+    let mut out = vec![0u8; fresh.len()];
+    v2.read(T0, 0, &mut out).unwrap();
+    assert_eq!(out, fresh);
+}
+
+#[test]
+fn partial_finish_of_empty_zone_undone_on_mount() {
+    let devs = devices(5);
+    let v = RaiznVolume::format(devs.clone(), RaiznConfig::small_test(), T0).unwrap();
+    // A finish caught before the zone ever held data: rolling it forward
+    // would seal an empty zone forever, so mount resets the sealed
+    // stragglers instead and the zone stays writable.
+    v.interrupted_finish_for_test(T0, 0, 3).unwrap();
+    drop(v);
+    crash_all(&devs, &mut CrashPolicy::LoseCache);
+    let v2 = RaiznVolume::mount(devs, RaiznConfig::small_test(), T0).unwrap();
+    let info = v2.zone_info(0).unwrap();
+    assert_eq!(info.state, ZoneState::Empty);
+    assert_eq!(v2.stats().finish_rollforwards, 0);
+    let fresh = bytes(4, 38);
     v2.write(T0, 0, &fresh, WriteFlags::default()).unwrap();
     let mut out = vec![0u8; fresh.len()];
     v2.read(T0, 0, &mut out).unwrap();

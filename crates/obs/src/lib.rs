@@ -85,6 +85,9 @@ pub enum OpClass {
     Reset,
     /// A zone finish.
     Finish,
+    /// A zone open/close (lifecycle management traffic that is neither
+    /// data nor a seal/reset).
+    ZoneMgmt,
 }
 
 impl OpClass {
@@ -97,6 +100,7 @@ impl OpClass {
             OpClass::Flush => "flush",
             OpClass::Reset => "reset",
             OpClass::Finish => "finish",
+            OpClass::ZoneMgmt => "zone_mgmt",
         }
     }
 }
@@ -330,11 +334,14 @@ pub enum Counter {
     SchedDeferrals,
     /// QoS scheduler: write ops merged into an already-queued batch.
     SchedCoalescedOps,
+    /// QoS scheduler: zone-management ops (open/close/finish/reset)
+    /// dispatched on behalf of background lifecycle management.
+    SchedMgmtOps,
 }
 
 impl Counter {
     /// All counters, in index order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::Retries,
         Counter::DegradedReads,
         Counter::DoubleDegradedReads,
@@ -354,6 +361,7 @@ impl Counter {
         Counter::SchedSheds,
         Counter::SchedDeferrals,
         Counter::SchedCoalescedOps,
+        Counter::SchedMgmtOps,
     ];
 
     /// Stable snake-case name (used by the JSON exporters).
@@ -378,6 +386,7 @@ impl Counter {
             Counter::SchedSheds => "sched_sheds",
             Counter::SchedDeferrals => "sched_deferrals",
             Counter::SchedCoalescedOps => "sched_coalesced_ops",
+            Counter::SchedMgmtOps => "sched_mgmt_ops",
         }
     }
 

@@ -27,6 +27,8 @@ const MIN_RETRY_NS: u64 = 1_000;
 enum OpDir {
     Read,
     Write,
+    /// A zone-management command; `off` carries the zone index.
+    Mgmt(zns::ZoneMgmtOp),
 }
 
 struct QueuedOp {
@@ -232,6 +234,26 @@ impl QosScheduler {
         arrival + SimDuration::from_nanos(wait_ns)
     }
 
+    /// Enqueues a zone-management operation for `tenant`: it competes for
+    /// dispatch under the same mClock tags, rate tokens and queue caps as
+    /// data IO (weighted as one sector), so a low-priority internal
+    /// tenant's management traffic can never starve foreground tenants.
+    /// `zone` is the logical zone index on the wrapped target.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown tenant.
+    pub fn submit_mgmt(
+        &self,
+        tenant: TenantId,
+        tag: u64,
+        arrival: SimTime,
+        zone: u32,
+        op: zns::ZoneMgmtOp,
+    ) -> Result<Admission> {
+        self.submit_dir(tenant, tag, arrival, zone as u64, 1, None, OpDir::Mgmt(op))
+    }
+
     fn submit(
         &self,
         tenant: TenantId,
@@ -240,6 +262,28 @@ impl QosScheduler {
         off: u64,
         sectors: u64,
         data: Option<&[u8]>,
+    ) -> Result<Admission> {
+        let dir = if data.is_some() {
+            OpDir::Write
+        } else {
+            OpDir::Read
+        };
+        if off + sectors > self.target.capacity_sectors() {
+            return Err(ZnsError::OutOfRange { lba: off, sectors });
+        }
+        self.submit_dir(tenant, tag, arrival, off, sectors, data, dir)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_dir(
+        &self,
+        tenant: TenantId,
+        tag: u64,
+        arrival: SimTime,
+        off: u64,
+        sectors: u64,
+        data: Option<&[u8]>,
+        dir: OpDir,
     ) -> Result<Admission> {
         let mut inner = self.locks.lock(&self.inner);
         let inner = &mut *inner;
@@ -262,10 +306,6 @@ impl QosScheduler {
                 )));
             }
         }
-        if off + sectors > self.target.capacity_sectors() {
-            return Err(ZnsError::OutOfRange { lba: off, sectors });
-        }
-
         let congested = self.congested_locked(inner);
         let cap = inner.tenants[ti].spec.queue_cap;
         let effective_cap = if congested { (cap / 2).max(1) } else { cap };
@@ -299,11 +339,7 @@ impl QosScheduler {
         t.queue.push_back(QueuedOp {
             token,
             tag,
-            dir: if data.is_some() {
-                OpDir::Write
-            } else {
-                OpDir::Read
-            },
+            dir,
             off,
             sectors,
             arrival_ns,
@@ -474,6 +510,8 @@ impl SharedScheduler for QosScheduler {
                 self.target
                     .read(dispatch, start_off, &mut inner.read_buf[..bytes])?
             }
+            // Never coalesced: one management command per dispatch slot.
+            OpDir::Mgmt(op) => self.target.manage_zone(dispatch, start_off as u32, op)?,
         };
         inner.slots.push(Reverse(done.as_nanos()));
 
@@ -499,7 +537,9 @@ impl SharedScheduler for QosScheduler {
             let arrival = SimTime::from_nanos(op.arrival_ns);
             let deferred = deadline_ns > 0 && now_ns.saturating_sub(op.arrival_ns) > deadline_ns;
             t.totals.completed += 1;
-            t.totals.bytes += op.sectors * SECTOR_SIZE;
+            if !matches!(op.dir, OpDir::Mgmt(_)) {
+                t.totals.bytes += op.sectors * SECTOR_SIZE;
+            }
             if op.dir == OpDir::Write {
                 t.totals.write_ops += 1;
             }
@@ -510,9 +550,15 @@ impl SharedScheduler for QosScheduler {
                 if deferred {
                     rec.bump(obs::Counter::SchedDeferrals);
                 }
+                if matches!(op.dir, OpDir::Mgmt(_)) {
+                    rec.bump(obs::Counter::SchedMgmtOps);
+                }
                 let class = match op.dir {
                     OpDir::Read => obs::OpClass::Read,
                     OpDir::Write => obs::OpClass::Write,
+                    OpDir::Mgmt(zns::ZoneMgmtOp::Finish) => obs::OpClass::Finish,
+                    OpDir::Mgmt(zns::ZoneMgmtOp::Reset) => obs::OpClass::Reset,
+                    OpDir::Mgmt(_) => obs::OpClass::ZoneMgmt,
                 };
                 rec.record(obs::TraceEvent {
                     seq: 0,

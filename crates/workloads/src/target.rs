@@ -55,6 +55,18 @@ pub trait IoTarget: Send + Sync {
     /// Propagates target IO failures.
     fn flush(&self, at: SimTime) -> Result<SimTime>;
 
+    /// Executes a zone-management operation against `zone` (used by
+    /// schedulers dispatching background lifecycle IO). Block targets
+    /// have no zones; the default is a free no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target IO failures.
+    fn manage_zone(&self, at: SimTime, zone: u32, op: zns::ZoneMgmtOp) -> Result<SimTime> {
+        let _ = (zone, op);
+        Ok(at)
+    }
+
     /// Largest IO (sectors) that may start at dense offset `off` without
     /// crossing an internal boundary (zone capacity for zoned targets).
     fn max_io_at(&self, off: u64) -> u64;
@@ -134,6 +146,15 @@ impl<V: ZonedVolume> IoTarget for ZonedTarget<V> {
 
     fn flush(&self, at: SimTime) -> Result<SimTime> {
         Ok(self.volume.flush(at)?.done)
+    }
+
+    fn manage_zone(&self, at: SimTime, zone: u32, op: zns::ZoneMgmtOp) -> Result<SimTime> {
+        Ok(match op {
+            zns::ZoneMgmtOp::Open => self.volume.open_zone(at, zone)?.done,
+            zns::ZoneMgmtOp::Close => self.volume.close_zone(at, zone)?.done,
+            zns::ZoneMgmtOp::Finish => self.volume.finish_zone(at, zone)?.done,
+            zns::ZoneMgmtOp::Reset => self.volume.reset_zone(at, zone)?.done,
+        })
     }
 
     fn max_io_at(&self, off: u64) -> u64 {

@@ -29,10 +29,22 @@ pub struct LatencyConfig {
     pub read_per_sector: SimDuration,
     /// Per-sector write (program) service time on a channel.
     pub write_per_sector: SimDuration,
-    /// Zone reset (erase bookkeeping) duration.
+    /// Zone reset (erase bookkeeping) duration. Charged as an occupancy
+    /// hold on the zone's die group, so a reset delays foreground IO that
+    /// lands on the same flash parallelism units (ConfZNS++'s
+    /// `ZONE_RESET_LATENCY` behaviour).
     pub reset: SimDuration,
-    /// Zone finish duration.
+    /// Base zone finish duration (bookkeeping; charged after any fill
+    /// writes, see [`finish_block_sectors`](Self::finish_block_sectors)).
     pub finish: SimDuration,
+    /// Fill-write granularity of zone finish, in sectors. A finish pads
+    /// the unwritten remainder of the zone with block-sized program
+    /// operations against the occupancy model (ConfZNS++'s
+    /// `FINISH_BLOCK_SIZE` approach), so finishing an early-sealed zone
+    /// costs time proportional to its unwritten capacity. `0` disables
+    /// fill modeling and charges only the flat [`finish`](Self::finish)
+    /// duration (the pre-realism behaviour).
+    pub finish_block_sectors: u64,
     /// Cache flush duration.
     pub flush: SimDuration,
     /// Explicit zone open / close duration.
@@ -53,8 +65,10 @@ impl LatencyConfig {
             command_overhead: SimDuration::from_micros(16),
             read_per_sector: SimDuration::from_nanos(9_500),
             write_per_sector: SimDuration::from_nanos(29_500),
-            reset: SimDuration::from_millis(2),
+            reset: SimDuration::from_millis(3),
             finish: SimDuration::from_millis(1),
+            // 64 sectors = 256 KiB, ConfZNS++'s FINISH_BLOCK_SIZE.
+            finish_block_sectors: 64,
             flush: SimDuration::from_micros(400),
             zone_mgmt: SimDuration::from_micros(10),
         }
@@ -67,12 +81,22 @@ impl LatencyConfig {
         LatencyConfig {
             read_per_sector: SimDuration::from_nanos(9_120), // ~4% faster
             write_per_sector: SimDuration::from_nanos(28_900), // ~2% faster
+            // Conventional block erase; the ZNS reset bump to 3 ms models
+            // zone bookkeeping on top of the erase and does not apply here.
+            reset: SimDuration::from_millis(2),
+            // No zones, so no fill modeling.
+            finish_block_sectors: 0,
             ..Self::zns_ssd()
         }
     }
 
-    /// Instantaneous timing for pure-correctness tests (all operations are
-    /// free; virtual time never advances).
+    /// Near-instantaneous timing for pure-correctness tests: reads,
+    /// writes and flushes are free so data-path tests never wait, but
+    /// zone finish and reset keep a small nonzero cost. Physically free
+    /// zone management let tests pass against timing that no device can
+    /// deliver (the "free finish" modeling bug); keeping lifecycle
+    /// operations visible on the virtual clock means a test that leans on
+    /// them does so knowingly.
     pub fn instant() -> Self {
         LatencyConfig {
             channels: 1,
@@ -82,8 +106,9 @@ impl LatencyConfig {
             command_overhead: SimDuration::ZERO,
             read_per_sector: SimDuration::ZERO,
             write_per_sector: SimDuration::ZERO,
-            reset: SimDuration::ZERO,
-            finish: SimDuration::ZERO,
+            reset: SimDuration::from_micros(30),
+            finish: SimDuration::from_micros(10),
+            finish_block_sectors: 0,
             flush: SimDuration::ZERO,
             zone_mgmt: SimDuration::ZERO,
         }
@@ -324,6 +349,18 @@ mod tests {
         assert!(!z.stores_data());
         // 1077 MiB capacity in sectors
         assert_eq!(z.geometry().zone_cap() * SECTOR_SIZE, 1077 * 1024 * 1024);
+    }
+
+    #[test]
+    fn lifecycle_costs_are_never_free() {
+        let t = LatencyConfig::instant();
+        assert!(t.finish > SimDuration::ZERO, "finish must cost time");
+        assert!(t.reset > SimDuration::ZERO, "reset must cost time");
+        let z = LatencyConfig::zns_ssd();
+        assert_eq!(z.finish_block_sectors, 64); // 256 KiB fill blocks
+        assert_eq!(z.reset, SimDuration::from_millis(3));
+        // Conventional SSDs have no zones: flat costs only.
+        assert_eq!(LatencyConfig::conventional_ssd().finish_block_sectors, 0);
     }
 
     #[test]

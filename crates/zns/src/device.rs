@@ -270,6 +270,25 @@ impl ZnsDevice {
         self.inner.lock().zones[zone as usize].durable
     }
 
+    /// Number of currently open zones (implicit + explicit), for
+    /// open-budget headroom checks.
+    pub fn open_zones(&self) -> u32 {
+        self.inner.lock().open_count
+    }
+
+    /// Number of currently active zones (open + closed), for active-budget
+    /// headroom checks.
+    pub fn active_zones(&self) -> u32 {
+        self.inner.lock().active_count
+    }
+
+    /// The earliest instant every flash parallelism unit is free — i.e.
+    /// when in-flight service (including lifecycle fills and reset holds)
+    /// has drained.
+    pub fn drained_at(&self) -> SimTime {
+        self.timing.drained_at()
+    }
+
     /// Forces `zone` into the read-only failure state (media wear
     /// injection).
     pub fn set_zone_read_only(&self, zone: u32) {
@@ -328,10 +347,13 @@ impl ZnsDevice {
 
     /// Ensures `zone` is in a writable-open state, applying implicit open
     /// with LRU implicit-close eviction when the open limit is reached.
-    fn ensure_open_for_write(&self, inner: &mut Inner, zone: u32) -> Result<()> {
+    /// Returns the time the zone is ready for the write: `at` unless an
+    /// eviction had to run first, in which case the eviction's management
+    /// stall delays the triggering write.
+    fn ensure_open_for_write(&self, inner: &mut Inner, zone: u32, at: SimTime) -> Result<SimTime> {
         let state = inner.zones[zone as usize].state;
         match state {
-            ZoneState::ImplicitlyOpen | ZoneState::ExplicitlyOpen => Ok(()),
+            ZoneState::ImplicitlyOpen | ZoneState::ExplicitlyOpen => Ok(at),
             ZoneState::Empty | ZoneState::Closed => {
                 if state == ZoneState::Empty && inner.active_count >= self.config.max_active_zones()
                 {
@@ -339,16 +361,18 @@ impl ZnsDevice {
                         limit: self.config.max_active_zones(),
                     });
                 }
-                if inner.open_count >= self.config.max_open_zones() {
-                    self.evict_implicitly_open(inner)?;
-                }
+                let ready = if inner.open_count >= self.config.max_open_zones() {
+                    self.evict_implicitly_open(inner, at)?
+                } else {
+                    at
+                };
                 let was_active = state.is_active();
                 inner.zones[zone as usize].state = ZoneState::ImplicitlyOpen;
                 inner.open_count += 1;
                 if !was_active {
                     inner.active_count += 1;
                 }
-                Ok(())
+                Ok(ready)
             }
             ZoneState::Full => Err(ZnsError::ZoneFull { zone }),
             ZoneState::ReadOnly => Err(ZnsError::ZoneReadOnly { zone }),
@@ -357,8 +381,10 @@ impl ZnsDevice {
     }
 
     /// Implicitly closes the least-recently-written implicitly-open zone,
-    /// as real controllers do to make room (NVMe ZNS §2.4.4).
-    fn evict_implicitly_open(&self, inner: &mut Inner) -> Result<()> {
+    /// as real controllers do to make room (NVMe ZNS §2.4.4). The close is
+    /// not free: it occupies the device for a management slot, and the
+    /// returned completion time delays whatever write forced it.
+    fn evict_implicitly_open(&self, inner: &mut Inner, at: SimTime) -> Result<SimTime> {
         let victim = inner
             .zones
             .iter()
@@ -372,7 +398,8 @@ impl ZnsDevice {
                 // empty), so the victim transitions to closed.
                 inner.zones[i].state = ZoneState::Closed;
                 inner.open_count -= 1;
-                Ok(())
+                inner.stats.implicit_closes += 1;
+                Ok(self.timing.occupy(at, self.config.latency().zone_mgmt))
             }
             None => Err(ZnsError::TooManyOpenZones {
                 limit: self.config.max_open_zones(),
@@ -424,13 +451,13 @@ impl ZnsDevice {
                 };
             }
         }
-        self.ensure_open_for_write(&mut inner, zone)?;
+        let ready = self.ensure_open_for_write(&mut inner, zone, at)?;
 
         // A preflush makes all *prior* cached writes durable before this
         // write's data lands; the new write itself is only durable if FUA
         // is also set.
         let lat = self.config.latency().clone();
-        let mut issue = at;
+        let mut issue = ready;
         if flags.preflush {
             for z in inner.zones.iter_mut() {
                 z.durable = z.wp;
@@ -560,7 +587,7 @@ impl ZnsDevice {
                 )));
             }
         }
-        self.ensure_open_for_write(&mut inner, zone)?;
+        let ready = self.ensure_open_for_write(&mut inner, zone, at)?;
         let store = self.config.stores_data();
         let cap_bytes = sectors_to_bytes(geo.zone_cap());
         if store {
@@ -572,7 +599,7 @@ impl ZnsDevice {
             buf[off..off + data.len()].copy_from_slice(data);
         }
         let lat = self.config.latency().clone();
-        let start = at + lat.command_overhead;
+        let start = ready + lat.command_overhead;
         let mut done = start;
         let mut remaining = sectors;
         while remaining > 0 {
@@ -772,8 +799,11 @@ impl ZonedVolume for ZnsDevice {
             plan.clear_latent_range(geo.zone_start(zone), geo.zone_size());
         }
         inner.stats.zone_resets += 1;
+        // A reset holds the zone's die group busy for the erase window
+        // (~3 ms on the ZN540-like profile), so foreground IO mapped to
+        // the same flash parallelism units queues behind it.
         let dur = self.config.latency().reset;
-        let done = self.mgmt_completion(at, dur);
+        let done = self.timing.occupy_affine(zone as u64, at, dur);
         trace_span(
             &inner,
             obs::OpClass::Reset,
@@ -790,9 +820,12 @@ impl ZonedVolume for ZnsDevice {
 
     fn finish_zone(&self, at: SimTime, zone: u32) -> Result<IoCompletion> {
         self.check_zone_index(zone)?;
+        let geo = self.config.geometry();
         let mut inner = self.inner.lock();
         Self::check_alive(&inner)?;
         let state = inner.zones[zone as usize].state;
+        let lat = self.config.latency().clone();
+        let mut fill_done = at;
         match state {
             ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone }),
             ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
@@ -800,14 +833,34 @@ impl ZonedVolume for ZnsDevice {
             _ => {
                 self.detach_state(&mut inner, zone);
                 // Finishing durably seals the written prefix.
-                let z = &mut inner.zones[zone as usize];
-                z.state = ZoneState::Full;
-                z.durable = z.wp;
+                let wp = {
+                    let z = &mut inner.zones[zone as usize];
+                    z.state = ZoneState::Full;
+                    z.durable = z.wp;
+                    z.wp
+                };
+                // The controller pads the unwritten remainder with
+                // block-sized program operations (ConfZNS++'s
+                // FINISH_BLOCK_SIZE model). The fills are sequential
+                // within the zone, so they chain on the zone's die group
+                // rather than spreading across the whole device.
+                if lat.finish_block_sectors > 0 {
+                    let mut left = geo.zone_cap() - wp;
+                    inner.stats.finish_fill_sectors += left;
+                    while left > 0 {
+                        let blk = left.min(lat.finish_block_sectors);
+                        fill_done = self.timing.occupy_affine(
+                            zone as u64,
+                            fill_done,
+                            lat.write_per_sector.saturating_mul(blk),
+                        );
+                        left -= blk;
+                    }
+                }
             }
         }
         inner.stats.zone_finishes += 1;
-        let dur = self.config.latency().finish;
-        let done = self.mgmt_completion(at, dur);
+        let done = self.mgmt_completion(fill_done, lat.finish);
         trace_span(
             &inner,
             obs::OpClass::Finish,
@@ -827,6 +880,7 @@ impl ZonedVolume for ZnsDevice {
         let mut inner = self.inner.lock();
         Self::check_alive(&inner)?;
         let state = inner.zones[zone as usize].state;
+        let mut issue = at;
         match state {
             ZoneState::ExplicitlyOpen => {}
             ZoneState::Empty | ZoneState::Closed | ZoneState::ImplicitlyOpen => {
@@ -837,7 +891,7 @@ impl ZonedVolume for ZnsDevice {
                     });
                 }
                 if !state.is_open() && inner.open_count >= self.config.max_open_zones() {
-                    self.evict_implicitly_open(&mut inner)?;
+                    issue = self.evict_implicitly_open(&mut inner, at)?;
                 }
                 let was_open = state.is_open();
                 let was_active = state.is_active();
@@ -854,7 +908,7 @@ impl ZonedVolume for ZnsDevice {
             ZoneState::Offline => return Err(ZnsError::ZoneOffline { zone }),
         }
         let dur = self.config.latency().zone_mgmt;
-        let done = self.mgmt_completion(at, dur);
+        let done = self.mgmt_completion(issue, dur);
         Ok(IoCompletion { done })
     }
 

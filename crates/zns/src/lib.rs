@@ -60,7 +60,7 @@ pub use fault::{FaultOp, FaultPlan};
 pub use geometry::{Lba, ZoneGeometry, SECTOR_SIZE};
 pub use stats::DeviceStats;
 pub use volume::{AppendCompletion, IoCompletion, WriteFlags, ZonedVolume};
-pub use zone::{ZoneInfo, ZoneState};
+pub use zone::{ZoneInfo, ZoneMgmtOp, ZoneState};
 
 /// Convenient result alias for ZNS operations.
 pub type Result<T> = std::result::Result<T, ZnsError>;

@@ -20,6 +20,12 @@ pub struct DeviceStats {
     pub flushes: u64,
     /// Commands that carried FUA.
     pub fua_writes: u64,
+    /// Implicit closes performed to make room at the open-zone limit
+    /// (each one charges a management stall to the triggering write).
+    pub implicit_closes: u64,
+    /// Padding sectors programmed by zone finishes over unwritten
+    /// remainders (the ConfZNS++ fill-write cost; not host data).
+    pub finish_fill_sectors: u64,
     /// Transient command failures fired by the fault plan.
     pub injected_transients: u64,
     /// Latent-sector media errors surfaced to reads by the fault plan.

@@ -65,6 +65,39 @@ impl fmt::Display for ZoneState {
     }
 }
 
+/// A zone lifecycle management operation. Lifecycle managers and
+/// schedulers route these beside data IO so management cost is paid
+/// somewhere explicit instead of inline on the write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZoneMgmtOp {
+    /// Explicitly open the zone (reserves open-budget headroom).
+    Open,
+    /// Close the zone, releasing its open slot while staying active.
+    Close,
+    /// Finish the zone: seal the written prefix, pad the remainder.
+    Finish,
+    /// Reset the zone to empty.
+    Reset,
+}
+
+impl ZoneMgmtOp {
+    /// Short name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ZoneMgmtOp::Open => "open",
+            ZoneMgmtOp::Close => "close",
+            ZoneMgmtOp::Finish => "finish",
+            ZoneMgmtOp::Reset => "reset",
+        }
+    }
+}
+
+impl fmt::Display for ZoneMgmtOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A snapshot of one zone's externally visible state, as returned by zone
 /// report queries (`ZnsDevice::zone_info` via [`crate::ZonedVolume`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

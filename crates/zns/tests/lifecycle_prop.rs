@@ -1,0 +1,206 @@
+//! Property tests of the zone lifecycle state machine under randomized
+//! open/write/finish/reset/crash sequences:
+//!
+//! - open and active zone counts never exceed the device budgets, no
+//!   matter what the host throws at the device;
+//! - a successful finish always seals (`Full`), whatever the prior state;
+//! - a successful reset always empties the zone and cures its latent
+//!   (poisoned) sectors — the remapped media is immediately writable and
+//!   readable;
+//! - the occupancy model's drain horizon (`drained_at`) never moves
+//!   backwards while the device is powered; a crash discards in-flight
+//!   service, so remount re-baselines the horizon to an idle device.
+
+use proptest::prelude::*;
+use sim::SimTime;
+use zns::{
+    CrashPolicy, LatencyConfig, WriteFlags, ZnsConfig, ZnsDevice, ZoneState, ZonedVolume,
+    SECTOR_SIZE,
+};
+
+const T0: SimTime = SimTime::ZERO;
+const ZONES: u32 = 6;
+const ZONE_SECTORS: u64 = 64;
+const MAX_OPEN: u32 = 2;
+const MAX_ACTIVE: u32 = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { zone: u32, sectors: u64 },
+    Open { zone: u32 },
+    Close { zone: u32 },
+    Finish { zone: u32 },
+    Reset { zone: u32 },
+    InjectLatent { zone: u32 },
+    Crash { lose_cache: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..ZONES, 1u64..9).prop_map(|(zone, sectors)| Op::Write { zone, sectors }),
+        2 => (0..ZONES).prop_map(|zone| Op::Open { zone }),
+        1 => (0..ZONES).prop_map(|zone| Op::Close { zone }),
+        2 => (0..ZONES).prop_map(|zone| Op::Finish { zone }),
+        2 => (0..ZONES).prop_map(|zone| Op::Reset { zone }),
+        1 => (0..ZONES).prop_map(|zone| Op::InjectLatent { zone }),
+        1 => any::<bool>().prop_map(|lose_cache| Op::Crash { lose_cache }),
+    ]
+}
+
+fn device() -> ZnsDevice {
+    ZnsDevice::new(
+        ZnsConfig::builder()
+            .zones(ZONES, ZONE_SECTORS, ZONE_SECTORS)
+            .open_limits(MAX_OPEN, MAX_ACTIVE)
+            .latency(LatencyConfig::zns_ssd())
+            .build(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lifecycle_state_machine_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let dev = device();
+        let geo = dev.geometry();
+        let mut now = T0;
+        let mut horizon = dev.drained_at();
+        for op in &ops {
+            match *op {
+                Op::Write { zone, sectors } => {
+                    let info = dev.zone_info(zone).expect("info");
+                    let off = info.write_pointer - info.start;
+                    let n = sectors.min(ZONE_SECTORS - off);
+                    if n > 0 {
+                        let data = vec![0xA5u8; (n * SECTOR_SIZE) as usize];
+                        // May fail on budget exhaustion or a sealed zone —
+                        // the invariant is that it never over-commits.
+                        if let Ok(c) = dev.write(now, info.write_pointer, &data,
+                                                 WriteFlags::default()) {
+                            prop_assert!(c.done >= now, "write completed in the past");
+                            now = c.done;
+                        }
+                    }
+                }
+                Op::Open { zone } => {
+                    if let Ok(c) = dev.open_zone(now, zone) {
+                        now = now.max(c.done);
+                        let st = dev.zone_info(zone).expect("info").state;
+                        prop_assert!(
+                            matches!(st, ZoneState::ExplicitlyOpen | ZoneState::Full),
+                            "open left zone {} in {:?}", zone, st
+                        );
+                    }
+                }
+                Op::Close { zone } => {
+                    if let Ok(c) = dev.close_zone(now, zone) {
+                        now = now.max(c.done);
+                    }
+                }
+                Op::Finish { zone } => {
+                    if let Ok(c) = dev.finish_zone(now, zone) {
+                        now = now.max(c.done);
+                        prop_assert_eq!(
+                            dev.zone_info(zone).expect("info").state,
+                            ZoneState::Full,
+                            "finish did not seal zone {}", zone
+                        );
+                    }
+                }
+                Op::Reset { zone } => {
+                    let c = dev.reset_zone(now, zone).expect("reset never fails");
+                    now = now.max(c.done);
+                    let info = dev.zone_info(zone).expect("info");
+                    prop_assert_eq!(info.state, ZoneState::Empty);
+                    prop_assert_eq!(info.write_pointer, info.start);
+                    prop_assert_eq!(dev.durable_wp(zone), 0);
+                    // The remapped media is immediately usable: a write
+                    // and read-back on the fresh zone must succeed even if
+                    // the zone held poisoned sectors before the reset.
+                    // (Needs budget headroom — explicitly-open zones are
+                    // not evictable, so a full open set blocks the probe.)
+                    if dev.active_zones() < MAX_ACTIVE && dev.open_zones() < MAX_OPEN {
+                        let data = vec![0x3Cu8; SECTOR_SIZE as usize];
+                        let w = dev.write(now, geo.zone_start(zone), &data,
+                                          WriteFlags::default())
+                            .expect("fresh zone rejects writes");
+                        now = now.max(w.done);
+                        let mut buf = vec![0u8; SECTOR_SIZE as usize];
+                        dev.read(now, geo.zone_start(zone), &mut buf)
+                            .expect("reset did not cure latent sectors");
+                        prop_assert_eq!(buf[0], 0x3C);
+                    }
+                }
+                Op::InjectLatent { zone } => {
+                    let info = dev.zone_info(zone).expect("info");
+                    if info.write_pointer > info.start {
+                        dev.inject_latent_errors(info.start, 1);
+                        let mut buf = vec![0u8; SECTOR_SIZE as usize];
+                        prop_assert!(
+                            dev.read(now, info.start, &mut buf).is_err(),
+                            "poisoned sector still readable"
+                        );
+                    }
+                }
+                Op::Crash { lose_cache } => {
+                    let mut policy = if lose_cache {
+                        CrashPolicy::LoseCache
+                    } else {
+                        CrashPolicy::KeepCache
+                    };
+                    dev.crash(&mut policy);
+                    // Power loss kills in-flight service: the remounted
+                    // device is idle, so the drain horizon re-baselines.
+                    prop_assert_eq!(dev.drained_at(), T0);
+                    horizon = T0;
+                    for z in 0..ZONES {
+                        let info = dev.zone_info(z).expect("info");
+                        prop_assert!(
+                            matches!(info.state,
+                                     ZoneState::Empty | ZoneState::Closed | ZoneState::Full),
+                            "zone {} remounted open: {:?}", z, info.state
+                        );
+                    }
+                }
+            }
+            // Budgets hold after every single op, successful or not.
+            prop_assert!(
+                dev.open_zones() <= MAX_OPEN,
+                "open budget exceeded: {}", dev.open_zones()
+            );
+            prop_assert!(
+                dev.active_zones() <= MAX_ACTIVE,
+                "active budget exceeded: {}", dev.active_zones()
+            );
+            // The occupancy drain horizon is monotone.
+            let d = dev.drained_at();
+            prop_assert!(d >= horizon, "drained_at went backwards: {} < {}", d, horizon);
+            horizon = d;
+        }
+    }
+
+    /// Finishing from every writable state seals the zone, charges the
+    /// fill cost for the unwritten remainder, and frees an active slot.
+    /// (A fully-written zone seals itself, so `written` stays short of
+    /// capacity — there is nothing left for finish to do there.)
+    #[test]
+    fn finish_always_seals_and_frees_budget(written in 0u64..ZONE_SECTORS) {
+        let dev = device();
+        let mut now = T0;
+        if written > 0 {
+            let data = vec![1u8; (written * SECTOR_SIZE) as usize];
+            now = dev.write(now, 0, &data, WriteFlags::default()).expect("write").done;
+        } else {
+            now = dev.open_zone(now, 0).expect("open").done;
+        }
+        prop_assert_eq!(dev.active_zones(), 1);
+        let before = now;
+        now = dev.finish_zone(now, 0).expect("finish").done;
+        prop_assert_eq!(dev.zone_info(0).expect("info").state, ZoneState::Full);
+        prop_assert_eq!(dev.active_zones(), 0);
+        prop_assert!(now > before, "finish was free");
+        // The fill accounting covers exactly the unwritten remainder.
+        prop_assert_eq!(dev.stats().finish_fill_sectors, ZONE_SECTORS - written);
+    }
+}

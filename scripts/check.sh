@@ -25,8 +25,9 @@ cargo test --release -q -p raizn --test concurrent_stress
 # Hot-path gates: XOR speedup >= 4x, 0 allocs/write with the full
 # observability plane attached (unsampled tracing + windows + gauge
 # timeline), observability overhead < 5% (the binary gates all three),
-# and dual-parity (parity = 2) steady-state full-stripe writes also
-# allocation-free.
+# dual-parity (parity = 2) steady-state full-stripe writes also
+# allocation-free, and the write path stays 0-alloc with a
+# ZoneLifecycleManager attached and pumped per write.
 # Also runs the thread-scaling sweep: on hosts with >= 4 cores the
 # sharded write pipeline must reach >= 2x wall-clock write throughput at
 # 4 engine workers vs 1 (the binary skips the gate, with a notice, on
@@ -50,16 +51,34 @@ cargo run --release -q -p raizn-bench --bin qos > /dev/null
 cargo run --release -q -p raizn-bench --bin report -- \
   --qos BENCH_qos.json > /dev/null
 
+# Zone-lifecycle gates: without management the zone spray must fall off
+# the open/active-budget cliff (post-peak trough <= 70% of the early
+# peak), while the background manager — pumping finishes/pre-opens/reset
+# batches through the QoS scheduler as a low-priority internal tenant —
+# must keep the band flat with zero foreground reclaims: min/max >= 0.9
+# over the sim-time windows inside BENCH_ziggurat.json, and >= 0.65 over
+# the raw wall-clock timeline, whose windows also absorb the interleaved
+# management I/O. The binary gates the reclaim/budget invariants; the
+# report gates the band shapes.
+cargo run --release -q -p raizn-bench --bin ziggurat > /dev/null
+cargo run --release -q -p raizn-bench --bin report -- \
+  --lifecycle BENCH_ziggurat.json \
+  --expect-decline BENCH_ziggurat_nomgr_timeline.json --decline-max 0.7 \
+  --expect-flat BENCH_ziggurat_mgr_timeline.json --flat-min 0.65 > /dev/null
+
 # Dual-parity (RAIZN-2) gates: parity = 2 keeps >= 55% of single-parity
 # write throughput (theoretical data share is 75%), the two-device
 # rebuild holds >= 200 MiB/s of virtual time, and the double-failure
 # survival scenario reads byte-identical through the two-erasure decode.
 cargo run --release -q -p raizn-bench --bin raizn2 > /dev/null
 
-# Crash-consistency sweeps: exhaustive per-zone crash points plus seeded
-# whole-array trials; the --raid6 pass reruns every point on the
-# dual-parity layout with a rotating pair of failed devices, so recovery
-# must replay both partial-parity legs and rebuild to a clean scrub.
+# Crash-consistency sweeps: exhaustive per-zone crash points, lifecycle
+# crash points (zone finish/batched reset interrupted after k of 5
+# device ops — the finish WAL must roll the seal forward, the reset WAL
+# must replay), plus seeded whole-array trials; the --raid6 pass reruns
+# every point on the dual-parity layout with a rotating pair of failed
+# devices, so recovery must replay both partial-parity legs and rebuild
+# to a clean scrub.
 cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42
 cargo run --release -q -p raizn-bench --bin crash_sweep -- --seed 42 --raid6
 
