@@ -251,6 +251,13 @@ fn main() -> bench::BenchResult {
     // round of each side is compared.
     let recorder = obs::Recorder::new(65_536, 1);
     recorder.enable_windows(bench::TIMELINE_WINDOW, 256);
+    // Span tracing (blame trees + rolling-p99 tail sampling) runs during
+    // the gated rounds: the 0-alloc and <5% overhead budgets hold with
+    // the full causal-tracing plane on.
+    recorder.enable_spans(obs::SpanConfig {
+        slow: None,
+        keep_slowest: None,
+    });
     let timeline = obs::Timeline::new(bench::TIMELINE_WINDOW);
     let untraced = fresh_volume(None, 1)?;
     let traced = fresh_volume(Some((&recorder, &timeline)), 1)?;

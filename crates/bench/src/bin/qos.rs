@@ -399,5 +399,6 @@ fn main() -> bench::BenchResult {
     );
 
     bench::write_breakdown("qos")?;
+    bench::write_spans("qos", &bench::recorder())?;
     Ok(())
 }

@@ -32,6 +32,22 @@
 //!                         early peak must be <= R (default 0.70)
 //!   --lifecycle-flat R    managed-run flat floor: min/max over active
 //!                         windows must be >= R (default 0.90)
+//!   --explain FILE        render a BENCH_*_spans.json artifact (causal
+//!                         blame trees): per-tenant critical-path blame
+//!                         table plus ASCII waterfalls of the captured
+//!                         slowest ops
+//!   --interference-max P  gate every --explain file: lifecycle + rebuild
+//!                         interference share of attributed time must be
+//!                         <= P percent (0 = off)
+//!   --queue-share-max P   gate every --explain file: queue-wait share of
+//!                         attributed time must be <= P percent (0 = off)
+//!   --diff A B            compare two artifacts that carry a per-stage
+//!                         map (breakdown `stages` or timeline
+//!                         `whole_run.stages`): per-stage p99 deltas and,
+//!                         for timelines, the throughput delta
+//!   --regress-max P       gate every --diff pair: worst per-stage p99
+//!                         growth and throughput drop must be <= P
+//!                         percent (0 = off)
 //! ```
 //!
 //! Every SLO prints one machine-readable line
@@ -99,8 +115,14 @@ fn load(path: &str) -> bench::BenchResult<Run> {
     let mut windows = Vec::new();
     let mut errors = 0u64;
     for w in req(&doc, "windows", path)?.as_arr().unwrap_or(&[]) {
-        let start_s = req(w, "start_ns", path)?.as_u64().unwrap_or(0) as f64 / 1e9;
-        let tput = req(w, "throughput_mib_s", path)?.as_f64().unwrap_or(0.0);
+        let start_s = req(w, "start_ns", path)?
+            .as_u64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: window start_ns is not an integer")))?
+            as f64
+            / 1e9;
+        let tput = req(w, "throughput_mib_s", path)?
+            .as_f64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: throughput_mib_s is not a number")))?;
         let p99 = w
             .get("stages")
             .and_then(|s| s.get("whole_op"))
@@ -234,6 +256,11 @@ fn load_qos(path: &str) -> bench::BenchResult<QosRun> {
             .as_f64()
             .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not a number")))
     };
+    let u64_of = |v: &Json, key: &str| -> bench::BenchResult<u64> {
+        req(v, key, path)?
+            .as_u64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not an integer")))
+    };
     let u64_list = |v: &Json, key: &str| -> bench::BenchResult<Vec<u64>> {
         Ok(req(v, key, path)?
             .as_arr()
@@ -244,10 +271,8 @@ fn load_qos(path: &str) -> bench::BenchResult<QosRun> {
     };
     Ok(QosRun {
         path: path.to_string(),
-        solo_p99_ns: req(iso, "victim_solo_p99_ns", path)?.as_u64().unwrap_or(0),
-        contended_p99_ns: req(iso, "victim_contended_p99_ns", path)?
-            .as_u64()
-            .unwrap_or(0),
+        solo_p99_ns: u64_of(iso, "victim_solo_p99_ns")?,
+        contended_p99_ns: u64_of(iso, "victim_contended_p99_ns")?,
         p99_ratio: f64_of(iso, "p99_ratio")?,
         noisy_load: f64_of(iso, "noisy_load_factor")?,
         iso_tenants: qos_tenants(iso, path)?,
@@ -418,6 +443,366 @@ fn lifecycle_slos(
     ]
 }
 
+/// Blame categories, mirroring `obs`'s span critical-path partition (the
+/// span artifact's `segments` objects key each category as `<name>_ns`).
+const BLAME_CATEGORIES: [&str; 10] = [
+    "queue",
+    "lock",
+    "device_wait",
+    "device_service",
+    "xor_gf",
+    "meta",
+    "flush",
+    "interference_lifecycle",
+    "interference_rebuild",
+    "other",
+];
+
+const WATERFALL_WIDTH: usize = 44;
+const WATERFALL_MAX_LINES: usize = 24;
+
+/// One per-tenant row of a spans artifact's `blame` table.
+struct BlameRow {
+    tenant: String,
+    count: u64,
+    total_ns: u64,
+    segments: [u64; BLAME_CATEGORIES.len()],
+}
+
+/// One event of a captured slow op's blame tree.
+struct SpanEvent {
+    stage: String,
+    /// Interference attribution (empty when the op only waited on itself).
+    blame: String,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// One tail-sampled slow op with its exclusive segments and event tree.
+struct SlowOp {
+    latency_ns: u64,
+    op: String,
+    tenant: String,
+    start_ns: u64,
+    end_ns: u64,
+    truncated: u64,
+    events: Vec<SpanEvent>,
+}
+
+/// A parsed `BENCH_*_spans.json` artifact (causal span blame trees).
+struct SpanRun {
+    path: String,
+    name: String,
+    threshold_ns: u64,
+    roots: u64,
+    orphans: u64,
+    truncated: u64,
+    blame: Vec<BlameRow>,
+    slow: Vec<SlowOp>,
+}
+
+impl SpanRun {
+    /// Percent of all attributed op time spent in `cats`, summed across
+    /// tenants; NaN when the artifact attributed no time at all (so a
+    /// gate on it fails loudly rather than vacuously passing).
+    fn share_pct(&self, cats: &[&str]) -> f64 {
+        let mut total = 0u64;
+        let mut part = 0u64;
+        for row in &self.blame {
+            total += row.total_ns;
+            for (k, name) in BLAME_CATEGORIES.iter().enumerate() {
+                if cats.contains(name) {
+                    part += row.segments[k];
+                }
+            }
+        }
+        if total == 0 {
+            f64::NAN
+        } else {
+            part as f64 / total as f64 * 100.0
+        }
+    }
+}
+
+fn segments_of(v: &Json, path: &str) -> bench::BenchResult<[u64; BLAME_CATEGORIES.len()]> {
+    let seg = req(v, "segments", path)?;
+    let mut out = [0u64; BLAME_CATEGORIES.len()];
+    for (k, name) in BLAME_CATEGORIES.iter().enumerate() {
+        out[k] = seg
+            .get(&format!("{name}_ns"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| BenchError::Gate(format!("{path}: segments missing {name}_ns")))?;
+    }
+    Ok(out)
+}
+
+fn load_spans(path: &str) -> bench::BenchResult<SpanRun> {
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| BenchError::Gate(format!("{path}: invalid JSON: {e}")))?;
+    if req(&doc, "kind", path)?.as_str() != Some("spans") {
+        return Err(BenchError::Gate(format!("{path}: not a spans artifact")));
+    }
+    let u64_of = |v: &Json, key: &str| -> bench::BenchResult<u64> {
+        req(v, key, path)?
+            .as_u64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not an integer")))
+    };
+    let str_of = |v: &Json, key: &str| -> bench::BenchResult<String> {
+        Ok(req(v, key, path)?
+            .as_str()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not a string")))?
+            .to_string())
+    };
+    let mut blame = Vec::new();
+    for row in req(&doc, "blame", path)?.as_arr().unwrap_or(&[]) {
+        blame.push(BlameRow {
+            tenant: str_of(row, "tenant")?,
+            count: u64_of(row, "count")?,
+            total_ns: u64_of(row, "total_ns")?,
+            segments: segments_of(row, path)?,
+        });
+    }
+    let mut slow = Vec::new();
+    for op in req(&doc, "slow_ops", path)?.as_arr().unwrap_or(&[]) {
+        let mut events = Vec::new();
+        for ev in req(op, "events", path)?.as_arr().unwrap_or(&[]) {
+            events.push(SpanEvent {
+                stage: str_of(ev, "stage")?,
+                blame: ev
+                    .get("blame")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                start_ns: u64_of(ev, "start_ns")?,
+                end_ns: u64_of(ev, "end_ns")?,
+            });
+        }
+        slow.push(SlowOp {
+            latency_ns: u64_of(op, "latency_ns")?,
+            op: str_of(op, "op")?,
+            tenant: str_of(op, "tenant")?,
+            start_ns: u64_of(op, "start_ns")?,
+            end_ns: u64_of(op, "end_ns")?,
+            truncated: u64_of(op, "truncated_events")?,
+            events,
+        });
+    }
+    Ok(SpanRun {
+        path: path.to_string(),
+        name: str_of(&doc, "name")?,
+        threshold_ns: u64_of(&doc, "threshold_ns")?,
+        roots: u64_of(&doc, "roots")?,
+        orphans: u64_of(&doc, "orphan_events")?,
+        truncated: u64_of(&doc, "truncated_events")?,
+        blame,
+        slow,
+    })
+}
+
+fn render_spans(s: &SpanRun) {
+    println!("\n## spans ({} from {})", s.name, s.path);
+    println!(
+        "   {} roots, {} orphan events, {} truncated events, slow-op threshold {}",
+        s.roots,
+        s.orphans,
+        s.truncated,
+        fmt_dur(s.threshold_ns),
+    );
+    let total: u64 = s.blame.iter().map(|r| r.total_ns).sum();
+    println!(
+        "   blame (exclusive critical-path attribution, {} total):",
+        fmt_dur(total)
+    );
+    for row in &s.blame {
+        println!(
+            "   tenant {:<6} {:>7} ops  {:>12}",
+            row.tenant,
+            row.count,
+            fmt_dur(row.total_ns)
+        );
+        for (k, name) in BLAME_CATEGORIES.iter().enumerate() {
+            if row.segments[k] == 0 {
+                continue;
+            }
+            println!(
+                "     {:<24} {:>6.2}%  {:>12}",
+                name,
+                row.segments[k] as f64 / row.total_ns.max(1) as f64 * 100.0,
+                fmt_dur(row.segments[k])
+            );
+        }
+    }
+    // Waterfalls, slowest first. Zero-width events (lock-acquisition
+    // markers) render as a single `|` tick at their instant.
+    let mut slow: Vec<&SlowOp> = s.slow.iter().collect();
+    slow.sort_by_key(|op| std::cmp::Reverse(op.latency_ns));
+    for op in slow {
+        println!(
+            "   slow {} {} (tenant {}, {} events{})",
+            op.op,
+            fmt_dur(op.latency_ns),
+            op.tenant,
+            op.events.len(),
+            if op.truncated > 0 {
+                format!(", {} truncated", op.truncated)
+            } else {
+                String::new()
+            },
+        );
+        let dur = (op.end_ns.saturating_sub(op.start_ns)).max(1) as u128;
+        let mut events: Vec<&SpanEvent> = op.events.iter().collect();
+        events.sort_by_key(|e| (e.start_ns, e.end_ns));
+        for (i, ev) in events.iter().enumerate() {
+            if i == WATERFALL_MAX_LINES {
+                println!("     ... (+{} more events)", events.len() - i);
+                break;
+            }
+            let off = (ev.start_ns.saturating_sub(op.start_ns) as u128 * WATERFALL_WIDTH as u128
+                / dur) as usize;
+            let off = off.min(WATERFALL_WIDTH - 1);
+            let ev_dur = ev.end_ns.saturating_sub(ev.start_ns);
+            let (mark, len) = if ev_dur == 0 {
+                ("|", 1)
+            } else {
+                let len = (ev_dur as u128 * WATERFALL_WIDTH as u128 / dur) as usize;
+                ("#", len.clamp(1, WATERFALL_WIDTH - off))
+            };
+            let label = if ev.blame.is_empty() {
+                ev.stage.clone()
+            } else {
+                format!("{} [{}]", ev.stage, ev.blame)
+            };
+            println!(
+                "     {:<28} |{:<width$}| {:>10}",
+                label,
+                format!("{}{}", " ".repeat(off), mark.repeat(len)),
+                fmt_dur(ev_dur),
+                width = WATERFALL_WIDTH
+            );
+        }
+    }
+}
+
+/// One side of a `--diff` comparison: any artifact carrying a per-stage
+/// latency map (`stages` in a breakdown, `whole_run.stages` in a
+/// timeline).
+struct DiffSide {
+    path: String,
+    /// `(stage, p99_ns)`, in the artifact's (sorted) key order.
+    stages: Vec<(String, u64)>,
+    /// Mean active-window throughput when the artifact is a timeline.
+    tput_mib_s: Option<f64>,
+}
+
+fn load_diff(path: &str) -> bench::BenchResult<DiffSide> {
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| BenchError::Gate(format!("{path}: invalid JSON: {e}")))?;
+    let stage_map = doc
+        .get("stages")
+        .or_else(|| doc.get("whole_run").and_then(|w| w.get("stages")))
+        .and_then(Json::as_obj)
+        .ok_or_else(|| {
+            BenchError::Gate(format!(
+                "{path}: no per-stage map (expected a breakdown or timeline artifact)"
+            ))
+        })?;
+    let mut stages = Vec::new();
+    for (name, st) in stage_map {
+        let p99 = req(st, "p99_ns", path)?
+            .as_u64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {name}.p99_ns is not an integer")))?;
+        stages.push((name.clone(), p99));
+    }
+    let mut tput_mib_s = None;
+    if let Some(ws) = doc.get("windows").and_then(Json::as_arr) {
+        let active: Vec<f64> = ws
+            .iter()
+            .filter_map(|w| w.get("throughput_mib_s").and_then(Json::as_f64))
+            .filter(|t| *t > 0.0)
+            .collect();
+        if !active.is_empty() {
+            tput_mib_s = Some(active.iter().sum::<f64>() / active.len() as f64);
+        }
+    }
+    Ok(DiffSide {
+        path: path.to_string(),
+        stages,
+        tput_mib_s,
+    })
+}
+
+/// Worst per-stage p99 growth from `a` to `b` in percent (negative =
+/// improvement everywhere). Stages missing on either side or with a zero
+/// baseline are skipped; `None` when nothing is comparable.
+fn worst_p99_growth(a: &DiffSide, b: &DiffSide) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for (name, ap) in &a.stages {
+        let Some((_, bp)) = b.stages.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if *ap == 0 {
+            continue;
+        }
+        let growth = (*bp as f64 - *ap as f64) / *ap as f64 * 100.0;
+        worst = Some(worst.map_or(growth, |w| w.max(growth)));
+    }
+    worst
+}
+
+fn render_diff(a: &DiffSide, b: &DiffSide) {
+    println!("\n## diff ({} -> {})", a.path, b.path);
+    println!(
+        "   {:<24} {:>12} {:>12} {:>8}",
+        "stage p99", "baseline", "candidate", "delta"
+    );
+    for (name, ap) in &a.stages {
+        match b.stages.iter().find(|(n, _)| n == name) {
+            Some((_, bp)) => {
+                let delta = if *ap > 0 {
+                    format!("{:+.1}%", (*bp as f64 - *ap as f64) / *ap as f64 * 100.0)
+                } else {
+                    "-".to_string()
+                };
+                println!(
+                    "   {:<24} {:>12} {:>12} {:>8}",
+                    name,
+                    fmt_dur(*ap),
+                    fmt_dur(*bp),
+                    delta
+                );
+            }
+            None => println!(
+                "   {:<24} {:>12} {:>12} {:>8}",
+                name,
+                fmt_dur(*ap),
+                "-",
+                "-"
+            ),
+        }
+    }
+    for (name, bp) in &b.stages {
+        if !a.stages.iter().any(|(n, _)| n == name) {
+            println!(
+                "   {:<24} {:>12} {:>12} {:>8}",
+                name,
+                "-",
+                fmt_dur(*bp),
+                "-"
+            );
+        }
+    }
+    if let (Some(ta), Some(tb)) = (a.tput_mib_s, b.tput_mib_s) {
+        println!(
+            "   throughput {:.0} -> {:.0} MiB/s ({:+.1}%)",
+            ta,
+            tb,
+            (tb - ta) / ta * 100.0
+        );
+    }
+}
+
 fn render_qos(q: &QosRun) {
     println!("\n## qos ({})", q.path);
     println!(
@@ -472,6 +857,17 @@ fn bar(value: f64, max: f64, width: usize) -> String {
 
 fn fmt_ms(ns: u64) -> String {
     format!("{:.1} ms", ns as f64 / 1e6)
+}
+
+/// Duration with an auto-picked unit: span events range from sub-µs lock
+/// marks to multi-ms whole ops, so a fixed ms scale would flatten most of
+/// them to 0.0.
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1} us", ns as f64 / 1e3)
+    }
 }
 
 fn render(run: &Run) {
@@ -673,7 +1069,8 @@ fn usage() -> BenchError {
          [--flat-min R] [--decline-max R] [--p99-factor F] [--qos FILE] \
          [--qos-p99-ratio R] [--qos-jain R] [--qos-share-dev R] \
          [--qos-uplift R] [--lifecycle FILE] [--cliff-max R] \
-         [--lifecycle-flat R] [FILE...]"
+         [--lifecycle-flat R] [--explain FILE] [--interference-max P] \
+         [--queue-share-max P] [--diff A B] [--regress-max P] [FILE...]"
             .to_string(),
     )
 }
@@ -691,6 +1088,11 @@ fn main() -> bench::BenchResult {
     let mut lifecycle_files: Vec<String> = Vec::new();
     let mut cliff_max = 0.70f64;
     let mut lifecycle_flat = 0.90f64;
+    let mut explain_files: Vec<String> = Vec::new();
+    let mut interference_max = 0.0f64;
+    let mut queue_share_max = 0.0f64;
+    let mut diff_pairs: Vec<(String, String)> = Vec::new();
+    let mut regress_max = 0.0f64;
     // An artifact reader has no workload to shard; accepted (and inert)
     // for CLI uniformity with the other binaries.
     let mut rest = bench::cli_args();
@@ -718,11 +1120,25 @@ fn main() -> bench::BenchResult {
             "--lifecycle" => lifecycle_files.push(args.next().ok_or_else(usage)?),
             "--cliff-max" => cliff_max = numeric(&mut args)?,
             "--lifecycle-flat" => lifecycle_flat = numeric(&mut args)?,
+            "--explain" => explain_files.push(args.next().ok_or_else(usage)?),
+            "--interference-max" => interference_max = numeric(&mut args)?,
+            "--queue-share-max" => queue_share_max = numeric(&mut args)?,
+            "--diff" => {
+                let a = args.next().ok_or_else(usage)?;
+                let b = args.next().ok_or_else(usage)?;
+                diff_pairs.push((a, b));
+            }
+            "--regress-max" => regress_max = numeric(&mut args)?,
             f if !f.starts_with("--") => files.push((f.to_string(), None)),
             _ => return Err(usage()),
         }
     }
-    if files.is_empty() && qos_files.is_empty() && lifecycle_files.is_empty() {
+    if files.is_empty()
+        && qos_files.is_empty()
+        && lifecycle_files.is_empty()
+        && explain_files.is_empty()
+        && diff_pairs.is_empty()
+    {
         return Err(usage());
     }
 
@@ -738,6 +1154,14 @@ fn main() -> bench::BenchResult {
         .iter()
         .map(|path| load_lifecycle(path))
         .collect::<bench::BenchResult<_>>()?;
+    let span_runs: Vec<SpanRun> = explain_files
+        .iter()
+        .map(|path| load_spans(path))
+        .collect::<bench::BenchResult<_>>()?;
+    let diffs: Vec<(DiffSide, DiffSide)> = diff_pairs
+        .iter()
+        .map(|(a, b)| Ok((load_diff(a)?, load_diff(b)?)))
+        .collect::<bench::BenchResult<_>>()?;
 
     for (run, _) in &runs {
         render(run);
@@ -750,6 +1174,12 @@ fn main() -> bench::BenchResult {
     }
     for l in &lifecycle_runs {
         render_lifecycle(l);
+    }
+    for s in &span_runs {
+        render_spans(s);
+    }
+    for (a, b) in &diffs {
+        render_diff(a, b);
     }
 
     println!();
@@ -843,6 +1273,54 @@ fn main() -> bench::BenchResult {
         }
     }
 
+    // Span-blame gates: shares are NaN when the artifact attributed no
+    // time, which fails the comparison — a dead tracer cannot pass.
+    for s in &span_runs {
+        if interference_max > 0.0 {
+            let v = s.share_pct(&["interference_lifecycle", "interference_rebuild"]);
+            slo(
+                "spans_interference_share",
+                &s.path,
+                v,
+                interference_max,
+                v <= interference_max,
+            );
+        }
+        if queue_share_max > 0.0 {
+            let v = s.share_pct(&["queue"]);
+            slo(
+                "spans_queue_share",
+                &s.path,
+                v,
+                queue_share_max,
+                v <= queue_share_max,
+            );
+        }
+    }
+
+    for (a, b) in &diffs {
+        if regress_max > 0.0 {
+            let worst = worst_p99_growth(a, b);
+            slo(
+                "diff_p99_regress",
+                &b.path,
+                worst.unwrap_or(f64::NAN),
+                regress_max,
+                worst.is_some_and(|v| v <= regress_max),
+            );
+            if let (Some(ta), Some(tb)) = (a.tput_mib_s, b.tput_mib_s) {
+                let drop_pct = (ta - tb) / ta * 100.0;
+                slo(
+                    "diff_tput_regress",
+                    &b.path,
+                    drop_pct,
+                    regress_max,
+                    drop_pct <= regress_max,
+                );
+            }
+        }
+    }
+
     if failures.is_empty() {
         Ok(())
     } else {
@@ -928,5 +1406,75 @@ mod tests {
             &lifecycle_slos(&l, 0.70, 0.90),
             "lifecycle_budget"
         ));
+    }
+
+    fn span_run(rows: Vec<BlameRow>) -> SpanRun {
+        SpanRun {
+            path: "BENCH_x_spans.json".into(),
+            name: "x".into(),
+            threshold_ns: 0,
+            roots: rows.iter().map(|r| r.count).sum(),
+            orphans: 0,
+            truncated: 0,
+            blame: rows,
+            slow: Vec::new(),
+        }
+    }
+
+    fn row(tenant: &str, queue: u64, lifecycle: u64, other: u64) -> BlameRow {
+        let mut segments = [0u64; BLAME_CATEGORIES.len()];
+        segments[0] = queue; // "queue"
+        segments[7] = lifecycle; // "interference_lifecycle"
+        segments[9] = other; // "other"
+        BlameRow {
+            tenant: tenant.into(),
+            count: 1,
+            total_ns: segments.iter().sum(),
+            segments,
+        }
+    }
+
+    #[test]
+    fn spans_share_splits_queue_from_interference() {
+        // 2000ns queue + 500ns lifecycle + 1500ns other across two tenants.
+        let s = span_run(vec![row("0", 1500, 500, 0), row("1", 500, 0, 1500)]);
+        assert!((s.share_pct(&["queue"]) - 50.0).abs() < 1e-9);
+        assert!(
+            (s.share_pct(&["interference_lifecycle", "interference_rebuild"]) - 12.5).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn spans_share_is_nan_when_nothing_was_attributed() {
+        // A gate comparison against NaN is false: a dead tracer fails.
+        let s = span_run(Vec::new());
+        let v = s.share_pct(&["queue"]);
+        assert!(v.is_nan());
+        let passes_gate = v <= 60.0;
+        assert!(!passes_gate);
+    }
+
+    fn side(stages: &[(&str, u64)], tput: Option<f64>) -> DiffSide {
+        DiffSide {
+            path: "x.json".into(),
+            stages: stages.iter().map(|(n, p)| (n.to_string(), *p)).collect(),
+            tput_mib_s: tput,
+        }
+    }
+
+    #[test]
+    fn diff_growth_picks_the_worst_stage() {
+        let a = side(&[("whole_op", 1000), ("device_io", 400), ("gone", 7)], None);
+        let b = side(&[("whole_op", 1100), ("device_io", 600), ("new", 9)], None);
+        // device_io +50% beats whole_op +10%; unmatched stages are skipped.
+        let worst = worst_p99_growth(&a, &b).unwrap();
+        assert!((worst - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_growth_is_none_when_nothing_is_comparable() {
+        let a = side(&[("whole_op", 0)], None);
+        let b = side(&[("whole_op", 500)], None);
+        assert!(worst_p99_growth(&a, &b).is_none());
     }
 }

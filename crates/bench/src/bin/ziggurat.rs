@@ -134,5 +134,6 @@ fn main() -> bench::BenchResult {
     );
 
     bench::write_breakdown("ziggurat")?;
+    bench::write_spans("ziggurat", &bench::recorder())?;
     Ok(())
 }

@@ -312,6 +312,9 @@ mod tests {
             start: sim::SimTime::ZERO,
             end: sim::SimTime::from_micros(50),
             outcome: obs::Outcome::Success,
+            span: 0,
+            parent: 0,
+            blame: obs::Actor::None,
         });
         let breakdown = Json::parse(&rec.breakdown_json("x")).unwrap();
         assert!(breakdown.get("stages").unwrap().get("whole_op").is_some());

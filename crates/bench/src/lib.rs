@@ -154,8 +154,51 @@ const RECORDER_SAMPLE: u64 = 16;
 pub fn recorder() -> Arc<obs::Recorder> {
     static RECORDER: OnceLock<Arc<obs::Recorder>> = OnceLock::new();
     RECORDER
-        .get_or_init(|| obs::Recorder::new(RECORDER_CAPACITY, RECORDER_SAMPLE))
+        .get_or_init(|| {
+            let rec = obs::Recorder::new(RECORDER_CAPACITY, RECORDER_SAMPLE);
+            rec.enable_spans(span_config());
+            rec
+        })
         .clone()
+}
+
+/// Tail-sampling configuration for benchmark recorders: the rolling-p99
+/// threshold by default, or a pinned threshold when `BENCH_SLOW_US` is set
+/// (virtual microseconds; ops at or above it are captured in full).
+fn span_config() -> obs::SpanConfig {
+    let slow = std::env::var("BENCH_SLOW_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(SimDuration::from_micros);
+    obs::SpanConfig {
+        slow,
+        keep_slowest: None,
+    }
+}
+
+/// Writes the recorder's causal-span artifact (per-tenant blame table,
+/// tail-sampled slow-op trees, Chrome/Perfetto `traceEvents`) to
+/// `BENCH_<name>_spans.json` in `dir`, returning the path.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written.
+pub fn write_spans_to(name: &str, rec: &obs::Recorder, dir: &Path) -> BenchResult<PathBuf> {
+    let path = dir.join(format!("BENCH_{name}_spans.json"));
+    std::fs::write(&path, obs::spans_json(name, rec))?;
+    Ok(path)
+}
+
+/// Writes `BENCH_<name>_spans.json` in the working directory from the
+/// given recorder and prints the path.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written.
+pub fn write_spans(name: &str, rec: &obs::Recorder) -> BenchResult {
+    let path = write_spans_to(name, rec, Path::new("."))?;
+    println!("span blame/trace -> {}", path.display());
+    Ok(())
 }
 
 /// Writes the shared recorder's latency breakdown to
@@ -214,6 +257,7 @@ impl TimelineRun {
     pub fn new(name: &str) -> Self {
         let recorder = obs::Recorder::new(RECORDER_CAPACITY, RECORDER_SAMPLE);
         recorder.enable_windows(TIMELINE_WINDOW, TIMELINE_MAX_WINDOWS);
+        recorder.enable_spans(span_config());
         TimelineRun {
             name: name.to_string(),
             recorder,

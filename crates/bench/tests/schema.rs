@@ -2,10 +2,11 @@
 //!
 //! Runs a small timeline-enabled smoke benchmark for each array flavour,
 //! writes the artifacts it emits into a scratch directory, then parses
-//! every `BENCH_*_breakdown.json` / `BENCH_*_timeline.json` found there
-//! and asserts the documented schema (DESIGN.md "Observability"):
-//! required keys, per-stage digest fields, strictly monotone window
-//! indices and start timestamps, and monotone gauge sample times.
+//! every `BENCH_*_breakdown.json` / `BENCH_*_timeline.json` /
+//! `BENCH_*_spans.json` found there and asserts the documented schema
+//! (DESIGN.md "Observability"): required keys, per-stage digest fields,
+//! strictly monotone window indices and start timestamps, monotone gauge
+//! sample times, and span blame tables that partition exactly.
 
 use bench::json::Json;
 use bench::lifecycle::{lifecycle_json, SprayOutcome};
@@ -16,7 +17,7 @@ use sim::SimTime;
 use std::path::{Path, PathBuf};
 use workloads::{BlockTarget, JobSpec, OpKind, Pattern, ZonedTarget};
 
-const STAGES: [&str; 7] = [
+const STAGES: [&str; 9] = [
     "device_io",
     "xor",
     "meta_append",
@@ -24,6 +25,8 @@ const STAGES: [&str; 7] = [
     "queue_wait",
     "service",
     "whole_op",
+    "device_wait",
+    "lock_wait",
 ];
 
 fn scratch_dir() -> PathBuf {
@@ -54,6 +57,12 @@ fn emit_artifacts(dir: &Path) {
     md.write_to(dir, rep.end).expect("write mdraid timeline");
 
     bench::write_breakdown_to("schema", dir).expect("write breakdown");
+    // `write_to` scopes the timeline artifact to `dir` but (unlike
+    // `finish`) does not fold the sub-run recorders into the shared one,
+    // so absorb them here and the spans artifact covers both smoke runs.
+    bench::recorder().absorb(&rz.recorder());
+    bench::recorder().absorb(&md.recorder());
+    bench::write_spans_to("schema", &bench::recorder(), dir).expect("write spans");
 }
 
 fn parse(path: &Path) -> Json {
@@ -211,6 +220,132 @@ fn check_breakdown(path: &Path) {
             v.as_u64().is_some(),
             "{ctx}: counter {name:?} is not a non-negative integer"
         );
+    }
+}
+
+/// Asserts a `segments` object carries every blame category as
+/// `<name>_ns` and returns their sum.
+fn check_segments(v: &Json, ctx: &str) -> u64 {
+    let seg = v
+        .get("segments")
+        .unwrap_or_else(|| panic!("{ctx}: missing segments"));
+    obs::BLAME_CATEGORIES
+        .iter()
+        .map(|name| u64_field(seg, &format!("{name}_ns"), ctx))
+        .sum()
+}
+
+/// Validates the `kind: "spans"` document (`BENCH_*_spans.json`): the
+/// tail-sampling counters, a blame table whose exclusive segments
+/// partition each row's total exactly, slow-op trees whose events carry
+/// intervals inside the root's, and a Perfetto-loadable `traceEvents`
+/// array of complete-phase slices.
+fn check_spans(path: &Path) {
+    let doc = parse(path);
+    let ctx = path.display().to_string();
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("spans"),
+        "{ctx}: kind"
+    );
+    assert!(
+        doc.get("name").and_then(Json::as_str).is_some(),
+        "{ctx}: name"
+    );
+    u64_field(&doc, "threshold_ns", &ctx);
+    assert!(
+        u64_field(&doc, "roots", &ctx) > 0,
+        "{ctx}: smoke run closed no span roots"
+    );
+    u64_field(&doc, "orphan_events", &ctx);
+    u64_field(&doc, "truncated_events", &ctx);
+
+    let blame = doc
+        .get("blame")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{ctx}: missing blame array"));
+    assert!(!blame.is_empty(), "{ctx}: empty blame table");
+    for row in blame {
+        let tenant = row
+            .get("tenant")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{ctx}: blame row missing tenant"));
+        let rctx = format!("{ctx} tenant {tenant}");
+        assert!(u64_field(row, "count", &rctx) > 0, "{rctx}: empty row");
+        let total = u64_field(row, "total_ns", &rctx);
+        assert_eq!(
+            check_segments(row, &rctx),
+            total,
+            "{rctx}: segments do not partition total_ns"
+        );
+    }
+
+    let slow = doc
+        .get("slow_ops")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{ctx}: missing slow_ops array"));
+    for op in slow {
+        let octx = format!("{ctx} slow op");
+        let latency = u64_field(op, "latency_ns", &octx);
+        let (start, end) = (
+            u64_field(op, "start_ns", &octx),
+            u64_field(op, "end_ns", &octx),
+        );
+        assert_eq!(end - start, latency, "{octx}: latency != end - start");
+        assert_eq!(
+            check_segments(op, &octx),
+            latency,
+            "{octx}: segments do not partition the latency"
+        );
+        u64_field(op, "truncated_events", &octx);
+        assert!(
+            op.get("op").and_then(Json::as_str).is_some(),
+            "{octx}: missing op"
+        );
+        let events = op
+            .get("events")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{octx}: missing events"));
+        assert!(!events.is_empty(), "{octx}: captured tree is empty");
+        for ev in events {
+            let (es, ee) = (
+                u64_field(ev, "start_ns", &octx),
+                u64_field(ev, "end_ns", &octx),
+            );
+            assert!(
+                es >= start && ee <= end && es <= ee,
+                "{octx}: event [{es}, {ee}] escapes the root [{start}, {end}]"
+            );
+            assert!(
+                ev.get("stage").and_then(Json::as_str).is_some(),
+                "{octx}: event missing stage"
+            );
+        }
+    }
+
+    let trace = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{ctx}: missing traceEvents array"));
+    for ev in trace {
+        let tctx = format!("{ctx} traceEvent");
+        assert_eq!(
+            ev.get("ph").and_then(Json::as_str),
+            Some("X"),
+            "{tctx}: ph must be a complete-phase slice"
+        );
+        for key in ["name", "cat"] {
+            assert!(
+                ev.get(key).and_then(Json::as_str).is_some(),
+                "{tctx}: missing {key}"
+            );
+        }
+        for key in ["pid", "tid", "ts", "dur"] {
+            assert!(
+                ev.get(key).and_then(Json::as_f64).is_some(),
+                "{tctx}: missing numeric {key}"
+            );
+        }
     }
 }
 
@@ -376,6 +511,7 @@ fn emitted_artifacts_conform_to_schema() {
 
     let mut timelines = 0;
     let mut breakdowns = 0;
+    let mut spans = 0;
     for entry in std::fs::read_dir(&dir).expect("read scratch dir") {
         let path = entry.expect("dir entry").path();
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
@@ -387,10 +523,14 @@ fn emitted_artifacts_conform_to_schema() {
         } else if name.starts_with("BENCH_") && name.ends_with("_breakdown.json") {
             check_breakdown(&path);
             breakdowns += 1;
+        } else if name.starts_with("BENCH_") && name.ends_with("_spans.json") {
+            check_spans(&path);
+            spans += 1;
         }
     }
     assert_eq!(timelines, 2, "expected raizn + mdraid timeline artifacts");
     assert_eq!(breakdowns, 1, "expected one breakdown artifact");
+    assert_eq!(spans, 1, "expected one spans artifact");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

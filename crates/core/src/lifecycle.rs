@@ -231,6 +231,11 @@ impl ZoneLifecycleManager {
     /// Propagates sink errors.
     pub fn pump_with(&self, now: SimTime, sink: &mut dyn MgmtSink) -> Result<SimTime> {
         self.pumps.fetch_add(1, Ordering::Relaxed);
+        // Every reset/finish/open the pump issues runs as the lifecycle
+        // actor: device units it occupies are tagged so foreground ops
+        // stalled behind them attribute the wait to lifecycle
+        // interference.
+        let _actor = obs::actor_scope(obs::Actor::Lifecycle);
         let mut done = now;
         done = done.max(self.drain_resets(now, sink, false)?);
         done = done.max(self.finish_pass(now, sink)?);
@@ -244,6 +249,7 @@ impl ZoneLifecycleManager {
     ///
     /// Propagates sink errors.
     pub fn flush_resets(&self, now: SimTime, sink: &mut dyn MgmtSink) -> Result<SimTime> {
+        let _actor = obs::actor_scope(obs::Actor::Lifecycle);
         self.drain_resets(now, sink, true)
     }
 

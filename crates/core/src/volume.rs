@@ -372,7 +372,84 @@ impl RaiznVolume {
                 start,
                 end,
                 outcome: obs::Outcome::Success,
+                span: 0,
+                parent: obs::current_span(),
+                blame: obs::current_actor(),
             });
+        }
+    }
+
+    /// Opens a causal span for a top-level volume operation: allocates an
+    /// id (0 when span tracing is disabled), remembers any enclosing span
+    /// as the parent, and installs the id as the ambient span so nested
+    /// device, lock, and parity events link to it. The returned guard
+    /// restores the previous ambient span on drop.
+    fn begin_span(&self) -> (u64, u64, obs::SpanScope) {
+        let parent = obs::current_span();
+        let span = self.recorder.read().as_ref().map_or(0, |r| r.new_span());
+        (span, parent, obs::span_scope(span))
+    }
+
+    /// Records the root `WholeOp` event of a top-level operation with an
+    /// explicit span identity (from [`begin_span`](Self::begin_span)) so
+    /// the recorder can close the op's blame tree on it.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_root(
+        &self,
+        op: obs::OpClass,
+        zone: u32,
+        lba: Lba,
+        sectors: u64,
+        start: SimTime,
+        end: SimTime,
+        span: u64,
+        parent: u64,
+    ) {
+        if let Some(rec) = self.recorder.read().as_ref() {
+            rec.record(obs::TraceEvent {
+                seq: 0,
+                op,
+                stage: obs::Stage::WholeOp,
+                path: None,
+                device: obs::NONE,
+                zone,
+                lba,
+                sectors,
+                start,
+                end,
+                outcome: obs::Outcome::Success,
+                span,
+                parent,
+                blame: obs::current_actor(),
+            });
+        }
+    }
+
+    /// Drops a zero-width `LockWait` marker at `at` into the current span.
+    /// Wall-clock lock contention can never enter the virtual timeline
+    /// (that would break determinism; contention totals live in the
+    /// lock-contention shards), but the marker places the acquisition in
+    /// the op's blame tree and exported waterfalls.
+    fn mark_lock(&self, op: obs::OpClass, zone: u32, at: SimTime) {
+        if let Some(rec) = self.recorder.read().as_ref() {
+            if rec.spans_enabled() {
+                rec.record(obs::TraceEvent {
+                    seq: 0,
+                    op,
+                    stage: obs::Stage::LockWait,
+                    path: None,
+                    device: obs::NONE,
+                    zone,
+                    lba: 0,
+                    sectors: 0,
+                    start: at,
+                    end: at,
+                    outcome: obs::Outcome::Success,
+                    span: 0,
+                    parent: obs::current_span(),
+                    blame: obs::current_actor(),
+                });
+            }
         }
     }
 
@@ -1668,6 +1745,10 @@ impl RaiznVolume {
         if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
+        // Everything the scrub touches — device occupancy, trace events —
+        // is blamed on the scrub actor, so foreground ops stalled behind
+        // it show up as interference in their blame trees.
+        let _actor = obs::actor_scope(obs::Actor::Scrub);
         let devices = self.devices.read();
         let su = self.layout.stripe_unit();
         let dual = self.layout.parity_units() == 2;
@@ -1934,6 +2015,7 @@ impl RaiznVolume {
         if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
+        let (span, parent, _span_guard) = self.begin_span();
         // Foreground reclaim (opt-in): activating a fresh zone with the
         // device active budget exhausted inline-finishes a victim zone
         // first, and this write absorbs the whole finish (fill writes
@@ -1942,6 +2024,7 @@ impl RaiznVolume {
         let at = self.reclaim_for_activation(at, lzone)?;
         let devices = self.devices.read();
         let mut z = self.lock_shard(lzone);
+        self.mark_lock(obs::OpClass::Write, lzone, at);
         let validate = |z: &LZone| -> Result<()> {
             match z.state {
                 ZoneState::Full => return Err(ZnsError::ZoneFull { zone: lzone }),
@@ -2375,15 +2458,15 @@ impl RaiznVolume {
             let done = self.persist_zone(&mut z, &devices, completion, lzone)?;
             completion = completion.max(done);
         }
-        self.trace_span(
+        self.trace_root(
             obs::OpClass::Write,
-            obs::Stage::WholeOp,
-            None,
             lzone,
             lba,
             sectors,
             at,
             completion,
+            span,
+            parent,
         );
         Ok(IoCompletion { done: completion })
     }
@@ -2731,6 +2814,10 @@ impl RaiznVolume {
         let su = self.layout.stripe_unit();
         let su_bytes = (su * SECTOR_SIZE) as usize;
 
+        // Rebuild reads and replacement writes are blamed on the rebuild
+        // actor; foreground ops queued behind them see the stall as
+        // rebuild interference in their blame trees.
+        let _actor = obs::actor_scope(obs::Actor::Rebuild);
         let mut cursor = at;
         let mut last_write = at;
         let mut bytes = 0u64;
@@ -2914,8 +3001,10 @@ impl ZonedVolume for RaiznVolume {
         }
         let lzone = lgeo.zone_of(lba);
         let rel0 = lgeo.offset_in_zone(lba);
+        let (span, parent, _span_guard) = self.begin_span();
         let devices = self.devices.read();
         let mut z = self.lock_shard(lzone);
+        self.mark_lock(obs::OpClass::Read, lzone, at);
         if rel0 + sectors > z.wp {
             return Err(ZnsError::ReadUnwritten {
                 lba: lgeo.zone_start(lzone) + z.wp,
@@ -2938,15 +3027,15 @@ impl ZonedVolume for RaiznVolume {
             cursor += rows;
             off += (rows * SECTOR_SIZE) as usize;
         }
-        self.trace_span(
+        self.trace_root(
             obs::OpClass::Read,
-            obs::Stage::WholeOp,
-            None,
             lzone,
             lba,
             sectors,
             at,
             done,
+            span,
+            parent,
         );
         Ok(IoCompletion { done })
     }
@@ -3019,8 +3108,10 @@ impl ZonedVolume for RaiznVolume {
                 sectors: 0,
             });
         }
+        let (span, parent, _span_guard) = self.begin_span();
         let devices = self.devices.read();
         let mut z = self.lock_shard(zone);
+        self.mark_lock(obs::OpClass::Reset, zone, at);
         if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
@@ -3028,6 +3119,7 @@ impl ZonedVolume for RaiznVolume {
         // physical zone is touched.
         let t = {
             let mut m = self.lock_meta();
+            self.mark_lock(obs::OpClass::Reset, obs::NONE, at);
             self.log_reset_intent(&mut m, &devices, at, zone)?
         };
         let phys = self.layout.phys_zone(zone);
@@ -3039,15 +3131,15 @@ impl ZonedVolume for RaiznVolume {
             done = done.max(self.reset_phys_with_retry(&devices, t, i, phys)?);
         }
         done = done.max(self.finish_reset(&mut z, &devices, done, zone)?);
-        self.trace_span(
+        self.trace_root(
             obs::OpClass::Reset,
-            obs::Stage::WholeOp,
-            None,
             zone,
             lgeo.zone_start(zone),
             0,
             at,
             done,
+            span,
+            parent,
         );
         Ok(IoCompletion { done })
     }
@@ -3060,8 +3152,10 @@ impl ZonedVolume for RaiznVolume {
                 sectors: 0,
             });
         }
+        let (span, parent, _span_guard) = self.begin_span();
         let devices = self.devices.read();
         let mut z = self.lock_shard(zone);
+        self.mark_lock(obs::OpClass::Finish, zone, at);
         if self.read_only.load(Ordering::Acquire) {
             return Err(ZnsError::VolumeReadOnly);
         }
@@ -3127,6 +3221,7 @@ impl ZonedVolume for RaiznVolume {
         // finish loop rolls forward to exactly this fill at mount.
         {
             let mut m = self.lock_meta();
+            self.mark_lock(obs::OpClass::Finish, obs::NONE, at);
             let t = self.log_finish_intent(&mut m, &devices, at, zone, z.wp)?;
             done = done.max(t);
         }
@@ -3142,15 +3237,15 @@ impl ZonedVolume for RaiznVolume {
         let wp = z.wp;
         z.pbitmap.mark_persisted_below(wp);
         AtomicRaiznStats::add(&self.stats.zone_finishes, 1);
-        self.trace_span(
+        self.trace_root(
             obs::OpClass::Finish,
-            obs::Stage::WholeOp,
-            None,
             zone,
             lgeo.zone_start(zone),
             0,
             at,
             done,
+            span,
+            parent,
         );
         Ok(IoCompletion { done })
     }

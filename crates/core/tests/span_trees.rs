@@ -1,0 +1,130 @@
+//! Blame-tree invariants over the real RAIZN write path.
+//!
+//! Every op's causal span tree must nest (children inside their parent's
+//! interval), partition exactly (exclusive blame segments sum to the
+//! root's wall latency), and replay deterministically (same seed, same
+//! single-threaded schedule -> byte-identical span artifacts).
+
+use raizn::{RaiznConfig, RaiznVolume};
+use sim::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+use zns::{WriteFlags, ZnsConfig, ZnsDevice, ZonedVolume, SECTOR_SIZE};
+
+const T0: SimTime = SimTime::ZERO;
+
+fn recorder() -> Arc<obs::Recorder> {
+    let r = obs::Recorder::new(4096, 1);
+    // Threshold 0: every closed root is offered to the slow store, so
+    // the 16 retained trees are simply the 16 slowest ops.
+    r.enable_spans(obs::SpanConfig {
+        slow: Some(SimDuration::ZERO),
+        keep_slowest: Some(16),
+    });
+    r
+}
+
+/// A deterministic mixed workload: sequential writes filling most of
+/// logical zone 0 (all issued at T0, so ops queue behind each other on
+/// the flash units and produce real `DeviceWait` children), a few reads,
+/// then a finish and a reset.
+fn run_workload(r: &Arc<obs::Recorder>) {
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|i| {
+            let d = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+            d.set_recorder(r.clone(), i as u32);
+            d
+        })
+        .collect();
+    let v = RaiznVolume::format(devices, RaiznConfig::small_test(), T0).unwrap();
+    v.set_recorder(r.clone());
+
+    let cap = v.geometry().zone_cap();
+    let mut rng = SimRng::new(42);
+    let mut lba = 0u64;
+    for i in 0..24u64 {
+        let sectors = 1 + (i % 3);
+        if lba + sectors > cap {
+            break;
+        }
+        let mut data = vec![0u8; (sectors * SECTOR_SIZE) as usize];
+        rng.fill_bytes(&mut data);
+        v.write(T0, lba, &data, WriteFlags::default()).unwrap();
+        lba += sectors;
+    }
+    let mut buf = vec![0u8; (4 * SECTOR_SIZE) as usize];
+    v.read(T0, 0, &mut buf).unwrap();
+    v.read(T0, lba - 4, &mut buf).unwrap();
+    v.finish_zone(T0, 0).unwrap();
+    v.reset_zone(T0, 0).unwrap();
+}
+
+#[test]
+fn blame_trees_nest_and_partition_exactly() {
+    let r = recorder();
+    run_workload(&r);
+    assert!(r.span_roots() > 0, "no roots closed");
+    assert_eq!(r.span_orphans(), 0, "events fell outside every tree");
+    let slow = r.slow_ops();
+    assert!(!slow.is_empty(), "no trees captured at threshold 0");
+
+    let mut saw_child = false;
+    let mut saw_device_wait = false;
+    for op in &slow {
+        assert_eq!(op.latency_ns, op.root.duration().as_nanos());
+        // Exact exclusive partition: the critical-path segments cover
+        // the whole op, no more, no less.
+        assert_eq!(
+            op.segments.iter().sum::<u64>(),
+            op.latency_ns,
+            "segments must sum to the root latency: {op:?}"
+        );
+        for ev in &op.events {
+            saw_device_wait |= ev.stage == obs::Stage::DeviceWait;
+            if ev.parent == 0 {
+                continue;
+            }
+            let parent = op
+                .events
+                .iter()
+                .find(|p| p.span == ev.parent)
+                .expect("child's parent span is present in its tree");
+            saw_child = true;
+            assert!(
+                ev.start >= parent.start && ev.end <= parent.end,
+                "child [{:?}, {:?}] escapes parent [{:?}, {:?}] ({:?} in {:?})",
+                ev.start,
+                ev.end,
+                parent.start,
+                parent.end,
+                ev.stage,
+                parent.stage,
+            );
+        }
+    }
+    assert!(saw_child, "captured trees had no child events");
+    assert!(
+        saw_device_wait,
+        "same-instant queued writes never produced a DeviceWait child"
+    );
+
+    // The aggregate blame table obeys the same partition invariant.
+    let rows = r.blame_rows();
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert_eq!(row.categories.iter().sum::<u64>(), row.total_ns);
+    }
+}
+
+#[test]
+fn same_seed_runs_produce_identical_span_trees() {
+    let a = recorder();
+    run_workload(&a);
+    let b = recorder();
+    run_workload(&b);
+    assert_eq!(a.span_roots(), b.span_roots());
+    assert_eq!(
+        obs::spans_json("det", &a),
+        obs::spans_json("det", &b),
+        "span artifact is not deterministic across same-seed runs"
+    );
+}

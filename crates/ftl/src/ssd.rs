@@ -122,6 +122,9 @@ fn trace_span(
             start,
             end,
             outcome: obs::Outcome::Success,
+            span: 0,
+            parent: obs::current_span(),
+            blame: obs::current_actor(),
         });
     }
 }
@@ -532,6 +535,9 @@ impl BlockDevice for ConvSsd {
                 start: at,
                 end: done,
                 outcome: obs::Outcome::Success,
+                span: 0,
+                parent: obs::current_span(),
+                blame: obs::current_actor(),
             });
         }
         Ok(IoCompletion { done })

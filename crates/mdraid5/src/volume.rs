@@ -88,6 +88,9 @@ fn trace_span(
             start,
             end,
             outcome: obs::Outcome::Success,
+            span: 0,
+            parent: obs::current_span(),
+            blame: obs::current_actor(),
         });
     }
 }

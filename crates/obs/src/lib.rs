@@ -48,7 +48,10 @@
 //!     end: SimTime::from_micros(20),
 //!     outcome: Outcome::Success,
 //!     path: None,
-//!     seq: 0, // assigned by the recorder
+//!     seq: 0,                  // assigned by the recorder
+//!     span: 0,                 // no span identity of its own
+//!     parent: obs::current_span(), // ambient causal parent (0 = root)
+//!     blame: obs::current_actor(), // ambient actor (interference blame)
 //! });
 //! rec.bump(Counter::CacheFlushes);
 //! let events = rec.events();
@@ -64,10 +67,15 @@ use parking_lot::Mutex;
 use sim::{Histogram, SimDuration, SimTime};
 use std::io::Write as IoWrite;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+pub mod span;
 pub mod timeline;
 
+pub use span::{
+    actor_scope, blame_segments, current_actor, current_span, span_scope, spans_json, Actor,
+    ActorScope, BlameRow, SlowOp, SpanConfig, SpanScope, BLAME_CATEGORIES, NCATS,
+};
 pub use timeline::{timeline_json, GaugeReading, GaugeSeries, GaugeSource, Timeline};
 
 /// The class of operation a trace event describes.
@@ -126,11 +134,19 @@ pub enum Stage {
     Service,
     /// The whole logical operation as seen by the caller.
     WholeOp,
+    /// Time a device command stalled waiting for a busy occupancy unit
+    /// (channel/die), split out of [`Stage::DeviceIo`]; the event's
+    /// blame field names the actor that last held the unit.
+    DeviceWait,
+    /// Zone-shard / metadata lock acquisition marker. Locks cost no
+    /// *virtual* time, so these spans are zero-width; wall-clock
+    /// contention stays in [`LockStats`] gauges.
+    LockWait,
 }
 
 impl Stage {
     /// All stages, in index order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
         Stage::DeviceIo,
         Stage::Xor,
         Stage::MetaAppend,
@@ -138,6 +154,8 @@ impl Stage {
         Stage::QueueWait,
         Stage::Service,
         Stage::WholeOp,
+        Stage::DeviceWait,
+        Stage::LockWait,
     ];
 
     /// Stable lower-case name (used by the JSON exporters).
@@ -150,6 +168,8 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::Service => "service",
             Stage::WholeOp => "whole_op",
+            Stage::DeviceWait => "device_wait",
+            Stage::LockWait => "lock_wait",
         }
     }
 
@@ -164,6 +184,8 @@ impl Stage {
             Stage::QueueWait => 4,
             Stage::Service => 5,
             Stage::WholeOp => 6,
+            Stage::DeviceWait => 7,
+            Stage::LockWait => 8,
         }
     }
 }
@@ -268,6 +290,15 @@ pub struct TraceEvent {
     pub end: SimTime,
     /// How the span ended.
     pub outcome: Outcome,
+    /// Causal span identity ([`Recorder::new_span`]); 0 for leaf events
+    /// that own no identity of their own.
+    pub span: u64,
+    /// Span id of the causal parent (the enclosing op), or 0 for a
+    /// tree root. Layers normally record the ambient [`current_span`].
+    pub parent: u64,
+    /// Actor the span's time is blamed on (only meaningful on
+    /// [`Stage::DeviceWait`], where it names the unit's last occupant).
+    pub blame: Actor,
 }
 
 impl TraceEvent {
@@ -283,7 +314,15 @@ impl TraceEvent {
         start: SimTime::ZERO,
         end: SimTime::ZERO,
         outcome: Outcome::Success,
+        span: 0,
+        parent: 0,
+        blame: Actor::None,
     };
+
+    /// A zeroed placeholder event (ring slot initializer).
+    pub const fn empty() -> TraceEvent {
+        TraceEvent::EMPTY
+    }
 
     /// The span's duration on the virtual clock.
     pub fn duration(&self) -> SimDuration {
@@ -337,11 +376,14 @@ pub enum Counter {
     /// QoS scheduler: zone-management ops (open/close/finish/reset)
     /// dispatched on behalf of background lifecycle management.
     SchedMgmtOps,
+    /// Total virtual nanoseconds device commands stalled waiting for a
+    /// busy occupancy unit (the [`Stage::DeviceWait`] aggregate).
+    DeviceWaitNanos,
 }
 
 impl Counter {
     /// All counters, in index order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Retries,
         Counter::DegradedReads,
         Counter::DoubleDegradedReads,
@@ -362,6 +404,7 @@ impl Counter {
         Counter::SchedDeferrals,
         Counter::SchedCoalescedOps,
         Counter::SchedMgmtOps,
+        Counter::DeviceWaitNanos,
     ];
 
     /// Stable snake-case name (used by the JSON exporters).
@@ -387,6 +430,7 @@ impl Counter {
             Counter::SchedDeferrals => "sched_deferrals",
             Counter::SchedCoalescedOps => "sched_coalesced_ops",
             Counter::SchedMgmtOps => "sched_mgmt_ops",
+            Counter::DeviceWaitNanos => "device_wait_nanos",
         }
     }
 
@@ -611,6 +655,10 @@ pub struct Recorder {
     /// Central (unsharded): windows roll on virtual end instants, which
     /// requires a total observation order.
     windows: Mutex<Option<WindowState>>,
+    /// Fast-path skip flag for causal span tracing.
+    spans_on: AtomicBool,
+    /// Span-tracing state, when enabled ([`Recorder::enable_spans`]).
+    spans: OnceLock<span::SpanState>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -654,6 +702,8 @@ impl Recorder {
             shards,
             windows_on: AtomicBool::new(false),
             windows: Mutex::new(None),
+            spans_on: AtomicBool::new(false),
+            spans: OnceLock::new(),
         })
     }
 
@@ -750,6 +800,9 @@ impl Recorder {
         }
         self.seq
             .fetch_add(other.seq.load(Ordering::Relaxed), Ordering::Relaxed);
+        if let (Some(mine), Some(theirs)) = (self.spans.get(), other.spans.get()) {
+            mine.absorb(theirs);
+        }
     }
 
     /// Records one span. The event's `seq` field is overwritten with the
@@ -782,7 +835,74 @@ impl Recorder {
                 w.observe(&ev);
             }
         }
+        if self.spans_on.load(Ordering::Acquire) && (ev.span != 0 || ev.parent != 0) {
+            if let Some(s) = self.spans.get() {
+                span::on_event(s, &ev);
+            }
+        }
         seq
+    }
+
+    /// Enables causal span tracing: ops allocate span ids
+    /// ([`Recorder::new_span`]), child events buffered per thread are
+    /// reassembled into blame trees when the root's event lands, every
+    /// tree feeds the per-tenant blame table, and trees whose latency
+    /// meets the tail-sampling threshold are retained in full (see
+    /// [`span::SpanConfig`]). All span memory of fixed size is
+    /// allocated here; per-thread buffers reach steady-state capacity
+    /// during warm-up. Re-enabling reapplies the threshold config but
+    /// keeps accumulated state (use [`Recorder::clear`] to reset).
+    pub fn enable_spans(&self, cfg: SpanConfig) {
+        let state = self.spans.get_or_init(|| span::SpanState::new(cfg));
+        state.configure(cfg);
+        self.spans_on.store(true, Ordering::Release);
+    }
+
+    /// Whether span tracing is enabled.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_on.load(Ordering::Acquire)
+    }
+
+    /// Allocates a fresh span id for a top-level op, or 0 when span
+    /// tracing is disabled (callers then skip all scope work).
+    pub fn new_span(&self) -> u64 {
+        if !self.spans_on.load(Ordering::Acquire) {
+            return 0;
+        }
+        self.spans.get().map_or(0, |s| s.alloc_span())
+    }
+
+    /// Blame trees closed so far (roots observed).
+    pub fn span_roots(&self) -> u64 {
+        self.spans.get().map_or(0, |s| s.roots())
+    }
+
+    /// Span-linked events that could not be attached to a closing tree
+    /// (stale buffers, aborted ops, overflowed thread buffers).
+    pub fn span_orphans(&self) -> u64 {
+        self.spans.get().map_or(0, |s| s.orphans())
+    }
+
+    /// Events dropped from captured slow-op trees that exceeded the
+    /// per-tree retention bound.
+    pub fn span_truncated(&self) -> u64 {
+        self.spans.get().map_or(0, |s| s.truncated())
+    }
+
+    /// The current slow-op threshold in virtual nanoseconds (0 until
+    /// the rolling estimate warms up, unless pinned explicitly).
+    pub fn span_threshold_ns(&self) -> u64 {
+        self.spans.get().map_or(0, |s| s.threshold_ns())
+    }
+
+    /// Snapshot of the per-tenant blame table (rows with activity only).
+    pub fn blame_rows(&self) -> Vec<BlameRow> {
+        self.spans.get().map_or_else(Vec::new, |s| s.blame_rows())
+    }
+
+    /// Snapshot of the retained slowest ops, slowest first.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.spans.get().map_or_else(Vec::new, |s| s.slow_ops())
     }
 
     /// Increments `counter` by one.
@@ -860,6 +980,9 @@ impl Recorder {
         if let Some(w) = self.windows.lock().as_mut() {
             let (interval_ns, cap) = (w.interval_ns, w.cap);
             *w = WindowState::new(SimDuration::from_nanos(interval_ns), cap);
+        }
+        if let Some(s) = self.spans.get() {
+            s.reset();
         }
     }
 
@@ -1017,13 +1140,23 @@ pub fn event_json(ev: &TraceEvent) -> String {
     }
     s.push_str(&format!(
         ", \"lba\": {}, \"sectors\": {}, \"start_ns\": {}, \"end_ns\": {}, \
-         \"outcome\": \"{}\"}}",
+         \"outcome\": \"{}\"",
         ev.lba,
         ev.sectors,
         ev.start.as_nanos(),
         ev.end.as_nanos(),
         ev.outcome.name()
     ));
+    if ev.span != 0 {
+        s.push_str(&format!(", \"span\": {}", ev.span));
+    }
+    if ev.parent != 0 {
+        s.push_str(&format!(", \"parent\": {}", ev.parent));
+    }
+    if ev.blame != Actor::None {
+        s.push_str(&format!(", \"blame\": \"{}\"", ev.blame.name()));
+    }
+    s.push('}');
     s
 }
 
@@ -1094,6 +1227,9 @@ mod tests {
             start: SimTime::from_micros(start_us),
             end: SimTime::from_micros(end_us),
             outcome: Outcome::Success,
+            span: 0,
+            parent: 0,
+            blame: Actor::None,
         }
     }
 
@@ -1380,5 +1516,239 @@ mod tests {
             r.events()
         };
         assert_eq!(mk(), mk());
+    }
+
+    fn cat(name: &str) -> usize {
+        BLAME_CATEGORIES.iter().position(|c| *c == name).unwrap()
+    }
+
+    #[test]
+    fn span_ids_are_zero_when_disabled() {
+        let r = Recorder::new(16, 1);
+        assert!(!r.spans_enabled());
+        assert_eq!(r.new_span(), 0);
+        r.record(ev(Stage::WholeOp, 0, 5));
+        assert_eq!(r.span_roots(), 0);
+        assert!(r.blame_rows().is_empty());
+        assert!(r.slow_ops().is_empty());
+    }
+
+    #[test]
+    fn span_tree_closes_and_attributes_blame() {
+        let r = Recorder::new(64, 1);
+        r.enable_spans(SpanConfig::default());
+        let rid = r.new_span();
+        assert!(rid > 0);
+        // Children record before their parent (the op closes last).
+        let mut wait = ev(Stage::DeviceWait, 0, 2);
+        wait.parent = rid;
+        wait.blame = Actor::Lifecycle;
+        r.record(wait);
+        let mut io = ev(Stage::DeviceIo, 2, 8);
+        io.parent = rid;
+        r.record(io);
+        let mut root = ev(Stage::WholeOp, 0, 10);
+        root.span = rid;
+        root.device = 3;
+        r.record(root);
+        assert_eq!(r.span_roots(), 1);
+        assert_eq!(r.span_orphans(), 0);
+        let rows = r.blame_rows();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!((row.tenant, row.count, row.total_ns), (3, 1, 10_000));
+        assert_eq!(row.categories[cat("interference_lifecycle")], 2_000);
+        assert_eq!(row.categories[cat("device_service")], 6_000);
+        assert_eq!(row.categories[cat("other")], 2_000);
+        // Exact partition: exclusive segments sum to the root latency.
+        assert_eq!(row.categories.iter().sum::<u64>(), row.total_ns);
+    }
+
+    #[test]
+    fn blame_partition_clips_overlap_and_nests() {
+        let r = Recorder::new(64, 1);
+        r.enable_spans(SpanConfig::default());
+        let (mid, rid) = (r.new_span(), r.new_span());
+        let mut a = ev(Stage::DeviceIo, 2, 8);
+        a.parent = mid;
+        r.record(a);
+        // Overlapping fan-out leg: the later-starting (innermost)
+        // sibling claims the overlap; same category either way here.
+        let mut b = ev(Stage::DeviceIo, 6, 12);
+        b.parent = mid;
+        r.record(b);
+        let mut m = ev(Stage::WholeOp, 1, 14);
+        m.span = mid;
+        m.parent = rid;
+        r.record(m);
+        let mut root = ev(Stage::WholeOp, 0, 20);
+        root.span = rid;
+        root.device = 0;
+        r.record(root);
+        let rows = r.blame_rows();
+        let row = &rows[0];
+        assert_eq!(row.categories[cat("device_service")], 10_000);
+        assert_eq!(row.categories[cat("other")], 10_000);
+        assert_eq!(row.categories.iter().sum::<u64>(), 20_000);
+        // The full tree is retained for the slowest op.
+        let slow = r.slow_ops();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].events.len(), 4);
+        assert_eq!(slow[0].latency_ns, 20_000);
+        assert_eq!(slow[0].segments, row.categories);
+        // Events come out start-sorted with the root first.
+        assert!(slow[0].events.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn hidden_pipeline_stage_gets_zero_exclusive_time() {
+        // An Xor envelope covering its device legs keeps only the time
+        // the legs don't explain — exclusive critical-path semantics.
+        let r = Recorder::new(64, 1);
+        r.enable_spans(SpanConfig::default());
+        let rid = r.new_span();
+        let mut x = ev(Stage::Xor, 0, 10);
+        x.parent = rid;
+        r.record(x);
+        let mut d1 = ev(Stage::DeviceIo, 2, 6);
+        d1.parent = rid;
+        r.record(d1);
+        let mut d2 = ev(Stage::DeviceIo, 4, 9);
+        d2.parent = rid;
+        r.record(d2);
+        let mut root = ev(Stage::WholeOp, 0, 10);
+        root.span = rid;
+        r.record(root);
+        let row = &r.blame_rows()[0];
+        // Legs claim [2,9); xor keeps the [0,2) prefix and [9,10) tail.
+        assert_eq!(row.categories[cat("device_service")], 7_000);
+        assert_eq!(row.categories[cat("xor_gf")], 3_000);
+        assert_eq!(row.categories.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn tail_sampling_keeps_k_slowest_above_threshold() {
+        let r = Recorder::new(256, 1);
+        r.enable_spans(SpanConfig {
+            slow: Some(SimDuration::from_micros(5)),
+            keep_slowest: Some(2),
+        });
+        assert_eq!(r.span_threshold_ns(), 5_000);
+        for lat_us in [1u64, 6, 7, 8, 2] {
+            let rid = r.new_span();
+            let mut root = ev(Stage::WholeOp, 0, lat_us);
+            root.span = rid;
+            r.record(root);
+        }
+        assert_eq!(r.span_roots(), 5);
+        let slow = r.slow_ops();
+        let lats: Vec<u64> = slow.iter().map(|s| s.latency_ns).collect();
+        assert_eq!(lats, vec![8_000, 7_000]);
+        // Blame still saw every root, not just the sampled ones.
+        assert_eq!(r.blame_rows()[0].count, 5);
+    }
+
+    #[test]
+    fn rolling_threshold_warms_up() {
+        let r = Recorder::new(16, 1);
+        r.enable_spans(SpanConfig::default());
+        assert_eq!(r.span_threshold_ns(), 0);
+        for i in 0..128u64 {
+            let rid = r.new_span();
+            let mut root = ev(Stage::WholeOp, 0, i + 1);
+            root.span = rid;
+            r.record(root);
+        }
+        // After 128 closes the rolling p99 is in place.
+        assert!(r.span_threshold_ns() >= 100_000);
+    }
+
+    #[test]
+    fn unattached_events_count_as_orphans() {
+        let r = Recorder::new(64, 1);
+        r.enable_spans(SpanConfig::default());
+        let rid = r.new_span();
+        let mut stray = ev(Stage::DeviceIo, 0, 1);
+        stray.parent = rid + 999; // no such span in this tree
+        r.record(stray);
+        let mut root = ev(Stage::WholeOp, 0, 2);
+        root.span = rid;
+        r.record(root);
+        assert_eq!(r.span_roots(), 1);
+        assert_eq!(r.span_orphans(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_span_aggregates() {
+        let a = Recorder::new(16, 1);
+        let b = Recorder::new(16, 1);
+        a.enable_spans(SpanConfig::default());
+        b.enable_spans(SpanConfig::default());
+        let rid = b.new_span();
+        let mut root = ev(Stage::WholeOp, 0, 10);
+        root.span = rid;
+        root.device = 2;
+        b.record(root);
+        a.absorb(&b);
+        assert_eq!(a.span_roots(), 1);
+        let rows = a.blame_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tenant, 2);
+        assert_eq!(a.slow_ops().len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_span_state() {
+        let r = Recorder::new(16, 1);
+        r.enable_spans(SpanConfig::default());
+        let rid = r.new_span();
+        let mut root = ev(Stage::WholeOp, 0, 10);
+        root.span = rid;
+        r.record(root);
+        assert_eq!(r.span_roots(), 1);
+        r.clear();
+        assert_eq!(r.span_roots(), 0);
+        assert!(r.blame_rows().is_empty());
+        assert!(r.slow_ops().is_empty());
+    }
+
+    #[test]
+    fn ambient_scopes_nest_and_restore() {
+        assert_eq!(current_span(), 0);
+        assert_eq!(current_actor(), Actor::None);
+        {
+            let _outer = span_scope(7);
+            let _actor = actor_scope(Actor::Lifecycle);
+            assert_eq!(current_span(), 7);
+            assert_eq!(current_actor(), Actor::Lifecycle);
+            {
+                let _inner = span_scope(9);
+                assert_eq!(current_span(), 9);
+            }
+            assert_eq!(current_span(), 7);
+        }
+        assert_eq!(current_span(), 0);
+        assert_eq!(current_actor(), Actor::None);
+    }
+
+    #[test]
+    fn spans_json_has_blame_and_trace_events() {
+        let r = Recorder::new(64, 1);
+        r.enable_spans(SpanConfig::default());
+        let rid = r.new_span();
+        let mut io = ev(Stage::DeviceIo, 1, 6);
+        io.parent = rid;
+        r.record(io);
+        let mut root = ev(Stage::WholeOp, 0, 8);
+        root.span = rid;
+        root.device = 1;
+        r.record(root);
+        let j = spans_json("unit", &r);
+        assert!(j.contains("\"kind\": \"spans\""));
+        assert!(j.contains("\"tenant\": \"1\""));
+        assert!(j.contains("\"ph\": \"X\""));
+        for c in BLAME_CATEGORIES {
+            assert!(j.contains(&format!("{c}_ns")), "missing category {c}");
+        }
     }
 }

@@ -486,6 +486,9 @@ mod tests {
                 start: SimTime::from_millis(i * 10),
                 end: SimTime::from_millis(i * 10 + 1),
                 outcome: Outcome::Success,
+                span: 0,
+                parent: 0,
+                blame: crate::Actor::None,
             });
         }
         let tl = Timeline::new(SimDuration::from_millis(10));

@@ -491,6 +491,23 @@ impl SharedScheduler for QosScheduler {
         inner.tenants[ti].bucket.consume(now_ns);
         inner.vtime = inner.vtime.max(head_p_tag);
 
+        // The batch is the causal root: the target's own op span and the
+        // per-op QueueWait/Service events all link under it. Management
+        // dispatches run as the lifecycle actor so device stalls they
+        // cause are blamed as interference.
+        let rid = self.recorder.as_ref().map_or(0, |r| r.new_span());
+        let span_guard = obs::span_scope(rid);
+        let actor_guard = obs::actor_scope(match dir {
+            OpDir::Mgmt(_) => obs::Actor::Lifecycle,
+            _ => obs::Actor::Foreground,
+        });
+        let batch_arrival = inner
+            .batch
+            .iter()
+            .map(|o| o.arrival_ns)
+            .min()
+            .unwrap_or(now_ns);
+
         let dispatch = SimTime::from_nanos(now_ns);
         let total_sectors = end_off - start_off;
         let done = match dir {
@@ -572,6 +589,9 @@ impl SharedScheduler for QosScheduler {
                     start: arrival,
                     end: dispatch,
                     outcome: obs::Outcome::Success,
+                    span: 0,
+                    parent: obs::current_span(),
+                    blame: obs::current_actor(),
                 });
                 rec.record(obs::TraceEvent {
                     seq: 0,
@@ -585,6 +605,9 @@ impl SharedScheduler for QosScheduler {
                     start: dispatch,
                     end: done,
                     outcome: obs::Outcome::Success,
+                    span: 0,
+                    parent: obs::current_span(),
+                    blame: obs::current_actor(),
                 });
             }
             if let Some(buf) = op.buf.take() {
@@ -601,6 +624,39 @@ impl SharedScheduler for QosScheduler {
                 done,
                 deferred,
             });
+        }
+        // Close the batch's blame tree: the root must be recorded after
+        // every child event, and outside the span scope so it carries
+        // `parent == 0`. Zero sectors — the per-op Service events already
+        // account the batch's bytes in window throughput.
+        drop(actor_guard);
+        drop(span_guard);
+        if rid != 0 {
+            if let Some(rec) = self.recorder.as_ref() {
+                let class = match dir {
+                    OpDir::Read => obs::OpClass::Read,
+                    OpDir::Write => obs::OpClass::Write,
+                    OpDir::Mgmt(zns::ZoneMgmtOp::Finish) => obs::OpClass::Finish,
+                    OpDir::Mgmt(zns::ZoneMgmtOp::Reset) => obs::OpClass::Reset,
+                    OpDir::Mgmt(_) => obs::OpClass::ZoneMgmt,
+                };
+                rec.record(obs::TraceEvent {
+                    seq: 0,
+                    op: class,
+                    stage: obs::Stage::WholeOp,
+                    path: None,
+                    device: ti as u32,
+                    zone: obs::NONE,
+                    lba: start_off,
+                    sectors: 0,
+                    start: SimTime::from_nanos(batch_arrival),
+                    end: done,
+                    outcome: obs::Outcome::Success,
+                    span: rid,
+                    parent: 0,
+                    blame: obs::Actor::None,
+                });
+            }
         }
         Ok(true)
     }

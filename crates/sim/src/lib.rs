@@ -53,7 +53,7 @@ pub mod xor;
 pub use gf::{gf_inv, gf_mul, gf_mul_into, gf_pow, gf_scale, rs_solve_two};
 pub use histogram::Histogram;
 pub use latency::ChannelModel;
-pub use occupancy::OccupancyModel;
+pub use occupancy::{OccupancyModel, Occupied};
 pub use rng::SimRng;
 pub use series::{Timeseries, TimeseriesPoint};
 pub use stats::Summary;

@@ -23,7 +23,7 @@
 //! zone index), modelling the zone-to-die mapping of real ZNS firmware.
 
 use crate::{SimDuration, SimTime};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// A discrete-event device-parallelism model with per-unit
 /// `next_avail_time`, safe to share across threads without a lock.
@@ -44,8 +44,27 @@ pub struct OccupancyModel {
     /// `next_avail_time` in nanoseconds, one per service unit, laid out
     /// die-major: unit `d * channels + c` is channel `c` of die `d`.
     units: Vec<AtomicU64>,
+    /// Opaque tag of each unit's last occupant (an actor id supplied by
+    /// the caller; the model never interprets it). Best-effort: updated
+    /// after the claim CAS, so a racing reader may see the previous
+    /// occupant — acceptable for blame attribution, never for timing.
+    tags: Vec<AtomicU8>,
     channels: usize,
     dies: usize,
+}
+
+/// Result of a tagged occupancy claim (see
+/// [`OccupancyModel::occupy_tagged`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupied {
+    /// Completion time (identical to what the untagged call returns).
+    pub done: SimTime,
+    /// Nanoseconds the request stalled behind the unit's prior work
+    /// (`start - issue`); 0 when the unit was free at issue time.
+    pub wait_ns: u64,
+    /// Tag of the unit's previous occupant (0 = never occupied / idle
+    /// default).
+    pub prev_tag: u8,
 }
 
 impl OccupancyModel {
@@ -62,6 +81,7 @@ impl OccupancyModel {
         let dies = ways * planes;
         OccupancyModel {
             units: (0..channels * dies).map(|_| AtomicU64::new(0)).collect(),
+            tags: (0..channels * dies).map(|_| AtomicU8::new(0)).collect(),
             channels,
             dies,
         }
@@ -80,7 +100,7 @@ impl OccupancyModel {
     /// the CAS loop retries until a claim succeeds, so every concurrent
     /// caller observes a consistent, linearizable schedule.
     pub fn occupy(&self, issue: SimTime, dur: SimDuration) -> SimTime {
-        self.occupy_range(0, self.units.len(), issue, dur)
+        self.occupy_range(0, self.units.len(), issue, dur, 0).done
     }
 
     /// Occupies the earliest-free unit of one die group, chosen by an
@@ -88,15 +108,43 @@ impl OccupancyModel {
     /// mappings. With a single die this is identical to
     /// [`occupy`](Self::occupy).
     pub fn occupy_affine(&self, affinity: u64, issue: SimTime, dur: SimDuration) -> SimTime {
-        if self.dies == 1 {
-            return self.occupy(issue, dur);
-        }
-        let die = (affinity % self.dies as u64) as usize;
-        self.occupy_range(die * self.channels, self.channels, issue, dur)
+        self.occupy_affine_tagged(affinity, issue, dur, 0).done
     }
 
-    fn occupy_range(&self, first: usize, len: usize, issue: SimTime, dur: SimDuration) -> SimTime {
+    /// [`occupy`](Self::occupy) with occupant tagging: returns the same
+    /// completion time plus how long the request stalled behind the
+    /// unit's prior work and whose tag that prior work carried. The
+    /// claimed unit's tag is set to `tag`.
+    pub fn occupy_tagged(&self, issue: SimTime, dur: SimDuration, tag: u8) -> Occupied {
+        self.occupy_range(0, self.units.len(), issue, dur, tag)
+    }
+
+    /// [`occupy_affine`](Self::occupy_affine) with occupant tagging (see
+    /// [`occupy_tagged`](Self::occupy_tagged)).
+    pub fn occupy_affine_tagged(
+        &self,
+        affinity: u64,
+        issue: SimTime,
+        dur: SimDuration,
+        tag: u8,
+    ) -> Occupied {
+        if self.dies == 1 {
+            return self.occupy_range(0, self.units.len(), issue, dur, tag);
+        }
+        let die = (affinity % self.dies as u64) as usize;
+        self.occupy_range(die * self.channels, self.channels, issue, dur, tag)
+    }
+
+    fn occupy_range(
+        &self,
+        first: usize,
+        len: usize,
+        issue: SimTime,
+        dur: SimDuration,
+        tag: u8,
+    ) -> Occupied {
         let units = &self.units[first..first + len];
+        let tags = &self.tags[first..first + len];
         loop {
             let mut slot = 0usize;
             let mut next = u64::MAX;
@@ -113,7 +161,12 @@ impl OccupancyModel {
                 .compare_exchange(next, done, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                return SimTime::from_nanos(done);
+                let prev_tag = tags[slot].swap(tag, Ordering::AcqRel);
+                return Occupied {
+                    done: SimTime::from_nanos(done),
+                    wait_ns: start - issue.as_nanos(),
+                    prev_tag,
+                };
             }
         }
     }
@@ -134,6 +187,9 @@ impl OccupancyModel {
     pub fn reset(&self) {
         for u in &self.units {
             u.store(0, Ordering::Release);
+        }
+        for t in &self.tags {
+            t.store(0, Ordering::Release);
         }
     }
 }
@@ -218,6 +274,53 @@ mod tests {
         // Die 1 is unaffected.
         let d = m.occupy_affine(1, SimTime::ZERO, dur(10));
         assert_eq!(d, SimTime::ZERO + dur(10));
+    }
+
+    #[test]
+    fn tagged_occupy_reports_wait_and_prev_occupant() {
+        let m = OccupancyModel::new(1, 1, 1);
+        // First claim: idle unit, no wait, default prev tag.
+        let a = m.occupy_tagged(SimTime::ZERO, dur(10), 2);
+        assert_eq!(a.done, SimTime::ZERO + dur(10));
+        assert_eq!(a.wait_ns, 0);
+        assert_eq!(a.prev_tag, 0);
+        // Second claim queues behind the first and sees its tag.
+        let b = m.occupy_tagged(SimTime::ZERO, dur(5), 1);
+        assert_eq!(b.done, a.done + dur(5));
+        assert_eq!(b.wait_ns, dur(10).as_nanos());
+        assert_eq!(b.prev_tag, 2);
+        // A late issue after drain waits for nothing.
+        let c = m.occupy_tagged(b.done + dur(1), dur(5), 1);
+        assert_eq!(c.wait_ns, 0);
+        assert_eq!(c.prev_tag, 1);
+    }
+
+    #[test]
+    fn tagged_occupy_matches_untagged_timing_exactly() {
+        // The tagged variant must be a pure superset: identical
+        // completion schedule, bit for bit.
+        let a = OccupancyModel::new(8, 2, 1);
+        let b = OccupancyModel::new(8, 2, 1);
+        let mut issue = SimTime::ZERO;
+        for i in 0..1000u64 {
+            let d = SimDuration::from_nanos((i * 41) % 4000);
+            let x = a.occupy_affine(i % 5, issue, d);
+            let y = b.occupy_affine_tagged(i % 5, issue, d, (i % 3) as u8);
+            assert_eq!(x, y.done, "request {i} diverged");
+            if i % 9 == 0 {
+                issue = x;
+            }
+        }
+        assert_eq!(a.drained_at(), b.drained_at());
+    }
+
+    #[test]
+    fn reset_clears_tags() {
+        let m = OccupancyModel::new(1, 1, 1);
+        m.occupy_tagged(SimTime::ZERO, dur(1), 3);
+        m.reset();
+        let a = m.occupy_tagged(SimTime::ZERO, dur(1), 1);
+        assert_eq!(a.prev_tag, 0);
     }
 
     #[test]

@@ -463,9 +463,15 @@ impl Engine {
             let block = job.spec.block_sectors;
             let off = job.next_offset(&mut self.rng, &|o| target.max_io_at(o));
             let bytes = (block * SECTOR_SIZE) as usize;
-            let done = match job.spec.kind {
-                OpKind::Read => target.read(issue, off, &mut buf[..bytes])?,
-                OpKind::Write => target.write(issue, off, &buf[..bytes])?,
+            // The engine op is the causal root: the target's own span and
+            // everything below it link under `rid`.
+            let rid = self.recorder.as_ref().map_or(0, |r| r.new_span());
+            let done = {
+                let _span = obs::span_scope(rid);
+                match job.spec.kind {
+                    OpKind::Read => target.read(issue, off, &mut buf[..bytes])?,
+                    OpKind::Write => target.write(issue, off, &buf[..bytes])?,
+                }
             };
             let lat = done.since(issue);
             latency.record(lat);
@@ -488,6 +494,9 @@ impl Engine {
                     start: issue,
                     end: done,
                     outcome: obs::Outcome::Success,
+                    span: rid,
+                    parent: 0,
+                    blame: obs::Actor::None,
                 });
             }
             if let Some(tl) = self.timeline.as_ref() {
@@ -754,6 +763,11 @@ impl Engine {
                         start: c.arrival,
                         end: c.done,
                         outcome: obs::Outcome::Success,
+                        // The scheduler already records the batch root;
+                        // this per-op completion stays outside the tree.
+                        span: 0,
+                        parent: 0,
+                        blame: obs::Actor::None,
                     });
                 }
                 if let Some(tl) = self.timeline.as_ref() {

@@ -88,8 +88,56 @@ fn trace_span(
             start,
             end,
             outcome,
+            span: 0,
+            parent: obs::current_span(),
+            blame: obs::current_actor(),
         });
     }
+}
+
+/// Accounts a command's queueing stall behind a busy flash unit: bumps the
+/// device-wait counters and, when the stall is non-zero, emits a
+/// [`obs::Stage::DeviceWait`] span `[at, at + wait)` blamed on the actor
+/// whose work last held the unit (no blame when it was our own actor class
+/// — that is plain queueing, not interference). Returns the instant the
+/// command actually started service, so the caller's `DeviceIo` span can
+/// begin there and the two partition the original window exactly.
+fn record_wait(
+    inner: &mut Inner,
+    op: obs::OpClass,
+    zone: u32,
+    lba: Lba,
+    at: SimTime,
+    occ: sim::Occupied,
+) -> SimTime {
+    if occ.wait_ns == 0 {
+        return at;
+    }
+    inner.stats.device_wait_ns += occ.wait_ns;
+    let stalled_until = at + sim::SimDuration::from_nanos(occ.wait_ns);
+    if let Some(rec) = inner.recorder.as_ref() {
+        rec.add(obs::Counter::DeviceWaitNanos, occ.wait_ns);
+        let cur = obs::current_actor();
+        let prev = obs::Actor::from_u8(occ.prev_tag);
+        let blame = if prev == cur { obs::Actor::None } else { prev };
+        rec.record(obs::TraceEvent {
+            seq: 0,
+            op,
+            stage: obs::Stage::DeviceWait,
+            path: None,
+            device: inner.dev_id,
+            zone,
+            lba,
+            sectors: 0,
+            start: at,
+            end: stalled_until,
+            outcome: obs::Outcome::Success,
+            span: 0,
+            parent: obs::current_span(),
+            blame,
+        });
+    }
+    stalled_until
 }
 
 impl ZnsDevice {
@@ -399,7 +447,11 @@ impl ZnsDevice {
                 inner.zones[i].state = ZoneState::Closed;
                 inner.open_count -= 1;
                 inner.stats.implicit_closes += 1;
-                Ok(self.timing.occupy(at, self.config.latency().zone_mgmt))
+                let tag = obs::current_actor().as_u8();
+                Ok(self
+                    .timing
+                    .occupy_tagged(at, self.config.latency().zone_mgmt, tag)
+                    .done)
             }
             None => Err(ZnsError::TooManyOpenZones {
                 limit: self.config.max_open_zones(),
@@ -505,13 +557,22 @@ impl ZnsDevice {
             inner.active_count -= 1;
         }
 
+        let tag = obs::current_actor().as_u8();
         let start = issue + lat.command_overhead;
         let mut done = start;
         let mut remaining = sectors;
+        // Only the first chunk's stall is genuine queueing; later chunks
+        // issued at the same instant wait behind this command's own earlier
+        // chunks, which is pipelined service, not device wait.
+        let mut first: Option<sim::Occupied> = None;
         while remaining > 0 {
             let chunk = remaining.min(lat.chunk_sectors);
             let dur = lat.write_per_sector.saturating_mul(chunk);
-            done = done.max(self.timing.occupy_affine(zone as u64, start, dur));
+            let occ = self
+                .timing
+                .occupy_affine_tagged(zone as u64, start, dur, tag);
+            done = done.max(occ.done);
+            first.get_or_insert(occ);
             remaining -= chunk;
         }
         if flags.fua {
@@ -521,6 +582,10 @@ impl ZnsDevice {
         }
         inner.stats.writes += 1;
         inner.stats.sectors_written += sectors;
+        let served = match first {
+            Some(occ) => record_wait(&mut inner, opclass, zone, assigned, start, occ),
+            None => start,
+        };
         trace_span(
             &inner,
             opclass,
@@ -528,7 +593,7 @@ impl ZnsDevice {
             zone,
             assigned,
             sectors,
-            at,
+            served.min(done),
             done,
             obs::Outcome::Success,
         );
@@ -539,7 +604,11 @@ impl ZnsDevice {
     }
 
     fn mgmt_completion(&self, at: SimTime, dur: sim::SimDuration) -> SimTime {
-        self.timing.occupy(at, dur)
+        // Management commands stamp the unit with the ambient actor so a
+        // later foreground stall behind them is blamed on the right party.
+        self.timing
+            .occupy_tagged(at, dur, obs::current_actor().as_u8())
+            .done
     }
 
     /// Writes into the Zone Random Write Area (§5.4): `lba` may land
@@ -599,17 +668,26 @@ impl ZnsDevice {
             buf[off..off + data.len()].copy_from_slice(data);
         }
         let lat = self.config.latency().clone();
+        let tag = obs::current_actor().as_u8();
         let start = ready + lat.command_overhead;
         let mut done = start;
         let mut remaining = sectors;
+        let mut first: Option<sim::Occupied> = None;
         while remaining > 0 {
             let chunk = remaining.min(lat.chunk_sectors);
             let dur = lat.write_per_sector.saturating_mul(chunk);
-            done = done.max(self.timing.occupy_affine(zone as u64, start, dur));
+            let occ = self
+                .timing
+                .occupy_affine_tagged(zone as u64, start, dur, tag);
+            done = done.max(occ.done);
+            first.get_or_insert(occ);
             remaining -= chunk;
         }
         inner.stats.writes += 1;
         inner.stats.sectors_written += sectors;
+        if let Some(occ) = first {
+            record_wait(&mut inner, obs::OpClass::Write, zone, lba, start, occ);
+        }
         Ok(IoCompletion { done })
     }
 
@@ -710,17 +788,27 @@ impl ZonedVolume for ZnsDevice {
             }
         }
         let lat = self.config.latency().clone();
+        let tag = obs::current_actor().as_u8();
         let start = at + lat.command_overhead;
         let mut done = start;
         let mut remaining = sectors;
+        let mut first: Option<sim::Occupied> = None;
         while remaining > 0 {
             let chunk = remaining.min(lat.chunk_sectors);
             let dur = lat.read_per_sector.saturating_mul(chunk);
-            done = done.max(self.timing.occupy_affine(zone as u64, start, dur));
+            let occ = self
+                .timing
+                .occupy_affine_tagged(zone as u64, start, dur, tag);
+            done = done.max(occ.done);
+            first.get_or_insert(occ);
             remaining -= chunk;
         }
         inner.stats.reads += 1;
         inner.stats.sectors_read += sectors;
+        let served = match first {
+            Some(occ) => record_wait(&mut inner, obs::OpClass::Read, zone, lba, start, occ),
+            None => start,
+        };
         trace_span(
             &inner,
             obs::OpClass::Read,
@@ -728,7 +816,7 @@ impl ZonedVolume for ZnsDevice {
             zone,
             lba,
             sectors,
-            at,
+            served.min(done),
             done,
             obs::Outcome::Success,
         );
@@ -803,7 +891,17 @@ impl ZonedVolume for ZnsDevice {
         // (~3 ms on the ZN540-like profile), so foreground IO mapped to
         // the same flash parallelism units queues behind it.
         let dur = self.config.latency().reset;
-        let done = self.timing.occupy_affine(zone as u64, at, dur);
+        let tag = obs::current_actor().as_u8();
+        let occ = self.timing.occupy_affine_tagged(zone as u64, at, dur, tag);
+        let done = occ.done;
+        let served = record_wait(
+            &mut inner,
+            obs::OpClass::Reset,
+            zone,
+            geo.zone_start(zone),
+            at,
+            occ,
+        );
         trace_span(
             &inner,
             obs::OpClass::Reset,
@@ -811,7 +909,7 @@ impl ZonedVolume for ZnsDevice {
             zone,
             geo.zone_start(zone),
             0,
-            at,
+            served.min(done),
             done,
             obs::Outcome::Success,
         );
@@ -825,6 +923,8 @@ impl ZonedVolume for ZnsDevice {
         Self::check_alive(&inner)?;
         let state = inner.zones[zone as usize].state;
         let lat = self.config.latency().clone();
+        let tag = obs::current_actor().as_u8();
+        let mut first: Option<sim::Occupied> = None;
         let mut fill_done = at;
         match state {
             ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly { zone }),
@@ -849,18 +949,24 @@ impl ZonedVolume for ZnsDevice {
                     inner.stats.finish_fill_sectors += left;
                     while left > 0 {
                         let blk = left.min(lat.finish_block_sectors);
-                        fill_done = self.timing.occupy_affine(
+                        let occ = self.timing.occupy_affine_tagged(
                             zone as u64,
                             fill_done,
                             lat.write_per_sector.saturating_mul(blk),
+                            tag,
                         );
+                        fill_done = occ.done;
+                        first.get_or_insert(occ);
                         left -= blk;
                     }
                 }
             }
         }
         inner.stats.zone_finishes += 1;
-        let done = self.mgmt_completion(fill_done, lat.finish);
+        let occ = self.timing.occupy_tagged(fill_done, lat.finish, tag);
+        let done = occ.done;
+        let occ0 = *first.get_or_insert(occ);
+        let served = record_wait(&mut inner, obs::OpClass::Finish, zone, 0, at, occ0);
         trace_span(
             &inner,
             obs::OpClass::Finish,
@@ -868,7 +974,7 @@ impl ZonedVolume for ZnsDevice {
             zone,
             0,
             0,
-            at,
+            served.min(done),
             done,
             obs::Outcome::Success,
         );
@@ -1006,6 +1112,11 @@ impl obs::GaugeSource for ZnsDevice {
             "active_zones",
             d,
             inner.active_count as f64,
+        ));
+        out.push(obs::GaugeReading::new(
+            "device_wait_ns",
+            d,
+            inner.stats.device_wait_ns as f64,
         ));
         out.push(obs::GaugeReading::new(
             "injected_transients",

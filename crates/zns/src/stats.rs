@@ -26,6 +26,10 @@ pub struct DeviceStats {
     /// Padding sectors programmed by zone finishes over unwritten
     /// remainders (the ConfZNS++ fill-write cost; not host data).
     pub finish_fill_sectors: u64,
+    /// Virtual nanoseconds commands spent queued behind busy flash
+    /// parallelism units before their first byte of service (first-access
+    /// stall only; intra-command pipelining is service time, not wait).
+    pub device_wait_ns: u64,
     /// Transient command failures fired by the fault plan.
     pub injected_transients: u64,
     /// Latent-sector media errors surfaced to reads by the fault plan.

@@ -24,7 +24,8 @@ cargo test --release -q -p raizn --test concurrent_stress
 
 # Hot-path gates: XOR speedup >= 4x, 0 allocs/write with the full
 # observability plane attached (unsampled tracing + windows + gauge
-# timeline), observability overhead < 5% (the binary gates all three),
+# timeline + causal span tracing with rolling-p99 tail sampling),
+# observability overhead < 5% (the binary gates all three),
 # dual-parity (parity = 2) steady-state full-stripe writes also
 # allocation-free, and the write path stays 0-alloc with a
 # ZoneLifecycleManager attached and pumped per write.
@@ -51,6 +52,14 @@ cargo run --release -q -p raizn-bench --bin qos > /dev/null
 cargo run --release -q -p raizn-bench --bin report -- \
   --qos BENCH_qos.json > /dev/null
 
+# Blame-attribution gate over the qos run's span artifact: the
+# noisy-neighbor phases are queue-dominated by design (the scheduler is
+# the isolation mechanism), so queue-wait must carry the blame but never
+# the whole op — a dead tracer (all-zero segments) makes the share NaN
+# and fails the gate loudly.
+cargo run --release -q -p raizn-bench --bin report -- \
+  --explain BENCH_qos_spans.json --queue-share-max 98 > /dev/null
+
 # Zone-lifecycle gates: without management the zone spray must fall off
 # the open/active-budget cliff (post-peak trough <= 70% of the early
 # peak), while the background manager — pumping finishes/pre-opens/reset
@@ -65,6 +74,14 @@ cargo run --release -q -p raizn-bench --bin report -- \
   --lifecycle BENCH_ziggurat.json \
   --expect-decline BENCH_ziggurat_nomgr_timeline.json --decline-max 0.7 \
   --expect-flat BENCH_ziggurat_mgr_timeline.json --flat-min 0.65 > /dev/null
+
+# Interference-attribution gate: with the background manager pacing its
+# finish/reset batches through the QoS scheduler, lifecycle + rebuild
+# interference may claim at most 10% of foreground wall latency in the
+# ziggurat span artifact (zone-affine flash units make cross-actor
+# collisions rare; the gate catches any regression that couples them).
+cargo run --release -q -p raizn-bench --bin report -- \
+  --explain BENCH_ziggurat_spans.json --interference-max 10 > /dev/null
 
 # Dual-parity (RAIZN-2) gates: parity = 2 keeps >= 55% of single-parity
 # write throughput (theoretical data share is 75%), the two-device
