@@ -29,10 +29,14 @@
 //! stderr (no panics: CI distinguishes a failed gate from a crash).
 
 use bench::{gate, BenchError};
+use lsraid::{DirectSink, GcConfig, GcManager, LsConfig, LsVolume};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::{SimRng, SimTime};
 use std::sync::Arc;
-use zns::{CrashPolicy, WriteFlags, ZnsConfig, ZnsDevice, ZoneState, ZonedVolume, SECTOR_SIZE};
+use zns::{
+    CrashPolicy, LatencyConfig, WriteFlags, ZnsConfig, ZnsDevice, ZoneState, ZonedVolume,
+    SECTOR_SIZE,
+};
 
 const T0: SimTime = SimTime::ZERO;
 const DEVICES: usize = 5;
@@ -349,6 +353,298 @@ fn run_lifecycle_point(
     Ok(())
 }
 
+// ----------------------------------------------------------------------
+// Log-structured engine (lsraid) sweep
+// ----------------------------------------------------------------------
+
+/// Which scripted lsraid workload a crash point interrupts.
+#[derive(Clone, Copy, PartialEq)]
+enum LsScenario {
+    /// Crash mid stripe-group seal: the last full stripe is sealed (its
+    /// summary record is durable) but its data and parity writes are
+    /// still cached, plus an in-memory partial-stripe tail.
+    Seal,
+    /// Crash mid GC migration: a victim is acquired and fully read, the
+    /// migrated copies sit in cached cold-stream writes, and the victim
+    /// group has not been reclaimed.
+    GcMigration,
+    /// Crash right after a GC reclaim: the group-free record is durable
+    /// and the victim's zones were reset.
+    GcReclaim,
+}
+
+fn ls_devices() -> Vec<Arc<ZnsDevice>> {
+    let config = ZnsConfig::builder()
+        .zones(16, 64, 64)
+        .open_limits(8, 12)
+        .latency(LatencyConfig::instant())
+        .build();
+    (0..DEVICES)
+        .map(|i| {
+            let dev = Arc::new(ZnsDevice::new(config.clone()));
+            dev.set_recorder(bench::recorder(), i as u32);
+            dev
+        })
+        .collect()
+}
+
+/// Scripted seal workload over five logical zones: flushed prefixes, a
+/// FUA barrier, a logged zone reset, a zone finish, then a cached tail
+/// that seals one full stripe (durable summary, cached data + parity)
+/// and leaves a partial stripe in memory.
+fn ls_seal_workload(v: &LsVolume) -> bench::BenchResult<Vec<ZoneModel>> {
+    let geo = v.geometry();
+    let z = |zone: u32| geo.zone_start(zone);
+
+    let a0 = bytes(40, 0x1A0);
+    let a1 = bytes(20, 0x1A1);
+    let b0 = bytes(64, 0x1B0);
+    let c0 = bytes(24, 0x1C0);
+    let c1 = bytes(10, 0x1C1);
+    let d0 = bytes(64, 0x1D0);
+    let e0 = bytes(64, 0x1E0);
+
+    // Durable phase.
+    v.write(T0, z(0), &a0, WriteFlags::default())?;
+    v.flush(T0)?;
+    v.write(T0, z(1), &b0, WriteFlags::FUA)?;
+    v.write(T0, z(2), &c0, WriteFlags::default())?;
+    v.flush(T0)?;
+    v.reset_zone(T0, 2)?;
+    v.write(T0, z(2), &c1, WriteFlags::default())?;
+    v.flush(T0)?;
+    v.write(T0, z(3), &d0, WriteFlags::default())?;
+    v.flush(T0)?;
+    v.finish_zone(T0, 3)?;
+
+    // Cached tail: 20 + 64 sectors fill one 64-sector stripe (sealed,
+    // summary durable, data cached) and leave 20 in the stripe buffer.
+    v.write(T0, z(0) + 40, &a1, WriteFlags::default())?;
+    v.write(T0, z(4), &e0, WriteFlags::default())?;
+
+    Ok(vec![
+        ZoneModel {
+            data: [a0, a1].concat(),
+            durable: 40,
+        },
+        ZoneModel {
+            data: b0,
+            durable: 64,
+        },
+        ZoneModel {
+            data: c1,
+            durable: 10,
+        },
+        ZoneModel {
+            data: d0,
+            durable: 64,
+        },
+        ZoneModel {
+            data: e0,
+            durable: 0,
+        },
+    ])
+}
+
+/// Fills eight zones, overwrites enough of them to create a high-garbage
+/// sealed group, flushes (so every logical sector is durable), then runs
+/// GC up to the scenario's interruption point. The crash must never lose
+/// a byte: the reclaim ordering keeps old copies mapped until migrated
+/// ones are durable.
+fn ls_gc_workload(v: &Arc<LsVolume>, scenario: LsScenario) -> bench::BenchResult<Vec<ZoneModel>> {
+    let geo = v.geometry();
+    let cap = geo.zone_cap();
+    let mut models = Vec::new();
+    for zi in 0..8u32 {
+        let data = bytes(cap, 0x200 + u64::from(zi));
+        v.write(T0, geo.zone_start(zi), &data, WriteFlags::default())?;
+        models.push(ZoneModel { data, durable: cap });
+    }
+    v.flush(T0)?;
+    // Overwrites: zones 0 and 1 fully, zone 2 half — the first sealed
+    // group (zones 0..3) is now 5/8 garbage and the preferred victim.
+    for zi in 0..2u32 {
+        let data = bytes(cap, 0x300 + u64::from(zi));
+        v.write(T0, geo.zone_start(zi), &data, WriteFlags::default())?;
+        models[zi as usize].data = data;
+    }
+    let half = bytes(cap / 2, 0x380);
+    v.write(T0, geo.zone_start(2), &half, WriteFlags::default())?;
+    models[2].data[..half.len()].copy_from_slice(&half);
+    v.flush(T0)?;
+
+    let budget = if scenario == LsScenario::GcMigration {
+        // Just enough to seal one cold stripe (cached) and stop with the
+        // victim still acquired and unreclaimed.
+        96
+    } else {
+        1 << 20
+    };
+    let mut mgr = GcManager::new(
+        v.clone(),
+        // Watermarks above the pool size keep the collector at full
+        // pressure, so every pump migrates regardless of free headroom.
+        GcConfig {
+            budget_sectors: budget,
+            low_water: 64,
+            threshold_water: 65,
+            high_water: 65,
+            ..GcConfig::default()
+        },
+    );
+    let mut sink = DirectSink::new(v);
+    mgr.pump(T0, &mut sink)?;
+    if scenario == LsScenario::GcMigration {
+        gate!(
+            mgr.active(),
+            "gc workload: migration completed instead of stopping mid-flight"
+        );
+        gate!(
+            mgr.migrated_sectors() >= 64,
+            "gc workload: budget sealed no cold stripe ({} sectors)",
+            mgr.migrated_sectors()
+        );
+    } else {
+        while mgr.active() || mgr.reclaimed_groups() == 0 {
+            let before = mgr.reclaimed_groups();
+            mgr.pump(T0, &mut sink)?;
+            gate!(
+                mgr.reclaimed_groups() > before || mgr.active(),
+                "gc workload: pump made no progress toward a reclaim"
+            );
+        }
+    }
+    Ok(models)
+}
+
+fn ls_verify(v: &LsVolume, models: &[ZoneModel], point: &str) -> bench::BenchResult {
+    let geo = v.geometry();
+    for (zi, m) in models.iter().enumerate() {
+        let info = v.zone_info(zi as u32)?;
+        let wp = info.write_pointer - info.start;
+        gate!(
+            wp >= m.durable,
+            "{point}: lsraid zone {zi} lost durable data (wp {wp} < durable {})",
+            m.durable
+        );
+        gate!(
+            wp <= m.written(),
+            "{point}: lsraid zone {zi} invented data (wp {wp} > written {})",
+            m.written()
+        );
+        if wp > 0 {
+            let mut out = vec![0u8; (wp * SECTOR_SIZE) as usize];
+            v.read(T0, geo.zone_start(zi as u32), &mut out)
+                .map_err(|e| {
+                    BenchError::Gate(format!("{point}: lsraid zone {zi} read failed: {e}"))
+                })?;
+            gate!(
+                out[..] == m.data[..out.len()],
+                "{point}: lsraid zone {zi} recovered data is not the written prefix (wp {wp})"
+            );
+        }
+    }
+    let rep = v
+        .scrub(T0)
+        .map_err(|e| BenchError::Gate(format!("{point}: lsraid scrub failed: {e}")))?;
+    gate!(
+        rep.parity_errors == 0 && rep.q_errors == 0,
+        "{point}: lsraid scrub found damage after recovery: {rep:?}"
+    );
+    Ok(())
+}
+
+/// Runs one lsraid scenario on fresh devices, crashes each device with
+/// `policy_for(device)`, remounts and verifies the recovery invariants.
+fn run_ls_point(
+    point: &str,
+    scenario: LsScenario,
+    mut policy_for: impl FnMut(usize) -> CrashPolicy,
+) -> bench::BenchResult {
+    let devs = ls_devices();
+    let v = Arc::new(LsVolume::format(devs.clone(), LsConfig::default(), T0)?);
+    let models = match scenario {
+        LsScenario::Seal => ls_seal_workload(&v)?,
+        _ => ls_gc_workload(&v, scenario)?,
+    };
+    drop(v);
+    for (i, dev) in devs.iter().enumerate() {
+        let mut p = policy_for(i);
+        dev.crash(&mut p);
+    }
+    let v = LsVolume::mount(devs, LsConfig::default(), T0)
+        .map_err(|e| BenchError::Gate(format!("{point}: lsraid mount failed: {e}")))?;
+    ls_verify(&v, &models, point)
+}
+
+/// Enumerates every surviving crash point of a scenario (each device
+/// zone pinned to each write pointer between its durable prefix and its
+/// written tail), sweeps both pin modes plus the two global extremes,
+/// and finishes with seeded whole-array random crashes.
+fn ls_sweep(name: &str, scenario: LsScenario, seed: u64) -> bench::BenchResult<usize> {
+    let devs = ls_devices();
+    let v = Arc::new(LsVolume::format(devs.clone(), LsConfig::default(), T0)?);
+    let models = match scenario {
+        LsScenario::Seal => ls_seal_workload(&v)?,
+        _ => ls_gc_workload(&v, scenario)?,
+    };
+    ls_verify(&v, &models, &format!("lsraid {name} baseline"))?;
+    drop(v);
+    let num_zones = devs[0].geometry().num_zones();
+    let mut points: Vec<(usize, u32, u64)> = Vec::new();
+    for (d, dev) in devs.iter().enumerate() {
+        for zone in 0..num_zones {
+            let durable = dev.durable_wp(zone);
+            let info = dev.zone_info(zone)?;
+            let wp = info.write_pointer - info.start;
+            for s in durable..wp {
+                points.push((d, zone, s));
+            }
+        }
+    }
+
+    run_ls_point(&format!("lsraid {name} keep-cache"), scenario, |_| {
+        CrashPolicy::KeepCache
+    })?;
+    run_ls_point(&format!("lsraid {name} lose-cache"), scenario, |_| {
+        CrashPolicy::LoseCache
+    })?;
+    for (d, zone, s) in &points {
+        run_ls_point(
+            &format!("lsraid {name} pin dev {d} zone {zone} survivor {s}"),
+            scenario,
+            |i| {
+                if i == *d {
+                    CrashPolicy::pin_zone(*zone, *s)
+                } else {
+                    CrashPolicy::KeepCache
+                }
+            },
+        )?;
+        run_ls_point(
+            &format!("lsraid {name} pin+lose dev {d} zone {zone} survivor {s}"),
+            scenario,
+            |i| {
+                if i == *d {
+                    CrashPolicy::pin_zone_lose_rest(*zone, *s)
+                } else {
+                    CrashPolicy::LoseCache
+                }
+            },
+        )?;
+    }
+    for trial in 0..LS_RANDOM_TRIALS {
+        run_ls_point(
+            &format!("lsraid {name} random trial {trial}"),
+            scenario,
+            |i| CrashPolicy::Random(SimRng::new_stream(seed, trial * DEVICES as u64 + i as u64)),
+        )?;
+    }
+    Ok(points.len())
+}
+
+const LS_RANDOM_TRIALS: u64 = 16;
+
 fn main() -> bench::BenchResult {
     let mut seed = 42u64;
     let mut raid6 = false;
@@ -477,6 +773,23 @@ fn main() -> bench::BenchResult {
         points.len(),
         lifecycle_points,
         RANDOM_TRIALS
+    );
+
+    // Log-structured engine: the same exhaustive pin sweep over a
+    // stripe-group seal, a mid-flight GC migration, and a completed GC
+    // reclaim (the two extremes and random trials cover the latter's
+    // all-durable state; it enumerates no cached points).
+    let seal_points = ls_sweep("seal", LsScenario::Seal, seed)?;
+    let gc_points = ls_sweep(
+        "gc-migration",
+        LsScenario::GcMigration,
+        seed.wrapping_add(1),
+    )?;
+    let reclaim_points = ls_sweep("gc-reclaim", LsScenario::GcReclaim, seed.wrapping_add(2))?;
+    println!(
+        "crash sweep [lsraid]: PASS (seal {seal_points} + gc-migration {gc_points} + \
+         gc-reclaim {reclaim_points} points x 2 modes, 2 extremes and {LS_RANDOM_TRIALS} \
+         random trials each)"
     );
 
     bench::write_breakdown("crash_sweep")

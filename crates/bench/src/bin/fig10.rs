@@ -2,7 +2,10 @@
 //! concurrently fill the array (20% regions each). Phase 2: one thread
 //! sequentially overwrites the whole address space. mdraid collapses when
 //! the conventional SSDs exhaust spare blocks and garbage-collect; RAIZN
-//! stays flat because ZNS devices have no device-side GC.
+//! stays flat because ZNS devices have no device-side GC. The
+//! log-structured engine also stays flat: the sequential overwrite
+//! invalidates whole stripe groups in log order, so reclaim never has to
+//! migrate data.
 //!
 //! Each system emits a `BENCH_fig10_<system>_timeline.json` artifact
 //! covering the overwrite phase (the phase the paper plots): per-window
@@ -10,6 +13,7 @@
 //! `report` binary renders and gates them (`scripts/check.sh`).
 
 use bench::{print_table, TimelineRun};
+use lsraid::LsConfig;
 use sim::SimDuration;
 use workloads::{BlockTarget, Engine, IoTarget, JobSpec, OpKind, Pattern, ZonedTarget};
 
@@ -89,6 +93,11 @@ fn main() -> bench::BenchResult {
     let rt = ZonedTarget::new(raizn);
     let mut rows = run_overwrite(&rt, "raizn", &rz_capture)?;
 
+    let ls_capture = TimelineRun::new("fig10_lsraid");
+    let ls = ls_capture.lsraid_volume(ZONES, ZONE_SECTORS, LsConfig::default())?;
+    let lt = ZonedTarget::overwriting(ls);
+    rows.extend(run_overwrite(&lt, "lsraid", &ls_capture)?);
+
     let md_capture = TimelineRun::new("fig10_mdraid");
     let md = md_capture.mdraid_volume(ZONES as u64 * ZONE_SECTORS, 16)?;
     let mt = BlockTarget::new(md.clone());
@@ -117,7 +126,7 @@ fn main() -> bench::BenchResult {
             Ok(sim::Summary::from_values(&tputs).median())
         };
     let mut summary = Vec::new();
-    for system in ["raizn", "mdraid"] {
+    for system in ["raizn", "lsraid", "mdraid"] {
         let fill = median_tput(&rows, system, "fill")?;
         let over = median_tput(&rows, system, "overwrite")?;
         summary.push(vec![
@@ -136,8 +145,10 @@ fn main() -> bench::BenchResult {
     // Timelines were already written at the end of each overwrite phase;
     // fold the captures' aggregates into the shared breakdown.
     rz_capture.reset_capture();
+    ls_capture.reset_capture();
     md_capture.reset_capture();
     println!("timeline -> BENCH_fig10_raizn_timeline.json");
+    println!("timeline -> BENCH_fig10_lsraid_timeline.json");
     println!("timeline -> BENCH_fig10_mdraid_timeline.json");
     bench::write_breakdown("fig10")
 }

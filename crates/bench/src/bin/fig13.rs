@@ -1,9 +1,13 @@
 //! Figure 13: RocksDB-style db_bench workloads (fillseq, fillrandom,
 //! overwrite, readwhilewriting) at 4000- and 8000-byte values, on
-//! zkv-over-RAIZN vs zkv-over-mdraid (via the F2FS-like zone shim).
+//! zkv-over-RAIZN vs zkv-over-lsraid vs zkv-over-mdraid (via the
+//! F2FS-like zone shim). The log-structured engine serves zkv's zone
+//! writes from its append-only stripe log, so the store's own zone
+//! resets become whole-group unmaps.
 
-use bench::{conv_devices, print_table, raizn_volume, TimelineRun};
+use bench::{conv_devices, lsraid_volume, print_table, raizn_volume, TimelineRun};
 use ftl::BlockDevice;
+use lsraid::LsConfig;
 use mdraid5::{Md5Config, Md5Volume, ZonedBlockShim};
 use sim::SimTime;
 use std::sync::Arc;
@@ -86,6 +90,11 @@ fn main() -> bench::BenchResult {
         if flagship {
             capture_end = rz_end;
         }
+        let (lsr, _) = run_suite(
+            |_| lsraid_volume(ZONES, ZONE_SECTORS, LsConfig::default()),
+            value_size,
+            None,
+        )?;
         let (mdraid, _) = run_suite(
             |_| {
                 // The stripe cache is scaled with the dataset: the paper's
@@ -111,16 +120,19 @@ fn main() -> bench::BenchResult {
         )?;
         let rows: Vec<Vec<String>> = raizn
             .iter()
+            .zip(lsr.iter())
             .zip(mdraid.iter())
-            .map(|(r, m)| {
+            .map(|((r, l), m)| {
                 vec![
                     r.0.clone(),
                     format!("{:.0}", m.1),
                     format!("{:.0}", r.1),
+                    format!("{:.0}", l.1),
                     format!("{:.2}", r.1 / m.1),
+                    format!("{:.2}", l.1 / m.1),
                     format!("{:.0}", m.2),
                     format!("{:.0}", r.2),
-                    format!("{:.2}", r.2 / m.2),
+                    format!("{:.0}", l.2),
                 ]
             })
             .collect();
@@ -130,10 +142,12 @@ fn main() -> bench::BenchResult {
                 "workload",
                 "md ops/s",
                 "rz ops/s",
-                "tput ratio",
+                "ls ops/s",
+                "rz/md",
+                "ls/md",
                 "md p99 (us)",
                 "rz p99 (us)",
-                "p99 ratio",
+                "ls p99 (us)",
             ],
             &rows,
         );

@@ -23,6 +23,11 @@
 //!   accumulator and second pp-log leg share the parity pools, so the
 //!   full-stripe count gates at 0 as well (`raizn2_write_mib_s` reports
 //!   its throughput).
+//! - `allocs_per_lsraid_write` / `lsraid_waf_gc_idle`: the
+//!   log-structured engine's steady state — heap allocations per
+//!   stripe-aligned append with full observability attached (gate: 0)
+//!   and the WAF its stats report while the collector is idle (gate:
+//!   exactly 1.0; `lsraid_write_mib_s` reports its throughput).
 //! - `allocs_per_qos_op`: heap allocations per op submitted through and
 //!   dispatched by the `qos` scheduler (coalescer on, recorder attached)
 //!   after warm-up (gate: 0 — pooled payload buffers, preallocated
@@ -49,6 +54,8 @@
 //! digests and gauge series captured while the gate ran).
 
 use bench::gate;
+use bench::lsgc::phase_waf;
+use lsraid::{LsConfig, LsVolume};
 use qos::{QosConfig, QosScheduler, TenantSpec};
 use raizn::{LifecycleConfig, RaiznConfig, RaiznVolume, ZoneLifecycleManager};
 use sim::SimTime;
@@ -140,11 +147,41 @@ fn fresh_volume(
     Ok(vol)
 }
 
+/// Builds a fresh 5-device log-structured volume with the full
+/// observability plane attached (unsampled, like `fresh_volume`).
+fn fresh_ls_volume(
+    rec: &Arc<obs::Recorder>,
+    tl: &Arc<obs::Timeline>,
+) -> bench::BenchResult<Arc<LsVolume>> {
+    let devices: Vec<Arc<ZnsDevice>> = (0..5)
+        .map(|i| {
+            let dev = Arc::new(ZnsDevice::new(
+                ZnsConfig::builder()
+                    .zones(32, 4096, 4096)
+                    .open_limits(14, 28)
+                    .store_data(false)
+                    .build(),
+            ));
+            dev.set_recorder(rec.clone(), i as u32);
+            tl.register(dev.clone());
+            dev
+        })
+        .collect();
+    let vol = Arc::new(LsVolume::format(
+        devices,
+        LsConfig::default(),
+        SimTime::ZERO,
+    )?);
+    vol.set_recorder(rec.clone());
+    tl.register(vol.clone());
+    Ok(vol)
+}
+
 /// Issues `iters` contiguous writes of `data` starting at `*lba`,
 /// returning (ns per write, heap allocations observed). When `timeline`
 /// is given it is polled once per write, like the workload engine does.
 fn write_round(
-    vol: &RaiznVolume,
+    vol: &dyn ZonedVolume,
     lba: &mut u64,
     data: &[u8],
     iters: u64,
@@ -268,8 +305,8 @@ fn main() -> bench::BenchResult {
     // Warm-up: fill a few stripes so the buffer pools and metadata
     // scratch on both volumes reach their steady-state capacities (the
     // timeline takes its one due sample here, outside the timed rounds).
-    write_round(&untraced, &mut lba_u, &data, 8, None)?;
-    write_round(&traced, &mut lba_t, &data, 8, Some(&timeline))?;
+    write_round(untraced.as_ref(), &mut lba_u, &data, 8, None)?;
+    write_round(traced.as_ref(), &mut lba_t, &data, 8, Some(&timeline))?;
 
     const ROUNDS: usize = 3;
     let full_iters = 64u64;
@@ -277,8 +314,14 @@ fn main() -> bench::BenchResult {
     let mut traced_ns = f64::INFINITY;
     let mut full_allocs = 0u64;
     for _ in 0..ROUNDS {
-        let (nu, au) = write_round(&untraced, &mut lba_u, &data, full_iters, None)?;
-        let (nt, at) = write_round(&traced, &mut lba_t, &data, full_iters, Some(&timeline))?;
+        let (nu, au) = write_round(untraced.as_ref(), &mut lba_u, &data, full_iters, None)?;
+        let (nt, at) = write_round(
+            traced.as_ref(),
+            &mut lba_t,
+            &data,
+            full_iters,
+            Some(&timeline),
+        )?;
         gate!(au == 0, "untraced steady-state writes allocate: {au}");
         untraced_ns = untraced_ns.min(nu);
         traced_ns = traced_ns.min(nt);
@@ -291,8 +334,9 @@ fn main() -> bench::BenchResult {
     // --- Write path: 4 KiB partial-stripe writes (pp-log path) ----------
     // Warm up within the same open zone, then measure (tracing enabled).
     let four_k = &data[..4096];
-    write_round(&traced, &mut lba_t, four_k, 8, Some(&timeline))?;
-    let (_, partial_allocs) = write_round(&traced, &mut lba_t, four_k, 64, Some(&timeline))?;
+    write_round(traced.as_ref(), &mut lba_t, four_k, 8, Some(&timeline))?;
+    let (_, partial_allocs) =
+        write_round(traced.as_ref(), &mut lba_t, four_k, 64, Some(&timeline))?;
     let allocs_per_partial = partial_allocs as f64 / 64.0;
 
     // --- Write path: dual parity (RAIZN-2) steady state ------------------
@@ -304,13 +348,35 @@ fn main() -> bench::BenchResult {
     let r2_stripe_sectors = 48u64; // 3 data units x 16 sectors
     let r2_data = &data[..(r2_stripe_sectors * 4096) as usize];
     let mut lba2 = 0u64;
-    write_round(&raizn2, &mut lba2, r2_data, 8, Some(&timeline))?;
-    let (r2_ns, r2_full_allocs) = write_round(&raizn2, &mut lba2, r2_data, 64, Some(&timeline))?;
+    write_round(raizn2.as_ref(), &mut lba2, r2_data, 8, Some(&timeline))?;
+    let (r2_ns, r2_full_allocs) =
+        write_round(raizn2.as_ref(), &mut lba2, r2_data, 64, Some(&timeline))?;
     let allocs_per_full_p2 = r2_full_allocs as f64 / 64.0;
-    write_round(&raizn2, &mut lba2, four_k, 8, Some(&timeline))?;
-    let (_, r2_partial_allocs) = write_round(&raizn2, &mut lba2, four_k, 64, Some(&timeline))?;
+    write_round(raizn2.as_ref(), &mut lba2, four_k, 8, Some(&timeline))?;
+    let (_, r2_partial_allocs) =
+        write_round(raizn2.as_ref(), &mut lba2, four_k, 64, Some(&timeline))?;
     let allocs_per_partial_p2 = r2_partial_allocs as f64 / 64.0;
     let raizn2_mib_s = (r2_stripe_sectors * 4096) as f64 / (1024.0 * 1024.0) / (r2_ns / 1e9);
+
+    // --- Log-structured engine: steady-state append writes --------------
+    // The lsraid log write path holds the same budget with the full
+    // observability plane attached: the flat mapping table, the pooled
+    // stripe accumulators and the per-group metadata are preallocated,
+    // so appends into an open stripe group never touch the heap. The
+    // engine's reported WAF must be exactly 1.0 while its collector is
+    // idle: stripe-aligned appends produce no pads and no migrations,
+    // and the stats must not invent amplification where none happened.
+    let lsr = fresh_ls_volume(&recorder, &timeline)?;
+    let mut lba_l = 0u64;
+    write_round(lsr.as_ref(), &mut lba_l, &data, 8, Some(&timeline))?;
+    let ls_pre = lsr.stats();
+    let ls_iters = 100u64;
+    let (ls_ns, ls_allocs) =
+        write_round(lsr.as_ref(), &mut lba_l, &data, ls_iters, Some(&timeline))?;
+    let ls_post = lsr.stats();
+    let allocs_per_ls = ls_allocs as f64 / ls_iters as f64;
+    let ls_waf = phase_waf(&ls_pre, &ls_post);
+    let lsraid_mib_s = stripe_bytes as f64 / (1024.0 * 1024.0) / (ls_ns / 1e9);
 
     // --- Lifecycle manager: steady-state pumps on the write path --------
     // A ZoneLifecycleManager attached to the traced volume and pumped
@@ -450,7 +516,7 @@ fn main() -> bench::BenchResult {
 
     let reused = traced.stats().stripe_buffers_reused;
     let json = format!(
-        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"raizn2_write_mib_s\": {raizn2_mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_full_stripe_write_p2\": {allocs_per_full_p2},\n  \"allocs_per_partial_write_p2\": {allocs_per_partial_p2},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"allocs_per_write_managed\": {allocs_per_managed},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2},\n  \"scaling\": {scaling_json}\n}}\n"
+        "{{\n  \"xor_scalar_ns_per_op\": {scalar_ns:.1},\n  \"xor_word_ns_per_op\": {word_ns:.1},\n  \"xor_speedup\": {speedup:.2},\n  \"write_path_mib_s\": {mib_s:.1},\n  \"raizn2_write_mib_s\": {raizn2_mib_s:.1},\n  \"lsraid_write_mib_s\": {lsraid_mib_s:.1},\n  \"allocs_per_full_stripe_write\": {allocs_per_full},\n  \"allocs_per_partial_write\": {allocs_per_partial},\n  \"allocs_per_full_stripe_write_p2\": {allocs_per_full_p2},\n  \"allocs_per_partial_write_p2\": {allocs_per_partial_p2},\n  \"allocs_per_lsraid_write\": {allocs_per_ls},\n  \"lsraid_waf_gc_idle\": {ls_waf},\n  \"allocs_per_qos_op\": {allocs_per_qos},\n  \"allocs_per_write_managed\": {allocs_per_managed},\n  \"stripe_buffers_reused\": {reused},\n  \"trace_overhead_pct\": {overhead_pct:.2},\n  \"scaling\": {scaling_json}\n}}\n"
     );
     std::fs::write("BENCH_hotpath.json", &json)?;
     print!("{json}");
@@ -476,6 +542,14 @@ fn main() -> bench::BenchResult {
     gate!(
         allocs_per_full_p2 == 0.0,
         "dual-parity steady-state full-stripe writes allocate: {allocs_per_full_p2} allocs/write"
+    );
+    gate!(
+        allocs_per_ls == 0.0,
+        "lsraid steady-state log writes allocate: {allocs_per_ls} allocs/write"
+    );
+    gate!(
+        ls_waf == 1.0,
+        "lsraid reports WAF {ls_waf} with its collector idle (must be exactly 1.0)"
     );
     gate!(
         overhead_pct < 5.0,

@@ -32,19 +32,26 @@
 //!                         early peak must be <= R (default 0.70)
 //!   --lifecycle-flat R    managed-run flat floor: min/max over active
 //!                         windows must be >= R (default 0.90)
+//!   --lsgc FILE           render a BENCH_lsgc.json artifact (log-structured
+//!                         RAID under sustained overwrite GC pressure) and
+//!                         gate its WAF / pp-log / band-vs-cliff SLOs
+//!   --waf-max R           lsgc write-amplification ceiling: measured-phase
+//!                         WAF must be <= R (default 1.5)
 //!   --explain FILE        render a BENCH_*_spans.json artifact (causal
 //!                         blame trees): per-tenant critical-path blame
 //!                         table plus ASCII waterfalls of the captured
 //!                         slowest ops
-//!   --interference-max P  gate every --explain file: lifecycle + rebuild
-//!                         interference share of attributed time must be
-//!                         <= P percent (0 = off)
+//!   --interference-max P  gate every --explain file: lifecycle, rebuild
+//!                         and GC interference share of attributed time
+//!                         must be <= P percent (0 = off)
 //!   --queue-share-max P   gate every --explain file: queue-wait share of
 //!                         attributed time must be <= P percent (0 = off)
-//!   --diff A B            compare two artifacts that carry a per-stage
-//!                         map (breakdown `stages` or timeline
-//!                         `whole_run.stages`): per-stage p99 deltas and,
-//!                         for timelines, the throughput delta
+//!   --diff A B            compare two artifacts: per-stage p99 deltas
+//!                         from a breakdown `stages` or timeline
+//!                         `whole_run.stages` map (plus the throughput
+//!                         delta for timelines), or per-tenant blame-row
+//!                         deltas (mean ns/op per category) when both
+//!                         sides are spans artifacts
 //!   --regress-max P       gate every --diff pair: worst per-stage p99
 //!                         growth and throughput drop must be <= P
 //!                         percent (0 = off)
@@ -61,6 +68,7 @@
 
 use bench::json::Json;
 use bench::BenchError;
+use obs::BLAME_CATEGORIES;
 
 const BAR_WIDTH: usize = 40;
 const MAX_ROWS: usize = 50;
@@ -295,6 +303,68 @@ fn load_qos(path: &str) -> bench::BenchResult<QosRun> {
     })
 }
 
+struct LsgcRun {
+    path: String,
+    flat_ratio: f64,
+    cliff_ratio: f64,
+    waf: f64,
+    pp_log_writes: u64,
+    group_reclaims: u64,
+    emergency_reclaims: u64,
+    migrated_sectors: u64,
+}
+
+/// Parses a `kind: "lsgc"` summary document (see the `lsgc` binary).
+fn lsgc_from_doc(doc: &Json, path: &str) -> bench::BenchResult<LsgcRun> {
+    if req(doc, "kind", path)?.as_str() != Some("lsgc") {
+        return Err(BenchError::Gate(format!("{path}: not an lsgc artifact")));
+    }
+    let ls = req(doc, "lsraid", path)?;
+    let md = req(doc, "mdraid", path)?;
+    let f64_of = |v: &Json, key: &str| -> bench::BenchResult<f64> {
+        req(v, key, path)?
+            .as_f64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not a number")))
+    };
+    let u64_of = |v: &Json, key: &str| -> bench::BenchResult<u64> {
+        req(v, key, path)?
+            .as_u64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: {key} is not an integer")))
+    };
+    Ok(LsgcRun {
+        path: path.to_string(),
+        flat_ratio: f64_of(ls, "flat_ratio")?,
+        cliff_ratio: f64_of(md, "cliff_ratio")?,
+        waf: f64_of(ls, "waf")?,
+        pp_log_writes: u64_of(ls, "pp_log_writes")?,
+        group_reclaims: u64_of(ls, "group_reclaims")?,
+        emergency_reclaims: u64_of(ls, "emergency_reclaims")?,
+        migrated_sectors: u64_of(ls, "migrated_sectors")?,
+    })
+}
+
+fn load_lsgc(path: &str) -> bench::BenchResult<LsgcRun> {
+    let text = std::fs::read_to_string(path)?;
+    let doc =
+        Json::parse(&text).map_err(|e| BenchError::Gate(format!("{path}: invalid JSON: {e}")))?;
+    lsgc_from_doc(&doc, path)
+}
+
+fn render_lsgc(g: &LsgcRun) {
+    println!("\n## lsgc ({})", g.path);
+    println!(
+        "   lsraid: band {:.3}, WAF {:.3}, {} reclaims ({} emergency), \
+         {} sectors migrated, {} pp-log writes",
+        g.flat_ratio,
+        g.waf,
+        g.group_reclaims,
+        g.emergency_reclaims,
+        g.migrated_sectors,
+        g.pp_log_writes,
+    );
+    println!("   mdraid: cliff {:.3}", g.cliff_ratio);
+}
+
 struct LifecycleRun {
     path: String,
     cliff_ratio: f64,
@@ -442,21 +512,6 @@ fn lifecycle_slos(
         ),
     ]
 }
-
-/// Blame categories, mirroring `obs`'s span critical-path partition (the
-/// span artifact's `segments` objects key each category as `<name>_ns`).
-const BLAME_CATEGORIES: [&str; 10] = [
-    "queue",
-    "lock",
-    "device_wait",
-    "device_service",
-    "xor_gf",
-    "meta",
-    "flush",
-    "interference_lifecycle",
-    "interference_rebuild",
-    "other",
-];
 
 const WATERFALL_WIDTH: usize = 44;
 const WATERFALL_MAX_LINES: usize = 24;
@@ -689,7 +744,8 @@ fn render_spans(s: &SpanRun) {
 /// timeline).
 struct DiffSide {
     path: String,
-    /// `(stage, p99_ns)`, in the artifact's (sorted) key order.
+    /// `(stage, p99_ns)` in the artifact's (sorted) key order — or, for
+    /// a spans artifact, `(tenant:category, mean ns/op)` blame rows.
     stages: Vec<(String, u64)>,
     /// Mean active-window throughput when the artifact is a timeline.
     tput_mib_s: Option<f64>,
@@ -699,6 +755,9 @@ fn load_diff(path: &str) -> bench::BenchResult<DiffSide> {
     let text = std::fs::read_to_string(path)?;
     let doc =
         Json::parse(&text).map_err(|e| BenchError::Gate(format!("{path}: invalid JSON: {e}")))?;
+    if doc.get("kind").and_then(Json::as_str) == Some("spans") {
+        return spans_diff_side(&doc, path);
+    }
     let stage_map = doc
         .get("stages")
         .or_else(|| doc.get("whole_run").and_then(|w| w.get("stages")))
@@ -730,6 +789,38 @@ fn load_diff(path: &str) -> bench::BenchResult<DiffSide> {
         path: path.to_string(),
         stages,
         tput_mib_s,
+    })
+}
+
+/// Diffs a spans artifact by its blame table: every (tenant, category)
+/// pair with attributed time becomes a comparable entry valued at its
+/// mean per-op nanoseconds (per-op so runs of different length compare),
+/// which puts GC-interference regressions under the same worst-growth
+/// gate as stage p99s.
+fn spans_diff_side(doc: &Json, path: &str) -> bench::BenchResult<DiffSide> {
+    let mut stages = Vec::new();
+    for row in req(doc, "blame", path)?.as_arr().unwrap_or(&[]) {
+        let tenant = req(row, "tenant", path)?
+            .as_str()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: blame tenant is not a string")))?
+            .to_string();
+        let count = req(row, "count", path)?
+            .as_u64()
+            .ok_or_else(|| BenchError::Gate(format!("{path}: blame count is not an integer")))?;
+        if count == 0 {
+            continue;
+        }
+        let segments = segments_of(row, path)?;
+        for (k, name) in BLAME_CATEGORIES.iter().enumerate() {
+            if segments[k] > 0 {
+                stages.push((format!("{tenant}:{name}"), segments[k] / count));
+            }
+        }
+    }
+    Ok(DiffSide {
+        path: path.to_string(),
+        stages,
+        tput_mib_s: None,
     })
 }
 
@@ -1069,7 +1160,8 @@ fn usage() -> BenchError {
          [--flat-min R] [--decline-max R] [--p99-factor F] [--qos FILE] \
          [--qos-p99-ratio R] [--qos-jain R] [--qos-share-dev R] \
          [--qos-uplift R] [--lifecycle FILE] [--cliff-max R] \
-         [--lifecycle-flat R] [--explain FILE] [--interference-max P] \
+         [--lifecycle-flat R] [--lsgc FILE] [--waf-max R] \
+         [--explain FILE] [--interference-max P] \
          [--queue-share-max P] [--diff A B] [--regress-max P] [FILE...]"
             .to_string(),
     )
@@ -1088,6 +1180,8 @@ fn main() -> bench::BenchResult {
     let mut lifecycle_files: Vec<String> = Vec::new();
     let mut cliff_max = 0.70f64;
     let mut lifecycle_flat = 0.90f64;
+    let mut lsgc_files: Vec<String> = Vec::new();
+    let mut waf_max = 1.5f64;
     let mut explain_files: Vec<String> = Vec::new();
     let mut interference_max = 0.0f64;
     let mut queue_share_max = 0.0f64;
@@ -1120,6 +1214,8 @@ fn main() -> bench::BenchResult {
             "--lifecycle" => lifecycle_files.push(args.next().ok_or_else(usage)?),
             "--cliff-max" => cliff_max = numeric(&mut args)?,
             "--lifecycle-flat" => lifecycle_flat = numeric(&mut args)?,
+            "--lsgc" => lsgc_files.push(args.next().ok_or_else(usage)?),
+            "--waf-max" => waf_max = numeric(&mut args)?,
             "--explain" => explain_files.push(args.next().ok_or_else(usage)?),
             "--interference-max" => interference_max = numeric(&mut args)?,
             "--queue-share-max" => queue_share_max = numeric(&mut args)?,
@@ -1136,6 +1232,7 @@ fn main() -> bench::BenchResult {
     if files.is_empty()
         && qos_files.is_empty()
         && lifecycle_files.is_empty()
+        && lsgc_files.is_empty()
         && explain_files.is_empty()
         && diff_pairs.is_empty()
     {
@@ -1154,6 +1251,10 @@ fn main() -> bench::BenchResult {
         .iter()
         .map(|path| load_lifecycle(path))
         .collect::<bench::BenchResult<_>>()?;
+    let lsgc_runs: Vec<LsgcRun> = lsgc_files
+        .iter()
+        .map(|path| load_lsgc(path))
+        .collect::<bench::BenchResult<_>>()?;
     let span_runs: Vec<SpanRun> = explain_files
         .iter()
         .map(|path| load_spans(path))
@@ -1171,6 +1272,9 @@ fn main() -> bench::BenchResult {
     }
     for q in &qos_runs {
         render_qos(q);
+    }
+    for g in &lsgc_runs {
+        render_lsgc(g);
     }
     for l in &lifecycle_runs {
         render_lifecycle(l);
@@ -1273,11 +1377,38 @@ fn main() -> bench::BenchResult {
         }
     }
 
+    // Log-structured GC gates: WAF ceiling, the structural zero-pp-log
+    // claim (full-stripe appends never take the partial-parity path),
+    // and the scenario's reason to exist — the log-structured band must
+    // beat the mdraid cliff it is contrasted against.
+    for g in &lsgc_runs {
+        slo("lsgc_waf", &g.path, g.waf, waf_max, g.waf <= waf_max);
+        #[allow(clippy::cast_precision_loss)]
+        slo(
+            "lsgc_pp_log_writes",
+            &g.path,
+            g.pp_log_writes as f64,
+            0.0,
+            g.pp_log_writes == 0,
+        );
+        slo(
+            "lsgc_band_vs_cliff",
+            &g.path,
+            g.flat_ratio,
+            g.cliff_ratio,
+            g.flat_ratio > g.cliff_ratio,
+        );
+    }
+
     // Span-blame gates: shares are NaN when the artifact attributed no
     // time, which fails the comparison — a dead tracer cannot pass.
     for s in &span_runs {
         if interference_max > 0.0 {
-            let v = s.share_pct(&["interference_lifecycle", "interference_rebuild"]);
+            let v = s.share_pct(&[
+                "interference_lifecycle",
+                "interference_rebuild",
+                "interference_gc",
+            ]);
             slo(
                 "spans_interference_share",
                 &s.path,
@@ -1425,7 +1556,7 @@ mod tests {
         let mut segments = [0u64; BLAME_CATEGORIES.len()];
         segments[0] = queue; // "queue"
         segments[7] = lifecycle; // "interference_lifecycle"
-        segments[9] = other; // "other"
+        segments[10] = other; // "other"
         BlameRow {
             tenant: tenant.into(),
             count: 1,
@@ -1463,6 +1594,45 @@ mod tests {
     }
 
     #[test]
+    fn spans_artifacts_diff_by_blame_rows() {
+        let seg = |q: u64, gc: u64| {
+            BLAME_CATEGORIES
+                .iter()
+                .map(|name| {
+                    let v = match *name {
+                        "queue" => q,
+                        "interference_gc" => gc,
+                        _ => 0,
+                    };
+                    format!("\"{name}_ns\": {v}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let doc = |q: u64, gc: u64| {
+            Json::parse(&format!(
+                "{{\"kind\": \"spans\", \"blame\": [{{\"tenant\": \"app\",                  \"count\": 2, \"total_ns\": {}, \"segments\": {{{}}}}}]}}",
+                q + gc,
+                seg(q, gc)
+            ))
+            .unwrap()
+        };
+        let a = spans_diff_side(&doc(200, 100), "a.json").unwrap();
+        assert_eq!(
+            a.stages,
+            vec![
+                ("app:queue".into(), 100),
+                ("app:interference_gc".into(), 50)
+            ]
+        );
+        // GC blame per op doubled while queue stayed put: the worst-growth
+        // gate sees the +100% interference regression.
+        let b = spans_diff_side(&doc(200, 200), "b.json").unwrap();
+        let worst = worst_p99_growth(&a, &b).unwrap();
+        assert!((worst - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn diff_growth_picks_the_worst_stage() {
         let a = side(&[("whole_op", 1000), ("device_io", 400), ("gone", 7)], None);
         let b = side(&[("whole_op", 1100), ("device_io", 600), ("new", 9)], None);
@@ -1476,5 +1646,31 @@ mod tests {
         let a = side(&[("whole_op", 0)], None);
         let b = side(&[("whole_op", 500)], None);
         assert!(worst_p99_growth(&a, &b).is_none());
+    }
+
+    #[test]
+    fn lsgc_artifact_parses_and_rejects_wrong_kind() {
+        let text = r#"{
+            "kind": "lsgc",
+            "lsraid": {
+                "flat_ratio": 0.903, "waf": 1.392, "group_reclaims": 176,
+                "emergency_reclaims": 0, "migrated_sectors": 408604,
+                "pp_log_writes": 0
+            },
+            "mdraid": { "cliff_ratio": 0.621 }
+        }"#;
+        let doc = Json::parse(text).expect("valid JSON");
+        let g = lsgc_from_doc(&doc, "BENCH_lsgc.json").expect("parses");
+        assert!((g.flat_ratio - 0.903).abs() < 1e-9);
+        assert!((g.cliff_ratio - 0.621).abs() < 1e-9);
+        assert!((g.waf - 1.392).abs() < 1e-9);
+        assert_eq!(g.pp_log_writes, 0);
+        assert_eq!(g.group_reclaims, 176);
+        assert_eq!(g.emergency_reclaims, 0);
+        assert_eq!(g.migrated_sectors, 408_604);
+        assert!(g.waf <= 1.5 && g.flat_ratio > g.cliff_ratio);
+
+        let wrong = Json::parse(r#"{"kind": "qos"}"#).expect("valid JSON");
+        assert!(lsgc_from_doc(&wrong, "x.json").is_err());
     }
 }

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 use ftl::{BlockDevice, ConvSsd, FtlConfig};
+use lsraid::{LsConfig, LsVolume};
 use mdraid5::{Md5Config, Md5Volume};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::{SimDuration, SimTime};
@@ -22,6 +23,7 @@ use zns::{LatencyConfig, ZnsConfig, ZnsDevice};
 
 pub mod json;
 pub mod lifecycle;
+pub mod lsgc;
 
 /// Errors a benchmark binary can exit with. Binaries return
 /// [`BenchResult`] from `main` so CI sees the cause on stderr and a
@@ -306,6 +308,31 @@ impl TimelineRun {
         Ok(volume)
     }
 
+    /// Builds a log-structured RAID volume wired for this run (see
+    /// [`TimelineRun::raizn_volume`]): devices and volume record into the
+    /// run's recorder and are registered as gauge sources, so the timeline
+    /// artifact carries the `lsraid.*` series (WAF, garbage ratio, group
+    /// pools) alongside per-device gauges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn lsraid_volume(
+        &self,
+        zones: u32,
+        zone_sectors: u64,
+        config: LsConfig,
+    ) -> BenchResult<Arc<LsVolume>> {
+        let devices = zns_devices_with(&self.recorder, ARRAY_DEVICES, zones, zone_sectors);
+        for dev in &devices {
+            self.register(dev.clone());
+        }
+        let volume = Arc::new(LsVolume::format(devices, config, SimTime::ZERO)?);
+        volume.set_recorder(self.recorder());
+        self.register(volume.clone());
+        Ok(volume)
+    }
+
     /// Builds an mdraid-5 volume wired for this run (see
     /// [`TimelineRun::raizn_volume`]).
     ///
@@ -441,6 +468,23 @@ pub fn raizn_volume(
         ..RaiznConfig::default()
     };
     let volume = Arc::new(RaiznVolume::format(devices, config, SimTime::ZERO)?);
+    volume.set_recorder(recorder());
+    Ok(volume)
+}
+
+/// Builds a formatted log-structured RAID volume over fresh ZNS devices,
+/// recording into the process-wide [`recorder`].
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid.
+pub fn lsraid_volume(
+    zones: u32,
+    zone_sectors: u64,
+    config: LsConfig,
+) -> BenchResult<Arc<LsVolume>> {
+    let devices = zns_devices(ARRAY_DEVICES, zones, zone_sectors);
+    let volume = Arc::new(LsVolume::format(devices, config, SimTime::ZERO)?);
     volume.set_recorder(recorder());
     Ok(volume)
 }

@@ -349,7 +349,7 @@ pub fn flat_ratio(windows: &[f64]) -> Option<f64> {
     (max > 0.0).then(|| min / max)
 }
 
-fn tenant_json(t: &TenantSnapshot) -> String {
+pub(crate) fn tenant_json(t: &TenantSnapshot) -> String {
     format!(
         "{{\"name\": \"{}\", \"admitted\": {}, \"completed\": {}, \"shed\": {}, \
          \"deferred\": {}, \"batches\": {}, \"merged\": {}, \"bytes\": {}}}",
@@ -357,11 +357,11 @@ fn tenant_json(t: &TenantSnapshot) -> String {
     )
 }
 
-fn join(parts: impl IntoIterator<Item = String>) -> String {
+pub(crate) fn join(parts: impl IntoIterator<Item = String>) -> String {
     parts.into_iter().collect::<Vec<_>>().join(", ")
 }
 
-fn windows_json(w: &[f64]) -> String {
+pub(crate) fn windows_json(w: &[f64]) -> String {
     join(w.iter().map(|v| format!("{v:.2}")))
 }
 

@@ -10,7 +10,9 @@
 
 use bench::json::Json;
 use bench::lifecycle::{lifecycle_json, SprayOutcome};
+use bench::lsgc::{lsgc_json, LsOutcome, MdOutcome};
 use bench::TimelineRun;
+use lsraid::{LsConfig, LsStats};
 use qos::TenantSnapshot;
 use raizn::{LifecycleStats, RaiznStats};
 use sim::SimTime;
@@ -35,8 +37,9 @@ fn scratch_dir() -> PathBuf {
     dir
 }
 
-/// Emits one RAIZN and one mdraid timeline (covering zns/raizn and
-/// ftl/mdraid gauge sources) plus a breakdown into `dir`.
+/// Emits one RAIZN, one lsraid and one mdraid timeline (covering the
+/// zns/raizn, lsraid and ftl/mdraid gauge sources) plus a breakdown
+/// into `dir`.
 fn emit_artifacts(dir: &Path) {
     let rz = TimelineRun::new("schema_rz");
     let vol = rz.raizn_volume(8, 4096, 16).expect("raizn volume");
@@ -50,6 +53,17 @@ fn emit_artifacts(dir: &Path) {
         .expect("run");
     rz.write_to(dir, rep.end).expect("write raizn timeline");
 
+    let lsr = TimelineRun::new("schema_ls");
+    let vol = lsr
+        .lsraid_volume(8, 4096, LsConfig::default())
+        .expect("lsraid volume");
+    let target = ZonedTarget::overwriting(vol);
+    let rep = lsr
+        .engine(9)
+        .run(&target, std::slice::from_ref(&job))
+        .expect("run");
+    lsr.write_to(dir, rep.end).expect("write lsraid timeline");
+
     let md = TimelineRun::new("schema_md");
     let vol = md.mdraid_volume(65_536, 16).expect("mdraid volume");
     let target = BlockTarget::new(vol);
@@ -61,6 +75,7 @@ fn emit_artifacts(dir: &Path) {
     // `finish`) does not fold the sub-run recorders into the shared one,
     // so absorb them here and the spans artifact covers both smoke runs.
     bench::recorder().absorb(&rz.recorder());
+    bench::recorder().absorb(&lsr.recorder());
     bench::recorder().absorb(&md.recorder());
     bench::write_spans_to("schema", &bench::recorder(), dir).expect("write spans");
 }
@@ -465,6 +480,125 @@ fn tenant(name: &str, completed: u64) -> TenantSnapshot {
     }
 }
 
+/// Validates the `kind: "lsgc"` document the `lsgc` binary writes as
+/// `BENCH_lsgc.json`: workload geometry, the log-structured run's
+/// window series / band ratio / WAF / GC counters (pp-log writes pinned
+/// to zero), the mdraid baseline's series and cliff ratio, and both
+/// runs' scheduler tenant accounting.
+fn check_lsgc(doc: &Json, ctx: &str) {
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("lsgc"),
+        "{ctx}: kind"
+    );
+    for key in [
+        "block_sectors",
+        "overwrite_ops",
+        "hot_region_pct",
+        "hot_write_pct",
+    ] {
+        assert!(
+            u64_field(doc, key, ctx) > 0,
+            "{ctx}: {key} must be positive"
+        );
+    }
+    let windows = |run: &Json, rctx: &str| {
+        let w = run
+            .get("windows_mib_s")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{rctx}: missing windows_mib_s"));
+        assert!(!w.is_empty(), "{rctx}: empty window series");
+        for v in w {
+            assert!(
+                v.as_f64().is_some_and(|v| v >= 0.0),
+                "{rctx}: window not a non-negative number"
+            );
+        }
+    };
+    let ls = doc
+        .get("lsraid")
+        .unwrap_or_else(|| panic!("{ctx}: missing lsraid run"));
+    let lctx = format!("{ctx} run lsraid");
+    windows(ls, &lctx);
+    let flat = f64_field(ls, "flat_ratio", &lctx);
+    assert!(
+        (0.0..=1.0).contains(&flat),
+        "{lctx}: flat_ratio {flat} outside [0, 1]"
+    );
+    assert!(
+        f64_field(ls, "waf", &lctx) >= 1.0,
+        "{lctx}: waf below 1.0 is not physical"
+    );
+    for key in [
+        "group_reclaims",
+        "emergency_reclaims",
+        "migrated_sectors",
+        "pad_sectors",
+    ] {
+        u64_field(ls, key, &lctx);
+    }
+    assert_eq!(
+        u64_field(ls, "pp_log_writes", &lctx),
+        0,
+        "{lctx}: the log-structured engine has no partial-parity log"
+    );
+    assert!(
+        f64_field(ls, "duration_ms", &lctx) >= 0.0,
+        "{lctx}: negative duration"
+    );
+    check_tenants(ls, &lctx);
+    let md = doc
+        .get("mdraid")
+        .unwrap_or_else(|| panic!("{ctx}: missing mdraid run"));
+    let mctx = format!("{ctx} run mdraid");
+    windows(md, &mctx);
+    let cliff = f64_field(md, "cliff_ratio", &mctx);
+    assert!(
+        (0.0..=1.0).contains(&cliff),
+        "{mctx}: cliff_ratio {cliff} outside [0, 1]"
+    );
+    assert!(
+        f64_field(md, "duration_ms", &mctx) >= 0.0,
+        "{mctx}: negative duration"
+    );
+    check_tenants(md, &mctx);
+}
+
+#[test]
+fn lsgc_artifact_conforms_to_schema() {
+    // Drive the production emitter (the exact code path behind
+    // `BENCH_lsgc.json`) with representative outcomes and validate the
+    // document it renders.
+    let ls = LsOutcome {
+        windows_mib_s: vec![230.0, 240.0, 230.0, 220.0],
+        end: SimTime::from_nanos(2_000_000_000),
+        waf: 1.39,
+        stats: LsStats {
+            user_sectors: 1_048_576,
+            migrated_sectors: 408_604,
+            pad_sectors: 512,
+            parity_sectors: 262_144,
+            group_reclaims: 176,
+            emergency_reclaims: 0,
+            groups_opened: 180,
+            meta_records: 500,
+            meta_rotations: 2,
+        },
+        reclaims: 176,
+        emergency: 0,
+        migrated: 408_604,
+        tenants: vec![tenant("app", 4096), tenant("gc", 1600)],
+    };
+    let md = MdOutcome {
+        windows_mib_s: vec![2300.0, 1900.0, 1400.0, 1400.0],
+        end: SimTime::from_nanos(1_000_000_000),
+        tenants: vec![tenant("app", 4096), tenant("gc", 0)],
+    };
+    let json = lsgc_json(&ls, 0.90, &md, 0.62);
+    let doc = Json::parse(&json).expect("lsgc artifact is valid JSON");
+    check_lsgc(&doc, "lsgc_json");
+}
+
 #[test]
 fn lifecycle_artifact_conforms_to_schema() {
     // Drive the production emitter (the exact code path behind
@@ -528,7 +662,10 @@ fn emitted_artifacts_conform_to_schema() {
             spans += 1;
         }
     }
-    assert_eq!(timelines, 2, "expected raizn + mdraid timeline artifacts");
+    assert_eq!(
+        timelines, 3,
+        "expected raizn + lsraid + mdraid timeline artifacts"
+    );
     assert_eq!(breakdowns, 1, "expected one breakdown artifact");
     assert_eq!(spans, 1, "expected one spans artifact");
 

@@ -1,0 +1,190 @@
+//! Metadata-log record format for the log-structured RAID engine.
+//!
+//! The engine keeps two metadata slots (physical zone 0 and zone 1,
+//! replicated on devices 0 and 1). A slot always starts with a full
+//! `Checkpoint` record and is followed by an append-only sequence of
+//! roll-forward records: per-stripe `Summary` records written at seal
+//! time, stripe-group `GroupOpen`/`GroupFree` transitions, and logical
+//! `ZoneReset`/`ZoneFinish` events. When the active slot cannot hold the
+//! next record the log rotates: the other slot is reset, a fresh
+//! checkpoint (higher epoch) is written there, and appends continue.
+//!
+//! Every record is padded to whole sectors and carries a checksum, so a
+//! torn tail after a crash parses as a clean durable prefix.
+
+use zns::SECTOR_SIZE;
+
+/// Record magic ("LSRD").
+pub(crate) const MAGIC: u32 = 0x4C53_5244;
+
+/// Record header size in bytes: magic, kind, epoch, seq, payload len,
+/// checksum.
+pub(crate) const HEADER_BYTES: usize = 32;
+
+/// Record kinds.
+pub(crate) mod kind {
+    /// Full engine state: logical zones, group table, mapping table.
+    pub const CHECKPOINT: u32 = 1;
+    /// Stripe sealed: the reverse map of its data slots.
+    pub const SUMMARY: u32 = 2;
+    /// A stripe group was opened on a set of physical zones.
+    pub const GROUP_OPEN: u32 = 3;
+    /// A stripe group was reclaimed and returned to the free pool.
+    pub const GROUP_FREE: u32 = 4;
+    /// A logical zone was reset.
+    pub const ZONE_RESET: u32 = 5;
+    /// A logical zone was finished.
+    pub const ZONE_FINISH: u32 = 6;
+}
+
+/// Cursor state of the replicated two-slot metadata log.
+#[derive(Debug)]
+pub(crate) struct MetaLog {
+    /// Active slot (0 or 1); the slot index is also the physical zone.
+    pub slot: usize,
+    /// Sectors already written into the active slot.
+    pub used: u64,
+    /// Sequence number of the next record.
+    pub seq: u64,
+    /// Epoch of the active slot (bumped at every rotation).
+    pub epoch: u64,
+    /// Preallocated scratch for ordinary (non-checkpoint) records.
+    pub rec_buf: Vec<u8>,
+    /// Preallocated scratch for checkpoint records.
+    pub ckpt_buf: Vec<u8>,
+}
+
+/// One parsed record (mount path only; allocation is fine there).
+#[derive(Debug, Clone)]
+pub(crate) struct Record {
+    pub kind: u32,
+    pub epoch: u64,
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("u32 slice"))
+}
+
+pub(crate) fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("u64 slice"))
+}
+
+/// FNV-1a over the payload, seeded with the header identity so a record
+/// copied to the wrong position fails verification.
+fn checksum(kind: u32, epoch: u64, seq: u64, payload: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in kind
+        .to_le_bytes()
+        .into_iter()
+        .chain(epoch.to_le_bytes())
+        .chain(seq.to_le_bytes())
+    {
+        mix(b);
+    }
+    for &b in payload {
+        mix(b);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Seals a record under construction: `buf` holds [`HEADER_BYTES`] of
+/// reserved space followed by the payload. Fills the header, stamps the
+/// checksum, and zero-pads to a whole number of sectors. Returns the
+/// record length in sectors.
+pub(crate) fn finish_record(buf: &mut Vec<u8>, kind: u32, epoch: u64, seq: u64) -> u64 {
+    let payload_len = buf.len() - HEADER_BYTES;
+    let sum = checksum(kind, epoch, seq, &buf[HEADER_BYTES..]);
+    buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    buf[4..8].copy_from_slice(&kind.to_le_bytes());
+    buf[8..16].copy_from_slice(&epoch.to_le_bytes());
+    buf[16..24].copy_from_slice(&seq.to_le_bytes());
+    buf[24..28].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    buf[28..32].copy_from_slice(&sum.to_le_bytes());
+    let sectors = record_sectors(payload_len);
+    buf.resize((sectors * SECTOR_SIZE) as usize, 0);
+    sectors
+}
+
+/// Sectors a record with the given payload occupies on the log.
+pub(crate) fn record_sectors(payload_len: usize) -> u64 {
+    ((HEADER_BYTES + payload_len) as u64).div_ceil(SECTOR_SIZE)
+}
+
+/// Parses the record starting at `bytes[0]`. `bytes` must hold at least
+/// one sector. Returns the record and its length in sectors, or `None`
+/// if the header or checksum is invalid (a torn or unwritten tail).
+pub(crate) fn parse_record(bytes: &[u8]) -> Option<(Record, u64)> {
+    if bytes.len() < HEADER_BYTES || get_u32(bytes, 0) != MAGIC {
+        return None;
+    }
+    let kind = get_u32(bytes, 4);
+    let epoch = get_u64(bytes, 8);
+    let seq = get_u64(bytes, 16);
+    let payload_len = get_u32(bytes, 24) as usize;
+    let sum = get_u32(bytes, 28);
+    let sectors = record_sectors(payload_len);
+    if bytes.len() < (sectors * SECTOR_SIZE) as usize {
+        return None;
+    }
+    let payload = &bytes[HEADER_BYTES..HEADER_BYTES + payload_len];
+    if checksum(kind, epoch, seq, payload) != sum {
+        return None;
+    }
+    Some((
+        Record {
+            kind,
+            epoch,
+            seq,
+            payload: payload.to_vec(),
+        },
+        sectors,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let mut buf = vec![0u8; HEADER_BYTES];
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, 0xdead_beef);
+        let sectors = finish_record(&mut buf, kind::SUMMARY, 3, 41);
+        assert_eq!(sectors, 1);
+        assert_eq!(buf.len() as u64, SECTOR_SIZE);
+        let (rec, n) = parse_record(&buf).expect("valid record");
+        assert_eq!(n, 1);
+        assert_eq!(rec.kind, kind::SUMMARY);
+        assert_eq!(rec.epoch, 3);
+        assert_eq!(rec.seq, 41);
+        assert_eq!(get_u32(&rec.payload, 0), 7);
+        assert_eq!(get_u64(&rec.payload, 4), 0xdead_beef);
+    }
+
+    #[test]
+    fn torn_record_rejected() {
+        let mut buf = vec![0u8; HEADER_BYTES];
+        put_u64(&mut buf, 99);
+        finish_record(&mut buf, kind::GROUP_FREE, 1, 1);
+        // Flip a payload byte: checksum must fail.
+        buf[HEADER_BYTES] ^= 0xff;
+        assert!(parse_record(&buf).is_none());
+        // Zeroed (unwritten) sector: magic must fail.
+        assert!(parse_record(&[0u8; 4096]).is_none());
+    }
+}

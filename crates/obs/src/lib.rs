@@ -379,11 +379,17 @@ pub enum Counter {
     /// Total virtual nanoseconds device commands stalled waiting for a
     /// busy occupancy unit (the [`Stage::DeviceWait`] aggregate).
     DeviceWaitNanos,
+    /// lsraid: valid sectors migrated out of GC victim stripe groups.
+    LsMigratedSectors,
+    /// lsraid: zero-pad sectors written to seal partial stripes at flush.
+    LsPadSectors,
+    /// lsraid: stripe groups reclaimed (all zones reset, returned free).
+    LsGroupReclaims,
 }
 
 impl Counter {
     /// All counters, in index order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 24] = [
         Counter::Retries,
         Counter::DegradedReads,
         Counter::DoubleDegradedReads,
@@ -405,6 +411,9 @@ impl Counter {
         Counter::SchedCoalescedOps,
         Counter::SchedMgmtOps,
         Counter::DeviceWaitNanos,
+        Counter::LsMigratedSectors,
+        Counter::LsPadSectors,
+        Counter::LsGroupReclaims,
     ];
 
     /// Stable snake-case name (used by the JSON exporters).
@@ -431,6 +440,9 @@ impl Counter {
             Counter::SchedCoalescedOps => "sched_coalesced_ops",
             Counter::SchedMgmtOps => "sched_mgmt_ops",
             Counter::DeviceWaitNanos => "device_wait_nanos",
+            Counter::LsMigratedSectors => "ls_migrated_sectors",
+            Counter::LsPadSectors => "ls_pad_sectors",
+            Counter::LsGroupReclaims => "ls_group_reclaims",
         }
     }
 

@@ -57,6 +57,8 @@ pub enum Actor {
     Rebuild = 3,
     /// Background scrub.
     Scrub = 4,
+    /// Log-structured RAID garbage collection.
+    Gc = 5,
 }
 
 impl Actor {
@@ -68,6 +70,7 @@ impl Actor {
             Actor::Lifecycle => "lifecycle",
             Actor::Rebuild => "rebuild",
             Actor::Scrub => "scrub",
+            Actor::Gc => "gc",
         }
     }
 
@@ -84,6 +87,7 @@ impl Actor {
             2 => Actor::Lifecycle,
             3 => Actor::Rebuild,
             4 => Actor::Scrub,
+            5 => Actor::Gc,
             _ => Actor::None,
         }
     }
@@ -155,7 +159,7 @@ impl Drop for ActorScope {
 }
 
 /// Number of exclusive blame categories.
-pub const NCATS: usize = 10;
+pub const NCATS: usize = 11;
 
 /// Exclusive blame categories, in [`blame_segments`] index order.
 pub const BLAME_CATEGORIES: [&str; NCATS] = [
@@ -168,6 +172,7 @@ pub const BLAME_CATEGORIES: [&str; NCATS] = [
     "flush",
     "interference_lifecycle",
     "interference_rebuild",
+    "interference_gc",
     "other",
 ];
 
@@ -180,7 +185,8 @@ const CAT_META: usize = 5;
 const CAT_FLUSH: usize = 6;
 const CAT_INT_LIFECYCLE: usize = 7;
 const CAT_INT_REBUILD: usize = 8;
-const CAT_OTHER: usize = 9;
+const CAT_INT_GC: usize = 9;
+const CAT_OTHER: usize = 10;
 
 /// The category an event's *own* (exclusive) time is attributed to.
 fn category(ev: &TraceEvent) -> usize {
@@ -190,6 +196,7 @@ fn category(ev: &TraceEvent) -> usize {
         Stage::DeviceWait => match ev.blame {
             Actor::Lifecycle => CAT_INT_LIFECYCLE,
             Actor::Rebuild | Actor::Scrub => CAT_INT_REBUILD,
+            Actor::Gc => CAT_INT_GC,
             _ => CAT_DEVICE_WAIT,
         },
         Stage::DeviceIo => CAT_DEVICE_SERVICE,

@@ -30,6 +30,11 @@ pub struct TenantSpec {
     pub deadline: SimDuration,
     /// Merge adjacent sequential writes into stripe-aligned batches.
     pub coalesce: bool,
+    /// Actor identity the tenant's dispatches run under. `None` keeps
+    /// the default mapping (management → lifecycle, IO → foreground);
+    /// internal tenants (e.g. log-structured GC) override it so device
+    /// stalls they cause are blamed to the right interference category.
+    pub actor: Option<obs::Actor>,
 }
 
 impl TenantSpec {
@@ -44,6 +49,7 @@ impl TenantSpec {
             queue_cap: 256,
             deadline: SimDuration::ZERO,
             coalesce: false,
+            actor: None,
         }
     }
 
@@ -91,6 +97,13 @@ impl TenantSpec {
     /// Enables stripe-aware write coalescing for this tenant.
     pub fn coalesce(mut self, on: bool) -> Self {
         self.coalesce = on;
+        self
+    }
+
+    /// Runs every dispatch for this tenant under the given actor
+    /// identity (overrides the default management/foreground mapping).
+    pub fn actor(mut self, actor: obs::Actor) -> Self {
+        self.actor = Some(actor);
         self
     }
 }

@@ -497,9 +497,12 @@ impl SharedScheduler for QosScheduler {
         // cause are blamed as interference.
         let rid = self.recorder.as_ref().map_or(0, |r| r.new_span());
         let span_guard = obs::span_scope(rid);
-        let actor_guard = obs::actor_scope(match dir {
-            OpDir::Mgmt(_) => obs::Actor::Lifecycle,
-            _ => obs::Actor::Foreground,
+        let actor_guard = obs::actor_scope(match inner.tenants[ti].spec.actor {
+            Some(actor) => actor,
+            None => match dir {
+                OpDir::Mgmt(_) => obs::Actor::Lifecycle,
+                _ => obs::Actor::Foreground,
+            },
         });
         let batch_arrival = inner
             .batch

@@ -10,6 +10,7 @@
 //! ```
 
 use ftl::{BlockDevice, ConvSsd, FtlConfig};
+use lsraid::{LsConfig, LsVolume};
 use mdraid5::{Md5Config, Md5Volume};
 use raizn::{RaiznConfig, RaiznVolume};
 use sim::SimTime;
@@ -33,7 +34,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: zfio [--target raizn|mdraid|zns|conv] [--rw read|write|randread]\n\
+        "usage: zfio [--target raizn|lsraid|mdraid|zns|conv] [--rw read|write|randread]\n\
          \u{20}           [--bs 4k|64k|1m|...] [--jobs N] [--qd N] [--ops N]\n\
          \u{20}           [--devices N] [--zones N] [--zone-mib N] [--seed N]\n\
          \n\
@@ -127,6 +128,11 @@ fn build_target(args: &Args) -> Result<Box<dyn IoTarget>> {
         "raizn" => {
             let devices = zns_devices(args.devices, args.zones, zone_sectors);
             let vol = RaiznVolume::format(devices, RaiznConfig::default(), SimTime::ZERO)?;
+            Box::new(ZonedTarget::new(Arc::new(vol)))
+        }
+        "lsraid" => {
+            let devices = zns_devices(args.devices, args.zones, zone_sectors);
+            let vol = LsVolume::format(devices, LsConfig::default(), SimTime::ZERO)?;
             Box::new(ZonedTarget::new(Arc::new(vol)))
         }
         "zns" => Box::new(ZonedTarget::new(

@@ -78,12 +78,26 @@ pub trait IoTarget: Send + Sync {
 /// Dense offset `z * zone_cap + o` maps to LBA `zone_start(z) + o`.
 pub struct ZonedTarget<V> {
     volume: Arc<V>,
+    auto_reset: bool,
 }
 
 impl<V: ZonedVolume> ZonedTarget<V> {
     /// Wraps a zoned volume.
     pub fn new(volume: Arc<V>) -> Self {
-        ZonedTarget { volume }
+        ZonedTarget {
+            volume,
+            auto_reset: true,
+        }
+    }
+
+    /// Wraps a volume with relaxed write semantics (a log-structured
+    /// engine that remaps overwrites internally): re-entering a zone at
+    /// offset 0 is a plain overwrite, never an implicit reset.
+    pub fn overwriting(volume: Arc<V>) -> Self {
+        ZonedTarget {
+            volume,
+            auto_reset: false,
+        }
     }
 
     /// The wrapped volume.
@@ -115,7 +129,7 @@ impl<V: ZonedVolume> IoTarget for ZonedTarget<V> {
     fn write(&self, at: SimTime, off: u64, data: &[u8]) -> Result<SimTime> {
         let (zone, zoff) = self.locate(off);
         let mut t = at;
-        if zoff == 0 {
+        if self.auto_reset && zoff == 0 {
             // Re-entering a zone at its start: reset it first if it holds
             // data (sequential-overwrite semantics).
             let info = self.volume.zone_info(zone)?;
@@ -132,7 +146,7 @@ impl<V: ZonedVolume> IoTarget for ZonedTarget<V> {
     fn write_vectored(&self, at: SimTime, off: u64, segments: &[&[u8]]) -> Result<SimTime> {
         let (zone, zoff) = self.locate(off);
         let mut t = at;
-        if zoff == 0 {
+        if self.auto_reset && zoff == 0 {
             let info = self.volume.zone_info(zone)?;
             if info.write_pointer > info.start {
                 t = self.volume.reset_zone(t, zone)?.done;
